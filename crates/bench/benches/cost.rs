@@ -1,0 +1,55 @@
+//! Criterion micro-benchmark: per-block cost estimation (§3.2).
+//!
+//! Chimera estimates costs on every preemption request; the estimate must be
+//! negligible against microsecond-scale latencies.
+
+use chimera::cost::{CostModel, KernelObs, TbProgress};
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::GpuConfig;
+
+fn bench_cost(c: &mut Criterion) {
+    let cfg = GpuConfig::fermi();
+    let model = CostModel::new(
+        &cfg,
+        24 * 1024,
+        KernelObs {
+            avg_tb_insts: Some(1200.0),
+            avg_tb_cpi: Some(18.5),
+            ..KernelObs::default()
+        },
+    );
+    c.bench_function("estimate_one_block", |b| {
+        b.iter(|| {
+            let costs = model.estimate(
+                std::hint::black_box(TbProgress {
+                    executed_insts: 431,
+                    flushable: true,
+                }),
+                8,
+                990,
+            );
+            std::hint::black_box(costs)
+        })
+    });
+    c.bench_function("estimate_full_sm", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for i in 0..8u64 {
+                for cost in model.estimate(
+                    TbProgress {
+                        executed_insts: i * 137,
+                        flushable: i % 3 != 0,
+                    },
+                    8,
+                    7 * 137,
+                ) {
+                    total = total.wrapping_add(cost.overhead_insts);
+                }
+            }
+            std::hint::black_box(total)
+        })
+    });
+}
+
+criterion_group!(benches, bench_cost);
+criterion_main!(benches);

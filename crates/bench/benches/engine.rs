@@ -1,0 +1,62 @@
+//! Criterion micro-benchmark: simulator cycle-engine throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::{Engine, GpuConfig, KernelDesc, Program, Segment};
+
+fn kernel(compute: u32, mem: u32) -> KernelDesc {
+    KernelDesc::builder("bench")
+        .grid_blocks(512)
+        .threads_per_block(128)
+        .regs_per_thread(20)
+        .program(Program::new(vec![
+            Segment::load(mem),
+            Segment::compute(compute),
+            Segment::store(mem.max(1)),
+        ]))
+        .build()
+        .expect("valid kernel")
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    for &(name, compute, mem) in &[("compute_bound", 2000u32, 4u32), ("memory_heavy", 400, 200)] {
+        let horizon = 400_000u64;
+        group.throughput(Throughput::Elements(horizon));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(compute, mem),
+            |b, &(cp, m)| {
+                b.iter(|| {
+                    let cfg = GpuConfig::fermi();
+                    let mut e = Engine::new(cfg.clone());
+                    let k = e.launch_kernel(kernel(cp, m));
+                    for sm in 0..cfg.num_sms {
+                        e.assign_sm(sm, Some(k));
+                    }
+                    e.run_until(horizon);
+                    std::hint::black_box(e.gpu_stats().total_issued_insts)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_preempt_roundtrip(c: &mut Criterion) {
+    use gpu_sim::{SmPreemptPlan, Technique};
+    c.bench_function("flush_preempt_roundtrip", |b| {
+        b.iter(|| {
+            let cfg = GpuConfig::fermi();
+            let mut e = Engine::new(cfg.clone());
+            let k = e.launch_kernel(kernel(5000, 2));
+            e.assign_sm(0, Some(k));
+            e.run_until(10_000);
+            let plan = SmPreemptPlan::uniform(e.sm_resident_indices(0), Technique::Flush);
+            let done = e.preempt_sm(0, &plan).expect("flushable");
+            std::hint::black_box(done)
+        })
+    });
+}
+
+criterion_group!(benches, bench_engine, bench_preempt_roundtrip);
+criterion_main!(benches);

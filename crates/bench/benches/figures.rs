@@ -1,0 +1,32 @@
+//! Criterion end-to-end benchmark: one shortened periodic experiment per
+//! policy (the fig6/fig7 inner loop), so `cargo bench` exercises the whole
+//! stack — workload build, scheduling, preemption, metrics.
+
+use chimera::policy::Policy;
+use chimera::runner::periodic::{run_periodic, PeriodicConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use workloads::Suite;
+
+fn bench_periodic(c: &mut Criterion) {
+    let suite = Suite::standard();
+    let cfg = suite.config().clone();
+    let bench = suite.benchmark("LUD").expect("LUD in suite").clone();
+    let mut group = c.benchmark_group("periodic_lud_2ms");
+    group.sample_size(10);
+    for policy in Policy::paper_lineup(15.0) {
+        group.bench_with_input(BenchmarkId::from_parameter(policy), &policy, |b, &p| {
+            b.iter(|| {
+                let pcfg = PeriodicConfig {
+                    horizon_us: 2_000.0,
+                    ..PeriodicConfig::paper_default(&cfg)
+                };
+                let r = run_periodic(&cfg, &bench, p, &pcfg);
+                std::hint::black_box(r.useful_insts)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_periodic);
+criterion_main!(benches);

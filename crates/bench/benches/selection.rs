@@ -1,0 +1,54 @@
+//! Criterion micro-benchmark: Algorithm 1 scaling in SMs and blocks.
+//!
+//! The paper argues the selection is `O(N·T·logT + N·logN)` and negligible
+//! against preemption latencies; this bench verifies the wall-clock claim.
+
+use chimera::cost::KernelObs;
+use chimera::select::{select_preemptions, SelectionRequest};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::{GpuConfig, SmSnapshot, TbSnapshotInfo};
+
+fn snapshots(n_sms: usize, blocks: u32) -> Vec<SmSnapshot> {
+    (0..n_sms)
+        .map(|sm| SmSnapshot {
+            sm,
+            kernel: None,
+            blocks: (0..blocks)
+                .map(|i| TbSnapshotInfo {
+                    index: sm as u32 * blocks + i,
+                    executed_insts: u64::from(i) * 137 % 1000,
+                    elapsed_cycles: u64::from(i) * 137 * 16 % 16_000,
+                    past_idem_point: i % 5 == 4,
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let cfg = GpuConfig::fermi();
+    let mut group = c.benchmark_group("algorithm1");
+    for &(sms, blocks) in &[(15usize, 4u32), (15, 8), (30, 8), (60, 16)] {
+        let snaps = snapshots(sms, blocks);
+        let req = SelectionRequest {
+            limit_cycles: cfg.us_to_cycles(15.0),
+            num_preempts: sms / 2,
+            ctx_bytes_per_tb: 24 * 1024,
+            obs: KernelObs {
+                avg_tb_insts: Some(1000.0),
+                avg_tb_cpi: Some(16.0),
+                ..KernelObs::default()
+            },
+            flush_allowed: true,
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{sms}sm_{blocks}tb")),
+            &snaps,
+            |b, snaps| b.iter(|| select_preemptions(&cfg, &req, std::hint::black_box(snaps))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Minimal CLI argument handling shared by the figure binaries.
+
+/// Common knobs: `--scale <f64>` (shrinks horizons/budgets for quick runs),
+/// `--seed <u64>`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunArgs {
+    /// Scale factor on horizons and budgets (1.0 = paper-shaped defaults).
+    pub scale: f64,
+    /// Determinism seed.
+    pub seed: u64,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        RunArgs {
+            scale: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+impl RunArgs {
+    /// Parse from `std::env::args()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parse from an iterator (testable).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--scale" => {
+                    let v = it.next().expect("--scale needs a value");
+                    out.scale = v.parse().expect("--scale must be a number");
+                    assert!(out.scale > 0.0, "--scale must be positive");
+                }
+                "--seed" => {
+                    let v = it.next().expect("--seed needs a value");
+                    out.seed = v.parse().expect("--seed must be an integer");
+                }
+                "--help" | "-h" => {
+                    eprintln!("usage: [--scale <f>] [--seed <n>]");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument: {other}"),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let a = RunArgs::parse(s(&[]));
+        assert_eq!(
+            a,
+            RunArgs {
+                scale: 1.0,
+                seed: 42
+            }
+        );
+    }
+
+    #[test]
+    fn parses_scale_and_seed() {
+        let a = RunArgs::parse(s(&["--scale", "0.25", "--seed", "7"]));
+        assert!((a.scale - 0.25).abs() < 1e-12);
+        assert_eq!(a.seed, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn rejects_unknown() {
+        RunArgs::parse(s(&["--wat"]));
+    }
+}

@@ -1,0 +1,47 @@
+//! Ablation: charge context save/restore traffic to the memory subsystem.
+//!
+//! The paper (§4) implements context switching by halting the SM for the
+//! estimated switch time and admits the result is optimistic: real save/
+//! restore traffic would also slow down the other SMs. This ablation turns
+//! the traffic charging on and measures how much throughput the optimism
+//! hides, per benchmark, under the pure Switch policy.
+
+use bench::report::f1;
+use bench::scenarios::PERIODIC_HORIZON_US;
+use bench::{RunArgs, Table};
+use chimera::policy::Policy;
+use chimera::runner::periodic::{run_periodic, PeriodicConfig};
+use gpu_sim::GpuConfig;
+use workloads::Suite;
+
+fn main() {
+    let args = RunArgs::from_env();
+    let suite = Suite::standard();
+    let base_cfg = GpuConfig::fermi();
+    let charged_cfg = GpuConfig {
+        charge_ctx_switch_bandwidth: true,
+        ..base_cfg.clone()
+    };
+    let pcfg = PeriodicConfig {
+        horizon_us: PERIODIC_HORIZON_US * args.scale,
+        seed: args.seed,
+        ..PeriodicConfig::paper_default(&base_cfg)
+    };
+    println!("Ablation: context-switch bandwidth charging (Switch policy, 15 us task)\n");
+    let mut t = Table::new(&["benchmark", "halt-only insts", "charged insts", "delta %"]);
+    for bench in suite.benchmarks() {
+        eprint!("  {} ...", bench.name());
+        let a = run_periodic(&base_cfg, bench, Policy::Switch, &pcfg);
+        let b = run_periodic(&charged_cfg, bench, Policy::Switch, &pcfg);
+        let delta = 100.0 * (1.0 - b.useful_insts as f64 / a.useful_insts.max(1) as f64);
+        eprintln!(" done");
+        t.row(vec![
+            bench.name().to_string(),
+            a.useful_insts.to_string(),
+            b.useful_insts.to_string(),
+            f1(delta),
+        ]);
+    }
+    print!("{t}");
+    println!("\npositive delta = throughput the paper's halt-only model over-credits");
+}

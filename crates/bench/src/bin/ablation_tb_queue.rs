@@ -1,0 +1,51 @@
+//! Ablation: preempted-block queue priority.
+//!
+//! The thread-block scheduler "always prefers to schedule the preempted
+//! thread blocks first so that the size of the preempted thread block queue
+//! can be limited" (§3.1). This ablation compares preempted-first against
+//! fresh-first dispatch under Chimera, reporting throughput and violations.
+
+use bench::report::f1;
+use bench::scenarios::PERIODIC_HORIZON_US;
+use bench::{RunArgs, Table};
+use chimera::policy::Policy;
+use chimera::runner::periodic::{run_periodic, PeriodicConfig};
+use gpu_sim::GpuConfig;
+use workloads::Suite;
+
+fn main() {
+    let args = RunArgs::from_env();
+    let suite = Suite::standard();
+    let cfg = GpuConfig::fermi();
+    println!("Ablation: preempted-first vs fresh-first block dispatch (Chimera, 15 us)\n");
+    let mut t = Table::new(&[
+        "benchmark",
+        "preempted-first insts",
+        "fresh-first insts",
+        "delta %",
+        "viol pf %",
+        "viol ff %",
+    ]);
+    for bench in suite.benchmarks() {
+        eprint!("  {} ...", bench.name());
+        let mk = |prefer| PeriodicConfig {
+            horizon_us: PERIODIC_HORIZON_US * args.scale,
+            seed: args.seed,
+            prefer_preempted: prefer,
+            ..PeriodicConfig::paper_default(&cfg)
+        };
+        let a = run_periodic(&cfg, bench, Policy::chimera_us(15.0), &mk(true));
+        let b = run_periodic(&cfg, bench, Policy::chimera_us(15.0), &mk(false));
+        let delta = 100.0 * (b.useful_insts as f64 / a.useful_insts.max(1) as f64 - 1.0);
+        eprintln!(" done");
+        t.row(vec![
+            bench.name().to_string(),
+            a.useful_insts.to_string(),
+            b.useful_insts.to_string(),
+            f1(delta),
+            f1(a.violation_pct()),
+            f1(b.violation_pct()),
+        ]);
+    }
+    print!("{t}");
+}

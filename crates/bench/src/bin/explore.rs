@@ -1,0 +1,167 @@
+//! Sensitivity exploration beyond the paper's evaluation: how do Chimera's
+//! deadline violations and technique mix respond to the platform and task
+//! parameters (SM count, memory bandwidth, task period and size)?
+//!
+//! This is "future work"-style analysis the paper does not include; it uses
+//! the same machinery as fig6/fig8.
+
+use bench::report::f1;
+use bench::{RunArgs, Table};
+use chimera::policy::Policy;
+use chimera::runner::periodic::{run_periodic, PeriodicConfig};
+use gpu_sim::{GpuConfig, Technique};
+use workloads::{RtTask, Suite, SuiteOptions};
+
+fn one(
+    cfg: &GpuConfig,
+    suite: &Suite,
+    bench_name: &str,
+    pcfg: &PeriodicConfig,
+) -> (f64, f64, [f64; 3]) {
+    let bench = suite.benchmark(bench_name).expect("known benchmark");
+    let r = run_periodic(cfg, bench, Policy::chimera_us(pcfg.constraint_us), pcfg);
+    let total: u64 = r.technique_counts.values().sum();
+    let share = |t: Technique| {
+        100.0 * r.technique_counts.get(&t).copied().unwrap_or(0) as f64 / total.max(1) as f64
+    };
+    (
+        r.violation_pct(),
+        r.mean_ok_latency_us,
+        [
+            share(Technique::Switch),
+            share(Technique::Drain),
+            share(Technique::Flush),
+        ],
+    )
+}
+
+fn main() {
+    let args = RunArgs::from_env();
+    let horizon = 8_000.0 * args.scale;
+    let bench_name = "BS";
+    println!("Sensitivity exploration (Chimera on {bench_name}, 15 us constraint)\n");
+
+    // (1) SM count.
+    println!("(1) SM count (task takes half):");
+    let mut t = Table::new(&["SMs", "violations %", "mean latency us", "sw/dr/fl %"]);
+    for sms in [8usize, 16, 30, 60] {
+        let cfg = GpuConfig {
+            num_sms: sms,
+            ..GpuConfig::fermi()
+        };
+        let suite = Suite::with_options(cfg.clone(), SuiteOptions::default());
+        let pcfg = PeriodicConfig {
+            horizon_us: horizon,
+            seed: args.seed,
+            task: RtTask::paper_default(&cfg),
+            ..PeriodicConfig::paper_default(&cfg)
+        };
+        let (v, lat, mix) = one(&cfg, &suite, bench_name, &pcfg);
+        t.row(vec![
+            sms.to_string(),
+            f1(v),
+            f1(lat),
+            format!("{}/{}/{}", f1(mix[0]), f1(mix[1]), f1(mix[2])),
+        ]);
+    }
+    println!("{t}");
+
+    // (2) Memory bandwidth: switching gets cheaper as bandwidth grows.
+    println!("(2) memory bandwidth:");
+    let mut t = Table::new(&["GB/s", "violations %", "mean latency us", "sw/dr/fl %"]);
+    for bw in [88.7, 177.4, 354.8, 709.6] {
+        let cfg = GpuConfig {
+            mem_bandwidth_gbps: bw,
+            ..GpuConfig::fermi()
+        };
+        let suite = Suite::with_options(cfg.clone(), SuiteOptions::default());
+        let pcfg = PeriodicConfig {
+            horizon_us: horizon,
+            seed: args.seed,
+            ..PeriodicConfig::paper_default(&cfg)
+        };
+        let (v, lat, mix) = one(&cfg, &suite, bench_name, &pcfg);
+        t.row(vec![
+            format!("{bw}"),
+            f1(v),
+            f1(lat),
+            format!("{}/{}/{}", f1(mix[0]), f1(mix[1]), f1(mix[2])),
+        ]);
+    }
+    println!("{t}");
+
+    // (3) Task pressure: shorter periods mean more preemption churn.
+    println!("(3) task period (200 us execution):");
+    let mut t = Table::new(&[
+        "period us",
+        "requests served/ms",
+        "violations %",
+        "sw/dr/fl %",
+    ]);
+    for period in [400.0, 700.0, 1000.0, 2000.0] {
+        let cfg = GpuConfig::fermi();
+        let suite = Suite::standard();
+        let pcfg = PeriodicConfig {
+            horizon_us: horizon,
+            seed: args.seed,
+            task: RtTask {
+                period_us: period,
+                ..RtTask::paper_default(&cfg)
+            },
+            ..PeriodicConfig::paper_default(&cfg)
+        };
+        let (v, _, mix) = one(&cfg, &suite, bench_name, &pcfg);
+        t.row(vec![
+            format!("{period}"),
+            f1(1000.0 / period),
+            f1(v),
+            format!("{}/{}/{}", f1(mix[0]), f1(mix[1]), f1(mix[2])),
+        ]);
+    }
+    println!("{t}");
+
+    // (3b) Idempotence-point position: the BT/FWT phenomenon isolated.
+    // Pure flushing against a 10 us-block kernel whose overwrite lands at
+    // varying progress: the later the point, the longer blocks stay
+    // flushable and the fewer violations.
+    println!("(3b) idempotence-point position (pure Flush on a 10 us-block kernel):");
+    let mut t = Table::new(&["idem point %", "flush violations %"]);
+    for frac in [0.3, 0.5, 0.7, 0.9, 0.97] {
+        let cfg = GpuConfig::fermi();
+        let k = workloads::SyntheticKernel::new("sweep")
+            .block_time_us(10.0)
+            .blocks_per_sm(6)
+            .non_idem_at(frac)
+            .grid_blocks(20_000)
+            .build(&cfg);
+        let bench = workloads::Benchmark::new("sweep", vec![k]);
+        let pcfg = PeriodicConfig {
+            horizon_us: horizon,
+            seed: args.seed,
+            ..PeriodicConfig::paper_default(&cfg)
+        };
+        let r = run_periodic(&cfg, &bench, Policy::Flush, &pcfg);
+        t.row(vec![f1(100.0 * frac), f1(r.violation_pct())]);
+    }
+    println!("{t}");
+
+    // (4) Task footprint: how many SMs the task demands.
+    println!("(4) task SM demand:");
+    let mut t = Table::new(&["SMs needed", "violations %", "mean latency us"]);
+    for needed in [5usize, 10, 15, 25] {
+        let cfg = GpuConfig::fermi();
+        let suite = Suite::standard();
+        let pcfg = PeriodicConfig {
+            horizon_us: horizon,
+            seed: args.seed,
+            task: RtTask {
+                sms_needed: needed,
+                ..RtTask::paper_default(&cfg)
+            },
+            ..PeriodicConfig::paper_default(&cfg)
+        };
+        let (v, lat, _) = one(&cfg, &suite, bench_name, &pcfg);
+        t.row(vec![needed.to_string(), f1(v), f1(lat)]);
+    }
+    print!("{t}");
+}

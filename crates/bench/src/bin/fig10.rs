@@ -1,0 +1,45 @@
+//! Figure 10: ANTT improvement over non-preemptive FCFS when LUD is
+//! co-scheduled with each other benchmark.
+//!
+//! Paper averages: switch 20.9x, drain 19.3x, flush 23.6x, Chimera 25.4x.
+
+use bench::report::f1;
+use bench::scenarios::{multiprog_matrix, multiprog_suite};
+use bench::{RunArgs, Table};
+use chimera::metrics::geomean;
+use chimera::policy::Policy;
+
+fn main() {
+    let args = RunArgs::from_env();
+    let suite = multiprog_suite(&args);
+    let policies = Policy::paper_lineup(30.0);
+    eprintln!("fig10: running LUD x 13 partners x (FCFS + 4 policies) ...");
+    let m = multiprog_matrix(&suite, &policies, &args);
+    println!("Figure 10: ANTT improvement (x) over non-preemptive FCFS\n");
+    let mut t = Table::new(&["workload", "Switch", "Drain", "Flush", "Chimera"]);
+    let mut impr: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for (fcfs, per_policy) in &m.rows {
+        let v: Vec<f64> = per_policy.iter().map(|p| fcfs.antt / p.antt).collect();
+        for (i, x) in v.iter().enumerate() {
+            impr[i].push(*x);
+        }
+        t.row(vec![
+            format!("LUD/{}", fcfs.other),
+            f1(v[0]),
+            f1(v[1]),
+            f1(v[2]),
+            f1(v[3]),
+        ]);
+    }
+    let g: Vec<f64> = impr.iter().map(|xs| geomean(xs)).collect();
+    t.row(vec![
+        "geomean".into(),
+        f1(g[0]),
+        f1(g[1]),
+        f1(g[2]),
+        f1(g[3]),
+    ]);
+    print!("{t}");
+    println!("\npaper averages: switch 20.9x, drain 19.3x, flush 23.6x, chimera 25.4x");
+    println!("(absolute factors scale with the instruction budget; see EXPERIMENTS.md)");
+}

@@ -1,0 +1,46 @@
+//! Figure 11: STP improvement over non-preemptive FCFS when LUD is
+//! co-scheduled with each other benchmark.
+//!
+//! Paper averages: switch 16.5 %, drain 36.6 %, flush 31.4 %, Chimera 41.7 %.
+
+use bench::report::f1;
+use bench::scenarios::{multiprog_matrix, multiprog_suite};
+use bench::{RunArgs, Table};
+use chimera::policy::Policy;
+
+fn main() {
+    let args = RunArgs::from_env();
+    let suite = multiprog_suite(&args);
+    let policies = Policy::paper_lineup(30.0);
+    eprintln!("fig11: running LUD x 13 partners x (FCFS + 4 policies) ...");
+    let m = multiprog_matrix(&suite, &policies, &args);
+    println!("Figure 11: STP improvement (%) over non-preemptive FCFS\n");
+    let mut t = Table::new(&["workload", "Switch", "Drain", "Flush", "Chimera"]);
+    let mut sums = [0.0f64; 4];
+    for (fcfs, per_policy) in &m.rows {
+        let v: Vec<f64> = per_policy
+            .iter()
+            .map(|p| 100.0 * (p.stp - fcfs.stp) / fcfs.stp)
+            .collect();
+        for (s, x) in sums.iter_mut().zip(&v) {
+            *s += x;
+        }
+        t.row(vec![
+            format!("LUD/{}", fcfs.other),
+            f1(v[0]),
+            f1(v[1]),
+            f1(v[2]),
+            f1(v[3]),
+        ]);
+    }
+    let n = m.rows.len() as f64;
+    t.row(vec![
+        "average".into(),
+        f1(sums[0] / n),
+        f1(sums[1] / n),
+        f1(sums[2] / n),
+        f1(sums[3] / n),
+    ]);
+    print!("{t}");
+    println!("\npaper averages: switch 16.5, drain 36.6, flush 31.4, chimera 41.7");
+}

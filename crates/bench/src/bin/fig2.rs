@@ -1,0 +1,38 @@
+//! Figure 2: estimated preemption latency per technique per kernel.
+//!
+//! Paper averages: switch 14.5 µs, drain 830.4 µs, flush 0 µs.
+
+use bench::report::f1;
+use bench::Table;
+use chimera::cost::analytic;
+use workloads::{solve_resources, table2};
+
+fn main() {
+    let cfg = gpu_sim::GpuConfig::fermi();
+    println!("Figure 2: estimated preemption latency (us) per technique\n");
+    let mut t = Table::new(&["kernel", "switch", "drain", "flush"]);
+    let (mut s_sum, mut d_sum) = (0.0, 0.0);
+    let specs = table2();
+    for spec in &specs {
+        let res = solve_resources(spec.ctx_bytes, spec.tbs_per_sm);
+        let sw = analytic::switch_latency_us(&cfg, res.context_bytes().into(), spec.tbs_per_sm);
+        let dr = analytic::drain_latency_us(spec.drain_us);
+        s_sum += sw;
+        d_sum += dr;
+        t.row(vec![
+            spec.label(),
+            f1(sw),
+            f1(dr),
+            f1(analytic::flush_latency_us()),
+        ]);
+    }
+    let n = specs.len() as f64;
+    t.row(vec![
+        "average".into(),
+        f1(s_sum / n),
+        f1(d_sum / n),
+        "0.0".into(),
+    ]);
+    print!("{t}");
+    println!("\npaper averages: switch 14.5, drain 830.4, flush 0.0");
+}

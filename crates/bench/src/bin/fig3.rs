@@ -1,0 +1,37 @@
+//! Figure 3: estimated throughput overhead per technique.
+//!
+//! Paper averages: switch 47.7 %, drain 0 %, flush 30.7 %.
+
+use bench::report::f1;
+use bench::Table;
+use chimera::cost::analytic;
+use workloads::{solve_resources, table2};
+
+fn main() {
+    let cfg = gpu_sim::GpuConfig::fermi();
+    println!("Figure 3: estimated throughput overhead (%) per technique\n");
+    let mut t = Table::new(&["kernel", "switch", "drain", "flush"]);
+    let mut s_sum = 0.0;
+    let specs = table2();
+    for spec in &specs {
+        let res = solve_resources(spec.ctx_bytes, spec.tbs_per_sm);
+        let sw_lat = analytic::switch_latency_us(&cfg, res.context_bytes().into(), spec.tbs_per_sm);
+        let sw = analytic::switch_overhead_pct(sw_lat, spec.drain_us);
+        s_sum += sw;
+        t.row(vec![
+            spec.label(),
+            f1(sw),
+            f1(analytic::drain_overhead_pct()),
+            f1(analytic::flush_overhead_pct()),
+        ]);
+    }
+    let n = specs.len() as f64;
+    t.row(vec![
+        "average".into(),
+        f1(s_sum / n),
+        f1(0.0),
+        f1(analytic::flush_overhead_pct()),
+    ]);
+    print!("{t}");
+    println!("\npaper averages: switch 47.7, drain 0.0, flush 30.7");
+}

@@ -1,0 +1,42 @@
+//! Figure 6: deadline violations with a periodic real-time task, 15 µs
+//! preemption latency constraint.
+//!
+//! Paper averages: switch 56.0 %, drain 61.3 %, flush 7.3 %, Chimera 0.2 %.
+
+use bench::report::f1;
+use bench::scenarios::periodic_matrix;
+use bench::{RunArgs, Table};
+use chimera::policy::Policy;
+use workloads::Suite;
+
+fn main() {
+    let args = RunArgs::from_env();
+    let suite = Suite::standard();
+    let policies = Policy::paper_lineup(15.0);
+    eprintln!(
+        "fig6: running {} benchmarks x {} policies ...",
+        suite.benchmarks().len(),
+        4
+    );
+    let m = periodic_matrix(&suite, &policies, 15.0, &args, false);
+    println!("Figure 6: deadline violations (%), 15 us constraint\n");
+    let mut t = Table::new(&["benchmark", "Switch", "Drain", "Flush", "Chimera"]);
+    let mut sums = [0.0f64; 4];
+    for (name, results) in &m.rows {
+        let v: Vec<f64> = results.iter().map(|r| r.violation_pct()).collect();
+        for (s, x) in sums.iter_mut().zip(&v) {
+            *s += x;
+        }
+        t.row(vec![name.clone(), f1(v[0]), f1(v[1]), f1(v[2]), f1(v[3])]);
+    }
+    let n = m.rows.len() as f64;
+    t.row(vec![
+        "average".into(),
+        f1(sums[0] / n),
+        f1(sums[1] / n),
+        f1(sums[2] / n),
+        f1(sums[3] / n),
+    ]);
+    print!("{t}");
+    println!("\npaper averages: switch 56.0, drain 61.3, flush 7.3, chimera 0.2");
+}

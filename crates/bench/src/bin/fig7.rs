@@ -1,0 +1,50 @@
+//! Figure 7: throughput overhead under the periodic real-time task, 15 µs
+//! constraint, measured as effective-throughput loss versus the zero-cost
+//! oracle baseline.
+//!
+//! Paper overall: switch 12.2 %, drain 8.9 %, flush 19.3 %, Chimera 10.1 %.
+
+use bench::report::f1;
+use bench::scenarios::periodic_matrix;
+use bench::{RunArgs, Table};
+use chimera::metrics::geomean;
+use chimera::policy::Policy;
+use workloads::Suite;
+
+fn main() {
+    let args = RunArgs::from_env();
+    let suite = Suite::standard();
+    let mut policies = Policy::paper_lineup(15.0).to_vec();
+    policies.push(Policy::Oracle);
+    eprintln!(
+        "fig7: running {} benchmarks x {} policies ...",
+        suite.benchmarks().len(),
+        5
+    );
+    let m = periodic_matrix(&suite, &policies, 15.0, &args, false);
+    println!("Figure 7: throughput overhead (%) vs oracle, 15 us constraint\n");
+    let mut t = Table::new(&["benchmark", "Switch", "Drain", "Flush", "Chimera"]);
+    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for (name, results) in &m.rows {
+        let oracle = &results[4];
+        let v: Vec<f64> = results[..4]
+            .iter()
+            .map(|r| r.overhead_pct_vs(oracle))
+            .collect();
+        for (i, x) in v.iter().enumerate() {
+            // Geomean over throughput ratios (paper reports geomean).
+            ratios[i].push((1.0 - x / 100.0).max(1e-6));
+        }
+        t.row(vec![name.clone(), f1(v[0]), f1(v[1]), f1(v[2]), f1(v[3])]);
+    }
+    let g: Vec<f64> = ratios.iter().map(|r| 100.0 * (1.0 - geomean(r))).collect();
+    t.row(vec![
+        "geomean".into(),
+        f1(g[0]),
+        f1(g[1]),
+        f1(g[2]),
+        f1(g[3]),
+    ]);
+    print!("{t}");
+    println!("\npaper overall: switch 12.2, drain 8.9, flush 19.3, chimera 10.1");
+}

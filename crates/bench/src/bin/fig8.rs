@@ -1,0 +1,80 @@
+//! Figure 8: impact of the preemption latency constraint (5/10/15/20 µs) on
+//! (a) Chimera's deadline violations, (b) its throughput overhead, and
+//! (c) the mix of techniques Chimera uses.
+//!
+//! Paper: (a) 2.00/1.08/0.24/0.00 %, (b) 16.5/12.2/10.0/9.0 %,
+//! (c) flush share grows as the constraint tightens; drain stays ~19 %.
+
+use bench::report::f1;
+use bench::scenarios::{periodic_matrix, periodic_oracle};
+use bench::{RunArgs, Table};
+use chimera::policy::Policy;
+use gpu_sim::Technique;
+use workloads::Suite;
+
+fn main() {
+    let args = RunArgs::from_env();
+    let suite = Suite::standard();
+    eprintln!("fig8: oracle baselines ...");
+    let oracle = periodic_oracle(&suite, &args);
+    let constraints = [5.0, 10.0, 15.0, 20.0];
+    let mut rows = Vec::new();
+    for &c in &constraints {
+        eprintln!("fig8: constraint {c} us ...");
+        let m = periodic_matrix(&suite, &[Policy::chimera_us(c)], c, &args, false);
+        let mut reqs = 0u32;
+        let mut viol = 0u32;
+        let mut useful = 0u64;
+        let mut oracle_useful = 0u64;
+        let mut tech = [0u64; 3];
+        for ((name, results), (oname, o)) in m.rows.iter().zip(&oracle) {
+            assert_eq!(name, oname);
+            let r = &results[0];
+            reqs += r.requests;
+            viol += r.violations;
+            useful += r.useful_insts;
+            oracle_useful += o.useful_insts;
+            tech[0] += r
+                .technique_counts
+                .get(&Technique::Switch)
+                .copied()
+                .unwrap_or(0);
+            tech[1] += r
+                .technique_counts
+                .get(&Technique::Drain)
+                .copied()
+                .unwrap_or(0);
+            tech[2] += r
+                .technique_counts
+                .get(&Technique::Flush)
+                .copied()
+                .unwrap_or(0);
+        }
+        rows.push((c, reqs, viol, useful, oracle_useful, tech));
+    }
+    println!("Figure 8: impact of the preemption latency constraint on Chimera\n");
+    let mut t = Table::new(&[
+        "constraint",
+        "(a) violations",
+        "(b) overhead",
+        "(c) switch",
+        "(c) drain",
+        "(c) flush",
+    ]);
+    for (c, reqs, viol, useful, oracle_useful, tech) in rows {
+        let vp = 100.0 * f64::from(viol) / f64::from(reqs.max(1));
+        let ov = 100.0 * (1.0 - useful as f64 / oracle_useful.max(1) as f64);
+        let total = (tech[0] + tech[1] + tech[2]).max(1) as f64;
+        t.row(vec![
+            format!("{c} us"),
+            f1(vp),
+            f1(ov),
+            f1(100.0 * tech[0] as f64 / total),
+            f1(100.0 * tech[1] as f64 / total),
+            f1(100.0 * tech[2] as f64 / total),
+        ]);
+    }
+    print!("{t}");
+    println!("\npaper: (a) 2.00/1.08/0.24/0.00  (b) 16.5/12.2/10.0/9.0");
+    println!("paper (c): flush share grows as the constraint tightens; drain stays ~19%");
+}

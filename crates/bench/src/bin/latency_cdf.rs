@@ -1,0 +1,62 @@
+//! Hand-over latency distribution per policy (not a paper figure, but the
+//! natural companion to Figure 6: *how late* are the late hand-overs?).
+//!
+//! Prints per-policy latency percentiles across all periodic requests of all
+//! benchmarks, with unfulfilled requests reported separately.
+
+use bench::report::f1;
+use bench::scenarios::PERIODIC_HORIZON_US;
+use bench::{RunArgs, Table};
+use chimera::policy::Policy;
+use chimera::runner::periodic::{run_periodic, PeriodicConfig};
+use workloads::Suite;
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let ix = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[ix]
+}
+
+fn main() {
+    let args = RunArgs::from_env();
+    let suite = Suite::standard();
+    let cfg = suite.config();
+    let pcfg = PeriodicConfig {
+        horizon_us: PERIODIC_HORIZON_US * args.scale,
+        seed: args.seed,
+        ..PeriodicConfig::paper_default(cfg)
+    };
+    println!("Hand-over latency distribution (us) across all benchmarks, 15 us constraint\n");
+    let mut t = Table::new(&["policy", "p50", "p90", "p99", "max", "unfulfilled %"]);
+    for policy in Policy::paper_lineup(15.0) {
+        eprintln!("latency-cdf: {policy} ...");
+        let mut lats: Vec<f64> = Vec::new();
+        let mut unfulfilled = 0u32;
+        let mut total = 0u32;
+        for bench in suite.benchmarks() {
+            let r = run_periodic(cfg, bench, policy, &pcfg);
+            for (_, lat, _) in &r.request_log {
+                total += 1;
+                match lat {
+                    Some(l) => lats.push(*l),
+                    None => unfulfilled += 1,
+                }
+            }
+        }
+        lats.sort_by(f64::total_cmp);
+        t.row(vec![
+            policy.to_string(),
+            f1(percentile(&lats, 0.5)),
+            f1(percentile(&lats, 0.9)),
+            f1(percentile(&lats, 0.99)),
+            f1(percentile(&lats, 1.0)),
+            f1(100.0 * f64::from(unfulfilled) / f64::from(total.max(1))),
+        ]);
+    }
+    print!("{t}");
+    println!("\nunfulfilled = the request never received all its SMs within the horizon");
+    println!("(draining a 10 ms block, or flushing a kernel that never leaves its");
+    println!("non-idempotent region)");
+}

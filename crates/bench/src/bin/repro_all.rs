@@ -1,0 +1,26 @@
+//! One-shot driver: regenerate every table and figure by invoking the
+//! sibling binaries in sequence (same process, sequential).
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    let bins = [
+        "table1", "table2", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10",
+        "fig11",
+    ];
+    for bin in bins {
+        println!("\n==================== {bin} ====================\n");
+        let status = Command::new(dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to run {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+    println!("\nAll tables and figures regenerated.");
+}

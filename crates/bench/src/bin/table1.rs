@@ -1,0 +1,52 @@
+//! Table 1: system configuration.
+
+use bench::Table;
+use gpu_sim::GpuConfig;
+
+fn main() {
+    let c = GpuConfig::fermi();
+    println!("Table 1: System configuration (paper values in parentheses)\n");
+    let mut t = Table::new(&["parameter", "value", "paper"]);
+    t.row(vec!["SMs".into(), c.num_sms.to_string(), "30".into()]);
+    t.row(vec![
+        "clock".into(),
+        format!("{} MHz", c.clock_mhz),
+        "1400 MHz".into(),
+    ]);
+    t.row(vec![
+        "SIMT width".into(),
+        c.simt_width.to_string(),
+        "8".into(),
+    ]);
+    t.row(vec![
+        "registers per SM".into(),
+        c.registers_per_sm.to_string(),
+        "32768".into(),
+    ]);
+    t.row(vec![
+        "max thread blocks per SM".into(),
+        c.max_blocks_per_sm.to_string(),
+        "8".into(),
+    ]);
+    t.row(vec![
+        "shared memory per SM".into(),
+        format!("{} kB", c.shared_mem_per_sm / 1024),
+        "48 kB".into(),
+    ]);
+    t.row(vec![
+        "memory partitions".into(),
+        c.num_mem_partitions.to_string(),
+        "6".into(),
+    ]);
+    t.row(vec![
+        "memory bandwidth".into(),
+        format!("{:.1} GB/s", c.mem_bandwidth_gbps),
+        "177.4 GB/s".into(),
+    ]);
+    print!("{t}");
+    println!(
+        "\nderived: {:.2} B/cycle total, {:.2} B/cycle per SM share",
+        c.bytes_per_cycle_total(),
+        c.bytes_per_cycle_per_sm()
+    );
+}

@@ -1,0 +1,60 @@
+//! Table 2: benchmark characterisation — measured on the simulator and
+//! compared to the paper's values.
+//!
+//! Drain time is *measured* by simulation (the paper's methodology);
+//! context size, blocks/SM, and switch time come from the solved kernels.
+
+use bench::report::f1;
+use bench::{RunArgs, Table};
+use idem::KernelIdempotence;
+use workloads::{build_kernel, build_program, measure_drain_time_us, Suite};
+
+fn main() {
+    let _args = RunArgs::from_env();
+    let suite = Suite::standard();
+    let cfg = suite.config();
+    println!("Table 2: Benchmark specification (measured vs paper)\n");
+    let mut t = Table::new(&[
+        "kernel",
+        "drain us",
+        "(paper)",
+        "ctx kB/TB",
+        "(paper)",
+        "TBs/SM",
+        "(paper)",
+        "switch us",
+        "idem",
+        "(paper)",
+    ]);
+    for spec in suite.specs() {
+        let k = build_kernel(cfg, spec, true);
+        let samples = if spec.drain_us > 1000.0 { 6 } else { 24 };
+        let drain = measure_drain_time_us(cfg, &k, samples);
+        let occ = gpu_sim::occupancy(cfg, &k);
+        let ctx_kb = k.block_context_bytes() as f64 / 1024.0;
+        let switch_us = cfg.cycles_to_us(
+            cfg.sm_transfer_cycles(k.block_context_bytes() * u64::from(occ.blocks_per_sm)),
+        );
+        // Classify the uninstrumented program: the protect store itself is
+        // not part of the original kernel.
+        let idem = KernelIdempotence::of(&k.with_program(build_program(cfg, spec)));
+        t.row(vec![
+            spec.label(),
+            f1(drain),
+            f1(spec.drain_us),
+            f1(ctx_kb),
+            f1(spec.ctx_bytes as f64 / 1024.0),
+            occ.blocks_per_sm.to_string(),
+            spec.tbs_per_sm.to_string(),
+            f1(switch_us),
+            idem.to_string(),
+            if spec.idempotent {
+                "Yes".into()
+            } else {
+                "No".into()
+            },
+        ]);
+    }
+    print!("{t}");
+    println!("\n(the paper's per-kernel switch-time column appears as the Switch series of fig2)");
+}

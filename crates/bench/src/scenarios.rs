@@ -1,0 +1,183 @@
+//! Shared experiment orchestration for the reproduction binaries.
+
+use crate::args::RunArgs;
+use chimera::metrics::{antt, stp};
+use chimera::policy::Policy;
+use chimera::runner::multiprog::{run_fcfs, run_pair, MultiprogConfig};
+use chimera::runner::periodic::{run_periodic, PeriodicConfig, PeriodicResult};
+use chimera::runner::solo::run_solo;
+use gpu_sim::GpuConfig;
+use workloads::{Suite, SuiteOptions};
+
+/// Default horizon for periodic experiments (µs) before `--scale`.
+pub const PERIODIC_HORIZON_US: f64 = 16_000.0;
+
+/// Results of running every benchmark under a set of policies.
+#[derive(Debug)]
+pub struct PeriodicMatrix {
+    /// Policy lineup, in column order.
+    pub policies: Vec<Policy>,
+    /// One row per benchmark: `(name, one result per policy)`.
+    pub rows: Vec<(String, Vec<PeriodicResult>)>,
+}
+
+/// Run the §4.1 periodic scenario for every benchmark under each policy.
+pub fn periodic_matrix(
+    suite: &Suite,
+    policies: &[Policy],
+    constraint_us: f64,
+    args: &RunArgs,
+    strict: bool,
+) -> PeriodicMatrix {
+    let cfg = suite.config();
+    let pcfg = PeriodicConfig {
+        constraint_us,
+        horizon_us: PERIODIC_HORIZON_US * args.scale,
+        seed: args.seed,
+        strict_idem: strict,
+        ..PeriodicConfig::paper_default(cfg)
+    };
+    let mut rows = Vec::new();
+    for bench in suite.benchmarks() {
+        eprint!("  {} ...", bench.name());
+        let results: Vec<PeriodicResult> = policies
+            .iter()
+            .map(|&p| run_periodic(cfg, bench, p, &pcfg))
+            .collect();
+        eprintln!(" done");
+        rows.push((bench.name().to_string(), results));
+    }
+    PeriodicMatrix {
+        policies: policies.to_vec(),
+        rows,
+    }
+}
+
+/// Oracle (zero-cost preemption) baselines per benchmark, for throughput
+/// overhead (§4.1 "effective throughput").
+pub fn periodic_oracle(suite: &Suite, args: &RunArgs) -> Vec<(String, PeriodicResult)> {
+    let m = periodic_matrix(suite, &[Policy::Oracle], 15.0, args, false);
+    m.rows
+        .into_iter()
+        .map(|(name, mut rs)| (name, rs.remove(0)))
+        .collect()
+}
+
+/// Metrics of one pairwise multiprogrammed workload under one scheme.
+#[derive(Debug, Clone)]
+pub struct PairMetrics {
+    /// The partner benchmark (LUD is always the first job).
+    pub other: String,
+    /// ANTT of the pair (lower is better).
+    pub antt: f64,
+    /// STP of the pair (higher is better).
+    pub stp: f64,
+    /// SM preemptions performed.
+    pub preemptions: usize,
+}
+
+/// All §4.4 pair results: FCFS baseline plus each policy.
+#[derive(Debug)]
+pub struct MultiprogMatrix {
+    /// Policy lineup (columns after FCFS).
+    pub policies: Vec<Policy>,
+    /// One row per partner benchmark: `(FCFS, per-policy)`.
+    pub rows: Vec<(PairMetrics, Vec<PairMetrics>)>,
+}
+
+/// The suite variant used for §4.4 (smaller grids, fewer LUD iterations) so
+/// the FCFS baseline — which serialises kernels — stays simulable.
+pub fn multiprog_suite(args: &RunArgs) -> Suite {
+    let lud_iters = ((12.0 * args.scale.min(1.0)).round() as u32).max(5);
+    Suite::with_options(
+        GpuConfig::fermi(),
+        SuiteOptions {
+            instrumented: true,
+            grid_scale: 0.5 * args.scale.min(1.0),
+            lud_iterations: lud_iters,
+        },
+    )
+}
+
+/// Run the §4.4 case study: LUD paired with every other benchmark, under
+/// FCFS and each policy, with solo baselines for ANTT/STP.
+pub fn multiprog_matrix(suite: &Suite, policies: &[Policy], args: &RunArgs) -> MultiprogMatrix {
+    let cfg = suite.config();
+    let mcfg = MultiprogConfig {
+        budget_insts: (2_000_000.0 * args.scale) as u64,
+        constraint_us: 30.0,
+        horizon_us: 2_000_000.0,
+        seed: args.seed,
+        ..MultiprogConfig::paper_default()
+    };
+    let solo_horizon = cfg.us_to_cycles(200_000.0);
+    let lud = suite.benchmark("LUD").expect("suite contains LUD");
+    let lud_solo = run_solo(cfg, lud, Some(mcfg.budget_insts), solo_horizon, args.seed);
+    let mut rows = Vec::new();
+    for other in suite.benchmarks() {
+        if other.name() == "LUD" {
+            continue;
+        }
+        eprint!("  LUD/{} ...", other.name());
+        let other_solo = run_solo(cfg, other, Some(mcfg.budget_insts), solo_horizon, args.seed);
+        let singles = [lud_solo.cycles as f64, other_solo.cycles as f64];
+        let metrics = |out: &chimera::runner::multiprog::PairOutcome| {
+            let multis = [
+                out.jobs[0]
+                    .t_multi
+                    .unwrap_or(cfg.us_to_cycles(mcfg.horizon_us)) as f64,
+                out.jobs[1]
+                    .t_multi
+                    .unwrap_or(cfg.us_to_cycles(mcfg.horizon_us)) as f64,
+            ];
+            let pairs = [(multis[0], singles[0]), (multis[1], singles[1])];
+            PairMetrics {
+                other: other.name().to_string(),
+                antt: antt(&pairs),
+                stp: stp(&pairs),
+                preemptions: out.preemptions,
+            }
+        };
+        let fcfs = metrics(&run_fcfs(cfg, lud, other, &mcfg));
+        let per_policy: Vec<PairMetrics> = policies
+            .iter()
+            .map(|&p| metrics(&run_pair(cfg, lud, other, p, &mcfg)))
+            .collect();
+        eprintln!(" done");
+        rows.push((fcfs, per_policy));
+    }
+    MultiprogMatrix {
+        policies: policies.to_vec(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_matrix_shape() {
+        let suite = Suite::standard();
+        let args = RunArgs {
+            scale: 0.08,
+            seed: 42,
+        };
+        // Two benchmarks only would be nicer, but the matrix API runs the
+        // full suite; a very small scale keeps this test quick.
+        let m = periodic_matrix(&suite, &[Policy::Drain], 15.0, &args, false);
+        assert_eq!(m.rows.len(), 14);
+        assert!(m.rows.iter().all(|(_, r)| r.len() == 1));
+    }
+
+    #[test]
+    fn multiprog_suite_shrinks_lud() {
+        let args = RunArgs {
+            scale: 0.5,
+            seed: 42,
+        };
+        let s = multiprog_suite(&args);
+        let lud = s.benchmark("LUD").unwrap();
+        assert!(lud.launches().len() < 40);
+    }
+}

@@ -1,0 +1,442 @@
+//! Cost estimation (§3.2) and the closed-form estimators of §2.4.
+//!
+//! Chimera compares techniques in common units: **cycles** for preemption
+//! latency and **warp instructions** for throughput overhead. The online
+//! model consumes two per-kernel statistics gathered in hardware — average
+//! instructions per completed block and average cycles-per-instruction — plus
+//! the per-block progress counters of the SM snapshot.
+
+use gpu_sim::{GpuConfig, KernelStats, Technique};
+use std::collections::HashMap;
+
+/// Sentinel cost used when statistics are missing: "conservatively use the
+/// maximum value as the estimated cost to avoid selecting affected
+/// techniques" (§3.2). Kept far from `u64::MAX` so sums cannot overflow.
+pub const MAX_COST: u64 = u64::MAX / 1024;
+
+/// Online observations about one kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct KernelObs {
+    /// Average warp instructions per completed block.
+    pub avg_tb_insts: Option<f64>,
+    /// Average cycles-per-instruction of a completed block (at occupancy).
+    pub avg_tb_cpi: Option<f64>,
+    /// Standard deviation of per-block instructions (0 when unknown).
+    ///
+    /// Used as headroom in the drain-latency estimate: the paper observes
+    /// that its rare deadline misses come from drain-latency misestimation
+    /// and that they "can be avoided by providing a headroom" (§4.1); an
+    /// `avg + 2σ` upper bound is that headroom, derived from the measured
+    /// block-length variance.
+    pub std_tb_insts: f64,
+    /// Largest per-block instruction count observed (0 when unknown).
+    pub max_tb_insts: u64,
+}
+
+impl KernelObs {
+    /// Extract observations from engine statistics (no variance available).
+    pub fn from_stats(stats: &KernelStats) -> Self {
+        KernelObs {
+            avg_tb_insts: stats.avg_tb_insts(),
+            avg_tb_cpi: stats.avg_tb_cpi(),
+            std_tb_insts: 0.0,
+            max_tb_insts: 0,
+        }
+    }
+}
+
+/// Accumulates per-kernel observations across kernel instances (relaunches
+/// and benchmark restarts), keyed by kernel name — the hardware's statistics
+/// registers survive re-launches of the same kernel code.
+#[derive(Debug, Clone, Default)]
+pub struct ObsBank {
+    acc: HashMap<String, Acc>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Acc {
+    insts: u64,
+    insts_sq: f64,
+    cycles: u64,
+    blocks: u32,
+    max_insts: u64,
+}
+
+impl ObsBank {
+    /// An empty bank.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one completed block of kernel `name`.
+    pub fn record_tb(&mut self, name: &str, insts: u64, cycles: u64) {
+        let e = self.acc.entry(name.to_string()).or_default();
+        e.insts += insts;
+        e.insts_sq += (insts as f64) * (insts as f64);
+        e.cycles += cycles;
+        e.blocks += 1;
+        e.max_insts = e.max_insts.max(insts);
+    }
+
+    /// Current observations for kernel `name`.
+    pub fn obs(&self, name: &str) -> KernelObs {
+        match self.acc.get(name) {
+            Some(a) if a.blocks > 0 && a.insts > 0 => {
+                let n = f64::from(a.blocks);
+                let mean = a.insts as f64 / n;
+                let var = (a.insts_sq / n - mean * mean).max(0.0);
+                KernelObs {
+                    avg_tb_insts: Some(mean),
+                    avg_tb_cpi: Some(a.cycles as f64 / a.insts as f64),
+                    std_tb_insts: var.sqrt(),
+                    max_tb_insts: a.max_insts,
+                }
+            }
+            _ => KernelObs::default(),
+        }
+    }
+
+    /// Number of blocks observed for `name`.
+    pub fn samples(&self, name: &str) -> u32 {
+        self.acc.get(name).map_or(0, |e| e.blocks)
+    }
+}
+
+/// Estimated cost of preempting one block with one technique.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TbCost {
+    /// The technique.
+    pub technique: Technique,
+    /// Estimated preemption latency, cycles.
+    pub latency_cycles: u64,
+    /// Estimated throughput overhead, warp instructions.
+    pub overhead_insts: u64,
+}
+
+/// Per-block progress inputs to the estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TbProgress {
+    /// Warp instructions the block has executed.
+    pub executed_insts: u64,
+    /// Whether the block may be flushed (idempotent-now, and — in strict
+    /// mode — the kernel itself idempotent).
+    pub flushable: bool,
+}
+
+/// The §3.2 cost model for one kernel on one SM.
+///
+/// ```
+/// use chimera::cost::{CostModel, KernelObs, TbProgress};
+/// use gpu_sim::{GpuConfig, Technique};
+///
+/// let cfg = GpuConfig::fermi();
+/// let obs = KernelObs {
+///     avg_tb_insts: Some(1000.0),
+///     avg_tb_cpi: Some(16.0),
+///     ..KernelObs::default()
+/// };
+/// let model = CostModel::new(&cfg, 24 * 1024, obs);
+/// // A young block: flushing costs almost nothing.
+/// let costs = model.estimate(
+///     TbProgress { executed_insts: 20, flushable: true },
+///     4,
+///     900,
+/// );
+/// let flush = costs.iter().find(|c| c.technique == Technique::Flush).unwrap();
+/// assert_eq!(flush.latency_cycles, 0);
+/// assert_eq!(flush.overhead_insts, 20);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel<'a> {
+    cfg: &'a GpuConfig,
+    ctx_bytes_per_tb: u64,
+    obs: KernelObs,
+}
+
+impl<'a> CostModel<'a> {
+    /// Create a model for a kernel with the given per-block context size.
+    pub fn new(cfg: &'a GpuConfig, ctx_bytes_per_tb: u64, obs: KernelObs) -> Self {
+        CostModel {
+            cfg,
+            ctx_bytes_per_tb,
+            obs,
+        }
+    }
+
+    /// Context-switch latency for an SM holding `resident` blocks (cycles).
+    ///
+    /// The paper treats this as a per-SM constant: the SM's whole context
+    /// moved through its share of memory bandwidth.
+    pub fn switch_latency_cycles(&self, resident: usize) -> u64 {
+        self.cfg
+            .sm_transfer_cycles(self.ctx_bytes_per_tb * resident.max(1) as u64)
+    }
+
+    /// Estimate costs of every applicable technique for one block.
+    ///
+    /// `resident` is the number of blocks on the SM; `max_executed` is the
+    /// largest executed-instruction count among them (for the drain-skew
+    /// overhead estimate).
+    pub fn estimate(&self, tb: TbProgress, resident: usize, max_executed: u64) -> Vec<TbCost> {
+        let mut out = Vec::with_capacity(3);
+        // Context switch: latency = constant save time; overhead = 2x the
+        // latency of lost issue at the kernel's per-SM IPC.
+        let sw_lat = self.switch_latency_cycles(resident);
+        let ipc = match self.obs.avg_tb_cpi {
+            Some(cpi) if cpi > 0.0 => resident as f64 / cpi,
+            // Without statistics, assume peak issue (pessimistic overhead).
+            _ => 1.0 / self.cfg.issue_interval() as f64,
+        };
+        out.push(TbCost {
+            technique: Technique::Switch,
+            latency_cycles: sw_lat,
+            overhead_insts: (2.0 * sw_lat as f64 * ipc) as u64,
+        });
+        // Drain: remaining instructions x CPI. Instructions are used instead
+        // of raw cycles because their variance is lower (§3.2); missing
+        // statistics degrade to the conservative maximum.
+        match (self.obs.avg_tb_insts, self.obs.avg_tb_cpi) {
+            (Some(avg_insts), Some(cpi)) => {
+                // Upper-bound the block length by max(avg + 2 sigma, observed
+                // max): the headroom the paper recommends against drain
+                // misestimation (§4.1). A block that has already *exceeded*
+                // the bound is a straggler whose remaining time cannot be
+                // estimated — per §3.2, unestimable costs become maximal.
+                let bound =
+                    (avg_insts + 2.0 * self.obs.std_tb_insts).max(self.obs.max_tb_insts as f64);
+                if tb.executed_insts as f64 >= bound {
+                    out.push(TbCost {
+                        technique: Technique::Drain,
+                        latency_cycles: MAX_COST,
+                        overhead_insts: max_executed.saturating_sub(tb.executed_insts),
+                    });
+                } else {
+                    let remaining = bound - tb.executed_insts as f64;
+                    out.push(TbCost {
+                        technique: Technique::Drain,
+                        latency_cycles: (remaining * cpi) as u64,
+                        overhead_insts: max_executed.saturating_sub(tb.executed_insts),
+                    });
+                }
+            }
+            _ => out.push(TbCost {
+                technique: Technique::Drain,
+                latency_cycles: MAX_COST,
+                overhead_insts: MAX_COST,
+            }),
+        }
+        // Flush: zero latency, all executed work discarded. Only available
+        // while the block is idempotent.
+        if tb.flushable {
+            out.push(TbCost {
+                technique: Technique::Flush,
+                latency_cycles: 0,
+                overhead_insts: tb.executed_insts,
+            });
+        }
+        out
+    }
+}
+
+/// Closed-form estimators behind Figures 2 and 3 (§2.4).
+///
+/// These treat a kernel analytically: blocks in sync, a uniformly random
+/// preemption point, and overheads expressed as `lost / (lost + useful)`.
+pub mod analytic {
+    use gpu_sim::GpuConfig;
+
+    /// Estimated context-switch preemption latency, µs (Figure 2 "Switch").
+    pub fn switch_latency_us(cfg: &GpuConfig, ctx_bytes_per_tb: u64, tbs_per_sm: u32) -> f64 {
+        cfg.cycles_to_us(cfg.sm_transfer_cycles(ctx_bytes_per_tb * u64::from(tbs_per_sm)))
+    }
+
+    /// Estimated drain preemption latency, µs (Figure 2 "Drain"): the worst
+    /// case of a preemption arriving just after blocks started.
+    pub fn drain_latency_us(drain_time_us: f64) -> f64 {
+        drain_time_us
+    }
+
+    /// Estimated flush preemption latency, µs (Figure 2 "Flush").
+    pub fn flush_latency_us() -> f64 {
+        0.0
+    }
+
+    /// Estimated context-switch throughput overhead, % (Figure 3 "Switch"):
+    /// `2L / (2L + D)` — both saving and restoring stall the SM.
+    pub fn switch_overhead_pct(switch_latency_us: f64, drain_time_us: f64) -> f64 {
+        let lost = 2.0 * switch_latency_us;
+        100.0 * lost / (lost + drain_time_us)
+    }
+
+    /// Estimated drain throughput overhead, % (Figure 3 "Drain"): zero under
+    /// the blocks-in-sync assumption.
+    pub fn drain_overhead_pct() -> f64 {
+        0.0
+    }
+
+    /// Estimated flush throughput overhead, % (Figure 3 "Flush"):
+    /// for a uniform preemption point `p`, the wasted fraction is
+    /// `E[p/(1+p)] = 1 − ln 2 ≈ 30.7 %`, independent of the kernel.
+    pub fn flush_overhead_pct() -> f64 {
+        100.0 * (1.0 - std::f64::consts::LN_2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::GpuConfig;
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::fermi()
+    }
+
+    fn obs(insts: f64, cpi: f64) -> KernelObs {
+        KernelObs {
+            avg_tb_insts: Some(insts),
+            avg_tb_cpi: Some(cpi),
+            ..KernelObs::default()
+        }
+    }
+
+    #[test]
+    fn switch_latency_matches_table2_blackscholes() {
+        let c = cfg();
+        let m = CostModel::new(&c, 24 * 1024, KernelObs::default());
+        let us = c.cycles_to_us(m.switch_latency_cycles(4));
+        assert!((us - 16.6).abs() < 1.0, "{us}");
+    }
+
+    #[test]
+    fn drain_latency_shrinks_with_progress() {
+        let c = cfg();
+        let m = CostModel::new(&c, 1024, obs(1000.0, 16.0));
+        let early = m
+            .estimate(
+                TbProgress {
+                    executed_insts: 100,
+                    flushable: true,
+                },
+                4,
+                100,
+            )
+            .iter()
+            .find(|t| t.technique == Technique::Drain)
+            .unwrap()
+            .latency_cycles;
+        let late = m
+            .estimate(
+                TbProgress {
+                    executed_insts: 900,
+                    flushable: true,
+                },
+                4,
+                900,
+            )
+            .iter()
+            .find(|t| t.technique == Technique::Drain)
+            .unwrap()
+            .latency_cycles;
+        assert!(late < early);
+        assert_eq!(early, (900.0 * 16.0) as u64);
+    }
+
+    #[test]
+    fn flush_overhead_grows_with_progress_and_vanishes_when_unflushable() {
+        let c = cfg();
+        let m = CostModel::new(&c, 1024, obs(1000.0, 16.0));
+        let costs = m.estimate(
+            TbProgress {
+                executed_insts: 600,
+                flushable: true,
+            },
+            4,
+            800,
+        );
+        let flush = costs
+            .iter()
+            .find(|t| t.technique == Technique::Flush)
+            .unwrap();
+        assert_eq!(flush.latency_cycles, 0);
+        assert_eq!(flush.overhead_insts, 600);
+        let costs = m.estimate(
+            TbProgress {
+                executed_insts: 600,
+                flushable: false,
+            },
+            4,
+            800,
+        );
+        assert!(costs.iter().all(|t| t.technique != Technique::Flush));
+    }
+
+    #[test]
+    fn missing_stats_make_drain_maximal_but_switch_usable() {
+        let c = cfg();
+        let m = CostModel::new(&c, 24 * 1024, KernelObs::default());
+        let costs = m.estimate(
+            TbProgress {
+                executed_insts: 5,
+                flushable: true,
+            },
+            4,
+            5,
+        );
+        let drain = costs
+            .iter()
+            .find(|t| t.technique == Technique::Drain)
+            .unwrap();
+        assert_eq!(drain.latency_cycles, MAX_COST);
+        let switch = costs
+            .iter()
+            .find(|t| t.technique == Technique::Switch)
+            .unwrap();
+        assert!(switch.latency_cycles < MAX_COST);
+        assert!(switch.overhead_insts > 0);
+    }
+
+    #[test]
+    fn drain_skew_overhead_uses_max_executed() {
+        let c = cfg();
+        let m = CostModel::new(&c, 1024, obs(1000.0, 16.0));
+        let costs = m.estimate(
+            TbProgress {
+                executed_insts: 300,
+                flushable: true,
+            },
+            4,
+            750,
+        );
+        let drain = costs
+            .iter()
+            .find(|t| t.technique == Technique::Drain)
+            .unwrap();
+        assert_eq!(drain.overhead_insts, 450);
+    }
+
+    #[test]
+    fn obs_bank_accumulates_across_instances() {
+        let mut bank = ObsBank::new();
+        assert_eq!(bank.obs("k").avg_tb_insts, None);
+        bank.record_tb("k", 1000, 16_000);
+        bank.record_tb("k", 2000, 24_000);
+        let o = bank.obs("k");
+        assert_eq!(o.avg_tb_insts, Some(1500.0));
+        assert!((o.avg_tb_cpi.unwrap() - 40_000.0 / 3000.0).abs() < 1e-9);
+        assert_eq!(bank.samples("k"), 2);
+        assert_eq!(bank.samples("other"), 0);
+    }
+
+    #[test]
+    fn analytic_flush_overhead_is_one_minus_ln2() {
+        assert!((analytic::flush_overhead_pct() - 30.685).abs() < 0.01);
+    }
+
+    #[test]
+    fn analytic_switch_overhead_caps_naturally_below_100() {
+        let o = analytic::switch_overhead_pct(15.9, 3.5); // BT.0
+        assert!(o > 85.0 && o < 100.0, "{o}");
+        let o = analytic::switch_overhead_pct(10.4, 746.9); // CP
+        assert!(o < 5.0, "{o}");
+    }
+}

@@ -1,0 +1,61 @@
+//! # chimera — collaborative preemption for a shared GPU
+//!
+//! A from-scratch reproduction of *Chimera: Collaborative Preemption for
+//! Multitasking on a Shared GPU* (ASPLOS 2015). Chimera preempts a GPU with a
+//! **required preemption latency** and **minimal throughput overhead** by
+//! choosing, per streaming multiprocessor and per thread block, among three
+//! techniques with complementary trade-offs:
+//!
+//! | technique | latency | throughput cost |
+//! |---|---|---|
+//! | context switch | mid-range, ~constant | 2 × switch time of lost issue |
+//! | drain | remaining block time (can be huge) | ~none (skew only) |
+//! | flush | ≈ 0 (idempotent blocks only) | all executed work discarded |
+//!
+//! The crate layers policy on top of the `gpu-sim` substrate:
+//!
+//! * [`cost`] — §3.2's online cost estimation (instruction/cycle statistics →
+//!   latency and overhead estimates in common units), plus the closed-form
+//!   §2.4 estimators behind Figures 2–3;
+//! * [`select`] — Algorithm 1: pick a technique per block and a subset of SMs
+//!   under a latency limit, minimising estimated throughput overhead;
+//! * [`policy`] — the preemption policies compared in the paper (pure
+//!   switch / drain / flush, Chimera, and the measurement-only oracle);
+//! * [`runner`] — the experiment drivers: periodic hard-deadline multitasking
+//!   (§4.1–4.3) and pairwise multiprogrammed workloads with an FCFS baseline
+//!   (§4.4);
+//! * [`metrics`] — ANTT and STP (Eyerman & Eeckhout) and violation-rate
+//!   accounting.
+//!
+//! ## Quick example: a periodic real-time task preempting a GPGPU benchmark
+//!
+//! ```
+//! use chimera::policy::Policy;
+//! use chimera::runner::periodic::{run_periodic, PeriodicConfig};
+//! use workloads::Suite;
+//!
+//! let suite = Suite::standard();
+//! let bench = suite.benchmark("LUD").expect("suite contains LUD");
+//! let mut cfg = PeriodicConfig::paper_default(suite.config());
+//! cfg.horizon_us = 3_000.0; // keep the doctest fast
+//! let result = run_periodic(suite.config(), bench, Policy::chimera_us(15.0), &cfg);
+//! assert!(result.requests >= 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cost;
+pub mod metrics;
+pub mod partition;
+pub mod policy;
+pub mod runner;
+pub mod scheduler;
+pub mod select;
+
+pub use cost::{CostModel, KernelObs, ObsBank, TbCost};
+pub use metrics::{antt, geomean, stp};
+pub use partition::PartitionPolicy;
+pub use policy::Policy;
+pub use scheduler::{GpuScheduler, ProcId, SchedEvent};
+pub use select::{select_preemptions, PlanForSm, SelectionRequest};

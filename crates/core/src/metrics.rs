@@ -1,0 +1,108 @@
+//! Multiprogram performance metrics (Eyerman & Eeckhout) and helpers.
+
+/// Average normalized turnaround time (lower is better):
+/// `ANTT = (1/N) Σ T_multi_i / T_single_i`.
+///
+/// `pairs` holds `(T_multi, T_single)` per job, in any time unit.
+///
+/// ```
+/// // Two jobs, each slowed 2x by sharing: ANTT = 2, STP = 1.
+/// let pairs = [(20.0, 10.0), (8.0, 4.0)];
+/// assert_eq!(chimera::metrics::antt(&pairs), 2.0);
+/// assert_eq!(chimera::metrics::stp(&pairs), 1.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `pairs` is empty or any `T_single` is zero.
+pub fn antt(pairs: &[(f64, f64)]) -> f64 {
+    assert!(!pairs.is_empty(), "ANTT needs at least one job");
+    let sum: f64 = pairs
+        .iter()
+        .map(|&(multi, single)| {
+            assert!(single > 0.0, "solo turnaround must be positive");
+            multi / single
+        })
+        .sum();
+    sum / pairs.len() as f64
+}
+
+/// System throughput (higher is better):
+/// `STP = Σ T_single_i / T_multi_i`.
+///
+/// # Panics
+///
+/// Panics if `pairs` is empty or any `T_multi` is zero.
+pub fn stp(pairs: &[(f64, f64)]) -> f64 {
+    assert!(!pairs.is_empty(), "STP needs at least one job");
+    pairs
+        .iter()
+        .map(|&(multi, single)| {
+            assert!(multi > 0.0, "multi turnaround must be positive");
+            single / multi
+        })
+        .sum()
+}
+
+/// Geometric mean of positive values.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or contains a non-positive value.
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geomean needs at least one value");
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geomean needs positive values");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn antt_of_unslowed_jobs_is_one() {
+        assert!((antt(&[(10.0, 10.0), (5.0, 5.0)]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn antt_averages_slowdowns() {
+        // Slowdowns 2x and 4x -> ANTT 3.
+        assert!((antt(&[(20.0, 10.0), (20.0, 5.0)]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stp_of_perfect_sharing_is_n() {
+        // Two jobs each running as fast as solo: STP = 2.
+        assert!((stp(&[(10.0, 10.0), (5.0, 5.0)]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stp_of_serialized_jobs_approaches_one() {
+        // Each job takes twice its solo time: STP = 1.
+        assert!((stp(&[(20.0, 10.0), (10.0, 5.0)]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        let _ = geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn antt_rejects_empty() {
+        let _ = antt(&[]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Preemption policies compared in the paper's evaluation.
+
+use gpu_sim::GpuConfig;
+use std::fmt;
+
+/// How preemption requests are served.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Policy {
+    /// Context-switch every block of every selected SM.
+    Switch,
+    /// Stop dispatching and let every selected SM drain.
+    Drain,
+    /// Reset an SM the moment all of its resident blocks are idempotent
+    /// (all-or-nothing, since flushing is an SM-wide reset); keep running —
+    /// and keep dispatching — until that moment arrives.
+    Flush,
+    /// Chimera: Algorithm 1 with the given latency limit (µs).
+    Chimera {
+        /// Preemption latency constraint, µs.
+        limit_us: f64,
+    },
+    /// Measurement-only oracle: instant, cost-free context moves. Used as the
+    /// fair baseline when computing throughput overhead (§4.1).
+    Oracle,
+}
+
+impl Policy {
+    /// Chimera with a latency limit in microseconds.
+    pub fn chimera_us(limit_us: f64) -> Self {
+        Policy::Chimera { limit_us }
+    }
+
+    /// The policies of Figures 6, 7, 10 and 11, in the paper's order, with
+    /// Chimera at the given constraint.
+    pub fn paper_lineup(chimera_limit_us: f64) -> [Policy; 4] {
+        [
+            Policy::Switch,
+            Policy::Drain,
+            Policy::Flush,
+            Policy::chimera_us(chimera_limit_us),
+        ]
+    }
+
+    /// The Chimera latency limit in cycles, if this is the Chimera policy.
+    pub fn chimera_limit_cycles(&self, cfg: &GpuConfig) -> Option<u64> {
+        match self {
+            Policy::Chimera { limit_us } => Some(cfg.us_to_cycles(*limit_us)),
+            _ => None,
+        }
+    }
+
+    /// Whether this policy preserves progress with zero cost (oracle).
+    pub fn is_oracle(&self) -> bool {
+        matches!(self, Policy::Oracle)
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Policy::Switch => f.write_str("Switch"),
+            Policy::Drain => f.write_str("Drain"),
+            Policy::Flush => f.write_str("Flush"),
+            Policy::Chimera { limit_us } => write!(f, "Chimera({limit_us}us)"),
+            Policy::Oracle => f.write_str("Oracle"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineup_order_matches_figures() {
+        let l = Policy::paper_lineup(15.0);
+        assert_eq!(l[0], Policy::Switch);
+        assert_eq!(l[1], Policy::Drain);
+        assert_eq!(l[2], Policy::Flush);
+        assert_eq!(l[3], Policy::Chimera { limit_us: 15.0 });
+    }
+
+    #[test]
+    fn chimera_limit_conversion() {
+        let cfg = GpuConfig::fermi();
+        assert_eq!(
+            Policy::chimera_us(15.0).chimera_limit_cycles(&cfg),
+            Some(21_000)
+        );
+        assert_eq!(Policy::Drain.chimera_limit_cycles(&cfg), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Policy::Switch.to_string(), "Switch");
+        assert_eq!(Policy::chimera_us(5.0).to_string(), "Chimera(5us)");
+        assert!(Policy::Oracle.is_oracle());
+    }
+}

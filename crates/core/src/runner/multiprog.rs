@@ -1,0 +1,449 @@
+//! Pairwise multiprogrammed workloads with spatial partitioning (§4.4), plus
+//! the non-preemptive FCFS baseline.
+//!
+//! Two benchmarks share the GPU. The SM partitioning policy is the paper's
+//! Smart-Even/Rounds mix: SMs are split evenly except when a kernel is
+//! *size-bound* (its remaining blocks cannot fill its share). Every kernel
+//! launch/finish changes demand and triggers a repartition, which generates
+//! preemption requests served by the configured policy — LUD's launch churn
+//! is what makes these workloads preemption-heavy.
+
+use crate::cost::ObsBank;
+use crate::partition::PartitionPolicy;
+use crate::policy::Policy;
+use crate::runner::Job;
+use crate::select::{select_preemptions, SelectionRequest};
+use gpu_sim::{Engine, Event, GpuConfig, SmPreemptPlan, Technique};
+use std::collections::HashMap;
+use workloads::Benchmark;
+
+/// Configuration of a multiprogrammed run.
+#[derive(Debug, Clone)]
+pub struct MultiprogConfig {
+    /// Measurement budget per benchmark, useful warp instructions
+    /// (the paper's 1-billion-instruction cap, scaled).
+    pub budget_insts: u64,
+    /// Chimera's latency constraint, µs (30 µs in §4.4 — the maximum
+    /// possible context-switch latency of the configuration).
+    pub constraint_us: f64,
+    /// Failsafe horizon, µs.
+    pub horizon_us: f64,
+    /// Determinism seed.
+    pub seed: u64,
+    /// SM partitioning policy (the paper's evaluation uses
+    /// [`PartitionPolicy::SmartEven`]).
+    pub partition: PartitionPolicy,
+}
+
+impl MultiprogConfig {
+    /// Defaults scaled for laptop runs.
+    pub fn paper_default() -> Self {
+        MultiprogConfig {
+            budget_insts: 3_000_000,
+            constraint_us: 30.0,
+            horizon_us: 400_000.0,
+            seed: 42,
+            partition: PartitionPolicy::SmartEven,
+        }
+    }
+}
+
+/// Outcome for one job of a pair run.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Benchmark name.
+    pub name: String,
+    /// Cycles to reach the measurement target under contention.
+    pub t_multi: Option<u64>,
+    /// Useful instructions at measurement.
+    pub insts: u64,
+}
+
+/// Outcome of a pair run.
+#[derive(Debug, Clone)]
+pub struct PairOutcome {
+    /// Per-job outcomes, in input order.
+    pub jobs: [JobOutcome; 2],
+    /// Number of SM preemptions performed.
+    pub preemptions: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InFlight {
+    Preempting,
+    FlushWait { src: usize },
+}
+
+/// Run two benchmarks concurrently under `policy`.
+pub fn run_pair(
+    cfg: &GpuConfig,
+    a: &Benchmark,
+    b: &Benchmark,
+    policy: Policy,
+    mcfg: &MultiprogConfig,
+) -> PairOutcome {
+    let mut engine = Engine::with_seed(cfg.clone(), mcfg.seed);
+    engine.set_break_on_kernel_finish(true);
+    if policy.is_oracle() {
+        engine.set_free_context_moves(true);
+    }
+    let mut jobs = [
+        Job::new(a.clone(), Some(mcfg.budget_insts)),
+        Job::new(b.clone(), Some(mcfg.budget_insts)),
+    ];
+    let mut obs = ObsBank::new();
+    // Initial even ownership.
+    let half = cfg.num_sms / 2;
+    let mut owner: Vec<usize> = (0..cfg.num_sms).map(|sm| usize::from(sm >= half)).collect();
+    let mut in_flight: HashMap<usize, InFlight> = HashMap::new();
+    for j in jobs.iter_mut() {
+        j.ensure_running(&mut engine);
+    }
+    let horizon = cfg.us_to_cycles(mcfg.horizon_us);
+    let tick = cfg.us_to_cycles(10.0);
+    let poll = cfg.us_to_cycles(0.5).max(1);
+
+    while engine.cycle() < horizon {
+        let step = if in_flight
+            .values()
+            .any(|f| matches!(f, InFlight::FlushWait { .. }))
+        {
+            poll
+        } else {
+            tick
+        };
+        let events = engine.run_until(engine.cycle() + step);
+        for ev in events {
+            match ev {
+                Event::TbCompleted {
+                    kernel,
+                    insts,
+                    cycles,
+                    ..
+                } => {
+                    let name = super::periodic_name(&engine.kernel_stats(kernel).name);
+                    obs.record_tb(&name, insts, cycles);
+                }
+                Event::PreemptionCompleted { sm, .. }
+                    if in_flight.get(&sm) == Some(&InFlight::Preempting) =>
+                {
+                    in_flight.remove(&sm);
+                }
+                _ => {}
+            }
+        }
+        // Flush-wait polling.
+        let waiting: Vec<usize> = in_flight
+            .iter()
+            .filter(|(_, f)| matches!(f, InFlight::FlushWait { .. }))
+            .map(|(&sm, _)| sm)
+            .collect();
+        for sm in waiting {
+            if super::periodic_try_flush(&mut engine, sm) {
+                in_flight.remove(&sm);
+            }
+        }
+        // Advance launches.
+        for j in jobs.iter_mut() {
+            j.ensure_running(&mut engine);
+        }
+        // Repartition on demand.
+        rebalance(
+            &mut engine,
+            cfg,
+            &jobs,
+            &mut owner,
+            &mut in_flight,
+            policy,
+            mcfg,
+            &obs,
+        );
+        // Assignment pass.
+        for sm in 0..cfg.num_sms {
+            match in_flight.get(&sm) {
+                Some(InFlight::Preempting) => {}
+                Some(&InFlight::FlushWait { src }) => {
+                    let k = jobs[src].current();
+                    if engine.sm_assigned(sm) != k && !engine.sm_is_preempting(sm) {
+                        engine.assign_sm(sm, k);
+                    }
+                }
+                None => {
+                    if !engine.sm_is_preempting(sm) {
+                        let k = jobs[owner[sm]].current();
+                        if engine.sm_assigned(sm) != k {
+                            engine.assign_sm(sm, k);
+                        }
+                    }
+                }
+            }
+        }
+        let done0 = jobs[0].check_measured(&engine);
+        let done1 = jobs[1].check_measured(&engine);
+        if done0 && done1 {
+            break;
+        }
+    }
+    let preemptions = engine.preempt_records().len();
+    let out = |j: &Job, engine: &Engine| JobOutcome {
+        name: j.name().to_string(),
+        t_multi: j.measured_at(),
+        insts: j.useful_insts(engine),
+    };
+    PairOutcome {
+        jobs: [out(&jobs[0], &engine), out(&jobs[1], &engine)],
+        preemptions,
+    }
+}
+
+/// Demand in SMs of a job's current kernel (size-bound adjustment).
+fn demand(engine: &Engine, job: &Job) -> usize {
+    match job.current() {
+        None => 0,
+        Some(k) => {
+            let stats = engine.kernel_stats(k);
+            if stats.finished {
+                return 0;
+            }
+            let unfinished = u64::from(stats.grid_blocks - stats.completed_tbs);
+            let occ = u64::from(engine.kernel_occupancy(k)).max(1);
+            unfinished.div_ceil(occ) as usize
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rebalance(
+    engine: &mut Engine,
+    cfg: &GpuConfig,
+    jobs: &[Job; 2],
+    owner: &mut [usize],
+    in_flight: &mut HashMap<usize, InFlight>,
+    policy: Policy,
+    mcfg: &MultiprogConfig,
+    obs: &ObsBank,
+) {
+    let total = cfg.num_sms;
+    let d = [demand(engine, &jobs[0]), demand(engine, &jobs[1])];
+    let desired = mcfg.partition.shares(total, &d);
+    let counts = [
+        owner.iter().filter(|&&o| o == 0).count(),
+        owner.iter().filter(|&&o| o == 1).count(),
+    ];
+    // Move SMs from the over-provisioned job to the under-provisioned one.
+    let (src, dst) = if counts[0] > desired[0] && counts[1] < desired[1] {
+        (0usize, 1usize)
+    } else if counts[1] > desired[1] && counts[0] < desired[0] {
+        (1, 0)
+    } else {
+        return;
+    };
+    let n = (counts[src] - desired[src]).min(desired[dst] - counts[dst]);
+    if n == 0 {
+        return;
+    }
+    // Candidates owned by src and not already moving.
+    let mut cands: Vec<usize> = (0..total)
+        .filter(|sm| {
+            owner[*sm] == src && !in_flight.contains_key(sm) && !engine.sm_is_preempting(*sm)
+        })
+        .collect();
+    cands.sort_by_key(|&sm| (engine.sm_resident_count(sm), sm));
+    let mut moved = 0usize;
+    let mut occupied: Vec<usize> = Vec::new();
+    for sm in cands {
+        if moved >= n {
+            break;
+        }
+        if engine.sm_resident_count(sm) == 0 {
+            owner[sm] = dst;
+            moved += 1;
+        } else {
+            occupied.push(sm);
+        }
+    }
+    let remaining = n - moved;
+    if remaining == 0 || occupied.is_empty() {
+        return;
+    }
+    match policy {
+        Policy::Switch | Policy::Drain | Policy::Oracle => {
+            let tech = if policy == Policy::Drain {
+                Technique::Drain
+            } else {
+                Technique::Switch
+            };
+            for &sm in occupied.iter().take(remaining) {
+                let plan = SmPreemptPlan::uniform(engine.sm_resident_indices(sm), tech);
+                match engine.preempt_sm(sm, &plan) {
+                    Ok(true) | Err(_) => {
+                        owner[sm] = dst;
+                    }
+                    Ok(false) => {
+                        owner[sm] = dst;
+                        in_flight.insert(sm, InFlight::Preempting);
+                    }
+                }
+            }
+        }
+        Policy::Flush => {
+            for &sm in occupied.iter().take(remaining) {
+                if super::periodic_try_flush(engine, sm) {
+                    owner[sm] = dst;
+                } else {
+                    owner[sm] = dst;
+                    in_flight.insert(sm, InFlight::FlushWait { src });
+                }
+            }
+        }
+        Policy::Chimera { limit_us } => {
+            let Some(kid) = jobs[src].current() else {
+                return;
+            };
+            let desc = engine.kernel_desc(kid);
+            let name = super::periodic_name(desc.name());
+            let req = SelectionRequest {
+                limit_cycles: cfg.us_to_cycles(limit_us),
+                num_preempts: remaining,
+                ctx_bytes_per_tb: desc.block_context_bytes(),
+                obs: obs.obs(&name),
+                flush_allowed: true,
+            };
+            let snaps: Vec<_> = occupied.iter().map(|&sm| engine.sm_snapshot(sm)).collect();
+            for plan in select_preemptions(cfg, &req, &snaps) {
+                match engine.preempt_sm(plan.sm, &plan.plan) {
+                    Ok(true) | Err(_) => {
+                        owner[plan.sm] = dst;
+                    }
+                    Ok(false) => {
+                        owner[plan.sm] = dst;
+                        in_flight.insert(plan.sm, InFlight::Preempting);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Run two benchmarks under non-preemptive FCFS: every kernel launch waits
+/// for the previously launched kernel to finish and then gets the whole GPU.
+pub fn run_fcfs(
+    cfg: &GpuConfig,
+    a: &Benchmark,
+    b: &Benchmark,
+    mcfg: &MultiprogConfig,
+) -> PairOutcome {
+    let mut engine = Engine::with_seed(cfg.clone(), mcfg.seed);
+    engine.set_break_on_kernel_finish(true);
+    let mut jobs = [
+        Job::new(a.clone(), Some(mcfg.budget_insts)),
+        Job::new(b.clone(), Some(mcfg.budget_insts)),
+    ];
+    let horizon = cfg.us_to_cycles(mcfg.horizon_us);
+    let mut queue = std::collections::VecDeque::from([0usize, 1usize]);
+    'outer: while let Some(turn) = queue.pop_front() {
+        jobs[turn].ensure_running(&mut engine);
+        let kid = jobs[turn].current().expect("ensure_running launches");
+        for sm in 0..cfg.num_sms {
+            engine.assign_sm(sm, Some(kid));
+        }
+        // Run this kernel to completion (it owns the whole GPU), checking
+        // the measurement budgets as it runs so `t_multi` is not rounded up
+        // to a kernel boundary.
+        loop {
+            let events = engine.run_for(cfg.us_to_cycles(50.0));
+            jobs[turn].check_measured(&engine);
+            if events
+                .iter()
+                .any(|e| matches!(e, Event::KernelFinished { kernel } if *kernel == kid))
+                || engine.kernel_stats(kid).finished
+            {
+                break;
+            }
+            if engine.cycle() >= horizon {
+                break 'outer;
+            }
+        }
+        let m0 = jobs[0].check_measured(&engine);
+        let m1 = jobs[1].check_measured(&engine);
+        if m0 && m1 {
+            break;
+        }
+        // The job that just ran re-queues its next kernel behind the other's.
+        queue.push_back(turn);
+        // Keep only jobs that still need to run... both always re-queue:
+        // contention persists even after one job is measured (§4.4).
+        if !queue.contains(&(1 - turn)) {
+            queue.push_front(1 - turn);
+        }
+    }
+    let out = |j: &Job, engine: &Engine| JobOutcome {
+        name: j.name().to_string(),
+        t_multi: j.measured_at(),
+        insts: j.useful_insts(engine),
+    };
+    PairOutcome {
+        jobs: [out(&jobs[0], &engine), out(&jobs[1], &engine)],
+        preemptions: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::Suite;
+
+    fn quick() -> MultiprogConfig {
+        MultiprogConfig {
+            budget_insts: 300_000,
+            constraint_us: 30.0,
+            horizon_us: 100_000.0,
+            seed: 42,
+            ..MultiprogConfig::paper_default()
+        }
+    }
+
+    #[test]
+    fn pair_run_measures_both_jobs() {
+        let suite = Suite::standard();
+        let cfg = suite.config();
+        let out = run_pair(
+            cfg,
+            suite.benchmark("LUD").unwrap(),
+            suite.benchmark("SAD").unwrap(),
+            Policy::chimera_us(30.0),
+            &quick(),
+        );
+        assert!(out.jobs[0].t_multi.is_some(), "LUD should be measured");
+        assert!(out.jobs[1].t_multi.is_some(), "SAD should be measured");
+        assert!(
+            out.preemptions > 0,
+            "LUD launch churn must trigger preemptions"
+        );
+    }
+
+    #[test]
+    fn fcfs_serializes_kernels() {
+        let suite = Suite::standard();
+        let cfg = suite.config();
+        let fcfs = run_fcfs(
+            cfg,
+            suite.benchmark("LUD").unwrap(),
+            suite.benchmark("SAD").unwrap(),
+            &quick(),
+        );
+        let pre = run_pair(
+            cfg,
+            suite.benchmark("LUD").unwrap(),
+            suite.benchmark("SAD").unwrap(),
+            Policy::Drain,
+            &quick(),
+        );
+        let f = fcfs.jobs[0].t_multi.expect("LUD measured under FCFS");
+        let p = pre.jobs[0].t_multi.expect("LUD measured under drain");
+        assert!(
+            f > p,
+            "FCFS should slow LUD down vs preemptive sharing: fcfs={f}, drain={p}"
+        );
+    }
+}

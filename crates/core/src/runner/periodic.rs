@@ -1,0 +1,658 @@
+//! The periodic hard-deadline experiment of §4.1–4.3.
+//!
+//! A GPGPU benchmark owns the whole GPU. A synthetic real-time task arrives
+//! every period, needs half of the SMs, executes for a fixed time and is
+//! killed if its deadline — execution time plus the required preemption
+//! latency — would be missed. A preemption request therefore *violates* the
+//! deadline when the SMs are not all handed over within the latency
+//! constraint.
+//!
+//! To keep throughput accounting fair when deadlines are missed (the paper
+//! "ignores the throughput additionally gained" by killed tasks), acquired
+//! SMs are reserved for the task's execution window even when the request was
+//! late — the benchmark never pockets bonus SM-time from violations.
+
+use crate::cost::ObsBank;
+use crate::policy::Policy;
+use crate::select::{select_preemptions, SelectionRequest};
+use gpu_sim::{Engine, Event, GpuConfig, SmPreemptPlan, Technique};
+use std::collections::HashMap;
+use workloads::{Benchmark, RtTask};
+
+/// Configuration for a periodic run.
+#[derive(Debug, Clone)]
+pub struct PeriodicConfig {
+    /// The periodic task.
+    pub task: RtTask,
+    /// Preemption latency constraint, µs (15 µs in Figures 6–7).
+    pub constraint_us: f64,
+    /// Simulated duration, µs.
+    pub horizon_us: f64,
+    /// Determinism seed.
+    pub seed: u64,
+    /// Use the strict idempotence condition for flushing decisions (§4.3).
+    pub strict_idem: bool,
+    /// Re-dispatch preempted blocks before fresh ones (the paper's policy;
+    /// `false` is the ablation in `bench --bin ablation-tb-queue`).
+    pub prefer_preempted: bool,
+    /// Execute the real-time task as an actual kernel on its acquired SMs
+    /// (contending for memory bandwidth) instead of a pure reservation.
+    /// Off by default — the paper isolates the benchmark's throughput and
+    /// neglects the synthetic task's, so a reservation is the faithful
+    /// model; this switch is the fidelity ablation
+    /// (`bench --bin ablation-task-sim`).
+    pub simulate_task: bool,
+}
+
+impl PeriodicConfig {
+    /// The paper's §4.1 setup (15 µs constraint) over a default horizon.
+    pub fn paper_default(cfg: &GpuConfig) -> Self {
+        PeriodicConfig {
+            task: RtTask::paper_default(cfg),
+            constraint_us: 15.0,
+            horizon_us: 24_000.0,
+            seed: 42,
+            strict_idem: false,
+            prefer_preempted: true,
+            simulate_task: false,
+        }
+    }
+}
+
+/// Build the synthetic task's kernel: compute-bound, sized so one wave of
+/// blocks across the task's SMs executes for `exec_us`.
+fn task_kernel(cfg: &GpuConfig, task: &workloads::RtTask) -> gpu_sim::KernelDesc {
+    use gpu_sim::{KernelDesc, Program, Segment};
+    let tbs_per_sm = 8u32;
+    let warps = 4u64;
+    let cycles = cfg.us_to_cycles(task.exec_us);
+    let insts = (cycles / (cfg.issue_interval() * warps * u64::from(tbs_per_sm))).max(8) as u32;
+    KernelDesc::builder("rt-task")
+        .grid_blocks(task.sms_needed as u32 * tbs_per_sm)
+        .threads_per_block(128)
+        .regs_per_thread(16)
+        .program(Program::new(vec![
+            Segment::load((insts / 50).max(1)),
+            Segment::compute(insts - (insts / 50).max(1)),
+        ]))
+        .build()
+        .expect("task kernel is valid")
+}
+
+/// Result of a periodic run.
+#[derive(Debug, Clone)]
+pub struct PeriodicResult {
+    /// Policy that served the preemption requests.
+    pub policy: String,
+    /// Benchmark that was preempted.
+    pub benchmark: String,
+    /// Preemption requests issued.
+    pub requests: u32,
+    /// Requests that missed the latency constraint.
+    pub violations: u32,
+    /// Useful warp instructions the benchmark completed in the horizon.
+    pub useful_insts: u64,
+    /// Per-block technique usage across all SM preemptions.
+    pub technique_counts: HashMap<Technique, u64>,
+    /// Mean hand-over latency of non-violating requests, µs.
+    pub mean_ok_latency_us: f64,
+    /// Per-request log: `(request time µs, hand-over latency µs if all SMs
+    /// were acquired, SMs acquired by the end of the run)`.
+    pub request_log: Vec<(f64, Option<f64>, usize)>,
+    /// Warp instructions the benchmark lost to flush re-execution.
+    pub wasted_flush_insts: u64,
+    /// Blocks context-switched out across the run.
+    pub switch_count: u64,
+    /// Blocks flushed across the run.
+    pub flush_count: u64,
+}
+
+impl PeriodicResult {
+    /// Percentage of requests that violated the constraint.
+    pub fn violation_pct(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            100.0 * f64::from(self.violations) / f64::from(self.requests)
+        }
+    }
+
+    /// Throughput overhead versus an oracle run of the same scenario, %.
+    ///
+    /// Clamped at 0: a policy that misses deadlines keeps SMs longer than the
+    /// task period allows, and the paper's *effective throughput* explicitly
+    /// "ignores the throughput additionally gained" that way (§4.1).
+    pub fn overhead_pct_vs(&self, oracle: &PeriodicResult) -> f64 {
+        if oracle.useful_insts == 0 {
+            return 0.0;
+        }
+        (100.0 * (1.0 - self.useful_insts as f64 / oracle.useful_insts as f64)).max(0.0)
+    }
+}
+
+#[derive(Debug)]
+struct Request {
+    t: u64,
+    needed: usize,
+    acquired: usize,
+    completed_at: Option<u64>,
+    evaluated: bool,
+    task_kid: Option<gpu_sim::KernelId>,
+}
+
+/// Shared mutable run state.
+#[derive(Debug)]
+struct RunState {
+    /// SM → release cycle (reserved by the RT task).
+    reserved: HashMap<usize, u64>,
+    /// SM → request index (engine-level preemption in flight for the task).
+    pending_preempt: HashMap<usize, usize>,
+    /// SM → request index (flush policy waiting for an idempotent moment).
+    flush_wait: HashMap<usize, usize>,
+    /// Task kernel → SMs it occupies (only when `simulate_task` is on).
+    task_sms: HashMap<gpu_sim::KernelId, Vec<usize>>,
+    requests: Vec<Request>,
+    obs: ObsBank,
+}
+
+/// Run the periodic experiment for one benchmark under one policy.
+pub fn run_periodic(
+    cfg: &GpuConfig,
+    bench: &Benchmark,
+    policy: Policy,
+    pcfg: &PeriodicConfig,
+) -> PeriodicResult {
+    let mut engine = Engine::with_seed(cfg.clone(), pcfg.seed);
+    engine.set_break_on_kernel_finish(true);
+    engine.set_prefer_preempted(pcfg.prefer_preempted);
+    if policy.is_oracle() {
+        engine.set_free_context_moves(true);
+    }
+    let mut job = crate::runner::Job::new(bench.clone(), None);
+    job.ensure_running(&mut engine);
+    let mut st = RunState {
+        reserved: HashMap::new(),
+        pending_preempt: HashMap::new(),
+        flush_wait: HashMap::new(),
+        task_sms: HashMap::new(),
+        requests: Vec::new(),
+        obs: ObsBank::new(),
+    };
+    let horizon = cfg.us_to_cycles(pcfg.horizon_us);
+    let period = pcfg.task.period_cycles(cfg);
+    let exec = pcfg.task.exec_cycles(cfg);
+    let constraint = cfg.us_to_cycles(pcfg.constraint_us);
+    let poll = cfg.us_to_cycles(0.5).max(1);
+    let mut next_request = period;
+
+    while engine.cycle() < horizon {
+        // Next interesting time point.
+        let mut t_next = horizon.min(next_request);
+        if let Some(&r) = st.reserved.values().min() {
+            t_next = t_next.min(r);
+        }
+        if !st.flush_wait.is_empty() {
+            t_next = t_next.min(engine.cycle() + poll);
+        }
+        for rq in &st.requests {
+            if !rq.evaluated {
+                t_next = t_next.min(rq.t + constraint);
+            }
+        }
+        let t_next = t_next.max(engine.cycle() + 1);
+        let events = engine.run_until(t_next);
+        let now = engine.cycle();
+        for ev in events {
+            match ev {
+                Event::TbCompleted {
+                    kernel,
+                    insts,
+                    cycles,
+                    ..
+                } => {
+                    let name = base_kernel_name(&engine.kernel_stats(kernel).name);
+                    st.obs.record_tb(&name, insts, cycles);
+                }
+                Event::PreemptionCompleted { sm, .. } => {
+                    if let Some(req_idx) = st.pending_preempt.remove(&sm) {
+                        acquire(&mut engine, &mut st, pcfg, cfg, req_idx, sm, now, exec);
+                    }
+                }
+                Event::KernelFinished { kernel } => {
+                    // A finished task kernel returns its SMs to the benchmark.
+                    if let Some(sms) = st.task_sms.remove(&kernel) {
+                        for sm in sms {
+                            st.reserved.remove(&sm);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Flush policy: reset SMs the moment every resident block is safe.
+        let waiting: Vec<(usize, usize)> = st.flush_wait.iter().map(|(&s, &r)| (s, r)).collect();
+        for (sm, req_idx) in waiting {
+            if periodic_try_flush(&mut engine, sm) {
+                st.flush_wait.remove(&sm);
+                acquire(&mut engine, &mut st, pcfg, cfg, req_idx, sm, now, exec);
+            }
+        }
+        // Release expired reservations back to the benchmark.
+        st.reserved.retain(|_, &mut release| release > now);
+        // Evaluate deadline violations.
+        for rq in &mut st.requests {
+            if !rq.evaluated && now >= rq.t + constraint {
+                rq.evaluated = true;
+            }
+        }
+        // New periodic request.
+        if now >= next_request && next_request < horizon {
+            issue_request(&mut engine, &mut st, policy, pcfg, cfg, now, exec, &job);
+            next_request += period;
+        }
+        // Keep the benchmark running and (re)assigned to all free SMs.
+        job.ensure_running(&mut engine);
+        let current = job.current();
+        for sm in 0..cfg.num_sms {
+            if st.reserved.contains_key(&sm)
+                || st.pending_preempt.contains_key(&sm)
+                || engine.sm_is_preempting(sm)
+            {
+                continue;
+            }
+            if engine.sm_assigned(sm) != current {
+                engine.assign_sm(sm, current);
+            }
+        }
+    }
+
+    // Final accounting.
+    let mut technique_counts: HashMap<Technique, u64> = HashMap::new();
+    for rec in engine.preempt_records() {
+        for &t in &rec.techniques {
+            *technique_counts.entry(t).or_insert(0) += 1;
+        }
+    }
+    let mut violations = 0u32;
+    let mut ok_lat = Vec::new();
+    for rq in &st.requests {
+        let ok = matches!(rq.completed_at,
+            Some(done) if done <= rq.t + constraint && rq.acquired >= rq.needed);
+        if ok {
+            ok_lat.push(cfg.cycles_to_us(rq.completed_at.expect("ok implies completed") - rq.t));
+        } else {
+            violations += 1;
+        }
+    }
+    let mean_ok_latency_us = if ok_lat.is_empty() {
+        f64::NAN
+    } else {
+        ok_lat.iter().sum::<f64>() / ok_lat.len() as f64
+    };
+    let request_log = st
+        .requests
+        .iter()
+        .map(|rq| {
+            (
+                cfg.cycles_to_us(rq.t),
+                rq.completed_at.map(|c| cfg.cycles_to_us(c - rq.t)),
+                rq.acquired,
+            )
+        })
+        .collect();
+    let (mut wasted_flush_insts, mut switch_count, mut flush_count) = (0u64, 0u64, 0u64);
+    for &kid in job.instances() {
+        let s = engine.kernel_stats(kid);
+        wasted_flush_insts += s.wasted_flush_insts;
+        switch_count += s.switch_count;
+        flush_count += s.flush_count;
+    }
+    PeriodicResult {
+        policy: policy.to_string(),
+        benchmark: bench.name().to_string(),
+        requests: st.requests.len() as u32,
+        violations,
+        useful_insts: job.useful_insts(&engine),
+        technique_counts,
+        mean_ok_latency_us,
+        request_log,
+        wasted_flush_insts,
+        switch_count,
+        flush_count,
+    }
+}
+
+use super::{periodic_name as base_kernel_name, periodic_try_flush};
+
+#[allow(clippy::too_many_arguments)]
+fn acquire(
+    engine: &mut Engine,
+    st: &mut RunState,
+    pcfg: &PeriodicConfig,
+    cfg: &GpuConfig,
+    req_idx: usize,
+    sm: usize,
+    now: u64,
+    exec: u64,
+) {
+    if pcfg.simulate_task {
+        // Hand the SM to a real task kernel; it is released when the kernel
+        // finishes.
+        let kid = match st.requests[req_idx].task_kid {
+            Some(k) => k,
+            None => {
+                let k = engine.launch_kernel(task_kernel(cfg, &pcfg.task));
+                st.requests[req_idx].task_kid = Some(k);
+                k
+            }
+        };
+        engine.assign_sm(sm, Some(kid));
+        st.task_sms.entry(kid).or_default().push(sm);
+        st.reserved.insert(sm, u64::MAX);
+    } else {
+        engine.assign_sm(sm, None);
+        st.reserved.insert(sm, now + exec);
+    }
+    let rq = &mut st.requests[req_idx];
+    rq.acquired += 1;
+    if rq.acquired >= rq.needed && rq.completed_at.is_none() {
+        rq.completed_at = Some(now);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn issue_request(
+    engine: &mut Engine,
+    st: &mut RunState,
+    policy: Policy,
+    pcfg: &PeriodicConfig,
+    cfg: &GpuConfig,
+    now: u64,
+    exec: u64,
+    job: &crate::runner::Job,
+) {
+    let needed = pcfg.task.sms_needed;
+    st.requests.push(Request {
+        t: now,
+        needed,
+        acquired: 0,
+        completed_at: None,
+        evaluated: false,
+        task_kid: None,
+    });
+    let req_idx = st.requests.len() - 1;
+    // Candidate SMs: not already reserved / claimed / mid-preemption.
+    let mut candidates: Vec<usize> = (0..cfg.num_sms)
+        .filter(|sm| {
+            !st.reserved.contains_key(sm)
+                && !st.pending_preempt.contains_key(sm)
+                && !st.flush_wait.contains_key(sm)
+                && !engine.sm_is_preempting(*sm)
+        })
+        .collect();
+    // Idle SMs are free wins (size-bound kernels leave SMs empty, §4.1).
+    candidates.sort_by_key(|&sm| (engine.sm_resident_count(sm), sm));
+    let mut remaining = needed;
+    let mut occupied = Vec::new();
+    for sm in candidates {
+        if remaining == 0 {
+            break;
+        }
+        if engine.sm_resident_count(sm) == 0 {
+            acquire(engine, st, pcfg, cfg, req_idx, sm, now, exec);
+            remaining -= 1;
+        } else {
+            occupied.push(sm);
+        }
+    }
+    if remaining == 0 {
+        return;
+    }
+    let kernel_strictly_idempotent = job
+        .current()
+        .map(|k| engine.kernel_desc(k).program().is_idempotent())
+        .unwrap_or(true);
+    match policy {
+        Policy::Switch | Policy::Drain | Policy::Oracle => {
+            let tech = if policy == Policy::Drain {
+                Technique::Drain
+            } else {
+                Technique::Switch
+            };
+            for &sm in occupied.iter().take(remaining) {
+                let plan = SmPreemptPlan::uniform(engine.sm_resident_indices(sm), tech);
+                match engine.preempt_sm(sm, &plan) {
+                    Ok(true) => acquire(engine, st, pcfg, cfg, req_idx, sm, now, exec),
+                    Ok(false) => {
+                        st.pending_preempt.insert(sm, req_idx);
+                    }
+                    Err(_) => {
+                        // Became empty in the meantime: a free win.
+                        acquire(engine, st, pcfg, cfg, req_idx, sm, now, exec);
+                    }
+                }
+            }
+        }
+        Policy::Flush => {
+            // Strict condition: a non-idempotent kernel is never flushable.
+            if pcfg.strict_idem && !kernel_strictly_idempotent {
+                // The SMs can never be reset; the request is doomed to
+                // violate. (No state to track — nothing will ever acquire.)
+                return;
+            }
+            for &sm in occupied.iter().take(remaining) {
+                if periodic_try_flush(engine, sm) {
+                    acquire(engine, st, pcfg, cfg, req_idx, sm, now, exec);
+                } else {
+                    st.flush_wait.insert(sm, req_idx);
+                }
+            }
+        }
+        Policy::Chimera { limit_us } => {
+            let limit = cfg.us_to_cycles(limit_us);
+            let Some(kid) = job.current() else { return };
+            let desc = engine.kernel_desc(kid);
+            let name = base_kernel_name(desc.name());
+            let req = SelectionRequest {
+                limit_cycles: limit,
+                num_preempts: remaining,
+                ctx_bytes_per_tb: desc.block_context_bytes(),
+                obs: st.obs.obs(&name),
+                flush_allowed: !pcfg.strict_idem || kernel_strictly_idempotent,
+            };
+            let snapshots: Vec<_> = occupied.iter().map(|&sm| engine.sm_snapshot(sm)).collect();
+            for plan in select_preemptions(cfg, &req, &snapshots) {
+                match engine.preempt_sm(plan.sm, &plan.plan) {
+                    Ok(true) => acquire(engine, st, pcfg, cfg, req_idx, plan.sm, now, exec),
+                    Ok(false) => {
+                        st.pending_preempt.insert(plan.sm, req_idx);
+                    }
+                    Err(_) => {
+                        acquire(engine, st, pcfg, cfg, req_idx, plan.sm, now, exec);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::Suite;
+
+    fn quick_cfg(cfg: &GpuConfig, horizon_us: f64) -> PeriodicConfig {
+        PeriodicConfig {
+            horizon_us,
+            ..PeriodicConfig::paper_default(cfg)
+        }
+    }
+
+    #[test]
+    fn oracle_never_violates() {
+        let suite = Suite::standard();
+        let bench = suite.benchmark("SAD").unwrap();
+        let r = run_periodic(
+            suite.config(),
+            bench,
+            Policy::Oracle,
+            &quick_cfg(suite.config(), 5_000.0),
+        );
+        assert!(r.requests >= 4, "requests={}", r.requests);
+        assert_eq!(r.violations, 0, "oracle must be instant");
+        assert!(r.useful_insts > 0);
+    }
+
+    #[test]
+    fn drain_violates_for_long_blocks_but_not_short() {
+        let suite = Suite::standard();
+        let cfg = suite.config();
+        // BS blocks run 60.9 us >> 15 us constraint: draining must violate.
+        let long = run_periodic(
+            cfg,
+            suite.benchmark("BS").unwrap(),
+            Policy::Drain,
+            &quick_cfg(cfg, 5_000.0),
+        );
+        assert!(
+            long.violation_pct() > 50.0,
+            "BS drain: {}",
+            long.violation_pct()
+        );
+        // BP blocks run ~2-3 us: draining meets 15 us easily.
+        let short = run_periodic(
+            cfg,
+            suite.benchmark("BP").unwrap(),
+            Policy::Drain,
+            &quick_cfg(cfg, 5_000.0),
+        );
+        assert!(
+            short.violation_pct() < 10.0,
+            "BP drain: {}",
+            short.violation_pct()
+        );
+    }
+
+    #[test]
+    fn flush_is_instant_for_idempotent_kernels() {
+        let suite = Suite::standard();
+        let cfg = suite.config();
+        let r = run_periodic(
+            cfg,
+            suite.benchmark("HS").unwrap(),
+            Policy::Flush,
+            &quick_cfg(cfg, 5_000.0),
+        );
+        assert_eq!(r.violations, 0, "HS is idempotent; flushing is instant");
+    }
+
+    #[test]
+    fn chimera_meets_constraint_where_singles_fail() {
+        let suite = Suite::standard();
+        let cfg = suite.config();
+        // BS: drain violates (long blocks), switch violates (17 us > 15 us);
+        // Chimera flushes young blocks / drains old ones.
+        let c = run_periodic(
+            cfg,
+            suite.benchmark("BS").unwrap(),
+            Policy::chimera_us(15.0),
+            &quick_cfg(cfg, 5_000.0),
+        );
+        assert!(
+            c.violation_pct() < 10.0,
+            "chimera on BS: {}",
+            c.violation_pct()
+        );
+        let s = run_periodic(
+            cfg,
+            suite.benchmark("BS").unwrap(),
+            Policy::Switch,
+            &quick_cfg(cfg, 5_000.0),
+        );
+        assert!(
+            s.violation_pct() > 50.0,
+            "switch on BS: {}",
+            s.violation_pct()
+        );
+    }
+
+    #[test]
+    fn overhead_breakdown_matches_policy() {
+        let suite = Suite::standard();
+        let cfg = suite.config();
+        let bench = suite.benchmark("HS").unwrap();
+        let flush = run_periodic(cfg, bench, Policy::Flush, &quick_cfg(cfg, 4_000.0));
+        assert!(flush.flush_count > 0);
+        assert_eq!(flush.switch_count, 0);
+        assert!(flush.wasted_flush_insts > 0, "flushing must discard work");
+        let switch = run_periodic(cfg, bench, Policy::Switch, &quick_cfg(cfg, 4_000.0));
+        assert!(switch.switch_count > 0);
+        assert_eq!(switch.flush_count, 0);
+        assert_eq!(switch.wasted_flush_insts, 0, "switching preserves all work");
+    }
+
+    #[test]
+    fn simulated_task_contends_but_still_meets_deadlines() {
+        let suite = Suite::standard();
+        let cfg = suite.config();
+        let mut pc = quick_cfg(cfg, 5_000.0);
+        pc.simulate_task = true;
+        let sim = run_periodic(
+            cfg,
+            suite.benchmark("SAD").unwrap(),
+            Policy::chimera_us(15.0),
+            &pc,
+        );
+        let res = run_periodic(
+            cfg,
+            suite.benchmark("SAD").unwrap(),
+            Policy::chimera_us(15.0),
+            &quick_cfg(cfg, 5_000.0),
+        );
+        assert_eq!(sim.requests, res.requests);
+        assert_eq!(sim.violations, 0, "simulated task must not break deadlines");
+        // The real task's memory traffic can only slow the benchmark down.
+        assert!(
+            sim.useful_insts <= res.useful_insts + res.useful_insts / 50,
+            "sim {} vs reservation {}",
+            sim.useful_insts,
+            res.useful_insts
+        );
+    }
+
+    #[test]
+    fn strict_idempotence_dooms_flush_on_non_idempotent_kernels() {
+        let strict_suite = Suite::strict();
+        let cfg = strict_suite.config();
+        let mut pc = quick_cfg(cfg, 5_000.0);
+        pc.strict_idem = true;
+        let r = run_periodic(
+            cfg,
+            strict_suite.benchmark("NW").unwrap(),
+            Policy::Flush,
+            &pc,
+        );
+        // Most requests fail (only end-of-kernel idle windows can ever be
+        // acquired, since NW's kernels are non-idempotent under the strict
+        // condition).
+        assert!(
+            r.violation_pct() > 60.0,
+            "strict flush on NW: {}",
+            r.violation_pct()
+        );
+        // Relaxed condition rescues the same benchmark.
+        let suite = Suite::standard();
+        let r2 = run_periodic(
+            suite.config(),
+            suite.benchmark("NW").unwrap(),
+            Policy::Flush,
+            &quick_cfg(suite.config(), 5_000.0),
+        );
+        assert!(
+            r2.violation_pct() < r.violation_pct(),
+            "relaxed {} vs strict {}",
+            r2.violation_pct(),
+            r.violation_pct()
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Solo runs: a benchmark alone on the whole GPU (the `T_single` /
+//! `CPI_single` baseline of the ANTT and STP metrics).
+
+use crate::runner::Job;
+use gpu_sim::{Engine, GpuConfig};
+use workloads::Benchmark;
+
+/// Outcome of a solo run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoloResult {
+    /// Cycles until the measurement target (first pass or budget) was hit.
+    pub cycles: u64,
+    /// Useful warp instructions at that point.
+    pub insts: u64,
+}
+
+/// Run `bench` alone on all SMs until its first full pass or `budget` useful
+/// instructions, whichever comes first. `horizon_cycles` is a failsafe.
+pub fn run_solo(
+    cfg: &GpuConfig,
+    bench: &Benchmark,
+    budget: Option<u64>,
+    horizon_cycles: u64,
+    seed: u64,
+) -> SoloResult {
+    let mut engine = Engine::with_seed(cfg.clone(), seed);
+    engine.set_break_on_kernel_finish(true);
+    let mut job = Job::new(bench.clone(), budget);
+    job.ensure_running(&mut engine);
+    loop {
+        if job.ensure_running(&mut engine) {
+            let k = job.current();
+            for sm in 0..cfg.num_sms {
+                engine.assign_sm(sm, k);
+            }
+        } else {
+            // Make sure assignment is in place on the first iteration too.
+            let k = job.current();
+            for sm in 0..cfg.num_sms {
+                if engine.sm_assigned(sm) != k {
+                    engine.assign_sm(sm, k);
+                }
+            }
+        }
+        engine.run_for(cfg.us_to_cycles(20.0));
+        if job.check_measured(&engine) || engine.cycle() >= horizon_cycles {
+            break;
+        }
+    }
+    SoloResult {
+        cycles: job.measured_at().unwrap_or_else(|| engine.cycle()),
+        insts: job.useful_insts(&engine),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::Suite;
+
+    #[test]
+    fn solo_run_measures_budgeted_portion() {
+        let suite = Suite::standard();
+        let cfg = suite.config();
+        let r = run_solo(
+            cfg,
+            suite.benchmark("SAD").unwrap(),
+            Some(300_000),
+            200_000_000,
+            42,
+        );
+        assert!(r.insts >= 300_000, "insts={}", r.insts);
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn solo_run_is_deterministic() {
+        let suite = Suite::standard();
+        let cfg = suite.config();
+        let r1 = run_solo(
+            cfg,
+            suite.benchmark("NW").unwrap(),
+            Some(200_000),
+            200_000_000,
+            7,
+        );
+        let r2 = run_solo(
+            cfg,
+            suite.benchmark("NW").unwrap(),
+            Some(200_000),
+            200_000_000,
+            7,
+        );
+        assert_eq!(r1, r2);
+    }
+}

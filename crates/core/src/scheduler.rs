@@ -1,0 +1,545 @@
+//! The Figure 5 two-level GPU scheduler, as a reusable component.
+//!
+//! The *kernel scheduler* decides which process owns which SMs (via a
+//! [`PartitionPolicy`](crate::partition::PartitionPolicy)) and realises
+//! ownership changes by issuing preemption requests served by a
+//! [`Policy`](crate::policy::Policy) — Chimera by default. The *thread block
+//! scheduler* is the `gpu-sim` engine, which dispatches and preempts blocks
+//! and re-issues preempted ones first.
+//!
+//! This is the "what a downstream user would adopt" API: create a scheduler,
+//! register processes, submit kernels, and drive time forward; multitasking,
+//! spatial partitioning and collaborative preemption happen inside.
+//!
+//! ```
+//! use chimera::scheduler::GpuScheduler;
+//! use chimera::policy::Policy;
+//! use chimera::partition::PartitionPolicy;
+//! use gpu_sim::{GpuConfig, KernelDesc, Program, Segment};
+//!
+//! let mut gpu = GpuScheduler::new(
+//!     GpuConfig::fermi(),
+//!     Policy::chimera_us(15.0),
+//!     PartitionPolicy::SmartEven,
+//! );
+//! let p1 = gpu.add_process();
+//! let p2 = gpu.add_process();
+//! let kernel = KernelDesc::builder("work")
+//!     .grid_blocks(256)
+//!     .program(Program::new(vec![Segment::compute(500)]))
+//!     .build()?;
+//! gpu.submit(p1, kernel.clone());
+//! gpu.submit(p2, kernel.with_name("work2"));
+//! while !gpu.is_idle() {
+//!     gpu.run_for_us(100.0);
+//! }
+//! assert_eq!(gpu.completed_kernels(p1), 1);
+//! assert_eq!(gpu.completed_kernels(p2), 1);
+//! # Ok::<(), gpu_sim::KernelError>(())
+//! ```
+
+use crate::cost::ObsBank;
+use crate::partition::PartitionPolicy;
+use crate::policy::Policy;
+use crate::select::{select_preemptions, SelectionRequest};
+use gpu_sim::{Engine, Event, GpuConfig, KernelId, SmPreemptPlan, Technique};
+use std::collections::{HashMap, VecDeque};
+
+/// Identifies a registered process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcId(pub usize);
+
+impl std::fmt::Display for ProcId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Scheduler-level events returned by [`GpuScheduler::run_for_us`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedEvent {
+    /// A submitted kernel started executing.
+    KernelStarted {
+        /// Owning process.
+        proc: ProcId,
+        /// Engine-level kernel instance.
+        kernel: KernelId,
+    },
+    /// A kernel finished.
+    KernelFinished {
+        /// Owning process.
+        proc: ProcId,
+        /// Engine-level kernel instance.
+        kernel: KernelId,
+    },
+    /// An SM changed hands.
+    SmReassigned {
+        /// The SM that moved.
+        sm: usize,
+        /// New owner.
+        to: ProcId,
+    },
+}
+
+#[derive(Debug, Default)]
+struct ProcState {
+    queue: VecDeque<gpu_sim::KernelDesc>,
+    current: Option<KernelId>,
+    completed: u32,
+    kernels: Vec<KernelId>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InFlight {
+    Preempting,
+    FlushWait,
+}
+
+/// A multitasking GPU: engine + kernel scheduler (see module docs).
+#[derive(Debug)]
+pub struct GpuScheduler {
+    engine: Engine,
+    policy: Policy,
+    partition: PartitionPolicy,
+    obs: ObsBank,
+    procs: Vec<ProcState>,
+    /// Owning process per SM (`None` until first partition).
+    owner: Vec<Option<usize>>,
+    in_flight: HashMap<usize, InFlight>,
+    events: Vec<SchedEvent>,
+}
+
+impl GpuScheduler {
+    /// Create a scheduler over a fresh engine.
+    pub fn new(cfg: GpuConfig, policy: Policy, partition: PartitionPolicy) -> Self {
+        let mut engine = Engine::new(cfg);
+        engine.set_break_on_kernel_finish(true);
+        if policy.is_oracle() {
+            engine.set_free_context_moves(true);
+        }
+        let n = engine.config().num_sms;
+        GpuScheduler {
+            engine,
+            policy,
+            partition,
+            obs: ObsBank::new(),
+            procs: Vec::new(),
+            owner: vec![None; n],
+            in_flight: HashMap::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Register a process (a serial stream of kernel launches).
+    pub fn add_process(&mut self) -> ProcId {
+        self.procs.push(ProcState::default());
+        ProcId(self.procs.len() - 1)
+    }
+
+    /// Submit a kernel launch for a process; launches run in order.
+    pub fn submit(&mut self, proc: ProcId, kernel: gpu_sim::KernelDesc) {
+        self.procs[proc.0].queue.push_back(kernel);
+    }
+
+    /// Kernels completed by a process so far.
+    pub fn completed_kernels(&self, proc: ProcId) -> u32 {
+        self.procs[proc.0].completed
+    }
+
+    /// Whether every submitted kernel of every process has finished.
+    pub fn is_idle(&self) -> bool {
+        self.procs
+            .iter()
+            .all(|p| p.current.is_none() && p.queue.is_empty())
+    }
+
+    /// The engine (read access for statistics and snapshots).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.engine.cycle()
+    }
+
+    /// Total useful instructions a process has executed.
+    pub fn useful_insts(&self, proc: ProcId) -> u64 {
+        self.procs[proc.0]
+            .kernels
+            .iter()
+            .map(|&k| {
+                let s = self.engine.kernel_stats(k);
+                s.issued_insts.saturating_sub(s.wasted_flush_insts)
+            })
+            .sum()
+    }
+
+    /// Advance simulated time by `us` microseconds, scheduling as needed.
+    pub fn run_for_us(&mut self, us: f64) -> Vec<SchedEvent> {
+        let cfg = self.engine.config().clone();
+        let target = self.engine.cycle() + cfg.us_to_cycles(us);
+        let tick = cfg.us_to_cycles(5.0).max(1);
+        while self.engine.cycle() < target {
+            let step = if self.in_flight.values().any(|f| *f == InFlight::FlushWait) {
+                cfg.us_to_cycles(0.5).max(1)
+            } else {
+                tick
+            };
+            let until = (self.engine.cycle() + step).min(target);
+            let events = self.engine.run_until(until);
+            for ev in events {
+                match ev {
+                    Event::TbCompleted {
+                        kernel,
+                        insts,
+                        cycles,
+                        ..
+                    } => {
+                        let name =
+                            super::runner::periodic_name(&self.engine.kernel_stats(kernel).name);
+                        self.obs.record_tb(&name, insts, cycles);
+                    }
+                    Event::KernelFinished { kernel } => {
+                        if let Some(pi) = self.procs.iter().position(|p| p.current == Some(kernel))
+                        {
+                            self.procs[pi].current = None;
+                            self.procs[pi].completed += 1;
+                            self.events.push(SchedEvent::KernelFinished {
+                                proc: ProcId(pi),
+                                kernel,
+                            });
+                        }
+                    }
+                    Event::PreemptionCompleted { sm, .. }
+                        if self.in_flight.get(&sm) == Some(&InFlight::Preempting) =>
+                    {
+                        self.in_flight.remove(&sm);
+                    }
+                    _ => {}
+                }
+            }
+            self.schedule();
+        }
+        std::mem::take(&mut self.events)
+    }
+
+    /// One kernel-scheduler pass: launch queued kernels, repartition, serve
+    /// preemptions, and keep SM assignments consistent with ownership.
+    fn schedule(&mut self) {
+        // Launch next kernels.
+        for pi in 0..self.procs.len() {
+            if self.procs[pi].current.is_none() {
+                if let Some(desc) = self.procs[pi].queue.pop_front() {
+                    let kid = self.engine.launch_kernel(desc);
+                    self.procs[pi].current = Some(kid);
+                    self.procs[pi].kernels.push(kid);
+                    self.events.push(SchedEvent::KernelStarted {
+                        proc: ProcId(pi),
+                        kernel: kid,
+                    });
+                }
+            }
+        }
+        if self.procs.is_empty() {
+            return;
+        }
+        // Flush-wait polling.
+        let waiting: Vec<usize> = self
+            .in_flight
+            .iter()
+            .filter(|(_, f)| **f == InFlight::FlushWait)
+            .map(|(&sm, _)| sm)
+            .collect();
+        for sm in waiting {
+            if super::runner::periodic_try_flush(&mut self.engine, sm) {
+                self.in_flight.remove(&sm);
+            }
+        }
+        self.repartition();
+        // Assignment pass.
+        let n_sms = self.engine.config().num_sms;
+        for sm in 0..n_sms {
+            if self.in_flight.contains_key(&sm) || self.engine.sm_is_preempting(sm) {
+                continue;
+            }
+            let want = self.owner[sm].and_then(|pi| self.procs[pi].current);
+            if self.engine.sm_assigned(sm) != want {
+                self.engine.assign_sm(sm, want);
+            }
+        }
+    }
+
+    fn demand(&self, pi: usize) -> usize {
+        match self.procs[pi].current {
+            None => 0,
+            Some(k) => {
+                let stats = self.engine.kernel_stats(k);
+                if stats.finished {
+                    return 0;
+                }
+                let unfinished = u64::from(stats.grid_blocks - stats.completed_tbs);
+                let occ = u64::from(self.engine.kernel_occupancy(k)).max(1);
+                unfinished.div_ceil(occ) as usize
+            }
+        }
+    }
+
+    fn repartition(&mut self) {
+        let n_procs = self.procs.len();
+        let n_sms = self.engine.config().num_sms;
+        let demands: Vec<usize> = (0..n_procs).map(|pi| self.demand(pi)).collect();
+        if demands.iter().all(|&d| d == 0) {
+            return;
+        }
+        let desired = self.partition.shares(n_sms, &demands);
+        let mut counts = vec![0usize; n_procs];
+        for &o in &self.owner {
+            if let Some(pi) = o {
+                counts[pi] += 1;
+            }
+        }
+        // Unowned SMs go to whoever is short.
+        for sm in 0..n_sms {
+            if self.owner[sm].is_none() {
+                if let Some(pi) = (0..n_procs).find(|&pi| counts[pi] < desired[pi]) {
+                    self.owner[sm] = Some(pi);
+                    counts[pi] += 1;
+                    self.events
+                        .push(SchedEvent::SmReassigned { sm, to: ProcId(pi) });
+                }
+            }
+        }
+        // Move SMs from over- to under-provisioned processes.
+        while let (Some(dst), Some(src)) = (
+            (0..n_procs).find(|&pi| counts[pi] < desired[pi]),
+            (0..n_procs).find(|&pi| counts[pi] > desired[pi]),
+        ) {
+            let moved = self.take_one_sm(src, dst);
+            if moved == 0 {
+                break;
+            }
+            counts[src] -= moved;
+            counts[dst] += moved;
+        }
+    }
+
+    /// Move one SM from `src` to `dst`, preempting if necessary. Returns how
+    /// many SMs changed owner (0 when nothing was movable right now).
+    fn take_one_sm(&mut self, src: usize, dst: usize) -> usize {
+        let n_sms = self.engine.config().num_sms;
+        let mut cands: Vec<usize> = (0..n_sms)
+            .filter(|&sm| {
+                self.owner[sm] == Some(src)
+                    && !self.in_flight.contains_key(&sm)
+                    && !self.engine.sm_is_preempting(sm)
+            })
+            .collect();
+        cands.sort_by_key(|&sm| (self.engine.sm_resident_count(sm), sm));
+        let Some(&sm) = cands.first() else { return 0 };
+        if self.engine.sm_resident_count(sm) == 0 {
+            self.owner[sm] = Some(dst);
+            self.events.push(SchedEvent::SmReassigned {
+                sm,
+                to: ProcId(dst),
+            });
+            return 1;
+        }
+        match self.policy {
+            Policy::Switch | Policy::Drain | Policy::Oracle => {
+                let tech = if self.policy == Policy::Drain {
+                    Technique::Drain
+                } else {
+                    Technique::Switch
+                };
+                let plan = SmPreemptPlan::uniform(self.engine.sm_resident_indices(sm), tech);
+                match self.engine.preempt_sm(sm, &plan) {
+                    Ok(true) | Err(_) => {}
+                    Ok(false) => {
+                        self.in_flight.insert(sm, InFlight::Preempting);
+                    }
+                }
+            }
+            Policy::Flush => {
+                if !super::runner::periodic_try_flush(&mut self.engine, sm) {
+                    self.in_flight.insert(sm, InFlight::FlushWait);
+                }
+            }
+            Policy::Chimera { limit_us } => {
+                let Some(kid) = self.procs[src].current else {
+                    return 0;
+                };
+                let cfg = self.engine.config().clone();
+                let desc = self.engine.kernel_desc(kid);
+                let name = super::runner::periodic_name(desc.name());
+                let req = SelectionRequest {
+                    limit_cycles: cfg.us_to_cycles(limit_us),
+                    num_preempts: 1,
+                    ctx_bytes_per_tb: desc.block_context_bytes(),
+                    obs: self.obs.obs(&name),
+                    flush_allowed: true,
+                };
+                let snaps = vec![self.engine.sm_snapshot(sm)];
+                for plan in select_preemptions(&cfg, &req, &snaps) {
+                    match self.engine.preempt_sm(plan.sm, &plan.plan) {
+                        Ok(true) | Err(_) => {}
+                        Ok(false) => {
+                            self.in_flight.insert(plan.sm, InFlight::Preempting);
+                        }
+                    }
+                }
+            }
+        }
+        self.owner[sm] = Some(dst);
+        self.events.push(SchedEvent::SmReassigned {
+            sm,
+            to: ProcId(dst),
+        });
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{KernelDesc, Program, Segment};
+
+    fn kernel(name: &str, grid: u32, insts: u32) -> KernelDesc {
+        KernelDesc::builder(name)
+            .grid_blocks(grid)
+            .threads_per_block(128)
+            .regs_per_thread(16)
+            .program(Program::new(vec![
+                Segment::load(4),
+                Segment::compute(insts),
+                Segment::store(4),
+            ]))
+            .build()
+            .unwrap()
+    }
+
+    fn drive_until_idle(gpu: &mut GpuScheduler, max_ms: u32) -> Vec<SchedEvent> {
+        let mut all = Vec::new();
+        for _ in 0..max_ms * 10 {
+            all.extend(gpu.run_for_us(100.0));
+            if gpu.is_idle() {
+                return all;
+            }
+        }
+        panic!("scheduler did not go idle");
+    }
+
+    #[test]
+    fn two_processes_share_and_finish() {
+        let mut gpu = GpuScheduler::new(
+            GpuConfig::fermi(),
+            Policy::chimera_us(15.0),
+            PartitionPolicy::SmartEven,
+        );
+        let p1 = gpu.add_process();
+        let p2 = gpu.add_process();
+        gpu.submit(p1, kernel("a", 300, 400));
+        gpu.submit(p1, kernel("a2", 300, 400));
+        gpu.submit(p2, kernel("b", 300, 400));
+        let events = drive_until_idle(&mut gpu, 100);
+        assert_eq!(gpu.completed_kernels(p1), 2);
+        assert_eq!(gpu.completed_kernels(p2), 1);
+        assert!(gpu.useful_insts(p1) > 0);
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, SchedEvent::KernelStarted { .. }))
+            .count();
+        assert_eq!(starts, 3);
+        let finishes = events
+            .iter()
+            .filter(|e| matches!(e, SchedEvent::KernelFinished { .. }))
+            .count();
+        assert_eq!(finishes, 3);
+    }
+
+    #[test]
+    fn late_arrival_takes_sms_from_running_process() {
+        let mut gpu = GpuScheduler::new(
+            GpuConfig::fermi(),
+            Policy::chimera_us(30.0),
+            PartitionPolicy::SmartEven,
+        );
+        let p1 = gpu.add_process();
+        let p2 = gpu.add_process();
+        gpu.submit(p1, kernel("hog", 4_000, 2_000));
+        gpu.run_for_us(300.0);
+        // p1 owns the whole GPU by now.
+        let owned_by_p1 = gpu.owner.iter().filter(|o| **o == Some(0)).count();
+        assert_eq!(owned_by_p1, 30);
+        // p2 arrives and must receive its half via preemption.
+        gpu.submit(p2, kernel("newcomer", 4_000, 2_000));
+        let events = gpu.run_for_us(400.0);
+        let reassigned_to_p2 = events
+            .iter()
+            .filter(|e| matches!(e, SchedEvent::SmReassigned { to, .. } if *to == ProcId(1)))
+            .count();
+        assert!(reassigned_to_p2 >= 15, "p2 got only {reassigned_to_p2} SMs");
+        assert!(
+            !gpu.engine().preempt_records().is_empty(),
+            "must actually preempt"
+        );
+        assert!(gpu.useful_insts(p2) > 0);
+    }
+
+    #[test]
+    fn priority_partition_starves_background_but_not_fully() {
+        let mut gpu = GpuScheduler::new(
+            GpuConfig::fermi(),
+            Policy::chimera_us(30.0),
+            PartitionPolicy::Priority(0),
+        );
+        let hi = gpu.add_process();
+        let lo = gpu.add_process();
+        gpu.submit(hi, kernel("hi", 6_000, 1_000));
+        gpu.submit(lo, kernel("lo", 6_000, 1_000));
+        gpu.run_for_us(1_000.0);
+        let hi_insts = gpu.useful_insts(hi);
+        let lo_insts = gpu.useful_insts(lo);
+        assert!(
+            hi_insts > lo_insts * 3,
+            "priority job should dominate: hi={hi_insts}, lo={lo_insts}"
+        );
+    }
+
+    #[test]
+    fn works_with_every_policy() {
+        for policy in [
+            Policy::Switch,
+            Policy::Drain,
+            Policy::Flush,
+            Policy::chimera_us(30.0),
+            Policy::Oracle,
+        ] {
+            let mut gpu = GpuScheduler::new(GpuConfig::fermi(), policy, PartitionPolicy::SmartEven);
+            let p1 = gpu.add_process();
+            let p2 = gpu.add_process();
+            gpu.submit(p1, kernel("x", 240, 300));
+            gpu.submit(p2, kernel("y", 240, 300));
+            drive_until_idle(&mut gpu, 200);
+            assert_eq!(gpu.completed_kernels(p1), 1, "{policy}");
+            assert_eq!(gpu.completed_kernels(p2), 1, "{policy}");
+            // Semantics intact under every policy.
+            for &k in gpu.procs[0].kernels.iter().chain(&gpu.procs[1].kernels) {
+                assert_eq!(gpu.engine().output_mismatches(k), 0, "{policy}");
+            }
+        }
+    }
+
+    #[test]
+    fn idle_scheduler_reports_idle() {
+        let mut gpu = GpuScheduler::new(GpuConfig::fermi(), Policy::Drain, PartitionPolicy::Even);
+        assert!(gpu.is_idle());
+        let p = gpu.add_process();
+        assert!(gpu.is_idle());
+        gpu.submit(p, kernel("k", 10, 50));
+        assert!(!gpu.is_idle());
+        drive_until_idle(&mut gpu, 50);
+        assert!(gpu.is_idle());
+        assert_eq!(gpu.completed_kernels(p), 1);
+    }
+}

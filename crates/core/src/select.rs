@@ -1,0 +1,356 @@
+//! Preemption selection — Algorithm 1 of the paper (§3.3).
+//!
+//! Given a latency limit, a kernel to evict and the number of SMs needed,
+//! pick **which SMs** to preempt and **how to preempt each block**, minimising
+//! estimated throughput overhead subject to the latency constraint:
+//!
+//! 1. per block, estimate every technique's cost and keep the lowest-overhead
+//!    technique that meets the latency limit;
+//! 2. blocks that cannot meet the limit with any technique fall back to
+//!    context switching;
+//! 3. per SM, the plan's latency is the max over blocks and its overhead the
+//!    sum; sort SMs by overhead and take the cheapest ones that meet the
+//!    limit.
+//!
+//! Complexity is `O(N·T·log T + N·log N)` for `N` SMs and `T` blocks per SM,
+//! as derived in the paper.
+
+use crate::cost::{CostModel, KernelObs, TbProgress};
+use gpu_sim::{GpuConfig, SmPreemptPlan, SmSnapshot, Technique};
+
+/// A selection request: the inputs Algorithm 1 receives from the SM
+/// scheduling policy.
+#[derive(Debug, Clone, Copy)]
+pub struct SelectionRequest {
+    /// The preemption latency constraint, cycles.
+    pub limit_cycles: u64,
+    /// Number of SMs to preempt.
+    pub num_preempts: usize,
+    /// Per-block context size of the kernel to evict, bytes.
+    pub ctx_bytes_per_tb: u64,
+    /// Online observations for the kernel.
+    pub obs: KernelObs,
+    /// Whether flushing may be considered at all. `false` models the strict
+    /// idempotence condition (§4.3) for a non-idempotent kernel.
+    pub flush_allowed: bool,
+}
+
+/// A chosen preemption plan for one SM.
+#[derive(Debug, Clone)]
+pub struct PlanForSm {
+    /// The SM to preempt.
+    pub sm: usize,
+    /// The per-block plan to execute.
+    pub plan: SmPreemptPlan,
+    /// Estimated preemption latency, cycles.
+    pub est_latency_cycles: u64,
+    /// Estimated throughput overhead, warp instructions.
+    pub est_overhead_insts: u64,
+}
+
+impl PlanForSm {
+    /// Whether the estimate meets the request's latency limit.
+    pub fn meets(&self, limit_cycles: u64) -> bool {
+        self.est_latency_cycles <= limit_cycles
+    }
+}
+
+/// Run Algorithm 1 over the candidate SMs (all currently running the kernel
+/// to preempt). Returns up to `num_preempts` plans; when fewer SMs can meet
+/// the limit than requested, the remainder is filled with the lowest-latency
+/// candidates (the request must still be served).
+///
+/// ```
+/// use chimera::cost::KernelObs;
+/// use chimera::select::{select_preemptions, SelectionRequest};
+/// use gpu_sim::{GpuConfig, SmSnapshot, TbSnapshotInfo, Technique};
+///
+/// let cfg = GpuConfig::fermi();
+/// let snapshot = SmSnapshot {
+///     sm: 0,
+///     kernel: None,
+///     blocks: vec![
+///         TbSnapshotInfo { index: 0, executed_insts: 10, elapsed_cycles: 160, past_idem_point: false },
+///         TbSnapshotInfo { index: 1, executed_insts: 990, elapsed_cycles: 15_840, past_idem_point: true },
+///     ],
+/// };
+/// let req = SelectionRequest {
+///     limit_cycles: cfg.us_to_cycles(15.0),
+///     num_preempts: 1,
+///     ctx_bytes_per_tb: 24 * 1024,
+///     obs: KernelObs {
+///         avg_tb_insts: Some(1000.0),
+///         avg_tb_cpi: Some(16.0),
+///         max_tb_insts: 1000,
+///         ..KernelObs::default()
+///     },
+///     flush_allowed: true,
+/// };
+/// let plans = select_preemptions(&cfg, &req, &[snapshot]);
+/// // Figure 4's shape: the young block flushes, the nearly-done one drains.
+/// assert_eq!(plans[0].plan.technique_for(0), Some(Technique::Flush));
+/// assert_eq!(plans[0].plan.technique_for(1), Some(Technique::Drain));
+/// ```
+pub fn select_preemptions(
+    cfg: &GpuConfig,
+    req: &SelectionRequest,
+    snapshots: &[SmSnapshot],
+) -> Vec<PlanForSm> {
+    let model = CostModel::new(cfg, req.ctx_bytes_per_tb, req.obs);
+    let mut sm_plans: Vec<PlanForSm> = snapshots
+        .iter()
+        .filter(|s| !s.blocks.is_empty())
+        .map(|s| plan_one_sm(&model, req, s))
+        .collect();
+    // Line 19: sort all SM costs by throughput overhead.
+    sm_plans.sort_by_key(|p| (p.est_overhead_insts, p.est_latency_cycles, p.sm));
+    let mut chosen = Vec::with_capacity(req.num_preempts);
+    let mut rest = Vec::new();
+    // Lines 20-28: take the cheapest SMs that meet the latency constraint.
+    for p in sm_plans {
+        if chosen.len() < req.num_preempts && p.meets(req.limit_cycles) {
+            chosen.push(p);
+        } else {
+            rest.push(p);
+        }
+    }
+    // Fill any shortfall with the lowest-latency leftovers.
+    rest.sort_by_key(|p| (p.est_latency_cycles, p.est_overhead_insts, p.sm));
+    for p in rest {
+        if chosen.len() >= req.num_preempts {
+            break;
+        }
+        chosen.push(p);
+    }
+    chosen
+}
+
+/// Lines 2-17: choose a technique per block on one SM.
+fn plan_one_sm(model: &CostModel<'_>, req: &SelectionRequest, snap: &SmSnapshot) -> PlanForSm {
+    let resident = snap.blocks.len();
+    let max_executed = snap
+        .blocks
+        .iter()
+        .map(|b| b.executed_insts)
+        .max()
+        .unwrap_or(0);
+    // Lines 2-6: estimate every (block, technique) cost.
+    let mut candidates: Vec<(u32, crate::cost::TbCost)> = Vec::with_capacity(resident * 3);
+    for tb in &snap.blocks {
+        let progress = TbProgress {
+            executed_insts: tb.executed_insts,
+            flushable: req.flush_allowed && !tb.past_idem_point,
+        };
+        for cost in model.estimate(progress, resident, max_executed) {
+            candidates.push((tb.index, cost));
+        }
+    }
+    // Line 7: sort by throughput overhead.
+    candidates.sort_by_key(|(_, c)| (c.overhead_insts, c.latency_cycles));
+    // Lines 8-13: greedily keep the cheapest feasible technique per block.
+    let mut entries: Vec<(u32, Technique)> = Vec::with_capacity(resident);
+    for (tb, cost) in &candidates {
+        if cost.latency_cycles <= req.limit_cycles
+            && !entries.iter().any(|(chosen, _)| chosen == tb)
+        {
+            entries.push((*tb, cost.technique));
+        }
+    }
+    // Lines 14-16: blocks that cannot meet the limit fall back to switching.
+    for tb in &snap.blocks {
+        if !entries.iter().any(|(chosen, _)| *chosen == tb.index) {
+            entries.push((tb.index, Technique::Switch));
+        }
+    }
+    // Aggregate the SM-level estimate from the chosen techniques.
+    let mut est_latency = 0u64;
+    let mut est_overhead = 0u64;
+    for (tb_idx, tech) in &entries {
+        let tb = snap
+            .blocks
+            .iter()
+            .find(|b| b.index == *tb_idx)
+            .expect("entry references resident block");
+        let progress = TbProgress {
+            executed_insts: tb.executed_insts,
+            flushable: req.flush_allowed && !tb.past_idem_point,
+        };
+        let costs = model.estimate(progress, resident, max_executed);
+        let c = costs
+            .iter()
+            .find(|c| c.technique == *tech)
+            .copied()
+            .unwrap_or(crate::cost::TbCost {
+                technique: *tech,
+                latency_cycles: model.switch_latency_cycles(resident),
+                overhead_insts: 0,
+            });
+        est_latency = est_latency.max(c.latency_cycles);
+        est_overhead = est_overhead.saturating_add(c.overhead_insts);
+    }
+    PlanForSm {
+        sm: snap.sm,
+        plan: SmPreemptPlan {
+            entries,
+            allow_unsafe_flush: false,
+        },
+        est_latency_cycles: est_latency,
+        est_overhead_insts: est_overhead,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{SmSnapshot, TbSnapshotInfo};
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::fermi()
+    }
+
+    fn obs() -> KernelObs {
+        // 1000-inst blocks at CPI 16 (4 blocks sharing the issue port).
+        KernelObs {
+            avg_tb_insts: Some(1000.0),
+            avg_tb_cpi: Some(16.0),
+            ..KernelObs::default()
+        }
+    }
+
+    fn snap(sm: usize, blocks: Vec<(u32, u64, bool)>) -> SmSnapshot {
+        SmSnapshot {
+            sm,
+            kernel: None,
+            blocks: blocks
+                .into_iter()
+                .map(|(index, executed_insts, past)| TbSnapshotInfo {
+                    index,
+                    executed_insts,
+                    elapsed_cycles: executed_insts * 16,
+                    past_idem_point: past,
+                })
+                .collect(),
+        }
+    }
+
+    fn req(limit_us: f64, num: usize) -> SelectionRequest {
+        SelectionRequest {
+            limit_cycles: cfg().us_to_cycles(limit_us),
+            num_preempts: num,
+            ctx_bytes_per_tb: 24 * 1024,
+            obs: obs(),
+            flush_allowed: true,
+        }
+    }
+
+    #[test]
+    fn young_blocks_flush_old_blocks_drain() {
+        // The theoretical Figure 4 shape: flush early, drain late.
+        let s = snap(0, vec![(0, 10, false), (1, 990, false)]);
+        let plans = select_preemptions(&cfg(), &req(15.0, 1), &[s]);
+        assert_eq!(plans.len(), 1);
+        let plan = &plans[0].plan;
+        assert_eq!(
+            plan.technique_for(0),
+            Some(Technique::Flush),
+            "young block flushes"
+        );
+        assert_eq!(
+            plan.technique_for(1),
+            Some(Technique::Drain),
+            "old block drains"
+        );
+        assert!(plans[0].meets(req(15.0, 1).limit_cycles));
+    }
+
+    #[test]
+    fn unflushable_block_near_start_with_tight_limit_switches() {
+        // Past the idempotence point but barely started: draining would take
+        // ~990 insts x 16 CPI = 15840 cycles (11.3 us) — under a 15 us limit
+        // drain is fine; under a 5 us limit it must switch.
+        let s = snap(0, vec![(0, 10, true)]);
+        let plans = select_preemptions(&cfg(), &req(5.0, 1), &[s]);
+        assert_eq!(plans[0].plan.technique_for(0), Some(Technique::Switch));
+    }
+
+    #[test]
+    fn strict_mode_disables_flushing() {
+        let s = snap(0, vec![(0, 10, false)]);
+        let mut r = req(15.0, 1);
+        r.flush_allowed = false;
+        let plans = select_preemptions(&cfg(), &r, &[s]);
+        assert_ne!(plans[0].plan.technique_for(0), Some(Technique::Flush));
+    }
+
+    #[test]
+    fn picks_lowest_overhead_sms_first() {
+        // SM 0 holds old blocks (expensive to flush, cheap to drain); SM 1
+        // holds young blocks (cheap to flush). Requesting one SM must take
+        // the cheaper one.
+        let s0 = snap(0, vec![(0, 900, false), (1, 950, false)]);
+        let s1 = snap(1, vec![(2, 10, false), (3, 20, false)]);
+        let plans = select_preemptions(&cfg(), &req(15.0, 1), &[s0, s1]);
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].sm, 1);
+    }
+
+    #[test]
+    fn returns_requested_number_of_sms() {
+        let sms: Vec<SmSnapshot> = (0..6)
+            .map(|i| snap(i, vec![(i as u32, 100, false)]))
+            .collect();
+        let plans = select_preemptions(&cfg(), &req(15.0, 4), &sms);
+        assert_eq!(plans.len(), 4);
+        let mut ids: Vec<usize> = plans.iter().map(|p| p.sm).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 4, "no SM selected twice");
+    }
+
+    #[test]
+    fn shortfall_filled_with_lowest_latency() {
+        // Blocks past their idempotence point with missing drain stats force
+        // switch (latency ~4.2 us for one 24 kB block) on every SM; with a
+        // 2 us limit nothing meets, but the request must still be served.
+        let mut r = req(2.0, 2);
+        r.obs = KernelObs::default();
+        let sms: Vec<SmSnapshot> = (0..3)
+            .map(|i| snap(i, vec![(i as u32, 50, true)]))
+            .collect();
+        let plans = select_preemptions(&cfg(), &r, &sms);
+        assert_eq!(plans.len(), 2);
+        for p in &plans {
+            assert!(!p.meets(r.limit_cycles));
+            assert_eq!(p.plan.technique_for(p.sm as u32), Some(Technique::Switch));
+        }
+    }
+
+    #[test]
+    fn empty_sms_are_skipped() {
+        let s0 = snap(0, vec![]);
+        let s1 = snap(1, vec![(0, 10, false)]);
+        let plans = select_preemptions(&cfg(), &req(15.0, 2), &[s0, s1]);
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].sm, 1);
+    }
+
+    #[test]
+    fn plan_covers_every_resident_block() {
+        let s = snap(
+            0,
+            vec![
+                (0, 10, false),
+                (1, 500, true),
+                (2, 990, false),
+                (3, 40, true),
+            ],
+        );
+        let plans = select_preemptions(&cfg(), &req(15.0, 1), &[s]);
+        let plan = &plans[0].plan;
+        for b in 0..4u32 {
+            assert!(plan.technique_for(b).is_some(), "block {b} uncovered");
+        }
+        // Blocks past the idempotence point never flush.
+        assert_ne!(plan.technique_for(1), Some(Technique::Flush));
+        assert_ne!(plan.technique_for(3), Some(Technique::Flush));
+    }
+}

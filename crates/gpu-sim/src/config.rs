@@ -1,0 +1,194 @@
+//! System configuration (Table 1 of the paper).
+
+/// Simulation cycles per microsecond at the modelled 1400 MHz core clock.
+pub const CYCLES_PER_US: f64 = 1400.0;
+
+/// Warp scheduling policy of an SM's issue stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WarpSched {
+    /// Loose round-robin across all resident warps (fairness; keeps blocks
+    /// of a drain in sync — the default, matching the paper's assumptions).
+    #[default]
+    LooseRoundRobin,
+    /// Greedy-then-oldest: keep issuing from the last warp until it stalls,
+    /// then fall back to the oldest ready warp. Better cache locality on
+    /// real hardware; skews block progress.
+    GreedyThenOldest,
+}
+
+/// GPU system parameters.
+///
+/// The default configuration ([`GpuConfig::fermi`]) matches Table 1 of the
+/// paper: 30 SMs at 1400 MHz with 8-wide SIMT, 32768 registers and 48 kB of
+/// shared memory per SM, at most 8 resident thread blocks per SM, and a memory
+/// subsystem with 6 partitions totalling 177.4 GB/s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Core clock in MHz.
+    pub clock_mhz: u32,
+    /// SIMT width (lanes). A 32-thread warp instruction occupies the issue
+    /// pipeline for `32 / simt_width` cycles.
+    pub simt_width: u32,
+    /// Registers per SM (32-bit each).
+    pub registers_per_sm: u32,
+    /// Maximum resident thread blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Shared memory per SM in bytes.
+    pub shared_mem_per_sm: u32,
+    /// Number of memory partitions (each holds an L2 bank + memory controller).
+    pub num_mem_partitions: usize,
+    /// Aggregate DRAM bandwidth in GB/s (10^9 bytes per second).
+    pub mem_bandwidth_gbps: f64,
+    /// Base (uncontended) memory latency in cycles.
+    pub mem_latency_cycles: u64,
+    /// Fraction of global accesses served by the per-SM L1 data cache.
+    pub l1_hit_fraction: f64,
+    /// L1 hit latency in cycles.
+    pub l1_latency_cycles: u64,
+    /// Warp scheduling policy.
+    pub warp_sched: WarpSched,
+    /// Number of warp instructions issued per issue event (fidelity knob).
+    ///
+    /// Chunking coarsens round-robin granularity to speed up simulation; the
+    /// resulting timing error is bounded by
+    /// `issue_chunk * 32 / simt_width` cycles (~23 ns at the defaults).
+    pub issue_chunk: u32,
+    /// When `true`, context save/restore traffic is charged to the memory
+    /// subsystem (the paper's implementation halts the SM instead and admits
+    /// the resulting optimism; this flag is the ablation of that choice).
+    pub charge_ctx_switch_bandwidth: bool,
+}
+
+impl GpuConfig {
+    /// The Fermi-class configuration of Table 1.
+    pub fn fermi() -> Self {
+        GpuConfig {
+            num_sms: 30,
+            clock_mhz: 1400,
+            simt_width: 8,
+            registers_per_sm: 32768,
+            max_blocks_per_sm: 8,
+            max_warps_per_sm: 48,
+            max_threads_per_sm: 1536,
+            shared_mem_per_sm: 48 * 1024,
+            num_mem_partitions: 6,
+            mem_bandwidth_gbps: 177.4,
+            mem_latency_cycles: 230,
+            l1_hit_fraction: 0.3,
+            l1_latency_cycles: 28,
+            warp_sched: WarpSched::default(),
+            issue_chunk: 8,
+            charge_ctx_switch_bandwidth: false,
+        }
+    }
+
+    /// A tiny configuration useful in unit tests (2 SMs, small limits).
+    pub fn tiny() -> Self {
+        GpuConfig {
+            num_sms: 2,
+            max_warps_per_sm: 16,
+            max_threads_per_sm: 512,
+            ..Self::fermi()
+        }
+    }
+
+    /// Cycles the issue pipeline is occupied by one warp instruction.
+    pub fn issue_interval(&self) -> u64 {
+        u64::from(32 / self.simt_width.max(1))
+    }
+
+    /// Total DRAM bytes transferred per core cycle.
+    pub fn bytes_per_cycle_total(&self) -> f64 {
+        self.mem_bandwidth_gbps * 1e9 / (f64::from(self.clock_mhz) * 1e6)
+    }
+
+    /// Bytes per cycle available to a single partition.
+    pub fn bytes_per_cycle_per_partition(&self) -> f64 {
+        self.bytes_per_cycle_total() / self.num_mem_partitions as f64
+    }
+
+    /// One SM's fair share of DRAM bandwidth, in bytes per cycle.
+    ///
+    /// The paper estimates context-switch latency by assuming an SM "has only
+    /// its share of global memory bandwidth to save its context" (§2.4).
+    pub fn bytes_per_cycle_per_sm(&self) -> f64 {
+        self.bytes_per_cycle_total() / self.num_sms as f64
+    }
+
+    /// Convert microseconds to cycles for this clock.
+    pub fn us_to_cycles(&self, us: f64) -> u64 {
+        (us * f64::from(self.clock_mhz) / 1000.0 * 1000.0).round() as u64
+    }
+
+    /// Convert cycles to microseconds for this clock.
+    pub fn cycles_to_us(&self, cycles: u64) -> f64 {
+        cycles as f64 / (f64::from(self.clock_mhz))
+    }
+
+    /// Cycles needed to move `bytes` through one SM's bandwidth share.
+    pub fn sm_transfer_cycles(&self, bytes: u64) -> u64 {
+        (bytes as f64 / self.bytes_per_cycle_per_sm()).ceil() as u64
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self::fermi()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fermi_matches_table1() {
+        let c = GpuConfig::fermi();
+        assert_eq!(c.num_sms, 30);
+        assert_eq!(c.clock_mhz, 1400);
+        assert_eq!(c.simt_width, 8);
+        assert_eq!(c.registers_per_sm, 32768);
+        assert_eq!(c.max_blocks_per_sm, 8);
+        assert_eq!(c.shared_mem_per_sm, 48 * 1024);
+        assert_eq!(c.num_mem_partitions, 6);
+        assert!((c.mem_bandwidth_gbps - 177.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn issue_interval_is_four_cycles_for_simt8() {
+        assert_eq!(GpuConfig::fermi().issue_interval(), 4);
+    }
+
+    #[test]
+    fn time_conversions_round_trip() {
+        let c = GpuConfig::fermi();
+        assert_eq!(c.us_to_cycles(1.0), 1400);
+        assert!((c.cycles_to_us(1400) - 1.0).abs() < 1e-12);
+        assert_eq!(c.us_to_cycles(15.0), 21_000);
+    }
+
+    #[test]
+    fn per_sm_bandwidth_share_matches_paper_example() {
+        // 177.4 GB/s / 1.4 GHz = 126.7 B/cycle total; /30 SMs = 4.22 B/cycle.
+        let c = GpuConfig::fermi();
+        let per_sm = c.bytes_per_cycle_per_sm();
+        assert!((per_sm - 4.224).abs() < 0.01, "got {per_sm}");
+        // BlackScholes: 4 blocks x 24 kB context -> ~16.6 us (paper: 17.0 us).
+        let cycles = c.sm_transfer_cycles(4 * 24 * 1024);
+        let us = c.cycles_to_us(cycles);
+        assert!((us - 16.6).abs() < 0.5, "got {us}");
+    }
+
+    #[test]
+    fn transfer_cycles_monotone_in_bytes() {
+        let c = GpuConfig::fermi();
+        assert!(c.sm_transfer_cycles(0) == 0);
+        assert!(c.sm_transfer_cycles(1000) <= c.sm_transfer_cycles(2000));
+    }
+}

@@ -1,0 +1,1072 @@
+//! The cycle engine: SMs + memory + kernel instances + dispatch.
+//!
+//! The engine is deliberately *mechanism, not policy*: it executes preemption
+//! plans, tracks per-block progress and maintains the preempted-block queues,
+//! while all decisions (which SM, which technique, when) are made by the
+//! caller — the `chimera` crate's schedulers.
+
+use std::collections::VecDeque;
+
+use crate::block::{BlockId, BlockRun, TbSnapshot};
+use crate::kernel::{KernelDesc, Segment};
+use crate::mem::MemSubsystem;
+use crate::preempt::SmPreemptPlan;
+use crate::rng::{hash_combine, splitmix64};
+use crate::sm::{Effect, PreemptError, Sm, SmMode, SmOutput, SmSnapshot};
+use crate::stats::{GpuStats, KernelStats, PreemptRecord};
+use crate::GpuConfig;
+
+/// Identifies a launched kernel instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KernelId(pub usize);
+
+impl std::fmt::Display for KernelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "K{}", self.0)
+    }
+}
+
+/// Simulation events reported by [`Engine::run_until`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A thread block completed.
+    TbCompleted {
+        /// Kernel the block belongs to.
+        kernel: KernelId,
+        /// SM it ran on.
+        sm: usize,
+        /// Grid block index.
+        block: u32,
+        /// Warp instructions the block executed.
+        insts: u64,
+        /// Cycles the block was resident.
+        cycles: u64,
+    },
+    /// All blocks of a kernel completed.
+    KernelFinished {
+        /// The finished kernel.
+        kernel: KernelId,
+    },
+    /// An SM preemption finished; the SM is now empty and unassigned.
+    PreemptionCompleted {
+        /// The vacated SM.
+        sm: usize,
+        /// The kernel that was evicted.
+        kernel: KernelId,
+        /// Request-to-vacated latency in cycles.
+        latency_cycles: u64,
+    },
+    /// A kernel crossed its configured issued-instruction cap.
+    CapReached {
+        /// The capped kernel.
+        kernel: KernelId,
+    },
+}
+
+/// Functional-memory effect slot for a segment.
+#[derive(Debug, Clone, Copy)]
+enum EffectSlot {
+    /// Per-(block, warp) output cell, with `overwrite` semantics flag.
+    Cell { ordinal: usize, overwrite: bool },
+    /// Shared atomic counter.
+    Counter { ordinal: usize },
+}
+
+/// The modelled global memory a kernel writes to.
+#[derive(Debug, Clone, Default)]
+struct FuncMem {
+    cells: Vec<u64>,
+    counters: Vec<u64>,
+}
+
+const CELL_INIT_TAG: u64 = 0xCE11;
+const PURE_TAG: u64 = 0x5707;
+const OVERWRITE_TAG: u64 = 0x0E77;
+
+fn cell_init(seed: u64, idx: usize) -> u64 {
+    hash_combine(&[seed, CELL_INIT_TAG, idx as u64])
+}
+
+fn pure_store_value(seed: u64, block: u32, warp: u32, ordinal: usize) -> u64 {
+    hash_combine(&[
+        seed,
+        PURE_TAG,
+        u64::from(block),
+        u64::from(warp),
+        ordinal as u64,
+    ])
+}
+
+fn overwrite_mix(x: u64) -> u64 {
+    splitmix64(x ^ OVERWRITE_TAG)
+}
+
+#[derive(Debug)]
+struct KernelInstance {
+    desc: KernelDesc,
+    seed: u64,
+    occupancy: u32,
+    next_fresh: u32,
+    restart_queue: VecDeque<u32>,
+    resume_queue: VecDeque<TbSnapshot>,
+    outstanding: u32,
+    stats: KernelStats,
+    func: FuncMem,
+    inst_cap: Option<u64>,
+    cap_emitted: bool,
+    effect_slots: Vec<Option<EffectSlot>>,
+    n_cell_segs: usize,
+}
+
+impl KernelInstance {
+    fn new(id: KernelId, desc: KernelDesc, cfg: &GpuConfig, engine_seed: u64, now: u64) -> Self {
+        let occupancy = crate::occupancy(cfg, &desc).blocks_per_sm;
+        let seed = hash_combine(&[engine_seed, id.0 as u64]);
+        let mut effect_slots = Vec::with_capacity(desc.program().segments().len());
+        let mut n_cells = 0usize;
+        let mut n_counters = 0usize;
+        for seg in desc.program().segments() {
+            effect_slots.push(match *seg {
+                Segment::GlobalStore { overwrite, .. } => {
+                    let s = EffectSlot::Cell {
+                        ordinal: n_cells,
+                        overwrite,
+                    };
+                    n_cells += 1;
+                    Some(s)
+                }
+                Segment::Atomic { .. } => {
+                    let s = EffectSlot::Counter {
+                        ordinal: n_counters,
+                    };
+                    n_counters += 1;
+                    Some(s)
+                }
+                _ => None,
+            });
+        }
+        let n_slots =
+            desc.grid_blocks() as usize * desc.warps_per_block() as usize * n_cells.max(1);
+        let func = FuncMem {
+            cells: (0..n_slots).map(|i| cell_init(seed, i)).collect(),
+            counters: vec![0; n_counters],
+        };
+        let stats = KernelStats {
+            name: desc.name().to_string(),
+            launched_at: now,
+            grid_blocks: desc.grid_blocks(),
+            ..KernelStats::default()
+        };
+        KernelInstance {
+            desc,
+            seed,
+            occupancy,
+            next_fresh: 0,
+            restart_queue: VecDeque::new(),
+            resume_queue: VecDeque::new(),
+            outstanding: 0,
+            stats,
+            func,
+            inst_cap: None,
+            cap_emitted: false,
+            effect_slots,
+            n_cell_segs: n_cells,
+        }
+    }
+
+    fn has_dispatchable(&self) -> bool {
+        !self.resume_queue.is_empty()
+            || !self.restart_queue.is_empty()
+            || self.next_fresh < self.desc.grid_blocks()
+    }
+
+    fn is_finished(&self) -> bool {
+        self.stats.completed_tbs == self.desc.grid_blocks()
+            && self.outstanding == 0
+            && !self.has_dispatchable()
+    }
+
+    fn cell_index(&self, block: u32, warp: u32, ordinal: usize) -> usize {
+        (block as usize * self.desc.warps_per_block() as usize + warp as usize) * self.n_cell_segs
+            + ordinal
+    }
+
+    fn apply_effect(&mut self, e: &Effect) {
+        let Some(slot) = self.effect_slots.get(e.seg_idx).copied().flatten() else {
+            return;
+        };
+        match slot {
+            EffectSlot::Cell { ordinal, overwrite } => {
+                let idx = self.cell_index(e.block, e.warp, ordinal);
+                let cur = self.func.cells[idx];
+                self.func.cells[idx] = if overwrite {
+                    overwrite_mix(cur)
+                } else {
+                    pure_store_value(self.seed, e.block, e.warp, ordinal)
+                };
+            }
+            EffectSlot::Counter { ordinal } => {
+                self.func.counters[ordinal] += 1;
+            }
+        }
+    }
+
+    /// The memory image a single, preemption-free execution would produce.
+    fn reference_output(&self) -> (Vec<u64>, Vec<u64>) {
+        let mut cells: Vec<u64> = (0..self.func.cells.len())
+            .map(|i| cell_init(self.seed, i))
+            .collect();
+        let mut counters = vec![0u64; self.func.counters.len()];
+        let warps = self.desc.warps_per_block();
+        for slot in self.effect_slots.iter() {
+            let Some(slot) = slot else { continue };
+            for block in 0..self.desc.grid_blocks() {
+                for warp in 0..warps {
+                    match *slot {
+                        EffectSlot::Cell { ordinal, overwrite } => {
+                            let idx = self.cell_index(block, warp, ordinal);
+                            cells[idx] = if overwrite {
+                                overwrite_mix(cells[idx])
+                            } else {
+                                pure_store_value(self.seed, block, warp, ordinal)
+                            };
+                        }
+                        EffectSlot::Counter { ordinal } => counters[ordinal] += 1,
+                    }
+                }
+            }
+        }
+        (cells, counters)
+    }
+}
+
+/// The GPU simulator.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct Engine {
+    cfg: GpuConfig,
+    mem: MemSubsystem,
+    sms: Vec<Sm>,
+    next_action: Vec<u64>,
+    kernels: Vec<KernelInstance>,
+    cycle: u64,
+    seed: u64,
+    prefer_preempted: bool,
+    free_context_moves: bool,
+    break_on_kernel_finish: bool,
+    kernel_finish_pending: bool,
+    preempt_records: Vec<PreemptRecord>,
+    open_preempts: Vec<Option<usize>>, // per SM: index into preempt_records
+    events: Vec<Event>,
+}
+
+impl Engine {
+    /// Create an engine with the given configuration and the default seed.
+    pub fn new(cfg: GpuConfig) -> Self {
+        Self::with_seed(cfg, 42)
+    }
+
+    /// Create an engine with an explicit determinism seed.
+    pub fn with_seed(cfg: GpuConfig, seed: u64) -> Self {
+        let sms = (0..cfg.num_sms)
+            .map(|i| Sm::new(i, &cfg))
+            .collect::<Vec<_>>();
+        let n = sms.len();
+        Engine {
+            mem: MemSubsystem::new(&cfg),
+            sms,
+            next_action: vec![0; n],
+            kernels: Vec::new(),
+            cycle: 0,
+            seed,
+            prefer_preempted: true,
+            free_context_moves: false,
+            break_on_kernel_finish: false,
+            kernel_finish_pending: false,
+            preempt_records: Vec::new(),
+            open_preempts: vec![None; n],
+            events: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Current simulation cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Whether preempted blocks are re-dispatched before fresh ones
+    /// (the paper's policy; `true` by default).
+    pub fn set_prefer_preempted(&mut self, prefer: bool) {
+        self.prefer_preempted = prefer;
+    }
+
+    /// Make context saves and restores free (zero latency, zero halt).
+    ///
+    /// This is **not** a preemption technique — it is the measurement-only
+    /// *oracle* used as the fair baseline for throughput-overhead numbers
+    /// (§4.1): the workload still loses the preempted SMs for the duration of
+    /// the preempting task, but pays nothing for the hand-over itself.
+    pub fn set_free_context_moves(&mut self, free: bool) {
+        self.free_context_moves = free;
+    }
+
+    /// Make [`Engine::run_until`] return as soon as a kernel finishes, so a
+    /// scheduler can react (relaunch, repartition) without the GPU idling
+    /// until the requested target cycle.
+    pub fn set_break_on_kernel_finish(&mut self, brk: bool) {
+        self.break_on_kernel_finish = brk;
+    }
+
+    /// Launch a kernel; blocks start flowing to SMs assigned to it.
+    pub fn launch_kernel(&mut self, desc: KernelDesc) -> KernelId {
+        let id = KernelId(self.kernels.len());
+        self.kernels.push(KernelInstance::new(
+            id, desc, &self.cfg, self.seed, self.cycle,
+        ));
+        id
+    }
+
+    /// Kernel descriptor of a launched kernel.
+    pub fn kernel_desc(&self, id: KernelId) -> &KernelDesc {
+        &self.kernels[id.0].desc
+    }
+
+    /// Per-SM resident-block occupancy limit for a kernel.
+    pub fn kernel_occupancy(&self, id: KernelId) -> u32 {
+        self.kernels[id.0].occupancy
+    }
+
+    /// Statistics of a launched kernel.
+    pub fn kernel_stats(&self, id: KernelId) -> &KernelStats {
+        &self.kernels[id.0].stats
+    }
+
+    /// Number of blocks of `id` not yet dispatched (queued or fresh).
+    pub fn pending_blocks(&self, id: KernelId) -> u64 {
+        let k = &self.kernels[id.0];
+        k.resume_queue.len() as u64
+            + k.restart_queue.len() as u64
+            + u64::from(k.desc.grid_blocks() - k.next_fresh)
+    }
+
+    /// Stop counting a kernel as making useful progress after `cap` issued
+    /// warp instructions; a [`Event::CapReached`] fires once when crossed.
+    pub fn set_inst_cap(&mut self, id: KernelId, cap: u64) {
+        self.kernels[id.0].inst_cap = Some(cap);
+    }
+
+    /// Assign an SM to a kernel (or to none). New blocks of that kernel are
+    /// dispatched to the SM as slots free up.
+    pub fn assign_sm(&mut self, sm: usize, kernel: Option<KernelId>) {
+        self.sms[sm].set_assigned(kernel);
+        self.next_action[sm] = self.next_action[sm].min(self.cycle);
+    }
+
+    /// The kernel an SM is assigned to.
+    pub fn sm_assigned(&self, sm: usize) -> Option<KernelId> {
+        self.sms[sm].assigned()
+    }
+
+    /// The kernel whose blocks are resident on an SM.
+    pub fn sm_resident_kernel(&self, sm: usize) -> Option<KernelId> {
+        self.sms[sm].resident_kernel()
+    }
+
+    /// Number of blocks resident on an SM.
+    pub fn sm_resident_count(&self, sm: usize) -> usize {
+        self.sms[sm].resident_count()
+    }
+
+    /// Grid indices of the blocks resident on an SM.
+    pub fn sm_resident_indices(&self, sm: usize) -> Vec<u32> {
+        self.sms[sm].resident_indices()
+    }
+
+    /// Whether a preemption is in progress on an SM.
+    pub fn sm_is_preempting(&self, sm: usize) -> bool {
+        self.sms[sm].is_preempting()
+    }
+
+    /// Coarse mode of an SM.
+    pub fn sm_mode(&self, sm: usize) -> SmMode {
+        self.sms[sm].mode(self.cycle)
+    }
+
+    /// Progress snapshot of an SM's resident blocks (cost-estimation input).
+    pub fn sm_snapshot(&self, sm: usize) -> SmSnapshot {
+        self.sms[sm].snapshot(self.cycle)
+    }
+
+    /// All preemption records so far.
+    pub fn preempt_records(&self) -> &[PreemptRecord] {
+        &self.preempt_records
+    }
+
+    /// GPU-wide statistics.
+    pub fn gpu_stats(&self) -> GpuStats {
+        GpuStats {
+            cycle: self.cycle,
+            total_issued_insts: self.sms.iter().map(Sm::insts_issued_total).sum(),
+            mem_bytes_served: self.mem.total_bytes_served(),
+        }
+    }
+
+    /// The kernel's functional memory image: `(cells, atomic counters)`.
+    pub fn func_mem(&self, id: KernelId) -> (&[u64], &[u64]) {
+        let k = &self.kernels[id.0];
+        (&k.func.cells, &k.func.counters)
+    }
+
+    /// Verify the kernel's functional memory against a preemption-free
+    /// reference execution. Returns the number of mismatching locations
+    /// (0 means the execution was semantically correct).
+    pub fn output_mismatches(&self, id: KernelId) -> usize {
+        let k = &self.kernels[id.0];
+        let (cells, counters) = k.reference_output();
+        let mut bad = 0;
+        bad += k
+            .func
+            .cells
+            .iter()
+            .zip(&cells)
+            .filter(|(a, b)| a != b)
+            .count();
+        bad += k
+            .func
+            .counters
+            .iter()
+            .zip(&counters)
+            .filter(|(a, b)| a != b)
+            .count();
+        bad
+    }
+
+    /// Begin a preemption on `sm` according to `plan`.
+    ///
+    /// Returns `Ok(true)` if the preemption completed immediately (pure
+    /// flush), `Ok(false)` if it is in progress.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PreemptError`] if the plan is invalid for the SM's resident
+    /// blocks (see [`SmPreemptPlan`]). The engine refuses to flush blocks
+    /// past their idempotence point unless the plan opts into unsafety.
+    pub fn preempt_sm(&mut self, sm: usize, plan: &SmPreemptPlan) -> Result<bool, PreemptError> {
+        let kernel = self.sms[sm]
+            .resident_kernel()
+            .ok_or(PreemptError::NothingResident)?;
+        let mut out = SmOutput::default();
+        let save_cycles = if self.free_context_moves {
+            0
+        } else {
+            self.cfg
+                .sm_transfer_cycles(self.kernels[kernel.0].desc.block_context_bytes())
+        };
+        let flushed = self.sms[sm].begin_preempt(self.cycle, plan, save_cycles, &mut out)?;
+        // The SM must not receive more blocks of the evicted kernel.
+        self.sms[sm].set_assigned(None);
+        let techniques = plan.entries.iter().map(|&(_, t)| t).collect();
+        let record = PreemptRecord {
+            sm,
+            kernel,
+            requested_at: self.cycle,
+            completed_at: None,
+            techniques,
+        };
+        self.preempt_records.push(record);
+        self.open_preempts[sm] = Some(self.preempt_records.len() - 1);
+        // Account flushed blocks: work discarded, block restarts from scratch.
+        for (id, wasted) in flushed {
+            let ki = &mut self.kernels[kernel.0];
+            ki.stats.wasted_flush_insts += wasted;
+            ki.stats.flush_count += 1;
+            ki.restart_queue.push_back(id.index);
+            ki.outstanding -= 1;
+        }
+        if self.cfg.charge_ctx_switch_bandwidth && plan.count(crate::Technique::Switch) > 0 {
+            let desc_bytes = self.kernels[kernel.0].desc.block_context_bytes();
+            let n = plan.count(crate::Technique::Switch) as u64;
+            self.mem.bulk_access(self.cycle, desc_bytes * n);
+        }
+        let done = out.preempt_done.is_some();
+        self.process_output(sm, out);
+        self.next_action[sm] = self.cycle.max(1);
+        Ok(done)
+    }
+
+    /// Run the simulation until `target` cycles, returning events in order.
+    pub fn run_until(&mut self, target: u64) -> Vec<Event> {
+        loop {
+            self.dispatch_all();
+            let (idx, t) = match self
+                .next_action
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &t)| t)
+                .map(|(i, &t)| (i, t))
+            {
+                Some(x) => x,
+                None => break,
+            };
+            if t > target {
+                break;
+            }
+            self.cycle = self.cycle.max(t);
+            let resident = self.sms[idx].resident_kernel();
+            let mut out = SmOutput::default();
+            let next = {
+                let desc = resident.map(|k| &self.kernels[k.0].desc);
+                self.sms[idx].tick(self.cycle, desc, &mut self.mem, self.seed, &mut out)
+            };
+            self.next_action[idx] = if next == u64::MAX {
+                u64::MAX
+            } else {
+                next.max(self.cycle + 1)
+            };
+            if out.issued_insts > 0 {
+                if let Some(k) = resident {
+                    let ki = &mut self.kernels[k.0];
+                    ki.stats.issued_insts += u64::from(out.issued_insts);
+                    if let Some(cap) = ki.inst_cap {
+                        if !ki.cap_emitted && ki.stats.issued_insts >= cap {
+                            ki.cap_emitted = true;
+                            self.events.push(Event::CapReached { kernel: k });
+                        }
+                    }
+                }
+            }
+            self.process_output(idx, out);
+            if self.break_on_kernel_finish && self.kernel_finish_pending {
+                self.kernel_finish_pending = false;
+                return std::mem::take(&mut self.events);
+            }
+        }
+        self.kernel_finish_pending = false;
+        self.cycle = self.cycle.max(target);
+        std::mem::take(&mut self.events)
+    }
+
+    /// Advance by `cycles` from the current cycle.
+    pub fn run_for(&mut self, cycles: u64) -> Vec<Event> {
+        self.run_until(self.cycle + cycles)
+    }
+
+    fn process_output(&mut self, sm: usize, out: SmOutput) {
+        for e in &out.effects {
+            self.kernels[e.kernel.0].apply_effect(e);
+        }
+        for snap in out.switched_out {
+            let k = snap.id.kernel;
+            let ki = &mut self.kernels[k.0];
+            ki.stats.switch_count += 1;
+            ki.outstanding -= 1;
+            ki.resume_queue.push_back(snap);
+        }
+        for (id, insts, cycles) in out.completed {
+            let ki = &mut self.kernels[id.kernel.0];
+            ki.outstanding -= 1;
+            ki.stats.completed_tbs += 1;
+            ki.stats.completed_insts += insts;
+            ki.stats.sum_completed_cycles += cycles;
+            self.events.push(Event::TbCompleted {
+                kernel: id.kernel,
+                sm,
+                block: id.index,
+                insts,
+                cycles,
+            });
+            if ki.is_finished() && !ki.stats.finished {
+                ki.stats.finished = true;
+                ki.stats.finished_at = Some(self.cycle);
+                self.events
+                    .push(Event::KernelFinished { kernel: id.kernel });
+                self.kernel_finish_pending = true;
+            }
+        }
+        if let Some(latency) = out.preempt_done {
+            if let Some(rec_idx) = self.open_preempts[sm].take() {
+                let rec = &mut self.preempt_records[rec_idx];
+                rec.completed_at = Some(rec.requested_at + latency);
+                let kernel = rec.kernel;
+                self.events.push(Event::PreemptionCompleted {
+                    sm,
+                    kernel,
+                    latency_cycles: latency,
+                });
+            }
+        }
+    }
+
+    fn dispatch_all(&mut self) {
+        for i in 0..self.sms.len() {
+            let Some(kid) = self.sms[i].assigned() else {
+                continue;
+            };
+            let occ = self.kernels[kid.0].occupancy;
+            let mut dispatched = false;
+            while self.sms[i].can_dispatch(kid, occ) && self.kernels[kid.0].has_dispatchable() {
+                let Some(block) = self.pop_next_block(kid, i) else {
+                    break;
+                };
+                self.kernels[kid.0].outstanding += 1;
+                self.sms[i].dispatch(block);
+                dispatched = true;
+            }
+            if dispatched {
+                // Wake the SM: its cached next-action may be stale.
+                self.next_action[i] = self.next_action[i].min(self.cycle);
+            }
+        }
+    }
+
+    fn pop_next_block(&mut self, kid: KernelId, sm: usize) -> Option<BlockRun> {
+        let now = self.cycle;
+        let (desc_ctx_bytes, seed) = {
+            let ki = &self.kernels[kid.0];
+            (ki.desc.block_context_bytes(), ki.seed)
+        };
+        let load_cycles = if self.free_context_moves {
+            0
+        } else {
+            self.cfg.sm_transfer_cycles(desc_ctx_bytes)
+        };
+        let order_pref = self.prefer_preempted;
+        let ki = &mut self.kernels[kid.0];
+        if order_pref {
+            if let Some(snap) = ki.resume_queue.pop_front() {
+                return Some(self.make_resumed(kid, sm, snap, now, load_cycles));
+            }
+            if let Some(idx) = ki.restart_queue.pop_front() {
+                let desc = ki.desc.clone();
+                return Some(BlockRun::new(
+                    BlockId {
+                        kernel: kid,
+                        index: idx,
+                    },
+                    &desc,
+                    seed,
+                    now,
+                ));
+            }
+        }
+        if ki.next_fresh < ki.desc.grid_blocks() {
+            let idx = ki.next_fresh;
+            ki.next_fresh += 1;
+            let desc = ki.desc.clone();
+            return Some(BlockRun::new(
+                BlockId {
+                    kernel: kid,
+                    index: idx,
+                },
+                &desc,
+                seed,
+                now,
+            ));
+        }
+        if let Some(snap) = ki.resume_queue.pop_front() {
+            return Some(self.make_resumed(kid, sm, snap, now, load_cycles));
+        }
+        if let Some(idx) = ki.restart_queue.pop_front() {
+            let ki = &self.kernels[kid.0];
+            let desc = ki.desc.clone();
+            return Some(BlockRun::new(
+                BlockId {
+                    kernel: kid,
+                    index: idx,
+                },
+                &desc,
+                seed,
+                now,
+            ));
+        }
+        None
+    }
+
+    fn make_resumed(
+        &mut self,
+        kid: KernelId,
+        sm: usize,
+        snap: TbSnapshot,
+        now: u64,
+        load_cycles: u64,
+    ) -> BlockRun {
+        if self.cfg.charge_ctx_switch_bandwidth {
+            let bytes = self.kernels[kid.0].desc.block_context_bytes();
+            self.mem.bulk_access(now, bytes);
+        }
+        // The context load stalls the whole receiving SM, mirroring the
+        // paper's 2x (save + restore) throughput-overhead model for switching.
+        self.sms[sm].halt_until(now + load_cycles);
+        BlockRun::from_snapshot(snap, now, now + load_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{KernelDesc, Program, Segment};
+    use crate::preempt::Technique;
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::tiny()
+    }
+
+    fn simple_kernel(grid: u32, insts: u32) -> KernelDesc {
+        KernelDesc::builder("t")
+            .grid_blocks(grid)
+            .threads_per_block(64)
+            .regs_per_thread(16)
+            .program(Program::new(vec![
+                Segment::compute(insts),
+                Segment::store(4),
+            ]))
+            .build()
+            .unwrap()
+    }
+
+    fn assign_all(e: &mut Engine, k: KernelId) {
+        for i in 0..e.config().num_sms {
+            e.assign_sm(i, Some(k));
+        }
+    }
+
+    #[test]
+    fn kernel_runs_to_completion() {
+        let mut e = Engine::new(cfg());
+        let k = e.launch_kernel(simple_kernel(32, 100));
+        assign_all(&mut e, k);
+        let events = e.run_until(10_000_000);
+        assert!(e.kernel_stats(k).finished, "kernel should finish");
+        assert_eq!(e.kernel_stats(k).completed_tbs, 32);
+        assert!(events
+            .iter()
+            .any(|ev| matches!(ev, Event::KernelFinished { .. })));
+        // 32 blocks x 2 warps x 104 insts.
+        assert_eq!(e.kernel_stats(k).completed_insts, 32 * 2 * 104);
+        assert_eq!(e.output_mismatches(k), 0);
+    }
+
+    #[test]
+    fn unassigned_engine_makes_no_progress() {
+        let mut e = Engine::new(cfg());
+        let k = e.launch_kernel(simple_kernel(4, 100));
+        e.run_until(100_000);
+        assert_eq!(e.kernel_stats(k).issued_insts, 0);
+        assert!(!e.kernel_stats(k).finished);
+    }
+
+    #[test]
+    fn drain_preemption_finishes_resident_blocks_only() {
+        let mut e = Engine::new(cfg());
+        let k = e.launch_kernel(simple_kernel(64, 2_000));
+        e.assign_sm(0, Some(k));
+        e.run_until(100); // dispatch + some progress
+        let resident = e.sm_resident_count(0);
+        assert!(resident > 0);
+        let plan = SmPreemptPlan::uniform(e.sms[0].resident_indices(), Technique::Drain);
+        assert!(!e.preempt_sm(0, &plan).unwrap());
+        let mut done = false;
+        let mut completed_after = 0;
+        for ev in e.run_until(100_000_000) {
+            match ev {
+                Event::PreemptionCompleted {
+                    sm: 0,
+                    latency_cycles,
+                    ..
+                } => {
+                    done = true;
+                    assert!(latency_cycles > 0);
+                }
+                Event::TbCompleted { .. } if done => completed_after += 1,
+                _ => {}
+            }
+        }
+        assert!(done, "drain must complete");
+        assert_eq!(
+            completed_after, 0,
+            "no new blocks after drain (SM unassigned)"
+        );
+        assert_eq!(e.sm_resident_count(0), 0);
+        assert_eq!(e.sm_assigned(0), None);
+    }
+
+    #[test]
+    fn flush_preemption_is_instant_and_blocks_restart() {
+        let mut e = Engine::new(cfg());
+        let k = e.launch_kernel(simple_kernel(8, 5_000));
+        e.assign_sm(0, Some(k));
+        e.run_until(5_000);
+        let before = e.kernel_stats(k).issued_insts;
+        assert!(before > 0);
+        let plan = SmPreemptPlan::uniform(e.sms[0].resident_indices(), Technique::Flush);
+        assert!(
+            e.preempt_sm(0, &plan).unwrap(),
+            "flush completes immediately"
+        );
+        assert!(e.kernel_stats(k).wasted_flush_insts > 0);
+        assert!(e.kernel_stats(k).flush_count > 0);
+        // Reassign and finish: flushed blocks restart and the output is intact.
+        e.assign_sm(0, Some(k));
+        e.run_until(80_000_000);
+        assert!(e.kernel_stats(k).finished);
+        assert_eq!(
+            e.output_mismatches(k),
+            0,
+            "idempotent kernel unharmed by flush"
+        );
+    }
+
+    #[test]
+    fn switch_preemption_preserves_progress() {
+        let mut e = Engine::new(cfg());
+        let k = e.launch_kernel(simple_kernel(4, 50_000));
+        e.assign_sm(0, Some(k));
+        e.run_until(20_000);
+        let issued_before = e.kernel_stats(k).issued_insts;
+        let plan = SmPreemptPlan::uniform(e.sms[0].resident_indices(), Technique::Switch);
+        assert!(!e.preempt_sm(0, &plan).unwrap());
+        let evs = e.run_until(e.cycle() + 1_000_000);
+        assert!(evs
+            .iter()
+            .any(|ev| matches!(ev, Event::PreemptionCompleted { sm: 0, .. })));
+        assert!(e.kernel_stats(k).switch_count > 0);
+        // Resume on SM 1 and complete.
+        e.assign_sm(1, Some(k));
+        e.run_until(e.cycle() + 400_000_000);
+        assert!(
+            e.kernel_stats(k).finished,
+            "switched blocks must resume and finish"
+        );
+        assert_eq!(e.output_mismatches(k), 0);
+        // No instructions were wasted by the switch.
+        assert_eq!(e.kernel_stats(k).wasted_flush_insts, 0);
+        assert!(e.kernel_stats(k).issued_insts >= issued_before);
+    }
+
+    #[test]
+    fn unsafe_flush_corrupts_non_idempotent_output() {
+        // A kernel whose block does an early atomic, then computes.
+        let desc = KernelDesc::builder("naughty")
+            .grid_blocks(2)
+            .threads_per_block(32)
+            .regs_per_thread(16)
+            .program(Program::new(vec![
+                Segment::atomic(1),
+                Segment::compute(40_000),
+            ]))
+            .build()
+            .unwrap();
+        let mut e = Engine::new(cfg());
+        let k = e.launch_kernel(desc);
+        e.assign_sm(0, Some(k));
+        // Run until the atomic has definitely executed.
+        e.run_until(200_000);
+        let snap = e.sm_snapshot(0);
+        assert!(snap.blocks.iter().any(|b| b.past_idem_point));
+        let safe = SmPreemptPlan::uniform(e.sms[0].resident_indices(), Technique::Flush);
+        assert!(
+            e.preempt_sm(0, &safe).is_err(),
+            "engine refuses unsafe flush"
+        );
+        let unsafe_plan = SmPreemptPlan {
+            allow_unsafe_flush: true,
+            ..safe
+        };
+        e.preempt_sm(0, &unsafe_plan).unwrap();
+        e.assign_sm(0, Some(k));
+        e.run_until(e.cycle() + 500_000_000);
+        assert!(e.kernel_stats(k).finished);
+        assert!(
+            e.output_mismatches(k) > 0,
+            "atomic counter must show duplicated execution"
+        );
+    }
+
+    #[test]
+    fn inst_cap_event_fires_once() {
+        let mut e = Engine::new(cfg());
+        let k = e.launch_kernel(simple_kernel(64, 1_000));
+        e.set_inst_cap(k, 1_000);
+        assign_all(&mut e, k);
+        let evs = e.run_until(50_000_000);
+        let caps = evs
+            .iter()
+            .filter(|ev| matches!(ev, Event::CapReached { .. }))
+            .count();
+        assert_eq!(caps, 1);
+    }
+
+    #[test]
+    fn preempted_blocks_are_redispatched_first() {
+        let mut e = Engine::new(cfg());
+        let k = e.launch_kernel(simple_kernel(64, 3_000));
+        e.assign_sm(0, Some(k));
+        e.run_until(2_000);
+        let resident = e.sms[0].resident_indices();
+        let plan = SmPreemptPlan::uniform(resident.clone(), Technique::Flush);
+        e.preempt_sm(0, &plan).unwrap();
+        // Reassign: the flushed blocks should come back before fresh ones.
+        e.assign_sm(0, Some(k));
+        e.run_until(e.cycle() + 10);
+        let now_resident = e.sms[0].resident_indices();
+        for r in &resident {
+            assert!(
+                now_resident.contains(r),
+                "flushed block {r} should restart first"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut e = Engine::with_seed(cfg(), 7);
+            let k = e.launch_kernel(simple_kernel(48, 500));
+            assign_all(&mut e, k);
+            e.run_until(50_000_000);
+            let s = e.kernel_stats(k);
+            (
+                s.finished_at,
+                s.completed_insts,
+                e.gpu_stats().total_issued_insts,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn pending_blocks_accounting() {
+        let mut e = Engine::new(cfg());
+        let k = e.launch_kernel(simple_kernel(10, 100));
+        assert_eq!(e.pending_blocks(k), 10);
+        e.assign_sm(0, Some(k));
+        e.run_until(10);
+        let resident = e.sm_resident_count(0) as u64;
+        assert_eq!(e.pending_blocks(k), 10 - resident);
+        e.run_until(50_000_000);
+        assert_eq!(e.pending_blocks(k), 0);
+    }
+
+    #[test]
+    fn preempting_empty_sm_is_an_error() {
+        let mut e = Engine::new(cfg());
+        let _k = e.launch_kernel(simple_kernel(4, 100));
+        let plan = SmPreemptPlan::uniform([0u32], Technique::Drain);
+        assert!(e.preempt_sm(0, &plan).is_err());
+    }
+
+    #[test]
+    fn kernel_occupancy_matches_calculator() {
+        let mut e = Engine::new(cfg());
+        let desc = simple_kernel(4, 100);
+        let occ = crate::occupancy(e.config(), &desc).blocks_per_sm;
+        let k = e.launch_kernel(desc);
+        assert_eq!(e.kernel_occupancy(k), occ);
+    }
+
+    #[test]
+    fn gpu_stats_aggregate_issue_counts() {
+        let mut e = Engine::new(cfg());
+        let k = e.launch_kernel(simple_kernel(8, 200));
+        assign_all(&mut e, k);
+        e.run_until(50_000_000);
+        let g = e.gpu_stats();
+        assert_eq!(g.total_issued_insts, e.kernel_stats(k).issued_insts);
+        assert!(g.mem_bytes_served > 0, "stores must hit DRAM");
+        assert!(g.cycle >= 50_000_000);
+    }
+
+    #[test]
+    fn fresh_first_dispatch_when_preference_disabled() {
+        let mut e = Engine::new(cfg());
+        e.set_prefer_preempted(false);
+        let k = e.launch_kernel(simple_kernel(64, 3_000));
+        e.assign_sm(0, Some(k));
+        e.run_until(2_000);
+        let flushed = e.sm_resident_indices(0);
+        e.preempt_sm(
+            0,
+            &SmPreemptPlan::uniform(flushed.clone(), Technique::Flush),
+        )
+        .unwrap();
+        e.assign_sm(0, Some(k));
+        e.run_until(e.cycle() + 10);
+        // Fresh blocks (higher indices) come first; the flushed ones wait.
+        let now_resident = e.sm_resident_indices(0);
+        for f in &flushed {
+            assert!(
+                !now_resident.contains(f),
+                "flushed block {f} restarted too early"
+            );
+        }
+    }
+
+    #[test]
+    fn bandwidth_charged_switches_slow_other_sms() {
+        // With charging on, a context switch on SM0 consumes shared DRAM
+        // bandwidth, delaying a memory-bound kernel on SM1.
+        let mem_kernel = KernelDesc::builder("m")
+            .grid_blocks(8)
+            .threads_per_block(64)
+            .regs_per_thread(60)
+            .shared_mem_per_block(16_384)
+            .program(Program::new(vec![Segment::load(3_000)]))
+            .build()
+            .unwrap();
+        let run = |charge: bool| {
+            let mut e = Engine::with_seed(
+                GpuConfig {
+                    charge_ctx_switch_bandwidth: charge,
+                    ..cfg()
+                },
+                5,
+            );
+            let a = e.launch_kernel(mem_kernel.clone().with_name("a"));
+            let b = e.launch_kernel(mem_kernel.clone().with_name("b"));
+            e.assign_sm(0, Some(a));
+            e.assign_sm(1, Some(b));
+            e.run_until(20_000);
+            // Switch SM0 repeatedly.
+            for _ in 0..30 {
+                if e.sm_resident_count(0) > 0 && !e.sm_is_preempting(0) {
+                    let plan = SmPreemptPlan::uniform(e.sm_resident_indices(0), Technique::Switch);
+                    let _ = e.preempt_sm(0, &plan);
+                }
+                e.assign_sm(0, Some(a));
+                e.run_for(20_000);
+                if e.kernel_stats(b).finished {
+                    break;
+                }
+            }
+            e.run_until(5_000_000);
+            e.kernel_stats(b).finished_at.expect("bystander finishes")
+        };
+        let uncharged = run(false);
+        let charged = run(true);
+        assert!(
+            charged > uncharged,
+            "charging bandwidth should slow the bystander: {charged} vs {uncharged}"
+        );
+    }
+
+    #[test]
+    fn two_kernels_partitioned_across_sms() {
+        let mut e = Engine::new(cfg());
+        let a = e.launch_kernel(simple_kernel(16, 400).with_name("a"));
+        let b = e.launch_kernel(simple_kernel(16, 400).with_name("b"));
+        e.assign_sm(0, Some(a));
+        e.assign_sm(1, Some(b));
+        e.run_until(50_000_000);
+        assert!(e.kernel_stats(a).finished);
+        assert!(e.kernel_stats(b).finished);
+        assert_eq!(e.output_mismatches(a), 0);
+        assert_eq!(e.output_mismatches(b), 0);
+    }
+}

@@ -1,0 +1,584 @@
+//! Kernel intermediate representation.
+//!
+//! Kernels are described as *segmented warp programs*: every warp of a thread
+//! block executes the same sequence of [`Segment`]s. Segments are coarse
+//! (hundreds of instructions each) which is all the fidelity the Chimera cost
+//! model needs — it reasons about per-block instruction counts and cycles, not
+//! about individual operations.
+//!
+//! Two segment kinds make a program *non-idempotent*: [`Segment::Atomic`] and
+//! [`Segment::GlobalStore`] with `overwrite: true` (a store to a location that
+//! the block previously read — the paper's two idempotence-breaking
+//! conditions, §2.3). The `idem` crate analyses programs for these and inserts
+//! [`Segment::ProtectStore`] markers implementing the paper's software
+//! detection of the *relaxed* idempotence condition (§3.4).
+
+use std::fmt;
+
+/// One coarse step of a warp's execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Segment {
+    /// `insts` arithmetic warp-instructions; fully pipelined.
+    Compute {
+        /// Number of warp instructions in the segment.
+        insts: u32,
+    },
+    /// `insts` coalesced global loads (128 B per warp instruction).
+    GlobalLoad {
+        /// Number of warp instructions in the segment.
+        insts: u32,
+    },
+    /// `insts` coalesced global stores.
+    GlobalStore {
+        /// Number of warp instructions in the segment.
+        insts: u32,
+        /// When `true`, the stores overwrite locations previously read by this
+        /// block, making the block non-idempotent from this point on.
+        overwrite: bool,
+    },
+    /// `insts` atomic read-modify-write operations (always non-idempotent).
+    Atomic {
+        /// Number of warp instructions in the segment.
+        insts: u32,
+    },
+    /// `insts` shared-memory accesses (on-chip, no DRAM traffic).
+    Shared {
+        /// Number of warp instructions in the segment.
+        insts: u32,
+    },
+    /// Block-wide barrier (`__syncthreads()`).
+    Barrier,
+    /// A single store to a predefined non-cacheable address announcing that
+    /// the block is about to leave its idempotent region. Inserted by the
+    /// `idem` crate; never written by hand in workload definitions.
+    ProtectStore,
+}
+
+impl Segment {
+    /// Convenience constructor for a compute segment.
+    pub fn compute(insts: u32) -> Self {
+        Segment::Compute { insts }
+    }
+
+    /// Convenience constructor for a global-load segment.
+    pub fn load(insts: u32) -> Self {
+        Segment::GlobalLoad { insts }
+    }
+
+    /// Convenience constructor for an idempotent global-store segment.
+    pub fn store(insts: u32) -> Self {
+        Segment::GlobalStore {
+            insts,
+            overwrite: false,
+        }
+    }
+
+    /// Convenience constructor for a non-idempotent overwrite segment.
+    pub fn overwrite(insts: u32) -> Self {
+        Segment::GlobalStore {
+            insts,
+            overwrite: true,
+        }
+    }
+
+    /// Convenience constructor for an atomic segment.
+    pub fn atomic(insts: u32) -> Self {
+        Segment::Atomic { insts }
+    }
+
+    /// Number of warp instructions this segment contributes.
+    pub fn insts(&self) -> u32 {
+        match *self {
+            Segment::Compute { insts }
+            | Segment::GlobalLoad { insts }
+            | Segment::GlobalStore { insts, .. }
+            | Segment::Atomic { insts }
+            | Segment::Shared { insts } => insts,
+            Segment::Barrier => 0,
+            Segment::ProtectStore => 1,
+        }
+    }
+
+    /// Whether executing this segment breaks block idempotence.
+    pub fn is_non_idempotent(&self) -> bool {
+        matches!(
+            *self,
+            Segment::Atomic { .. }
+                | Segment::GlobalStore {
+                    overwrite: true,
+                    ..
+                }
+        )
+    }
+
+    /// Whether this segment generates DRAM traffic.
+    pub fn is_global_memory(&self) -> bool {
+        matches!(
+            *self,
+            Segment::GlobalLoad { .. }
+                | Segment::GlobalStore { .. }
+                | Segment::Atomic { .. }
+                | Segment::ProtectStore
+        )
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Segment::Compute { insts } => write!(f, "compute[{insts}]"),
+            Segment::GlobalLoad { insts } => write!(f, "load[{insts}]"),
+            Segment::GlobalStore {
+                insts,
+                overwrite: false,
+            } => write!(f, "store[{insts}]"),
+            Segment::GlobalStore {
+                insts,
+                overwrite: true,
+            } => write!(f, "overwrite[{insts}]"),
+            Segment::Atomic { insts } => write!(f, "atomic[{insts}]"),
+            Segment::Shared { insts } => write!(f, "shared[{insts}]"),
+            Segment::Barrier => write!(f, "barrier"),
+            Segment::ProtectStore => write!(f, "protect-store"),
+        }
+    }
+}
+
+/// A complete warp program: the segment sequence every warp executes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    segments: Vec<Segment>,
+}
+
+impl Program {
+    /// Create a program from segments.
+    pub fn new(segments: Vec<Segment>) -> Self {
+        Program { segments }
+    }
+
+    /// The segments of the program.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Total warp instructions one warp executes.
+    pub fn insts_per_warp(&self) -> u64 {
+        self.segments.iter().map(|s| u64::from(s.insts())).sum()
+    }
+
+    /// Index of the first non-idempotent segment, if any.
+    pub fn first_non_idempotent(&self) -> Option<usize> {
+        self.segments.iter().position(Segment::is_non_idempotent)
+    }
+
+    /// Whether the whole program is idempotent (strict condition, §2.3).
+    pub fn is_idempotent(&self) -> bool {
+        self.first_non_idempotent().is_none()
+    }
+
+    /// Fraction of per-warp instructions executed before the first
+    /// non-idempotent segment; `1.0` for idempotent programs.
+    pub fn idempotent_fraction(&self) -> f64 {
+        let total = self.insts_per_warp();
+        if total == 0 {
+            return 1.0;
+        }
+        match self.first_non_idempotent() {
+            None => 1.0,
+            Some(ix) => {
+                let before: u64 = self.segments[..ix]
+                    .iter()
+                    .map(|s| u64::from(s.insts()))
+                    .sum();
+                before as f64 / total as f64
+            }
+        }
+    }
+
+    /// Count of global store/atomic segments (used to size functional memory).
+    pub fn effect_segments(&self) -> usize {
+        self.segments
+            .iter()
+            .filter(|s| matches!(s, Segment::GlobalStore { .. } | Segment::Atomic { .. }))
+            .count()
+    }
+}
+
+impl FromIterator<Segment> for Program {
+    fn from_iter<I: IntoIterator<Item = Segment>>(iter: I) -> Self {
+        Program::new(iter.into_iter().collect())
+    }
+}
+
+/// Error constructing a [`KernelDesc`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// Threads per block must be a positive multiple of the 32-thread warp.
+    BadThreadCount(u32),
+    /// Grid must contain at least one block.
+    EmptyGrid,
+    /// The program contains no instructions.
+    EmptyProgram,
+    /// Per-block resources exceed a single SM's capacity.
+    ExceedsSmResources(String),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::BadThreadCount(t) => {
+                write!(
+                    f,
+                    "threads per block must be a positive multiple of 32, got {t}"
+                )
+            }
+            KernelError::EmptyGrid => write!(f, "grid must contain at least one block"),
+            KernelError::EmptyProgram => write!(f, "program must contain at least one instruction"),
+            KernelError::ExceedsSmResources(what) => {
+                write!(f, "per-block resources exceed SM capacity: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// A kernel: grid geometry, per-block resources, and the warp program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelDesc {
+    name: String,
+    grid_blocks: u32,
+    threads_per_block: u32,
+    regs_per_thread: u32,
+    shared_mem_per_block: u32,
+    program: Program,
+    jitter_pct: f64,
+}
+
+impl KernelDesc {
+    /// Start building a kernel description.
+    pub fn builder(name: impl Into<String>) -> KernelDescBuilder {
+        KernelDescBuilder::new(name)
+    }
+
+    /// Kernel name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of thread blocks in the grid.
+    pub fn grid_blocks(&self) -> u32 {
+        self.grid_blocks
+    }
+
+    /// Threads per block.
+    pub fn threads_per_block(&self) -> u32 {
+        self.threads_per_block
+    }
+
+    /// Warps per block.
+    pub fn warps_per_block(&self) -> u32 {
+        self.threads_per_block / 32
+    }
+
+    /// Registers per thread.
+    pub fn regs_per_thread(&self) -> u32 {
+        self.regs_per_thread
+    }
+
+    /// Shared memory per block, bytes.
+    pub fn shared_mem_per_block(&self) -> u32 {
+        self.shared_mem_per_block
+    }
+
+    /// The warp program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Per-block execution length jitter (fraction; blocks vary by ±this).
+    pub fn jitter_pct(&self) -> f64 {
+        self.jitter_pct
+    }
+
+    /// Context bytes of one resident block: register state plus shared memory.
+    pub fn block_context_bytes(&self) -> u64 {
+        u64::from(self.threads_per_block) * u64::from(self.regs_per_thread) * 4
+            + u64::from(self.shared_mem_per_block)
+    }
+
+    /// Total warp instructions executed by one (unjittered) block.
+    pub fn insts_per_block(&self) -> u64 {
+        self.program.insts_per_warp() * u64::from(self.warps_per_block())
+    }
+
+    /// Replace the program (used by idempotence instrumentation).
+    pub fn with_program(&self, program: Program) -> KernelDesc {
+        KernelDesc {
+            program,
+            ..self.clone()
+        }
+    }
+
+    /// Replace the grid size (used by multi-launch jobs such as LUD).
+    pub fn with_grid_blocks(&self, grid_blocks: u32) -> KernelDesc {
+        assert!(grid_blocks > 0, "grid must contain at least one block");
+        KernelDesc {
+            grid_blocks,
+            ..self.clone()
+        }
+    }
+
+    /// Replace the name.
+    pub fn with_name(&self, name: impl Into<String>) -> KernelDesc {
+        KernelDesc {
+            name: name.into(),
+            ..self.clone()
+        }
+    }
+}
+
+impl fmt::Display for KernelDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} <<<{}, {}>>> ({} regs/thread, {} B smem)",
+            self.name,
+            self.grid_blocks,
+            self.threads_per_block,
+            self.regs_per_thread,
+            self.shared_mem_per_block
+        )
+    }
+}
+
+/// Builder for [`KernelDesc`] (see C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct KernelDescBuilder {
+    name: String,
+    grid_blocks: u32,
+    threads_per_block: u32,
+    regs_per_thread: u32,
+    shared_mem_per_block: u32,
+    program: Program,
+    jitter_pct: f64,
+}
+
+impl KernelDescBuilder {
+    fn new(name: impl Into<String>) -> Self {
+        KernelDescBuilder {
+            name: name.into(),
+            grid_blocks: 1,
+            threads_per_block: 128,
+            regs_per_thread: 16,
+            shared_mem_per_block: 0,
+            program: Program::default(),
+            jitter_pct: 0.0,
+        }
+    }
+
+    /// Set the grid size in blocks.
+    pub fn grid_blocks(mut self, blocks: u32) -> Self {
+        self.grid_blocks = blocks;
+        self
+    }
+
+    /// Set threads per block (must be a positive multiple of 32).
+    pub fn threads_per_block(mut self, threads: u32) -> Self {
+        self.threads_per_block = threads;
+        self
+    }
+
+    /// Set registers per thread.
+    pub fn regs_per_thread(mut self, regs: u32) -> Self {
+        self.regs_per_thread = regs;
+        self
+    }
+
+    /// Set shared memory per block in bytes.
+    pub fn shared_mem_per_block(mut self, bytes: u32) -> Self {
+        self.shared_mem_per_block = bytes;
+        self
+    }
+
+    /// Set the warp program.
+    pub fn program(mut self, program: Program) -> Self {
+        self.program = program;
+        self
+    }
+
+    /// Set per-block execution-length jitter (e.g. `0.1` for ±10 %).
+    pub fn jitter_pct(mut self, pct: f64) -> Self {
+        self.jitter_pct = pct;
+        self
+    }
+
+    /// Validate and build the kernel description.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] if the geometry is invalid or the per-block
+    /// resources cannot fit on any SM of the Fermi configuration.
+    pub fn build(self) -> Result<KernelDesc, KernelError> {
+        if self.threads_per_block == 0 || !self.threads_per_block.is_multiple_of(32) {
+            return Err(KernelError::BadThreadCount(self.threads_per_block));
+        }
+        if self.grid_blocks == 0 {
+            return Err(KernelError::EmptyGrid);
+        }
+        if self.program.insts_per_warp() == 0 {
+            return Err(KernelError::EmptyProgram);
+        }
+        let cfg = crate::GpuConfig::fermi();
+        let regs = self.threads_per_block * self.regs_per_thread;
+        if regs > cfg.registers_per_sm {
+            return Err(KernelError::ExceedsSmResources(format!(
+                "{regs} registers > {} per SM",
+                cfg.registers_per_sm
+            )));
+        }
+        if self.shared_mem_per_block > cfg.shared_mem_per_sm {
+            return Err(KernelError::ExceedsSmResources(format!(
+                "{} B shared memory > {} per SM",
+                self.shared_mem_per_block, cfg.shared_mem_per_sm
+            )));
+        }
+        if self.threads_per_block > cfg.max_threads_per_sm {
+            return Err(KernelError::ExceedsSmResources(format!(
+                "{} threads > {} per SM",
+                self.threads_per_block, cfg.max_threads_per_sm
+            )));
+        }
+        Ok(KernelDesc {
+            name: self.name,
+            grid_blocks: self.grid_blocks,
+            threads_per_block: self.threads_per_block,
+            regs_per_thread: self.regs_per_thread,
+            shared_mem_per_block: self.shared_mem_per_block,
+            program: self.program,
+            jitter_pct: self.jitter_pct,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_program() -> Program {
+        Program::new(vec![
+            Segment::load(20),
+            Segment::compute(100),
+            Segment::Barrier,
+            Segment::compute(60),
+            Segment::store(20),
+        ])
+    }
+
+    #[test]
+    fn program_instruction_count() {
+        assert_eq!(demo_program().insts_per_warp(), 200);
+    }
+
+    #[test]
+    fn idempotent_program_has_no_breaking_segment() {
+        let p = demo_program();
+        assert!(p.is_idempotent());
+        assert_eq!(p.first_non_idempotent(), None);
+        assert!((p.idempotent_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn atomic_breaks_idempotence() {
+        let p = Program::new(vec![Segment::compute(90), Segment::atomic(10)]);
+        assert!(!p.is_idempotent());
+        assert_eq!(p.first_non_idempotent(), Some(1));
+        assert!((p.idempotent_fraction() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overwrite_breaks_idempotence_but_plain_store_does_not() {
+        let plain = Program::new(vec![Segment::store(10)]);
+        assert!(plain.is_idempotent());
+        let over = Program::new(vec![Segment::overwrite(10)]);
+        assert!(!over.is_idempotent());
+    }
+
+    #[test]
+    fn builder_validates_threads() {
+        let e = KernelDesc::builder("x")
+            .threads_per_block(100)
+            .program(demo_program())
+            .build()
+            .unwrap_err();
+        assert_eq!(e, KernelError::BadThreadCount(100));
+    }
+
+    #[test]
+    fn builder_validates_grid_and_program() {
+        assert_eq!(
+            KernelDesc::builder("x")
+                .grid_blocks(0)
+                .program(demo_program())
+                .build()
+                .unwrap_err(),
+            KernelError::EmptyGrid
+        );
+        assert_eq!(
+            KernelDesc::builder("x").grid_blocks(1).build().unwrap_err(),
+            KernelError::EmptyProgram
+        );
+    }
+
+    #[test]
+    fn builder_validates_sm_resources() {
+        let e = KernelDesc::builder("x")
+            .threads_per_block(1024)
+            .regs_per_thread(64)
+            .program(demo_program())
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, KernelError::ExceedsSmResources(_)));
+    }
+
+    #[test]
+    fn context_bytes_counts_registers_and_shared_memory() {
+        let k = KernelDesc::builder("x")
+            .grid_blocks(4)
+            .threads_per_block(128)
+            .regs_per_thread(32)
+            .shared_mem_per_block(8192)
+            .program(demo_program())
+            .build()
+            .unwrap();
+        assert_eq!(k.block_context_bytes(), 128 * 32 * 4 + 8192);
+        assert_eq!(k.warps_per_block(), 4);
+        assert_eq!(k.insts_per_block(), 200 * 4);
+    }
+
+    #[test]
+    fn display_formats() {
+        let k = KernelDesc::builder("demo")
+            .grid_blocks(2)
+            .program(demo_program())
+            .build()
+            .unwrap();
+        let s = format!("{k}");
+        assert!(s.contains("demo"));
+        assert!(format!("{}", Segment::compute(5)).contains("compute"));
+        assert!(format!("{}", Segment::ProtectStore).contains("protect"));
+    }
+
+    #[test]
+    fn with_program_and_grid_preserve_other_fields() {
+        let k = KernelDesc::builder("demo")
+            .grid_blocks(7)
+            .program(demo_program())
+            .build()
+            .unwrap();
+        let k2 = k.with_grid_blocks(3).with_name("demo2");
+        assert_eq!(k2.grid_blocks(), 3);
+        assert_eq!(k2.name(), "demo2");
+        assert_eq!(k2.threads_per_block(), k.threads_per_block());
+    }
+}

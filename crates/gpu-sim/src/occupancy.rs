@@ -1,0 +1,157 @@
+//! Occupancy calculation: how many blocks of a kernel fit on one SM.
+
+use crate::{GpuConfig, KernelDesc};
+use std::fmt;
+
+/// Which resource bounds the number of resident blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LimitReason {
+    /// The per-SM register file.
+    Registers,
+    /// The per-SM shared memory.
+    SharedMemory,
+    /// The per-SM resident-thread limit.
+    Threads,
+    /// The per-SM resident-warp limit.
+    Warps,
+    /// The architectural cap on resident blocks.
+    MaxBlocks,
+}
+
+impl fmt::Display for LimitReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LimitReason::Registers => "registers",
+            LimitReason::SharedMemory => "shared memory",
+            LimitReason::Threads => "threads",
+            LimitReason::Warps => "warps",
+            LimitReason::MaxBlocks => "max blocks",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Result of the occupancy calculation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Occupancy {
+    /// Blocks of this kernel that fit on one SM (≥ 1 for valid kernels).
+    pub blocks_per_sm: u32,
+    /// The binding resource.
+    pub limiting: LimitReason,
+}
+
+/// Compute how many blocks of `kernel` can be resident on one SM of `cfg`.
+///
+/// Mirrors the CUDA occupancy rules for the resources the simulator models:
+/// registers, shared memory, resident threads/warps and the architectural
+/// block cap.
+///
+/// ```
+/// use gpu_sim::{occupancy, GpuConfig, KernelDesc, LimitReason, Program, Segment};
+///
+/// let k = KernelDesc::builder("stencil")
+///     .grid_blocks(100)
+///     .threads_per_block(128)
+///     .regs_per_thread(8)
+///     .shared_mem_per_block(12 * 1024) // 12 kB -> 4 blocks of 48 kB
+///     .program(Program::new(vec![Segment::compute(100)]))
+///     .build()?;
+/// let occ = occupancy(&GpuConfig::fermi(), &k);
+/// assert_eq!(occ.blocks_per_sm, 4);
+/// assert_eq!(occ.limiting, LimitReason::SharedMemory);
+/// # Ok::<(), gpu_sim::KernelError>(())
+/// ```
+pub fn occupancy(cfg: &GpuConfig, kernel: &KernelDesc) -> Occupancy {
+    let regs_per_block = kernel.threads_per_block() * kernel.regs_per_thread();
+    let by_regs = cfg
+        .registers_per_sm
+        .checked_div(regs_per_block)
+        .unwrap_or(u32::MAX);
+    let by_smem = if kernel.shared_mem_per_block() == 0 {
+        u32::MAX
+    } else {
+        cfg.shared_mem_per_sm / kernel.shared_mem_per_block()
+    };
+    let by_threads = cfg.max_threads_per_sm / kernel.threads_per_block();
+    let by_warps = cfg.max_warps_per_sm / kernel.warps_per_block();
+    let candidates = [
+        (by_regs, LimitReason::Registers),
+        (by_smem, LimitReason::SharedMemory),
+        (by_threads, LimitReason::Threads),
+        (by_warps, LimitReason::Warps),
+        (cfg.max_blocks_per_sm, LimitReason::MaxBlocks),
+    ];
+    // min() returns the first minimum; order the array so that architectural
+    // caps lose ties to resource limits for more informative reporting.
+    let (blocks, limiting) = candidates
+        .iter()
+        .copied()
+        .min_by_key(|&(b, _)| b)
+        .expect("non-empty candidate list");
+    Occupancy {
+        blocks_per_sm: blocks,
+        limiting,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Program, Segment};
+
+    fn kernel(threads: u32, regs: u32, smem: u32) -> KernelDesc {
+        KernelDesc::builder("k")
+            .grid_blocks(100)
+            .threads_per_block(threads)
+            .regs_per_thread(regs)
+            .shared_mem_per_block(smem)
+            .program(Program::new(vec![Segment::compute(100)]))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn small_kernel_hits_block_cap() {
+        let cfg = GpuConfig::fermi();
+        let occ = occupancy(&cfg, &kernel(128, 8, 0));
+        assert_eq!(occ.blocks_per_sm, 8);
+        assert_eq!(occ.limiting, LimitReason::MaxBlocks);
+    }
+
+    #[test]
+    fn register_bound_kernel() {
+        let cfg = GpuConfig::fermi();
+        // 256 threads x 60 regs = 15360 regs/block -> 2 blocks.
+        let occ = occupancy(&cfg, &kernel(256, 60, 0));
+        assert_eq!(occ.blocks_per_sm, 2);
+        assert_eq!(occ.limiting, LimitReason::Registers);
+    }
+
+    #[test]
+    fn shared_memory_bound_kernel() {
+        let cfg = GpuConfig::fermi();
+        // 12 kB smem -> 4 blocks of 48 kB.
+        let occ = occupancy(&cfg, &kernel(128, 8, 12 * 1024));
+        assert_eq!(occ.blocks_per_sm, 4);
+        assert_eq!(occ.limiting, LimitReason::SharedMemory);
+    }
+
+    #[test]
+    fn thread_bound_kernel() {
+        let cfg = GpuConfig::fermi();
+        // 1024 threads/block -> 1536/1024 = 1 block.
+        let occ = occupancy(&cfg, &kernel(1024, 8, 0));
+        assert_eq!(occ.blocks_per_sm, 1);
+        assert_eq!(occ.limiting, LimitReason::Threads);
+    }
+
+    #[test]
+    fn occupancy_never_zero_for_buildable_kernels() {
+        let cfg = GpuConfig::fermi();
+        // The KernelDesc builder rejects anything that cannot fit once.
+        for &(t, r, s) in &[(1024u32, 32u32, 48 * 1024u32), (128, 64, 0), (32, 8, 65)] {
+            let occ = occupancy(&cfg, &kernel(t, r, s));
+            assert!(occ.blocks_per_sm >= 1, "{t}/{r}/{s} -> {occ:?}");
+        }
+    }
+}

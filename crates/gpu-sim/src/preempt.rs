@@ -1,0 +1,120 @@
+//! Preemption techniques and per-SM preemption plans.
+
+use std::fmt;
+
+/// The three preemption techniques in Chimera's toolbox (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Technique {
+    /// Save the block's context and resume it later (possibly elsewhere).
+    /// Mid-range, roughly constant latency; throughput lost both saving and
+    /// restoring.
+    Switch,
+    /// Stop dispatching and let the block run to completion. No wasted work,
+    /// but the latency is the block's remaining execution time.
+    Drain,
+    /// Drop the block instantly and restart it from scratch later. Near-zero
+    /// latency; all executed work is thrown away. Only safe while the block
+    /// is idempotent.
+    Flush,
+}
+
+impl Technique {
+    /// All techniques, in the paper's presentation order.
+    pub const ALL: [Technique; 3] = [Technique::Switch, Technique::Drain, Technique::Flush];
+}
+
+impl fmt::Display for Technique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Technique::Switch => "switch",
+            Technique::Drain => "drain",
+            Technique::Flush => "flush",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A preemption plan for one SM: a technique for every resident block.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SmPreemptPlan {
+    /// `(grid block index, technique)` for every block resident on the SM.
+    pub entries: Vec<(u32, Technique)>,
+    /// Allow flushing blocks that are past their idempotence point.
+    ///
+    /// The engine normally rejects such plans because re-running the block
+    /// would corrupt memory; tests enable this to demonstrate the corruption.
+    pub allow_unsafe_flush: bool,
+}
+
+impl SmPreemptPlan {
+    /// A plan applying one technique to every entry in `blocks`.
+    pub fn uniform(blocks: impl IntoIterator<Item = u32>, technique: Technique) -> Self {
+        SmPreemptPlan {
+            entries: blocks.into_iter().map(|b| (b, technique)).collect(),
+            allow_unsafe_flush: false,
+        }
+    }
+
+    /// The technique assigned to grid block `index`, if present.
+    pub fn technique_for(&self, index: u32) -> Option<Technique> {
+        self.entries
+            .iter()
+            .find(|(b, _)| *b == index)
+            .map(|&(_, t)| t)
+    }
+
+    /// Count of entries using `technique`.
+    pub fn count(&self, technique: Technique) -> usize {
+        self.entries
+            .iter()
+            .filter(|&&(_, t)| t == technique)
+            .count()
+    }
+}
+
+/// The result of a completed SM preemption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreemptOutcome {
+    /// Cycle the preemption was requested.
+    pub requested_at: u64,
+    /// Cycle the SM was fully vacated.
+    pub completed_at: u64,
+}
+
+impl PreemptOutcome {
+    /// Preemption latency in cycles.
+    pub fn latency_cycles(&self) -> u64 {
+        self.completed_at - self.requested_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_plan() {
+        let p = SmPreemptPlan::uniform([3, 5, 9], Technique::Drain);
+        assert_eq!(p.entries.len(), 3);
+        assert_eq!(p.technique_for(5), Some(Technique::Drain));
+        assert_eq!(p.technique_for(4), None);
+        assert_eq!(p.count(Technique::Drain), 3);
+        assert_eq!(p.count(Technique::Flush), 0);
+    }
+
+    #[test]
+    fn technique_display() {
+        assert_eq!(Technique::Switch.to_string(), "switch");
+        assert_eq!(Technique::Drain.to_string(), "drain");
+        assert_eq!(Technique::Flush.to_string(), "flush");
+    }
+
+    #[test]
+    fn outcome_latency() {
+        let o = PreemptOutcome {
+            requested_at: 100,
+            completed_at: 450,
+        };
+        assert_eq!(o.latency_cycles(), 350);
+    }
+}

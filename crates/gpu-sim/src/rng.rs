@@ -1,0 +1,59 @@
+//! Deterministic hashing / pseudo-random helpers.
+//!
+//! The simulator derives all per-thread-block variation (execution-length
+//! jitter, memory addresses) from pure hash functions of stable identifiers so
+//! that results are reproducible regardless of event ordering.
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Combine several identifiers into one hash.
+pub fn hash_combine(parts: &[u64]) -> u64 {
+    let mut h = 0x51_7C_C1_B7_27_22_0A_95u64;
+    for &p in parts {
+        h = splitmix64(h ^ p);
+    }
+    h
+}
+
+/// A uniform value in `[0, 1)` derived from a hash.
+pub fn unit_f64(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        assert_eq!(splitmix64(42), splitmix64(42));
+        assert_ne!(splitmix64(42), splitmix64(43));
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        for i in 0..1000u64 {
+            let u = unit_f64(splitmix64(i));
+            assert!((0.0..1.0).contains(&u), "u={u}");
+        }
+    }
+
+    #[test]
+    fn unit_f64_roughly_uniform() {
+        let n = 10_000u64;
+        let mean: f64 = (0..n).map(|i| unit_f64(splitmix64(i))).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean={mean}");
+    }
+
+    #[test]
+    fn hash_combine_order_sensitive() {
+        assert_ne!(hash_combine(&[1, 2]), hash_combine(&[2, 1]));
+    }
+}

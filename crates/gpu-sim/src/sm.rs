@@ -1,0 +1,1051 @@
+//! Streaming multiprocessor model.
+//!
+//! An SM holds up to `occupancy` resident thread blocks and drives their warps
+//! through a single issue pipeline: one warp-instruction chunk occupies the
+//! pipeline for `chunk × 32/simt_width` cycles. Warps are selected loose
+//! round-robin across all resident blocks. The SM also implements the
+//! *mechanics* of the three preemption techniques — halting for a context
+//! save, draining, and instant flush — while the decision logic lives in the
+//! `chimera` crate.
+
+use crate::block::{BlockRun, TbSnapshot};
+use crate::kernel::{KernelDesc, Segment};
+use crate::mem::MemSubsystem;
+use crate::preempt::{SmPreemptPlan, Technique};
+use crate::rng::hash_combine;
+use crate::{BlockId, GpuConfig, KernelId};
+
+/// Coarse operating mode of an SM (for reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmMode {
+    /// Executing (or idle awaiting dispatch).
+    Active,
+    /// A preemption is in progress.
+    Preempting,
+    /// Halted for a context save/restore.
+    Halted,
+}
+
+/// A functional memory effect produced by a warp completing a store/atomic
+/// segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Effect {
+    /// Kernel that produced the effect.
+    pub kernel: KernelId,
+    /// Grid block index.
+    pub block: u32,
+    /// Warp index within the block.
+    pub warp: u32,
+    /// Program segment index that completed.
+    pub seg_idx: usize,
+}
+
+/// Per-tick output of an SM, consumed by the engine.
+#[derive(Debug, Default)]
+pub struct SmOutput {
+    /// Blocks that completed: `(id, issued_insts, elapsed_cycles)`.
+    pub completed: Vec<(BlockId, u64, u64)>,
+    /// Functional effects to apply to global memory.
+    pub effects: Vec<Effect>,
+    /// Contexts saved by a finished context-switch save phase.
+    pub switched_out: Vec<TbSnapshot>,
+    /// Set when the active preemption finished; value is the latency in cycles.
+    pub preempt_done: Option<u64>,
+    /// Warp instructions issued this tick.
+    pub issued_insts: u32,
+}
+
+/// Snapshot of one resident block for cost estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TbSnapshotInfo {
+    /// Grid block index.
+    pub index: u32,
+    /// Warp instructions issued so far.
+    pub executed_insts: u64,
+    /// Cycles resident so far.
+    pub elapsed_cycles: u64,
+    /// Whether the block is past its idempotence point (not flushable).
+    pub past_idem_point: bool,
+}
+
+/// Snapshot of an SM for cost estimation.
+#[derive(Debug, Clone)]
+pub struct SmSnapshot {
+    /// SM index.
+    pub sm: usize,
+    /// Kernel whose blocks are resident (`None` if empty).
+    pub kernel: Option<KernelId>,
+    /// Per-block progress.
+    pub blocks: Vec<TbSnapshotInfo>,
+}
+
+#[derive(Debug)]
+struct ActivePreemption {
+    started: u64,
+    /// Save completes at this cycle (if any block is switched).
+    save_ends_at: Option<u64>,
+    switch_set: Vec<u32>,
+    switch_done: bool,
+}
+
+/// A streaming multiprocessor.
+#[derive(Debug)]
+pub struct Sm {
+    /// SM index.
+    pub id: usize,
+    issue_interval: u64,
+    issue_chunk: u32,
+    issue_free_at: u64,
+    halted_until: u64,
+    rr: usize,
+    last_slot: Option<usize>,
+    sched: crate::config::WarpSched,
+    l1_hit_fraction: f64,
+    l1_latency: u64,
+    l1_hits: u64,
+    l1_misses: u64,
+    blocks: Vec<BlockRun>,
+    assigned: Option<KernelId>,
+    preempt: Option<ActivePreemption>,
+    insts_issued_total: u64,
+}
+
+/// Error returned by [`Sm::begin_preempt`] (via the engine).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PreemptError {
+    /// The SM has no resident blocks to preempt.
+    NothingResident,
+    /// A preemption is already in progress on this SM.
+    AlreadyPreempting,
+    /// The plan does not cover exactly the resident blocks.
+    PlanMismatch {
+        /// Blocks resident but missing from the plan.
+        missing: Vec<u32>,
+    },
+    /// The plan flushes a block past its idempotence point without
+    /// `allow_unsafe_flush`.
+    UnsafeFlush {
+        /// The offending grid block index.
+        block: u32,
+    },
+}
+
+impl std::fmt::Display for PreemptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PreemptError::NothingResident => write!(f, "no resident blocks to preempt"),
+            PreemptError::AlreadyPreempting => write!(f, "preemption already in progress"),
+            PreemptError::PlanMismatch { missing } => {
+                write!(f, "plan does not cover resident blocks {missing:?}")
+            }
+            PreemptError::UnsafeFlush { block } => {
+                write!(
+                    f,
+                    "block {block} is past its idempotence point and cannot be flushed"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PreemptError {}
+
+impl Sm {
+    /// Create SM `id` with the issue parameters of `cfg`.
+    pub fn new(id: usize, cfg: &GpuConfig) -> Self {
+        Sm {
+            id,
+            issue_interval: cfg.issue_interval(),
+            issue_chunk: cfg.issue_chunk.max(1),
+            issue_free_at: 0,
+            halted_until: 0,
+            rr: 0,
+            last_slot: None,
+            sched: cfg.warp_sched,
+            l1_hit_fraction: cfg.l1_hit_fraction,
+            l1_latency: cfg.l1_latency_cycles,
+            l1_hits: 0,
+            l1_misses: 0,
+            blocks: Vec::new(),
+            assigned: None,
+            preempt: None,
+            insts_issued_total: 0,
+        }
+    }
+
+    /// L1 data-cache hit/miss counters.
+    pub fn l1_counters(&self) -> (u64, u64) {
+        (self.l1_hits, self.l1_misses)
+    }
+
+    /// The kernel this SM is assigned to receive blocks from.
+    pub fn assigned(&self) -> Option<KernelId> {
+        self.assigned
+    }
+
+    /// Assign (or unassign) the SM to a kernel for future dispatch.
+    pub fn set_assigned(&mut self, kernel: Option<KernelId>) {
+        self.assigned = kernel;
+    }
+
+    /// Kernel owning the currently resident blocks, if any.
+    pub fn resident_kernel(&self) -> Option<KernelId> {
+        self.blocks.first().map(|b| b.id.kernel)
+    }
+
+    /// Number of resident blocks.
+    pub fn resident_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Grid indices of resident blocks.
+    pub fn resident_indices(&self) -> Vec<u32> {
+        self.blocks.iter().map(|b| b.id.index).collect()
+    }
+
+    /// Whether a preemption is in progress.
+    pub fn is_preempting(&self) -> bool {
+        self.preempt.is_some()
+    }
+
+    /// Whether new blocks may be dispatched here for `kernel`.
+    pub fn can_dispatch(&self, kernel: KernelId, occupancy: u32) -> bool {
+        self.assigned == Some(kernel)
+            && self.preempt.is_none()
+            && self.resident_kernel().is_none_or(|k| k == kernel)
+            && (self.blocks.len() as u32) < occupancy
+    }
+
+    /// Current mode (for reporting).
+    pub fn mode(&self, now: u64) -> SmMode {
+        if self.preempt.is_some() {
+            SmMode::Preempting
+        } else if now < self.halted_until {
+            SmMode::Halted
+        } else {
+            SmMode::Active
+        }
+    }
+
+    /// Total warp instructions issued by this SM.
+    pub fn insts_issued_total(&self) -> u64 {
+        self.insts_issued_total
+    }
+
+    /// Place a block onto the SM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block belongs to a different kernel than the resident
+    /// ones (current GPUs only co-locate blocks of one kernel per SM).
+    pub fn dispatch(&mut self, block: BlockRun) {
+        if let Some(k) = self.resident_kernel() {
+            assert_eq!(k, block.id.kernel, "mixed kernels on one SM");
+        }
+        self.blocks.push(block);
+    }
+
+    /// Halt the SM (no issue) until `until` — used for context loads.
+    pub fn halt_until(&mut self, until: u64) {
+        self.halted_until = self.halted_until.max(until);
+    }
+
+    /// Cycle until which the SM is halted.
+    pub fn halted_until(&self) -> u64 {
+        self.halted_until
+    }
+
+    /// Snapshot resident-block progress for cost estimation.
+    pub fn snapshot(&self, now: u64) -> SmSnapshot {
+        SmSnapshot {
+            sm: self.id,
+            kernel: self.resident_kernel(),
+            blocks: self
+                .blocks
+                .iter()
+                .map(|b| TbSnapshotInfo {
+                    index: b.id.index,
+                    executed_insts: b.issued_insts(),
+                    elapsed_cycles: b.elapsed_cycles(now),
+                    past_idem_point: b.past_idem_point,
+                })
+                .collect(),
+        }
+    }
+
+    /// Begin executing a preemption plan at cycle `now`.
+    ///
+    /// Flushed blocks are removed immediately and returned for restart;
+    /// switched blocks leave after a context-save halt of `save_cycles`
+    /// per switched block (the engine derives it from the kernel's block
+    /// context size and the SM's bandwidth share — or zero in oracle mode);
+    /// drained blocks continue to completion.
+    ///
+    /// # Errors
+    ///
+    /// See [`PreemptError`].
+    pub fn begin_preempt(
+        &mut self,
+        now: u64,
+        plan: &SmPreemptPlan,
+        save_cycles_per_block: u64,
+        out: &mut SmOutput,
+    ) -> Result<Vec<(BlockId, u64)>, PreemptError> {
+        if self.blocks.is_empty() {
+            return Err(PreemptError::NothingResident);
+        }
+        if self.preempt.is_some() {
+            return Err(PreemptError::AlreadyPreempting);
+        }
+        let missing: Vec<u32> = self
+            .blocks
+            .iter()
+            .filter(|b| plan.technique_for(b.id.index).is_none())
+            .map(|b| b.id.index)
+            .collect();
+        if !missing.is_empty() {
+            return Err(PreemptError::PlanMismatch { missing });
+        }
+        if !plan.allow_unsafe_flush {
+            for b in &self.blocks {
+                if b.past_idem_point && plan.technique_for(b.id.index) == Some(Technique::Flush) {
+                    return Err(PreemptError::UnsafeFlush { block: b.id.index });
+                }
+            }
+        }
+        // Flush: instant removal. Record discarded work for accounting.
+        let mut flushed = Vec::new();
+        self.blocks.retain(|b| {
+            if plan.technique_for(b.id.index) == Some(Technique::Flush) {
+                flushed.push((b.id, b.issued_insts()));
+                false
+            } else {
+                true
+            }
+        });
+        self.rr = 0;
+        self.last_slot = None;
+        // Switch: halt for the save, remove afterwards (in tick()).
+        let switch_set: Vec<u32> = self
+            .blocks
+            .iter()
+            .filter(|b| plan.technique_for(b.id.index) == Some(Technique::Switch))
+            .map(|b| b.id.index)
+            .collect();
+        let save_ends_at = if switch_set.is_empty() {
+            None
+        } else {
+            let save = save_cycles_per_block * switch_set.len() as u64;
+            self.halted_until = self.halted_until.max(now + save);
+            Some(now + save)
+        };
+        self.preempt = Some(ActivePreemption {
+            started: now,
+            save_ends_at,
+            switch_set,
+            switch_done: save_ends_at.is_none(),
+        });
+        self.check_preempt_done(now, out);
+        Ok(flushed)
+    }
+
+    fn check_preempt_done(&mut self, now: u64, out: &mut SmOutput) {
+        let done = match &self.preempt {
+            Some(ap) => ap.switch_done && self.blocks.is_empty(),
+            None => false,
+        };
+        if done {
+            let ap = self.preempt.take().expect("checked above");
+            out.preempt_done = Some(now - ap.started);
+        }
+    }
+
+    /// Advance the SM at cycle `now`; returns the next cycle at which this SM
+    /// can make progress (`u64::MAX` when idle with nothing pending).
+    pub fn tick(
+        &mut self,
+        now: u64,
+        desc: Option<&KernelDesc>,
+        mem: &mut MemSubsystem,
+        seed: u64,
+        out: &mut SmOutput,
+    ) -> u64 {
+        // Finish a pending context save.
+        if let Some(ap) = &mut self.preempt {
+            if !ap.switch_done {
+                let ends = ap.save_ends_at.expect("switch phase requires save_ends_at");
+                if now >= ends {
+                    let set = std::mem::take(&mut ap.switch_set);
+                    self.blocks.retain(|b| {
+                        if set.contains(&b.id.index) {
+                            out.switched_out.push(b.snapshot(now));
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    let ap = self.preempt.as_mut().expect("still preempting");
+                    ap.switch_done = true;
+                    self.rr = 0;
+                    self.last_slot = None;
+                    self.check_preempt_done(now, out);
+                } else {
+                    return ends;
+                }
+            }
+        }
+        if self.blocks.is_empty() {
+            return u64::MAX;
+        }
+        if now < self.halted_until {
+            return self.halted_until;
+        }
+        // Release barriers.
+        for b in &mut self.blocks {
+            if b.barrier_ready() {
+                b.release_barrier();
+            }
+        }
+        if now < self.issue_free_at {
+            return self.issue_free_at;
+        }
+        let desc = desc.expect("resident blocks require a kernel descriptor");
+        // Warp selection across (block, warp) pairs. All resident blocks
+        // belong to one kernel, so warps-per-block is uniform and a flat
+        // slot index decomposes without allocation.
+        let wpb = self.blocks[0].warps().len();
+        let n = self.blocks.len() * wpb;
+        let slot_ready = |slot: usize, blocks: &[BlockRun]| -> Option<u64> {
+            let (bi, wi) = (slot / wpb, slot % wpb);
+            blocks[bi].warps()[wi]
+                .next_ready_at()
+                .map(|t| t.max(blocks[bi].warm_up_until))
+        };
+        let mut chosen: Option<(usize, usize)> = None;
+        let mut earliest: u64 = u64::MAX;
+        // Greedy-then-oldest: stick with the last warp while it stays ready.
+        if self.sched == crate::config::WarpSched::GreedyThenOldest {
+            if let Some(s) = self.last_slot.filter(|&s| s < n) {
+                if slot_ready(s, &self.blocks).is_some_and(|t| t <= now) {
+                    chosen = Some((s / wpb, s % wpb));
+                }
+            }
+        }
+        if chosen.is_none() {
+            // Round-robin continues from the cursor; greedy-then-oldest
+            // falls back to the oldest (lowest-slot) ready warp.
+            let start = match self.sched {
+                crate::config::WarpSched::LooseRoundRobin => self.rr,
+                crate::config::WarpSched::GreedyThenOldest => 0,
+            };
+            for k in 0..n {
+                let s = (start + k) % n;
+                if let Some(t) = slot_ready(s, &self.blocks) {
+                    if t <= now {
+                        chosen = Some((s / wpb, s % wpb));
+                        self.rr = (s + 1) % n;
+                        self.last_slot = Some(s);
+                        break;
+                    }
+                    earliest = earliest.min(t);
+                }
+            }
+        }
+        let Some((bi, wi)) = chosen else {
+            // Nothing ready: barriers may have become releasable above, in
+            // which case warps are Ready and we would have found them.
+            return earliest;
+        };
+        let segments = desc.program().segments();
+        let block = &mut self.blocks[bi];
+        let outcome = block.issue_warp(wi, segments, self.issue_chunk);
+        if outcome.insts > 0 {
+            block.add_insts(outcome.insts);
+            self.insts_issued_total += u64::from(outcome.insts);
+            out.issued_insts += outcome.insts;
+            self.issue_free_at = now + self.issue_interval * u64::from(outcome.insts);
+        }
+        // Non-idempotence flag: protect-store, or directly issuing a
+        // non-idempotent segment of an uninstrumented program.
+        if outcome.protect_store {
+            block.past_idem_point = true;
+        }
+        if let Some(seg) = current_segment_of(segments, &outcome) {
+            if seg.is_non_idempotent() {
+                block.past_idem_point = true;
+            }
+        }
+        if outcome.mem_bytes > 0 {
+            let addr = hash_combine(&[
+                seed,
+                block.id.kernel.0 as u64,
+                u64::from(block.id.index),
+                u64::from(wi as u32),
+                now,
+            ]);
+            // Per-SM L1: a deterministic fraction of accesses hits on chip
+            // and never reaches DRAM. Protect stores are non-cacheable by
+            // construction (§3.4) and always go to memory.
+            let cacheable = !outcome.protect_store;
+            let hit = cacheable
+                && crate::rng::unit_f64(hash_combine(&[addr, 0x11CA])) < self.l1_hit_fraction;
+            let ready = if hit {
+                self.l1_hits += 1;
+                now + self.l1_latency
+            } else {
+                self.l1_misses += 1;
+                mem.access(now, addr, outcome.mem_bytes)
+            };
+            // A warp that just finished its program does not wait for final
+            // loads; completion is signalled by the trailing stores.
+            if outcome.mem_blocking && !outcome.done {
+                block.warps_mut()[wi].stall_until(ready);
+            }
+        }
+        if let Some(seg_idx) = outcome.completed_segment {
+            if matches!(
+                segments[seg_idx],
+                Segment::GlobalStore { .. } | Segment::Atomic { .. }
+            ) {
+                out.effects.push(Effect {
+                    kernel: block.id.kernel,
+                    block: block.id.index,
+                    warp: wi as u32,
+                    seg_idx,
+                });
+            }
+        }
+        if outcome.done && block.all_done() {
+            let id = block.id;
+            let insts = block.issued_insts();
+            let cycles = block.elapsed_cycles(now);
+            self.blocks.remove(bi);
+            self.rr = 0;
+            self.last_slot = None;
+            out.completed.push((id, insts, cycles));
+            self.check_preempt_done(now, out);
+        }
+        if self.blocks.is_empty() {
+            u64::MAX
+        } else {
+            self.issue_free_at.max(now + 1)
+        }
+    }
+}
+
+/// The segment that `outcome`'s instructions came from, if instructions were
+/// issued. `issue` advances past completed segments, so reconstruct from the
+/// completed index or return `None` for barrier hits.
+fn current_segment_of(
+    segments: &[Segment],
+    outcome: &crate::warp::IssueOutcome,
+) -> Option<Segment> {
+    if outcome.insts == 0 {
+        return None;
+    }
+    outcome.completed_segment.map(|ix| segments[ix])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{KernelDesc, Program, Segment};
+
+    fn cfg() -> GpuConfig {
+        GpuConfig {
+            issue_chunk: 4,
+            ..GpuConfig::tiny()
+        }
+    }
+
+    fn save_cycles(cfg: &GpuConfig, d: &KernelDesc) -> u64 {
+        cfg.sm_transfer_cycles(d.block_context_bytes())
+    }
+
+    fn desc(segs: Vec<Segment>) -> KernelDesc {
+        KernelDesc::builder("k")
+            .grid_blocks(64)
+            .threads_per_block(64)
+            .regs_per_thread(16)
+            .program(Program::new(segs))
+            .build()
+            .unwrap()
+    }
+
+    fn run_to_empty(sm: &mut Sm, desc: &KernelDesc, mem: &mut MemSubsystem) -> (u64, SmOutput) {
+        let mut all = SmOutput::default();
+        let mut now = 0u64;
+        for _ in 0..2_000_000 {
+            let mut out = SmOutput::default();
+            let next = sm.tick(now, Some(desc), mem, 1, &mut out);
+            all.completed.extend(out.completed);
+            all.effects.extend(out.effects);
+            all.switched_out.extend(out.switched_out);
+            all.issued_insts += out.issued_insts;
+            if out.preempt_done.is_some() {
+                all.preempt_done = out.preempt_done;
+            }
+            if sm.resident_count() == 0 {
+                return (now, all);
+            }
+            assert_ne!(next, u64::MAX, "stuck with resident blocks");
+            now = next.max(now + 1);
+        }
+        panic!("did not finish");
+    }
+
+    #[test]
+    fn single_block_completes_with_exact_inst_count() {
+        let cfg = cfg();
+        let d = desc(vec![Segment::compute(100), Segment::store(10)]);
+        let mut sm = Sm::new(0, &cfg);
+        let mut mem = MemSubsystem::new(&cfg);
+        sm.dispatch(BlockRun::new(
+            BlockId {
+                kernel: KernelId(0),
+                index: 0,
+            },
+            &d,
+            1,
+            0,
+        ));
+        let (_, out) = run_to_empty(&mut sm, &d, &mut mem);
+        assert_eq!(out.completed.len(), 1);
+        let (_, insts, _) = out.completed[0];
+        assert_eq!(insts, 110 * 2); // 2 warps of 64 threads
+        assert_eq!(out.effects.len(), 2); // one store effect per warp
+    }
+
+    #[test]
+    fn compute_bound_timing_matches_issue_model() {
+        let cfg = cfg();
+        let d = desc(vec![Segment::compute(1000)]);
+        let mut sm = Sm::new(0, &cfg);
+        let mut mem = MemSubsystem::new(&cfg);
+        sm.dispatch(BlockRun::new(
+            BlockId {
+                kernel: KernelId(0),
+                index: 0,
+            },
+            &d,
+            1,
+            0,
+        ));
+        let (end, out) = run_to_empty(&mut sm, &d, &mut mem);
+        // 2 warps x 1000 insts x 4 cycles/inst = 8000 cycles of issue.
+        let (_, insts, cycles) = out.completed[0];
+        assert_eq!(insts, 2000);
+        assert!((7_900..=8_200).contains(&cycles), "cycles={cycles}");
+        assert!(end >= 7_900);
+        assert_eq!(out.issued_insts, 2000);
+    }
+
+    #[test]
+    fn memory_bound_kernel_is_slower_than_compute_bound() {
+        let cfg = cfg();
+        let d_c = desc(vec![Segment::compute(200)]);
+        let d_m = desc(vec![Segment::load(200)]);
+        let mut mem = MemSubsystem::new(&cfg);
+        let mut sm = Sm::new(0, &cfg);
+        sm.dispatch(BlockRun::new(
+            BlockId {
+                kernel: KernelId(0),
+                index: 0,
+            },
+            &d_c,
+            1,
+            0,
+        ));
+        let (t_c, _) = run_to_empty(&mut sm, &d_c, &mut mem);
+        let mut mem2 = MemSubsystem::new(&cfg);
+        let mut sm2 = Sm::new(0, &cfg);
+        sm2.dispatch(BlockRun::new(
+            BlockId {
+                kernel: KernelId(0),
+                index: 0,
+            },
+            &d_m,
+            1,
+            0,
+        ));
+        let (t_m, _) = run_to_empty(&mut sm2, &d_m, &mut mem2);
+        assert!(
+            t_m > t_c * 2,
+            "loads should stall: compute={t_c}, memory={t_m}"
+        );
+    }
+
+    #[test]
+    fn flush_removes_blocks_instantly() {
+        let cfg = cfg();
+        let d = desc(vec![Segment::compute(10_000)]);
+        let mut sm = Sm::new(0, &cfg);
+        let _mem = MemSubsystem::new(&cfg);
+        for i in 0..2 {
+            sm.dispatch(BlockRun::new(
+                BlockId {
+                    kernel: KernelId(0),
+                    index: i,
+                },
+                &d,
+                1,
+                0,
+            ));
+        }
+        let mut out = SmOutput::default();
+        let plan = SmPreemptPlan::uniform([0, 1], Technique::Flush);
+        let flushed = sm
+            .begin_preempt(100, &plan, save_cycles(&cfg, &d), &mut out)
+            .unwrap();
+        assert_eq!(flushed.len(), 2);
+        assert_eq!(sm.resident_count(), 0);
+        assert_eq!(out.preempt_done, Some(0), "flush latency is zero");
+    }
+
+    #[test]
+    fn switch_halts_for_save_then_snapshots() {
+        let cfg = cfg();
+        let d = desc(vec![Segment::compute(100_000)]);
+        let mut sm = Sm::new(0, &cfg);
+        let mut mem = MemSubsystem::new(&cfg);
+        sm.dispatch(BlockRun::new(
+            BlockId {
+                kernel: KernelId(0),
+                index: 0,
+            },
+            &d,
+            1,
+            0,
+        ));
+        // Make some progress first.
+        let mut now = 0;
+        for _ in 0..100 {
+            let mut out = SmOutput::default();
+            now = sm.tick(now, Some(&d), &mut mem, 1, &mut out).max(now + 1);
+        }
+        let mut out = SmOutput::default();
+        let plan = SmPreemptPlan::uniform([0], Technique::Switch);
+        sm.begin_preempt(now, &plan, save_cycles(&cfg, &d), &mut out)
+            .unwrap();
+        let save = cfg.sm_transfer_cycles(d.block_context_bytes());
+        assert!(sm.halted_until() >= now + save);
+        assert!(out.preempt_done.is_none());
+        // Tick through the save.
+        let mut done_latency = None;
+        let mut switched = Vec::new();
+        for _ in 0..10_000 {
+            let mut o = SmOutput::default();
+            let next = sm.tick(now, Some(&d), &mut mem, 1, &mut o);
+            switched.extend(o.switched_out);
+            if let Some(l) = o.preempt_done {
+                done_latency = Some(l);
+                break;
+            }
+            now = next.max(now + 1);
+        }
+        let lat = done_latency.expect("switch should complete");
+        assert!(lat >= save, "latency {lat} < save {save}");
+        assert_eq!(switched.len(), 1);
+        assert!(switched[0].insts > 0, "progress preserved in snapshot");
+    }
+
+    #[test]
+    fn drain_lets_blocks_finish() {
+        let cfg = cfg();
+        let d = desc(vec![Segment::compute(500)]);
+        let mut sm = Sm::new(0, &cfg);
+        let mut mem = MemSubsystem::new(&cfg);
+        sm.dispatch(BlockRun::new(
+            BlockId {
+                kernel: KernelId(0),
+                index: 0,
+            },
+            &d,
+            1,
+            0,
+        ));
+        let mut out = SmOutput::default();
+        let plan = SmPreemptPlan::uniform([0], Technique::Drain);
+        sm.begin_preempt(0, &plan, save_cycles(&cfg, &d), &mut out)
+            .unwrap();
+        assert!(out.preempt_done.is_none());
+        let (end, all) = run_to_empty(&mut sm, &d, &mut mem);
+        assert_eq!(all.completed.len(), 1, "drained block completes normally");
+        assert!(all.preempt_done.is_some());
+        assert!(end >= 500 * 2 * 4 - 100);
+    }
+
+    #[test]
+    fn unsafe_flush_rejected_after_idem_point() {
+        let cfg = cfg();
+        let d = desc(vec![Segment::atomic(1), Segment::compute(100_000)]);
+        let mut sm = Sm::new(0, &cfg);
+        let mut mem = MemSubsystem::new(&cfg);
+        sm.dispatch(BlockRun::new(
+            BlockId {
+                kernel: KernelId(0),
+                index: 0,
+            },
+            &d,
+            1,
+            0,
+        ));
+        let mut now = 0;
+        for _ in 0..50 {
+            let mut out = SmOutput::default();
+            now = sm.tick(now, Some(&d), &mut mem, 1, &mut out).max(now + 1);
+        }
+        assert!(sm.snapshot(now).blocks[0].past_idem_point);
+        let mut out = SmOutput::default();
+        let plan = SmPreemptPlan::uniform([0], Technique::Flush);
+        let err = sm
+            .begin_preempt(now, &plan, save_cycles(&cfg, &d), &mut out)
+            .unwrap_err();
+        assert_eq!(err, PreemptError::UnsafeFlush { block: 0 });
+        // But an unsafe plan is accepted when explicitly allowed.
+        let plan = SmPreemptPlan {
+            allow_unsafe_flush: true,
+            ..plan
+        };
+        assert!(sm
+            .begin_preempt(now, &plan, save_cycles(&cfg, &d), &mut out)
+            .is_ok());
+    }
+
+    #[test]
+    fn plan_must_cover_all_resident_blocks() {
+        let cfg = cfg();
+        let d = desc(vec![Segment::compute(100)]);
+        let mut sm = Sm::new(0, &cfg);
+        for i in 0..3 {
+            sm.dispatch(BlockRun::new(
+                BlockId {
+                    kernel: KernelId(0),
+                    index: i,
+                },
+                &d,
+                1,
+                0,
+            ));
+        }
+        let mut out = SmOutput::default();
+        let plan = SmPreemptPlan::uniform([0, 1], Technique::Drain);
+        let err = sm
+            .begin_preempt(0, &plan, save_cycles(&cfg, &d), &mut out)
+            .unwrap_err();
+        assert_eq!(err, PreemptError::PlanMismatch { missing: vec![2] });
+    }
+
+    #[test]
+    fn mixed_plan_flush_switch_drain() {
+        let cfg = cfg();
+        let d = desc(vec![Segment::compute(2_000)]);
+        let mut sm = Sm::new(0, &cfg);
+        let mut mem = MemSubsystem::new(&cfg);
+        for i in 0..3 {
+            sm.dispatch(BlockRun::new(
+                BlockId {
+                    kernel: KernelId(0),
+                    index: i,
+                },
+                &d,
+                1,
+                0,
+            ));
+        }
+        let mut out = SmOutput::default();
+        let plan = SmPreemptPlan {
+            entries: vec![
+                (0, Technique::Flush),
+                (1, Technique::Switch),
+                (2, Technique::Drain),
+            ],
+            allow_unsafe_flush: false,
+        };
+        let flushed = sm
+            .begin_preempt(0, &plan, save_cycles(&cfg, &d), &mut out)
+            .unwrap();
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(sm.resident_count(), 2);
+        let (_, all) = run_to_empty(&mut sm, &d, &mut mem);
+        assert_eq!(all.switched_out.len(), 1);
+        assert_eq!(all.completed.len(), 1, "drained block completes");
+        assert!(all.preempt_done.is_some());
+    }
+
+    #[test]
+    fn cannot_dispatch_while_preempting() {
+        let cfg = cfg();
+        let d = desc(vec![Segment::compute(1_000)]);
+        let mut sm = Sm::new(0, &cfg);
+        sm.set_assigned(Some(KernelId(0)));
+        sm.dispatch(BlockRun::new(
+            BlockId {
+                kernel: KernelId(0),
+                index: 0,
+            },
+            &d,
+            1,
+            0,
+        ));
+        assert!(sm.can_dispatch(KernelId(0), 8));
+        let mut out = SmOutput::default();
+        sm.begin_preempt(
+            0,
+            &SmPreemptPlan::uniform([0], Technique::Drain),
+            save_cycles(&cfg, &d),
+            &mut out,
+        )
+        .unwrap();
+        assert!(!sm.can_dispatch(KernelId(0), 8));
+    }
+}
+
+#[cfg(test)]
+mod sched_tests {
+    use super::*;
+    use crate::config::WarpSched;
+    use crate::kernel::{KernelDesc, Program, Segment};
+
+    fn desc(segs: Vec<Segment>) -> KernelDesc {
+        KernelDesc::builder("k")
+            .grid_blocks(64)
+            .threads_per_block(64)
+            .regs_per_thread(16)
+            .program(Program::new(segs))
+            .build()
+            .unwrap()
+    }
+
+    fn run_until_done(cfg: &GpuConfig, d: &KernelDesc, blocks: u32) -> (u64, Sm) {
+        let mut sm = Sm::new(0, cfg);
+        let mut mem = MemSubsystem::new(cfg);
+        for i in 0..blocks {
+            sm.dispatch(BlockRun::new(
+                BlockId {
+                    kernel: KernelId(0),
+                    index: i,
+                },
+                d,
+                1,
+                0,
+            ));
+        }
+        let mut now = 0u64;
+        for _ in 0..4_000_000 {
+            let mut out = SmOutput::default();
+            let next = sm.tick(now, Some(d), &mut mem, 1, &mut out);
+            if sm.resident_count() == 0 {
+                return (now, sm);
+            }
+            assert_ne!(next, u64::MAX);
+            now = next.max(now + 1);
+        }
+        panic!("did not finish");
+    }
+
+    #[test]
+    fn l1_hits_accelerate_loads() {
+        let d = desc(vec![Segment::load(400)]);
+        let cold = GpuConfig {
+            l1_hit_fraction: 0.0,
+            ..GpuConfig::tiny()
+        };
+        let warm = GpuConfig {
+            l1_hit_fraction: 0.95,
+            ..GpuConfig::tiny()
+        };
+        let (t_cold, sm_cold) = run_until_done(&cold, &d, 1);
+        let (t_warm, sm_warm) = run_until_done(&warm, &d, 1);
+        assert!(t_warm < t_cold / 2, "cold={t_cold}, warm={t_warm}");
+        assert_eq!(sm_cold.l1_counters().0, 0);
+        let (hits, misses) = sm_warm.l1_counters();
+        assert!(hits > misses * 5, "hits={hits} misses={misses}");
+    }
+
+    #[test]
+    fn l1_hit_rate_tracks_configured_fraction() {
+        let d = desc(vec![Segment::load(2000)]);
+        let cfg = GpuConfig {
+            l1_hit_fraction: 0.5,
+            ..GpuConfig::tiny()
+        };
+        let (_, sm) = run_until_done(&cfg, &d, 2);
+        let (hits, misses) = sm.l1_counters();
+        let rate = hits as f64 / (hits + misses) as f64;
+        assert!((rate - 0.5).abs() < 0.1, "rate={rate}");
+    }
+
+    #[test]
+    fn protect_store_bypasses_l1() {
+        // All-hits config; the protect store must still reach memory.
+        let d = desc(vec![Segment::ProtectStore, Segment::compute(4)]);
+        let cfg = GpuConfig {
+            l1_hit_fraction: 1.0,
+            ..GpuConfig::tiny()
+        };
+        let (_, sm) = run_until_done(&cfg, &d, 1);
+        let (hits, misses) = sm.l1_counters();
+        assert_eq!(hits, 0);
+        assert_eq!(misses, 2, "one protect store per warp");
+    }
+
+    #[test]
+    fn gto_and_rr_complete_the_same_work() {
+        let d = desc(vec![
+            Segment::load(20),
+            Segment::compute(300),
+            Segment::store(8),
+        ]);
+        let rr = GpuConfig {
+            warp_sched: WarpSched::LooseRoundRobin,
+            ..GpuConfig::tiny()
+        };
+        let gto = GpuConfig {
+            warp_sched: WarpSched::GreedyThenOldest,
+            ..GpuConfig::tiny()
+        };
+        let (_, sm_rr) = run_until_done(&rr, &d, 4);
+        let (_, sm_gto) = run_until_done(&gto, &d, 4);
+        assert_eq!(sm_rr.insts_issued_total(), sm_gto.insts_issued_total());
+    }
+
+    #[test]
+    fn gto_skews_block_progress_more_than_rr() {
+        // Greedy scheduling races one block ahead; round-robin keeps blocks
+        // in sync. Measure the spread of per-block progress mid-run.
+        let d = desc(vec![Segment::compute(5_000)]);
+        let spread = |sched: WarpSched| {
+            let cfg = GpuConfig {
+                warp_sched: sched,
+                issue_chunk: 8,
+                ..GpuConfig::tiny()
+            };
+            let mut sm = Sm::new(0, &cfg);
+            let mut mem = MemSubsystem::new(&cfg);
+            for i in 0..4 {
+                sm.dispatch(BlockRun::new(
+                    BlockId {
+                        kernel: KernelId(0),
+                        index: i,
+                    },
+                    &d,
+                    1,
+                    0,
+                ));
+            }
+            let mut now = 0u64;
+            for _ in 0..2_000 {
+                let mut out = SmOutput::default();
+                now = sm.tick(now, Some(&d), &mut mem, 1, &mut out).max(now + 1);
+            }
+            let snap = sm.snapshot(now);
+            let max = snap.blocks.iter().map(|b| b.executed_insts).max().unwrap();
+            let min = snap.blocks.iter().map(|b| b.executed_insts).min().unwrap();
+            max - min
+        };
+        // Compute-only warps never stall, so GTO stays glued to warp 0 while
+        // RR spreads issue evenly.
+        assert!(spread(WarpSched::GreedyThenOldest) > spread(WarpSched::LooseRoundRobin) * 4);
+    }
+}

@@ -1,0 +1,120 @@
+//! Statistics counters.
+
+use crate::preempt::Technique;
+
+/// Per-kernel-instance statistics.
+#[derive(Debug, Clone, Default)]
+pub struct KernelStats {
+    /// Kernel name (copied from the descriptor for reporting).
+    pub name: String,
+    /// Cycle the kernel was launched.
+    pub launched_at: u64,
+    /// Cycle the last block completed, if finished.
+    pub finished_at: Option<u64>,
+    /// Warp instructions issued, including work later discarded by flushes.
+    pub issued_insts: u64,
+    /// Warp instructions of *completed* blocks (useful work).
+    pub completed_insts: u64,
+    /// Warp instructions discarded by flushes (re-executed from scratch).
+    pub wasted_flush_insts: u64,
+    /// Blocks completed.
+    pub completed_tbs: u32,
+    /// Blocks in the grid.
+    pub grid_blocks: u32,
+    /// Sum of residency cycles over completed blocks (for CPI estimates).
+    pub sum_completed_cycles: u64,
+    /// Whether the kernel has finished all blocks.
+    pub finished: bool,
+    /// Number of times any block of this kernel was flushed.
+    pub flush_count: u64,
+    /// Number of times any block of this kernel was context-switched out.
+    pub switch_count: u64,
+}
+
+impl KernelStats {
+    /// Average instructions per completed block, if any completed.
+    pub fn avg_tb_insts(&self) -> Option<f64> {
+        (self.completed_tbs > 0)
+            .then(|| self.completed_insts as f64 / f64::from(self.completed_tbs))
+    }
+
+    /// Average cycles-per-instruction of a completed block, if measurable.
+    ///
+    /// This is the per-block CPI at observed occupancy — exactly the statistic
+    /// Chimera's drain-latency estimator multiplies by remaining instructions.
+    pub fn avg_tb_cpi(&self) -> Option<f64> {
+        (self.completed_insts > 0)
+            .then(|| self.sum_completed_cycles as f64 / self.completed_insts as f64)
+    }
+}
+
+/// A record of one SM preemption (request → completion).
+#[derive(Debug, Clone)]
+pub struct PreemptRecord {
+    /// SM that was preempted.
+    pub sm: usize,
+    /// Kernel that was evicted.
+    pub kernel: crate::KernelId,
+    /// Cycle of the request.
+    pub requested_at: u64,
+    /// Cycle the SM was fully vacated (`None` while in progress).
+    pub completed_at: Option<u64>,
+    /// Technique applied to each block.
+    pub techniques: Vec<Technique>,
+}
+
+impl PreemptRecord {
+    /// Latency in cycles if completed.
+    pub fn latency_cycles(&self) -> Option<u64> {
+        self.completed_at.map(|c| c - self.requested_at)
+    }
+}
+
+/// GPU-wide statistics snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct GpuStats {
+    /// Current cycle.
+    pub cycle: u64,
+    /// Warp instructions issued across all kernels.
+    pub total_issued_insts: u64,
+    /// Total DRAM bytes served.
+    pub mem_bytes_served: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_need_completions() {
+        let s = KernelStats::default();
+        assert_eq!(s.avg_tb_insts(), None);
+        assert_eq!(s.avg_tb_cpi(), None);
+    }
+
+    #[test]
+    fn averages_computed() {
+        let s = KernelStats {
+            completed_insts: 1000,
+            completed_tbs: 4,
+            sum_completed_cycles: 8000,
+            ..KernelStats::default()
+        };
+        assert_eq!(s.avg_tb_insts(), Some(250.0));
+        assert_eq!(s.avg_tb_cpi(), Some(8.0));
+    }
+
+    #[test]
+    fn preempt_record_latency() {
+        let mut r = PreemptRecord {
+            sm: 0,
+            kernel: crate::KernelId(0),
+            requested_at: 10,
+            completed_at: None,
+            techniques: vec![],
+        };
+        assert_eq!(r.latency_cycles(), None);
+        r.completed_at = Some(150);
+        assert_eq!(r.latency_cycles(), Some(140));
+    }
+}

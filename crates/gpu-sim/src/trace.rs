@@ -1,0 +1,217 @@
+//! Execution tracing: sampled SM utilization and preemption timelines.
+//!
+//! The runner-level experiments report aggregates; this module records the
+//! *shape* of an execution — which SMs were active/halted/preempting over
+//! time and when preemptions started and ended — for debugging schedulers
+//! and for the `timeline` example's ASCII rendering.
+
+use crate::{Engine, SmMode};
+
+/// The sampled state of one SM at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmSample {
+    /// No resident blocks.
+    Idle,
+    /// Executing blocks.
+    Busy {
+        /// Resident block count at the sample.
+        resident: u8,
+    },
+    /// Halted for a context save/restore.
+    Halted,
+    /// Mid-preemption.
+    Preempting,
+}
+
+impl SmSample {
+    /// One-character glyph for timeline rendering.
+    pub fn glyph(&self) -> char {
+        match self {
+            SmSample::Idle => '.',
+            SmSample::Busy { resident } => {
+                char::from_digit(u32::from(*resident).min(9), 10).unwrap_or('9')
+            }
+            SmSample::Halted => 'H',
+            SmSample::Preempting => 'P',
+        }
+    }
+}
+
+/// A sampled utilization timeline across all SMs.
+#[derive(Debug, Clone, Default)]
+pub struct UtilizationTrace {
+    /// Sample interval in cycles.
+    pub interval_cycles: u64,
+    /// Sample instants (cycles).
+    pub times: Vec<u64>,
+    /// `samples[i][sm]` is the state of `sm` at `times[i]`.
+    pub samples: Vec<Vec<SmSample>>,
+}
+
+impl UtilizationTrace {
+    /// Create an empty trace with the given sample interval.
+    pub fn new(interval_cycles: u64) -> Self {
+        UtilizationTrace {
+            interval_cycles: interval_cycles.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// The next cycle at which a sample is due.
+    pub fn next_due(&self) -> u64 {
+        match self.times.last() {
+            Some(&t) => t + self.interval_cycles,
+            None => 0,
+        }
+    }
+
+    /// Record a sample of every SM's state.
+    pub fn sample(&mut self, engine: &Engine) {
+        let cfg = engine.config();
+        let row: Vec<SmSample> = (0..cfg.num_sms)
+            .map(|sm| match engine.sm_mode(sm) {
+                SmMode::Preempting => SmSample::Preempting,
+                SmMode::Halted => SmSample::Halted,
+                SmMode::Active => {
+                    let r = engine.sm_resident_count(sm);
+                    if r == 0 {
+                        SmSample::Idle
+                    } else {
+                        SmSample::Busy {
+                            resident: r.min(255) as u8,
+                        }
+                    }
+                }
+            })
+            .collect();
+        self.times.push(engine.cycle());
+        self.samples.push(row);
+    }
+
+    /// Fraction of samples in which `sm` was busy.
+    pub fn busy_fraction(&self, sm: usize) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let busy = self
+            .samples
+            .iter()
+            .filter(|row| matches!(row.get(sm), Some(SmSample::Busy { .. })))
+            .count();
+        busy as f64 / self.samples.len() as f64
+    }
+
+    /// GPU-wide busy fraction over the trace.
+    pub fn overall_busy_fraction(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let n = self.samples[0].len().max(1);
+        (0..n).map(|sm| self.busy_fraction(sm)).sum::<f64>() / n as f64
+    }
+
+    /// Render an ASCII timeline: one row per SM, one column per sample.
+    ///
+    /// Glyphs: `.` idle, digits = resident blocks, `H` halted, `P`
+    /// preempting. Long traces are downsampled to at most `max_cols`.
+    pub fn render(&self, max_cols: usize) -> String {
+        if self.samples.is_empty() {
+            return String::from("(empty trace)\n");
+        }
+        let n_sms = self.samples[0].len();
+        let cols = self.samples.len().min(max_cols.max(1));
+        let stride = self.samples.len().div_ceil(cols);
+        let mut out = String::new();
+        for sm in 0..n_sms {
+            out.push_str(&format!("SM{sm:02} "));
+            for c in (0..self.samples.len()).step_by(stride) {
+                out.push(self.samples[c][sm].glyph());
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GpuConfig, KernelDesc, Program, Segment};
+
+    fn engine_with_work() -> (Engine, crate::KernelId) {
+        let cfg = GpuConfig::tiny();
+        let mut e = Engine::new(cfg.clone());
+        let k = e.launch_kernel(
+            KernelDesc::builder("t")
+                .grid_blocks(16)
+                .threads_per_block(64)
+                .program(Program::new(vec![Segment::compute(500)]))
+                .build()
+                .unwrap(),
+        );
+        e.assign_sm(0, Some(k));
+        (e, k)
+    }
+
+    #[test]
+    fn samples_capture_busy_and_idle() {
+        let (mut e, _) = engine_with_work();
+        let mut tr = UtilizationTrace::new(1000);
+        tr.sample(&e); // before anything ran: dispatch happens inside run
+        e.run_for(5_000);
+        tr.sample(&e);
+        assert_eq!(tr.samples.len(), 2);
+        assert!(matches!(tr.samples[1][0], SmSample::Busy { .. }));
+        assert_eq!(tr.samples[1][1], SmSample::Idle, "SM1 unassigned");
+        assert!(tr.busy_fraction(0) > 0.0);
+        assert_eq!(tr.busy_fraction(1), 0.0);
+        assert!(tr.overall_busy_fraction() > 0.0);
+    }
+
+    #[test]
+    fn render_produces_one_row_per_sm() {
+        let (mut e, _) = engine_with_work();
+        let mut tr = UtilizationTrace::new(1000);
+        for _ in 0..10 {
+            e.run_for(1_000);
+            tr.sample(&e);
+        }
+        let s = tr.render(5);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2); // tiny config: 2 SMs
+        assert!(lines[0].starts_with("SM00 "));
+        // Downsampled to at most 5 columns (+ the "SM00 " prefix).
+        assert!(lines[0].len() <= 5 + 5);
+    }
+
+    #[test]
+    fn preempting_and_halted_states_are_captured() {
+        use crate::{SmPreemptPlan, Technique};
+        let (mut e, _k) = engine_with_work();
+        e.run_for(5_000);
+        // Begin a context switch: the SM halts for the save.
+        let plan = SmPreemptPlan::uniform(e.sm_resident_indices(0), Technique::Switch);
+        e.preempt_sm(0, &plan).unwrap();
+        let mut tr = UtilizationTrace::new(100);
+        tr.sample(&e);
+        assert_eq!(tr.samples[0][0], SmSample::Preempting);
+        assert_eq!(tr.samples[0][0].glyph(), 'P');
+    }
+
+    #[test]
+    fn glyphs_are_stable() {
+        assert_eq!(SmSample::Idle.glyph(), '.');
+        assert_eq!(SmSample::Busy { resident: 3 }.glyph(), '3');
+        assert_eq!(SmSample::Busy { resident: 12 }.glyph(), '9');
+        assert_eq!(SmSample::Halted.glyph(), 'H');
+        assert_eq!(SmSample::Preempting.glyph(), 'P');
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        let tr = UtilizationTrace::new(10);
+        assert_eq!(tr.render(10), "(empty trace)\n");
+        assert_eq!(tr.overall_busy_fraction(), 0.0);
+        assert_eq!(tr.next_due(), 0);
+    }
+}

@@ -1,0 +1,348 @@
+//! # idem — idempotence analysis and protect-store instrumentation
+//!
+//! The software side of Chimera's SM flushing (§3.4 of the paper). A GPU
+//! kernel is *idempotent* (strict condition, §2.3) if it contains no atomic
+//! operations and never overwrites a global location it has read; such a
+//! kernel can be re-executed from scratch at any point without changing the
+//! result.
+//!
+//! Chimera *relaxes* the condition per thread block and per point in time: a
+//! block is idempotent **at a given time** if it has not yet executed an
+//! atomic or a global overwrite. Because those operations cluster at the end
+//! of GPU kernels, a block of a non-idempotent kernel is still flushable for
+//! most of its execution.
+//!
+//! The relaxed condition is detected in software: the compiler inserts a
+//! *protect store* — a store to a predefined non-cacheable address — in front
+//! of every atomic / overwrite operation. The (in-order) SM executes the store
+//! before the dangerous operation, so the scheduler always learns that the
+//! block left its idempotent region *before* it actually does.
+//!
+//! This crate provides exactly that pass over the `gpu-sim` kernel IR:
+//!
+//! ```
+//! use gpu_sim::{KernelDesc, Program, Segment};
+//! use idem::{analyze, instrument_kernel};
+//!
+//! let k = KernelDesc::builder("scatter")
+//!     .grid_blocks(4)
+//!     .program(Program::new(vec![
+//!         Segment::load(32),
+//!         Segment::compute(400),
+//!         Segment::overwrite(32), // writes back in place: non-idempotent
+//!     ]))
+//!     .build()?;
+//! let report = analyze(k.program());
+//! assert!(!report.strict_idempotent);
+//! let instrumented = instrument_kernel(&k);
+//! assert!(matches!(
+//!     instrumented.program().segments()[2],
+//!     Segment::ProtectStore
+//! ));
+//! # Ok::<(), gpu_sim::KernelError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use gpu_sim::{KernelDesc, Program, Segment};
+use std::fmt;
+
+/// Why a segment breaks idempotence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NonIdemReason {
+    /// An atomic read-modify-write.
+    Atomic,
+    /// A store that overwrites a global location read by the block.
+    GlobalOverwrite,
+}
+
+impl fmt::Display for NonIdemReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NonIdemReason::Atomic => f.write_str("atomic operation"),
+            NonIdemReason::GlobalOverwrite => f.write_str("global overwrite"),
+        }
+    }
+}
+
+/// One idempotence-breaking site in a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NonIdemSite {
+    /// Segment index in the program.
+    pub seg_idx: usize,
+    /// Why it breaks idempotence.
+    pub reason: NonIdemReason,
+}
+
+/// The result of analysing a program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IdemAnalysis {
+    /// Whether the whole kernel satisfies the strict condition.
+    pub strict_idempotent: bool,
+    /// Every idempotence-breaking segment, in program order.
+    pub sites: Vec<NonIdemSite>,
+    /// Fraction of per-warp instructions executed before the first breaking
+    /// segment (1.0 for strictly idempotent programs). This is how long the
+    /// *relaxed* condition keeps a block flushable.
+    pub idempotent_fraction: f64,
+}
+
+impl IdemAnalysis {
+    /// The first idempotence-breaking segment, if any.
+    pub fn first_site(&self) -> Option<NonIdemSite> {
+        self.sites.first().copied()
+    }
+}
+
+/// Analyse a program for the strict and relaxed idempotence conditions.
+///
+/// Atomic segments are trivially found (separate instructions); overwrite
+/// stores are assumed to have been classified by the front end's pointer
+/// analysis, which the paper notes is precise for the restricted pointer use
+/// in GPU kernels — the IR records the result in
+/// [`Segment::GlobalStore`]'s `overwrite` flag.
+pub fn analyze(program: &Program) -> IdemAnalysis {
+    let mut sites = Vec::new();
+    for (i, seg) in program.segments().iter().enumerate() {
+        match seg {
+            Segment::Atomic { .. } => {
+                sites.push(NonIdemSite {
+                    seg_idx: i,
+                    reason: NonIdemReason::Atomic,
+                });
+            }
+            Segment::GlobalStore {
+                overwrite: true, ..
+            } => {
+                sites.push(NonIdemSite {
+                    seg_idx: i,
+                    reason: NonIdemReason::GlobalOverwrite,
+                });
+            }
+            _ => {}
+        }
+    }
+    IdemAnalysis {
+        strict_idempotent: sites.is_empty(),
+        idempotent_fraction: program.idempotent_fraction(),
+        sites,
+    }
+}
+
+/// Insert a protect store in front of the first idempotence-breaking segment.
+///
+/// One store suffices: the scheduler's "past the idempotence point" flag is
+/// sticky, so protecting later sites would be redundant. Instrumenting an
+/// already-instrumented program is a no-op, and strictly idempotent programs
+/// are returned unchanged.
+pub fn instrument(program: &Program) -> Program {
+    let mut out = Vec::with_capacity(program.segments().len() + 1);
+    let mut protected = false;
+    for seg in program.segments() {
+        match seg {
+            Segment::ProtectStore => {
+                protected = true;
+                out.push(*seg);
+            }
+            s if s.is_non_idempotent() => {
+                if !protected {
+                    out.push(Segment::ProtectStore);
+                    protected = true;
+                }
+                out.push(*s);
+            }
+            s => out.push(*s),
+        }
+    }
+    Program::new(out)
+}
+
+/// Instrument a kernel's program (see [`instrument`]).
+pub fn instrument_kernel(kernel: &KernelDesc) -> KernelDesc {
+    kernel.with_program(instrument(kernel.program()))
+}
+
+/// Kernel-level idempotence classification for reports (Table 2's
+/// "Idempotent" column).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KernelIdempotence {
+    /// The kernel satisfies the strict condition ("Yes" in Table 2).
+    Strict,
+    /// Only the relaxed per-block condition applies; blocks stay flushable
+    /// for the given fraction of their execution.
+    Relaxed {
+        /// Flushable fraction of a block's instruction stream.
+        idempotent_fraction: f64,
+    },
+}
+
+impl KernelIdempotence {
+    /// Classify a kernel.
+    pub fn of(kernel: &KernelDesc) -> Self {
+        let a = analyze(kernel.program());
+        if a.strict_idempotent {
+            KernelIdempotence::Strict
+        } else {
+            KernelIdempotence::Relaxed {
+                idempotent_fraction: a.idempotent_fraction,
+            }
+        }
+    }
+
+    /// `true` for strictly idempotent kernels.
+    pub fn is_strict(&self) -> bool {
+        matches!(self, KernelIdempotence::Strict)
+    }
+}
+
+impl fmt::Display for KernelIdempotence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelIdempotence::Strict => f.write_str("Yes"),
+            KernelIdempotence::Relaxed { .. } => f.write_str("No"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prog(segs: Vec<Segment>) -> Program {
+        Program::new(segs)
+    }
+
+    #[test]
+    fn idempotent_program_passes_strict() {
+        let p = prog(vec![
+            Segment::load(10),
+            Segment::compute(100),
+            Segment::store(10),
+        ]);
+        let a = analyze(&p);
+        assert!(a.strict_idempotent);
+        assert!(a.sites.is_empty());
+        assert_eq!(a.idempotent_fraction, 1.0);
+        assert_eq!(a.first_site(), None);
+    }
+
+    #[test]
+    fn atomic_and_overwrite_both_detected() {
+        let p = prog(vec![
+            Segment::compute(50),
+            Segment::atomic(1),
+            Segment::compute(10),
+            Segment::overwrite(5),
+        ]);
+        let a = analyze(&p);
+        assert!(!a.strict_idempotent);
+        assert_eq!(a.sites.len(), 2);
+        assert_eq!(a.sites[0].reason, NonIdemReason::Atomic);
+        assert_eq!(a.sites[1].reason, NonIdemReason::GlobalOverwrite);
+        assert_eq!(a.first_site().unwrap().seg_idx, 1);
+    }
+
+    #[test]
+    fn idempotent_fraction_reflects_position() {
+        let p = prog(vec![Segment::compute(90), Segment::atomic(10)]);
+        assert!((analyze(&p).idempotent_fraction - 0.9).abs() < 1e-12);
+        let p = prog(vec![Segment::atomic(10), Segment::compute(90)]);
+        assert!(analyze(&p).idempotent_fraction < 1e-12);
+    }
+
+    #[test]
+    fn instrument_inserts_before_first_breaking_segment() {
+        let p = prog(vec![Segment::compute(50), Segment::atomic(1)]);
+        let out = instrument(&p);
+        assert_eq!(
+            out.segments(),
+            &[
+                Segment::compute(50),
+                Segment::ProtectStore,
+                Segment::atomic(1)
+            ]
+        );
+    }
+
+    #[test]
+    fn instrument_protects_once_for_clustered_sites() {
+        let p = prog(vec![
+            Segment::compute(10),
+            Segment::atomic(1),
+            Segment::overwrite(4),
+        ]);
+        let out = instrument(&p);
+        let protects = out
+            .segments()
+            .iter()
+            .filter(|s| matches!(s, Segment::ProtectStore))
+            .count();
+        assert_eq!(protects, 1);
+        assert!(matches!(out.segments()[1], Segment::ProtectStore));
+    }
+
+    #[test]
+    fn instrument_is_idempotent_pass() {
+        let p = prog(vec![Segment::compute(10), Segment::overwrite(4)]);
+        let once = instrument(&p);
+        let twice = instrument(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn instrument_leaves_idempotent_programs_alone() {
+        let p = prog(vec![
+            Segment::load(5),
+            Segment::compute(10),
+            Segment::store(2),
+        ]);
+        assert_eq!(instrument(&p), p);
+    }
+
+    #[test]
+    fn classification_matches_analysis() {
+        let k = KernelDesc::builder("a")
+            .grid_blocks(1)
+            .program(prog(vec![Segment::compute(10)]))
+            .build()
+            .unwrap();
+        assert!(KernelIdempotence::of(&k).is_strict());
+        assert_eq!(KernelIdempotence::of(&k).to_string(), "Yes");
+        let k = k.with_program(prog(vec![Segment::compute(10), Segment::atomic(1)]));
+        assert!(!KernelIdempotence::of(&k).is_strict());
+        assert_eq!(KernelIdempotence::of(&k).to_string(), "No");
+    }
+
+    #[test]
+    fn instrumented_kernel_keeps_geometry() {
+        let k = KernelDesc::builder("a")
+            .grid_blocks(7)
+            .threads_per_block(256)
+            .regs_per_thread(20)
+            .program(prog(vec![Segment::compute(10), Segment::atomic(1)]))
+            .build()
+            .unwrap();
+        let ik = instrument_kernel(&k);
+        assert_eq!(ik.grid_blocks(), 7);
+        assert_eq!(ik.threads_per_block(), 256);
+        assert_eq!(ik.program().segments().len(), 3);
+    }
+
+    #[test]
+    fn relaxed_fraction_reported_in_classification() {
+        let k = KernelDesc::builder("a")
+            .grid_blocks(1)
+            .program(prog(vec![Segment::compute(80), Segment::overwrite(20)]))
+            .build()
+            .unwrap();
+        match KernelIdempotence::of(&k) {
+            KernelIdempotence::Relaxed {
+                idempotent_fraction,
+            } => {
+                assert!((idempotent_fraction - 0.8).abs() < 1e-12);
+            }
+            other => panic!("expected relaxed, got {other:?}"),
+        }
+    }
+}

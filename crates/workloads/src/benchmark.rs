@@ -1,0 +1,83 @@
+//! Benchmarks: ordered sequences of kernel launches.
+
+use gpu_sim::KernelDesc;
+
+/// A benchmark program: kernels launched back-to-back (each launch waits for
+/// the previous one), restarted from the beginning when it finishes — the
+/// paper's multiprogrammed-workload methodology (§4.4).
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    name: String,
+    launches: Vec<KernelDesc>,
+}
+
+impl Benchmark {
+    /// Create a benchmark from its launch sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `launches` is empty.
+    pub fn new(name: impl Into<String>, launches: Vec<KernelDesc>) -> Self {
+        assert!(
+            !launches.is_empty(),
+            "benchmark must launch at least one kernel"
+        );
+        Benchmark {
+            name: name.into(),
+            launches,
+        }
+    }
+
+    /// Benchmark label (e.g. `"BS"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The launch sequence.
+    pub fn launches(&self) -> &[KernelDesc] {
+        &self.launches
+    }
+
+    /// Total warp instructions in one pass over the launch sequence.
+    pub fn insts_per_pass(&self) -> u64 {
+        self.launches
+            .iter()
+            .map(|k| k.insts_per_block() * u64::from(k.grid_blocks()))
+            .sum()
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({} launches)", self.name, self.launches.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{KernelDesc, Program, Segment};
+
+    fn k(name: &str, grid: u32) -> KernelDesc {
+        KernelDesc::builder(name)
+            .grid_blocks(grid)
+            .program(Program::new(vec![Segment::compute(10)]))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn pass_instruction_count() {
+        let b = Benchmark::new("X", vec![k("a", 2), k("b", 3)]);
+        // 128 threads = 4 warps; 10 insts/warp.
+        assert_eq!(b.insts_per_pass(), (2 + 3) * 4 * 10);
+        assert_eq!(b.name(), "X");
+        assert_eq!(b.launches().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one kernel")]
+    fn empty_benchmark_rejected() {
+        let _ = Benchmark::new("X", vec![]);
+    }
+}

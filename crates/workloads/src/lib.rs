@@ -1,0 +1,48 @@
+//! # workloads — the benchmark suite of the Chimera paper, in synthetic form
+//!
+//! The paper evaluates 14 GPGPU benchmarks (27 kernels) from the Nvidia SDK,
+//! Rodinia and Parboil (Table 2). Real CUDA binaries cannot run on the
+//! `gpu-sim` substrate, so this crate reconstructs each kernel as a synthetic
+//! segmented program whose **measured characteristics are calibrated to the
+//! paper's Table 2**:
+//!
+//! * per-block drain time (average thread-block execution time),
+//! * per-block context size (registers + shared memory), split such that the
+//!   occupancy calculator yields exactly the paper's blocks/SM,
+//! * context-switch time (emerges from context size × bandwidth share),
+//! * idempotence class, with non-idempotent kernels carrying their atomic /
+//!   global-overwrite operations in an *absolute-sized tail* at the end of
+//!   the block (the paper's observation that idempotence-breaking operations
+//!   cluster at the end of GPU kernels).
+//!
+//! Because every figure in the paper's evaluation is a function of those
+//! characteristics, matching them reproduces the figures' shapes.
+//!
+//! ```
+//! use workloads::{table2, Suite};
+//!
+//! let suite = Suite::standard();
+//! assert_eq!(table2().len(), 27);
+//! assert_eq!(suite.benchmarks().len(), 14);
+//! let bs = suite.benchmark("BS").expect("BlackScholes exists");
+//! assert_eq!(bs.launches().len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod benchmark;
+mod measure;
+mod rt;
+mod solve;
+mod spec;
+mod suite;
+mod synthetic;
+
+pub use benchmark::Benchmark;
+pub use measure::{measure_drain_time_us, measure_solo_rate};
+pub use rt::RtTask;
+pub use solve::{build_kernel, build_program, solve_insts_per_warp, solve_resources, Resources};
+pub use spec::{table2, KernelSpec, NonIdemKind};
+pub use suite::{Suite, SuiteOptions, LUD_ITERATIONS};
+pub use synthetic::SyntheticKernel;

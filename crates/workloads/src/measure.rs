@@ -1,0 +1,92 @@
+//! Measurement helpers: run a kernel solo on the simulator and extract the
+//! statistics Table 2 reports.
+
+use gpu_sim::{Engine, Event, GpuConfig, KernelDesc};
+
+/// Measure the average thread-block execution time (µs) of `kernel` at full
+/// occupancy on a single SM — the paper's "average drain time" methodology
+/// ("the average time to execute a thread block is first measured through
+/// simulation", §2.4).
+///
+/// Runs until `samples` blocks complete and averages their residency cycles.
+pub fn measure_drain_time_us(cfg: &GpuConfig, kernel: &KernelDesc, samples: u32) -> f64 {
+    let mut engine = Engine::new(cfg.clone());
+    let k = engine.launch_kernel(kernel.clone());
+    engine.assign_sm(0, Some(k));
+    let samples = samples.min(kernel.grid_blocks());
+    let mut done = 0u32;
+    // Generous horizon: blocks at occupancy T overlap, so `samples` blocks
+    // take roughly `samples / T + 1` block-times.
+    let horizon = (kernel.insts_per_block() * 8 * u64::from(samples) + 4_000_000) * 4;
+    while done < samples && engine.cycle() < horizon {
+        for ev in engine.run_for(1_000_000) {
+            if matches!(ev, Event::TbCompleted { .. }) {
+                done += 1;
+            }
+        }
+    }
+    let stats = engine.kernel_stats(k);
+    match stats.avg_tb_cpi() {
+        Some(_) => {
+            let avg_cycles =
+                stats.sum_completed_cycles as f64 / f64::from(stats.completed_tbs.max(1));
+            cfg.cycles_to_us(avg_cycles.round() as u64)
+        }
+        None => f64::NAN,
+    }
+}
+
+/// Measure a kernel's solo full-GPU execution rate: `(warp-insts, cycles)`
+/// until the kernel finishes or issues `inst_cap` instructions.
+///
+/// This is the `CPI_single` input to the ANTT/STP metrics (§4.4).
+pub fn measure_solo_rate(cfg: &GpuConfig, kernel: &KernelDesc, inst_cap: u64) -> (u64, u64) {
+    let mut engine = Engine::new(cfg.clone());
+    let k = engine.launch_kernel(kernel.clone());
+    engine.set_inst_cap(k, inst_cap);
+    for sm in 0..cfg.num_sms {
+        engine.assign_sm(sm, Some(k));
+    }
+    loop {
+        let events = engine.run_for(2_000_000);
+        let s = engine.kernel_stats(k);
+        if s.finished || s.issued_insts >= inst_cap {
+            break;
+        }
+        if events.is_empty() && engine.pending_blocks(k) == 0 && s.issued_insts == 0 {
+            break;
+        }
+    }
+    let s = engine.kernel_stats(k);
+    (s.issued_insts, engine.cycle())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::build_kernel;
+    use crate::spec::table2;
+
+    #[test]
+    fn drain_time_measurement_close_to_target_for_short_kernel() {
+        let cfg = GpuConfig::fermi();
+        let spec = table2().into_iter().find(|s| s.label() == "BT.1").unwrap();
+        let k = build_kernel(&cfg, &spec, true);
+        let us = measure_drain_time_us(&cfg, &k, 12);
+        assert!(
+            (us - spec.drain_us).abs() / spec.drain_us < 0.45,
+            "BT.1 drain {us} vs target {}",
+            spec.drain_us
+        );
+    }
+
+    #[test]
+    fn solo_rate_is_positive_and_capped() {
+        let cfg = GpuConfig::fermi();
+        let spec = table2().into_iter().find(|s| s.label() == "SAD.2").unwrap();
+        let k = build_kernel(&cfg, &spec, true);
+        let (insts, cycles) = measure_solo_rate(&cfg, &k, 200_000);
+        assert!(insts >= 200_000 || insts == k.insts_per_block() * u64::from(k.grid_blocks()));
+        assert!(cycles > 0);
+    }
+}

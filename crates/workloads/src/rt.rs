@@ -1,0 +1,55 @@
+//! The synthetic periodic real-time task of §4.1.
+
+use gpu_sim::GpuConfig;
+
+/// A periodic, hard-deadline GPU task.
+///
+/// The paper's synthetic benchmark launches every 1 ms, requests half of the
+/// SMs, executes for 200 µs, and is killed if its deadline (execution time
+/// plus the required preemption latency) is missed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RtTask {
+    /// Launch period, µs.
+    pub period_us: f64,
+    /// Execution time once running, µs.
+    pub exec_us: f64,
+    /// Number of SMs the task needs.
+    pub sms_needed: usize,
+}
+
+impl RtTask {
+    /// The paper's configuration: 1 ms period, 200 µs execution, half the SMs.
+    pub fn paper_default(cfg: &GpuConfig) -> Self {
+        RtTask {
+            period_us: 1000.0,
+            exec_us: 200.0,
+            sms_needed: cfg.num_sms / 2,
+        }
+    }
+
+    /// Launch period in cycles.
+    pub fn period_cycles(&self, cfg: &GpuConfig) -> u64 {
+        cfg.us_to_cycles(self.period_us)
+    }
+
+    /// Execution time in cycles.
+    pub fn exec_cycles(&self, cfg: &GpuConfig) -> u64 {
+        cfg.us_to_cycles(self.exec_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_4_1() {
+        let cfg = GpuConfig::fermi();
+        let t = RtTask::paper_default(&cfg);
+        assert_eq!(t.period_us, 1000.0);
+        assert_eq!(t.exec_us, 200.0);
+        assert_eq!(t.sms_needed, 15);
+        assert_eq!(t.period_cycles(&cfg), 1_400_000);
+        assert_eq!(t.exec_cycles(&cfg), 280_000);
+    }
+}

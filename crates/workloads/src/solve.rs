@@ -1,0 +1,289 @@
+//! Parameter solver: turn Table 2 targets into concrete kernel descriptors.
+//!
+//! Three sub-problems:
+//!
+//! 1. **Resources** — split the target context size between registers and
+//!    shared memory such that the occupancy calculator yields exactly the
+//!    target blocks/SM (shared memory is made the binding resource when the
+//!    target is below the architectural block cap).
+//! 2. **Instructions** — choose the per-warp instruction count so a block at
+//!    full occupancy runs for the target drain time under the SM issue model
+//!    (`drain_cycles ≈ insts × warps × blocks/SM × issue_interval`).
+//! 3. **Program shape** — lay the instructions out as load / compute /
+//!    barrier / store segments, with non-idempotent kernels ending in an
+//!    absolute-duration tail that begins with their atomic/overwrite.
+
+use crate::spec::{KernelSpec, NonIdemKind};
+use gpu_sim::{GpuConfig, KernelDesc, Program, Segment};
+
+/// Threads per block used by all synthetic kernels (4 warps).
+pub const THREADS_PER_BLOCK: u32 = 128;
+
+/// Solved per-block resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resources {
+    /// Threads per block.
+    pub threads: u32,
+    /// Registers per thread.
+    pub regs_per_thread: u32,
+    /// Shared memory per block, bytes.
+    pub shared_mem: u32,
+}
+
+impl Resources {
+    /// The context size these resources produce, bytes.
+    pub fn context_bytes(&self) -> u32 {
+        self.threads * self.regs_per_thread * 4 + self.shared_mem
+    }
+}
+
+/// Split `ctx_bytes` between registers and shared memory so that exactly
+/// `tbs_per_sm` blocks fit on one Fermi SM.
+///
+/// # Panics
+///
+/// Panics if `tbs_per_sm` is outside `1..=8`.
+pub fn solve_resources(ctx_bytes: u32, tbs_per_sm: u32) -> Resources {
+    assert!((1..=8).contains(&tbs_per_sm), "tbs_per_sm out of range");
+    let cfg = GpuConfig::fermi();
+    let threads = THREADS_PER_BLOCK;
+    if tbs_per_sm >= cfg.max_blocks_per_sm {
+        // The architectural cap binds; keep every resource below 1/8 of SM.
+        let max_regs = cfg.registers_per_sm / (threads * cfg.max_blocks_per_sm); // 32
+        let max_smem = cfg.shared_mem_per_sm / cfg.max_blocks_per_sm; // 6144
+        let regs =
+            ((ctx_bytes as f64 * 0.6 / (threads as f64 * 4.0)).round() as u32).clamp(4, max_regs);
+        let shared_mem = ctx_bytes.saturating_sub(regs * threads * 4).min(max_smem);
+        Resources {
+            threads,
+            regs_per_thread: regs,
+            shared_mem,
+        }
+    } else {
+        // Make shared memory the binding limit.
+        let shared_mem = cfg.shared_mem_per_sm / tbs_per_sm;
+        let rest = ctx_bytes.saturating_sub(shared_mem);
+        let regs = ((rest as f64 / (threads as f64 * 4.0)).round() as u32).max(4);
+        Resources {
+            threads,
+            regs_per_thread: regs,
+            shared_mem,
+        }
+    }
+}
+
+/// Per-warp instruction count so a block at occupancy `tbs_per_sm` executes
+/// for `drain_us` microseconds under the issue model.
+pub fn solve_insts_per_warp(cfg: &GpuConfig, drain_us: f64, tbs_per_sm: u32) -> u32 {
+    let warps = THREADS_PER_BLOCK / 32;
+    let cycles = drain_us * f64::from(cfg.clock_mhz) / 1000.0 * 1000.0;
+    let denom = (cfg.issue_interval() * u64::from(warps) * u64::from(tbs_per_sm)) as f64;
+    (cycles / denom).round().max(8.0) as u32
+}
+
+/// Convert an absolute tail duration to per-warp instructions (no floor).
+fn tail_insts(cfg: &GpuConfig, tail_us: f64, tbs_per_sm: u32) -> u32 {
+    let warps = THREADS_PER_BLOCK / 32;
+    let cycles = tail_us * f64::from(cfg.clock_mhz) / 1000.0 * 1000.0;
+    let denom = (cfg.issue_interval() * u64::from(warps) * u64::from(tbs_per_sm)) as f64;
+    (cycles / denom).round() as u32
+}
+
+/// Build the segmented warp program for a spec.
+///
+/// Layout: a small load, compute split by a barrier, a store — and for
+/// non-idempotent kernels a tail `[overwrite/atomic, compute, store]` whose
+/// first segment is the idempotence-breaking operation.
+pub fn build_program(cfg: &GpuConfig, spec: &KernelSpec) -> Program {
+    // A kernel whose grid is smaller than its occupancy limit runs below
+    // full residency (LUD's 1-block diagonal kernel); block time scales with
+    // the *effective* number of co-resident blocks.
+    let eff_tbs = spec.tbs_per_sm.min(spec.grid.max(1));
+    let total = solve_insts_per_warp(cfg, spec.drain_us, eff_tbs);
+    let tail = if spec.idempotent {
+        0
+    } else {
+        tail_insts(cfg, spec.tail_us, eff_tbs).clamp(3, total * 3 / 4)
+    };
+    let body = total - tail;
+    let l = (body * 3 / 100).max(1);
+    let s = (body * 3 / 100).max(1);
+    let c = body.saturating_sub(l + s).max(2);
+    let c1 = (c * 55 / 100).max(1);
+    let c2 = (c - c1).max(1);
+    let mut segs = vec![
+        Segment::load(l),
+        Segment::compute(c1),
+        Segment::Barrier,
+        Segment::compute(c2),
+        Segment::store(s),
+    ];
+    if tail > 0 {
+        let op = 2u32.min(tail);
+        let trailer = 2u32.min(tail.saturating_sub(op));
+        let tc = tail.saturating_sub(op + trailer);
+        match spec.non_idem_kind {
+            NonIdemKind::Atomic => segs.push(Segment::atomic(op)),
+            NonIdemKind::Overwrite => segs.push(Segment::overwrite(op)),
+        }
+        if tc > 0 {
+            segs.push(Segment::compute(tc));
+        }
+        if trailer > 0 {
+            segs.push(Segment::store(trailer));
+        }
+    }
+    Program::new(segs)
+}
+
+/// Build the kernel descriptor for a spec.
+///
+/// When `instrumented` is `true` the program carries the protect store that
+/// announces the relaxed idempotence point (the normal configuration; pass
+/// `false` to model the *strict* condition of §4.3, under which flushing must
+/// treat every block of a non-idempotent kernel as unflushable from cycle 0).
+pub fn build_kernel(cfg: &GpuConfig, spec: &KernelSpec, instrumented: bool) -> KernelDesc {
+    let res = solve_resources(spec.ctx_bytes, spec.tbs_per_sm);
+    let program = build_program(cfg, spec);
+    let program = if instrumented {
+        idem::instrument(&program)
+    } else {
+        program
+    };
+    KernelDesc::builder(spec.label())
+        .grid_blocks(spec.grid)
+        .threads_per_block(res.threads)
+        .regs_per_thread(res.regs_per_thread)
+        .shared_mem_per_block(res.shared_mem)
+        .program(program)
+        .jitter_pct(spec.jitter)
+        .build()
+        .expect("table2 specs are valid kernels")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::table2;
+    use gpu_sim::{occupancy, GpuConfig};
+
+    #[test]
+    fn resources_hit_target_occupancy_for_all_specs() {
+        let cfg = GpuConfig::fermi();
+        for spec in table2() {
+            let k = build_kernel(&cfg, &spec, true);
+            let occ = occupancy(&cfg, &k);
+            assert_eq!(
+                occ.blocks_per_sm,
+                spec.tbs_per_sm,
+                "{}: limited by {}",
+                spec.label(),
+                occ.limiting
+            );
+        }
+    }
+
+    #[test]
+    fn context_size_within_tolerance_of_table2() {
+        for spec in table2() {
+            let res = solve_resources(spec.ctx_bytes, spec.tbs_per_sm);
+            let got = res.context_bytes() as f64;
+            let want = spec.ctx_bytes as f64;
+            assert!(
+                (got - want).abs() / want < 0.15,
+                "{}: context {got} vs target {want}",
+                spec.label()
+            );
+        }
+    }
+
+    #[test]
+    fn switch_time_tracks_paper_column() {
+        // Table 2's "Switching Time" column is ctx/TB x TBs/SM / per-SM
+        // bandwidth; spot-check the BlackScholes row (paper: 17.0 us).
+        let cfg = GpuConfig::fermi();
+        let spec = table2().into_iter().find(|s| s.label() == "BS.0").unwrap();
+        let k = build_kernel(&cfg, &spec, true);
+        let bytes = k.block_context_bytes() * u64::from(spec.tbs_per_sm);
+        let us = cfg.cycles_to_us(cfg.sm_transfer_cycles(bytes));
+        assert!((us - 17.0).abs() < 2.0, "switch time {us}");
+    }
+
+    #[test]
+    fn instruction_solve_round_trips_drain_time() {
+        let cfg = GpuConfig::fermi();
+        for spec in table2() {
+            let i = solve_insts_per_warp(&cfg, spec.drain_us, spec.tbs_per_sm);
+            let warps = u64::from(THREADS_PER_BLOCK / 32);
+            let cycles = u64::from(i) * warps * u64::from(spec.tbs_per_sm) * cfg.issue_interval();
+            let us = cfg.cycles_to_us(cycles);
+            assert!(
+                (us - spec.drain_us).abs() / spec.drain_us < 0.05,
+                "{}: {us} vs {}",
+                spec.label(),
+                spec.drain_us
+            );
+        }
+    }
+
+    #[test]
+    fn program_instruction_budget_matches_solve() {
+        let cfg = GpuConfig::fermi();
+        for spec in table2() {
+            let eff = spec.tbs_per_sm.min(spec.grid.max(1));
+            let target = solve_insts_per_warp(&cfg, spec.drain_us, eff) as f64;
+            let p = build_program(&cfg, &spec);
+            let got = p.insts_per_warp() as f64;
+            assert!(
+                (got - target).abs() / target < 0.02,
+                "{}: {got} insts vs {target}",
+                spec.label()
+            );
+        }
+    }
+
+    #[test]
+    fn idempotence_class_matches_spec() {
+        let cfg = GpuConfig::fermi();
+        for spec in table2() {
+            let p = build_program(&cfg, &spec);
+            assert_eq!(p.is_idempotent(), spec.idempotent, "{}", spec.label());
+        }
+    }
+
+    #[test]
+    fn instrumented_kernels_carry_protect_store() {
+        let cfg = GpuConfig::fermi();
+        for spec in table2().iter().filter(|s| !s.idempotent) {
+            let k = build_kernel(&cfg, spec, true);
+            let protects = k
+                .program()
+                .segments()
+                .iter()
+                .filter(|s| matches!(s, Segment::ProtectStore))
+                .count();
+            assert_eq!(protects, 1, "{}", spec.label());
+        }
+    }
+
+    #[test]
+    fn non_idem_tail_fraction_matches_spec() {
+        let cfg = GpuConfig::fermi();
+        for spec in table2().iter().filter(|s| !s.idempotent) {
+            let p = build_program(&cfg, spec);
+            let frac = p.idempotent_fraction();
+            let want = 1.0 - spec.tail_us / spec.drain_us;
+            assert!(
+                (frac - want).abs() < 0.08,
+                "{}: idem fraction {frac} vs {want}",
+                spec.label()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tbs_per_sm out of range")]
+    fn solve_resources_rejects_zero_blocks() {
+        solve_resources(1024, 0);
+    }
+}

@@ -1,0 +1,519 @@
+//! Table 2 targets: one [`KernelSpec`] per kernel of the paper's suite.
+
+use std::fmt;
+
+/// Which operation breaks idempotence in a non-idempotent kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NonIdemKind {
+    /// The kernel ends with an atomic read-modify-write.
+    Atomic,
+    /// The kernel overwrites global locations it previously read.
+    Overwrite,
+}
+
+impl fmt::Display for NonIdemKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NonIdemKind::Atomic => f.write_str("atomic"),
+            NonIdemKind::Overwrite => f.write_str("overwrite"),
+        }
+    }
+}
+
+/// Calibration targets for one kernel (a row of the paper's Table 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelSpec {
+    /// Benchmark label (e.g. `"BS"`).
+    pub bench: &'static str,
+    /// Kernel index within the benchmark (the `.0`/`.1` suffix in figures).
+    pub idx: u32,
+    /// The CUDA kernel's name in the original benchmark.
+    pub kernel_name: &'static str,
+    /// Target average thread-block execution time at full occupancy, µs
+    /// (Table 2 "Average Drain Time").
+    pub drain_us: f64,
+    /// Target per-block context size, bytes (Table 2 "Context /TB").
+    pub ctx_bytes: u32,
+    /// Target resident blocks per SM (Table 2 "TBs /SM").
+    pub tbs_per_sm: u32,
+    /// Strict kernel idempotence (Table 2 "Idempotent").
+    pub idempotent: bool,
+    /// For non-idempotent kernels, the breaking operation kind.
+    pub non_idem_kind: NonIdemKind,
+    /// For non-idempotent kernels, the absolute duration of the
+    /// non-idempotent tail at the end of a block, µs. Blocks are flushable
+    /// until `drain_us - tail_us` into their execution.
+    pub tail_us: f64,
+    /// Grid size used in the multitasking experiments (sized so one launch
+    /// lasts on the order of a millisecond at our simulation scale).
+    pub grid: u32,
+    /// Per-block execution-time jitter (±fraction). The paper notes LUD and
+    /// SAD have high block-time variance, which degrades Chimera's cost
+    /// estimates (§4.4); their specs carry larger jitter.
+    pub jitter: f64,
+    /// Provenance and reconstruction rationale for this kernel.
+    pub description: &'static str,
+}
+
+impl KernelSpec {
+    /// `"BS.0"`-style label used across the paper's figures.
+    pub fn label(&self) -> String {
+        format!("{}.{}", self.bench, self.idx)
+    }
+}
+
+/// The 27 kernels of Table 2.
+///
+/// `drain_us`, `ctx_bytes`, `tbs_per_sm` and the idempotence column are the
+/// paper's values; `tail_us`, `grid` and `jitter` are reconstruction
+/// parameters chosen as described in the crate docs and DESIGN.md.
+pub fn table2() -> Vec<KernelSpec> {
+    use NonIdemKind::*;
+    let k = |bench,
+             idx,
+             kernel_name,
+             drain_us,
+             ctx_kb: f64,
+             tbs_per_sm,
+             idempotent,
+             non_idem_kind,
+             tail_us,
+             grid,
+             jitter,
+             description| KernelSpec {
+        bench,
+        idx,
+        kernel_name,
+        drain_us,
+        ctx_bytes: (ctx_kb * 1024.0) as u32,
+        tbs_per_sm,
+        idempotent,
+        non_idem_kind,
+        tail_us,
+        grid,
+        jitter,
+        description,
+    };
+    vec![
+        // bench idx  name                      drain     ctx  tbs idem  kind      tail   grid  jitter
+        k(
+            "BS",
+            0,
+            "BlackScholesGPU",
+            60.9,
+            24.0,
+            4,
+            true,
+            Atomic,
+            0.0,
+            3_000,
+            0.10,
+            "Nvidia SDK BlackScholes: embarrassingly parallel option pricing; reads inputs, writes fresh call/put arrays — strictly idempotent.",
+        ),
+        k(
+            "BT",
+            0,
+            "findRangeK",
+            3.5,
+            46.0,
+            2,
+            false,
+            Atomic,
+            2.1,
+            12_000,
+            0.15,
+            "Rodinia B+Tree range lookup: short blocks ending in result-buffer updates; large per-thread register state. The flush-killer of Figure 6.",
+        ),
+        k(
+            "BT", 1, "findK", 2.8, 36.0, 3, false, Atomic, 1.8, 18_000, 0.15,
+            "Rodinia B+Tree point lookup: like findRangeK with slightly shorter blocks.",
+        ),
+        k(
+            "BP",
+            0,
+            "bpnn_layerforward",
+            3.1,
+            12.0,
+            6,
+            false,
+            Overwrite,
+            0.12,
+            24_000,
+            0.10,
+            "Rodinia back-propagation forward pass: updates layer activations in place near the very end of each block.",
+        ),
+        k(
+            "BP",
+            1,
+            "bpnn_adjust_weights",
+            1.8,
+            22.0,
+            5,
+            false,
+            Overwrite,
+            0.10,
+            24_000,
+            0.10,
+            "Rodinia back-propagation weight adjustment: in-place weight update, tiny non-idempotent tail.",
+        ),
+        k(
+            "CP", 0, "cenergy", 746.9, 7.0, 8, false, Overwrite, 2.0, 720, 0.08,
+            "Parboil coulombic potential: very long compute-dense blocks accumulating into the potential grid at block end.",
+        ),
+        k(
+            "FWT",
+            0,
+            "fwtBatch2Kernel",
+            2.3,
+            21.0,
+            5,
+            false,
+            Overwrite,
+            1.5,
+            16_000,
+            0.15,
+            "Nvidia SDK fast Walsh transform, batch-2 stage: in-place butterflies make much of the short block non-idempotent — the other Figure 6 flush-killer.",
+        ),
+        k(
+            "FWT",
+            1,
+            "fwtBatch1Kernel",
+            7.2,
+            28.0,
+            3,
+            false,
+            Overwrite,
+            4.3,
+            8_000,
+            0.15,
+            "Nvidia SDK fast Walsh transform, batch-1 stage: in-place butterflies, mid-length blocks.",
+        ),
+        k(
+            "FWT",
+            2,
+            "modulateKernel",
+            321.8,
+            18.0,
+            6,
+            false,
+            Overwrite,
+            2.0,
+            1_200,
+            0.08,
+            "Nvidia SDK Walsh modulate: long streaming multiply, in-place at the tail.",
+        ),
+        k(
+            "HW", 0, "kernel", 5.2, 67.0, 2, false, Overwrite, 0.30, 18_000, 0.12,
+            "Rodinia heart-wall tracking: the largest context of the suite (67 kB/block); overwrites tracked positions at block end.",
+        ),
+        k(
+            "HS",
+            0,
+            "calculate_temp",
+            4.5,
+            38.0,
+            3,
+            true,
+            Atomic,
+            0.0,
+            30_000,
+            0.10,
+            "Rodinia HotSpot stencil: ping-pong buffers, so writes never overwrite reads — idempotent.",
+        ),
+        k(
+            "KM",
+            0,
+            "invert_mapping",
+            424.3,
+            10.0,
+            6,
+            true,
+            Atomic,
+            0.0,
+            900,
+            0.08,
+            "Rodinia k-means invert_mapping: long transpose-like copy into a fresh layout — idempotent.",
+        ),
+        k(
+            "KM",
+            1,
+            "kmeansPoint",
+            118.8,
+            12.0,
+            6,
+            true,
+            Atomic,
+            0.0,
+            1_800,
+            0.08,
+            "Rodinia k-means point assignment: writes fresh membership array — idempotent.",
+        ),
+        k(
+            "LC",
+            0,
+            "GICOV_kernel",
+            1162.0,
+            17.0,
+            7,
+            true,
+            Atomic,
+            0.0,
+            420,
+            0.08,
+            "Rodinia leukocyte GICOV: very long gradient-inverse blocks writing a fresh score matrix — idempotent.",
+        ),
+        k(
+            "LC",
+            1,
+            "dilate_kernel",
+            391.7,
+            9.0,
+            8,
+            true,
+            Atomic,
+            0.0,
+            720,
+            0.08,
+            "Rodinia leukocyte dilation: long morphological filter into a fresh buffer — idempotent.",
+        ),
+        k(
+            "LC",
+            2,
+            "IMGVF_kernel",
+            10_173.2,
+            87.0,
+            1,
+            false,
+            Overwrite,
+            5.0,
+            30,
+            0.05,
+            "Rodinia leukocyte IMGVF solver: the 10 ms monster block; iterative in-place vector-flow update.",
+        ),
+        k(
+            "LUD",
+            0,
+            "lud_diagonal",
+            17.4,
+            4.0,
+            8,
+            false,
+            Overwrite,
+            0.5,
+            1,
+            0.35,
+            "Rodinia LU decomposition, diagonal tile: a single block (size-bound!) factorising in place; high block-time variance.",
+        ),
+        k(
+            "LUD",
+            1,
+            "lud_perimeter",
+            26.2,
+            5.0,
+            8,
+            false,
+            Overwrite,
+            0.5,
+            46,
+            0.35,
+            "Rodinia LU decomposition, perimeter tiles: small shrinking grids, in-place updates; high variance.",
+        ),
+        k(
+            "LUD",
+            2,
+            "lud_internal",
+            3.5,
+            16.0,
+            6,
+            false,
+            Overwrite,
+            0.3,
+            529,
+            0.35,
+            "Rodinia LU decomposition, internal tiles: quadratic shrinking grids, in-place trailing update; high variance. The launch-churn engine of the 4.4 case study.",
+        ),
+        k(
+            "MUM",
+            0,
+            "mummergpuKernel",
+            10_212.8,
+            18.0,
+            6,
+            true,
+            Atomic,
+            0.0,
+            180,
+            0.10,
+            "Rodinia MUMmer suffix-tree matching: the longest blocks of the suite writing fresh match records — idempotent.",
+        ),
+        k(
+            "MUM",
+            1,
+            "printKernel",
+            76.4,
+            24.0,
+            5,
+            true,
+            Atomic,
+            0.0,
+            1_500,
+            0.10,
+            "Rodinia MUMmer print kernel: formats results into a fresh buffer — idempotent.",
+        ),
+        k(
+            "NW",
+            0,
+            "needle_cuda_shared_1",
+            18.2,
+            8.0,
+            8,
+            false,
+            Overwrite,
+            0.5,
+            8_000,
+            0.12,
+            "Rodinia Needleman-Wunsch, first diagonal sweep: in-place dynamic-programming matrix.",
+        ),
+        k(
+            "NW",
+            1,
+            "needle_cuda_shared_2",
+            18.7,
+            8.0,
+            8,
+            false,
+            Overwrite,
+            0.5,
+            8_000,
+            0.12,
+            "Rodinia Needleman-Wunsch, second diagonal sweep: in-place dynamic-programming matrix.",
+        ),
+        k(
+            "SAD",
+            0,
+            "mb_sad_calc",
+            42.3,
+            7.0,
+            8,
+            true,
+            Atomic,
+            0.0,
+            6_000,
+            0.35,
+            "Parboil sum-of-absolute-differences, macroblocks: fresh output writes, high variance (motion-dependent work) — idempotent.",
+        ),
+        k(
+            "SAD",
+            1,
+            "larger_sad_calc_8",
+            82.9,
+            8.0,
+            8,
+            true,
+            Atomic,
+            0.0,
+            4_000,
+            0.35,
+            "Parboil SAD 8x8 aggregation: fresh output writes, high variance — idempotent.",
+        ),
+        k(
+            "SAD",
+            2,
+            "larger_sad_calc_16",
+            19.7,
+            2.0,
+            8,
+            true,
+            Atomic,
+            0.0,
+            8_000,
+            0.35,
+            "Parboil SAD 16x16 aggregation: tiny context (2 kB), fresh writes — idempotent.",
+        ),
+        k(
+            "ST",
+            0,
+            "block2D_hybrid_coarsen_x",
+            122.3,
+            11.0,
+            8,
+            true,
+            Atomic,
+            0.0,
+            3_000,
+            0.08,
+            "Parboil 3D stencil, coarsened x: ping-pong buffered 7-point stencil — idempotent.",
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_27_kernels_and_14_benchmarks() {
+        let t = table2();
+        assert_eq!(t.len(), 27);
+        let mut benches: Vec<&str> = t.iter().map(|k| k.bench).collect();
+        benches.dedup();
+        assert_eq!(benches.len(), 14);
+    }
+
+    #[test]
+    fn idempotence_split_matches_paper() {
+        // "12 out of 27 kernels were found to be idempotent" (§2.3).
+        let idem = table2().iter().filter(|k| k.idempotent).count();
+        assert_eq!(idem, 12);
+    }
+
+    #[test]
+    fn non_idempotent_kernels_have_tails() {
+        for k in table2() {
+            if k.idempotent {
+                assert_eq!(k.tail_us, 0.0, "{}", k.label());
+            } else {
+                assert!(k.tail_us > 0.0, "{}", k.label());
+                assert!(k.tail_us < k.drain_us, "{}", k.label());
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let t = table2();
+        let mut labels: Vec<String> = t.iter().map(KernelSpec::label).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 27);
+    }
+
+    #[test]
+    fn average_drain_time_tracks_paper_average() {
+        // Figure 2: draining averages 830.4 us across kernels.
+        let t = table2();
+        let avg: f64 = t.iter().map(|k| k.drain_us).sum::<f64>() / t.len() as f64;
+        assert!((avg - 830.4).abs() < 80.0, "avg drain {avg}");
+    }
+
+    #[test]
+    fn descriptions_carry_provenance() {
+        for k in table2() {
+            assert!(!k.description.is_empty(), "{}", k.label());
+            assert!(
+                ["Nvidia SDK", "Rodinia", "Parboil"]
+                    .iter()
+                    .any(|src| k.description.starts_with(src)),
+                "{}: description must name the source suite",
+                k.label()
+            );
+        }
+    }
+
+    #[test]
+    fn tbs_per_sm_within_architecture_limits() {
+        for k in table2() {
+            assert!((1..=8).contains(&k.tbs_per_sm), "{}", k.label());
+        }
+    }
+}

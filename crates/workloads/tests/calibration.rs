@@ -1,0 +1,84 @@
+//! Full-suite calibration: every Table 2 kernel's *measured* drain time and
+//! switch time must sit near the paper's values. This is the contract the
+//! figure reproductions rest on.
+
+use gpu_sim::GpuConfig;
+use workloads::{build_kernel, measure_drain_time_us, table2};
+
+#[test]
+fn all_27_kernels_calibrate_against_table2() {
+    let cfg = GpuConfig::fermi();
+    let mut worst: (String, f64) = (String::new(), 0.0);
+    for spec in table2() {
+        let k = build_kernel(&cfg, &spec, true);
+        let samples = if spec.drain_us > 1000.0 { 6 } else { 16 };
+        let measured = measure_drain_time_us(&cfg, &k, samples);
+        let rel = (measured - spec.drain_us).abs() / spec.drain_us;
+        if rel > worst.1 {
+            worst = (spec.label(), rel);
+        }
+        assert!(
+            rel < 0.30,
+            "{}: drain {measured:.1} us vs Table 2 {:.1} us ({:.0}% off)",
+            spec.label(),
+            spec.drain_us,
+            rel * 100.0
+        );
+    }
+    // The suite as a whole should be much tighter than the per-kernel bound.
+    eprintln!(
+        "worst calibration error: {} at {:.1}%",
+        worst.0,
+        worst.1 * 100.0
+    );
+}
+
+#[test]
+fn switch_times_span_the_papers_range() {
+    // Table 2's switching times run from 2.8 us (SAD.2) to 23.4 us (HW.0).
+    let cfg = GpuConfig::fermi();
+    let mut times: Vec<(String, f64)> = table2()
+        .iter()
+        .map(|spec| {
+            let k = build_kernel(&cfg, spec, true);
+            let bytes = k.block_context_bytes() * u64::from(spec.tbs_per_sm);
+            (
+                spec.label(),
+                cfg.cycles_to_us(cfg.sm_transfer_cycles(bytes)),
+            )
+        })
+        .collect();
+    times.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let (min_l, min_t) = &times[0];
+    let (max_l, max_t) = times.last().unwrap();
+    assert_eq!(
+        min_l, "SAD.2",
+        "cheapest switch is SAD.2, got {min_l} at {min_t:.1}"
+    );
+    assert!((min_t - 2.8).abs() < 0.5, "{min_t}");
+    assert_eq!(
+        max_l, "HW.0",
+        "dearest switch is HW.0, got {max_l} at {max_t:.1}"
+    );
+    assert!((max_t - 23.4).abs() < 1.0, "{max_t}");
+    // The average drives Figure 2's 14.5 us bar.
+    let avg: f64 = times.iter().map(|(_, t)| t).sum::<f64>() / times.len() as f64;
+    assert!((avg - 14.5).abs() < 1.0, "average switch time {avg:.1}");
+}
+
+#[test]
+fn benchmark_pass_lengths_are_simulation_friendly() {
+    // One pass of every benchmark must stay within a few ms of work so the
+    // periodic experiments see several passes per horizon.
+    let suite = workloads::Suite::standard();
+    for b in suite.benchmarks() {
+        let insts = b.insts_per_pass();
+        // 30 SMs x 0.25 inst/cycle = 7.5 inst/cycle peak.
+        let ms = insts as f64 / 7.5 / 1.4e6;
+        assert!(
+            (0.05..20.0).contains(&ms),
+            "{}: one pass is {ms:.2} ms of work",
+            b.name()
+        );
+    }
+}

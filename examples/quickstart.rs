@@ -1,0 +1,75 @@
+//! Quickstart: launch two kernels, preempt one SM with each technique, and
+//! watch the trade-offs the paper is built on.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use gpu_sim::{Engine, GpuConfig, KernelDesc, Program, Segment, SmPreemptPlan, Technique};
+
+fn main() {
+    let cfg = GpuConfig::fermi();
+    println!("== Chimera quickstart: three ways to take an SM back ==\n");
+
+    // An idempotent kernel: pure loads, compute, and fresh stores.
+    let kernel = KernelDesc::builder("saxpy-like")
+        .grid_blocks(64)
+        .threads_per_block(128)
+        .regs_per_thread(24)
+        .shared_mem_per_block(4096)
+        .program(Program::new(vec![
+            Segment::load(32),
+            Segment::compute(1200),
+            Segment::store(32),
+        ]))
+        .build()
+        .expect("valid kernel");
+    println!("kernel: {kernel}");
+    println!(
+        "  context/block = {} kB, idempotent = {}\n",
+        kernel.block_context_bytes() / 1024,
+        kernel.program().is_idempotent()
+    );
+
+    for technique in Technique::ALL {
+        let mut engine = Engine::new(cfg.clone());
+        let kid = engine.launch_kernel(kernel.clone());
+        engine.assign_sm(0, Some(kid));
+        // Let blocks make some progress.
+        engine.run_until(cfg.us_to_cycles(3.0));
+        let resident = engine.sm_resident_indices(0);
+        let progress: u64 = engine
+            .sm_snapshot(0)
+            .blocks
+            .iter()
+            .map(|b| b.executed_insts)
+            .sum();
+        let plan = SmPreemptPlan::uniform(resident, technique);
+        let t0 = engine.cycle();
+        engine
+            .preempt_sm(0, &plan)
+            .expect("plan covers resident blocks");
+        // Run until the preemption completes.
+        let mut latency = None;
+        while latency.is_none() {
+            for ev in engine.run_for(cfg.us_to_cycles(5.0)) {
+                if let gpu_sim::Event::PreemptionCompleted { latency_cycles, .. } = ev {
+                    latency = Some(latency_cycles);
+                }
+            }
+            if engine.cycle() > t0 + cfg.us_to_cycles(500.0) {
+                break;
+            }
+        }
+        let stats = engine.kernel_stats(kid);
+        println!(
+            "{technique:>6}: latency = {:>6.2} us | work discarded = {:>5} insts | progress at request = {progress} insts",
+            cfg.cycles_to_us(latency.unwrap_or(0)),
+            stats.wasted_flush_insts,
+        );
+    }
+
+    println!(
+        "\nflush is instant but discards work; drain wastes nothing but takes as long\n\
+         as the slowest block; switching pays a fixed save/restore toll. Chimera\n\
+         (crates/core) picks per block — see the realtime_deadline example."
+    );
+}

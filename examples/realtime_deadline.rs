@@ -1,0 +1,53 @@
+//! A periodic real-time task preempting a GPGPU benchmark (§4.1 scenario):
+//! compare deadline violations and throughput across the four policies.
+//!
+//! Run with: `cargo run --release --example realtime_deadline`
+
+use chimera::policy::Policy;
+use chimera::runner::periodic::{run_periodic, PeriodicConfig};
+use workloads::Suite;
+
+fn main() {
+    let suite = Suite::standard();
+    let cfg = suite.config();
+    let bench = suite.benchmark("BS").expect("BlackScholes in suite");
+    let pcfg = PeriodicConfig {
+        horizon_us: 8_000.0,
+        ..PeriodicConfig::paper_default(cfg)
+    };
+    println!("== BlackScholes + a 1 ms-periodic task needing 15 SMs for 200 us ==");
+    println!(
+        "   (preemption latency constraint: {} us)\n",
+        pcfg.constraint_us
+    );
+    let mut oracle_useful = None;
+    let mut lineup = vec![Policy::Oracle];
+    lineup.extend(Policy::paper_lineup(15.0));
+    for policy in lineup {
+        let r = run_periodic(cfg, bench, policy, &pcfg);
+        if policy.is_oracle() {
+            oracle_useful = Some(r.useful_insts);
+            println!(
+                "{:>14}: (baseline) {} useful instructions",
+                "oracle", r.useful_insts
+            );
+            continue;
+        }
+        let overhead = oracle_useful
+            .map(|o| 100.0 * (1.0 - r.useful_insts as f64 / o as f64))
+            .unwrap_or(f64::NAN);
+        println!(
+            "{:>14}: {:>5.1}% deadline violations | {:>5.1}% throughput overhead | mean ok-latency {:>5.2} us",
+            policy.to_string(),
+            r.violation_pct(),
+            overhead,
+            r.mean_ok_latency_us,
+        );
+    }
+    println!(
+        "\nBlackScholes blocks run ~61 us, so draining busts the 15 us budget, and\n\
+         its 24 kB x 4 block context makes switching too slow as well. Chimera\n\
+         flushes young blocks and drains nearly-done ones — meeting the deadline\n\
+         at drain-like overhead."
+    );
+}

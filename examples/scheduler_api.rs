@@ -1,0 +1,96 @@
+//! The downstream-user API: a multitasking GPU with collaborative
+//! preemption in ~30 lines. Three processes with different appetites share
+//! 30 SMs; Chimera keeps hand-overs fast and cheap, the Smart-Even policy
+//! keeps the partition fair.
+//!
+//! Run with: `cargo run --release --example scheduler_api`
+
+use chimera::partition::PartitionPolicy;
+use chimera::policy::Policy;
+use chimera::scheduler::{GpuScheduler, SchedEvent};
+use gpu_sim::GpuConfig;
+use workloads::SyntheticKernel;
+
+fn main() {
+    let cfg = GpuConfig::fermi();
+    let mut gpu = GpuScheduler::new(
+        cfg.clone(),
+        Policy::chimera_us(15.0),
+        PartitionPolicy::SmartEven,
+    );
+
+    let video = gpu.add_process(); // steady mid-size kernels
+    let ml = gpu.add_process(); // one long training-style kernel
+    let burst = gpu.add_process(); // late-arriving burst
+
+    for i in 0..4 {
+        gpu.submit(
+            video,
+            SyntheticKernel::new(format!("video-frame-{i}"))
+                .block_time_us(30.0)
+                .blocks_per_sm(6)
+                .grid_blocks(900)
+                .build(&cfg),
+        );
+    }
+    gpu.submit(
+        ml,
+        SyntheticKernel::new("training-step")
+            .block_time_us(300.0)
+            .blocks_per_sm(4)
+            .memory_fraction(0.12)
+            .grid_blocks(1_200)
+            .build(&cfg),
+    );
+
+    println!("== three processes on one GPU (Chimera @ 15 us, smart-even partition) ==\n");
+    let mut burst_submitted = false;
+    for step in 0..60 {
+        let events = gpu.run_for_us(100.0);
+        for ev in events {
+            match ev {
+                SchedEvent::KernelStarted { proc, kernel } => {
+                    println!(
+                        "[{:>7.1} us] {proc}: kernel {kernel} started",
+                        cfg.cycles_to_us(gpu.cycle())
+                    );
+                }
+                SchedEvent::KernelFinished { proc, kernel } => {
+                    println!(
+                        "[{:>7.1} us] {proc}: kernel {kernel} finished",
+                        cfg.cycles_to_us(gpu.cycle())
+                    );
+                }
+                SchedEvent::SmReassigned { .. } => {}
+            }
+        }
+        if step == 10 && !burst_submitted {
+            println!("[{:>7.1} us] P2 bursts in!", cfg.cycles_to_us(gpu.cycle()));
+            gpu.submit(
+                burst,
+                SyntheticKernel::new("burst")
+                    .block_time_us(10.0)
+                    .blocks_per_sm(8)
+                    .non_idem_at(0.9)
+                    .grid_blocks(2_000)
+                    .build(&cfg),
+            );
+            burst_submitted = true;
+        }
+        if gpu.is_idle() {
+            break;
+        }
+    }
+    println!(
+        "\nprogress: video {} insts | training {} insts | burst {} insts",
+        gpu.useful_insts(video),
+        gpu.useful_insts(ml),
+        gpu.useful_insts(burst),
+    );
+    println!(
+        "SM preemptions performed along the way: {}",
+        gpu.engine().preempt_records().len()
+    );
+    println!("\nEvery hand-over was served with the cheapest technique that met 15 us —");
+    println!("flush for young blocks, drain for nearly-done ones, switch as the fallback.");
+}

@@ -1,0 +1,238 @@
+//! Cross-crate semantic correctness: no matter how aggressively a kernel is
+//! preempted with *safe* plans, its functional memory image must equal a
+//! preemption-free execution.
+
+use gpu_sim::{Engine, Event, GpuConfig, KernelDesc, Program, Segment, SmPreemptPlan, Technique};
+
+fn kernels_under_test() -> Vec<KernelDesc> {
+    let k = |name: &str, segs: Vec<Segment>| {
+        KernelDesc::builder(name)
+            .grid_blocks(24)
+            .threads_per_block(64)
+            .regs_per_thread(16)
+            .shared_mem_per_block(2048)
+            .program(Program::new(segs))
+            .jitter_pct(0.2)
+            .build()
+            .expect("valid kernel")
+    };
+    vec![
+        k(
+            "pure",
+            vec![Segment::load(8), Segment::compute(600), Segment::store(8)],
+        ),
+        k(
+            "barriered",
+            vec![
+                Segment::load(8),
+                Segment::compute(300),
+                Segment::Barrier,
+                Segment::compute(300),
+                Segment::store(8),
+            ],
+        ),
+        idem::instrument_kernel(&k(
+            "late-atomic",
+            vec![Segment::compute(500), Segment::atomic(2), Segment::store(4)],
+        )),
+        idem::instrument_kernel(&k(
+            "late-overwrite",
+            vec![
+                Segment::load(8),
+                Segment::compute(500),
+                Segment::overwrite(6),
+            ],
+        )),
+    ]
+}
+
+/// Storm a kernel with repeated preemptions of the given technique on every
+/// SM in turn, then let it finish and verify the output.
+fn storm(technique: Technique, kernel: &KernelDesc) {
+    let cfg = GpuConfig::tiny();
+    let mut e = Engine::with_seed(cfg.clone(), 9);
+    let kid = e.launch_kernel(kernel.clone());
+    for sm in 0..cfg.num_sms {
+        e.assign_sm(sm, Some(kid));
+    }
+    let mut preempts = 0;
+    for round in 0..60 {
+        e.run_for(3_000 + round * 37);
+        if e.kernel_stats(kid).finished {
+            break;
+        }
+        let sm = (round % cfg.num_sms as u64) as usize;
+        if e.sm_is_preempting(sm) || e.sm_resident_count(sm) == 0 {
+            continue;
+        }
+        // Only flush blocks that are still idempotent; others drain.
+        let snap = e.sm_snapshot(sm);
+        let entries: Vec<(u32, Technique)> = snap
+            .blocks
+            .iter()
+            .map(|b| {
+                let t = if technique == Technique::Flush && b.past_idem_point {
+                    Technique::Drain
+                } else {
+                    technique
+                };
+                (b.index, t)
+            })
+            .collect();
+        let plan = SmPreemptPlan {
+            entries,
+            allow_unsafe_flush: false,
+        };
+        e.preempt_sm(sm, &plan).expect("safe plan accepted");
+        preempts += 1;
+        // Collect the completion and reassign the SM.
+        let mut done = e.sm_is_preempting(sm);
+        while done {
+            for ev in e.run_for(50_000) {
+                if matches!(ev, Event::PreemptionCompleted { sm: s, .. } if s == sm) {
+                    done = false;
+                }
+            }
+            if e.cycle() > 3_000_000_000 {
+                panic!("preemption never completed");
+            }
+        }
+        e.assign_sm(sm, Some(kid));
+    }
+    // Finish the kernel.
+    let mut guard = 0;
+    while !e.kernel_stats(kid).finished {
+        e.run_for(1_000_000);
+        guard += 1;
+        assert!(guard < 10_000, "kernel failed to finish under {technique}");
+    }
+    assert!(preempts > 0, "storm must actually preempt");
+    assert_eq!(
+        e.output_mismatches(kid),
+        0,
+        "{} corrupted by {technique} storm",
+        kernel.name()
+    );
+}
+
+#[test]
+fn flush_storm_preserves_semantics() {
+    for k in kernels_under_test() {
+        storm(Technique::Flush, &k);
+    }
+}
+
+#[test]
+fn switch_storm_preserves_semantics() {
+    for k in kernels_under_test() {
+        storm(Technique::Switch, &k);
+    }
+}
+
+#[test]
+fn drain_storm_preserves_semantics() {
+    for k in kernels_under_test() {
+        storm(Technique::Drain, &k);
+    }
+}
+
+#[test]
+fn mixed_storm_preserves_semantics() {
+    // Alternate techniques per round.
+    let cfg = GpuConfig::tiny();
+    for kernel in kernels_under_test() {
+        let mut e = Engine::with_seed(cfg.clone(), 3);
+        let kid = e.launch_kernel(kernel.clone());
+        for sm in 0..cfg.num_sms {
+            e.assign_sm(sm, Some(kid));
+        }
+        for round in 0..40u64 {
+            e.run_for(5_000);
+            if e.kernel_stats(kid).finished {
+                break;
+            }
+            let sm = (round % cfg.num_sms as u64) as usize;
+            if e.sm_is_preempting(sm) || e.sm_resident_count(sm) == 0 {
+                continue;
+            }
+            let snap = e.sm_snapshot(sm);
+            let entries: Vec<(u32, Technique)> = snap
+                .blocks
+                .iter()
+                .enumerate()
+                .map(|(i, b)| {
+                    let t = match i % 3 {
+                        0 if !b.past_idem_point => Technique::Flush,
+                        1 => Technique::Switch,
+                        _ => Technique::Drain,
+                    };
+                    (b.index, t)
+                })
+                .collect();
+            e.preempt_sm(
+                sm,
+                &SmPreemptPlan {
+                    entries,
+                    allow_unsafe_flush: false,
+                },
+            )
+            .expect("safe mixed plan");
+            // Let the preemption settle, then hand the SM back.
+            e.run_for(400_000);
+            if !e.sm_is_preempting(sm) {
+                e.assign_sm(sm, Some(kid));
+            }
+        }
+        let mut guard = 0;
+        while !e.kernel_stats(kid).finished {
+            // Reclaim any SM that finished preempting meanwhile.
+            for sm in 0..cfg.num_sms {
+                if !e.sm_is_preempting(sm) && e.sm_assigned(sm).is_none() {
+                    e.assign_sm(sm, Some(kid));
+                }
+            }
+            e.run_for(1_000_000);
+            guard += 1;
+            assert!(guard < 10_000, "{} never finished", kernel.name());
+        }
+        assert_eq!(e.output_mismatches(kid), 0, "{} corrupted", kernel.name());
+    }
+}
+
+#[test]
+fn unsafe_flush_is_detected_not_silent() {
+    // The engine must refuse, and forcing must visibly corrupt.
+    let kernel = idem::instrument_kernel(
+        &KernelDesc::builder("unsafe")
+            .grid_blocks(4)
+            .threads_per_block(32)
+            .program(Program::new(vec![
+                Segment::atomic(2),
+                Segment::compute(30_000),
+            ]))
+            .build()
+            .unwrap(),
+    );
+    let cfg = GpuConfig::tiny();
+    let mut e = Engine::with_seed(cfg.clone(), 1);
+    let kid = e.launch_kernel(kernel);
+    e.assign_sm(0, Some(kid));
+    e.run_until(400_000);
+    let snap = e.sm_snapshot(0);
+    assert!(
+        snap.blocks.iter().any(|b| b.past_idem_point),
+        "atomic executed by now"
+    );
+    let plan = SmPreemptPlan::uniform(e.sm_resident_indices(0), Technique::Flush);
+    assert!(e.preempt_sm(0, &plan).is_err());
+    let forced = SmPreemptPlan {
+        allow_unsafe_flush: true,
+        ..plan
+    };
+    e.preempt_sm(0, &forced).unwrap();
+    e.assign_sm(0, Some(kid));
+    while !e.kernel_stats(kid).finished {
+        e.run_for(5_000_000);
+    }
+    assert!(e.output_mismatches(kid) > 0);
+}

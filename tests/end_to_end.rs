@@ -1,0 +1,169 @@
+//! End-to-end experiment invariants across the whole stack
+//! (workloads → engine → Chimera → metrics).
+
+use chimera::policy::Policy;
+use chimera::runner::multiprog::{run_fcfs, run_pair, MultiprogConfig};
+use chimera::runner::periodic::{run_periodic, PeriodicConfig};
+use chimera::runner::solo::run_solo;
+use workloads::Suite;
+
+fn quick(cfg: &gpu_sim::GpuConfig, horizon_us: f64) -> PeriodicConfig {
+    PeriodicConfig {
+        horizon_us,
+        ..PeriodicConfig::paper_default(cfg)
+    }
+}
+
+#[test]
+fn periodic_request_accounting() {
+    let suite = Suite::standard();
+    let cfg = suite.config();
+    for policy in Policy::paper_lineup(15.0) {
+        let r = run_periodic(
+            cfg,
+            suite.benchmark("NW").unwrap(),
+            policy,
+            &quick(cfg, 4_200.0),
+        );
+        // One request per period (1 ms), starting at t = 1 ms.
+        assert_eq!(r.requests, 4, "{policy}");
+        assert!(r.violations <= r.requests, "{policy}");
+        assert_eq!(r.request_log.len(), 4, "{policy}");
+        assert!(r.useful_insts > 0, "{policy}");
+        for (t, lat, acquired) in &r.request_log {
+            assert!(*t >= 1000.0 - 1.0, "{policy}: request at {t}");
+            assert!(*acquired <= 15, "{policy}");
+            if let Some(l) = lat {
+                assert!(*l >= 0.0, "{policy}");
+            }
+        }
+    }
+}
+
+#[test]
+fn chimera_dominates_singles_on_violations() {
+    // Across a diverse trio of benchmarks, Chimera's total violations must
+    // not exceed the best single technique's total (the paper's core claim).
+    let suite = Suite::standard();
+    let cfg = suite.config();
+    let mut totals = [0u32; 4]; // switch, drain, flush, chimera
+    for name in ["BS", "BT", "LC"] {
+        let bench = suite.benchmark(name).unwrap();
+        for (i, policy) in Policy::paper_lineup(15.0).into_iter().enumerate() {
+            totals[i] += run_periodic(cfg, bench, policy, &quick(cfg, 6_000.0)).violations;
+        }
+    }
+    let best_single = totals[..3].iter().copied().min().unwrap();
+    assert!(
+        totals[3] <= best_single,
+        "chimera {} vs best single {best_single} (all: {totals:?})",
+        totals[3]
+    );
+}
+
+#[test]
+fn oracle_bounds_every_policy_throughput() {
+    let suite = Suite::standard();
+    let cfg = suite.config();
+    let bench = suite.benchmark("ST").unwrap();
+    let oracle = run_periodic(cfg, bench, Policy::Oracle, &quick(cfg, 5_000.0));
+    for policy in Policy::paper_lineup(15.0) {
+        let r = run_periodic(cfg, bench, policy, &quick(cfg, 5_000.0));
+        // Allow 2% slack: scheduling noise can make a policy marginally
+        // exceed the oracle on short horizons.
+        assert!(
+            r.useful_insts as f64 <= oracle.useful_insts as f64 * 1.02,
+            "{policy}: {} > oracle {}",
+            r.useful_insts,
+            oracle.useful_insts
+        );
+    }
+}
+
+#[test]
+fn multiprogramming_beats_fcfs_for_lud() {
+    let suite = Suite::with_options(
+        gpu_sim::GpuConfig::fermi(),
+        workloads::SuiteOptions {
+            instrumented: true,
+            grid_scale: 0.3,
+            lud_iterations: 6,
+        },
+    );
+    let cfg = suite.config();
+    let mcfg = MultiprogConfig {
+        budget_insts: 600_000,
+        horizon_us: 300_000.0,
+        ..MultiprogConfig::paper_default()
+    };
+    let lud = suite.benchmark("LUD").unwrap();
+    let other = suite.benchmark("ST").unwrap();
+    let lud_solo = run_solo(
+        cfg,
+        lud,
+        Some(mcfg.budget_insts),
+        cfg.us_to_cycles(100_000.0),
+        42,
+    );
+    let fcfs = run_fcfs(cfg, lud, other, &mcfg);
+    let chim = run_pair(cfg, lud, other, Policy::chimera_us(30.0), &mcfg);
+    let f = fcfs.jobs[0].t_multi.expect("FCFS measured") as f64;
+    let c = chim.jobs[0].t_multi.expect("pair measured") as f64;
+    assert!(
+        f > 2.0 * c,
+        "FCFS should slow LUD at least 2x vs Chimera: fcfs={f}, chimera={c}"
+    );
+    // Turnarounds are never better than solo.
+    assert!(
+        c >= lud_solo.cycles as f64 * 0.98,
+        "multi faster than solo?"
+    );
+    assert!(chim.preemptions > 0);
+}
+
+#[test]
+fn strict_condition_is_never_better_than_relaxed() {
+    let relaxed_suite = Suite::standard();
+    let strict_suite = Suite::strict();
+    let cfg = relaxed_suite.config();
+    for name in ["BT", "NW", "HS"] {
+        let relaxed = run_periodic(
+            cfg,
+            relaxed_suite.benchmark(name).unwrap(),
+            Policy::Flush,
+            &quick(cfg, 5_000.0),
+        );
+        let strict_pc = PeriodicConfig {
+            strict_idem: true,
+            ..quick(cfg, 5_000.0)
+        };
+        let strict = run_periodic(
+            cfg,
+            strict_suite.benchmark(name).unwrap(),
+            Policy::Flush,
+            &strict_pc,
+        );
+        assert!(
+            strict.violations >= relaxed.violations,
+            "{name}: strict {} < relaxed {}",
+            strict.violations,
+            relaxed.violations
+        );
+    }
+}
+
+#[test]
+fn runners_are_deterministic() {
+    let suite = Suite::standard();
+    let cfg = suite.config();
+    let run = || {
+        let r = run_periodic(
+            cfg,
+            suite.benchmark("FWT").unwrap(),
+            Policy::chimera_us(15.0),
+            &quick(cfg, 4_000.0),
+        );
+        (r.violations, r.useful_insts, r.requests)
+    };
+    assert_eq!(run(), run());
+}

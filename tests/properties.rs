@@ -1,0 +1,157 @@
+//! Property-based tests over the core data structures and invariants.
+
+use gpu_sim::{occupancy, Engine, GpuConfig, KernelDesc, Program, Segment};
+use proptest::prelude::*;
+
+fn arb_segment() -> impl Strategy<Value = Segment> {
+    prop_oneof![
+        (1u32..400).prop_map(Segment::compute),
+        (1u32..60).prop_map(Segment::load),
+        (1u32..60).prop_map(Segment::store),
+        (1u32..20).prop_map(Segment::overwrite),
+        (1u32..8).prop_map(Segment::atomic),
+        (1u32..60).prop_map(|n| Segment::Shared { insts: n }),
+        Just(Segment::Barrier),
+    ]
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    proptest::collection::vec(arb_segment(), 1..10)
+        .prop_filter("needs instructions", |segs| {
+            segs.iter().map(|s| u64::from(s.insts())).sum::<u64>() > 0
+        })
+        .prop_map(Program::new)
+}
+
+fn arb_kernel() -> impl Strategy<Value = KernelDesc> {
+    (
+        arb_program(),
+        1u32..64,     // grid
+        1u32..8,      // warps per block
+        4u32..40,     // regs per thread
+        0u32..16_384, // shared memory
+        0u64..3,      // jitter bucket
+    )
+        .prop_map(|(program, grid, warps, regs, smem, jit)| {
+            KernelDesc::builder("prop")
+                .grid_blocks(grid)
+                .threads_per_block(warps * 32)
+                .regs_per_thread(regs)
+                .shared_mem_per_block(smem)
+                .program(program)
+                .jitter_pct(jit as f64 * 0.15)
+                .build()
+                .expect("generated kernels are valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Instrumentation preserves semantics-relevant structure: same
+    /// instruction count modulo the single protect store, idempotence class
+    /// unchanged for idempotent programs, and the pass is itself idempotent.
+    #[test]
+    fn instrumentation_invariants(p in arb_program()) {
+        let out = idem::instrument(&p);
+        let protects = out
+            .segments()
+            .iter()
+            .filter(|s| matches!(s, Segment::ProtectStore))
+            .count();
+        if p.is_idempotent() {
+            prop_assert_eq!(&out, &p);
+            prop_assert_eq!(protects, 0);
+        } else {
+            prop_assert_eq!(protects, 1);
+            prop_assert_eq!(out.insts_per_warp(), p.insts_per_warp() + 1);
+            // The protect store lands immediately before the first breaking
+            // segment.
+            let ix = out
+                .segments()
+                .iter()
+                .position(|s| matches!(s, Segment::ProtectStore))
+                .expect("inserted");
+            prop_assert!(out.segments()[ix + 1].is_non_idempotent());
+        }
+        prop_assert_eq!(idem::instrument(&out), out);
+    }
+
+    /// Occupancy respects every architectural limit.
+    #[test]
+    fn occupancy_within_limits(k in arb_kernel()) {
+        let cfg = GpuConfig::fermi();
+        let occ = occupancy(&cfg, &k);
+        prop_assert!(occ.blocks_per_sm >= 1);
+        prop_assert!(occ.blocks_per_sm <= cfg.max_blocks_per_sm);
+        let b = occ.blocks_per_sm;
+        prop_assert!(b * k.threads_per_block() * k.regs_per_thread() <= cfg.registers_per_sm);
+        prop_assert!(b * k.shared_mem_per_block() <= cfg.shared_mem_per_sm
+            || k.shared_mem_per_block() == 0);
+        prop_assert!(b * k.threads_per_block() <= cfg.max_threads_per_sm);
+        // And one more block would break some limit (maximality), unless the
+        // architectural cap binds.
+        if b < cfg.max_blocks_per_sm {
+            let b1 = b + 1;
+            let fits = b1 * k.threads_per_block() * k.regs_per_thread() <= cfg.registers_per_sm
+                && (k.shared_mem_per_block() == 0
+                    || b1 * k.shared_mem_per_block() <= cfg.shared_mem_per_sm)
+                && b1 * k.threads_per_block() <= cfg.max_threads_per_sm
+                && b1 * k.warps_per_block() <= cfg.max_warps_per_sm;
+            prop_assert!(!fits, "occupancy not maximal: {b} vs possible {b1}");
+        }
+    }
+
+    /// Any kernel run to completion executes exactly its instruction budget
+    /// and produces a correct memory image; block accounting balances.
+    #[test]
+    fn execution_conservation(k in arb_kernel(), seed in 0u64..1000) {
+        let cfg = GpuConfig::tiny();
+        let mut e = Engine::with_seed(cfg.clone(), seed);
+        let kid = e.launch_kernel(k.clone());
+        for sm in 0..cfg.num_sms {
+            e.assign_sm(sm, Some(kid));
+        }
+        let mut guard = 0;
+        while !e.kernel_stats(kid).finished {
+            e.run_for(20_000_000);
+            guard += 1;
+            prop_assert!(guard < 4_000, "kernel did not finish");
+        }
+        let s = e.kernel_stats(kid);
+        prop_assert_eq!(s.completed_tbs, k.grid_blocks());
+        prop_assert_eq!(s.issued_insts, s.completed_insts);
+        prop_assert_eq!(s.wasted_flush_insts, 0);
+        prop_assert_eq!(e.output_mismatches(kid), 0);
+        if k.jitter_pct() == 0.0 {
+            prop_assert_eq!(
+                s.completed_insts,
+                k.insts_per_block() * u64::from(k.grid_blocks())
+            );
+        }
+    }
+
+    /// ANTT and STP are consistent: for two jobs with equal slowdown `s`,
+    /// ANTT = s and STP = 2/s.
+    #[test]
+    fn antt_stp_consistency(s in 1.0f64..50.0, t1 in 1.0f64..1e6, t2 in 1.0f64..1e6) {
+        let pairs = [(t1 * s, t1), (t2 * s, t2)];
+        prop_assert!((chimera::metrics::antt(&pairs) - s).abs() < 1e-9 * s);
+        prop_assert!((chimera::metrics::stp(&pairs) - 2.0 / s).abs() < 1e-9);
+    }
+
+    /// The block-length jitter scaling is deterministic and bounded.
+    #[test]
+    fn jitter_bounds(seed in 0u64..500, idx in 0u32..2000) {
+        let k = KernelDesc::builder("j")
+            .grid_blocks(2048)
+            .program(Program::new(vec![Segment::compute(1000)]))
+            .jitter_pct(0.3)
+            .build()
+            .unwrap();
+        let a = gpu_sim::block::scaled_segments(&k, seed, idx);
+        let b = gpu_sim::block::scaled_segments(&k, seed, idx);
+        prop_assert_eq!(&a, &b);
+        prop_assert!((700..=1300).contains(&a[0]), "jitter out of bounds: {}", a[0]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests over the `GpuScheduler` facade and random preemption
+//! plans against the engine.
+
+use chimera::partition::PartitionPolicy;
+use chimera::policy::Policy;
+use chimera::scheduler::GpuScheduler;
+use gpu_sim::{Engine, GpuConfig, KernelDesc, Program, Segment, SmPreemptPlan, Technique};
+use proptest::prelude::*;
+
+fn small_kernel(name: String, grid: u32, insts: u32, non_idem: bool) -> KernelDesc {
+    let mut segs = vec![Segment::load(2), Segment::compute(insts)];
+    if non_idem {
+        segs.push(Segment::overwrite(2));
+    } else {
+        segs.push(Segment::store(2));
+    }
+    let program = idem::instrument(&Program::new(segs));
+    KernelDesc::builder(name)
+        .grid_blocks(grid)
+        .threads_per_block(64)
+        .regs_per_thread(12)
+        .program(program)
+        .jitter_pct(0.1)
+        .build()
+        .expect("valid kernel")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any mix of processes and kernels runs to completion with intact
+    /// memory semantics under the full scheduler stack.
+    #[test]
+    fn scheduler_completes_arbitrary_mixes(
+        jobs in proptest::collection::vec((1u32..40, 50u32..600, any::<bool>()), 1..4),
+        policy_ix in 0usize..4,
+    ) {
+        let policy = Policy::paper_lineup(30.0)[policy_ix];
+        let mut gpu = GpuScheduler::new(
+            GpuConfig::tiny(),
+            policy,
+            PartitionPolicy::SmartEven,
+        );
+        let mut procs = Vec::new();
+        for (i, &(grid, insts, non_idem)) in jobs.iter().enumerate() {
+            let p = gpu.add_process();
+            gpu.submit(p, small_kernel(format!("k{i}"), grid, insts, non_idem));
+            procs.push(p);
+        }
+        let mut guard = 0;
+        while !gpu.is_idle() {
+            gpu.run_for_us(200.0);
+            guard += 1;
+            prop_assert!(guard < 8_000, "scheduler stalled under {}", policy);
+        }
+        for (i, &p) in procs.iter().enumerate() {
+            prop_assert_eq!(gpu.completed_kernels(p), 1, "job {} under {}", i, policy);
+        }
+        // Every kernel's functional memory matches the reference execution.
+        for &proc in &procs {
+            prop_assert!(gpu.useful_insts(proc) > 0);
+        }
+    }
+
+    /// Random safe preemption plans never corrupt kernel output and always
+    /// complete (the engine-level analogue of the correctness storms).
+    #[test]
+    fn random_safe_plans_preserve_semantics(
+        seed in 0u64..500,
+        techniques in proptest::collection::vec(0u8..3, 1..12),
+    ) {
+        let cfg = GpuConfig::tiny();
+        let mut e = Engine::with_seed(cfg.clone(), seed);
+        let k = e.launch_kernel(small_kernel("prop".into(), 24, 300, true));
+        for sm in 0..cfg.num_sms {
+            e.assign_sm(sm, Some(k));
+        }
+        for (round, &t) in techniques.iter().enumerate() {
+            e.run_for(2_000 + seed % 997);
+            let sm = round % cfg.num_sms;
+            if e.sm_is_preempting(sm) || e.sm_resident_count(sm) == 0 {
+                continue;
+            }
+            let snap = e.sm_snapshot(sm);
+            let entries: Vec<(u32, Technique)> = snap
+                .blocks
+                .iter()
+                .map(|b| {
+                    let tech = match t {
+                        0 if !b.past_idem_point => Technique::Flush,
+                        1 => Technique::Switch,
+                        _ => Technique::Drain,
+                    };
+                    (b.index, tech)
+                })
+                .collect();
+            let plan = SmPreemptPlan { entries, allow_unsafe_flush: false };
+            prop_assert!(e.preempt_sm(sm, &plan).is_ok());
+            e.run_for(300_000);
+            if !e.sm_is_preempting(sm) {
+                e.assign_sm(sm, Some(k));
+            }
+        }
+        let mut guard = 0;
+        while !e.kernel_stats(k).finished {
+            for sm in 0..cfg.num_sms {
+                if !e.sm_is_preempting(sm) && e.sm_assigned(sm).is_none() {
+                    e.assign_sm(sm, Some(k));
+                }
+            }
+            e.run_for(2_000_000);
+            guard += 1;
+            prop_assert!(guard < 4_000, "kernel never finished");
+        }
+        prop_assert_eq!(e.output_mismatches(k), 0);
+    }
+}

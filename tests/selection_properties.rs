@@ -1,0 +1,159 @@
+//! Property-based tests over Algorithm 1 (preemption selection).
+
+use chimera::cost::KernelObs;
+use chimera::select::{select_preemptions, SelectionRequest};
+use gpu_sim::{GpuConfig, SmSnapshot, TbSnapshotInfo, Technique};
+use proptest::prelude::*;
+
+fn arb_block(index: u32) -> impl Strategy<Value = TbSnapshotInfo> {
+    (0u64..2000, any::<bool>()).prop_map(move |(executed, past)| TbSnapshotInfo {
+        index,
+        executed_insts: executed,
+        elapsed_cycles: executed * 16,
+        past_idem_point: past,
+    })
+}
+
+fn arb_snapshot(sm: usize) -> impl Strategy<Value = SmSnapshot> {
+    proptest::collection::vec(any::<bool>(), 1..8).prop_flat_map(move |mask| {
+        let blocks: Vec<_> = mask
+            .iter()
+            .enumerate()
+            .map(|(i, _)| arb_block((sm * 8 + i) as u32))
+            .collect();
+        blocks.prop_map(move |blocks| SmSnapshot {
+            sm,
+            kernel: None,
+            blocks,
+        })
+    })
+}
+
+fn arb_snapshots() -> impl Strategy<Value = Vec<SmSnapshot>> {
+    (1usize..10).prop_flat_map(|n| (0..n).map(arb_snapshot).collect::<Vec<_>>())
+}
+
+fn arb_request() -> impl Strategy<Value = SelectionRequest> {
+    (
+        1u64..40_000,
+        1usize..8,
+        1u64..128 * 1024,
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(limit, num, ctx, with_obs, flush_ok)| SelectionRequest {
+            limit_cycles: limit,
+            num_preempts: num,
+            ctx_bytes_per_tb: ctx,
+            obs: if with_obs {
+                KernelObs {
+                    avg_tb_insts: Some(1000.0),
+                    avg_tb_cpi: Some(16.0),
+                    std_tb_insts: 40.0,
+                    max_tb_insts: 1100,
+                }
+            } else {
+                KernelObs::default()
+            },
+            flush_allowed: flush_ok,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Structural invariants of every selection: plans cover each resident
+    /// block exactly once, never flush past-idempotence blocks, never select
+    /// an SM twice, and never exceed the request size.
+    #[test]
+    fn selection_invariants(req in arb_request(), snaps in arb_snapshots()) {
+        let cfg = GpuConfig::fermi();
+        let plans = select_preemptions(&cfg, &req, &snaps);
+        let nonempty = snaps.iter().filter(|s| !s.blocks.is_empty()).count();
+        prop_assert!(plans.len() <= req.num_preempts);
+        prop_assert!(plans.len() <= nonempty);
+        prop_assert_eq!(plans.len(), req.num_preempts.min(nonempty));
+        let mut seen_sms = std::collections::HashSet::new();
+        for p in &plans {
+            prop_assert!(seen_sms.insert(p.sm), "SM selected twice");
+            let snap = snaps.iter().find(|s| s.sm == p.sm).expect("plan for known SM");
+            prop_assert_eq!(p.plan.entries.len(), snap.blocks.len());
+            for b in &snap.blocks {
+                let t = p.plan.technique_for(b.index);
+                prop_assert!(t.is_some(), "block {} uncovered", b.index);
+                if b.past_idem_point || !req.flush_allowed {
+                    prop_assert_ne!(t, Some(Technique::Flush));
+                }
+            }
+            prop_assert!(!p.plan.allow_unsafe_flush);
+        }
+    }
+
+    /// Monotonicity: for a fixed SM, relaxing the latency limit never
+    /// increases the plan's estimated overhead — each block's choice is the
+    /// min-overhead technique over a candidate set that only grows with the
+    /// limit. (Across *different* SMs the selected plan's overhead may rise
+    /// at the feasibility boundary: a tight limit that no SM meets falls
+    /// back to the lowest-latency SM, which may be cheap.)
+    #[test]
+    fn looser_limits_never_cost_more_per_sm(snap in arb_snapshot(0)) {
+        let cfg = GpuConfig::fermi();
+        let base = SelectionRequest {
+            limit_cycles: 0,
+            num_preempts: 1,
+            ctx_bytes_per_tb: 24 * 1024,
+            obs: KernelObs {
+                avg_tb_insts: Some(1000.0),
+                avg_tb_cpi: Some(16.0),
+                std_tb_insts: 0.0,
+                max_tb_insts: 1000,
+            },
+            flush_allowed: true,
+        };
+        let snaps = vec![snap];
+        let mut prev = u64::MAX;
+        for limit_us in [2.0, 5.0, 15.0, 50.0, 1000.0] {
+            let req = SelectionRequest { limit_cycles: cfg.us_to_cycles(limit_us), ..base };
+            let plans = select_preemptions(&cfg, &req, &snaps);
+            if let Some(p) = plans.first() {
+                prop_assert!(
+                    p.est_overhead_insts <= prev,
+                    "overhead rose from {prev} to {} at {limit_us}us",
+                    p.est_overhead_insts
+                );
+                prev = p.est_overhead_insts;
+            }
+        }
+    }
+
+    /// With a generous limit and statistics available, a nearly-finished
+    /// block is always drained, never flushed (Figure 4's right edge).
+    #[test]
+    fn finished_blocks_drain(executed in 995u64..1000) {
+        let cfg = GpuConfig::fermi();
+        let snap = SmSnapshot {
+            sm: 0,
+            kernel: None,
+            blocks: vec![TbSnapshotInfo {
+                index: 0,
+                executed_insts: executed,
+                elapsed_cycles: executed * 16,
+                past_idem_point: false,
+            }],
+        };
+        let req = SelectionRequest {
+            limit_cycles: cfg.us_to_cycles(1000.0),
+            num_preempts: 1,
+            ctx_bytes_per_tb: 24 * 1024,
+            obs: KernelObs {
+                avg_tb_insts: Some(1000.0),
+                avg_tb_cpi: Some(16.0),
+                std_tb_insts: 0.0,
+                max_tb_insts: 1000,
+            },
+            flush_allowed: true,
+        };
+        let plans = select_preemptions(&cfg, &req, &[snap]);
+        prop_assert_eq!(plans[0].plan.technique_for(0), Some(Technique::Drain));
+    }
+}
