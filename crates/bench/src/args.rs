@@ -1,13 +1,20 @@
 //! Minimal CLI argument handling shared by the figure binaries.
 
+use crate::pool;
+
 /// Common knobs: `--scale <f64>` (shrinks horizons/budgets for quick runs),
-/// `--seed <u64>`.
+/// `--seed <u64>`, `--jobs <usize>` (worker threads for the experiment
+/// matrices; results are byte-identical for every value).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunArgs {
     /// Scale factor on horizons and budgets (1.0 = paper-shaped defaults).
     pub scale: f64,
     /// Determinism seed.
     pub seed: u64,
+    /// Worker threads for experiment matrices. Defaults to the machine's
+    /// available parallelism; `1` runs every cell inline on the caller's
+    /// thread. Output tables are identical either way.
+    pub jobs: usize,
 }
 
 impl Default for RunArgs {
@@ -15,6 +22,7 @@ impl Default for RunArgs {
         RunArgs {
             scale: 1.0,
             seed: 42,
+            jobs: pool::default_jobs(),
         }
     }
 }
@@ -44,8 +52,13 @@ impl RunArgs {
                     let v = it.next().expect("--seed needs a value");
                     out.seed = v.parse().expect("--seed must be an integer");
                 }
+                "--jobs" => {
+                    let v = it.next().expect("--jobs needs a value");
+                    out.jobs = v.parse().expect("--jobs must be a positive integer");
+                    assert!(out.jobs >= 1, "--jobs must be at least 1");
+                }
                 "--help" | "-h" => {
-                    eprintln!("usage: [--scale <f>] [--seed <n>]");
+                    eprintln!("usage: [--scale <f>] [--seed <n>] [--jobs <n>]");
                     std::process::exit(0);
                 }
                 other => panic!("unknown argument: {other}"),
@@ -66,13 +79,10 @@ mod tests {
     #[test]
     fn defaults() {
         let a = RunArgs::parse(s(&[]));
-        assert_eq!(
-            a,
-            RunArgs {
-                scale: 1.0,
-                seed: 42
-            }
-        );
+        assert!((a.scale - 1.0).abs() < 1e-12);
+        assert_eq!(a.seed, 42);
+        assert!(a.jobs >= 1, "default jobs follows available parallelism");
+        assert_eq!(a.jobs, pool::default_jobs());
     }
 
     #[test]
@@ -80,6 +90,20 @@ mod tests {
         let a = RunArgs::parse(s(&["--scale", "0.25", "--seed", "7"]));
         assert!((a.scale - 0.25).abs() < 1e-12);
         assert_eq!(a.seed, 7);
+    }
+
+    #[test]
+    fn parses_jobs() {
+        let a = RunArgs::parse(s(&["--jobs", "8"]));
+        assert_eq!(a.jobs, 8);
+        let a = RunArgs::parse(s(&["--jobs", "1", "--scale", "0.5"]));
+        assert_eq!(a.jobs, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "--jobs must be at least 1")]
+    fn rejects_zero_jobs() {
+        RunArgs::parse(s(&["--jobs", "0"]));
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! the traffic charging on and measures how much throughput the optimism
 //! hides, per benchmark, under the pure Switch policy.
 
+use bench::pool;
+use bench::progress::Progress;
 use bench::report::f1;
 use bench::scenarios::PERIODIC_HORIZON_US;
 use bench::{RunArgs, Table};
@@ -29,19 +31,31 @@ fn main() {
     };
     println!("Ablation: context-switch bandwidth charging (Switch policy, 15 us task)\n");
     let mut t = Table::new(&["benchmark", "halt-only insts", "charged insts", "delta %"]);
-    for bench in suite.benchmarks() {
-        eprint!("  {} ...", bench.name());
-        let a = run_periodic(&base_cfg, bench, Policy::Switch, &pcfg);
-        let b = run_periodic(&charged_cfg, bench, Policy::Switch, &pcfg);
-        let delta = 100.0 * (1.0 - b.useful_insts as f64 / a.useful_insts.max(1) as f64);
-        eprintln!(" done");
-        t.row(vec![
-            bench.name().to_string(),
-            a.useful_insts.to_string(),
-            b.useful_insts.to_string(),
-            f1(delta),
-        ]);
+    let progress = Progress::new("ablation-ctx-bw", suite.benchmarks().len());
+    let tasks: Vec<_> = suite
+        .benchmarks()
+        .iter()
+        .map(|bench| {
+            let (base_cfg, charged_cfg, pcfg, progress) =
+                (&base_cfg, &charged_cfg, &pcfg, &progress);
+            move || {
+                let a = run_periodic(base_cfg, bench, Policy::Switch, pcfg);
+                let b = run_periodic(charged_cfg, bench, Policy::Switch, pcfg);
+                progress.cell_done(bench.name());
+                let delta = 100.0 * (1.0 - b.useful_insts as f64 / a.useful_insts.max(1) as f64);
+                vec![
+                    bench.name().to_string(),
+                    a.useful_insts.to_string(),
+                    b.useful_insts.to_string(),
+                    f1(delta),
+                ]
+            }
+        })
+        .collect();
+    for row in pool::run_tasks(args.jobs, tasks) {
+        t.row(row);
     }
+    progress.finish(args.jobs);
     print!("{t}");
     println!("\npositive delta = throughput the paper's halt-only model over-credits");
 }

@@ -9,6 +9,8 @@
 //! is being periodically disturbed by context switches (as it would be in a
 //! multitasking system).
 
+use bench::pool;
+use bench::progress::Progress;
 use bench::report::f1;
 use bench::{RunArgs, Table};
 use gpu_sim::{Engine, Event, GpuConfig, SmPreemptPlan, Technique};
@@ -27,95 +29,111 @@ fn main() {
     println!("Ablation: drain-latency estimator error (instructions vs cycles)");
     println!("(kernel disturbed by periodic context switches, as under multitasking)\n");
     let mut t = Table::new(&["kernel", "jitter", "inst-based err %", "cycle-based err %"]);
-    for label in ["SAD.0", "SAD.1", "KM.1", "ST.0", "NW.0"] {
-        let spec = table2()
-            .into_iter()
-            .find(|s| s.label() == label)
-            .expect("known label");
-        let k = build_kernel(&cfg, &spec, true);
-        let mut engine = Engine::with_seed(cfg.clone(), args.seed);
-        let kid = engine.launch_kernel(k);
-        for sm in 0..cfg.num_sms {
-            engine.assign_sm(sm, Some(kid));
-        }
-        // Warm up statistics.
-        engine.run_until(cfg.us_to_cycles(spec.drain_us * 3.0 + 50.0));
-        let mut pending: HashMap<u32, Vec<Sample>> = HashMap::new();
-        let mut errs_inst = Vec::new();
-        let mut errs_cycle = Vec::new();
-        let sample_every = cfg.us_to_cycles((spec.drain_us / 7.0).max(1.0));
-        for round in 0..600u64 {
-            // Disturb: context-switch one SM out and back every few rounds,
-            // so resident blocks accumulate stall cycles.
-            if round % 9 == 0 {
-                let sm = ((round / 9) % cfg.num_sms as u64) as usize;
-                if !engine.sm_is_preempting(sm) && engine.sm_resident_count(sm) > 0 {
-                    let plan =
-                        SmPreemptPlan::uniform(engine.sm_resident_indices(sm), Technique::Switch);
-                    let _ = engine.preempt_sm(sm, &plan);
-                }
-            }
-            for sm in 0..cfg.num_sms {
-                if !engine.sm_is_preempting(sm) && engine.sm_assigned(sm).is_none() {
+    let labels = ["SAD.0", "SAD.1", "KM.1", "ST.0", "NW.0"];
+    let progress = Progress::new("ablation-drain-est", labels.len());
+    let tasks: Vec<_> = labels
+        .iter()
+        .map(|&label| {
+            let (cfg, progress) = (&cfg, &progress);
+            move || {
+                let spec = table2()
+                    .into_iter()
+                    .find(|s| s.label() == label)
+                    .expect("known label");
+                let k = build_kernel(cfg, &spec, true);
+                let mut engine = Engine::with_seed(cfg.clone(), args.seed);
+                let kid = engine.launch_kernel(k);
+                for sm in 0..cfg.num_sms {
                     engine.assign_sm(sm, Some(kid));
                 }
-            }
-            let stats = engine.kernel_stats(kid);
-            let (avg_insts, avg_cpi, avg_cycles) = match (stats.avg_tb_insts(), stats.avg_tb_cpi())
-            {
-                (Some(i), Some(c)) => (
-                    i,
-                    c,
-                    stats.sum_completed_cycles as f64 / f64::from(stats.completed_tbs),
-                ),
-                _ => {
-                    engine.run_for(sample_every);
-                    continue;
-                }
-            };
-            let now = engine.cycle();
-            for sm in 0..cfg.num_sms {
-                for b in engine.sm_snapshot(sm).blocks {
-                    let est_inst = ((avg_insts - b.executed_insts as f64) * avg_cpi).max(0.0);
-                    let est_cycle = (avg_cycles - b.elapsed_cycles as f64).max(0.0);
-                    pending.entry(b.index).or_default().push(Sample {
-                        t: now,
-                        est_inst,
-                        est_cycle,
-                    });
-                }
-            }
-            for ev in engine.run_until(now + sample_every) {
-                if let Event::TbCompleted { block, .. } = ev {
-                    if let Some(samples) = pending.remove(&block) {
-                        for s in samples {
-                            let actual = (engine.cycle() - s.t) as f64;
-                            if actual > 0.0 {
-                                errs_inst.push((s.est_inst - actual).abs() / actual);
-                                errs_cycle.push((s.est_cycle - actual).abs() / actual);
+                // Warm up statistics.
+                engine.run_until(cfg.us_to_cycles(spec.drain_us * 3.0 + 50.0));
+                let mut pending: HashMap<u32, Vec<Sample>> = HashMap::new();
+                let mut errs_inst = Vec::new();
+                let mut errs_cycle = Vec::new();
+                let sample_every = cfg.us_to_cycles((spec.drain_us / 7.0).max(1.0));
+                for round in 0..600u64 {
+                    // Disturb: context-switch one SM out and back every few rounds,
+                    // so resident blocks accumulate stall cycles.
+                    if round % 9 == 0 {
+                        let sm = ((round / 9) % cfg.num_sms as u64) as usize;
+                        if !engine.sm_is_preempting(sm) && engine.sm_resident_count(sm) > 0 {
+                            let plan = SmPreemptPlan::uniform(
+                                engine.sm_resident_indices(sm),
+                                Technique::Switch,
+                            );
+                            let _ = engine.preempt_sm(sm, &plan);
+                        }
+                    }
+                    for sm in 0..cfg.num_sms {
+                        if !engine.sm_is_preempting(sm) && engine.sm_assigned(sm).is_none() {
+                            engine.assign_sm(sm, Some(kid));
+                        }
+                    }
+                    let stats = engine.kernel_stats(kid);
+                    let (avg_insts, avg_cpi, avg_cycles) =
+                        match (stats.avg_tb_insts(), stats.avg_tb_cpi()) {
+                            (Some(i), Some(c)) => (
+                                i,
+                                c,
+                                stats.sum_completed_cycles as f64 / f64::from(stats.completed_tbs),
+                            ),
+                            _ => {
+                                engine.run_for(sample_every);
+                                continue;
+                            }
+                        };
+                    let now = engine.cycle();
+                    for sm in 0..cfg.num_sms {
+                        for b in engine.sm_snapshot(sm).blocks {
+                            let est_inst =
+                                ((avg_insts - b.executed_insts as f64) * avg_cpi).max(0.0);
+                            let est_cycle = (avg_cycles - b.elapsed_cycles as f64).max(0.0);
+                            pending.entry(b.index).or_default().push(Sample {
+                                t: now,
+                                est_inst,
+                                est_cycle,
+                            });
+                        }
+                    }
+                    for ev in engine.run_until(now + sample_every) {
+                        if let Event::TbCompleted { block, .. } = ev {
+                            if let Some(samples) = pending.remove(&block) {
+                                for s in samples {
+                                    let actual = (engine.cycle() - s.t) as f64;
+                                    if actual > 0.0 {
+                                        errs_inst.push((s.est_inst - actual).abs() / actual);
+                                        errs_cycle.push((s.est_cycle - actual).abs() / actual);
+                                    }
+                                }
                             }
                         }
                     }
+                    if engine.kernel_stats(kid).finished {
+                        break;
+                    }
                 }
+                let mean = |v: &[f64]| {
+                    if v.is_empty() {
+                        f64::NAN
+                    } else {
+                        100.0 * v.iter().sum::<f64>() / v.len() as f64
+                    }
+                };
+                progress.cell_done(label);
+                vec![
+                    label.to_string(),
+                    format!("±{:.0}%", spec.jitter * 100.0),
+                    f1(mean(&errs_inst)),
+                    f1(mean(&errs_cycle)),
+                ]
             }
-            if engine.kernel_stats(kid).finished {
-                break;
-            }
-        }
-        let mean = |v: &[f64]| {
-            if v.is_empty() {
-                f64::NAN
-            } else {
-                100.0 * v.iter().sum::<f64>() / v.len() as f64
-            }
-        };
-        t.row(vec![
-            label.to_string(),
-            format!("±{:.0}%", spec.jitter * 100.0),
-            f1(mean(&errs_inst)),
-            f1(mean(&errs_cycle)),
-        ]);
+        })
+        .collect();
+    for row in pool::run_tasks(args.jobs, tasks) {
+        t.row(row);
     }
+    progress.finish(args.jobs);
     print!("{t}");
     println!("\nlower is better; instructions ignore stall cycles that say nothing about");
     println!("remaining work. In this substrate the halt model applies stalls to all");

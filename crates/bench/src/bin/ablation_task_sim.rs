@@ -7,6 +7,8 @@
 //! traffic contends with the benchmark, quantifying the reservation model's
 //! optimism.
 
+use bench::pool;
+use bench::progress::Progress;
 use bench::report::f1;
 use bench::{RunArgs, Table};
 use chimera::policy::Policy;
@@ -27,27 +29,39 @@ fn main() {
         "viol res %",
         "viol exec %",
     ]);
-    for bench in suite.benchmarks() {
-        eprint!("  {} ...", bench.name());
-        let mk = |simulate| PeriodicConfig {
-            horizon_us: 8_000.0 * args.scale,
-            seed: args.seed,
-            simulate_task: simulate,
-            ..PeriodicConfig::paper_default(&cfg)
-        };
-        let res = run_periodic(&cfg, bench, Policy::chimera_us(15.0), &mk(false));
-        let sim = run_periodic(&cfg, bench, Policy::chimera_us(15.0), &mk(true));
-        let delta = 100.0 * (1.0 - sim.useful_insts as f64 / res.useful_insts.max(1) as f64);
-        eprintln!(" done");
-        t.row(vec![
-            bench.name().to_string(),
-            res.useful_insts.to_string(),
-            sim.useful_insts.to_string(),
-            f1(delta),
-            f1(res.violation_pct()),
-            f1(sim.violation_pct()),
-        ]);
+    let progress = Progress::new("ablation-task-sim", suite.benchmarks().len());
+    let tasks: Vec<_> = suite
+        .benchmarks()
+        .iter()
+        .map(|bench| {
+            let (cfg, progress) = (&cfg, &progress);
+            move || {
+                let mk = |simulate| PeriodicConfig {
+                    horizon_us: 8_000.0 * args.scale,
+                    seed: args.seed,
+                    simulate_task: simulate,
+                    ..PeriodicConfig::paper_default(cfg)
+                };
+                let res = run_periodic(cfg, bench, Policy::chimera_us(15.0), &mk(false));
+                let sim = run_periodic(cfg, bench, Policy::chimera_us(15.0), &mk(true));
+                progress.cell_done(bench.name());
+                let delta =
+                    100.0 * (1.0 - sim.useful_insts as f64 / res.useful_insts.max(1) as f64);
+                vec![
+                    bench.name().to_string(),
+                    res.useful_insts.to_string(),
+                    sim.useful_insts.to_string(),
+                    f1(delta),
+                    f1(res.violation_pct()),
+                    f1(sim.violation_pct()),
+                ]
+            }
+        })
+        .collect();
+    for row in pool::run_tasks(args.jobs, tasks) {
+        t.row(row);
     }
+    progress.finish(args.jobs);
     print!("{t}");
     println!("\npositive delta = benchmark throughput hidden by the reservation model");
 }

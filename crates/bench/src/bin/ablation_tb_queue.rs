@@ -5,6 +5,8 @@
 //! can be limited" (§3.1). This ablation compares preempted-first against
 //! fresh-first dispatch under Chimera, reporting throughput and violations.
 
+use bench::pool;
+use bench::progress::Progress;
 use bench::report::f1;
 use bench::scenarios::PERIODIC_HORIZON_US;
 use bench::{RunArgs, Table};
@@ -26,26 +28,37 @@ fn main() {
         "viol pf %",
         "viol ff %",
     ]);
-    for bench in suite.benchmarks() {
-        eprint!("  {} ...", bench.name());
-        let mk = |prefer| PeriodicConfig {
-            horizon_us: PERIODIC_HORIZON_US * args.scale,
-            seed: args.seed,
-            prefer_preempted: prefer,
-            ..PeriodicConfig::paper_default(&cfg)
-        };
-        let a = run_periodic(&cfg, bench, Policy::chimera_us(15.0), &mk(true));
-        let b = run_periodic(&cfg, bench, Policy::chimera_us(15.0), &mk(false));
-        let delta = 100.0 * (b.useful_insts as f64 / a.useful_insts.max(1) as f64 - 1.0);
-        eprintln!(" done");
-        t.row(vec![
-            bench.name().to_string(),
-            a.useful_insts.to_string(),
-            b.useful_insts.to_string(),
-            f1(delta),
-            f1(a.violation_pct()),
-            f1(b.violation_pct()),
-        ]);
+    let progress = Progress::new("ablation-tb-queue", suite.benchmarks().len());
+    let tasks: Vec<_> = suite
+        .benchmarks()
+        .iter()
+        .map(|bench| {
+            let (cfg, progress) = (&cfg, &progress);
+            move || {
+                let mk = |prefer| PeriodicConfig {
+                    horizon_us: PERIODIC_HORIZON_US * args.scale,
+                    seed: args.seed,
+                    prefer_preempted: prefer,
+                    ..PeriodicConfig::paper_default(cfg)
+                };
+                let a = run_periodic(cfg, bench, Policy::chimera_us(15.0), &mk(true));
+                let b = run_periodic(cfg, bench, Policy::chimera_us(15.0), &mk(false));
+                progress.cell_done(bench.name());
+                let delta = 100.0 * (b.useful_insts as f64 / a.useful_insts.max(1) as f64 - 1.0);
+                vec![
+                    bench.name().to_string(),
+                    a.useful_insts.to_string(),
+                    b.useful_insts.to_string(),
+                    f1(delta),
+                    f1(a.violation_pct()),
+                    f1(b.violation_pct()),
+                ]
+            }
+        })
+        .collect();
+    for row in pool::run_tasks(args.jobs, tasks) {
+        t.row(row);
     }
+    progress.finish(args.jobs);
     print!("{t}");
 }

@@ -4,6 +4,8 @@
 //! which round-robin scheduling encourages. Greedy scheduling skews block
 //! progress, widening drain-time skew and shifting Chimera's technique mix.
 
+use bench::pool;
+use bench::progress::Progress;
 use bench::report::f1;
 use bench::{RunArgs, Table};
 use chimera::policy::Policy;
@@ -38,34 +40,46 @@ fn main() {
     };
     let (cfg_rr, suite_rr) = mk(WarpSched::LooseRoundRobin);
     let (cfg_gto, suite_gto) = mk(WarpSched::GreedyThenOldest);
-    for name in ["BS", "BT", "KM", "SAD", "ST"] {
-        eprint!("  {name} ...");
-        let pcfg = |cfg: &GpuConfig| PeriodicConfig {
-            horizon_us: 8_000.0 * args.scale,
-            seed: args.seed,
-            ..PeriodicConfig::paper_default(cfg)
-        };
-        let rr = run_periodic(
-            &cfg_rr,
-            suite_rr.benchmark(name).expect("known benchmark"),
-            Policy::chimera_us(15.0),
-            &pcfg(&cfg_rr),
-        );
-        let gto = run_periodic(
-            &cfg_gto,
-            suite_gto.benchmark(name).expect("known benchmark"),
-            Policy::chimera_us(15.0),
-            &pcfg(&cfg_gto),
-        );
-        eprintln!(" done");
-        t.row(vec![
-            name.to_string(),
-            f1(rr.violation_pct()),
-            f1(gto.violation_pct()),
-            rr.useful_insts.to_string(),
-            gto.useful_insts.to_string(),
-        ]);
+    let names = ["BS", "BT", "KM", "SAD", "ST"];
+    let progress = Progress::new("ablation-warp-sched", names.len());
+    let tasks: Vec<_> = names
+        .iter()
+        .map(|&name| {
+            let (cfg_rr, suite_rr, cfg_gto, suite_gto, progress) =
+                (&cfg_rr, &suite_rr, &cfg_gto, &suite_gto, &progress);
+            move || {
+                let pcfg = |cfg: &GpuConfig| PeriodicConfig {
+                    horizon_us: 8_000.0 * args.scale,
+                    seed: args.seed,
+                    ..PeriodicConfig::paper_default(cfg)
+                };
+                let rr = run_periodic(
+                    cfg_rr,
+                    suite_rr.benchmark(name).expect("known benchmark"),
+                    Policy::chimera_us(15.0),
+                    &pcfg(cfg_rr),
+                );
+                let gto = run_periodic(
+                    cfg_gto,
+                    suite_gto.benchmark(name).expect("known benchmark"),
+                    Policy::chimera_us(15.0),
+                    &pcfg(cfg_gto),
+                );
+                progress.cell_done(name);
+                vec![
+                    name.to_string(),
+                    f1(rr.violation_pct()),
+                    f1(gto.violation_pct()),
+                    rr.useful_insts.to_string(),
+                    gto.useful_insts.to_string(),
+                ]
+            }
+        })
+        .collect();
+    for row in pool::run_tasks(args.jobs, tasks) {
+        t.row(row);
     }
+    progress.finish(args.jobs);
     print!("{t}");
     println!("\nGTO skews per-block progress: more drain-skew overhead, same deadlines");
 }

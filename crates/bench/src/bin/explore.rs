@@ -5,6 +5,8 @@
 //! This is "future work"-style analysis the paper does not include; it uses
 //! the same machinery as fig6/fig8.
 
+use bench::pool;
+use bench::progress::Progress;
 use bench::report::f1;
 use bench::{RunArgs, Table};
 use chimera::policy::Policy;
@@ -44,50 +46,74 @@ fn main() {
     // (1) SM count.
     println!("(1) SM count (task takes half):");
     let mut t = Table::new(&["SMs", "violations %", "mean latency us", "sw/dr/fl %"]);
-    for sms in [8usize, 16, 30, 60] {
-        let cfg = GpuConfig {
-            num_sms: sms,
-            ..GpuConfig::fermi()
-        };
-        let suite = Suite::with_options(cfg.clone(), SuiteOptions::default());
-        let pcfg = PeriodicConfig {
-            horizon_us: horizon,
-            seed: args.seed,
-            task: RtTask::paper_default(&cfg),
-            ..PeriodicConfig::paper_default(&cfg)
-        };
-        let (v, lat, mix) = one(&cfg, &suite, bench_name, &pcfg);
-        t.row(vec![
-            sms.to_string(),
-            f1(v),
-            f1(lat),
-            format!("{}/{}/{}", f1(mix[0]), f1(mix[1]), f1(mix[2])),
-        ]);
+    let progress = Progress::new("explore: SM count", 4);
+    let tasks: Vec<_> = [8usize, 16, 30, 60]
+        .into_iter()
+        .map(|sms| {
+            let progress = &progress;
+            move || {
+                let cfg = GpuConfig {
+                    num_sms: sms,
+                    ..GpuConfig::fermi()
+                };
+                let suite = Suite::with_options(cfg.clone(), SuiteOptions::default());
+                let pcfg = PeriodicConfig {
+                    horizon_us: horizon,
+                    seed: args.seed,
+                    task: RtTask::paper_default(&cfg),
+                    ..PeriodicConfig::paper_default(&cfg)
+                };
+                let (v, lat, mix) = one(&cfg, &suite, bench_name, &pcfg);
+                progress.cell_done(&format!("{sms} SMs"));
+                vec![
+                    sms.to_string(),
+                    f1(v),
+                    f1(lat),
+                    format!("{}/{}/{}", f1(mix[0]), f1(mix[1]), f1(mix[2])),
+                ]
+            }
+        })
+        .collect();
+    for row in pool::run_tasks(args.jobs, tasks) {
+        t.row(row);
     }
+    progress.finish(args.jobs);
     println!("{t}");
 
     // (2) Memory bandwidth: switching gets cheaper as bandwidth grows.
     println!("(2) memory bandwidth:");
     let mut t = Table::new(&["GB/s", "violations %", "mean latency us", "sw/dr/fl %"]);
-    for bw in [88.7, 177.4, 354.8, 709.6] {
-        let cfg = GpuConfig {
-            mem_bandwidth_gbps: bw,
-            ..GpuConfig::fermi()
-        };
-        let suite = Suite::with_options(cfg.clone(), SuiteOptions::default());
-        let pcfg = PeriodicConfig {
-            horizon_us: horizon,
-            seed: args.seed,
-            ..PeriodicConfig::paper_default(&cfg)
-        };
-        let (v, lat, mix) = one(&cfg, &suite, bench_name, &pcfg);
-        t.row(vec![
-            format!("{bw}"),
-            f1(v),
-            f1(lat),
-            format!("{}/{}/{}", f1(mix[0]), f1(mix[1]), f1(mix[2])),
-        ]);
+    let progress = Progress::new("explore: memory bandwidth", 4);
+    let tasks: Vec<_> = [88.7, 177.4, 354.8, 709.6]
+        .into_iter()
+        .map(|bw| {
+            let progress = &progress;
+            move || {
+                let cfg = GpuConfig {
+                    mem_bandwidth_gbps: bw,
+                    ..GpuConfig::fermi()
+                };
+                let suite = Suite::with_options(cfg.clone(), SuiteOptions::default());
+                let pcfg = PeriodicConfig {
+                    horizon_us: horizon,
+                    seed: args.seed,
+                    ..PeriodicConfig::paper_default(&cfg)
+                };
+                let (v, lat, mix) = one(&cfg, &suite, bench_name, &pcfg);
+                progress.cell_done(&format!("{bw} GB/s"));
+                vec![
+                    format!("{bw}"),
+                    f1(v),
+                    f1(lat),
+                    format!("{}/{}/{}", f1(mix[0]), f1(mix[1]), f1(mix[2])),
+                ]
+            }
+        })
+        .collect();
+    for row in pool::run_tasks(args.jobs, tasks) {
+        t.row(row);
     }
+    progress.finish(args.jobs);
     println!("{t}");
 
     // (3) Task pressure: shorter periods mean more preemption churn.
@@ -98,26 +124,38 @@ fn main() {
         "violations %",
         "sw/dr/fl %",
     ]);
-    for period in [400.0, 700.0, 1000.0, 2000.0] {
-        let cfg = GpuConfig::fermi();
-        let suite = Suite::standard();
-        let pcfg = PeriodicConfig {
-            horizon_us: horizon,
-            seed: args.seed,
-            task: RtTask {
-                period_us: period,
-                ..RtTask::paper_default(&cfg)
-            },
-            ..PeriodicConfig::paper_default(&cfg)
-        };
-        let (v, _, mix) = one(&cfg, &suite, bench_name, &pcfg);
-        t.row(vec![
-            format!("{period}"),
-            f1(1000.0 / period),
-            f1(v),
-            format!("{}/{}/{}", f1(mix[0]), f1(mix[1]), f1(mix[2])),
-        ]);
+    let progress = Progress::new("explore: task period", 4);
+    let tasks: Vec<_> = [400.0, 700.0, 1000.0, 2000.0]
+        .into_iter()
+        .map(|period| {
+            let progress = &progress;
+            move || {
+                let cfg = GpuConfig::fermi();
+                let suite = Suite::standard();
+                let pcfg = PeriodicConfig {
+                    horizon_us: horizon,
+                    seed: args.seed,
+                    task: RtTask {
+                        period_us: period,
+                        ..RtTask::paper_default(&cfg)
+                    },
+                    ..PeriodicConfig::paper_default(&cfg)
+                };
+                let (v, _, mix) = one(&cfg, &suite, bench_name, &pcfg);
+                progress.cell_done(&format!("{period} us period"));
+                vec![
+                    format!("{period}"),
+                    f1(1000.0 / period),
+                    f1(v),
+                    format!("{}/{}/{}", f1(mix[0]), f1(mix[1]), f1(mix[2])),
+                ]
+            }
+        })
+        .collect();
+    for row in pool::run_tasks(args.jobs, tasks) {
+        t.row(row);
     }
+    progress.finish(args.jobs);
     println!("{t}");
 
     // (3b) Idempotence-point position: the BT/FWT phenomenon isolated.
@@ -126,42 +164,66 @@ fn main() {
     // flushable and the fewer violations.
     println!("(3b) idempotence-point position (pure Flush on a 10 us-block kernel):");
     let mut t = Table::new(&["idem point %", "flush violations %"]);
-    for frac in [0.3, 0.5, 0.7, 0.9, 0.97] {
-        let cfg = GpuConfig::fermi();
-        let k = workloads::SyntheticKernel::new("sweep")
-            .block_time_us(10.0)
-            .blocks_per_sm(6)
-            .non_idem_at(frac)
-            .grid_blocks(20_000)
-            .build(&cfg);
-        let bench = workloads::Benchmark::new("sweep", vec![k]);
-        let pcfg = PeriodicConfig {
-            horizon_us: horizon,
-            seed: args.seed,
-            ..PeriodicConfig::paper_default(&cfg)
-        };
-        let r = run_periodic(&cfg, &bench, Policy::Flush, &pcfg);
-        t.row(vec![f1(100.0 * frac), f1(r.violation_pct())]);
+    let progress = Progress::new("explore: idempotence point", 5);
+    let tasks: Vec<_> = [0.3, 0.5, 0.7, 0.9, 0.97]
+        .into_iter()
+        .map(|frac| {
+            let progress = &progress;
+            move || {
+                let cfg = GpuConfig::fermi();
+                let k = workloads::SyntheticKernel::new("sweep")
+                    .block_time_us(10.0)
+                    .blocks_per_sm(6)
+                    .non_idem_at(frac)
+                    .grid_blocks(20_000)
+                    .build(&cfg);
+                let bench = workloads::Benchmark::new("sweep", vec![k]);
+                let pcfg = PeriodicConfig {
+                    horizon_us: horizon,
+                    seed: args.seed,
+                    ..PeriodicConfig::paper_default(&cfg)
+                };
+                let r = run_periodic(&cfg, &bench, Policy::Flush, &pcfg);
+                progress.cell_done(&format!("idem at {frac}"));
+                vec![f1(100.0 * frac), f1(r.violation_pct())]
+            }
+        })
+        .collect();
+    for row in pool::run_tasks(args.jobs, tasks) {
+        t.row(row);
     }
+    progress.finish(args.jobs);
     println!("{t}");
 
     // (4) Task footprint: how many SMs the task demands.
     println!("(4) task SM demand:");
     let mut t = Table::new(&["SMs needed", "violations %", "mean latency us"]);
-    for needed in [5usize, 10, 15, 25] {
-        let cfg = GpuConfig::fermi();
-        let suite = Suite::standard();
-        let pcfg = PeriodicConfig {
-            horizon_us: horizon,
-            seed: args.seed,
-            task: RtTask {
-                sms_needed: needed,
-                ..RtTask::paper_default(&cfg)
-            },
-            ..PeriodicConfig::paper_default(&cfg)
-        };
-        let (v, lat, _) = one(&cfg, &suite, bench_name, &pcfg);
-        t.row(vec![needed.to_string(), f1(v), f1(lat)]);
+    let progress = Progress::new("explore: task SM demand", 4);
+    let tasks: Vec<_> = [5usize, 10, 15, 25]
+        .into_iter()
+        .map(|needed| {
+            let progress = &progress;
+            move || {
+                let cfg = GpuConfig::fermi();
+                let suite = Suite::standard();
+                let pcfg = PeriodicConfig {
+                    horizon_us: horizon,
+                    seed: args.seed,
+                    task: RtTask {
+                        sms_needed: needed,
+                        ..RtTask::paper_default(&cfg)
+                    },
+                    ..PeriodicConfig::paper_default(&cfg)
+                };
+                let (v, lat, _) = one(&cfg, &suite, bench_name, &pcfg);
+                progress.cell_done(&format!("{needed} SMs needed"));
+                vec![needed.to_string(), f1(v), f1(lat)]
+            }
+        })
+        .collect();
+    for row in pool::run_tasks(args.jobs, tasks) {
+        t.row(row);
     }
+    progress.finish(args.jobs);
     print!("{t}");
 }

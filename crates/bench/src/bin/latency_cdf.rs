@@ -4,6 +4,8 @@
 //! Prints per-policy latency percentiles across all periodic requests of all
 //! benchmarks, with unfulfilled requests reported separately.
 
+use bench::pool;
+use bench::progress::Progress;
 use bench::report::f1;
 use bench::scenarios::PERIODIC_HORIZON_US;
 use bench::{RunArgs, Table};
@@ -30,20 +32,43 @@ fn main() {
     };
     println!("Hand-over latency distribution (us) across all benchmarks, 15 us constraint\n");
     let mut t = Table::new(&["policy", "p50", "p90", "p99", "max", "unfulfilled %"]);
-    for policy in Policy::paper_lineup(15.0) {
-        eprintln!("latency-cdf: {policy} ...");
+    let policies = Policy::paper_lineup(15.0);
+    let benches = suite.benchmarks();
+    let progress = Progress::new("latency-cdf", policies.len() * benches.len());
+    // One cell per (policy, benchmark); each returns its request log slice,
+    // which the serial reduction below folds into per-policy percentiles.
+    let tasks: Vec<_> = policies
+        .iter()
+        .flat_map(|&policy| {
+            let (pcfg, progress) = (&pcfg, &progress);
+            benches.iter().map(move |bench| {
+                move || {
+                    let r = run_periodic(cfg, bench, policy, pcfg);
+                    progress.cell_done(&format!("{}/{policy}", bench.name()));
+                    let mut lats = Vec::new();
+                    let mut unfulfilled = 0u32;
+                    let mut total = 0u32;
+                    for (_, lat, _) in &r.request_log {
+                        total += 1;
+                        match lat {
+                            Some(l) => lats.push(*l),
+                            None => unfulfilled += 1,
+                        }
+                    }
+                    (lats, unfulfilled, total)
+                }
+            })
+        })
+        .collect();
+    let mut cells = pool::run_tasks(args.jobs, tasks).into_iter();
+    for policy in &policies {
         let mut lats: Vec<f64> = Vec::new();
         let mut unfulfilled = 0u32;
         let mut total = 0u32;
-        for bench in suite.benchmarks() {
-            let r = run_periodic(cfg, bench, policy, &pcfg);
-            for (_, lat, _) in &r.request_log {
-                total += 1;
-                match lat {
-                    Some(l) => lats.push(*l),
-                    None => unfulfilled += 1,
-                }
-            }
+        for (cell_lats, cell_unfulfilled, cell_total) in cells.by_ref().take(benches.len()) {
+            lats.extend(cell_lats);
+            unfulfilled += cell_unfulfilled;
+            total += cell_total;
         }
         lats.sort_by(f64::total_cmp);
         t.row(vec![
@@ -55,6 +80,7 @@ fn main() {
             f1(100.0 * f64::from(unfulfilled) / f64::from(total.max(1))),
         ]);
     }
+    progress.finish(args.jobs);
     print!("{t}");
     println!("\nunfulfilled = the request never received all its SMs within the horizon");
     println!("(draining a 10 ms block, or flushing a kernel that never leaves its");

@@ -1,5 +1,7 @@
 //! One-shot driver: regenerate every table and figure by invoking the
-//! sibling binaries in sequence (same process, sequential).
+//! sibling binaries in sequence, forwarding all CLI arguments verbatim —
+//! including `--jobs <n>`, so each binary parallelises its own experiment
+//! matrix across that many worker threads.
 
 use std::process::Command;
 

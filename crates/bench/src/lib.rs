@@ -7,6 +7,8 @@
 //! crossovers fall — are the reproduction target. See EXPERIMENTS.md.
 
 pub mod args;
+pub mod pool;
+pub mod progress;
 pub mod report;
 pub mod scenarios;
 

@@ -1,0 +1,162 @@
+//! A dependency-free work-stealing thread pool for the experiment matrices.
+//!
+//! Every figure binary runs an embarrassingly parallel `(benchmark, policy)`
+//! matrix whose cells are pure functions of their inputs — each cell builds
+//! its own `Engine` from an explicit seed and shares no mutable state. This
+//! module executes such a cell list on `jobs` scoped threads pulling from a
+//! shared deque, and collects results **by cell index**, so the assembled
+//! output is byte-identical to a serial run regardless of scheduling order
+//! or thread count (`jobs = 1` executes inline on the caller's thread).
+//!
+//! Determinism contract: a task must depend only on its inputs (captured
+//! state + its own derived seed), never on execution order, wall-clock time
+//! or thread identity. All runner entry points in `chimera::runner` satisfy
+//! this — `gpu_sim::Engine` is `Send` (compile-time-asserted in
+//! `gpu-sim/src/engine.rs`) and each run constructs its own.
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::sync::Mutex;
+
+/// The default worker count: one per available hardware thread.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run every task and return the results in task order.
+///
+/// With `jobs <= 1` (or fewer than two tasks) the tasks run inline, in
+/// order, on the calling thread — exactly the historical serial behaviour.
+/// Otherwise `min(jobs, tasks)` scoped worker threads repeatedly steal the
+/// next pending task from a shared queue. Results land in a slot per task,
+/// so the returned `Vec` is independent of completion order.
+///
+/// A panicking task propagates its panic to the caller once all workers
+/// have been joined (via `std::thread::scope`).
+pub fn run_tasks<T, F>(jobs: usize, tasks: Vec<F>) -> Vec<T>
+where
+    F: FnOnce() -> T + Send,
+    T: Send,
+{
+    let n = tasks.len();
+    if jobs <= 1 || n <= 1 {
+        return tasks.into_iter().map(|task| task()).collect();
+    }
+    let queue: Mutex<VecDeque<(usize, F)>> = Mutex::new(tasks.into_iter().enumerate().collect());
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(n) {
+            scope.spawn(|| loop {
+                // Take the lock only to steal; run the task unlocked.
+                let stolen = queue.lock().expect("task queue poisoned").pop_front();
+                match stolen {
+                    Some((ix, task)) => {
+                        let result = task();
+                        *slots[ix].lock().expect("result slot poisoned") = Some(result);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every task ran to completion")
+        })
+        .collect()
+}
+
+/// Derive an independent per-cell seed from a base seed and the cell's
+/// coordinates (splitmix64 over the packed coordinates).
+///
+/// Both the serial and the parallel path use this, so results do not depend
+/// on `--jobs`. Distinct cells get decorrelated streams even when the base
+/// seed is small and sequential.
+pub fn derive_seed(base: u64, row: usize, col: usize) -> u64 {
+    let mut z = base
+        ^ (row as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (col as u64)
+            .rotate_left(32)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_task_order_regardless_of_jobs() {
+        for jobs in [1, 2, 4, 16] {
+            let tasks: Vec<_> = (0..37usize).map(|i| move || i * i).collect();
+            let out = run_tasks(jobs, tasks);
+            assert_eq!(
+                out,
+                (0..37).map(|i| i * i).collect::<Vec<_>>(),
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_tasks_run_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<_> = (0..64)
+            .map(|_| {
+                let counter = &counter;
+                move || counter.fetch_add(1, Ordering::Relaxed)
+            })
+            .collect();
+        let mut out = run_tasks(8, tasks);
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+        out.sort_unstable();
+        assert_eq!(
+            out,
+            (0..64).collect::<Vec<_>>(),
+            "each increment observed once"
+        );
+    }
+
+    #[test]
+    fn zero_jobs_and_empty_task_lists_are_fine() {
+        assert_eq!(run_tasks::<u32, fn() -> u32>(0, vec![]), vec![]);
+        assert_eq!(run_tasks(0, vec![|| 7u32]), vec![7]);
+    }
+
+    #[test]
+    fn derived_seeds_are_stable_and_distinct() {
+        assert_eq!(derive_seed(42, 3, 1), derive_seed(42, 3, 1));
+        let mut seen = std::collections::HashSet::new();
+        for row in 0..16 {
+            for col in 0..8 {
+                assert!(
+                    seen.insert(derive_seed(42, row, col)),
+                    "collision at {row},{col}"
+                );
+            }
+        }
+        assert_ne!(derive_seed(42, 0, 0), derive_seed(43, 0, 0));
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let result = std::panic::catch_unwind(|| {
+            run_tasks(
+                4,
+                (0..8)
+                    .map(|i| move || if i == 5 { panic!("boom") } else { i })
+                    .collect(),
+            )
+        });
+        assert!(result.is_err());
+    }
+}

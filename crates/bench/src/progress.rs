@@ -1,0 +1,77 @@
+//! Thread-safe progress reporting for long experiment runs.
+//!
+//! The old harness printed `eprint!("  {} ...", name)` before each serial
+//! cell, which interleaves uselessly once cells run concurrently and says
+//! nothing about overall progress. This reporter prints one complete line
+//! per finished cell (a single `eprintln!` call, so lines never shear even
+//! across threads) plus a final wall-clock/job-count footer. Everything
+//! goes to stderr: stdout carries only the tables, which must stay
+//! byte-identical across `--jobs` settings.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Progress over a fixed number of cells.
+#[derive(Debug)]
+pub struct Progress {
+    what: String,
+    total: usize,
+    done: AtomicUsize,
+    started: Instant,
+}
+
+impl Progress {
+    /// Start tracking `total` cells of an experiment called `what`.
+    pub fn new(what: &str, total: usize) -> Self {
+        eprintln!("{what}: {total} cells queued");
+        Progress {
+            what: what.to_string(),
+            total,
+            done: AtomicUsize::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Record one finished cell and print its completion line.
+    pub fn cell_done(&self, label: &str) {
+        let k = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        eprintln!(
+            "  [{k:>3}/{total}] {label} done ({elapsed:.1}s elapsed)",
+            total = self.total,
+            elapsed = self.started.elapsed().as_secs_f64(),
+        );
+    }
+
+    /// Print the run footer: cells completed, worker count and wall-clock.
+    pub fn finish(&self, jobs: usize) {
+        eprintln!(
+            "{}: {} cells on {} worker thread{} in {:.2}s wall-clock",
+            self.what,
+            self.done.load(Ordering::Relaxed),
+            jobs,
+            if jobs == 1 { "" } else { "s" },
+            self.started.elapsed().as_secs_f64(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_cells_across_threads() {
+        let p = Progress::new("test", 20);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..5 {
+                        p.cell_done("cell");
+                    }
+                });
+            }
+        });
+        assert_eq!(p.done.load(Ordering::Relaxed), 20);
+        p.finish(4);
+    }
+}

@@ -1,6 +1,8 @@
 //! Shared experiment orchestration for the reproduction binaries.
 
 use crate::args::RunArgs;
+use crate::pool;
+use crate::progress::Progress;
 use chimera::metrics::{antt, stp};
 use chimera::policy::Policy;
 use chimera::runner::multiprog::{run_fcfs, run_pair, MultiprogConfig};
@@ -37,16 +39,36 @@ pub fn periodic_matrix(
         strict_idem: strict,
         ..PeriodicConfig::paper_default(cfg)
     };
-    let mut rows = Vec::new();
-    for bench in suite.benchmarks() {
-        eprint!("  {} ...", bench.name());
-        let results: Vec<PeriodicResult> = policies
-            .iter()
-            .map(|&p| run_periodic(cfg, bench, p, &pcfg))
-            .collect();
-        eprintln!(" done");
-        rows.push((bench.name().to_string(), results));
-    }
+    let benches = suite.benchmarks();
+    let progress = Progress::new("periodic matrix", benches.len() * policies.len());
+    // Each (benchmark, policy) cell is a pure function of its inputs — it
+    // builds its own Engine from the shared seed — so the cells can run on
+    // any number of worker threads. Results are collected by index, keeping
+    // the table byte-identical to a serial run.
+    let tasks: Vec<_> = benches
+        .iter()
+        .flat_map(|bench| {
+            let (pcfg, progress) = (&pcfg, &progress);
+            policies.iter().map(move |&p| {
+                move || {
+                    let r = run_periodic(cfg, bench, p, pcfg);
+                    progress.cell_done(&format!("{}/{p}", bench.name()));
+                    r
+                }
+            })
+        })
+        .collect();
+    let mut results = pool::run_tasks(args.jobs, tasks).into_iter();
+    let rows = benches
+        .iter()
+        .map(|bench| {
+            (
+                bench.name().to_string(),
+                results.by_ref().take(policies.len()).collect(),
+            )
+        })
+        .collect();
+    progress.finish(args.jobs);
     PeriodicMatrix {
         policies: policies.to_vec(),
         rows,
@@ -112,14 +134,58 @@ pub fn multiprog_matrix(suite: &Suite, policies: &[Policy], args: &RunArgs) -> M
     };
     let solo_horizon = cfg.us_to_cycles(200_000.0);
     let lud = suite.benchmark("LUD").expect("suite contains LUD");
-    let lud_solo = run_solo(cfg, lud, Some(mcfg.budget_insts), solo_horizon, args.seed);
+    let partners: Vec<_> = suite
+        .benchmarks()
+        .iter()
+        .filter(|b| b.name() != "LUD")
+        .collect();
+    // One scheme per column: FCFS first, then each preemption policy.
+    let schemes = 1 + policies.len();
+    let progress = Progress::new(
+        "multiprog matrix",
+        1 + partners.len() + partners.len() * schemes,
+    );
+
+    // Phase 1: solo baselines (LUD, then each partner) — all independent.
+    let solo_tasks: Vec<_> = std::iter::once(&lud)
+        .chain(partners.iter())
+        .map(|&bench| {
+            let progress = &progress;
+            move || {
+                let r = run_solo(cfg, bench, Some(mcfg.budget_insts), solo_horizon, args.seed);
+                progress.cell_done(&format!("{} solo", bench.name()));
+                r
+            }
+        })
+        .collect();
+    let mut solos = pool::run_tasks(args.jobs, solo_tasks).into_iter();
+    let lud_solo = solos.next().expect("LUD solo baseline ran");
+    let partner_solos: Vec<_> = solos.collect();
+
+    // Phase 2: every (partner, scheme) pair run — also independent; the
+    // ANTT/STP reduction against the solos happens serially afterwards.
+    let pair_tasks: Vec<_> = partners
+        .iter()
+        .flat_map(|&other| {
+            let (mcfg, progress) = (&mcfg, &progress);
+            (0..schemes).map(move |s| {
+                move || {
+                    let (label, out) = if s == 0 {
+                        ("FCFS".to_string(), run_fcfs(cfg, lud, other, mcfg))
+                    } else {
+                        let p = policies[s - 1];
+                        (p.to_string(), run_pair(cfg, lud, other, p, mcfg))
+                    };
+                    progress.cell_done(&format!("LUD/{} {label}", other.name()));
+                    out
+                }
+            })
+        })
+        .collect();
+    let mut outcomes = pool::run_tasks(args.jobs, pair_tasks).into_iter();
+
     let mut rows = Vec::new();
-    for other in suite.benchmarks() {
-        if other.name() == "LUD" {
-            continue;
-        }
-        eprint!("  LUD/{} ...", other.name());
-        let other_solo = run_solo(cfg, other, Some(mcfg.budget_insts), solo_horizon, args.seed);
+    for (other, other_solo) in partners.iter().zip(&partner_solos) {
         let singles = [lud_solo.cycles as f64, other_solo.cycles as f64];
         let metrics = |out: &chimera::runner::multiprog::PairOutcome| {
             let multis = [
@@ -138,14 +204,15 @@ pub fn multiprog_matrix(suite: &Suite, policies: &[Policy], args: &RunArgs) -> M
                 preemptions: out.preemptions,
             }
         };
-        let fcfs = metrics(&run_fcfs(cfg, lud, other, &mcfg));
-        let per_policy: Vec<PairMetrics> = policies
-            .iter()
-            .map(|&p| metrics(&run_pair(cfg, lud, other, p, &mcfg)))
+        let fcfs = metrics(&outcomes.next().expect("FCFS outcome for every partner"));
+        let per_policy: Vec<PairMetrics> = outcomes
+            .by_ref()
+            .take(policies.len())
+            .map(|out| metrics(&out))
             .collect();
-        eprintln!(" done");
         rows.push((fcfs, per_policy));
     }
+    progress.finish(args.jobs);
     MultiprogMatrix {
         policies: policies.to_vec(),
         rows,
@@ -162,6 +229,7 @@ mod tests {
         let args = RunArgs {
             scale: 0.08,
             seed: 42,
+            jobs: 2,
         };
         // Two benchmarks only would be nicer, but the matrix API runs the
         // full suite; a very small scale keeps this test quick.
@@ -171,10 +239,29 @@ mod tests {
     }
 
     #[test]
+    fn periodic_matrix_is_deterministic_across_jobs() {
+        // The whole point of the pool: `--jobs 4` must produce exactly the
+        // results of `--jobs 1`. PeriodicResult has no PartialEq, so compare
+        // the full Debug rendering — any numeric drift would show up there.
+        let suite = Suite::standard();
+        let serial = RunArgs {
+            scale: 0.05,
+            seed: 7,
+            jobs: 1,
+        };
+        let parallel = RunArgs { jobs: 4, ..serial };
+        let policies = [Policy::Switch, Policy::chimera_us(15.0)];
+        let a = periodic_matrix(&suite, &policies, 15.0, &serial, false);
+        let b = periodic_matrix(&suite, &policies, 15.0, &parallel, false);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
     fn multiprog_suite_shrinks_lud() {
         let args = RunArgs {
             scale: 0.5,
             seed: 42,
+            jobs: 1,
         };
         let s = multiprog_suite(&args);
         let lud = s.benchmark("LUD").unwrap();

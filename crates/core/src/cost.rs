@@ -53,12 +53,25 @@ pub struct ObsBank {
     acc: HashMap<String, Acc>,
 }
 
+/// Per-kernel accumulator. Variance is tracked with Welford's online
+/// algorithm (`mean`/`m2`) rather than the sum-of-squares formula
+/// `E[x²] − E[x]²`, which catastrophically cancels for long-running kernels:
+/// with per-block counts around 10⁹ instructions the squared sums exceed
+/// f64's 53-bit integer range and the subtraction of two ~10¹⁸ quantities
+/// silently clamps a real variance to 0 — removing the §4.1 drain headroom
+/// exactly where misestimation is most dangerous.
 #[derive(Debug, Clone, Copy, Default)]
 struct Acc {
-    insts: u64,
-    insts_sq: f64,
-    cycles: u64,
-    blocks: u32,
+    /// Completed blocks observed.
+    count: u64,
+    /// Welford running mean of per-block instructions.
+    mean: f64,
+    /// Welford running sum of squared deviations.
+    m2: f64,
+    /// Total instructions (u128: immune to overflow however long the run).
+    insts: u128,
+    /// Total cycles (u128 for the same reason).
+    cycles: u128,
     max_insts: u64,
 }
 
@@ -71,22 +84,26 @@ impl ObsBank {
     /// Record one completed block of kernel `name`.
     pub fn record_tb(&mut self, name: &str, insts: u64, cycles: u64) {
         let e = self.acc.entry(name.to_string()).or_default();
-        e.insts += insts;
-        e.insts_sq += (insts as f64) * (insts as f64);
-        e.cycles += cycles;
-        e.blocks += 1;
+        e.count += 1;
+        let x = insts as f64;
+        let delta = x - e.mean;
+        e.mean += delta / e.count as f64;
+        e.m2 += delta * (x - e.mean);
+        e.insts += u128::from(insts);
+        e.cycles += u128::from(cycles);
         e.max_insts = e.max_insts.max(insts);
     }
 
     /// Current observations for kernel `name`.
     pub fn obs(&self, name: &str) -> KernelObs {
         match self.acc.get(name) {
-            Some(a) if a.blocks > 0 && a.insts > 0 => {
-                let n = f64::from(a.blocks);
-                let mean = a.insts as f64 / n;
-                let var = (a.insts_sq / n - mean * mean).max(0.0);
+            Some(a) if a.count > 0 && a.insts > 0 => {
+                // Population variance, matching the hardware-register model
+                // (the paper's statistics are whole-population counters).
+                let var = (a.m2 / a.count as f64).max(0.0);
                 KernelObs {
-                    avg_tb_insts: Some(mean),
+                    // Exact totals give a sharper mean than the running one.
+                    avg_tb_insts: Some(a.insts as f64 / a.count as f64),
                     avg_tb_cpi: Some(a.cycles as f64 / a.insts as f64),
                     std_tb_insts: var.sqrt(),
                     max_tb_insts: a.max_insts,
@@ -98,7 +115,9 @@ impl ObsBank {
 
     /// Number of blocks observed for `name`.
     pub fn samples(&self, name: &str) -> u32 {
-        self.acc.get(name).map_or(0, |e| e.blocks)
+        self.acc
+            .get(name)
+            .map_or(0, |e| e.count.min(u64::from(u32::MAX)) as u32)
     }
 }
 
@@ -425,6 +444,45 @@ mod tests {
         assert!((o.avg_tb_cpi.unwrap() - 40_000.0 / 3000.0).abs() < 1e-9);
         assert_eq!(bank.samples("k"), 2);
         assert_eq!(bank.samples("other"), 0);
+    }
+
+    #[test]
+    fn obs_bank_variance_survives_large_instruction_counts() {
+        // Long-running kernels: per-block counts around 3·10⁹ instructions
+        // with a spread of ±1000. The old `E[x²] − E[x]²` accumulator loses
+        // the variance entirely (the squares are ~9·10¹⁸, far past f64's
+        // 53-bit integer range, so the subtraction cancels to ~0 or worse);
+        // Welford keeps it.
+        let mut bank = ObsBank::new();
+        let base = 3_000_000_000u64;
+        bank.record_tb("big", base - 1000, 16 * (base - 1000));
+        bank.record_tb("big", base, 16 * base);
+        bank.record_tb("big", base + 1000, 16 * (base + 1000));
+        let o = bank.obs("big");
+        // Population std of {-1000, 0, +1000} around the mean.
+        let expect = (2_000_000.0f64 / 3.0).sqrt();
+        assert!(
+            (o.std_tb_insts - expect).abs() < 1.0,
+            "std {} vs expected {expect}",
+            o.std_tb_insts
+        );
+        assert_eq!(o.avg_tb_insts, Some(base as f64));
+        assert!((o.avg_tb_cpi.unwrap() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn obs_bank_accumulation_does_not_overflow() {
+        // Totals that would overflow u64 accumulation must stay finite and
+        // ordered (u128 totals; Welford state is f64 throughout).
+        let mut bank = ObsBank::new();
+        for _ in 0..8 {
+            bank.record_tb("huge", u64::MAX / 2, u64::MAX / 2);
+        }
+        let o = bank.obs("huge");
+        assert_eq!(bank.samples("huge"), 8);
+        assert!((o.avg_tb_cpi.unwrap() - 1.0).abs() < 1e-9);
+        assert!(o.std_tb_insts < 1e6, "identical samples: std ~0");
+        assert!(o.avg_tb_insts.unwrap().is_finite());
     }
 
     #[test]

@@ -93,8 +93,10 @@ impl PartitionPolicy {
                 // scheduling at least one SM to each available kernel"
                 // (§2.1) — every job with demand keeps one SM even when a
                 // priority job could consume the whole GPU.
-                let floor: usize =
-                    (0..n).filter(|&i| i != *p && demands[i] > 0).count().min(total);
+                let floor: usize = (0..n)
+                    .filter(|&i| i != *p && demands[i] > 0)
+                    .count()
+                    .min(total);
                 let mut shares = vec![0usize; n];
                 shares[*p] = demands[*p].min(total - floor);
                 let rest = total - shares[*p];

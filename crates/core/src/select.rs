@@ -134,64 +134,62 @@ fn plan_one_sm(model: &CostModel<'_>, req: &SelectionRequest, snap: &SmSnapshot)
         .map(|b| b.executed_insts)
         .max()
         .unwrap_or(0);
-    // Lines 2-6: estimate every (block, technique) cost.
-    let mut candidates: Vec<(u32, crate::cost::TbCost)> = Vec::with_capacity(resident * 3);
-    for tb in &snap.blocks {
-        let progress = TbProgress {
-            executed_insts: tb.executed_insts,
-            flushable: req.flush_allowed && !tb.past_idem_point,
-        };
-        for cost in model.estimate(progress, resident, max_executed) {
-            candidates.push((tb.index, cost));
-        }
-    }
+    // Lines 2-6: estimate every (block, technique) cost, once per block.
+    let per_block: Vec<(u32, Vec<crate::cost::TbCost>)> = snap
+        .blocks
+        .iter()
+        .map(|tb| {
+            let progress = TbProgress {
+                executed_insts: tb.executed_insts,
+                flushable: req.flush_allowed && !tb.past_idem_point,
+            };
+            (tb.index, model.estimate(progress, resident, max_executed))
+        })
+        .collect();
+    let mut candidates: Vec<(u32, crate::cost::TbCost)> = per_block
+        .iter()
+        .flat_map(|(tb, costs)| costs.iter().map(|&c| (*tb, c)))
+        .collect();
     // Line 7: sort by throughput overhead.
     candidates.sort_by_key(|(_, c)| (c.overhead_insts, c.latency_cycles));
     // Lines 8-13: greedily keep the cheapest feasible technique per block.
-    let mut entries: Vec<(u32, Technique)> = Vec::with_capacity(resident);
+    // The chosen cost travels with the entry so the SM-level aggregate below
+    // can never diverge from the per-block selection.
+    let mut chosen: Vec<(u32, crate::cost::TbCost)> = Vec::with_capacity(resident);
     for (tb, cost) in &candidates {
-        if cost.latency_cycles <= req.limit_cycles
-            && !entries.iter().any(|(chosen, _)| chosen == tb)
+        if cost.latency_cycles <= req.limit_cycles && !chosen.iter().any(|(picked, _)| picked == tb)
         {
-            entries.push((*tb, cost.technique));
+            chosen.push((*tb, *cost));
         }
     }
-    // Lines 14-16: blocks that cannot meet the limit fall back to switching.
-    for tb in &snap.blocks {
-        if !entries.iter().any(|(chosen, _)| *chosen == tb.index) {
-            entries.push((tb.index, Technique::Switch));
+    // Lines 14-16: blocks that cannot meet the limit fall back to context
+    // switching, charged at the *estimated switch cost* — not a fabricated
+    // zero-overhead entry, which would undercount the SM's overhead and bias
+    // selection toward fallback-heavy SMs at the feasibility boundary.
+    for (tb, costs) in &per_block {
+        if !chosen.iter().any(|(picked, _)| picked == tb) {
+            let switch = costs
+                .iter()
+                .find(|c| c.technique == Technique::Switch)
+                .copied()
+                .expect("switch cost is always estimated");
+            chosen.push((*tb, switch));
         }
     }
     // Aggregate the SM-level estimate from the chosen techniques.
     let mut est_latency = 0u64;
     let mut est_overhead = 0u64;
-    for (tb_idx, tech) in &entries {
-        let tb = snap
-            .blocks
-            .iter()
-            .find(|b| b.index == *tb_idx)
-            .expect("entry references resident block");
-        let progress = TbProgress {
-            executed_insts: tb.executed_insts,
-            flushable: req.flush_allowed && !tb.past_idem_point,
-        };
-        let costs = model.estimate(progress, resident, max_executed);
-        let c = costs
-            .iter()
-            .find(|c| c.technique == *tech)
-            .copied()
-            .unwrap_or(crate::cost::TbCost {
-                technique: *tech,
-                latency_cycles: model.switch_latency_cycles(resident),
-                overhead_insts: 0,
-            });
-        est_latency = est_latency.max(c.latency_cycles);
-        est_overhead = est_overhead.saturating_add(c.overhead_insts);
+    for (_, cost) in &chosen {
+        est_latency = est_latency.max(cost.latency_cycles);
+        est_overhead = est_overhead.saturating_add(cost.overhead_insts);
     }
     PlanForSm {
         sm: snap.sm,
         plan: SmPreemptPlan {
-            entries,
+            entries: chosen
+                .into_iter()
+                .map(|(tb, c)| (tb, c.technique))
+                .collect(),
             allow_unsafe_flush: false,
         },
         est_latency_cycles: est_latency,
@@ -331,6 +329,186 @@ mod tests {
         let plans = select_preemptions(&cfg(), &req(15.0, 2), &[s0, s1]);
         assert_eq!(plans.len(), 1);
         assert_eq!(plans[0].sm, 1);
+    }
+
+    /// The shrunk counterexample recorded in
+    /// `tests/selection_properties.proptest-regressions`, frozen as plain
+    /// data so the fix stays pinned even if that file is deleted.
+    fn regression_snapshots() -> Vec<SmSnapshot> {
+        type SmData<'a> = (usize, &'a [(u32, u64, bool)]);
+        let data: &[SmData] = &[
+            (0, &[(0, 157, true), (1, 1705, true)]),
+            (1, &[(8, 490, true), (9, 331, false)]),
+            (
+                2,
+                &[
+                    (16, 480, false),
+                    (17, 668, true),
+                    (18, 1225, false),
+                    (19, 760, true),
+                    (20, 1721, false),
+                ],
+            ),
+            (
+                3,
+                &[
+                    (24, 1504, true),
+                    (25, 1535, false),
+                    (26, 1552, false),
+                    (27, 1179, true),
+                    (28, 1960, false),
+                    (29, 1006, true),
+                ],
+            ),
+            (
+                4,
+                &[
+                    (32, 1539, true),
+                    (33, 577, true),
+                    (34, 1855, false),
+                    (35, 1198, true),
+                ],
+            ),
+            (5, &[(40, 351, true), (41, 796, true)]),
+            (
+                6,
+                &[
+                    (48, 195, true),
+                    (49, 121, true),
+                    (50, 714, false),
+                    (51, 233, true),
+                    (52, 1273, true),
+                    (53, 310, false),
+                    (54, 268, false),
+                ],
+            ),
+        ];
+        data.iter()
+            .map(|&(sm, blocks)| snap(sm, blocks.to_vec()))
+            .collect()
+    }
+
+    /// Every structural invariant of Algorithm 1, checked over the frozen
+    /// proptest counterexample crossed with a dense grid of requests
+    /// (deterministic mirror of `tests/selection_properties.rs`).
+    #[test]
+    fn frozen_regression_case_upholds_selection_invariants() {
+        let cfg = cfg();
+        let snaps = regression_snapshots();
+        let prop_obs = KernelObs {
+            avg_tb_insts: Some(1000.0),
+            avg_tb_cpi: Some(16.0),
+            std_tb_insts: 40.0,
+            max_tb_insts: 1100,
+        };
+        for limit_cycles in [1, 157, 2_512, 5_000, 15_088, 16_000, 39_999] {
+            for ctx_bytes_per_tb in [1, 24 * 1024, 127 * 1024] {
+                for num_preempts in 1..=7usize {
+                    for (obs, flush_allowed) in [
+                        (KernelObs::default(), false),
+                        (KernelObs::default(), true),
+                        (prop_obs, false),
+                        (prop_obs, true),
+                    ] {
+                        let req = SelectionRequest {
+                            limit_cycles,
+                            num_preempts,
+                            ctx_bytes_per_tb,
+                            obs,
+                            flush_allowed,
+                        };
+                        let plans = select_preemptions(&cfg, &req, &snaps);
+                        assert_eq!(plans.len(), num_preempts.min(snaps.len()));
+                        let mut seen = std::collections::HashSet::new();
+                        for p in &plans {
+                            assert!(seen.insert(p.sm), "SM {} selected twice", p.sm);
+                            let snap = snaps
+                                .iter()
+                                .find(|s| s.sm == p.sm)
+                                .expect("plan for known SM");
+                            assert_eq!(p.plan.entries.len(), snap.blocks.len());
+                            assert!(!p.plan.allow_unsafe_flush);
+                            for b in &snap.blocks {
+                                let t = p.plan.technique_for(b.index);
+                                assert!(t.is_some(), "block {} uncovered", b.index);
+                                if b.past_idem_point || !req.flush_allowed {
+                                    assert_ne!(t, Some(Technique::Flush), "unsafe flush");
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Per-SM monotonicity over the frozen counterexample: loosening the
+    /// latency limit never raises an SM's estimated overhead.
+    #[test]
+    fn frozen_regression_case_upholds_per_sm_monotonicity() {
+        let cfg = cfg();
+        for snap in regression_snapshots() {
+            let snaps = vec![snap];
+            let mut prev = u64::MAX;
+            for limit_us in [2.0, 5.0, 15.0, 50.0, 1000.0] {
+                let req = SelectionRequest {
+                    limit_cycles: cfg.us_to_cycles(limit_us),
+                    num_preempts: 1,
+                    ctx_bytes_per_tb: 24 * 1024,
+                    obs: KernelObs {
+                        avg_tb_insts: Some(1000.0),
+                        avg_tb_cpi: Some(16.0),
+                        std_tb_insts: 0.0,
+                        max_tb_insts: 1000,
+                    },
+                    flush_allowed: true,
+                };
+                let plans = select_preemptions(&cfg, &req, &snaps);
+                let p = plans.first().expect("one plan per nonempty SM");
+                assert!(
+                    p.est_overhead_insts <= prev,
+                    "sm {}: overhead rose from {prev} to {} at {limit_us}us",
+                    p.sm,
+                    p.est_overhead_insts
+                );
+                prev = p.est_overhead_insts;
+            }
+        }
+    }
+
+    /// Fallback blocks are charged the real estimated switch cost, never a
+    /// fabricated zero: an SM whose blocks all miss the limit must report
+    /// the full switch overhead so selection cannot favour it spuriously.
+    #[test]
+    fn fallback_blocks_charge_real_switch_cost() {
+        let c = cfg();
+        // No statistics (drain unestimable), past the idempotence point (no
+        // flush), and a limit below the switch latency: every block falls
+        // back to switching without meeting the limit.
+        let mut r = req(1.0, 1);
+        r.obs = KernelObs::default();
+        let s = snap(0, vec![(0, 50, true), (1, 70, true)]);
+        let plans = select_preemptions(&c, &r, &[s]);
+        let p = &plans[0];
+        assert_eq!(p.plan.technique_for(0), Some(Technique::Switch));
+        assert_eq!(p.plan.technique_for(1), Some(Technique::Switch));
+        assert!(!p.meets(r.limit_cycles), "limit is below switch latency");
+        let model = crate::cost::CostModel::new(&c, r.ctx_bytes_per_tb, r.obs);
+        let switch_cost = model
+            .estimate(
+                crate::cost::TbProgress {
+                    executed_insts: 50,
+                    flushable: false,
+                },
+                2,
+                70,
+            )
+            .into_iter()
+            .find(|t| t.technique == Technique::Switch)
+            .unwrap();
+        assert!(switch_cost.overhead_insts > 0);
+        assert_eq!(p.est_overhead_insts, 2 * switch_cost.overhead_insts);
+        assert_eq!(p.est_latency_cycles, switch_cost.latency_cycles);
     }
 
     #[test]

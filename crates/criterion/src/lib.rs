@@ -1,0 +1,213 @@
+//! Dependency-free stand-in for the [`criterion`](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! crates.io is unreachable in the build environment, so the workspace's
+//! micro-benchmarks (`crates/bench/benches/*.rs`) compile and run against
+//! this shim. It implements the API subset those benches use — groups,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `sample_size` and `Bencher::iter` — with a simple mean-of-samples timing
+//! loop and plain-text output instead of criterion's statistics, HTML
+//! reports and CLI.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Number of timed samples per benchmark unless overridden.
+const DEFAULT_SAMPLES: usize = 10;
+
+/// Measures one benchmark body: each [`iter`](Bencher::iter) call runs the
+/// closure once per sample and records the elapsed time.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: usize,
+    elapsed_ns: Vec<u128>,
+}
+
+impl Bencher {
+    fn with_samples(samples: usize) -> Self {
+        Bencher {
+            samples,
+            elapsed_ns: Vec::with_capacity(samples),
+        }
+    }
+
+    /// Time `f`, running it once for warm-up plus one timed run per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.elapsed_ns.push(start.elapsed().as_nanos());
+        }
+    }
+
+    fn mean_ns(&self) -> u128 {
+        if self.elapsed_ns.is_empty() {
+            0
+        } else {
+            self.elapsed_ns.iter().sum::<u128>() / self.elapsed_ns.len() as u128
+        }
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Throughput annotation; recorded and echoed, not analysed.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::with_samples(DEFAULT_SAMPLES);
+        f(&mut b);
+        report(id, &b, None);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            samples: DEFAULT_SAMPLES,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Record the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark over `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::with_samples(self.samples);
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), &b, self.throughput);
+        self
+    }
+
+    /// Finish the group (drops it; output already printed per benchmark).
+    pub fn finish(self) {}
+}
+
+fn report(id: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let mean = b.mean_ns();
+    let per_elem = match throughput {
+        Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) if n > 0 && mean > 0 => {
+            format!(" ({:.2} ns/elem)", mean as f64 / n as f64)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{id:<40} {mean:>12} ns/iter ({} samples){per_elem}",
+        b.elapsed_ns.len()
+    );
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut b = Bencher::with_samples(4);
+        b.iter(|| std::hint::black_box(2 + 2));
+        assert_eq!(b.elapsed_ns.len(), 4);
+        let _ = b.mean_ns();
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| ()));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::from_parameter("x"), &3u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+    }
+}

@@ -261,6 +261,14 @@ pub struct Engine {
     events: Vec<Event>,
 }
 
+// The experiment harness runs one Engine per worker thread; moving an Engine
+// to a thread must stay possible, so fail the build if anyone adds a
+// non-Send field (Rc, raw pointer, ...) to the simulator state.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Engine>();
+};
+
 impl Engine {
     /// Create an engine with the given configuration and the default seed.
     pub fn new(cfg: GpuConfig) -> Self {

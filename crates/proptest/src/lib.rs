@@ -1,0 +1,654 @@
+//! Dependency-free stand-in for the [`proptest`](https://docs.rs/proptest)
+//! crate.
+//!
+//! This workspace must build in offline environments where crates.io is
+//! unreachable, so the property tests run against this shim instead of the
+//! real crate. It implements exactly the API subset the workspace uses:
+//!
+//! * the [`proptest!`] macro with an optional `#![proptest_config(..)]`
+//!   attribute and `name in strategy` bindings;
+//! * [`Strategy`] with `prop_map`, `prop_flat_map` and `prop_filter`;
+//! * strategies for ranges, tuples, `Vec<S>`, [`Just`], [`any::<bool>()`](any)
+//!   and [`prop_oneof!`];
+//! * [`collection::vec`];
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`;
+//! * replay of `cc` seeds recorded in checked-in `*.proptest-regressions`
+//!   files (each seed reruns with the same derived RNG stream every time).
+//!
+//! Differences from the real crate: failing cases are reported with their
+//! generated inputs but are **not shrunk**, and the `cc` seed hash feeds the
+//! shim's own RNG, so a seed recorded by upstream proptest replays a
+//! deterministic case here but not bit-for-bit the historical one. Failures
+//! that matter are therefore also frozen as plain `#[test]` unit tests next
+//! to the code they pin (see `chimera::select::tests`).
+
+use std::fmt::Write as _;
+use std::ops::Range;
+
+/// Deterministic splitmix64 RNG used for all value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed a generator. Every case gets its own seed, so cases are
+    /// independent and replayable.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[lo, hi)`; `hi` must exceed `lo`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Fair coin.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// A generator of test values. Unlike the real crate there is no value tree:
+/// `pick` produces the final value directly and nothing shrinks.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn pick(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate an intermediate value, then generate from the strategy it
+    /// maps to.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Reject values failing `pred`, regenerating until one passes.
+    fn prop_filter<R, F>(self, reason: R, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        R: Into<String>,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn pick(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.pick(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn pick(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.pick(rng)).pick(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn pick(&self, rng: &mut TestRng) -> Self::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.pick(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 values in a row: {}", self.reason);
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn pick(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary {
+    /// Generate an arbitrary value of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.bool()
+    }
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+/// Strategy over a type's whole domain; see [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The canonical strategy for `T` (`any::<bool>()` et al.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn pick(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                rng.range_u64(self.start as u64, self.end as u64) as $t
+            }
+        }
+    )*};
+}
+range_strategy_int!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn pick(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn pick(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.pick(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn pick(&self, rng: &mut TestRng) -> Self::Value {
+        self.iter().map(|s| s.pick(rng)).collect()
+    }
+}
+
+/// Uniform choice between boxed alternatives; built by [`prop_oneof!`].
+pub struct Union<T>(pub Vec<Box<dyn Strategy<Value = T>>>);
+
+impl<T> Union<T> {
+    /// A union over the given alternatives (must be non-empty).
+    pub fn new(alternatives: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!alternatives.is_empty(), "prop_oneof! needs alternatives");
+        Union(alternatives)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn pick(&self, rng: &mut TestRng) -> T {
+        let ix = rng.range_u64(0, self.0.len() as u64) as usize;
+        self.0[ix].pick(rng)
+    }
+}
+
+/// Collection strategies ([`collection::vec`]).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Vectors of `element` with a length drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A strategy for vectors of `element` values with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn pick(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.range_u64(self.len.start as u64, self.len.end as u64) as usize;
+            (0..n).map(|_| self.element.pick(rng)).collect()
+        }
+    }
+}
+
+/// Runner configuration (`ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per test (regression seeds run in addition).
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` generated cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64 }
+    }
+}
+
+/// Test-runner plumbing used by the [`proptest!`] expansion.
+pub mod test_runner {
+    pub use super::{Config, TestRng};
+
+    /// FNV-1a over a string, for deterministic per-test seed derivation.
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in s.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x1000_0000_01B3);
+        }
+        h
+    }
+
+    /// Seeds recorded in the sibling `*.proptest-regressions` file, if any.
+    ///
+    /// Lines have the upstream format `cc <64 hex digits> # shrinks to ...`;
+    /// the hash is folded into a 64-bit seed. Unreadable files or lines are
+    /// ignored (commented lines, blank lines).
+    pub fn regression_seeds(source_file: &str) -> Vec<u64> {
+        let path = match source_file.strip_suffix(".rs") {
+            Some(stem) => format!("{stem}.proptest-regressions"),
+            None => return Vec::new(),
+        };
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            let Some(rest) = line.strip_prefix("cc ") else {
+                continue;
+            };
+            let hex: String = rest.chars().take_while(|c| c.is_ascii_hexdigit()).collect();
+            if hex.is_empty() {
+                continue;
+            }
+            let mut seed = 0u64;
+            for chunk in hex.as_bytes().chunks(16) {
+                let part = std::str::from_utf8(chunk)
+                    .ok()
+                    .and_then(|s| u64::from_str_radix(s, 16).ok())
+                    .unwrap_or(0);
+                seed ^= part;
+            }
+            out.push(seed);
+        }
+        out
+    }
+
+    /// The full, ordered seed schedule for one test: regression seeds first
+    /// (marked `true`), then `config.cases` freshly derived seeds. The
+    /// `PROPTEST_CASES` environment variable overrides the configured count,
+    /// like the real crate's.
+    pub fn case_seeds(config: &Config, source_file: &str, test_name: &str) -> Vec<(u64, bool)> {
+        let mut seeds: Vec<(u64, bool)> = regression_seeds(source_file)
+            .into_iter()
+            .map(|s| (s, true))
+            .collect();
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .unwrap_or(config.cases);
+        let base = fnv1a(source_file) ^ fnv1a(test_name).rotate_left(17);
+        for i in 0..cases {
+            let mut rng = TestRng::new(base ^ u64::from(i).wrapping_mul(0x2545_F491_4F6C_DD1D));
+            seeds.push((rng.next_u64(), false));
+        }
+        seeds
+    }
+
+    /// Panic with a replayable failure report.
+    pub fn fail(
+        test_name: &str,
+        case_ix: usize,
+        seed: u64,
+        from_regression: bool,
+        inputs: &str,
+        error: &str,
+    ) -> ! {
+        let origin = if from_regression {
+            "regression seed"
+        } else {
+            "generated case"
+        };
+        panic!(
+            "proptest shim: {test_name} failed on {origin} #{case_ix} (seed {seed:#018x})\n\
+             error: {error}\n\
+             inputs: {inputs}"
+        );
+    }
+}
+
+/// Render a panic payload for the failure report.
+#[doc(hidden)]
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+#[doc(hidden)]
+pub fn describe_input(desc: &mut String, name: &str, value: &dyn std::fmt::Debug) {
+    let _ = write!(desc, "{name} = {value:?}; ");
+}
+
+/// The property-test macro. Supports the subset
+/// `proptest! { #![proptest_config(expr)] #[test] fn name(x in strat, ..) { .. } .. }`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::Config = $cfg;
+                let seeds =
+                    $crate::test_runner::case_seeds(&config, ::std::file!(), stringify!($name));
+                for (case_ix, (seed, from_regression)) in seeds.iter().enumerate() {
+                    let mut rng = $crate::test_runner::TestRng::new(*seed);
+                    $(let $arg = $crate::Strategy::pick(&($strat), &mut rng);)+
+                    let mut inputs = ::std::string::String::new();
+                    $($crate::describe_input(&mut inputs, stringify!($arg), &$arg);)+
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            move || -> ::std::result::Result<(), ::std::string::String> {
+                                $body
+                                ::std::result::Result::Ok(())
+                            },
+                        ),
+                    );
+                    match outcome {
+                        Ok(Ok(())) => {}
+                        Ok(Err(msg)) => $crate::test_runner::fail(
+                            stringify!($name), case_ix, *seed, *from_regression, &inputs, &msg,
+                        ),
+                        Err(payload) => $crate::test_runner::fail(
+                            stringify!($name), case_ix, *seed, *from_regression, &inputs,
+                            &$crate::panic_message(payload.as_ref()),
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::Config::default())]
+            $($(#[$meta])* fn $name($($arg in $strat),+) $body)*
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(::std::boxed::Box::new($strat) as ::std::boxed::Box<dyn $crate::Strategy<Value = _>>,)+
+        ])
+    };
+}
+
+/// Soft assertion: fails the current case with a message instead of
+/// panicking, so the runner can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)*));
+        }
+    };
+}
+
+/// Soft equality assertion; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: {:?}\n right: {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: {:?}\n right: {:?}\n  {}",
+            left,
+            right,
+            ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+/// Soft inequality assertion; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  left: {:?}\n right: {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  left: {:?}\n right: {:?}\n  {}",
+            left,
+            right,
+            ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+/// `use proptest::prelude::*;` — everything the tests name directly.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, Arbitrary,
+        Config as ProptestConfig, Just, Strategy, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::{collection, test_runner};
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(7);
+        let mut b = TestRng::new(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(99);
+        for _ in 0..1_000 {
+            let v = (10u64..20).pick(&mut rng);
+            assert!((10..20).contains(&v));
+            let f = (1.0f64..2.0).pick(&mut rng);
+            assert!((1.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = TestRng::new(3);
+        let s = (1u32..5)
+            .prop_map(|x| x * 2)
+            .prop_filter("even", |x| x % 2 == 0)
+            .prop_flat_map(|x| collection::vec(0u32..x, 1..4));
+        for _ in 0..100 {
+            let v = s.pick(&mut rng);
+            assert!(!v.is_empty() && v.len() < 4);
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_alternatives() {
+        let mut rng = TestRng::new(11);
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.pick(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn case_seeds_are_stable_and_prepend_regressions() {
+        let cfg = ProptestConfig::with_cases(5);
+        let a = test_runner::case_seeds(&cfg, "tests/nonexistent.rs", "t");
+        let b = test_runner::case_seeds(&cfg, "tests/nonexistent.rs", "t");
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        assert!(a.iter().all(|(_, reg)| !reg));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn shim_macro_roundtrip(x in 0u64..100, flag in any::<bool>()) {
+            prop_assert!(x < 100);
+            if flag {
+                prop_assert_ne!(x, 100);
+            }
+            prop_assert_eq!(x + 1, x + 1);
+        }
+    }
+}
