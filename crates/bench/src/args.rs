@@ -4,8 +4,12 @@ use crate::pool;
 
 /// Common knobs: `--scale <f64>` (shrinks horizons/budgets for quick runs),
 /// `--seed <u64>`, `--jobs <usize>` (worker threads for the experiment
-/// matrices; results are byte-identical for every value).
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// matrices; results are byte-identical for every value), plus the
+/// observability sinks `--trace <path>` (Chrome-trace JSON of one
+/// representative traced run, openable in `chrome://tracing`) and
+/// `--events <path>` (the same run's raw event log as JSON lines). See
+/// `OBSERVABILITY.md` at the repository root for the schema.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunArgs {
     /// Scale factor on horizons and budgets (1.0 = paper-shaped defaults).
     pub scale: f64,
@@ -15,6 +19,12 @@ pub struct RunArgs {
     /// available parallelism; `1` runs every cell inline on the caller's
     /// thread. Output tables are identical either way.
     pub jobs: usize,
+    /// Write a Chrome-trace JSON file of a representative traced run here.
+    /// `None` (the default) keeps tracing disabled — zero cost.
+    pub trace: Option<String>,
+    /// Write the raw structured event log (JSON lines) here. `None` (the
+    /// default) keeps the log disabled.
+    pub events: Option<String>,
 }
 
 impl Default for RunArgs {
@@ -23,6 +33,8 @@ impl Default for RunArgs {
             scale: 1.0,
             seed: 42,
             jobs: pool::default_jobs(),
+            trace: None,
+            events: None,
         }
     }
 }
@@ -57,8 +69,17 @@ impl RunArgs {
                     out.jobs = v.parse().expect("--jobs must be a positive integer");
                     assert!(out.jobs >= 1, "--jobs must be at least 1");
                 }
+                "--trace" => {
+                    out.trace = Some(it.next().expect("--trace needs a path"));
+                }
+                "--events" => {
+                    out.events = Some(it.next().expect("--events needs a path"));
+                }
                 "--help" | "-h" => {
-                    eprintln!("usage: [--scale <f>] [--seed <n>] [--jobs <n>]");
+                    eprintln!(
+                        "usage: [--scale <f>] [--seed <n>] [--jobs <n>] \
+                         [--trace <path>] [--events <path>]"
+                    );
                     std::process::exit(0);
                 }
                 other => panic!("unknown argument: {other}"),
@@ -104,6 +125,26 @@ mod tests {
     #[should_panic(expected = "--jobs must be at least 1")]
     fn rejects_zero_jobs() {
         RunArgs::parse(s(&["--jobs", "0"]));
+    }
+
+    #[test]
+    fn observability_sinks_default_off() {
+        let a = RunArgs::parse(s(&[]));
+        assert_eq!(a.trace, None);
+        assert_eq!(a.events, None);
+    }
+
+    #[test]
+    fn parses_trace_and_events_paths() {
+        let a = RunArgs::parse(s(&["--trace", "out.json", "--events", "ev.jsonl"]));
+        assert_eq!(a.trace.as_deref(), Some("out.json"));
+        assert_eq!(a.events.as_deref(), Some("ev.jsonl"));
+    }
+
+    #[test]
+    #[should_panic(expected = "--trace needs a path")]
+    fn trace_requires_a_path() {
+        RunArgs::parse(s(&["--trace"]));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use bench::pool;
 use bench::progress::Progress;
 use bench::report::f1;
-use bench::scenarios::PERIODIC_HORIZON_US;
+use bench::scenarios::{write_observability, PERIODIC_HORIZON_US};
 use bench::{RunArgs, Table};
 use chimera::policy::Policy;
 use chimera::runner::periodic::{run_periodic, PeriodicConfig};
@@ -58,4 +58,5 @@ fn main() {
     progress.finish(args.jobs);
     print!("{t}");
     println!("\npositive delta = throughput the paper's halt-only model over-credits");
+    write_observability(&args, &suite, 15.0);
 }

@@ -140,4 +140,5 @@ fn main() {
     println!("resident blocks uniformly, so the two estimators land close together —");
     println!("the instruction estimate wins where per-block stall noise decouples");
     println!("cycles from work (see NW above, whose small blocks restart mid-stream).");
+    bench::scenarios::write_observability(&args, &workloads::Suite::standard(), 15.0);
 }

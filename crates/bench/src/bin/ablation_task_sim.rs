@@ -64,4 +64,5 @@ fn main() {
     progress.finish(args.jobs);
     print!("{t}");
     println!("\npositive delta = benchmark throughput hidden by the reservation model");
+    bench::scenarios::write_observability(&args, &suite, 15.0);
 }

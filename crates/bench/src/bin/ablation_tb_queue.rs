@@ -61,4 +61,5 @@ fn main() {
     }
     progress.finish(args.jobs);
     print!("{t}");
+    bench::scenarios::write_observability(&args, &suite, 15.0);
 }

@@ -82,4 +82,5 @@ fn main() {
     progress.finish(args.jobs);
     print!("{t}");
     println!("\nGTO skews per-block progress: more drain-skew overhead, same deadlines");
+    bench::scenarios::write_observability(&args, &Suite::standard(), 15.0);
 }

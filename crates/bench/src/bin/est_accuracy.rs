@@ -1,0 +1,105 @@
+//! Estimator-accuracy report: predicted vs. actual drain latency per kernel.
+//!
+//! For every benchmark, runs the §4.1 periodic scenario under Chimera with
+//! the observability event log enabled, then joins each *drain* decision
+//! (which carries the §3.2 cost-model prediction) with the cycles the block
+//! actually took to finish ([`chimera::obs::drain_accuracy`]). A small mean
+//! error is what licenses Algorithm 1 to trust the estimates when choosing
+//! between drain, switch and flush.
+//!
+//! Output is byte-identical for every `--jobs` value; `--trace`/`--events`
+//! additionally dump one representative traced run (see `OBSERVABILITY.md`).
+
+use bench::pool;
+use bench::progress::Progress;
+use bench::report::f1;
+use bench::scenarios::{write_observability, PERIODIC_HORIZON_US, TRACE_EVENT_CAPACITY};
+use bench::{RunArgs, Table};
+use chimera::obs::drain_accuracy;
+use chimera::policy::Policy;
+use chimera::runner::periodic::{run_periodic_traced, PeriodicConfig};
+use workloads::Suite;
+
+fn main() {
+    let args = RunArgs::from_env();
+    let suite = Suite::standard();
+    let cfg = suite.config();
+    let pcfg = PeriodicConfig {
+        constraint_us: 15.0,
+        horizon_us: PERIODIC_HORIZON_US * args.scale,
+        seed: args.seed,
+        ..PeriodicConfig::paper_default(cfg)
+    };
+    let benches = suite.benchmarks();
+    let progress = Progress::new("est-accuracy", benches.len());
+    // One traced Chimera run per benchmark; each cell owns its engine, so
+    // the matrix parallelises like every other figure.
+    let tasks: Vec<_> = benches
+        .iter()
+        .map(|bench| {
+            let (pcfg, progress) = (&pcfg, &progress);
+            move || {
+                let (_, engine) = run_periodic_traced(
+                    cfg,
+                    bench,
+                    Policy::chimera_us(15.0),
+                    pcfg,
+                    TRACE_EVENT_CAPACITY,
+                );
+                let report = drain_accuracy(&engine);
+                progress.cell_done(bench.name());
+                (bench.name().to_string(), report)
+            }
+        })
+        .collect();
+    let results = pool::run_tasks(args.jobs, tasks);
+    println!("Drain estimator accuracy under Chimera (15 us constraint)\n");
+    let mut t = Table::new(&[
+        "kernel",
+        "drained blocks",
+        "est us",
+        "actual us",
+        "mean |err| %",
+    ]);
+    let (mut total_samples, mut err_sum) = (0usize, 0.0f64);
+    for (bench_name, report) in &results {
+        if report.is_empty() {
+            t.row(vec![
+                bench_name.clone(),
+                "0".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+            continue;
+        }
+        for k in report {
+            total_samples += k.samples;
+            err_sum += k.mean_abs_err_pct * k.samples as f64;
+            t.row(vec![
+                k.kernel.clone(),
+                k.samples.to_string(),
+                f1(k.mean_est_us),
+                f1(k.mean_actual_us),
+                f1(k.mean_abs_err_pct),
+            ]);
+        }
+    }
+    if total_samples > 0 {
+        t.row(vec![
+            "overall".into(),
+            total_samples.to_string(),
+            "".into(),
+            "".into(),
+            f1(err_sum / total_samples as f64),
+        ]);
+    }
+    progress.finish(args.jobs);
+    print!("{t}");
+    println!("\n(blocks Algorithm 1 chose to drain, joined with their observed completion;");
+    println!("kernels with 0 drained blocks were served by flush/switch or idle SMs.");
+    println!("est >= actual by design: the drain estimate carries the paper's s4.1");
+    println!("headroom — remaining work is bounded by max(avg + 2 sigma, observed max)");
+    println!("— so drains that must meet a deadline finish early, never late)");
+    write_observability(&args, &suite, 15.0);
+}

@@ -226,4 +226,5 @@ fn main() {
     }
     progress.finish(args.jobs);
     print!("{t}");
+    bench::scenarios::write_observability(&args, &Suite::standard(), 15.0);
 }

@@ -4,7 +4,7 @@
 //! Paper averages: switch 20.9x, drain 19.3x, flush 23.6x, Chimera 25.4x.
 
 use bench::report::f1;
-use bench::scenarios::{multiprog_matrix, multiprog_suite};
+use bench::scenarios::{multiprog_matrix, multiprog_suite, write_observability};
 use bench::{RunArgs, Table};
 use chimera::metrics::geomean;
 use chimera::policy::Policy;
@@ -42,4 +42,5 @@ fn main() {
     print!("{t}");
     println!("\npaper averages: switch 20.9x, drain 19.3x, flush 23.6x, chimera 25.4x");
     println!("(absolute factors scale with the instruction budget; see EXPERIMENTS.md)");
+    write_observability(&args, &suite, 30.0);
 }

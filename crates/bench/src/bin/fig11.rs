@@ -4,7 +4,7 @@
 //! Paper averages: switch 16.5 %, drain 36.6 %, flush 31.4 %, Chimera 41.7 %.
 
 use bench::report::f1;
-use bench::scenarios::{multiprog_matrix, multiprog_suite};
+use bench::scenarios::{multiprog_matrix, multiprog_suite, write_observability};
 use bench::{RunArgs, Table};
 use chimera::policy::Policy;
 
@@ -43,4 +43,5 @@ fn main() {
     ]);
     print!("{t}");
     println!("\npaper averages: switch 16.5, drain 36.6, flush 31.4, chimera 41.7");
+    write_observability(&args, &suite, 30.0);
 }

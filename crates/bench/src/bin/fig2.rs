@@ -3,11 +3,12 @@
 //! Paper averages: switch 14.5 µs, drain 830.4 µs, flush 0 µs.
 
 use bench::report::f1;
-use bench::Table;
+use bench::{RunArgs, Table};
 use chimera::cost::analytic;
 use workloads::{solve_resources, table2};
 
 fn main() {
+    let args = RunArgs::from_env();
     let cfg = gpu_sim::GpuConfig::fermi();
     println!("Figure 2: estimated preemption latency (us) per technique\n");
     let mut t = Table::new(&["kernel", "switch", "drain", "flush"]);
@@ -35,4 +36,7 @@ fn main() {
     ]);
     print!("{t}");
     println!("\npaper averages: switch 14.5, drain 830.4, flush 0.0");
+    // The figure itself is analytic; a traced simulated run is still served
+    // so `--trace`/`--events` behave uniformly across all binaries.
+    bench::scenarios::write_observability(&args, &workloads::Suite::standard(), 15.0);
 }

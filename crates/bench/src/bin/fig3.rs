@@ -3,11 +3,12 @@
 //! Paper averages: switch 47.7 %, drain 0 %, flush 30.7 %.
 
 use bench::report::f1;
-use bench::Table;
+use bench::{RunArgs, Table};
 use chimera::cost::analytic;
 use workloads::{solve_resources, table2};
 
 fn main() {
+    let args = RunArgs::from_env();
     let cfg = gpu_sim::GpuConfig::fermi();
     println!("Figure 3: estimated throughput overhead (%) per technique\n");
     let mut t = Table::new(&["kernel", "switch", "drain", "flush"]);
@@ -34,4 +35,5 @@ fn main() {
     ]);
     print!("{t}");
     println!("\npaper averages: switch 47.7, drain 0.0, flush 30.7");
+    bench::scenarios::write_observability(&args, &workloads::Suite::standard(), 15.0);
 }

@@ -10,11 +10,12 @@
 //! 0–100 % and reports the per-technique costs and optimal-region boundaries.
 
 use bench::report::f1;
-use bench::Table;
+use bench::{RunArgs, Table};
 use chimera::cost::{CostModel, KernelObs, TbProgress};
 use gpu_sim::{GpuConfig, Technique};
 
 fn main() {
+    let args = RunArgs::from_env();
     let cfg = GpuConfig::fermi();
     let total = 30_000.0f64;
     let cpi = 16.0;
@@ -89,4 +90,5 @@ fn main() {
         vec![Technique::Flush, Technique::Switch, Technique::Drain],
         "the figure's flush->switch->drain ordering must hold"
     );
+    bench::scenarios::write_observability(&args, &workloads::Suite::standard(), 15.0);
 }

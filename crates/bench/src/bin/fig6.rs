@@ -4,7 +4,7 @@
 //! Paper averages: switch 56.0 %, drain 61.3 %, flush 7.3 %, Chimera 0.2 %.
 
 use bench::report::f1;
-use bench::scenarios::periodic_matrix;
+use bench::scenarios::{periodic_matrix, write_observability};
 use bench::{RunArgs, Table};
 use chimera::policy::Policy;
 use workloads::Suite;
@@ -39,4 +39,5 @@ fn main() {
     ]);
     print!("{t}");
     println!("\npaper averages: switch 56.0, drain 61.3, flush 7.3, chimera 0.2");
+    write_observability(&args, &suite, 15.0);
 }

@@ -5,7 +5,7 @@
 //! Paper overall: switch 12.2 %, drain 8.9 %, flush 19.3 %, Chimera 10.1 %.
 
 use bench::report::f1;
-use bench::scenarios::periodic_matrix;
+use bench::scenarios::{periodic_matrix, write_observability};
 use bench::{RunArgs, Table};
 use chimera::metrics::geomean;
 use chimera::policy::Policy;
@@ -47,4 +47,5 @@ fn main() {
     ]);
     print!("{t}");
     println!("\npaper overall: switch 12.2, drain 8.9, flush 19.3, chimera 10.1");
+    write_observability(&args, &suite, 15.0);
 }

@@ -6,7 +6,7 @@
 //! (c) flush share grows as the constraint tightens; drain stays ~19 %.
 
 use bench::report::f1;
-use bench::scenarios::{periodic_matrix, periodic_oracle};
+use bench::scenarios::{periodic_matrix, periodic_oracle, write_observability};
 use bench::{RunArgs, Table};
 use chimera::policy::Policy;
 use gpu_sim::Technique;
@@ -77,4 +77,5 @@ fn main() {
     print!("{t}");
     println!("\npaper: (a) 2.00/1.08/0.24/0.00  (b) 16.5/12.2/10.0/9.0");
     println!("paper (c): flush share grows as the constraint tightens; drain stays ~19%");
+    write_observability(&args, &suite, 15.0);
 }

@@ -9,7 +9,7 @@
 //! used inside Chimera.
 
 use bench::report::f1;
-use bench::scenarios::periodic_matrix;
+use bench::scenarios::{periodic_matrix, write_observability};
 use bench::{RunArgs, Table};
 use chimera::policy::Policy;
 use workloads::Suite;
@@ -104,4 +104,5 @@ fn main() {
     println!(
         "(without the relaxed condition flushing cannot deliver its promised instant preemption)"
     );
+    write_observability(&args, &relaxed_suite, 15.0);
 }

@@ -7,7 +7,7 @@
 use bench::pool;
 use bench::progress::Progress;
 use bench::report::f1;
-use bench::scenarios::PERIODIC_HORIZON_US;
+use bench::scenarios::{write_observability, PERIODIC_HORIZON_US};
 use bench::{RunArgs, Table};
 use chimera::policy::Policy;
 use chimera::runner::periodic::{run_periodic, PeriodicConfig};
@@ -85,4 +85,5 @@ fn main() {
     println!("\nunfulfilled = the request never received all its SMs within the horizon");
     println!("(draining a 10 ms block, or flushing a kernel that never leaves its");
     println!("non-idempotent region)");
+    write_observability(&args, &suite, 15.0);
 }

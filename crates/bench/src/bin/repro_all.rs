@@ -10,8 +10,18 @@ fn main() {
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir");
     let bins = [
-        "table1", "table2", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10",
+        "table1",
+        "table2",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
         "fig11",
+        "est-accuracy",
     ];
     for bin in bins {
         println!("\n==================== {bin} ====================\n");

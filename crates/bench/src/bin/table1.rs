@@ -1,9 +1,10 @@
 //! Table 1: system configuration.
 
-use bench::Table;
+use bench::{RunArgs, Table};
 use gpu_sim::GpuConfig;
 
 fn main() {
+    let args = RunArgs::from_env();
     let c = GpuConfig::fermi();
     println!("Table 1: System configuration (paper values in parentheses)\n");
     let mut t = Table::new(&["parameter", "value", "paper"]);
@@ -49,4 +50,5 @@ fn main() {
         c.bytes_per_cycle_total(),
         c.bytes_per_cycle_per_sm()
     );
+    bench::scenarios::write_observability(&args, &workloads::Suite::standard(), 15.0);
 }

@@ -10,7 +10,7 @@ use idem::KernelIdempotence;
 use workloads::{build_kernel, build_program, measure_drain_time_us, Suite};
 
 fn main() {
-    let _args = RunArgs::from_env();
+    let args = RunArgs::from_env();
     let suite = Suite::standard();
     let cfg = suite.config();
     println!("Table 2: Benchmark specification (measured vs paper)\n");
@@ -57,4 +57,5 @@ fn main() {
     }
     print!("{t}");
     println!("\n(the paper's per-kernel switch-time column appears as the Switch series of fig2)");
+    bench::scenarios::write_observability(&args, &suite, 15.0);
 }

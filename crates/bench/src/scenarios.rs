@@ -6,13 +6,79 @@ use crate::progress::Progress;
 use chimera::metrics::{antt, stp};
 use chimera::policy::Policy;
 use chimera::runner::multiprog::{run_fcfs, run_pair, MultiprogConfig};
-use chimera::runner::periodic::{run_periodic, PeriodicConfig, PeriodicResult};
+use chimera::runner::periodic::{
+    run_periodic, run_periodic_traced, PeriodicConfig, PeriodicResult,
+};
 use chimera::runner::solo::run_solo;
 use gpu_sim::GpuConfig;
 use workloads::{Suite, SuiteOptions};
 
 /// Default horizon for periodic experiments (µs) before `--scale`.
 pub const PERIODIC_HORIZON_US: f64 = 16_000.0;
+
+/// Event-log ring capacity used for `--trace` / `--events` runs: large
+/// enough to hold every event of a paper-scale periodic run.
+pub const TRACE_EVENT_CAPACITY: usize = 1 << 20;
+
+/// Serve the `--trace` / `--events` observability sinks: when either path is
+/// set, re-run one *representative* scenario with the event log enabled — the
+/// suite's first benchmark under Chimera at `constraint_us`, over the same
+/// scaled horizon and seed the figure used — and write the requested files.
+///
+/// The traced run is separate from the figure's own cells, so the figure's
+/// stdout stays byte-identical whether or not tracing was requested (and the
+/// zero-cost-when-disabled property of the log is preserved for normal runs).
+/// Progress notes go to stderr only.
+///
+/// The Chrome-trace JSON (`--trace`) opens in `chrome://tracing` or Perfetto;
+/// the JSON-lines event log (`--events`) is the raw schema documented in
+/// `OBSERVABILITY.md`. Both are byte-stable for a fixed `(--scale, --seed)`
+/// and independent of `--jobs` (the traced run is always serial).
+pub fn write_observability(args: &RunArgs, suite: &Suite, constraint_us: f64) {
+    if args.trace.is_none() && args.events.is_none() {
+        return;
+    }
+    let cfg = suite.config();
+    let bench = &suite.benchmarks()[0];
+    let pcfg = PeriodicConfig {
+        constraint_us,
+        horizon_us: PERIODIC_HORIZON_US * args.scale,
+        seed: args.seed,
+        ..PeriodicConfig::paper_default(cfg)
+    };
+    let (_, engine) = run_periodic_traced(
+        cfg,
+        bench,
+        Policy::chimera_us(constraint_us),
+        &pcfg,
+        TRACE_EVENT_CAPACITY,
+    );
+    let log = engine.event_log().expect("tracing was enabled");
+    if log.dropped() > 0 {
+        eprintln!(
+            "warning: event ring overflowed, {} oldest events dropped",
+            log.dropped()
+        );
+    }
+    if let Some(path) = &args.trace {
+        let json = gpu_sim::trace::chrome_trace_json(&engine).expect("tracing was enabled");
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!(
+            "wrote Chrome trace of {} under chimera-{constraint_us}us to {path} \
+             (open in chrome://tracing)",
+            bench.name()
+        );
+    }
+    if let Some(path) = &args.events {
+        std::fs::write(path, log.to_json_lines()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!(
+            "wrote {} events ({} dropped) of {} under chimera-{constraint_us}us to {path}",
+            log.len(),
+            log.dropped(),
+            bench.name()
+        );
+    }
+}
 
 /// Results of running every benchmark under a set of policies.
 #[derive(Debug)]
@@ -230,6 +296,7 @@ mod tests {
             scale: 0.08,
             seed: 42,
             jobs: 2,
+            ..RunArgs::default()
         };
         // Two benchmarks only would be nicer, but the matrix API runs the
         // full suite; a very small scale keeps this test quick.
@@ -248,12 +315,45 @@ mod tests {
             scale: 0.05,
             seed: 7,
             jobs: 1,
+            ..RunArgs::default()
         };
-        let parallel = RunArgs { jobs: 4, ..serial };
+        let parallel = RunArgs {
+            jobs: 4,
+            ..serial.clone()
+        };
         let policies = [Policy::Switch, Policy::chimera_us(15.0)];
         let a = periodic_matrix(&suite, &policies, 15.0, &serial, false);
         let b = periodic_matrix(&suite, &policies, 15.0, &parallel, false);
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn write_observability_emits_valid_files() {
+        let suite = Suite::standard();
+        let dir = std::env::temp_dir();
+        let trace = dir.join(format!("chimera-obs-test-{}.json", std::process::id()));
+        let events = dir.join(format!("chimera-obs-test-{}.jsonl", std::process::id()));
+        let args = RunArgs {
+            scale: 0.15,
+            trace: Some(trace.to_string_lossy().into_owned()),
+            events: Some(events.to_string_lossy().into_owned()),
+            ..RunArgs::default()
+        };
+        write_observability(&args, &suite, 15.0);
+        let json = std::fs::read_to_string(&trace).unwrap();
+        let summary = gpu_sim::trace::validate_chrome_trace(&json).expect("valid Chrome trace");
+        assert!(summary.spans > 0, "traced run must record block residency");
+        let lines = std::fs::read_to_string(&events).unwrap();
+        assert!(lines.lines().count() > 0);
+        assert!(lines.lines().all(|l| l.starts_with("{\"kind\":\"")));
+        std::fs::remove_file(&trace).ok();
+        std::fs::remove_file(&events).ok();
+    }
+
+    #[test]
+    fn write_observability_without_sinks_is_a_no_op() {
+        // Must not run anything or write anywhere when both sinks are unset.
+        write_observability(&RunArgs::default(), &Suite::standard(), 15.0);
     }
 
     #[test]
@@ -262,6 +362,7 @@ mod tests {
             scale: 0.5,
             seed: 42,
             jobs: 1,
+            ..RunArgs::default()
         };
         let s = multiprog_suite(&args);
         let lud = s.benchmark("LUD").unwrap();

@@ -25,7 +25,11 @@
 //!   (§4.1–4.3) and pairwise multiprogrammed workloads with an FCFS baseline
 //!   (§4.4);
 //! * [`metrics`] — ANTT and STP (Eyerman & Eeckhout) and violation-rate
-//!   accounting.
+//!   accounting;
+//! * [`obs`] — post-run analysis of the decision-level
+//!   [event log](gpu_sim::EventLog): predicted-vs-actual drain latency per
+//!   kernel (see `OBSERVABILITY.md` at the repository root for the event
+//!   schema and the Chrome-trace export pipeline).
 //!
 //! ## Quick example: a periodic real-time task preempting a GPGPU benchmark
 //!
@@ -42,11 +46,12 @@
 //! assert!(result.requests >= 2);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod cost;
 pub mod metrics;
+pub mod obs;
 pub mod partition;
 pub mod policy;
 pub mod runner;
@@ -55,6 +60,7 @@ pub mod select;
 
 pub use cost::{CostModel, KernelObs, ObsBank, TbCost};
 pub use metrics::{antt, geomean, stp};
+pub use obs::{drain_accuracy, KernelAccuracy};
 pub use partition::PartitionPolicy;
 pub use policy::Policy;
 pub use scheduler::{GpuScheduler, ProcId, SchedEvent};

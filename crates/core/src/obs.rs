@@ -1,0 +1,208 @@
+//! Post-run analysis of the observability event log.
+//!
+//! The engine's [event log](gpu_sim::EventLog) records every Algorithm 1
+//! decision *with the estimates that produced it* and, later, the actual
+//! fate of each block. This module joins the two: for every block the
+//! algorithm chose to **drain**, it pairs the predicted drain latency (the
+//! §3.2 cost model output) with the cycles the block actually took to finish
+//! after the decision, grouped per kernel. This is the quantitative check
+//! behind the paper's claim that the drain estimator is accurate enough to
+//! steer technique selection (§3.2, Figure 12 discussion) — and the data
+//! source for the `est-accuracy` bench binary.
+
+use gpu_sim::{BlockExit, Engine, ObsEvent, Technique};
+use std::collections::{BTreeMap, HashMap};
+
+/// Predicted-vs-actual drain latency for one kernel.
+///
+/// Produced by [`drain_accuracy`]; one entry aggregates every block of the
+/// kernel that Algorithm 1 decided to drain and that subsequently completed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelAccuracy {
+    /// Kernel name, normalised across repeated launches (`LUD.0#3` → `LUD.0`).
+    pub kernel: String,
+    /// Drained blocks with both a prediction and an observed completion.
+    pub samples: usize,
+    /// Mean predicted drain latency, µs.
+    pub mean_est_us: f64,
+    /// Mean observed drain latency (decision → block completion), µs.
+    pub mean_actual_us: f64,
+    /// Mean of the per-block absolute relative error, percent
+    /// (`|est − actual| / actual`, actual clamped to ≥ 1 cycle).
+    pub mean_abs_err_pct: f64,
+}
+
+/// Join drain *decisions* with the eventual block completions in the
+/// engine's event log and report per-kernel estimator accuracy.
+///
+/// Returns one [`KernelAccuracy`] per kernel, sorted by kernel name; kernels
+/// whose drained blocks never completed inside the log's window (or whose
+/// begin/end events were evicted from the ring) contribute no samples and
+/// are omitted. Returns an empty vector when the event log is disabled.
+///
+/// ```
+/// use chimera::obs::drain_accuracy;
+/// use chimera::policy::Policy;
+/// use chimera::runner::periodic::{run_periodic_traced, PeriodicConfig};
+/// use workloads::Suite;
+///
+/// let suite = Suite::standard();
+/// let cfg = suite.config();
+/// let pcfg = PeriodicConfig {
+///     horizon_us: 2_000.0,
+///     ..PeriodicConfig::paper_default(cfg)
+/// };
+/// let (_, engine) = run_periodic_traced(
+///     cfg,
+///     suite.benchmark("BS").unwrap(),
+///     Policy::chimera_us(15.0),
+///     &pcfg,
+///     1 << 18,
+/// );
+/// for k in drain_accuracy(&engine) {
+///     assert!(k.samples > 0);
+///     assert!(k.mean_actual_us > 0.0);
+///     assert!(k.mean_abs_err_pct.is_finite());
+/// }
+/// ```
+pub fn drain_accuracy(engine: &Engine) -> Vec<KernelAccuracy> {
+    let Some(log) = engine.event_log() else {
+        return Vec::new();
+    };
+    // (sm, kernel, block) -> (decision cycle, predicted drain cycles)
+    let mut pending: HashMap<(usize, usize, u32), (u64, u64)> = HashMap::new();
+    // kernel name -> (est, actual) cycle pairs
+    let mut samples: BTreeMap<String, Vec<(u64, u64)>> = BTreeMap::new();
+    for ev in log.iter() {
+        match *ev {
+            ObsEvent::Decision {
+                cycle,
+                sm,
+                kernel,
+                decision,
+                ..
+            } if decision.chosen == Technique::Drain => {
+                if let Some(est) = decision.est_drain {
+                    pending.insert((sm, kernel.0, decision.block), (cycle, est.latency_cycles));
+                }
+            }
+            ObsEvent::BlockEnd {
+                cycle,
+                sm,
+                kernel,
+                block,
+                exit: BlockExit::Completed,
+                ..
+            } => {
+                if let Some((t0, est)) = pending.remove(&(sm, kernel.0, block)) {
+                    let name = crate::runner::periodic_name(&engine.kernel_stats(kernel).name);
+                    samples
+                        .entry(name)
+                        .or_default()
+                        .push((est, cycle.saturating_sub(t0)));
+                }
+            }
+            _ => {}
+        }
+    }
+    let cfg = engine.config();
+    samples
+        .into_iter()
+        .filter(|(_, pairs)| !pairs.is_empty())
+        .map(|(kernel, pairs)| {
+            let n = pairs.len() as f64;
+            let mean_est = pairs.iter().map(|&(e, _)| e as f64).sum::<f64>() / n;
+            let mean_actual = pairs.iter().map(|&(_, a)| a as f64).sum::<f64>() / n;
+            let mean_abs_err_pct = pairs
+                .iter()
+                .map(|&(e, a)| {
+                    let a = a.max(1) as f64;
+                    100.0 * ((e as f64) - a).abs() / a
+                })
+                .sum::<f64>()
+                / n;
+            KernelAccuracy {
+                kernel,
+                samples: pairs.len(),
+                mean_est_us: cfg.cycles_to_us((mean_est).round() as u64),
+                mean_actual_us: cfg.cycles_to_us((mean_actual).round() as u64),
+                mean_abs_err_pct,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+    use crate::runner::periodic::{run_periodic_traced, PeriodicConfig};
+    use workloads::Suite;
+
+    #[test]
+    fn disabled_log_yields_empty_report() {
+        let suite = Suite::standard();
+        let cfg = suite.config();
+        let pcfg = PeriodicConfig {
+            horizon_us: 1_000.0,
+            ..PeriodicConfig::paper_default(cfg)
+        };
+        let (_, engine) = run_periodic_traced(
+            cfg,
+            suite.benchmark("BS").unwrap(),
+            Policy::chimera_us(15.0),
+            &pcfg,
+            0,
+        );
+        assert!(engine.event_log().is_none());
+        assert!(drain_accuracy(&engine).is_empty());
+    }
+
+    #[test]
+    fn chimera_on_bs_produces_drain_samples() {
+        // BS has long blocks: Chimera drains the nearly-finished ones, so the
+        // log must contain drain decisions that later complete.
+        let suite = Suite::standard();
+        let cfg = suite.config();
+        let pcfg = PeriodicConfig {
+            horizon_us: 4_000.0,
+            ..PeriodicConfig::paper_default(cfg)
+        };
+        let (_, engine) = run_periodic_traced(
+            cfg,
+            suite.benchmark("BS").unwrap(),
+            Policy::chimera_us(15.0),
+            &pcfg,
+            1 << 18,
+        );
+        let report = drain_accuracy(&engine);
+        assert!(!report.is_empty(), "chimera on BS must drain some blocks");
+        for k in &report {
+            assert!(k.samples > 0);
+            assert!(k.mean_est_us > 0.0);
+            assert!(k.mean_actual_us > 0.0);
+            assert!(k.mean_abs_err_pct.is_finite());
+        }
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let suite = Suite::standard();
+        let cfg = suite.config();
+        let pcfg = PeriodicConfig {
+            horizon_us: 2_000.0,
+            ..PeriodicConfig::paper_default(cfg)
+        };
+        let run = || {
+            let (_, engine) = run_periodic_traced(
+                cfg,
+                suite.benchmark("BS").unwrap(),
+                Policy::chimera_us(15.0),
+                &pcfg,
+                1 << 18,
+            );
+            drain_accuracy(&engine)
+        };
+        assert_eq!(run(), run());
+    }
+}

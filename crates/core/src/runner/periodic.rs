@@ -162,7 +162,49 @@ pub fn run_periodic(
     policy: Policy,
     pcfg: &PeriodicConfig,
 ) -> PeriodicResult {
+    run_periodic_traced(cfg, bench, policy, pcfg, 0).0
+}
+
+/// Like [`run_periodic`], but with the engine's
+/// [event log](gpu_sim::EventLog) enabled (ring capacity `event_capacity`;
+/// `0` leaves it disabled) and the finished [`Engine`] returned alongside the
+/// result, so the caller can export a Chrome trace
+/// ([`gpu_sim::trace::chrome_trace_json`]), dump the raw events, or compute
+/// estimator accuracy ([`crate::obs::drain_accuracy`]).
+///
+/// ```
+/// use chimera::policy::Policy;
+/// use chimera::runner::periodic::{run_periodic_traced, PeriodicConfig};
+/// use workloads::Suite;
+///
+/// let suite = Suite::standard();
+/// let cfg = suite.config();
+/// let pcfg = PeriodicConfig {
+///     horizon_us: 4_000.0,
+///     ..PeriodicConfig::paper_default(cfg)
+/// };
+/// let (result, engine) = run_periodic_traced(
+///     cfg,
+///     suite.benchmark("BS").unwrap(),
+///     Policy::chimera_us(15.0),
+///     &pcfg,
+///     1 << 16,
+/// );
+/// assert!(result.requests > 0);
+/// let log = engine.event_log().expect("tracing was enabled");
+/// assert!(log.iter().any(|e| e.kind() == "decision"));
+/// ```
+pub fn run_periodic_traced(
+    cfg: &GpuConfig,
+    bench: &Benchmark,
+    policy: Policy,
+    pcfg: &PeriodicConfig,
+    event_capacity: usize,
+) -> (PeriodicResult, Engine) {
     let mut engine = Engine::with_seed(cfg.clone(), pcfg.seed);
+    if event_capacity > 0 {
+        engine.enable_event_log(event_capacity);
+    }
     engine.set_break_on_kernel_finish(true);
     engine.set_prefer_preempted(pcfg.prefer_preempted);
     if policy.is_oracle() {
@@ -307,7 +349,7 @@ pub fn run_periodic(
         switch_count += s.switch_count;
         flush_count += s.flush_count;
     }
-    PeriodicResult {
+    let result = PeriodicResult {
         policy: policy.to_string(),
         benchmark: bench.name().to_string(),
         requests: st.requests.len() as u32,
@@ -319,7 +361,8 @@ pub fn run_periodic(
         wasted_flush_insts,
         switch_count,
         flush_count,
-    }
+    };
+    (result, engine)
 }
 
 use super::{periodic_name as base_kernel_name, periodic_try_flush};
@@ -462,6 +505,11 @@ fn issue_request(
             };
             let snapshots: Vec<_> = occupied.iter().map(|&sm| engine.sm_snapshot(sm)).collect();
             for plan in select_preemptions(cfg, &req, &snapshots) {
+                // Feed the Algorithm 1 decision (inputs + choice) to the
+                // observability event log before executing it.
+                for d in &plan.decisions {
+                    engine.record_decision(plan.sm, kid, limit, *d);
+                }
                 match engine.preempt_sm(plan.sm, &plan.plan) {
                     Ok(true) => acquire(engine, st, pcfg, cfg, req_idx, plan.sm, now, exec),
                     Ok(false) => {

@@ -1,9 +1,9 @@
 //! The Figure 5 two-level GPU scheduler, as a reusable component.
 //!
 //! The *kernel scheduler* decides which process owns which SMs (via a
-//! [`PartitionPolicy`](crate::partition::PartitionPolicy)) and realises
+//! [`PartitionPolicy`]) and realises
 //! ownership changes by issuing preemption requests served by a
-//! [`Policy`](crate::policy::Policy) — Chimera by default. The *thread block
+//! [`Policy`] — Chimera by default. The *thread block
 //! scheduler* is the `gpu-sim` engine, which dispatches and preempts blocks
 //! and re-issues preempted ones first.
 //!
@@ -156,6 +156,40 @@ impl GpuScheduler {
     /// The engine (read access for statistics and snapshots).
     pub fn engine(&self) -> &Engine {
         &self.engine
+    }
+
+    /// Enable the engine's observability [event log](gpu_sim::EventLog)
+    /// (ring capacity `capacity` events). Chimera decisions made by the
+    /// kernel scheduler are recorded with their Algorithm 1 inputs; export
+    /// with [`gpu_sim::trace::chrome_trace_json`] via [`Self::engine`].
+    ///
+    /// ```
+    /// use chimera::partition::PartitionPolicy;
+    /// use chimera::policy::Policy;
+    /// use chimera::scheduler::GpuScheduler;
+    /// use gpu_sim::{GpuConfig, KernelDesc, Program, Segment};
+    ///
+    /// let mut gpu = GpuScheduler::new(
+    ///     GpuConfig::tiny(),
+    ///     Policy::chimera_us(15.0),
+    ///     PartitionPolicy::SmartEven,
+    /// );
+    /// gpu.enable_event_log(4096);
+    /// let p = gpu.add_process();
+    /// let kernel = KernelDesc::builder("work")
+    ///     .grid_blocks(8)
+    ///     .program(Program::new(vec![Segment::compute(200)]))
+    ///     .build()?;
+    /// gpu.submit(p, kernel);
+    /// while !gpu.is_idle() {
+    ///     gpu.run_for_us(100.0);
+    /// }
+    /// let log = gpu.engine().event_log().expect("enabled above");
+    /// assert!(!log.is_empty(), "block lifecycle events were recorded");
+    /// # Ok::<(), gpu_sim::KernelError>(())
+    /// ```
+    pub fn enable_event_log(&mut self, capacity: usize) {
+        self.engine.enable_event_log(capacity);
     }
 
     /// Current cycle.
@@ -381,6 +415,10 @@ impl GpuScheduler {
                 };
                 let snaps = vec![self.engine.sm_snapshot(sm)];
                 for plan in select_preemptions(&cfg, &req, &snaps) {
+                    for d in &plan.decisions {
+                        self.engine
+                            .record_decision(plan.sm, kid, req.limit_cycles, *d);
+                    }
                     match self.engine.preempt_sm(plan.sm, &plan.plan) {
                         Ok(true) | Err(_) => {}
                         Ok(false) => {

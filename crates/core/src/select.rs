@@ -46,6 +46,10 @@ pub struct PlanForSm {
     pub est_latency_cycles: u64,
     /// Estimated throughput overhead, warp instructions.
     pub est_overhead_insts: u64,
+    /// One decision record per resident block — the Algorithm 1 inputs
+    /// (per-technique estimates) plus the chosen technique, ready to feed to
+    /// [`gpu_sim::Engine::record_decision`] for the observability event log.
+    pub decisions: Vec<gpu_sim::BlockDecision>,
 }
 
 impl PlanForSm {
@@ -183,6 +187,30 @@ fn plan_one_sm(model: &CostModel<'_>, req: &SelectionRequest, snap: &SmSnapshot)
         est_latency = est_latency.max(cost.latency_cycles);
         est_overhead = est_overhead.saturating_add(cost.overhead_insts);
     }
+    // Decision records for the observability event log: the full estimate
+    // table per block plus the technique Algorithm 1 settled on.
+    let decisions = chosen
+        .iter()
+        .map(|&(tb, picked)| {
+            let est = |t: Technique| -> Option<gpu_sim::TechniqueEstimate> {
+                per_block
+                    .iter()
+                    .find(|(b, _)| *b == tb)
+                    .and_then(|(_, costs)| costs.iter().find(|c| c.technique == t))
+                    .map(|c| gpu_sim::TechniqueEstimate {
+                        latency_cycles: c.latency_cycles,
+                        overhead_insts: c.overhead_insts,
+                    })
+            };
+            gpu_sim::BlockDecision {
+                block: tb,
+                chosen: picked.technique,
+                est_switch: est(Technique::Switch),
+                est_drain: est(Technique::Drain),
+                est_flush: est(Technique::Flush),
+            }
+        })
+        .collect();
     PlanForSm {
         sm: snap.sm,
         plan: SmPreemptPlan {
@@ -194,6 +222,7 @@ fn plan_one_sm(model: &CostModel<'_>, req: &SelectionRequest, snap: &SmSnapshot)
         },
         est_latency_cycles: est_latency,
         est_overhead_insts: est_overhead,
+        decisions,
     }
 }
 
@@ -509,6 +538,27 @@ mod tests {
         assert!(switch_cost.overhead_insts > 0);
         assert_eq!(p.est_overhead_insts, 2 * switch_cost.overhead_insts);
         assert_eq!(p.est_latency_cycles, switch_cost.latency_cycles);
+    }
+
+    /// The decision records handed to the event log must agree with the plan
+    /// that will actually execute, and their estimates must reproduce the
+    /// SM-level aggregates.
+    #[test]
+    fn decisions_mirror_the_chosen_plan() {
+        let s = snap(0, vec![(0, 10, false), (1, 990, false), (2, 500, true)]);
+        let plans = select_preemptions(&cfg(), &req(15.0, 1), &[s]);
+        let p = &plans[0];
+        assert_eq!(p.decisions.len(), p.plan.entries.len());
+        let mut overhead = 0u64;
+        let mut latency = 0u64;
+        for d in &p.decisions {
+            assert_eq!(p.plan.technique_for(d.block), Some(d.chosen));
+            let est = d.chosen_estimate().expect("chosen technique was estimated");
+            overhead += est.overhead_insts;
+            latency = latency.max(est.latency_cycles);
+        }
+        assert_eq!(overhead, p.est_overhead_insts);
+        assert_eq!(latency, p.est_latency_cycles);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use std::collections::VecDeque;
 
 use crate::block::{BlockId, BlockRun, TbSnapshot};
+use crate::events::{BlockDecision, BlockExit, EventLog, ObsEvent};
 use crate::kernel::{KernelDesc, Segment};
 use crate::mem::MemSubsystem;
 use crate::preempt::SmPreemptPlan;
@@ -259,6 +260,9 @@ pub struct Engine {
     preempt_records: Vec<PreemptRecord>,
     open_preempts: Vec<Option<usize>>, // per SM: index into preempt_records
     events: Vec<Event>,
+    /// Observability event log; `None` (the default) records nothing and
+    /// costs one `is-some` check on the per-block bookkeeping paths.
+    obs: Option<EventLog>,
 }
 
 // The experiment harness runs one Engine per worker thread; moving an Engine
@@ -295,7 +299,76 @@ impl Engine {
             preempt_records: Vec::new(),
             open_preempts: vec![None; n],
             events: Vec::new(),
+            obs: None,
             cfg,
+        }
+    }
+
+    /// Turn on the observability event log, retaining at most `capacity`
+    /// events (oldest dropped first; see [`EventLog`]). Replaces any
+    /// previously collected log.
+    ///
+    /// ```
+    /// use gpu_sim::{Engine, GpuConfig};
+    ///
+    /// let mut engine = Engine::new(GpuConfig::tiny());
+    /// assert!(engine.event_log().is_none(), "off by default");
+    /// engine.enable_event_log(1 << 20);
+    /// assert_eq!(engine.event_log().unwrap().capacity(), 1 << 20);
+    /// ```
+    pub fn enable_event_log(&mut self, capacity: usize) {
+        self.obs = Some(EventLog::new(capacity));
+    }
+
+    /// The observability event log, if enabled.
+    pub fn event_log(&self) -> Option<&EventLog> {
+        self.obs.as_ref()
+    }
+
+    /// Detach and return the event log, disabling further recording.
+    pub fn take_event_log(&mut self) -> Option<EventLog> {
+        self.obs.take()
+    }
+
+    /// Record one per-block Algorithm 1 decision (an
+    /// [`ObsEvent::Decision`]) at the current cycle.
+    ///
+    /// The engine is mechanism, not policy: it cannot see the cost model, so
+    /// the policy layer (`chimera::select`) pushes its decision records here
+    /// right before executing the plan with [`Engine::preempt_sm`]. No-op
+    /// while the log is disabled.
+    ///
+    /// ```
+    /// use gpu_sim::{BlockDecision, Engine, GpuConfig, KernelId, Technique};
+    ///
+    /// let mut engine = Engine::new(GpuConfig::tiny());
+    /// engine.enable_event_log(64);
+    /// let d = BlockDecision {
+    ///     block: 0,
+    ///     chosen: Technique::Drain,
+    ///     est_switch: None,
+    ///     est_drain: None,
+    ///     est_flush: None,
+    /// };
+    /// engine.record_decision(1, KernelId(0), 21_000, d);
+    /// assert_eq!(engine.event_log().unwrap().len(), 1);
+    /// ```
+    pub fn record_decision(
+        &mut self,
+        sm: usize,
+        kernel: KernelId,
+        limit_cycles: u64,
+        decision: BlockDecision,
+    ) {
+        if let Some(log) = self.obs.as_mut() {
+            log.push(ObsEvent::Decision {
+                cycle: self.cycle,
+                sm,
+                kernel,
+                limit_cycles,
+                slack_cycles: decision.slack_cycles(limit_cycles),
+                decision,
+            });
         }
     }
 
@@ -480,6 +553,24 @@ impl Engine {
         let flushed = self.sms[sm].begin_preempt(self.cycle, plan, save_cycles, &mut out)?;
         // The SM must not receive more blocks of the evicted kernel.
         self.sms[sm].set_assigned(None);
+        if let Some(log) = self.obs.as_mut() {
+            log.push(ObsEvent::PreemptRequested {
+                cycle: self.cycle,
+                sm,
+                kernel,
+                blocks: plan.entries.len() as u32,
+            });
+            for &(id, wasted) in &flushed {
+                log.push(ObsEvent::BlockEnd {
+                    cycle: self.cycle,
+                    sm,
+                    kernel,
+                    block: id.index,
+                    exit: BlockExit::Flushed,
+                    insts: wasted,
+                });
+            }
+        }
         let techniques = plan.entries.iter().map(|&(_, t)| t).collect();
         let record = PreemptRecord {
             sm,
@@ -572,12 +663,32 @@ impl Engine {
         }
         for snap in out.switched_out {
             let k = snap.id.kernel;
+            if let Some(log) = self.obs.as_mut() {
+                log.push(ObsEvent::BlockEnd {
+                    cycle: self.cycle,
+                    sm,
+                    kernel: k,
+                    block: snap.id.index,
+                    exit: BlockExit::Switched,
+                    insts: snap.insts,
+                });
+            }
             let ki = &mut self.kernels[k.0];
             ki.stats.switch_count += 1;
             ki.outstanding -= 1;
             ki.resume_queue.push_back(snap);
         }
         for (id, insts, cycles) in out.completed {
+            if let Some(log) = self.obs.as_mut() {
+                log.push(ObsEvent::BlockEnd {
+                    cycle: self.cycle,
+                    sm,
+                    kernel: id.kernel,
+                    block: id.index,
+                    exit: BlockExit::Completed,
+                    insts,
+                });
+            }
             let ki = &mut self.kernels[id.kernel.0];
             ki.outstanding -= 1;
             ki.stats.completed_tbs += 1;
@@ -608,6 +719,14 @@ impl Engine {
                     kernel,
                     latency_cycles: latency,
                 });
+                if let Some(log) = self.obs.as_mut() {
+                    log.push(ObsEvent::PreemptCompleted {
+                        cycle: self.cycle,
+                        sm,
+                        kernel,
+                        latency_cycles: latency,
+                    });
+                }
             }
         }
     }
@@ -649,10 +768,12 @@ impl Engine {
         let ki = &mut self.kernels[kid.0];
         if order_pref {
             if let Some(snap) = ki.resume_queue.pop_front() {
+                self.record_block_begin(sm, kid, snap.id.index, true, now);
                 return Some(self.make_resumed(kid, sm, snap, now, load_cycles));
             }
             if let Some(idx) = ki.restart_queue.pop_front() {
                 let desc = ki.desc.clone();
+                self.record_block_begin(sm, kid, idx, false, now);
                 return Some(BlockRun::new(
                     BlockId {
                         kernel: kid,
@@ -668,6 +789,7 @@ impl Engine {
             let idx = ki.next_fresh;
             ki.next_fresh += 1;
             let desc = ki.desc.clone();
+            self.record_block_begin(sm, kid, idx, false, now);
             return Some(BlockRun::new(
                 BlockId {
                     kernel: kid,
@@ -678,12 +800,13 @@ impl Engine {
                 now,
             ));
         }
-        if let Some(snap) = ki.resume_queue.pop_front() {
+        if let Some(snap) = self.kernels[kid.0].resume_queue.pop_front() {
+            self.record_block_begin(sm, kid, snap.id.index, true, now);
             return Some(self.make_resumed(kid, sm, snap, now, load_cycles));
         }
-        if let Some(idx) = ki.restart_queue.pop_front() {
-            let ki = &self.kernels[kid.0];
-            let desc = ki.desc.clone();
+        if let Some(idx) = self.kernels[kid.0].restart_queue.pop_front() {
+            let desc = self.kernels[kid.0].desc.clone();
+            self.record_block_begin(sm, kid, idx, false, now);
             return Some(BlockRun::new(
                 BlockId {
                     kernel: kid,
@@ -695,6 +818,27 @@ impl Engine {
             ));
         }
         None
+    }
+
+    /// Push a [`ObsEvent::BlockBegin`] when the log is enabled.
+    #[inline]
+    fn record_block_begin(
+        &mut self,
+        sm: usize,
+        kernel: KernelId,
+        block: u32,
+        resumed: bool,
+        now: u64,
+    ) {
+        if let Some(log) = self.obs.as_mut() {
+            log.push(ObsEvent::BlockBegin {
+                cycle: now,
+                sm,
+                kernel,
+                block,
+                resumed,
+            });
+        }
     }
 
     fn make_resumed(

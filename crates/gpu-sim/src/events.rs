@@ -1,0 +1,601 @@
+//! Structured observability events and the ring-buffered event log.
+//!
+//! The engine reports end-of-run aggregates through [`crate::stats`]; this
+//! module records the *individual decisions and transitions* behind them:
+//! when each thread block became resident and why it left, when preemptions
+//! were requested and completed, and — pushed in by the policy layer — the
+//! Algorithm 1 inputs behind every per-block preemption decision (the
+//! estimated switch/drain/flush costs and the technique that won).
+//!
+//! The log is **off by default and zero-cost while off**: the engine holds an
+//! `Option<EventLog>` and every recording site is a single `is-some` check on
+//! paths that already do per-block bookkeeping (dispatch, completion,
+//! preemption boundaries) — never on the per-cycle hot path. Call
+//! [`crate::Engine::enable_event_log`] to turn it on.
+//!
+//! Events are consumed in two ways:
+//!
+//! * [`crate::trace::chrome_trace_json`] renders the log as a Chrome-trace
+//!   JSON file (one track per SM) for `chrome://tracing` / Perfetto;
+//! * [`ObsEvent::to_json_line`] serialises single events as JSON lines for
+//!   machine consumption (the `--events <path>` flag of the figure binaries).
+//!
+//! The JSON schemas are specified in `OBSERVABILITY.md` at the repository
+//! root and covered by a golden-file test (`tests/observability.rs`).
+//!
+//! ```
+//! use gpu_sim::{Engine, GpuConfig, KernelDesc, ObsEvent, Program, Segment};
+//!
+//! let mut engine = Engine::new(GpuConfig::tiny());
+//! engine.enable_event_log(4096);
+//! let k = engine.launch_kernel(
+//!     KernelDesc::builder("demo")
+//!         .grid_blocks(4)
+//!         .threads_per_block(64)
+//!         .program(Program::new(vec![Segment::compute(100)]))
+//!         .build()
+//!         .unwrap(),
+//! );
+//! engine.assign_sm(0, Some(k));
+//! engine.run_until(1_000_000);
+//! let log = engine.event_log().expect("enabled above");
+//! let begins = log
+//!     .iter()
+//!     .filter(|e| matches!(e, ObsEvent::BlockBegin { .. }))
+//!     .count();
+//! assert_eq!(begins, 4, "every block's dispatch was recorded");
+//! ```
+
+use std::collections::VecDeque;
+
+use crate::preempt::Technique;
+use crate::KernelId;
+
+/// The estimated cost of applying one preemption technique to one block, in
+/// the engine's common units (cycles for latency, warp instructions for
+/// throughput overhead).
+///
+/// ```
+/// use gpu_sim::TechniqueEstimate;
+///
+/// let est = TechniqueEstimate { latency_cycles: 5_880, overhead_insts: 740 };
+/// assert!(est.latency_cycles > est.overhead_insts);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TechniqueEstimate {
+    /// Estimated preemption latency contribution, cycles.
+    pub latency_cycles: u64,
+    /// Estimated throughput overhead, warp instructions.
+    pub overhead_insts: u64,
+}
+
+/// One per-block preemption decision: the technique Algorithm 1 chose and
+/// every per-technique estimate it considered while choosing.
+///
+/// An estimate is `None` when the technique was not a candidate for the
+/// block — flushing a block past its idempotence point, or draining with no
+/// per-kernel statistics yet.
+///
+/// ```
+/// use gpu_sim::{BlockDecision, Technique, TechniqueEstimate};
+///
+/// let d = BlockDecision {
+///     block: 3,
+///     chosen: Technique::Flush,
+///     est_switch: Some(TechniqueEstimate { latency_cycles: 5_880, overhead_insts: 740 }),
+///     est_drain: None,
+///     est_flush: Some(TechniqueEstimate { latency_cycles: 0, overhead_insts: 120 }),
+/// };
+/// assert_eq!(d.chosen_estimate().unwrap().overhead_insts, 120);
+/// assert_eq!(d.slack_cycles(21_000), 21_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockDecision {
+    /// Grid block index the decision applies to.
+    pub block: u32,
+    /// The technique Algorithm 1 picked for this block.
+    pub chosen: Technique,
+    /// Estimated cost of context-switching the block (always estimable).
+    pub est_switch: Option<TechniqueEstimate>,
+    /// Estimated cost of draining the block, when statistics allowed one.
+    pub est_drain: Option<TechniqueEstimate>,
+    /// Estimated cost of flushing the block, when the block was flushable.
+    pub est_flush: Option<TechniqueEstimate>,
+}
+
+impl BlockDecision {
+    /// The estimate behind the chosen technique, if one was recorded.
+    pub fn chosen_estimate(&self) -> Option<TechniqueEstimate> {
+        match self.chosen {
+            Technique::Switch => self.est_switch,
+            Technique::Drain => self.est_drain,
+            Technique::Flush => self.est_flush,
+        }
+    }
+
+    /// Deadline slack of the chosen technique against `limit_cycles`:
+    /// `limit - estimated latency` (negative when the estimate already
+    /// misses the limit; `limit` itself when no estimate was recorded).
+    pub fn slack_cycles(&self, limit_cycles: u64) -> i64 {
+        let est = self
+            .chosen_estimate()
+            .map(|e| e.latency_cycles)
+            .unwrap_or(0);
+        limit_cycles as i64 - est as i64
+    }
+}
+
+/// Why a thread block left its SM.
+///
+/// ```
+/// use gpu_sim::BlockExit;
+///
+/// assert_eq!(BlockExit::Completed.as_str(), "completed");
+/// assert_eq!(BlockExit::Switched.as_str(), "switched");
+/// assert_eq!(BlockExit::Flushed.as_str(), "flushed");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockExit {
+    /// The block ran to completion (naturally or under a drain).
+    Completed,
+    /// The block's context was saved by a context switch.
+    Switched,
+    /// The block was dropped by a flush; its work is discarded.
+    Flushed,
+}
+
+impl BlockExit {
+    /// Stable lower-case name used in the JSON schemas.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BlockExit::Completed => "completed",
+            BlockExit::Switched => "switched",
+            BlockExit::Flushed => "flushed",
+        }
+    }
+}
+
+/// A timestamped observability event.
+///
+/// Every variant carries the cycle it happened at, the SM it happened on and
+/// the kernel involved; see each variant for its payload. The JSON-lines
+/// rendering ([`ObsEvent::to_json_line`]) is schema-stable and documented in
+/// `OBSERVABILITY.md`.
+///
+/// ```
+/// use gpu_sim::{KernelId, ObsEvent};
+///
+/// let ev = ObsEvent::PreemptRequested {
+///     cycle: 100,
+///     sm: 2,
+///     kernel: KernelId(0),
+///     blocks: 4,
+/// };
+/// assert_eq!(ev.cycle(), 100);
+/// assert_eq!(ev.sm(), 2);
+/// assert_eq!(ev.kind(), "preempt_requested");
+/// assert!(ev.to_json_line().starts_with("{\"kind\":\"preempt_requested\""));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ObsEvent {
+    /// A thread block became resident on an SM.
+    BlockBegin {
+        /// Dispatch cycle.
+        cycle: u64,
+        /// Receiving SM.
+        sm: usize,
+        /// Owning kernel.
+        kernel: KernelId,
+        /// Grid block index.
+        block: u32,
+        /// Whether the block resumed from a saved context (vs. starting
+        /// fresh or restarting after a flush).
+        resumed: bool,
+    },
+    /// A thread block left its SM.
+    BlockEnd {
+        /// Exit cycle.
+        cycle: u64,
+        /// SM the block was resident on.
+        sm: usize,
+        /// Owning kernel.
+        kernel: KernelId,
+        /// Grid block index.
+        block: u32,
+        /// Why the block left.
+        exit: BlockExit,
+        /// Warp instructions attributable to the residency: executed
+        /// instructions for `Completed`/`Switched`, *discarded* instructions
+        /// for `Flushed`.
+        insts: u64,
+    },
+    /// A preemption plan started executing on an SM.
+    PreemptRequested {
+        /// Request cycle.
+        cycle: u64,
+        /// The SM being vacated.
+        sm: usize,
+        /// The kernel being evicted.
+        kernel: KernelId,
+        /// Resident blocks covered by the plan.
+        blocks: u32,
+    },
+    /// An SM preemption finished; the SM is empty.
+    PreemptCompleted {
+        /// Completion cycle.
+        cycle: u64,
+        /// The vacated SM.
+        sm: usize,
+        /// The evicted kernel.
+        kernel: KernelId,
+        /// Request-to-vacated latency, cycles.
+        latency_cycles: u64,
+    },
+    /// One per-block Algorithm 1 decision, recorded by the policy layer
+    /// (see [`crate::Engine::record_decision`]) just before the plan runs.
+    Decision {
+        /// Decision cycle (the preemption request time).
+        cycle: u64,
+        /// SM the block is resident on.
+        sm: usize,
+        /// Kernel the block belongs to.
+        kernel: KernelId,
+        /// The latency constraint the decision was made under, cycles.
+        limit_cycles: u64,
+        /// Deadline slack of the chosen technique, cycles (may be negative).
+        slack_cycles: i64,
+        /// The per-block decision record.
+        decision: BlockDecision,
+    },
+}
+
+impl ObsEvent {
+    /// The cycle the event happened at.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            ObsEvent::BlockBegin { cycle, .. }
+            | ObsEvent::BlockEnd { cycle, .. }
+            | ObsEvent::PreemptRequested { cycle, .. }
+            | ObsEvent::PreemptCompleted { cycle, .. }
+            | ObsEvent::Decision { cycle, .. } => cycle,
+        }
+    }
+
+    /// The SM the event happened on.
+    pub fn sm(&self) -> usize {
+        match *self {
+            ObsEvent::BlockBegin { sm, .. }
+            | ObsEvent::BlockEnd { sm, .. }
+            | ObsEvent::PreemptRequested { sm, .. }
+            | ObsEvent::PreemptCompleted { sm, .. }
+            | ObsEvent::Decision { sm, .. } => sm,
+        }
+    }
+
+    /// The kernel the event involves.
+    pub fn kernel(&self) -> KernelId {
+        match *self {
+            ObsEvent::BlockBegin { kernel, .. }
+            | ObsEvent::BlockEnd { kernel, .. }
+            | ObsEvent::PreemptRequested { kernel, .. }
+            | ObsEvent::PreemptCompleted { kernel, .. }
+            | ObsEvent::Decision { kernel, .. } => kernel,
+        }
+    }
+
+    /// Stable snake-case discriminant name (the `kind` field of the JSON
+    /// rendering).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ObsEvent::BlockBegin { .. } => "block_begin",
+            ObsEvent::BlockEnd { .. } => "block_end",
+            ObsEvent::PreemptRequested { .. } => "preempt_requested",
+            ObsEvent::PreemptCompleted { .. } => "preempt_completed",
+            ObsEvent::Decision { .. } => "decision",
+        }
+    }
+
+    /// Serialise the event as one line of JSON (no trailing newline).
+    ///
+    /// Field order is fixed, all numbers are integers, and the schema is
+    /// documented in `OBSERVABILITY.md`; the output is byte-stable for a
+    /// given event.
+    pub fn to_json_line(&self) -> String {
+        fn est(e: &Option<TechniqueEstimate>) -> String {
+            match e {
+                None => "null".to_string(),
+                Some(t) => format!(
+                    "{{\"latency_cycles\":{},\"overhead_insts\":{}}}",
+                    t.latency_cycles, t.overhead_insts
+                ),
+            }
+        }
+        match *self {
+            ObsEvent::BlockBegin {
+                cycle,
+                sm,
+                kernel,
+                block,
+                resumed,
+            } => format!(
+                "{{\"kind\":\"block_begin\",\"cycle\":{cycle},\"sm\":{sm},\
+                 \"kernel\":{},\"block\":{block},\"resumed\":{resumed}}}",
+                kernel.0
+            ),
+            ObsEvent::BlockEnd {
+                cycle,
+                sm,
+                kernel,
+                block,
+                exit,
+                insts,
+            } => format!(
+                "{{\"kind\":\"block_end\",\"cycle\":{cycle},\"sm\":{sm},\
+                 \"kernel\":{},\"block\":{block},\"exit\":\"{}\",\"insts\":{insts}}}",
+                kernel.0,
+                exit.as_str()
+            ),
+            ObsEvent::PreemptRequested {
+                cycle,
+                sm,
+                kernel,
+                blocks,
+            } => format!(
+                "{{\"kind\":\"preempt_requested\",\"cycle\":{cycle},\"sm\":{sm},\
+                 \"kernel\":{},\"blocks\":{blocks}}}",
+                kernel.0
+            ),
+            ObsEvent::PreemptCompleted {
+                cycle,
+                sm,
+                kernel,
+                latency_cycles,
+            } => format!(
+                "{{\"kind\":\"preempt_completed\",\"cycle\":{cycle},\"sm\":{sm},\
+                 \"kernel\":{},\"latency_cycles\":{latency_cycles}}}",
+                kernel.0
+            ),
+            ObsEvent::Decision {
+                cycle,
+                sm,
+                kernel,
+                limit_cycles,
+                slack_cycles,
+                decision,
+            } => format!(
+                "{{\"kind\":\"decision\",\"cycle\":{cycle},\"sm\":{sm},\
+                 \"kernel\":{},\"block\":{},\"chosen\":\"{}\",\
+                 \"limit_cycles\":{limit_cycles},\"slack_cycles\":{slack_cycles},\
+                 \"est\":{{\"switch\":{},\"drain\":{},\"flush\":{}}}}}",
+                kernel.0,
+                decision.block,
+                decision.chosen,
+                est(&decision.est_switch),
+                est(&decision.est_drain),
+                est(&decision.est_flush),
+            ),
+        }
+    }
+}
+
+/// A bounded, ring-buffered log of [`ObsEvent`]s.
+///
+/// When the log is full the *oldest* event is dropped to make room and the
+/// drop is counted, so a long run with a small capacity keeps the most
+/// recent window of activity and reports exactly how much history it shed.
+///
+/// ```
+/// use gpu_sim::{EventLog, KernelId, ObsEvent};
+///
+/// let mut log = EventLog::new(2);
+/// for cycle in 0..5 {
+///     log.push(ObsEvent::PreemptRequested { cycle, sm: 0, kernel: KernelId(0), blocks: 1 });
+/// }
+/// assert_eq!(log.len(), 2);
+/// assert_eq!(log.dropped(), 3);
+/// // The survivors are the newest events, oldest-first.
+/// let cycles: Vec<u64> = log.iter().map(|e| e.cycle()).collect();
+/// assert_eq!(cycles, vec![3, 4]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventLog {
+    cap: usize,
+    buf: VecDeque<ObsEvent>,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// Create a log holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        EventLog {
+            cap,
+            buf: VecDeque::with_capacity(cap.min(64 * 1024)),
+            dropped: 0,
+        }
+    }
+
+    /// The maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the log holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Number of events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Append an event, evicting the oldest one if the ring is full.
+    pub fn push(&mut self, ev: ObsEvent) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+
+    /// Iterate over the retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &ObsEvent> {
+        self.buf.iter()
+    }
+
+    /// Serialise every retained event as JSON lines (one event per line,
+    /// oldest first, trailing newline). See `OBSERVABILITY.md` for the
+    /// per-event schema.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.buf {
+            out.push_str(&ev.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64) -> ObsEvent {
+        ObsEvent::PreemptCompleted {
+            cycle,
+            sm: 1,
+            kernel: KernelId(2),
+            latency_cycles: 7,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut log = EventLog::new(3);
+        for c in 0..10 {
+            log.push(ev(c));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 7);
+        let cycles: Vec<u64> = log.iter().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, vec![7, 8, 9]);
+        assert_eq!(log.capacity(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut log = EventLog::new(0);
+        assert_eq!(log.capacity(), 1);
+        log.push(ev(1));
+        log.push(ev(2));
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.dropped(), 1);
+    }
+
+    #[test]
+    fn accessors_cover_every_variant() {
+        let d = BlockDecision {
+            block: 9,
+            chosen: Technique::Drain,
+            est_switch: Some(TechniqueEstimate {
+                latency_cycles: 100,
+                overhead_insts: 50,
+            }),
+            est_drain: Some(TechniqueEstimate {
+                latency_cycles: 30,
+                overhead_insts: 0,
+            }),
+            est_flush: None,
+        };
+        let events = [
+            ObsEvent::BlockBegin {
+                cycle: 1,
+                sm: 2,
+                kernel: KernelId(3),
+                block: 4,
+                resumed: false,
+            },
+            ObsEvent::BlockEnd {
+                cycle: 1,
+                sm: 2,
+                kernel: KernelId(3),
+                block: 4,
+                exit: BlockExit::Flushed,
+                insts: 5,
+            },
+            ObsEvent::PreemptRequested {
+                cycle: 1,
+                sm: 2,
+                kernel: KernelId(3),
+                blocks: 6,
+            },
+            ObsEvent::PreemptCompleted {
+                cycle: 1,
+                sm: 2,
+                kernel: KernelId(3),
+                latency_cycles: 7,
+            },
+            ObsEvent::Decision {
+                cycle: 1,
+                sm: 2,
+                kernel: KernelId(3),
+                limit_cycles: 40,
+                slack_cycles: 10,
+                decision: d,
+            },
+        ];
+        for e in &events {
+            assert_eq!(e.cycle(), 1);
+            assert_eq!(e.sm(), 2);
+            assert_eq!(e.kernel(), KernelId(3));
+            assert!(!e.kind().is_empty());
+        }
+        assert_eq!(d.chosen_estimate().unwrap().latency_cycles, 30);
+        assert_eq!(d.slack_cycles(40), 10);
+        assert_eq!(d.slack_cycles(10), -20);
+    }
+
+    #[test]
+    fn json_lines_are_schema_stable() {
+        let d = BlockDecision {
+            block: 2,
+            chosen: Technique::Flush,
+            est_switch: Some(TechniqueEstimate {
+                latency_cycles: 5880,
+                overhead_insts: 740,
+            }),
+            est_drain: None,
+            est_flush: Some(TechniqueEstimate {
+                latency_cycles: 0,
+                overhead_insts: 120,
+            }),
+        };
+        let ev = ObsEvent::Decision {
+            cycle: 100,
+            sm: 1,
+            kernel: KernelId(0),
+            limit_cycles: 21_000,
+            slack_cycles: 21_000,
+            decision: d,
+        };
+        assert_eq!(
+            ev.to_json_line(),
+            "{\"kind\":\"decision\",\"cycle\":100,\"sm\":1,\"kernel\":0,\
+             \"block\":2,\"chosen\":\"flush\",\"limit_cycles\":21000,\
+             \"slack_cycles\":21000,\"est\":{\"switch\":{\"latency_cycles\":5880,\
+             \"overhead_insts\":740},\"drain\":null,\"flush\":\
+             {\"latency_cycles\":0,\"overhead_insts\":120}}}"
+        );
+        let mut log = EventLog::new(8);
+        log.push(ev);
+        let lines = log.to_json_lines();
+        assert!(lines.ends_with('\n'));
+        assert_eq!(lines.lines().count(), 1);
+    }
+}

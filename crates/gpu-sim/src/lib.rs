@@ -39,12 +39,13 @@
 //! assert!(engine.kernel_stats(kid).finished);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod block;
 pub mod config;
 pub mod engine;
+pub mod events;
 pub mod kernel;
 pub mod mem;
 pub mod occupancy;
@@ -58,6 +59,7 @@ pub mod warp;
 pub use block::{BlockId, BlockRun, BlockStats, TbSnapshot};
 pub use config::{GpuConfig, WarpSched, CYCLES_PER_US};
 pub use engine::{Engine, Event, KernelId};
+pub use events::{BlockDecision, BlockExit, EventLog, ObsEvent, TechniqueEstimate};
 pub use kernel::{KernelDesc, KernelDescBuilder, KernelError, Program, Segment};
 pub use mem::MemSubsystem;
 pub use occupancy::{occupancy, LimitReason, Occupancy};

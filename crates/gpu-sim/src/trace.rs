@@ -1,11 +1,22 @@
-//! Execution tracing: sampled SM utilization and preemption timelines.
+//! Execution tracing: sampled SM utilization and Chrome-trace export.
 //!
 //! The runner-level experiments report aggregates; this module records the
 //! *shape* of an execution — which SMs were active/halted/preempting over
-//! time and when preemptions started and ended — for debugging schedulers
-//! and for the `timeline` example's ASCII rendering.
+//! time and when preemptions started and ended — in two forms:
+//!
+//! * [`UtilizationTrace`]: sampled per-SM state glyphs for the `timeline`
+//!   example's ASCII rendering;
+//! * [`chrome_trace_json`]: the engine's [event log](crate::events) rendered
+//!   as Chrome-trace JSON — one track per SM, a span per block residency and
+//!   per preemption window, instant events for preemption boundaries and
+//!   Algorithm 1 decisions — openable in `chrome://tracing` or
+//!   [Perfetto](https://ui.perfetto.dev). [`validate_chrome_trace`] parses
+//!   such a file back and checks its structure, for tests and tooling.
 
-use crate::{Engine, SmMode};
+use std::collections::BTreeMap;
+
+use crate::events::ObsEvent;
+use crate::{Engine, KernelId, SmMode};
 
 /// The sampled state of one SM at one instant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,6 +144,632 @@ impl UtilizationTrace {
     }
 }
 
+/// Escape a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One pre-serialised trace row, carrying its deterministic sort key.
+struct TraceRow {
+    ts_cycles: u64,
+    tid: usize,
+    /// Tie-break within one `(ts, tid)`: spans before instants.
+    order: u8,
+    name: String,
+    dur_cycles: Option<u64>,
+    ph: char,
+    cat: &'static str,
+    args: String,
+}
+
+/// Render the engine's [event log](crate::events) as Chrome-trace JSON.
+///
+/// Returns `None` when the event log is disabled. The output is the
+/// "JSON object format" understood by `chrome://tracing` and Perfetto:
+/// `{"traceEvents": [...]}` with
+///
+/// * one metadata-named track per SM (`tid` = SM index, `pid` 0);
+/// * a complete (`"ph":"X"`) span per block residency, named after the
+///   kernel and grid block, with the exit reason and instruction count in
+///   `args` (blocks still resident at export time are closed at the current
+///   cycle with `"exit":"open"`);
+/// * a complete span per preemption window (request → SM vacated);
+/// * instant (`"ph":"i"`) events for preemption begin/end and for every
+///   recorded Algorithm 1 [decision](crate::events::ObsEvent::Decision),
+///   with the per-technique estimates in `args`.
+///
+/// Timestamps are microseconds (the Chrome-trace unit), converted with
+/// [`crate::GpuConfig::cycles_to_us`] and printed with three decimals.
+/// Events are sorted by `(time, SM, kind, name)`, so the bytes produced for
+/// a given log are stable regardless of event insertion order — a fixed
+/// seed yields a byte-identical file (golden-tested in
+/// `tests/observability.rs`).
+///
+/// ```
+/// use gpu_sim::trace::{chrome_trace_json, validate_chrome_trace};
+/// use gpu_sim::{Engine, GpuConfig, KernelDesc, Program, Segment};
+///
+/// let mut engine = Engine::new(GpuConfig::tiny());
+/// engine.enable_event_log(4096);
+/// let k = engine.launch_kernel(
+///     KernelDesc::builder("demo")
+///         .grid_blocks(8)
+///         .threads_per_block(64)
+///         .program(Program::new(vec![Segment::compute(200)]))
+///         .build()
+///         .unwrap(),
+/// );
+/// engine.assign_sm(0, Some(k));
+/// engine.run_until(1_000_000);
+/// let json = chrome_trace_json(&engine).expect("log is enabled");
+/// let summary = validate_chrome_trace(&json).expect("valid Chrome trace");
+/// assert_eq!(summary.spans, 8, "one residency span per block");
+/// ```
+pub fn chrome_trace_json(engine: &Engine) -> Option<String> {
+    let log = engine.event_log()?;
+    let cfg = engine.config();
+    let now = engine.cycle();
+    let kname = |k: KernelId| json_escape(&engine.kernel_stats(k).name);
+    let mut rows: Vec<TraceRow> = Vec::with_capacity(log.len());
+    // (sm, kernel, block) -> (begin cycle, resumed)
+    let mut open_blocks: BTreeMap<(usize, usize, u32), (u64, bool)> = BTreeMap::new();
+    let block_span = |rows: &mut Vec<TraceRow>,
+                      begin: u64,
+                      end: u64,
+                      sm: usize,
+                      kernel: KernelId,
+                      block: u32,
+                      resumed: bool,
+                      exit: &str,
+                      insts: u64| {
+        rows.push(TraceRow {
+            ts_cycles: begin,
+            tid: sm,
+            order: 0,
+            name: format!("{} b{}", kname(kernel), block),
+            dur_cycles: Some(end.saturating_sub(begin)),
+            ph: 'X',
+            cat: "block",
+            args: format!(
+                "{{\"kernel\":{},\"block\":{},\"resumed\":{},\"exit\":\"{}\",\"insts\":{}}}",
+                kernel.0, block, resumed, exit, insts
+            ),
+        });
+    };
+    for ev in log.iter() {
+        match *ev {
+            ObsEvent::BlockBegin {
+                cycle,
+                sm,
+                kernel,
+                block,
+                resumed,
+            } => {
+                open_blocks.insert((sm, kernel.0, block), (cycle, resumed));
+            }
+            ObsEvent::BlockEnd {
+                cycle,
+                sm,
+                kernel,
+                block,
+                exit,
+                insts,
+            } => {
+                // A missing begin means the ring dropped it; fall back to a
+                // zero-length span at the end cycle.
+                let (begin, resumed) = open_blocks
+                    .remove(&(sm, kernel.0, block))
+                    .unwrap_or((cycle, false));
+                block_span(
+                    &mut rows,
+                    begin,
+                    cycle,
+                    sm,
+                    kernel,
+                    block,
+                    resumed,
+                    exit.as_str(),
+                    insts,
+                );
+            }
+            ObsEvent::PreemptRequested {
+                cycle,
+                sm,
+                kernel,
+                blocks,
+            } => {
+                rows.push(TraceRow {
+                    ts_cycles: cycle,
+                    tid: sm,
+                    order: 1,
+                    name: "preempt begin".to_string(),
+                    dur_cycles: None,
+                    ph: 'i',
+                    cat: "preempt",
+                    args: format!("{{\"kernel\":{},\"blocks\":{}}}", kernel.0, blocks),
+                });
+            }
+            ObsEvent::PreemptCompleted {
+                cycle,
+                sm,
+                kernel,
+                latency_cycles,
+            } => {
+                rows.push(TraceRow {
+                    ts_cycles: cycle.saturating_sub(latency_cycles),
+                    tid: sm,
+                    order: 0,
+                    name: format!("preempt {}", kname(kernel)),
+                    dur_cycles: Some(latency_cycles),
+                    ph: 'X',
+                    cat: "preempt",
+                    args: format!(
+                        "{{\"kernel\":{},\"latency_cycles\":{}}}",
+                        kernel.0, latency_cycles
+                    ),
+                });
+                rows.push(TraceRow {
+                    ts_cycles: cycle,
+                    tid: sm,
+                    order: 2,
+                    name: "preempt end".to_string(),
+                    dur_cycles: None,
+                    ph: 'i',
+                    cat: "preempt",
+                    args: format!(
+                        "{{\"kernel\":{},\"latency_cycles\":{}}}",
+                        kernel.0, latency_cycles
+                    ),
+                });
+            }
+            ObsEvent::Decision {
+                cycle,
+                sm,
+                kernel,
+                limit_cycles,
+                slack_cycles,
+                decision,
+            } => {
+                let est = |e: Option<crate::events::TechniqueEstimate>| match e {
+                    None => "null".to_string(),
+                    Some(t) => format!(
+                        "{{\"latency_cycles\":{},\"overhead_insts\":{}}}",
+                        t.latency_cycles, t.overhead_insts
+                    ),
+                };
+                rows.push(TraceRow {
+                    ts_cycles: cycle,
+                    tid: sm,
+                    order: 3,
+                    name: format!("decision b{} {}", decision.block, decision.chosen),
+                    dur_cycles: None,
+                    ph: 'i',
+                    cat: "decision",
+                    args: format!(
+                        "{{\"kernel\":{},\"block\":{},\"chosen\":\"{}\",\
+                         \"limit_cycles\":{},\"slack_cycles\":{},\
+                         \"est\":{{\"switch\":{},\"drain\":{},\"flush\":{}}}}}",
+                        kernel.0,
+                        decision.block,
+                        decision.chosen,
+                        limit_cycles,
+                        slack_cycles,
+                        est(decision.est_switch),
+                        est(decision.est_drain),
+                        est(decision.est_flush),
+                    ),
+                });
+            }
+        }
+    }
+    // Close spans for blocks still resident at export time.
+    for (&(sm, kernel, block), &(begin, resumed)) in &open_blocks {
+        block_span(
+            &mut rows,
+            begin,
+            now,
+            sm,
+            KernelId(kernel),
+            block,
+            resumed,
+            "open",
+            0,
+        );
+    }
+    // Deterministic order: the exporter sorts so the bytes cannot depend on
+    // event arrival order.
+    rows.sort_by(|a, b| {
+        (a.ts_cycles, a.tid, a.order, &a.name, a.dur_cycles).cmp(&(
+            b.ts_cycles,
+            b.tid,
+            b.order,
+            &b.name,
+            b.dur_cycles,
+        ))
+    });
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    let emit = |line: String, out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str(&line);
+    };
+    emit(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"gpu-sim\"}}"
+            .to_string(),
+        &mut out,
+        &mut first,
+    );
+    for sm in 0..cfg.num_sms {
+        emit(
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{sm},\
+                 \"args\":{{\"name\":\"SM {sm:02}\"}}}}"
+            ),
+            &mut out,
+            &mut first,
+        );
+    }
+    for r in rows {
+        let ts = cfg.cycles_to_us(r.ts_cycles);
+        let line = match r.ph {
+            'X' => format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+                 \"pid\":0,\"tid\":{},\"args\":{}}}",
+                json_escape(&r.name),
+                r.cat,
+                ts,
+                cfg.cycles_to_us(r.dur_cycles.unwrap_or(0)),
+                r.tid,
+                r.args
+            ),
+            _ => format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{:.3},\
+                 \"pid\":0,\"tid\":{},\"args\":{}}}",
+                json_escape(&r.name),
+                r.cat,
+                ts,
+                r.tid,
+                r.args
+            ),
+        };
+        emit(line, &mut out, &mut first);
+    }
+    out.push_str("\n]}\n");
+    Some(out)
+}
+
+/// Structural summary returned by [`validate_chrome_trace`].
+///
+/// ```
+/// use gpu_sim::trace::validate_chrome_trace;
+///
+/// let summary = validate_chrome_trace(
+///     r#"{"traceEvents":[
+///         {"name":"process_name","ph":"M","pid":0,"args":{"name":"gpu-sim"}},
+///         {"name":"k b0","cat":"block","ph":"X","ts":1.0,"dur":2.5,"pid":0,"tid":3,"args":{}},
+///         {"name":"preempt begin","cat":"preempt","ph":"i","s":"t","ts":2.0,"pid":0,"tid":3,"args":{}}
+///     ]}"#,
+/// )
+/// .unwrap();
+/// assert_eq!(summary.spans, 1);
+/// assert_eq!(summary.instants, 1);
+/// assert_eq!(summary.metadata, 1);
+/// assert_eq!(summary.tracks, 1);
+/// assert!((summary.max_ts_us - 3.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChromeTraceSummary {
+    /// Total entries in `traceEvents`.
+    pub events: usize,
+    /// Complete (`"ph":"X"`) spans.
+    pub spans: usize,
+    /// Instant (`"ph":"i"`) events.
+    pub instants: usize,
+    /// Metadata (`"ph":"M"`) entries.
+    pub metadata: usize,
+    /// Distinct `tid`s among non-metadata events (SM tracks with activity).
+    pub tracks: usize,
+    /// Latest timestamp (span end or instant), µs.
+    pub max_ts_us: f64,
+}
+
+/// Parse a Chrome-trace JSON document produced by [`chrome_trace_json`]
+/// (or any tool emitting the object format) and validate its structure.
+///
+/// Checks performed: the document is well-formed JSON; the root is an object
+/// with a `traceEvents` array; every event is an object with a one-letter
+/// `ph` in `{X, i, M}` and a numeric `pid`; `X` events carry `name`,
+/// numeric `ts`/`dur` and `tid`; `i` events carry `name`, `ts` and `tid`;
+/// and non-metadata events appear in non-decreasing `ts` order (the sorted
+/// order [`chrome_trace_json`] guarantees).
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first structural violation.
+///
+/// See [`ChromeTraceSummary`] for a usage example.
+pub fn validate_chrome_trace(json: &str) -> Result<ChromeTraceSummary, String> {
+    use mini_json::Value;
+    let root = mini_json::parse(json)?;
+    let Value::Obj(fields) = &root else {
+        return Err("root is not a JSON object".to_string());
+    };
+    let events = fields
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .map(|(_, v)| v)
+        .ok_or("missing traceEvents field")?;
+    let Value::Arr(items) = events else {
+        return Err("traceEvents is not an array".to_string());
+    };
+    let mut summary = ChromeTraceSummary {
+        events: items.len(),
+        spans: 0,
+        instants: 0,
+        metadata: 0,
+        tracks: 0,
+        max_ts_us: 0.0,
+    };
+    let mut tids = std::collections::BTreeSet::new();
+    let mut last_ts = f64::NEG_INFINITY;
+    for (i, item) in items.iter().enumerate() {
+        let Value::Obj(ev) = item else {
+            return Err(format!("event {i} is not an object"));
+        };
+        let get = |key: &str| ev.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let num = |key: &str| -> Result<f64, String> {
+            match get(key) {
+                Some(Value::Num(n)) => Ok(*n),
+                _ => Err(format!("event {i}: missing numeric \"{key}\"")),
+            }
+        };
+        let Some(Value::Str(ph)) = get("ph") else {
+            return Err(format!("event {i}: missing string \"ph\""));
+        };
+        num("pid")?;
+        match ph.as_str() {
+            "M" => {
+                if !matches!(get("name"), Some(Value::Str(_))) {
+                    return Err(format!("event {i}: metadata without a name"));
+                }
+                summary.metadata += 1;
+            }
+            "X" | "i" => {
+                if !matches!(get("name"), Some(Value::Str(_))) {
+                    return Err(format!("event {i}: missing string \"name\""));
+                }
+                let ts = num("ts")?;
+                tids.insert(num("tid")? as i64);
+                if ts + 1e-9 < last_ts {
+                    return Err(format!(
+                        "event {i}: ts {ts} goes backwards (exporter must sort)"
+                    ));
+                }
+                last_ts = ts;
+                let end = if ph == "X" {
+                    summary.spans += 1;
+                    ts + num("dur")?
+                } else {
+                    summary.instants += 1;
+                    ts
+                };
+                summary.max_ts_us = summary.max_ts_us.max(end);
+            }
+            other => return Err(format!("event {i}: unknown phase \"{other}\"")),
+        }
+    }
+    summary.tracks = tids.len();
+    Ok(summary)
+}
+
+/// A minimal recursive-descent JSON parser — just enough to validate the
+/// exporter's output without an external dependency (the build environment
+/// is offline; see the workspace manifest).
+mod mini_json {
+    /// A parsed JSON value.
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(#[allow(dead_code)] bool),
+        /// Any JSON number.
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, as ordered key/value pairs.
+        Obj(Vec<(String, Value)>),
+    }
+
+    /// Parse a JSON document; `Err` carries a byte offset and reason.
+    pub fn parse(s: &str) -> Result<Value, String> {
+        let b = s.as_bytes();
+        let mut pos = 0usize;
+        let v = value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        skip_ws(b, pos);
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, pos))
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err("unexpected end of input".to_string()),
+            Some(b'{') => {
+                *pos += 1;
+                let mut fields = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let key = match string(b, pos)? {
+                        Value::Str(s) => s,
+                        _ => unreachable!("string() returns Str"),
+                    };
+                    expect(b, pos, b':')?;
+                    let v = value(b, pos)?;
+                    fields.push((key, v));
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Obj(fields));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'"') => string(b, pos),
+            Some(b't') => lit(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => lit(b, pos, "false", Value::Bool(false)),
+            Some(b'n') => lit(b, pos, "null", Value::Null),
+            Some(_) => number(b, pos),
+        }
+    }
+
+    fn lit(b: &[u8], pos: &mut usize, word: &str, v: Value) -> Result<Value, String> {
+        if b[*pos..].starts_with(word.as_bytes()) {
+            *pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {pos}"))
+        }
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at byte {pos}"));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        while let Some(&c) = b.get(*pos) {
+            *pos += 1;
+            match c {
+                b'"' => return Ok(Value::Str(out)),
+                b'\\' => {
+                    let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                    *pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = b.get(*pos..*pos + 4).ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            *pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                c => {
+                    // Re-assemble multi-byte UTF-8 sequences.
+                    let start = *pos - 1;
+                    let len = utf8_len(c);
+                    let end = start + len;
+                    let chunk = b.get(start..end).ok_or("truncated UTF-8")?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                    *pos = end;
+                }
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn utf8_len(first: u8) -> usize {
+        match first {
+            0x00..=0x7f => 1,
+            0xc0..=0xdf => 2,
+            0xe0..=0xef => 3,
+            _ => 4,
+        }
+    }
+
+    fn number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while let Some(&c) = b.get(*pos) {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                *pos += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or(format!("invalid number at byte {start}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,5 +850,107 @@ mod tests {
         assert_eq!(tr.render(10), "(empty trace)\n");
         assert_eq!(tr.overall_busy_fraction(), 0.0);
         assert_eq!(tr.next_due(), 0);
+    }
+
+    #[test]
+    fn chrome_trace_requires_enabled_log() {
+        let (e, _) = engine_with_work();
+        assert!(chrome_trace_json(&e).is_none());
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_validator() {
+        let (mut e, _) = engine_with_work();
+        e.enable_event_log(1 << 16);
+        e.run_until(2_000_000);
+        let json = chrome_trace_json(&e).unwrap();
+        let summary = validate_chrome_trace(&json).unwrap();
+        assert_eq!(summary.metadata, 1 + e.config().num_sms);
+        assert_eq!(summary.spans, 16, "one residency span per block");
+        assert_eq!(summary.tracks, 1, "only SM0 was assigned");
+        assert!(summary.max_ts_us > 0.0);
+        assert_eq!(
+            summary.events,
+            summary.spans + summary.instants + summary.metadata
+        );
+    }
+
+    #[test]
+    fn chrome_trace_covers_preemption_and_decisions() {
+        use crate::events::{BlockDecision, TechniqueEstimate};
+        use crate::{SmPreemptPlan, Technique};
+        let (mut e, k) = engine_with_work();
+        e.enable_event_log(1 << 16);
+        e.run_for(5_000);
+        let resident = e.sm_resident_indices(0);
+        for &b in &resident {
+            e.record_decision(
+                0,
+                k,
+                2_000,
+                BlockDecision {
+                    block: b,
+                    chosen: Technique::Drain,
+                    est_switch: Some(TechniqueEstimate {
+                        latency_cycles: 900,
+                        overhead_insts: 40,
+                    }),
+                    est_drain: Some(TechniqueEstimate {
+                        latency_cycles: 700,
+                        overhead_insts: 0,
+                    }),
+                    est_flush: None,
+                },
+            );
+        }
+        let plan = SmPreemptPlan::uniform(resident.clone(), Technique::Drain);
+        e.preempt_sm(0, &plan).unwrap();
+        e.run_until(2_000_000);
+        let json = chrome_trace_json(&e).unwrap();
+        let summary = validate_chrome_trace(&json).unwrap();
+        // preempt begin + end + one decision instant per resident block.
+        assert_eq!(summary.instants, 2 + resident.len());
+        assert!(json.contains("\"cat\":\"decision\""));
+        assert!(json.contains("\"chosen\":\"drain\""));
+        assert!(json.contains("preempt begin"));
+        assert!(json.contains("\"exit\":\"drained\"") || json.contains("\"exit\":\"completed\""));
+    }
+
+    #[test]
+    fn chrome_trace_bytes_are_stable_for_fixed_seed() {
+        let run = || {
+            let (mut e, _) = engine_with_work();
+            e.enable_event_log(1 << 16);
+            e.run_until(2_000_000);
+            chrome_trace_json(&e).unwrap()
+        };
+        assert_eq!(run(), run(), "fixed seed must give byte-identical traces");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("[]").is_err());
+        assert!(validate_chrome_trace("{\"other\":1}").is_err());
+        assert!(
+            validate_chrome_trace("{\"traceEvents\":[{\"ph\":\"Z\",\"pid\":0}]}").is_err(),
+            "unknown phase must be rejected"
+        );
+        let unsorted = r#"{"traceEvents":[
+            {"name":"a","ph":"i","s":"t","ts":5.0,"pid":0,"tid":0,"args":{}},
+            {"name":"b","ph":"i","s":"t","ts":1.0,"pid":0,"tid":0,"args":{}}
+        ]}"#;
+        assert!(
+            validate_chrome_trace(unsorted)
+                .unwrap_err()
+                .contains("backwards"),
+            "out-of-order timestamps must be rejected"
+        );
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 }

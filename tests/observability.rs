@@ -1,0 +1,173 @@
+//! Golden-file and round-trip tests for the observability subsystem: a
+//! fixed-seed 2-SM scenario must render to a byte-stable Chrome-trace JSON
+//! (`tests/golden/trace_tiny.json`), and the exporter's output must survive a
+//! parse-back validation.
+//!
+//! Regenerate the golden file after an intentional schema change with
+//! `UPDATE_GOLDEN=1 cargo test --test observability`.
+
+use chimera::cost::KernelObs;
+use chimera::select::{select_preemptions, SelectionRequest};
+use gpu_sim::trace::{chrome_trace_json, validate_chrome_trace};
+use gpu_sim::{Engine, GpuConfig, KernelDesc, Program, Segment};
+
+/// The scenario behind the golden file: a 12-block kernel on the 2-SM tiny
+/// config, preempted once on SM 0 by Algorithm 1 (so the trace contains
+/// decisions, a preemption window, and all three block-exit flavours), then
+/// run to completion.
+fn golden_engine() -> Engine {
+    let cfg = GpuConfig::tiny();
+    let mut engine = Engine::with_seed(cfg.clone(), 7);
+    engine.enable_event_log(1 << 14);
+    let k = engine.launch_kernel(
+        KernelDesc::builder("golden")
+            .grid_blocks(12)
+            .threads_per_block(64)
+            .regs_per_thread(16)
+            .program(Program::new(vec![Segment::load(8), Segment::compute(400)]))
+            .build()
+            .expect("valid kernel"),
+    );
+    engine.assign_sm(0, Some(k));
+    engine.assign_sm(1, Some(k));
+    engine.run_for(20_000);
+    let limit = cfg.us_to_cycles(15.0);
+    let req = SelectionRequest {
+        limit_cycles: limit,
+        num_preempts: 1,
+        ctx_bytes_per_tb: 24 * 1024,
+        obs: KernelObs {
+            avg_tb_insts: Some(500.0),
+            avg_tb_cpi: Some(16.0),
+            std_tb_insts: 20.0,
+            max_tb_insts: 520,
+        },
+        flush_allowed: true,
+    };
+    let snapshots = vec![engine.sm_snapshot(0)];
+    let plans = select_preemptions(&cfg, &req, &snapshots);
+    assert!(!plans.is_empty(), "SM 0 has resident blocks to preempt");
+    for plan in &plans {
+        for d in &plan.decisions {
+            engine.record_decision(plan.sm, k, limit, *d);
+        }
+        engine
+            .preempt_sm(plan.sm, &plan.plan)
+            .expect("plan applies");
+    }
+    engine.run_until(2_000_000);
+    assert!(engine.kernel_stats(k).finished, "scenario must complete");
+    engine
+}
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/trace_tiny.json")
+}
+
+#[test]
+fn fixed_seed_trace_matches_golden_file() {
+    let json = chrome_trace_json(&golden_engine()).expect("log enabled");
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &json).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("golden file exists; regenerate with UPDATE_GOLDEN=1");
+    assert!(
+        json == golden,
+        "trace bytes diverged from tests/golden/trace_tiny.json \
+         ({} vs {} bytes); if the schema change is intentional, regenerate \
+         with UPDATE_GOLDEN=1 cargo test --test observability",
+        json.len(),
+        golden.len(),
+    );
+}
+
+#[test]
+fn golden_scenario_is_deterministic() {
+    let a = chrome_trace_json(&golden_engine()).unwrap();
+    let b = chrome_trace_json(&golden_engine()).unwrap();
+    assert!(a == b, "same seed must give byte-identical traces");
+}
+
+#[test]
+fn golden_trace_parses_back_and_is_sorted() {
+    let engine = golden_engine();
+    let json = chrome_trace_json(&engine).unwrap();
+    // validate_chrome_trace rejects out-of-order timestamps, so a successful
+    // parse also pins the exporter's sorting (the property that makes the
+    // bytes independent of event arrival order).
+    let summary = validate_chrome_trace(&json).expect("exporter output is valid");
+    assert_eq!(summary.metadata, 3, "process_name + one thread_name per SM");
+    assert_eq!(summary.tracks, 2, "both SMs saw activity");
+    // 12 first-dispatch residencies + 1 preemption window, plus one fresh
+    // span per flushed block that restarts from scratch.
+    assert!(summary.spans > 12, "spans: {}", summary.spans);
+    assert!(summary.instants >= 3, "preempt begin/end + decisions");
+    assert!(summary.max_ts_us > 0.0);
+}
+
+#[test]
+fn decisions_appear_with_their_estimates() {
+    let engine = golden_engine();
+    let log = engine.event_log().unwrap();
+    let decisions: Vec<_> = log.iter().filter(|e| e.kind() == "decision").collect();
+    assert!(!decisions.is_empty());
+    // Every decision line carries the per-technique estimate table.
+    for line in log.to_json_lines().lines() {
+        if line.starts_with("{\"kind\":\"decision\"") {
+            assert!(line.contains("\"est\":{"), "line: {line}");
+            assert!(line.contains("\"switch\":"), "line: {line}");
+            assert!(line.contains("\"drain\":"), "line: {line}");
+            assert!(line.contains("\"flush\":"), "line: {line}");
+            assert!(line.contains("\"slack_cycles\":"), "line: {line}");
+            assert!(line.contains("\"chosen\":"), "line: {line}");
+        }
+    }
+}
+
+#[test]
+fn event_log_lines_are_byte_stable() {
+    let a = golden_engine().event_log().unwrap().to_json_lines();
+    let b = golden_engine().event_log().unwrap().to_json_lines();
+    assert!(a == b);
+    assert!(a.lines().all(|l| l.starts_with("{\"kind\":\"")));
+}
+
+#[test]
+fn disabled_log_changes_nothing() {
+    // The same scenario without the event log: identical simulation results
+    // (tracing is observation-only) and no exporter output.
+    let run = |traced: bool| {
+        let cfg = GpuConfig::tiny();
+        let mut engine = Engine::with_seed(cfg, 7);
+        if traced {
+            engine.enable_event_log(1 << 14);
+        }
+        let k = engine.launch_kernel(
+            KernelDesc::builder("golden")
+                .grid_blocks(12)
+                .threads_per_block(64)
+                .regs_per_thread(16)
+                .program(Program::new(vec![Segment::load(8), Segment::compute(400)]))
+                .build()
+                .unwrap(),
+        );
+        engine.assign_sm(0, Some(k));
+        engine.assign_sm(1, Some(k));
+        engine.run_until(2_000_000);
+        let s = engine.kernel_stats(k);
+        (s.finished, s.issued_insts, engine.cycle(), traced)
+    };
+    let (f1, i1, c1, _) = run(true);
+    let (f2, i2, c2, _) = run(false);
+    assert_eq!(
+        (f1, i1, c1),
+        (f2, i2, c2),
+        "tracing must not perturb timing"
+    );
+    let cfg = GpuConfig::tiny();
+    let engine = Engine::with_seed(cfg, 7);
+    assert!(chrome_trace_json(&engine).is_none());
+}
