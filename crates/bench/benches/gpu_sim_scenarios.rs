@@ -1,0 +1,362 @@
+//! Tracked engine-throughput scenarios behind `BENCH_gpu_sim.json`.
+//!
+//! Four scenarios span the engine's hot-path regimes on a 15-SM GPU — solo
+//! drain, two-kernel multiprogramming, a preemption storm, and a
+//! figure-style workload slice built from the Table 1 suite. Every scenario
+//! runs under both the event-calendar scheduler and the legacy linear-scan
+//! reference (`Engine::set_scan_scheduler`), asserting identical simulation
+//! results and recording cycles-simulated-per-second for both, so the file
+//! doubles as a perf trajectory and a coarse equivalence check.
+//!
+//! Environment knobs:
+//! - `CHIMERA_BENCH_FAST=1` — CI smoke mode: shorter horizons, 2 samples.
+//! - `CHIMERA_BENCH_ONLY=substr` — run only scenarios whose name contains
+//!   `substr` (local iteration; the emitted JSON is then partial).
+//! - `CHIMERA_BENCH_OUT=path` — where to write the JSON (defaults to
+//!   `BENCH_gpu_sim.json` at the workspace root).
+//! - `CHIMERA_BENCH_BASELINE=path` — compare against a checked-in baseline
+//!   and exit non-zero when any scenario's event-mode throughput regressed
+//!   by more than 2x (slack for machine-to-machine variance).
+
+use std::io::Write as _;
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+use gpu_sim::{Engine, GpuConfig, KernelDesc, Program, Segment, SmPreemptPlan, Technique};
+use workloads::Suite;
+
+/// 15-SM variant of the paper's GPU used by all scenarios.
+fn gpu15() -> GpuConfig {
+    GpuConfig {
+        num_sms: 15,
+        ..GpuConfig::fermi()
+    }
+}
+
+fn synthetic(name: &str, compute: u32, mem: u32, grid: u32) -> KernelDesc {
+    KernelDesc::builder(name)
+        .grid_blocks(grid)
+        .threads_per_block(128)
+        .regs_per_thread(20)
+        .program(Program::new(vec![
+            Segment::load(mem),
+            Segment::compute(compute),
+            Segment::store(mem.max(1)),
+        ]))
+        .build()
+        .expect("valid kernel")
+}
+
+/// Deterministic result fingerprint used to check event/scan equivalence.
+#[derive(Debug, PartialEq, Eq)]
+struct Outcome {
+    cycle: u64,
+    issued: u64,
+    bytes: u64,
+}
+
+fn fingerprint(e: &Engine) -> Outcome {
+    let g = e.gpu_stats();
+    Outcome {
+        cycle: g.cycle,
+        issued: g.total_issued_insts,
+        bytes: g.mem_bytes_served,
+    }
+}
+
+/// One flat compute-heavy kernel draining across all 15 SMs.
+fn solo_drain(scan: bool, horizon: u64) -> Outcome {
+    let cfg = gpu15();
+    let mut e = Engine::with_seed(cfg.clone(), 7);
+    e.set_scan_scheduler(scan);
+    let k = e.launch_kernel(synthetic("solo", 3000, 6, 4096));
+    for sm in 0..cfg.num_sms {
+        e.assign_sm(sm, Some(k));
+    }
+    e.run_until(horizon);
+    fingerprint(&e)
+}
+
+/// A compute-bound and a memory-heavy kernel on a 10/5 SM partition.
+fn multiprog(scan: bool, horizon: u64) -> Outcome {
+    let cfg = gpu15();
+    let mut e = Engine::with_seed(cfg.clone(), 7);
+    e.set_scan_scheduler(scan);
+    let a = e.launch_kernel(synthetic("mp_compute", 2500, 4, 4096));
+    let b = e.launch_kernel(synthetic("mp_memory", 300, 180, 2048));
+    for sm in 0..10 {
+        e.assign_sm(sm, Some(a));
+    }
+    for sm in 10..cfg.num_sms {
+        e.assign_sm(sm, Some(b));
+    }
+    e.run_until(horizon);
+    fingerprint(&e)
+}
+
+/// Five SMs ping-pong between two kernels via context-switch preemption
+/// every 10k cycles — dispatch/preempt bookkeeping under stress.
+fn preempt_storm(scan: bool, horizon: u64) -> Outcome {
+    let cfg = gpu15();
+    let mut e = Engine::with_seed(cfg.clone(), 7);
+    e.set_scan_scheduler(scan);
+    let a = e.launch_kernel(synthetic("storm_a", 1500, 20, 4096));
+    let b = e.launch_kernel(synthetic("storm_b", 1500, 20, 4096));
+    for sm in 0..cfg.num_sms {
+        e.assign_sm(sm, Some(a));
+    }
+    let mut owner_is_a = true;
+    while e.cycle() < horizon {
+        e.run_for(10_000.min(horizon - e.cycle()));
+        let next = if owner_is_a { b } else { a };
+        for sm in 0..5 {
+            if e.sm_resident_count(sm) > 0 && !e.sm_is_preempting(sm) {
+                let plan = SmPreemptPlan::uniform(e.sm_resident_indices(sm), Technique::Switch);
+                e.preempt_sm(sm, &plan).expect("switch is always legal");
+            }
+            e.assign_sm(sm, Some(next));
+        }
+        owner_is_a = !owner_is_a;
+    }
+    fingerprint(&e)
+}
+
+/// A figure-style slice: two Table 1 suite benchmarks multiprogrammed on a
+/// 10/5 split with kernel relaunch on finish and periodic switch
+/// preemptions — the access pattern the fig6/fig7 runners generate, driven
+/// through plain `run_until` windows.
+fn figure_slice(scan: bool, horizon: u64) -> Outcome {
+    let cfg = gpu15();
+    let suite = Suite::with_config(cfg.clone(), true);
+    let desc_a = suite.benchmarks()[0].launches()[0].clone();
+    let desc_b = suite.benchmarks()[1].launches()[0].clone();
+    let mut e = Engine::with_seed(cfg.clone(), 7);
+    e.set_scan_scheduler(scan);
+    let mut a = e.launch_kernel(desc_a.clone());
+    let mut b = e.launch_kernel(desc_b.clone());
+    for sm in 0..10 {
+        e.assign_sm(sm, Some(a));
+    }
+    for sm in 10..cfg.num_sms {
+        e.assign_sm(sm, Some(b));
+    }
+    let mut windows = 0u64;
+    while e.cycle() < horizon {
+        e.run_for(50_000.min(horizon - e.cycle()));
+        windows += 1;
+        // Keep the machine loaded: relaunch a benchmark pass when it ends.
+        if e.kernel_stats(a).finished {
+            a = e.launch_kernel(desc_a.clone());
+            for sm in 0..10 {
+                e.assign_sm(sm, Some(a));
+            }
+        }
+        if e.kernel_stats(b).finished {
+            b = e.launch_kernel(desc_b.clone());
+            for sm in 10..cfg.num_sms {
+                e.assign_sm(sm, Some(b));
+            }
+        }
+        // Every fourth window, switch two of A's SMs over to B and back.
+        if windows.is_multiple_of(4) {
+            for sm in 0..2 {
+                if e.sm_resident_count(sm) > 0 && !e.sm_is_preempting(sm) {
+                    let plan = SmPreemptPlan::uniform(e.sm_resident_indices(sm), Technique::Switch);
+                    e.preempt_sm(sm, &plan).expect("switch is always legal");
+                }
+                e.assign_sm(sm, Some(b));
+            }
+        } else if windows % 4 == 1 {
+            for sm in 0..2 {
+                if e.sm_resident_count(sm) > 0 && !e.sm_is_preempting(sm) {
+                    let plan = SmPreemptPlan::uniform(e.sm_resident_indices(sm), Technique::Switch);
+                    e.preempt_sm(sm, &plan).expect("switch is always legal");
+                }
+                e.assign_sm(sm, Some(a));
+            }
+        }
+    }
+    fingerprint(&e)
+}
+
+struct Scenario {
+    name: &'static str,
+    run: fn(bool, u64) -> Outcome,
+    /// Simulated-cycle horizon in full mode (fast mode divides by 10).
+    full_horizon: u64,
+}
+
+const SCENARIOS: &[Scenario] = &[
+    Scenario {
+        name: "solo_drain_15sm",
+        run: solo_drain,
+        full_horizon: 2_000_000,
+    },
+    Scenario {
+        name: "multiprog_2k_15sm",
+        run: multiprog,
+        full_horizon: 2_000_000,
+    },
+    Scenario {
+        name: "preempt_storm_15sm",
+        run: preempt_storm,
+        full_horizon: 1_000_000,
+    },
+    Scenario {
+        name: "figure_slice_15sm",
+        run: figure_slice,
+        full_horizon: 2_000_000,
+    },
+];
+
+struct Row {
+    name: &'static str,
+    cycles: u64,
+    event_ns: u128,
+    scan_ns: u128,
+}
+
+impl Row {
+    fn cycles_per_sec(&self, ns: u128) -> f64 {
+        if ns == 0 {
+            0.0
+        } else {
+            self.cycles as f64 * 1e9 / ns as f64
+        }
+    }
+}
+
+fn main() {
+    let fast = std::env::var("CHIMERA_BENCH_FAST").is_ok_and(|v| v != "0" && !v.is_empty());
+    let samples = if fast { 2 } else { 5 };
+    let only = std::env::var("CHIMERA_BENCH_ONLY").ok();
+    let mut c = Criterion::default();
+    let mut rows = Vec::new();
+    for s in SCENARIOS {
+        if let Some(f) = &only {
+            if !s.name.contains(f.as_str()) {
+                continue;
+            }
+        }
+        let horizon = if fast {
+            s.full_horizon / 10
+        } else {
+            s.full_horizon
+        };
+        // Differential check before timing: both schedulers must agree.
+        let event_out = (s.run)(false, horizon);
+        let scan_out = (s.run)(true, horizon);
+        assert_eq!(
+            event_out, scan_out,
+            "{}: event-calendar and scan schedulers diverged",
+            s.name
+        );
+        let mut g = c.benchmark_group(s.name);
+        g.sample_size(samples)
+            .throughput(Throughput::Elements(horizon));
+        g.bench_with_input(BenchmarkId::from_parameter("event"), &horizon, |b, &h| {
+            b.iter(|| std::hint::black_box((s.run)(false, h)))
+        });
+        g.bench_with_input(BenchmarkId::from_parameter("scan"), &horizon, |b, &h| {
+            b.iter(|| std::hint::black_box((s.run)(true, h)))
+        });
+        g.finish();
+        let results = c.take_results();
+        // Fastest sample, not the mean: background load only ever slows a
+        // sample, so the minimum tracks the engine, not the machine.
+        let min = |suffix: &str| {
+            results
+                .iter()
+                .find(|r| r.id.ends_with(suffix))
+                .map(|r| r.min_ns)
+                .unwrap_or(0)
+        };
+        rows.push(Row {
+            name: s.name,
+            cycles: event_out.cycle.max(horizon),
+            event_ns: min("/event"),
+            scan_ns: min("/scan"),
+        });
+    }
+    let json = render_json(&rows, fast);
+    let out_path = std::env::var("CHIMERA_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_gpu_sim.json", env!("CARGO_MANIFEST_DIR")));
+    let mut f = std::fs::File::create(&out_path).expect("create bench output");
+    f.write_all(json.as_bytes()).expect("write bench output");
+    println!("\nwrote {out_path}");
+    if let Ok(baseline) = std::env::var("CHIMERA_BENCH_BASELINE") {
+        check_regression(&rows, &baseline);
+    }
+}
+
+fn render_json(rows: &[Row], fast: bool) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": \"chimera-bench-gpu-sim/v1\",\n");
+    s.push_str(&format!(
+        "  \"mode\": \"{}\",\n  \"scenarios\": [\n",
+        if fast { "fast" } else { "full" }
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\n      \"name\": \"{}\",\n      \"cycles\": {},\n      \
+             \"wall_ns_event\": {},\n      \"wall_ns_scan\": {},\n      \
+             \"cycles_per_sec_event\": {:.0},\n      \"cycles_per_sec_scan\": {:.0},\n      \
+             \"speedup_vs_scan\": {:.2}\n    }}{}\n",
+            r.name,
+            r.cycles,
+            r.event_ns,
+            r.scan_ns,
+            r.cycles_per_sec(r.event_ns),
+            r.cycles_per_sec(r.scan_ns),
+            if r.event_ns == 0 {
+                0.0
+            } else {
+                r.scan_ns as f64 / r.event_ns as f64
+            },
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Extract `"cycles_per_sec_event"` for `name` from a baseline JSON file
+/// written by this harness (field-order dependent, which we control).
+fn baseline_rate(text: &str, name: &str) -> Option<f64> {
+    let at = text.find(&format!("\"name\": \"{name}\""))?;
+    let rest = &text[at..];
+    let key = "\"cycles_per_sec_event\": ";
+    let k = rest.find(key)? + key.len();
+    let tail = &rest[k..];
+    let end = tail.find([',', '\n', '}'])?;
+    tail[..end].trim().parse().ok()
+}
+
+fn check_regression(rows: &[Row], baseline_path: &str) {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("no baseline at {baseline_path} ({e}); skipping regression gate");
+            return;
+        }
+    };
+    let mut failed = false;
+    for r in rows {
+        let Some(base) = baseline_rate(&text, r.name) else {
+            eprintln!("{}: not in baseline; skipping", r.name);
+            continue;
+        };
+        let cur = r.cycles_per_sec(r.event_ns);
+        let ratio = if cur > 0.0 { base / cur } else { f64::INFINITY };
+        println!(
+            "{:<24} baseline {base:>14.0} cyc/s, current {cur:>14.0} cyc/s ({ratio:.2}x slower)",
+            r.name
+        );
+        if ratio > 2.0 {
+            eprintln!("{}: >2x regression vs baseline", r.name);
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -114,10 +114,13 @@ impl ObsBank {
     }
 
     /// Number of blocks observed for `name`.
-    pub fn samples(&self, name: &str) -> u32 {
-        self.acc
-            .get(name)
-            .map_or(0, |e| e.count.min(u64::from(u32::MAX)) as u32)
+    ///
+    /// Returns the exact `u64` count: the former `u32` return type silently
+    /// saturated at `u32::MAX`, which let very long-running kernels
+    /// under-weight their observation history and quietly skew drain-cost
+    /// estimates.
+    pub fn samples(&self, name: &str) -> u64 {
+        self.acc.get(name).map_or(0, |e| e.count)
     }
 }
 

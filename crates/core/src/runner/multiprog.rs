@@ -132,12 +132,15 @@ pub fn run_pair(
                 _ => {}
             }
         }
-        // Flush-wait polling.
-        let waiting: Vec<usize> = in_flight
+        // Flush-wait polling, sorted by SM index: `try_flush` mutates the
+        // engine, so HashMap iteration order would make runs
+        // non-reproducible.
+        let mut waiting: Vec<usize> = in_flight
             .iter()
             .filter(|(_, f)| matches!(f, InFlight::FlushWait { .. }))
             .map(|(&sm, _)| sm)
             .collect();
+        waiting.sort_unstable();
         for sm in waiting {
             if super::periodic_try_flush(&mut engine, sm) {
                 in_flight.remove(&sm);

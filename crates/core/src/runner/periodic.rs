@@ -272,7 +272,12 @@ pub fn run_periodic_traced(
             }
         }
         // Flush policy: reset SMs the moment every resident block is safe.
-        let waiting: Vec<(usize, usize)> = st.flush_wait.iter().map(|(&s, &r)| (s, r)).collect();
+        // Sorted by SM index: `try_flush`/`acquire` mutate the engine, so
+        // HashMap iteration order would leak into the simulation and make
+        // runs non-reproducible.
+        let mut waiting: Vec<(usize, usize)> =
+            st.flush_wait.iter().map(|(&s, &r)| (s, r)).collect();
+        waiting.sort_unstable();
         for (sm, req_idx) in waiting {
             if periodic_try_flush(&mut engine, sm) {
                 st.flush_wait.remove(&sm);

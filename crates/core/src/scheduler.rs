@@ -278,13 +278,16 @@ impl GpuScheduler {
         if self.procs.is_empty() {
             return;
         }
-        // Flush-wait polling.
-        let waiting: Vec<usize> = self
+        // Flush-wait polling, sorted by SM index: `try_flush` mutates the
+        // engine, so HashMap iteration order would make runs
+        // non-reproducible.
+        let mut waiting: Vec<usize> = self
             .in_flight
             .iter()
             .filter(|(_, f)| **f == InFlight::FlushWait)
             .map(|(&sm, _)| sm)
             .collect();
+        waiting.sort_unstable();
         for sm in waiting {
             if super::runner::periodic_try_flush(&mut self.engine, sm) {
                 self.in_flight.remove(&sm);

@@ -48,6 +48,10 @@ impl Bencher {
             self.elapsed_ns.iter().sum::<u128>() / self.elapsed_ns.len() as u128
         }
     }
+
+    fn min_ns(&self) -> u128 {
+        self.elapsed_ns.iter().copied().min().unwrap_or(0)
+    }
 }
 
 /// Identifier for one benchmark within a group.
@@ -81,10 +85,28 @@ pub enum Throughput {
     Bytes(u64),
 }
 
+/// One finished benchmark measurement, retrievable via
+/// [`Criterion::take_results`] for custom reporting (e.g. the tracked
+/// `BENCH_*.json` files).
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/function/parameter`).
+    pub id: String,
+    /// Mean wall time per iteration in nanoseconds.
+    pub mean_ns: u128,
+    /// Fastest sample in nanoseconds — the noise-robust statistic for
+    /// tracked perf numbers (background load only ever slows a sample).
+    pub min_ns: u128,
+    /// Number of timed samples behind the mean.
+    pub samples: usize,
+    /// Per-iteration throughput annotation, if any.
+    pub throughput: Option<Throughput>,
+}
+
 /// The top-level harness handle.
 #[derive(Debug, Default)]
 pub struct Criterion {
-    _private: (),
+    results: Vec<BenchResult>,
 }
 
 impl Criterion {
@@ -95,25 +117,48 @@ impl Criterion {
     {
         let mut b = Bencher::with_samples(DEFAULT_SAMPLES);
         f(&mut b);
-        report(id, &b, None);
+        self.record(id.to_string(), &b, None);
         self
     }
 
     /// Open a named benchmark group.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
-            _parent: self,
+            parent: self,
             name: name.to_string(),
             samples: DEFAULT_SAMPLES,
             throughput: None,
         }
+    }
+
+    /// Measurements collected so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Detach all collected measurements (real criterion has no equivalent;
+    /// custom `harness = false` mains use this to emit machine-readable
+    /// results next to the printed report).
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
+    }
+
+    fn record(&mut self, id: String, b: &Bencher, throughput: Option<Throughput>) {
+        report(&id, b, throughput);
+        self.results.push(BenchResult {
+            id,
+            mean_ns: b.mean_ns(),
+            min_ns: b.min_ns(),
+            samples: b.elapsed_ns.len(),
+            throughput,
+        });
     }
 }
 
 /// A group of related benchmarks sharing settings.
 #[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
-    _parent: &'a mut Criterion,
+    parent: &'a mut Criterion,
     name: String,
     samples: usize,
     throughput: Option<Throughput>,
@@ -144,7 +189,9 @@ impl BenchmarkGroup<'_> {
     {
         let mut b = Bencher::with_samples(self.samples);
         f(&mut b, input);
-        report(&format!("{}/{}", self.name, id.id), &b, self.throughput);
+        let throughput = self.throughput;
+        self.parent
+            .record(format!("{}/{}", self.name, id.id), &b, throughput);
         self
     }
 
@@ -197,6 +244,25 @@ mod tests {
         b.iter(|| std::hint::black_box(2 + 2));
         assert_eq!(b.elapsed_ns.len(), 4);
         let _ = b.mean_ns();
+    }
+
+    #[test]
+    fn results_registry_collects_measurements() {
+        let mut c = Criterion::default();
+        c.bench_function("first", |b| b.iter(|| ()));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2).throughput(Throughput::Bytes(8));
+        g.bench_with_input(BenchmarkId::from_parameter("p"), &1u32, |b, &x| {
+            b.iter(|| x + 1)
+        });
+        g.finish();
+        let res = c.take_results();
+        assert_eq!(res.len(), 2);
+        assert_eq!(res[0].id, "first");
+        assert_eq!(res[1].id, "grp/p");
+        assert_eq!(res[1].samples, 2);
+        assert!(matches!(res[1].throughput, Some(Throughput::Bytes(8))));
+        assert!(c.results().is_empty(), "take_results drains the registry");
     }
 
     #[test]

@@ -4,8 +4,18 @@
 //! plans, tracks per-block progress and maintains the preempted-block queues,
 //! while all decisions (which SM, which technique, when) are made by the
 //! caller — the `chimera` crate's schedulers.
+//!
+//! The hot loop is event-driven: per-SM next-action times live both in an
+//! authoritative `next_action` array and in a binary-heap *event calendar*
+//! of `(cycle, sm)` entries with lazy invalidation, so each step pops the
+//! earliest pending SM directly instead of scanning all SMs, and globally
+//! idle windows are skipped in one jump. Entries order by cycle then SM
+//! index — exactly the order the legacy linear scan produced — so the
+//! rewrite is observably identical (see [`Engine::set_scan_scheduler`] for
+//! the retained reference scheduler).
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::block::{BlockId, BlockRun, TbSnapshot};
 use crate::events::{BlockDecision, BlockExit, EventLog, ObsEvent};
@@ -13,7 +23,7 @@ use crate::kernel::{KernelDesc, Segment};
 use crate::mem::MemSubsystem;
 use crate::preempt::SmPreemptPlan;
 use crate::rng::{hash_combine, splitmix64};
-use crate::sm::{Effect, PreemptError, Sm, SmMode, SmOutput, SmSnapshot};
+use crate::sm::{Effect, PreemptError, Sm, SmMode, SmOutput, SmSnapshot, TickLimits};
 use crate::stats::{GpuStats, KernelStats, PreemptRecord};
 use crate::GpuConfig;
 
@@ -175,6 +185,22 @@ impl KernelInstance {
         }
     }
 
+    /// Account one block leaving an SM (flushed, switched out or completed).
+    ///
+    /// Each dispatch increments `outstanding` exactly once, so each exit must
+    /// decrement it exactly once: a double-account would wrap to `u32::MAX`
+    /// in release builds and corrupt `is_finished`/dispatch accounting from
+    /// then on. Panic in debug builds; saturate instead of wrapping in
+    /// release so a latent bug degrades stats rather than the simulation.
+    fn release_block(&mut self) {
+        debug_assert!(
+            self.outstanding > 0,
+            "block of kernel {:?} released twice (outstanding underflow)",
+            self.stats.name
+        );
+        self.outstanding = self.outstanding.saturating_sub(1);
+    }
+
     fn has_dispatchable(&self) -> bool {
         !self.resume_queue.is_empty()
             || !self.restart_queue.is_empty()
@@ -250,6 +276,21 @@ pub struct Engine {
     mem: MemSubsystem,
     sms: Vec<Sm>,
     next_action: Vec<u64>,
+    /// Event calendar over `(next_action cycle, sm)` with lazy invalidation:
+    /// `next_action` stays authoritative, and stale heap entries (whose time
+    /// no longer matches) are discarded on peek. `Reverse` lexicographic
+    /// order pops the earliest cycle and, within a cycle, the lowest SM
+    /// index — the same order the old linear min-scan produced, so event
+    /// streams are byte-identical.
+    calendar: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Use the O(num_SMs) min-scan (and no batched issue) instead of the
+    /// calendar: the pre-event-driven reference scheduler, kept for
+    /// differential determinism tests and benchmark baselines.
+    scan_scheduler: bool,
+    /// Set whenever dispatch opportunities may have changed (launch, assign,
+    /// preempt, block completion/switch-out); lets the run loop skip the
+    /// per-event all-SM dispatch sweep when nothing changed.
+    dispatch_dirty: bool,
     kernels: Vec<KernelInstance>,
     cycle: u64,
     seed: u64,
@@ -289,6 +330,9 @@ impl Engine {
             mem: MemSubsystem::new(&cfg),
             sms,
             next_action: vec![0; n],
+            calendar: (0..n).map(|i| Reverse((0, i))).collect(),
+            scan_scheduler: false,
+            dispatch_dirty: true,
             kernels: Vec::new(),
             cycle: 0,
             seed,
@@ -405,12 +449,73 @@ impl Engine {
         self.break_on_kernel_finish = brk;
     }
 
+    /// Switch between the event-calendar scheduler (the default) and the
+    /// legacy linear min-scan reference scheduler.
+    ///
+    /// Scan mode also disables the batched-issue fast path and runs the
+    /// all-SM dispatch sweep on every loop iteration, reproducing the
+    /// pre-event-driven hot loop tick for tick. Both schedulers produce
+    /// byte-identical event streams and statistics — scan mode exists as the
+    /// slow, obviously-correct baseline for differential determinism tests
+    /// and benchmark comparisons. Can be toggled at any point between runs.
+    pub fn set_scan_scheduler(&mut self, scan: bool) {
+        self.scan_scheduler = scan;
+        if !scan {
+            // Scan mode does not maintain the calendar; rebuild it from the
+            // authoritative per-SM next-action times.
+            self.calendar.clear();
+            for (i, &t) in self.next_action.iter().enumerate() {
+                if t != u64::MAX {
+                    self.calendar.push(Reverse((t, i)));
+                }
+            }
+        }
+    }
+
+    /// Set `sm`'s next-action time and keep the event calendar in sync.
+    ///
+    /// All `next_action` writes must go through here so the calendar always
+    /// holds an entry matching the current value (`u64::MAX` — idle with
+    /// nothing pending — needs no entry; stale entries are lazily discarded).
+    fn wake(&mut self, sm: usize, t: u64) {
+        if self.next_action[sm] == t {
+            // An entry for this exact time is already in the calendar.
+            return;
+        }
+        self.next_action[sm] = t;
+        if t != u64::MAX && !self.scan_scheduler {
+            self.calendar.push(Reverse((t, sm)));
+        }
+    }
+
+    /// The next `(cycle, sm)` to process, without consuming it. Calendar
+    /// mode discards stale entries; scan mode reproduces the legacy linear
+    /// min-scan (which reports idle SMs as `u64::MAX` entries).
+    fn next_event(&mut self) -> Option<(u64, usize)> {
+        if self.scan_scheduler {
+            return self
+                .next_action
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &t)| t)
+                .map(|(i, &t)| (t, i));
+        }
+        while let Some(&Reverse((t, sm))) = self.calendar.peek() {
+            if self.next_action[sm] == t {
+                return Some((t, sm));
+            }
+            self.calendar.pop();
+        }
+        None
+    }
+
     /// Launch a kernel; blocks start flowing to SMs assigned to it.
     pub fn launch_kernel(&mut self, desc: KernelDesc) -> KernelId {
         let id = KernelId(self.kernels.len());
         self.kernels.push(KernelInstance::new(
             id, desc, &self.cfg, self.seed, self.cycle,
         ));
+        self.dispatch_dirty = true;
         id
     }
 
@@ -447,7 +552,8 @@ impl Engine {
     /// dispatched to the SM as slots free up.
     pub fn assign_sm(&mut self, sm: usize, kernel: Option<KernelId>) {
         self.sms[sm].set_assigned(kernel);
-        self.next_action[sm] = self.next_action[sm].min(self.cycle);
+        self.wake(sm, self.next_action[sm].min(self.cycle));
+        self.dispatch_dirty = true;
     }
 
     /// The kernel an SM is assigned to.
@@ -587,7 +693,7 @@ impl Engine {
             ki.stats.wasted_flush_insts += wasted;
             ki.stats.flush_count += 1;
             ki.restart_queue.push_back(id.index);
-            ki.outstanding -= 1;
+            ki.release_block();
         }
         if self.cfg.charge_ctx_switch_bandwidth && plan.count(crate::Technique::Switch) > 0 {
             let desc_bytes = self.kernels[kernel.0].desc.block_context_bytes();
@@ -596,39 +702,91 @@ impl Engine {
         }
         let done = out.preempt_done.is_some();
         self.process_output(sm, out);
-        self.next_action[sm] = self.cycle.max(1);
+        self.wake(sm, self.cycle.max(1));
+        self.dispatch_dirty = true;
         Ok(done)
     }
 
     /// Run the simulation until `target` cycles, returning events in order.
+    ///
+    /// The loop is event-driven: the calendar pops the earliest pending
+    /// `(cycle, sm)` pair directly, jumping over idle windows rather than
+    /// scanning every SM per step, and the all-SM dispatch sweep only runs
+    /// after something that could change dispatchability (launch, assign,
+    /// preemption, a block completing or switching out).
     pub fn run_until(&mut self, target: u64) -> Vec<Event> {
+        // The caller may have mutated assignments or queues between runs.
+        self.dispatch_dirty = true;
         loop {
-            self.dispatch_all();
-            let (idx, t) = match self
-                .next_action
-                .iter()
-                .enumerate()
-                .min_by_key(|&(_, &t)| t)
-                .map(|(i, &t)| (i, t))
-            {
-                Some(x) => x,
-                None => break,
+            // Scan mode reproduces the legacy hot loop, which swept dispatch
+            // on every iteration; the event-driven loop only sweeps after a
+            // transition that could change dispatchability.
+            if self.dispatch_dirty || self.scan_scheduler {
+                self.dispatch_dirty = false;
+                self.dispatch_all();
+            }
+            let Some((t, idx)) = self.next_event() else {
+                break;
             };
             if t > target {
                 break;
             }
+            if !self.scan_scheduler {
+                self.calendar.pop();
+            }
             self.cycle = self.cycle.max(t);
             let resident = self.sms[idx].resident_kernel();
+            // Batched issue must stop where the serial schedule could be
+            // observed or perturbed: at the run horizon (the caller may
+            // preempt/reassign afterwards), immediately when a kernel finish
+            // can end the run early or an armed instruction cap makes other
+            // SMs' cap checks read this SM's issue counter mid-run, and
+            // whenever this SM could still receive blocks mid-window.
+            let limits = TickLimits {
+                horizon: if self.break_on_kernel_finish || self.scan_scheduler {
+                    self.cycle
+                } else {
+                    target
+                },
+                max_insts: match resident {
+                    Some(k)
+                        if self.kernels[k.0].inst_cap.is_some()
+                            && !self.kernels[k.0].cap_emitted =>
+                    {
+                        0
+                    }
+                    _ => u64::MAX,
+                },
+                // The SM can gain blocks mid-window only if it has a free
+                // slot AND the kernel has blocks to hand out — now, or
+                // potentially later in the window via a switch-out landing in
+                // the resume queue, which requires some SM to be mid-
+                // preemption. A full SM is always safe: batched windows never
+                // complete a block, so no slot frees before the window ends.
+                may_gain_blocks: self.sms[idx].assigned().is_some_and(|k| {
+                    self.sms[idx].can_dispatch(k, self.kernels[k.0].occupancy)
+                        && (self.kernels[k.0].has_dispatchable()
+                            || self.sms.iter().any(Sm::is_preempting))
+                }),
+            };
             let mut out = SmOutput::default();
             let next = {
                 let desc = resident.map(|k| &self.kernels[k.0].desc);
-                self.sms[idx].tick(self.cycle, desc, &mut self.mem, self.seed, &mut out)
+                self.sms[idx].tick_bounded(
+                    self.cycle,
+                    desc,
+                    &mut self.mem,
+                    self.seed,
+                    &mut out,
+                    &limits,
+                )
             };
-            self.next_action[idx] = if next == u64::MAX {
+            let wake_at = if next == u64::MAX {
                 u64::MAX
             } else {
                 next.max(self.cycle + 1)
             };
+            self.wake(idx, wake_at);
             if out.issued_insts > 0 {
                 if let Some(k) = resident {
                     let ki = &mut self.kernels[k.0];
@@ -658,6 +816,12 @@ impl Engine {
     }
 
     fn process_output(&mut self, sm: usize, out: SmOutput) {
+        // A freed slot, a newly queued context or a finished preemption can
+        // make dispatch possible again; nothing else an SM tick produces
+        // changes dispatchability.
+        if !out.completed.is_empty() || !out.switched_out.is_empty() || out.preempt_done.is_some() {
+            self.dispatch_dirty = true;
+        }
         for e in &out.effects {
             self.kernels[e.kernel.0].apply_effect(e);
         }
@@ -675,7 +839,7 @@ impl Engine {
             }
             let ki = &mut self.kernels[k.0];
             ki.stats.switch_count += 1;
-            ki.outstanding -= 1;
+            ki.release_block();
             ki.resume_queue.push_back(snap);
         }
         for (id, insts, cycles) in out.completed {
@@ -690,7 +854,7 @@ impl Engine {
                 });
             }
             let ki = &mut self.kernels[id.kernel.0];
-            ki.outstanding -= 1;
+            ki.release_block();
             ki.stats.completed_tbs += 1;
             ki.stats.completed_insts += insts;
             ki.stats.sum_completed_cycles += cycles;
@@ -748,76 +912,74 @@ impl Engine {
             }
             if dispatched {
                 // Wake the SM: its cached next-action may be stale.
-                self.next_action[i] = self.next_action[i].min(self.cycle);
+                self.wake(i, self.next_action[i].min(self.cycle));
             }
         }
     }
 
     fn pop_next_block(&mut self, kid: KernelId, sm: usize) -> Option<BlockRun> {
         let now = self.cycle;
-        let (desc_ctx_bytes, seed) = {
-            let ki = &self.kernels[kid.0];
-            (ki.desc.block_context_bytes(), ki.seed)
-        };
         let load_cycles = if self.free_context_moves {
             0
         } else {
-            self.cfg.sm_transfer_cycles(desc_ctx_bytes)
+            self.cfg
+                .sm_transfer_cycles(self.kernels[kid.0].desc.block_context_bytes())
         };
-        let order_pref = self.prefer_preempted;
-        let ki = &mut self.kernels[kid.0];
-        if order_pref {
-            if let Some(snap) = ki.resume_queue.pop_front() {
-                self.record_block_begin(sm, kid, snap.id.index, true, now);
-                return Some(self.make_resumed(kid, sm, snap, now, load_cycles));
+        // Decide which block to hand out first (queue pops and the fresh
+        // counter need `&mut`), then build it — constructing fresh/restarted
+        // blocks borrows the descriptor in place instead of cloning it on
+        // every dispatch.
+        enum Choice {
+            Resume(TbSnapshot),
+            Restart(u32),
+            Fresh(u32),
+        }
+        let choice = {
+            let ki = &mut self.kernels[kid.0];
+            let fresh = |ki: &mut KernelInstance| {
+                (ki.next_fresh < ki.desc.grid_blocks()).then(|| {
+                    let idx = ki.next_fresh;
+                    ki.next_fresh += 1;
+                    Choice::Fresh(idx)
+                })
+            };
+            if self.prefer_preempted {
+                if let Some(snap) = ki.resume_queue.pop_front() {
+                    Choice::Resume(snap)
+                } else if let Some(idx) = ki.restart_queue.pop_front() {
+                    Choice::Restart(idx)
+                } else {
+                    fresh(ki)?
+                }
+            } else if let Some(c) = fresh(ki) {
+                c
+            } else if let Some(snap) = ki.resume_queue.pop_front() {
+                Choice::Resume(snap)
+            } else if let Some(idx) = ki.restart_queue.pop_front() {
+                Choice::Restart(idx)
+            } else {
+                return None;
             }
-            if let Some(idx) = ki.restart_queue.pop_front() {
-                let desc = ki.desc.clone();
+        };
+        match choice {
+            Choice::Resume(snap) => {
+                self.record_block_begin(sm, kid, snap.id.index, true, now);
+                Some(self.make_resumed(kid, sm, snap, now, load_cycles))
+            }
+            Choice::Restart(idx) | Choice::Fresh(idx) => {
                 self.record_block_begin(sm, kid, idx, false, now);
-                return Some(BlockRun::new(
+                let ki = &self.kernels[kid.0];
+                Some(BlockRun::new(
                     BlockId {
                         kernel: kid,
                         index: idx,
                     },
-                    &desc,
-                    seed,
+                    &ki.desc,
+                    ki.seed,
                     now,
-                ));
+                ))
             }
         }
-        if ki.next_fresh < ki.desc.grid_blocks() {
-            let idx = ki.next_fresh;
-            ki.next_fresh += 1;
-            let desc = ki.desc.clone();
-            self.record_block_begin(sm, kid, idx, false, now);
-            return Some(BlockRun::new(
-                BlockId {
-                    kernel: kid,
-                    index: idx,
-                },
-                &desc,
-                seed,
-                now,
-            ));
-        }
-        if let Some(snap) = self.kernels[kid.0].resume_queue.pop_front() {
-            self.record_block_begin(sm, kid, snap.id.index, true, now);
-            return Some(self.make_resumed(kid, sm, snap, now, load_cycles));
-        }
-        if let Some(idx) = self.kernels[kid.0].restart_queue.pop_front() {
-            let desc = self.kernels[kid.0].desc.clone();
-            self.record_block_begin(sm, kid, idx, false, now);
-            return Some(BlockRun::new(
-                BlockId {
-                    kernel: kid,
-                    index: idx,
-                },
-                &desc,
-                seed,
-                now,
-            ));
-        }
-        None
     }
 
     /// Push a [`ObsEvent::BlockBegin`] when the log is enabled.

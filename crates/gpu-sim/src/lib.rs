@@ -64,5 +64,5 @@ pub use kernel::{KernelDesc, KernelDescBuilder, KernelError, Program, Segment};
 pub use mem::MemSubsystem;
 pub use occupancy::{occupancy, LimitReason, Occupancy};
 pub use preempt::{PreemptOutcome, SmPreemptPlan, Technique};
-pub use sm::{PreemptError, Sm, SmMode, SmSnapshot, TbSnapshotInfo};
+pub use sm::{PreemptError, Sm, SmMode, SmSnapshot, TbSnapshotInfo, TickLimits};
 pub use stats::{GpuStats, KernelStats};

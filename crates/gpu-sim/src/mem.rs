@@ -53,30 +53,46 @@ impl MemSubsystem {
     /// Returns the cycle at which the data is available to the requester.
     pub fn access(&mut self, now: u64, addr: u64, bytes: u32) -> u64 {
         let idx = ((addr >> 7) as usize) % self.partitions.len();
-        self.access_partition(now, idx, bytes)
+        self.access_partition(now, idx, u64::from(bytes))
     }
 
     /// Issue a request that is spread round-robin over partitions (used for
     /// bulk context save/restore traffic in the bandwidth-charging ablation).
+    ///
+    /// Every byte of `bytes` is charged to exactly one partition: the request
+    /// splits into `bytes / n` per partition with the `bytes % n` remainder
+    /// spread one byte each over the first partitions in round-robin order.
+    /// Partitions whose share is zero are not touched.
     pub fn bulk_access(&mut self, now: u64, bytes: u64) -> u64 {
         let n = self.partitions.len() as u64;
         let chunk = bytes / n;
+        let rem = bytes % n;
+        let served_before = self.total_bytes_served();
         let mut done = now;
-        for _ in 0..n {
+        for i in 0..n {
             let idx = self.rr_next;
             self.rr_next = (self.rr_next + 1) % self.partitions.len();
-            let t = self.access_partition(now, idx, chunk.min(u64::from(u32::MAX)) as u32);
+            let share = chunk + u64::from(i < rem);
+            if share == 0 {
+                continue;
+            }
+            let t = self.access_partition(now, idx, share);
             done = done.max(t);
         }
+        debug_assert_eq!(
+            self.total_bytes_served() - served_before,
+            bytes,
+            "bulk_access must conserve bytes"
+        );
         done
     }
 
-    fn access_partition(&mut self, now: u64, idx: usize, bytes: u32) -> u64 {
+    fn access_partition(&mut self, now: u64, idx: usize, bytes: u64) -> u64 {
         let p = &mut self.partitions[idx];
         let start = p.free_at.max(now);
-        let service = (f64::from(bytes) / self.bytes_per_cycle).ceil() as u64;
+        let service = (bytes as f64 / self.bytes_per_cycle).ceil() as u64;
         p.free_at = start + service.max(1);
-        p.bytes_served += u64::from(bytes);
+        p.bytes_served += bytes;
         p.free_at + self.latency
     }
 
@@ -150,6 +166,31 @@ mod tests {
             "bulk ({t}) should beat single-partition ({single})"
         );
         assert_eq!(m.total_bytes_served(), 6 * 128);
+    }
+
+    #[test]
+    fn bulk_access_conserves_remainder_bytes() {
+        // 1000 % 6 = 4: the old code silently dropped those 4 bytes.
+        let mut m = mem();
+        m.bulk_access(0, 1000);
+        assert_eq!(m.total_bytes_served(), 1000);
+    }
+
+    #[test]
+    fn bulk_access_smaller_than_partition_count() {
+        let mut m = mem();
+        m.bulk_access(0, 4);
+        assert_eq!(m.total_bytes_served(), 4);
+    }
+
+    #[test]
+    fn bulk_access_handles_chunks_beyond_u32() {
+        // Per-partition shares above u32::MAX used to be silently clamped.
+        let mut m = mem();
+        let big = 40 * u64::from(u32::MAX);
+        let done = m.bulk_access(0, big);
+        assert_eq!(m.total_bytes_served(), big);
+        assert!(done > 0);
     }
 
     #[test]

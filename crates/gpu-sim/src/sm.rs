@@ -13,6 +13,7 @@ use crate::kernel::{KernelDesc, Segment};
 use crate::mem::MemSubsystem;
 use crate::preempt::{SmPreemptPlan, Technique};
 use crate::rng::hash_combine;
+use crate::warp::WarpPhase;
 use crate::{BlockId, GpuConfig, KernelId};
 
 /// Coarse operating mode of an SM (for reporting).
@@ -53,6 +54,41 @@ pub struct SmOutput {
     pub preempt_done: Option<u64>,
     /// Warp instructions issued this tick.
     pub issued_insts: u32,
+}
+
+/// Engine-supplied bounds under which [`Sm::tick_bounded`] may take its
+/// batched-issue fast path.
+///
+/// The batch must be *invisible*: every bound here exists to guarantee that
+/// a batched tick leaves the SM, the output and all counters in exactly the
+/// state that the same number of ordinary single-chunk ticks would have.
+#[derive(Debug, Clone, Copy)]
+pub struct TickLimits {
+    /// Latest cycle at which a batched tick may be scheduled (the engine's
+    /// current run horizon). State beyond the horizon must not be committed:
+    /// once the run returns, the caller may preempt or reassign the SM, and
+    /// pre-executed work would then diverge from the serial schedule.
+    pub horizon: u64,
+    /// Maximum warp instructions the batch may issue. The engine sets `0`
+    /// while an instruction cap is armed on the resident kernel so the
+    /// cap-crossing tick (and its `CapReached` event) happens exactly where
+    /// the serial schedule puts it.
+    pub max_insts: u64,
+    /// Whether the engine could still dispatch new blocks to this SM during
+    /// the batch window. Batching is disabled then: a mid-window arrival
+    /// would change warp selection.
+    pub may_gain_blocks: bool,
+}
+
+impl TickLimits {
+    /// Limits that disable the fast path entirely (plain tick semantics).
+    pub fn none(now: u64) -> Self {
+        TickLimits {
+            horizon: now,
+            max_insts: 0,
+            may_gain_blocks: true,
+        }
+    }
 }
 
 /// Snapshot of one resident block for cost estimation.
@@ -370,6 +406,28 @@ impl Sm {
         seed: u64,
         out: &mut SmOutput,
     ) -> u64 {
+        self.tick_bounded(now, desc, mem, seed, out, &TickLimits::none(now))
+    }
+
+    /// [`Sm::tick`] with a batched-issue fast path bounded by `limits`.
+    ///
+    /// When the selected warp (and, for round-robin, every currently runnable
+    /// warp) sits mid-way through a side-effect-free compute/shared segment,
+    /// the upcoming ticks are a pure rotation of fixed-size chunks: no memory
+    /// traffic, no segment completions, no events, no scheduler surprises.
+    /// Those ticks are replayed in one step, which is where the event-driven
+    /// engine gets its throughput on compute phases. With
+    /// [`TickLimits::none`] the fast path never triggers and this is exactly
+    /// `tick`.
+    pub fn tick_bounded(
+        &mut self,
+        now: u64,
+        desc: Option<&KernelDesc>,
+        mem: &mut MemSubsystem,
+        seed: u64,
+        out: &mut SmOutput,
+        limits: &TickLimits,
+    ) -> u64 {
         // Finish a pending context save.
         if let Some(ap) = &mut self.preempt {
             if !ap.switch_done {
@@ -433,21 +491,41 @@ impl Sm {
         }
         if chosen.is_none() {
             // Round-robin continues from the cursor; greedy-then-oldest
-            // falls back to the oldest (lowest-slot) ready warp.
+            // falls back to the oldest (lowest-slot) ready warp. The loop
+            // visits slots in `(start + k) % n` order but tracks the
+            // (block, warp) decomposition incrementally — this scan runs on
+            // every issue event, and per-slot divisions dominate it when
+            // most warps are stalled on memory.
             let start = match self.sched {
-                crate::config::WarpSched::LooseRoundRobin => self.rr,
+                crate::config::WarpSched::LooseRoundRobin => self.rr % n,
                 crate::config::WarpSched::GreedyThenOldest => 0,
             };
-            for k in 0..n {
-                let s = (start + k) % n;
-                if let Some(t) = slot_ready(s, &self.blocks) {
+            let nb = self.blocks.len();
+            let (mut b, mut w) = (start / wpb, start % wpb);
+            for _ in 0..n {
+                let blk = &self.blocks[b];
+                let t = match blk.warps()[w].phase {
+                    WarpPhase::Ready => Some(blk.warm_up_until),
+                    WarpPhase::WaitMem(until) => Some(until.max(blk.warm_up_until)),
+                    WarpPhase::AtBarrier | WarpPhase::Done => None,
+                };
+                if let Some(t) = t {
                     if t <= now {
-                        chosen = Some((s / wpb, s % wpb));
+                        let s = b * wpb + w;
+                        chosen = Some((b, w));
                         self.rr = (s + 1) % n;
                         self.last_slot = Some(s);
                         break;
                     }
                     earliest = earliest.min(t);
+                }
+                w += 1;
+                if w == wpb {
+                    w = 0;
+                    b += 1;
+                    if b == nb {
+                        b = 0;
+                    }
                 }
             }
         }
@@ -457,6 +535,9 @@ impl Sm {
             return earliest;
         };
         let segments = desc.program().segments();
+        if let Some(next) = self.try_issue_batch(now, bi, wi, segments, limits, out) {
+            return next;
+        }
         let block = &mut self.blocks[bi];
         let outcome = block.issue_warp(wi, segments, self.issue_chunk);
         if outcome.insts > 0 {
@@ -530,6 +611,228 @@ impl Sm {
         } else {
             self.issue_free_at.max(now + 1)
         }
+    }
+
+    /// Replay a steady compute window — several future ticks of this SM — in
+    /// one step. Called after warp selection chose `(bi, wi)`; returns the
+    /// SM's next-action cycle if a batch was committed, or `None` to fall
+    /// through to the ordinary single-chunk issue.
+    ///
+    /// The batch is byte-identical to the serial schedule because:
+    /// - batched ticks run at `now + j·issue_interval·chunk`, exactly where
+    ///   serial ticks land, and the last one stays within `limits.horizon`;
+    /// - no warp ever completes its segment inside the window (at least one
+    ///   instruction is left), so no effects, block completions, phase
+    ///   changes or idempotence transitions can occur;
+    /// - under round-robin the window also ends strictly before the earliest
+    ///   future warp wake-up, and covers either whole rotations over the
+    ///   runnable slots (when all of them are steady) or a single partial
+    ///   rotation over the leading run of steady slots in rotation order
+    ///   (each ticking once, stopping before the first non-steady slot gets
+    ///   a turn);
+    /// - under greedy-then-oldest the chosen warp never stalls mid-window,
+    ///   so it stays selected and the scheduler cursor is untouched.
+    fn try_issue_batch(
+        &mut self,
+        now: u64,
+        bi: usize,
+        wi: usize,
+        segments: &[Segment],
+        limits: &TickLimits,
+        out: &mut SmOutput,
+    ) -> Option<u64> {
+        if limits.may_gain_blocks || limits.horizon <= now {
+            return None;
+        }
+        let chunk = u64::from(self.issue_chunk);
+        let tick_cycles = self.issue_interval * chunk;
+        if tick_cycles == 0 {
+            return None;
+        }
+        // Cheap bail for memory phases: the chosen warp must be steady.
+        let chosen_rem = u64::from(
+            self.blocks[bi].warps()[wi]
+                .steady_compute_rem(segments, self.blocks[bi].scaled_segs())?,
+        );
+        // Ticks allowed by the horizon: batched tick j runs at
+        // now + j·tick_cycles, and the last must not pass the horizon.
+        let horizon_ticks = (limits.horizon - now) / tick_cycles + 1;
+        let wpb = self.blocks[0].warps().len();
+        let n = self.blocks.len() * wpb;
+        let chosen_slot = bi * wpb + wi;
+        // Bound per-slot totals so the u32 counter updates cannot overflow.
+        const INSTS_CAP: u64 = 1 << 30;
+        if self.sched == crate::config::WarpSched::GreedyThenOldest {
+            // Greedy re-picks the chosen warp while it stays ready, which a
+            // steady warp does; other warps cannot preempt it mid-window.
+            let ticks = ((chosen_rem - 1) / chunk)
+                .min(horizon_ticks)
+                .min(limits.max_insts / chunk)
+                .min(INSTS_CAP / chunk);
+            if ticks < 2 {
+                return None;
+            }
+            let per_warp = (ticks * chunk) as u32;
+            let blk = &mut self.blocks[bi];
+            let warp = &mut blk.warps_mut()[wi];
+            warp.phase = WarpPhase::Ready;
+            warp.done_in_seg += per_warp;
+            blk.add_insts(per_warp);
+            self.commit_batch(now, ticks * chunk, out)
+        } else {
+            // Loose round-robin. Classify every slot, walking the rotation
+            // order from the chosen slot — the runnable slots in that order
+            // are exactly the warps the next serial ticks will pick.
+            let nb = self.blocks.len();
+            let mut n_ready = 0u64;
+            let mut min_rem = chosen_rem;
+            let mut wake_min = u64::MAX;
+            let mut all_steady = true;
+            // Length of the rotation prefix of runnable slots that are
+            // steady with more than one chunk left: each of their ticks
+            // issues a plain full chunk with no segment completion.
+            let mut prefix_open = true;
+            let mut prefix_len = 0u64;
+            let (mut b, mut w) = (bi, wi);
+            for _ in 0..n {
+                let blk = &self.blocks[b];
+                if let Some(t) = blk.warps()[w].next_ready_at() {
+                    let t = t.max(blk.warm_up_until);
+                    if t > now {
+                        wake_min = wake_min.min(t);
+                    } else {
+                        n_ready += 1;
+                        match blk.warps()[w].steady_compute_rem(segments, blk.scaled_segs()) {
+                            Some(rem) => {
+                                let rem = u64::from(rem);
+                                min_rem = min_rem.min(rem);
+                                if rem > chunk && prefix_open {
+                                    prefix_len += 1;
+                                } else {
+                                    prefix_open = false;
+                                }
+                            }
+                            None => {
+                                all_steady = false;
+                                prefix_open = false;
+                            }
+                        }
+                    }
+                }
+                // AtBarrier / Done slots are inert for the whole window.
+                w += 1;
+                if w == wpb {
+                    w = 0;
+                    b += 1;
+                    if b == nb {
+                        b = 0;
+                    }
+                }
+            }
+            let mut max_ticks = horizon_ticks;
+            if wake_min != u64::MAX {
+                // The last batched tick must run strictly before the wake-up.
+                max_ticks = max_ticks.min((wake_min - 1 - now) / tick_cycles + 1);
+            }
+            if all_steady {
+                // Whole rotations over the runnable slots.
+                let rot = ((min_rem - 1) / chunk)
+                    .min(max_ticks / n_ready)
+                    .min(limits.max_insts / (n_ready * chunk))
+                    .min(INSTS_CAP / (n_ready * chunk));
+                let ticks = rot * n_ready;
+                if ticks >= 2 {
+                    let per_warp = (rot * chunk) as u32;
+                    for s in 0..n {
+                        let (b, w) = (s / wpb, s % wpb);
+                        let blk = &mut self.blocks[b];
+                        let runnable = blk.warps()[w]
+                            .next_ready_at()
+                            .is_some_and(|t| t.max(blk.warm_up_until) <= now);
+                        if !runnable {
+                            continue;
+                        }
+                        let warp = &mut blk.warps_mut()[w];
+                        warp.phase = WarpPhase::Ready;
+                        warp.done_in_seg += per_warp;
+                        blk.add_insts(per_warp);
+                    }
+                    // The rotation starts at the chosen slot, so its last
+                    // tick issues from the runnable slot cyclically preceding
+                    // it; the cursor ends up just past that slot, exactly as
+                    // after the serial ticks.
+                    let mut last = chosen_slot;
+                    for k in 1..=n {
+                        let s = (chosen_slot + n - k) % n;
+                        let (b, w) = (s / wpb, s % wpb);
+                        let blk = &self.blocks[b];
+                        if blk.warps()[w]
+                            .next_ready_at()
+                            .is_some_and(|t| t.max(blk.warm_up_until) <= now)
+                        {
+                            last = s;
+                            break;
+                        }
+                    }
+                    self.rr = (last + 1) % n;
+                    self.last_slot = Some(last);
+                    return self.commit_batch(now, ticks * chunk, out);
+                }
+            }
+            // Partial rotation: batch one tick for each slot in the steady
+            // prefix. Serial tick `j` picks the `j`-th runnable slot in
+            // rotation order (intermediate non-runnable slots stay asleep —
+            // the window ends before `wake_min` — and prefix ticks complete
+            // nothing, so no barrier or block state changes either).
+            let ticks = prefix_len
+                .min(max_ticks)
+                .min(limits.max_insts / chunk)
+                .min(INSTS_CAP / chunk);
+            if ticks < 2 {
+                return None;
+            }
+            let mut remaining = ticks;
+            let mut last = chosen_slot;
+            let (mut b, mut w) = (bi, wi);
+            for k in 0..n {
+                if remaining == 0 {
+                    break;
+                }
+                let blk = &mut self.blocks[b];
+                let runnable = blk.warps()[w]
+                    .next_ready_at()
+                    .is_some_and(|t| t.max(blk.warm_up_until) <= now);
+                if runnable {
+                    let chunk32 = self.issue_chunk;
+                    let warp = &mut blk.warps_mut()[w];
+                    warp.phase = WarpPhase::Ready;
+                    warp.done_in_seg += chunk32;
+                    blk.add_insts(chunk32);
+                    last = (chosen_slot + k) % n;
+                    remaining -= 1;
+                }
+                w += 1;
+                if w == wpb {
+                    w = 0;
+                    b += 1;
+                    if b == nb {
+                        b = 0;
+                    }
+                }
+            }
+            self.rr = (last + 1) % n;
+            self.last_slot = Some(last);
+            self.commit_batch(now, ticks * chunk, out)
+        }
+    }
+
+    /// Book a committed batch of `insts` warp instructions starting at `now`
+    /// into the SM-wide counters and return the next-action cycle.
+    fn commit_batch(&mut self, now: u64, insts: u64, out: &mut SmOutput) -> Option<u64> {
+        self.insts_issued_total += insts;
+        out.issued_insts += insts as u32;
+        self.issue_free_at = now + self.issue_interval * insts;
+        Some(self.issue_free_at.max(now + 1))
     }
 }
 

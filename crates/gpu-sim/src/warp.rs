@@ -168,6 +168,28 @@ impl Warp {
         }
     }
 
+    /// Instructions left in the warp's current segment when — and only when —
+    /// the next issues from it are *steady*: the segment is side-effect free
+    /// (compute or shared, so no DRAM traffic, no functional effects, no
+    /// idempotence change) and needs no zero-length-segment skip. While at
+    /// least one instruction remains afterwards, such a warp issues plain
+    /// fixed-size chunks with no phase change and no segment completion,
+    /// which is what lets [`Sm`](crate::Sm) replay many of its ticks in one
+    /// batched step. Returns `None` whenever the next `issue` could do
+    /// anything more interesting.
+    pub(crate) fn steady_compute_rem(&self, segments: &[Segment], scaled: &[u32]) -> Option<u32> {
+        if !matches!(self.phase, WarpPhase::Ready | WarpPhase::WaitMem(_)) {
+            return None;
+        }
+        let seg = *segments.get(self.seg_idx)?;
+        if !matches!(seg, Segment::Compute { .. } | Segment::Shared { .. }) {
+            return None;
+        }
+        let len = scaled[self.seg_idx];
+        // `done_in_seg >= len` means issue() would first run its skip loop.
+        (self.done_in_seg < len).then(|| len - self.done_in_seg)
+    }
+
     /// Stall the warp until `until` (memory response time).
     pub fn stall_until(&mut self, until: u64) {
         debug_assert!(matches!(self.phase, WarpPhase::Ready));

@@ -1,0 +1,187 @@
+//! Differential determinism tests for the event-driven engine.
+//!
+//! The engine schedules SM ticks from a binary-heap event calendar; the
+//! legacy linear min-scan survives behind `Engine::set_scan_scheduler(true)`
+//! as the slow, obviously-correct reference. These tests drive a
+//! preemption-heavy multiprogrammed scenario through both schedulers and
+//! demand *byte-identical* observable behaviour: the event stream, the final
+//! statistics, and the Chrome-trace export. They also pin the regression
+//! fixed in this PR's accounting audit: re-preempted (switched-out, resumed,
+//! then re-preempted) blocks must not double-release their dispatch slot.
+
+use gpu_sim::trace::chrome_trace_json;
+use gpu_sim::{Engine, Event, GpuConfig, KernelDesc, Program, Segment, SmPreemptPlan, Technique};
+
+fn four_sm_config() -> GpuConfig {
+    GpuConfig {
+        num_sms: 4,
+        ..GpuConfig::tiny()
+    }
+}
+
+fn compute_kernel() -> KernelDesc {
+    KernelDesc::builder("eq_compute")
+        .grid_blocks(64)
+        .threads_per_block(64)
+        .regs_per_thread(16)
+        .program(Program::new(vec![
+            Segment::load(6),
+            Segment::compute(600),
+            Segment::store(4),
+        ]))
+        .jitter_pct(0.2)
+        .build()
+        .expect("valid kernel")
+}
+
+fn memory_kernel() -> KernelDesc {
+    KernelDesc::builder("eq_memory")
+        .grid_blocks(48)
+        .threads_per_block(64)
+        .regs_per_thread(20)
+        .program(Program::new(vec![
+            Segment::load(40),
+            Segment::compute(80),
+            Segment::Barrier,
+            Segment::load(30),
+            Segment::overwrite(6),
+        ]))
+        .build()
+        .expect("valid kernel")
+}
+
+fn switch_sm(e: &mut Engine, sm: usize) {
+    if e.sm_resident_count(sm) > 0 && !e.sm_is_preempting(sm) {
+        let plan = SmPreemptPlan::uniform(e.sm_resident_indices(sm), Technique::Switch);
+        e.preempt_sm(sm, &plan).expect("switch is always legal");
+    }
+}
+
+/// A preemption-heavy multiprogrammed run: two kernels on a 4-SM split,
+/// with SMs 0–1 ping-ponged between them by context-switch preemptions so
+/// blocks get switched out, resumed, and re-preempted repeatedly.
+fn run_scenario(scan: bool) -> (Vec<Event>, String, String) {
+    let cfg = four_sm_config();
+    let mut e = Engine::with_seed(cfg.clone(), 11);
+    e.set_scan_scheduler(scan);
+    e.enable_event_log(1 << 14);
+    let ka = e.launch_kernel(compute_kernel());
+    let kb = e.launch_kernel(memory_kernel());
+    e.assign_sm(0, Some(ka));
+    e.assign_sm(1, Some(ka));
+    e.assign_sm(2, Some(kb));
+    e.assign_sm(3, Some(kb));
+    let mut events = Vec::new();
+    for round in 0..24 {
+        events.extend(e.run_for(5_000));
+        match round % 4 {
+            1 => {
+                for sm in 0..2 {
+                    switch_sm(&mut e, sm);
+                    e.assign_sm(sm, Some(kb));
+                }
+            }
+            3 => {
+                for sm in 0..2 {
+                    switch_sm(&mut e, sm);
+                    e.assign_sm(sm, Some(ka));
+                }
+            }
+            _ => {}
+        }
+    }
+    events.extend(e.run_until(e.cycle() + 3_000_000));
+    let stats = format!(
+        "{:?} | {:?} | {:?}",
+        e.gpu_stats(),
+        e.kernel_stats(ka),
+        e.kernel_stats(kb)
+    );
+    let trace = chrome_trace_json(&e).expect("event log enabled");
+    (events, stats, trace)
+}
+
+#[test]
+fn heap_and_scan_schedulers_are_equivalent() {
+    let (ev_heap, stats_heap, trace_heap) = run_scenario(false);
+    let (ev_scan, stats_scan, trace_scan) = run_scenario(true);
+    assert!(
+        !ev_heap.is_empty(),
+        "scenario must produce events for the comparison to mean anything"
+    );
+    assert_eq!(ev_heap, ev_scan, "event streams diverged");
+    assert_eq!(stats_heap, stats_scan, "final statistics diverged");
+    assert!(
+        trace_heap == trace_scan,
+        "chrome traces diverged ({} vs {} bytes)",
+        trace_heap.len(),
+        trace_scan.len()
+    );
+}
+
+#[test]
+fn scheduler_can_be_toggled_mid_run() {
+    // Toggling between the calendar and the scan reference at window
+    // boundaries (exercising the calendar rebuild) must not change results.
+    let cfg = four_sm_config();
+    let run = |toggle: bool| {
+        let mut e = Engine::with_seed(cfg.clone(), 5);
+        let k = e.launch_kernel(compute_kernel());
+        for sm in 0..cfg.num_sms {
+            e.assign_sm(sm, Some(k));
+        }
+        let mut events = Vec::new();
+        for round in 0..10 {
+            if toggle {
+                e.set_scan_scheduler(round % 2 == 0);
+            }
+            events.extend(e.run_for(20_000));
+        }
+        e.set_scan_scheduler(false);
+        while !e.kernel_stats(k).finished {
+            events.extend(e.run_for(1_000_000));
+        }
+        (events, format!("{:?}", e.kernel_stats(k)))
+    };
+    assert_eq!(run(false), run(true));
+}
+
+/// Regression: a block that is switched out, resumed, and then preempted
+/// again releases its dispatch slot exactly once per residency. Before the
+/// checked-decrement fix, a double release would wrap `outstanding` to
+/// `u64::MAX` in release builds (and now panics the debug assertion this
+/// test would trip).
+#[test]
+fn repeated_preemption_does_not_underflow_block_accounting() {
+    let cfg = four_sm_config();
+    let mut e = Engine::with_seed(cfg.clone(), 3);
+    let k = e.launch_kernel(compute_kernel());
+    for sm in 0..cfg.num_sms {
+        e.assign_sm(sm, Some(k));
+    }
+    // Many short windows, switching every SM out each time: resumed blocks
+    // get re-preempted over and over.
+    for _ in 0..30 {
+        e.run_for(3_000);
+        for sm in 0..cfg.num_sms {
+            switch_sm(&mut e, sm);
+            e.assign_sm(sm, Some(k));
+        }
+    }
+    let mut guard = 0;
+    while !e.kernel_stats(k).finished {
+        e.run_for(5_000_000);
+        guard += 1;
+        assert!(guard < 100, "kernel did not finish");
+    }
+    let s = e.kernel_stats(k);
+    assert_eq!(s.completed_tbs, compute_kernel().grid_blocks());
+    assert_eq!(
+        s.issued_insts, s.completed_insts,
+        "switch preemption wastes no instructions"
+    );
+    assert!(
+        s.switch_count > 0,
+        "scenario must actually exercise switch-outs"
+    );
+}

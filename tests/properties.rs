@@ -1,7 +1,24 @@
 //! Property-based tests over the core data structures and invariants.
 
-use gpu_sim::{occupancy, Engine, GpuConfig, KernelDesc, Program, Segment};
+use gpu_sim::{occupancy, Engine, GpuConfig, KernelDesc, MemSubsystem, Program, Segment};
 use proptest::prelude::*;
+
+/// One request against the memory subsystem: either a single access at an
+/// address or a bulk (whole-SM) access spread over all partitions.
+#[derive(Debug, Clone)]
+enum MemOp {
+    Access { addr: u64, bytes: u32 },
+    Bulk { bytes: u64 },
+}
+
+fn arb_mem_op() -> impl Strategy<Value = MemOp> {
+    prop_oneof![
+        (any::<u64>(), 1u32..100_000).prop_map(|(addr, bytes)| MemOp::Access { addr, bytes }),
+        // Bulk sizes straddle the partition count, the u32 boundary and the
+        // per-chunk clamp so the remainder/truncation fixes stay covered.
+        (1u64..20_000_000_000).prop_map(|bytes| MemOp::Bulk { bytes }),
+    ]
+}
 
 fn arb_segment() -> impl Strategy<Value = Segment> {
     prop_oneof![
@@ -138,6 +155,60 @@ proptest! {
         let pairs = [(t1 * s, t1), (t2 * s, t2)];
         prop_assert!((chimera::metrics::antt(&pairs) - s).abs() < 1e-9 * s);
         prop_assert!((chimera::metrics::stp(&pairs) - 2.0 / s).abs() < 1e-9);
+    }
+
+    /// Every byte requested from the memory subsystem is eventually served:
+    /// the running `total_bytes_served` equals the sum of request sizes after
+    /// any interleaving of single and bulk accesses (the bulk path once
+    /// dropped the `bytes % partitions` remainder and truncated >4 GiB
+    /// chunks).
+    #[test]
+    fn mem_subsystem_conserves_bytes(
+        ops in proptest::collection::vec(arb_mem_op(), 1..40),
+        step in 0u64..10_000,
+    ) {
+        let cfg = GpuConfig::fermi();
+        let mut mem = MemSubsystem::new(&cfg);
+        let mut now = 0u64;
+        let mut requested = 0u64;
+        for op in &ops {
+            match *op {
+                MemOp::Access { addr, bytes } => {
+                    let ready = mem.access(now, addr, bytes);
+                    prop_assert!(ready >= now + mem.base_latency());
+                    requested += u64::from(bytes);
+                }
+                MemOp::Bulk { bytes } => {
+                    let ready = mem.bulk_access(now, bytes);
+                    prop_assert!(ready >= now + mem.base_latency());
+                    requested += bytes;
+                }
+            }
+            now += step;
+        }
+        prop_assert_eq!(mem.total_bytes_served(), requested);
+    }
+
+    /// Repeated accesses to the same address at non-decreasing times queue
+    /// behind each other: the returned ready time strictly increases, and
+    /// never lies in the past.
+    #[test]
+    fn mem_subsystem_ready_times_monotonic(
+        addr in any::<u64>(),
+        sizes in proptest::collection::vec(1u32..10_000, 2..30),
+        step in 0u64..200,
+    ) {
+        let cfg = GpuConfig::fermi();
+        let mut mem = MemSubsystem::new(&cfg);
+        let mut now = 0u64;
+        let mut last_ready = 0u64;
+        for &bytes in &sizes {
+            let ready = mem.access(now, addr, bytes);
+            prop_assert!(ready > last_ready, "ready time went backwards");
+            prop_assert!(ready > now, "ready time not in the future");
+            last_ready = ready;
+            now += step;
+        }
     }
 
     /// The block-length jitter scaling is deterministic and bounded.
