@@ -25,6 +25,12 @@ pub struct RunArgs {
     /// Write the raw structured event log (JSON lines) here. `None` (the
     /// default) keeps the log disabled.
     pub events: Option<String>,
+    /// Re-run the experiment's periodic slice with the dynamic
+    /// [flush sanitizer](gpu_sim::FlushSanitizer) enabled and fail the
+    /// process on any unsafe flush or static/dynamic disagreement. The
+    /// sanitized pass is separate from the figure's own cells, so stdout
+    /// stays byte-identical; the verdict goes to stderr.
+    pub sanitize: bool,
 }
 
 impl Default for RunArgs {
@@ -35,6 +41,7 @@ impl Default for RunArgs {
             jobs: pool::default_jobs(),
             trace: None,
             events: None,
+            sanitize: false,
         }
     }
 }
@@ -75,10 +82,13 @@ impl RunArgs {
                 "--events" => {
                     out.events = Some(it.next().expect("--events needs a path"));
                 }
+                "--sanitize" => {
+                    out.sanitize = true;
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--scale <f>] [--seed <n>] [--jobs <n>] \
-                         [--trace <path>] [--events <path>]"
+                         [--trace <path>] [--events <path>] [--sanitize]"
                     );
                     std::process::exit(0);
                 }
@@ -132,6 +142,14 @@ mod tests {
         let a = RunArgs::parse(s(&[]));
         assert_eq!(a.trace, None);
         assert_eq!(a.events, None);
+        assert!(!a.sanitize);
+    }
+
+    #[test]
+    fn parses_sanitize_flag() {
+        let a = RunArgs::parse(s(&["--sanitize", "--scale", "0.1"]));
+        assert!(a.sanitize);
+        assert!((a.scale - 0.1).abs() < 1e-12);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! Paper overall: switch 12.2 %, drain 8.9 %, flush 19.3 %, Chimera 10.1 %.
 
 use bench::report::f1;
-use bench::scenarios::{periodic_matrix, write_observability};
+use bench::scenarios::{periodic_matrix, sanitized_periodic_check, write_observability};
 use bench::{RunArgs, Table};
 use chimera::metrics::geomean;
 use chimera::policy::Policy;
@@ -48,4 +48,17 @@ fn main() {
     print!("{t}");
     println!("\npaper overall: switch 12.2, drain 8.9, flush 19.3, chimera 10.1");
     write_observability(&args, &suite, 15.0);
+    if args.sanitize {
+        // Separate sanitized pass (stdout above stays byte-identical): every
+        // flush across the suite is validated against the block's recorded
+        // memory footprint; any unsafe flush or static/dynamic disagreement
+        // fails the process. This is the CI gate.
+        match sanitized_periodic_check(&suite, 15.0, &args) {
+            Ok(summary) => eprintln!("fig7: {summary}"),
+            Err(failures) => {
+                eprintln!("fig7: sanitizer FAILED\n{failures}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

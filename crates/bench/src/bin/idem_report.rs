@@ -1,0 +1,12 @@
+//! Table 2 idempotence column, derived — not asserted — by the `idem`
+//! dataflow analysis over each kernel's access regions, with per-kernel
+//! breaking sites and clobbered-read provenance.
+//!
+//! The checked-in capture lives at `results/table2_idem.txt` and is pinned
+//! by a golden test (`bench::idem_report::tests::golden_file_matches_render`).
+
+use workloads::Suite;
+
+fn main() {
+    print!("{}", bench::idem_report::render(&Suite::standard()));
+}

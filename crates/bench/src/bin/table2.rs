@@ -48,7 +48,7 @@ fn main() {
             spec.tbs_per_sm.to_string(),
             f1(switch_us),
             idem.to_string(),
-            if spec.idempotent {
+            if spec.is_idempotent() {
                 "Yes".into()
             } else {
                 "No".into()

@@ -80,6 +80,73 @@ pub fn write_observability(args: &RunArgs, suite: &Suite, constraint_us: f64) {
     }
 }
 
+/// Re-run the periodic scenario for every benchmark under the flushing
+/// policies (Flush and Chimera — the only ones that restart blocks) with the
+/// dynamic [flush sanitizer](gpu_sim::FlushSanitizer) enabled, and aggregate
+/// the verdict.
+///
+/// Returns `Ok` with a one-line summary when every run is clean, `Err` with
+/// the offending runs' reports when any block was flushed after overwriting
+/// a location it read (unsafe flush), the static analysis missed dynamic
+/// dirt (false negative), or a statically-dirty program finished with a
+/// clean footprint (static/dynamic disagreement). Serves `--sanitize` in the
+/// figure binaries and the CI gate on the fig-7 slice.
+pub fn sanitized_periodic_check(
+    suite: &Suite,
+    constraint_us: f64,
+    args: &RunArgs,
+) -> Result<String, String> {
+    let cfg = suite.config();
+    let policies = [Policy::Flush, Policy::chimera_us(constraint_us)];
+    let pcfg = PeriodicConfig {
+        constraint_us,
+        horizon_us: PERIODIC_HORIZON_US * args.scale,
+        seed: args.seed,
+        sanitize: true,
+        ..PeriodicConfig::paper_default(cfg)
+    };
+    let benches = suite.benchmarks();
+    let progress = Progress::new("sanitized periodic", benches.len() * policies.len());
+    let tasks: Vec<_> = benches
+        .iter()
+        .flat_map(|bench| {
+            let (pcfg, progress) = (&pcfg, &progress);
+            policies.iter().map(move |&p| {
+                move || {
+                    let (_, mut engine) = run_periodic_traced(cfg, bench, p, pcfg, 0);
+                    let rep = engine
+                        .take_sanitizer()
+                        .expect("sanitizer was enabled")
+                        .report()
+                        .clone();
+                    progress.cell_done(&format!("{}/{p} sanitized", bench.name()));
+                    (bench.name().to_string(), p.to_string(), rep)
+                }
+            })
+        })
+        .collect();
+    let results = pool::run_tasks(args.jobs, tasks);
+    progress.finish(args.jobs);
+    let mut blocks = 0u64;
+    let mut flushes = 0u64;
+    let mut failures = Vec::new();
+    for (bench, policy, rep) in results {
+        blocks += rep.blocks_completed;
+        flushes += rep.flushes_checked;
+        if !rep.is_clean() || rep.static_dirty_but_clean > 0 {
+            failures.push(format!("{bench}/{policy}: {rep}"));
+        }
+    }
+    if failures.is_empty() {
+        Ok(format!(
+            "sanitizer clean: {blocks} blocks, {flushes} flushes checked, \
+             0 unsafe, 0 disagreements"
+        ))
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
 /// Results of running every benchmark under a set of policies.
 #[derive(Debug)]
 pub struct PeriodicMatrix {

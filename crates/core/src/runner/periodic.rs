@@ -42,6 +42,13 @@ pub struct PeriodicConfig {
     /// model; this switch is the fidelity ablation
     /// (`bench --bin ablation-task-sim`).
     pub simulate_task: bool,
+    /// Enable the engine's dynamic [flush sanitizer](gpu_sim::FlushSanitizer):
+    /// every flushed block is checked against its recorded global-memory
+    /// footprint, validating the static idempotence analysis that authorised
+    /// the flush. Off by default (it records per-block footprints); the
+    /// finished report is available from the returned engine via
+    /// [`gpu_sim::Engine::take_sanitizer`].
+    pub sanitize: bool,
 }
 
 impl PeriodicConfig {
@@ -55,6 +62,7 @@ impl PeriodicConfig {
             strict_idem: false,
             prefer_preempted: true,
             simulate_task: false,
+            sanitize: false,
         }
     }
 }
@@ -204,6 +212,9 @@ pub fn run_periodic_traced(
     let mut engine = Engine::with_seed(cfg.clone(), pcfg.seed);
     if event_capacity > 0 {
         engine.enable_event_log(event_capacity);
+    }
+    if pcfg.sanitize {
+        engine.enable_sanitizer();
     }
     engine.set_break_on_kernel_finish(true);
     engine.set_prefer_preempted(pcfg.prefer_preempted);
@@ -456,9 +467,12 @@ fn issue_request(
     if remaining == 0 {
         return;
     }
+    // Flush eligibility comes from the dataflow analysis over the program's
+    // access regions; the sanitizer cross-checks its verdict dynamically
+    // when enabled.
     let kernel_strictly_idempotent = job
         .current()
-        .map(|k| engine.kernel_desc(k).program().is_idempotent())
+        .map(|k| idem::analyze(engine.kernel_desc(k).program()).strict_idempotent)
         .unwrap_or(true);
     match policy {
         Policy::Switch | Policy::Drain | Policy::Oracle => {
@@ -671,6 +685,42 @@ mod tests {
             sim.useful_insts,
             res.useful_insts
         );
+    }
+
+    #[test]
+    fn sanitizer_validates_flush_decisions_across_the_suite() {
+        // The dynamic oracle must agree with the static analysis: no flushed
+        // block may have overwritten a location it read (unsafe flush), no
+        // statically-idempotent block may turn out dirty (false negative),
+        // and no statically-dirty block may finish with a clean footprint
+        // (the analysis would be imprecise, not unsound — but our regions
+        // are exact, so it must not happen either).
+        let suite = Suite::standard();
+        let cfg = suite.config();
+        for bench in ["BS", "HS", "NW", "FWT", "BT"] {
+            for policy in [Policy::Flush, Policy::chimera_us(15.0)] {
+                let mut pc = quick_cfg(cfg, 4_000.0);
+                pc.sanitize = true;
+                let (r, mut engine) =
+                    run_periodic_traced(cfg, suite.benchmark(bench).unwrap(), policy, &pc, 0);
+                let san = engine.take_sanitizer().expect("sanitizer was enabled");
+                let rep = san.report();
+                assert!(
+                    rep.is_clean(),
+                    "{bench}/{policy}: unsafe flushes {} false negatives {}",
+                    rep.unsafe_flushes,
+                    rep.false_negatives
+                );
+                assert_eq!(
+                    rep.static_dirty_but_clean, 0,
+                    "{bench}/{policy}: static/dynamic disagreement"
+                );
+                assert!(rep.blocks_completed > 0, "{bench}/{policy}: ran no blocks");
+                if policy == Policy::Flush && r.flush_count > 0 {
+                    assert!(rep.flushes_checked > 0, "{bench}: flushes unchecked");
+                }
+            }
+        }
     }
 
     #[test]

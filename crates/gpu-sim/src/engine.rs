@@ -136,12 +136,16 @@ impl KernelInstance {
         let mut effect_slots = Vec::with_capacity(desc.program().segments().len());
         let mut n_cells = 0usize;
         let mut n_counters = 0usize;
-        for seg in desc.program().segments() {
+        for (ix, seg) in desc.program().segments().iter().enumerate() {
             effect_slots.push(match *seg {
-                Segment::GlobalStore { overwrite, .. } => {
+                Segment::GlobalStore { .. } => {
+                    // The functional semantics of a store follow the derived
+                    // classification: overwrites mix the current cell value
+                    // (so replaying them is observable), pure stores are
+                    // value-deterministic.
                     let s = EffectSlot::Cell {
                         ordinal: n_cells,
-                        overwrite,
+                        overwrite: desc.program().segment_non_idempotent(ix),
                     };
                     n_cells += 1;
                     Some(s)
@@ -304,6 +308,10 @@ pub struct Engine {
     /// Observability event log; `None` (the default) records nothing and
     /// costs one `is-some` check on the per-block bookkeeping paths.
     obs: Option<EventLog>,
+    /// Dynamic flush sanitizer; `None` (the default) records nothing. When
+    /// enabled, SMs additionally emit effects for completed load segments
+    /// so read footprints are observable.
+    san: Option<crate::sanitizer::FlushSanitizer>,
 }
 
 // The experiment harness runs one Engine per worker thread; moving an Engine
@@ -344,6 +352,7 @@ impl Engine {
             open_preempts: vec![None; n],
             events: Vec::new(),
             obs: None,
+            san: None,
             cfg,
         }
     }
@@ -372,6 +381,43 @@ impl Engine {
     /// Detach and return the event log, disabling further recording.
     pub fn take_event_log(&mut self) -> Option<EventLog> {
         self.obs.take()
+    }
+
+    /// Turn on the dynamic flush sanitizer (see [`crate::sanitizer`]): from
+    /// now on per-block read/write footprints are recorded and every flush,
+    /// flush denial and block completion is checked against the static
+    /// idempotence classification. Replaces any previous sanitizer state.
+    ///
+    /// The footprints come from segment completions, so enabling the
+    /// sanitizer mid-run misattributes already-running blocks; enable it
+    /// before launching kernels. Timing is unaffected either way.
+    ///
+    /// ```
+    /// use gpu_sim::{Engine, GpuConfig};
+    ///
+    /// let mut engine = Engine::new(GpuConfig::tiny());
+    /// assert!(engine.sanitizer().is_none(), "off by default");
+    /// engine.enable_sanitizer();
+    /// assert!(engine.sanitizer().unwrap().report().is_clean());
+    /// ```
+    pub fn enable_sanitizer(&mut self) {
+        self.san = Some(crate::sanitizer::FlushSanitizer::new());
+        for sm in &mut self.sms {
+            sm.set_record_loads(true);
+        }
+    }
+
+    /// The flush sanitizer, if enabled.
+    pub fn sanitizer(&self) -> Option<&crate::sanitizer::FlushSanitizer> {
+        self.san.as_ref()
+    }
+
+    /// Detach and return the sanitizer, disabling further checking.
+    pub fn take_sanitizer(&mut self) -> Option<crate::sanitizer::FlushSanitizer> {
+        for sm in &mut self.sms {
+            sm.set_record_loads(false);
+        }
+        self.san.take()
     }
 
     /// Record one per-block Algorithm 1 decision (an
@@ -656,7 +702,18 @@ impl Engine {
             self.cfg
                 .sm_transfer_cycles(self.kernels[kernel.0].desc.block_context_bytes())
         };
-        let flushed = self.sms[sm].begin_preempt(self.cycle, plan, save_cycles, &mut out)?;
+        let flushed = match self.sms[sm].begin_preempt(self.cycle, plan, save_cycles, &mut out) {
+            Ok(flushed) => flushed,
+            Err(e) => {
+                // A denied flush is one side of the sanitizer's differential
+                // oracle: if the block's dynamic footprint is still clean,
+                // the static safety check was (benignly) conservative.
+                if let (PreemptError::UnsafeFlush { block }, Some(san)) = (&e, self.san.as_mut()) {
+                    san.on_flush_denied(kernel, *block);
+                }
+                return Err(e);
+            }
+        };
         // The SM must not receive more blocks of the evicted kernel.
         self.sms[sm].set_assigned(None);
         if let Some(log) = self.obs.as_mut() {
@@ -666,7 +723,7 @@ impl Engine {
                 kernel,
                 blocks: plan.entries.len() as u32,
             });
-            for &(id, wasted) in &flushed {
+            for &(id, wasted, _) in &flushed {
                 log.push(ObsEvent::BlockEnd {
                     cycle: self.cycle,
                     sm,
@@ -688,7 +745,10 @@ impl Engine {
         self.preempt_records.push(record);
         self.open_preempts[sm] = Some(self.preempt_records.len() - 1);
         // Account flushed blocks: work discarded, block restarts from scratch.
-        for (id, wasted) in flushed {
+        for (id, wasted, past_idem) in flushed {
+            if let Some(san) = self.san.as_mut() {
+                san.on_flush(kernel, id.index, past_idem);
+            }
             let ki = &mut self.kernels[kernel.0];
             ki.stats.wasted_flush_insts += wasted;
             ki.stats.flush_count += 1;
@@ -824,6 +884,10 @@ impl Engine {
         }
         for e in &out.effects {
             self.kernels[e.kernel.0].apply_effect(e);
+            if let Some(san) = self.san.as_mut() {
+                let seg = self.kernels[e.kernel.0].desc.program().segments()[e.seg_idx];
+                san.on_effect(e.kernel, e.block, e.seg_idx, &seg);
+            }
         }
         for snap in out.switched_out {
             let k = snap.id.kernel;
@@ -852,6 +916,10 @@ impl Engine {
                     exit: BlockExit::Completed,
                     insts,
                 });
+            }
+            if let Some(san) = self.san.as_mut() {
+                let static_non_idem = !self.kernels[id.kernel.0].desc.program().is_idempotent();
+                san.on_complete(id.kernel, id.index, static_non_idem);
             }
             let ki = &mut self.kernels[id.kernel.0];
             ki.release_block();

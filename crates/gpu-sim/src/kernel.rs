@@ -6,14 +6,148 @@
 //! model needs — it reasons about per-block instruction counts and cycles, not
 //! about individual operations.
 //!
-//! Two segment kinds make a program *non-idempotent*: [`Segment::Atomic`] and
-//! [`Segment::GlobalStore`] with `overwrite: true` (a store to a location that
-//! the block previously read — the paper's two idempotence-breaking
-//! conditions, §2.3). The `idem` crate analyses programs for these and inserts
+//! Global-memory segments are *addressed*: every load, store and atomic
+//! carries an [`AccessRegion`] naming the buffer it touches, the byte range
+//! within a block's window, and the per-block stride of that window. Whether
+//! a store breaks idempotence is **derived** from those regions, not
+//! declared: [`Program::new`] runs a forward pass over the segment stream and
+//! flags a store as an overwrite exactly when it is a fused read-modify-write
+//! ([`Segment::GlobalStore::rmw`]) or its region may intersect a region some
+//! earlier segment read — the paper's two idempotence-breaking conditions
+//! (§2.3), with [`Segment::Atomic`] always breaking. The `idem` crate runs
+//! the same dataflow with per-site provenance and inserts
 //! [`Segment::ProtectStore`] markers implementing the paper's software
-//! detection of the *relaxed* idempotence condition (§3.4).
+//! detection of the *relaxed* idempotence condition (§3.4). The dynamic
+//! counterpart — checking the derived classification against observed
+//! per-block footprints — lives in [`crate::sanitizer`].
 
 use std::fmt;
+
+/// An addressed global-memory access pattern: which bytes of which buffer a
+/// segment touches, parameterised by the executing block's grid index.
+///
+/// Block `b` touches the half-open byte interval
+/// `[offset + b·block_stride, offset + b·block_stride + len)` of `buffer`.
+/// `block_stride == 0` means every block touches the *same* interval (shared
+/// data such as global counters); `block_stride >= len` gives each block a
+/// disjoint private window (the common tiled pattern).
+///
+/// All fields are plain integers so `Segment` stays `Copy + Eq + Hash`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AccessRegion {
+    /// Logical buffer (kernel argument) identifier. Regions on different
+    /// buffers never alias.
+    pub buffer: u32,
+    /// Byte offset of block 0's interval within the buffer.
+    pub offset: u64,
+    /// Length of the accessed interval in bytes.
+    pub len: u64,
+    /// Per-block stride in bytes (`0` = all blocks share one interval).
+    pub block_stride: u64,
+}
+
+impl AccessRegion {
+    /// Bytes one coalesced warp instruction moves (128 B: 32 lanes × 4 B).
+    pub const BYTES_PER_INST: u64 = 128;
+    /// Per-block window stride used by the compatibility constructors —
+    /// large enough that windows of realistic segment sizes never collide
+    /// across blocks.
+    pub const COMPAT_BLOCK_STRIDE: u64 = 1 << 24;
+    /// Buffer id the deprecated [`Segment::load`]/[`Segment::overwrite`]
+    /// shims lower to (the kernel's input array).
+    pub const COMPAT_INPUT_BUFFER: u32 = 0;
+    /// Buffer id the deprecated [`Segment::store`] shim lowers to (a distinct
+    /// output array, so plain stores never alias the input reads).
+    pub const COMPAT_OUTPUT_BUFFER: u32 = 1;
+    /// Buffer id the deprecated [`Segment::atomic`] shim lowers to (a small
+    /// set of counters shared by every block).
+    pub const COMPAT_COUNTER_BUFFER: u32 = 2;
+
+    /// A region with explicit geometry.
+    pub fn new(buffer: u32, offset: u64, len: u64, block_stride: u64) -> Self {
+        AccessRegion {
+            buffer,
+            offset,
+            len,
+            block_stride,
+        }
+    }
+
+    /// A per-block private window sized for `insts` coalesced warp
+    /// instructions, starting at `offset` within `buffer`.
+    pub fn per_block_window(buffer: u32, offset: u64, insts: u32) -> Self {
+        AccessRegion {
+            buffer,
+            offset,
+            len: (u64::from(insts) * Self::BYTES_PER_INST).max(1),
+            block_stride: Self::COMPAT_BLOCK_STRIDE,
+        }
+    }
+
+    /// A block-shared region (stride 0) sized for `insts` warp instructions.
+    pub fn shared_by_blocks(buffer: u32, offset: u64, insts: u32) -> Self {
+        AccessRegion {
+            buffer,
+            offset,
+            len: (u64::from(insts) * Self::BYTES_PER_INST).max(1),
+            block_stride: 0,
+        }
+    }
+
+    /// The concrete byte interval `[start, end)` block `block` touches.
+    pub fn interval_for_block(&self, block: u32) -> (u64, u64) {
+        let start = self.offset + u64::from(block) * self.block_stride;
+        (start, start + self.len)
+    }
+
+    /// Whether the two regions may overlap for *some* block executing both
+    /// (static may-alias, used by the idempotence dataflow).
+    ///
+    /// Different buffers never alias. Equal strides reduce to interval
+    /// overlap of the block-0 windows (both windows shift together). When
+    /// the strides differ the relative placement depends on the block index,
+    /// so the answer is a conservative `true` — the dynamic sanitizer
+    /// reports such sites as benign conservatism when no concrete interval
+    /// ever collides.
+    pub fn may_overlap(&self, other: &AccessRegion) -> bool {
+        if self.buffer != other.buffer || self.len == 0 || other.len == 0 {
+            return false;
+        }
+        if self.block_stride == other.block_stride {
+            self.offset < other.offset + other.len && other.offset < self.offset + self.len
+        } else {
+            true
+        }
+    }
+
+    /// Whether the two regions' concrete intervals overlap for `block`
+    /// (exact, used by the dynamic sanitizer).
+    pub fn overlaps_for_block(&self, other: &AccessRegion, block: u32) -> bool {
+        if self.buffer != other.buffer || self.len == 0 || other.len == 0 {
+            return false;
+        }
+        let (a0, a1) = self.interval_for_block(block);
+        let (b0, b1) = other.interval_for_block(block);
+        a0 < b1 && b0 < a1
+    }
+}
+
+impl fmt::Display for AccessRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "b{}+{}..{}{}",
+            self.buffer,
+            self.offset,
+            self.offset + self.len,
+            if self.block_stride == 0 {
+                " (shared)".to_string()
+            } else {
+                format!(" /{}", self.block_stride)
+            }
+        )
+    }
+}
 
 /// One coarse step of a warp's execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -27,19 +161,30 @@ pub enum Segment {
     GlobalLoad {
         /// Number of warp instructions in the segment.
         insts: u32,
+        /// Bytes of which buffer the block reads.
+        region: AccessRegion,
     },
     /// `insts` coalesced global stores.
     GlobalStore {
         /// Number of warp instructions in the segment.
         insts: u32,
-        /// When `true`, the stores overwrite locations previously read by this
-        /// block, making the block non-idempotent from this point on.
-        overwrite: bool,
+        /// Bytes of which buffer the block writes.
+        region: AccessRegion,
+        /// Fused read-modify-write: the store reads its target region before
+        /// writing it (e.g. `a[i] += x` compiled as load+store). Such a
+        /// store clobbers its own input and is non-idempotent regardless of
+        /// what earlier segments read. This is an access-structure fact, not
+        /// a classification — plain (`rmw: false`) stores are still flagged
+        /// as overwrites by the dataflow when their region intersects an
+        /// earlier read.
+        rmw: bool,
     },
     /// `insts` atomic read-modify-write operations (always non-idempotent).
     Atomic {
         /// Number of warp instructions in the segment.
         insts: u32,
+        /// Bytes of which buffer the atomics update.
+        region: AccessRegion,
     },
     /// `insts` shared-memory accesses (on-chip, no DRAM traffic).
     Shared {
@@ -60,54 +205,120 @@ impl Segment {
         Segment::Compute { insts }
     }
 
+    /// A global-load segment with an explicit access region.
+    pub fn load_region(insts: u32, region: AccessRegion) -> Self {
+        Segment::GlobalLoad { insts, region }
+    }
+
+    /// A global-store segment with an explicit access region. Whether it is
+    /// an overwrite is decided by the program-level dataflow, not here.
+    pub fn store_region(insts: u32, region: AccessRegion) -> Self {
+        Segment::GlobalStore {
+            insts,
+            region,
+            rmw: false,
+        }
+    }
+
+    /// A fused read-modify-write store with an explicit access region.
+    pub fn rmw_region(insts: u32, region: AccessRegion) -> Self {
+        Segment::GlobalStore {
+            insts,
+            region,
+            rmw: true,
+        }
+    }
+
+    /// An atomic segment with an explicit access region.
+    pub fn atomic_region(insts: u32, region: AccessRegion) -> Self {
+        Segment::Atomic { insts, region }
+    }
+
     /// Convenience constructor for a global-load segment.
+    ///
+    /// Compatibility shim (deprecated in favour of [`Segment::load_region`]):
+    /// lowers to a per-block window of the input buffer
+    /// ([`AccessRegion::COMPAT_INPUT_BUFFER`]).
     pub fn load(insts: u32) -> Self {
-        Segment::GlobalLoad { insts }
+        Segment::GlobalLoad {
+            insts,
+            region: AccessRegion::per_block_window(AccessRegion::COMPAT_INPUT_BUFFER, 0, insts),
+        }
     }
 
     /// Convenience constructor for an idempotent global-store segment.
+    ///
+    /// Compatibility shim (deprecated in favour of
+    /// [`Segment::store_region`]): lowers to a per-block window of a
+    /// distinct output buffer ([`AccessRegion::COMPAT_OUTPUT_BUFFER`]), so
+    /// the dataflow never sees it alias the input reads.
     pub fn store(insts: u32) -> Self {
-        Segment::GlobalStore {
+        Segment::store_region(
             insts,
-            overwrite: false,
-        }
+            AccessRegion::per_block_window(AccessRegion::COMPAT_OUTPUT_BUFFER, 0, insts),
+        )
     }
 
     /// Convenience constructor for a non-idempotent overwrite segment.
+    ///
+    /// Compatibility shim (deprecated in favour of [`Segment::rmw_region`]
+    /// or a [`Segment::store_region`] that aliases an earlier read): lowers
+    /// to a fused read-modify-write on the block's input window, which the
+    /// dataflow flags as an overwrite even with no preceding load segment.
     pub fn overwrite(insts: u32) -> Self {
-        Segment::GlobalStore {
+        Segment::rmw_region(
             insts,
-            overwrite: true,
-        }
+            AccessRegion::per_block_window(AccessRegion::COMPAT_INPUT_BUFFER, 0, insts),
+        )
     }
 
     /// Convenience constructor for an atomic segment.
+    ///
+    /// Compatibility shim (deprecated in favour of
+    /// [`Segment::atomic_region`]): lowers to block-shared counters
+    /// ([`AccessRegion::COMPAT_COUNTER_BUFFER`]).
     pub fn atomic(insts: u32) -> Self {
-        Segment::Atomic { insts }
+        Segment::Atomic {
+            insts,
+            region: AccessRegion::shared_by_blocks(AccessRegion::COMPAT_COUNTER_BUFFER, 0, insts),
+        }
     }
 
     /// Number of warp instructions this segment contributes.
     pub fn insts(&self) -> u32 {
         match *self {
             Segment::Compute { insts }
-            | Segment::GlobalLoad { insts }
+            | Segment::GlobalLoad { insts, .. }
             | Segment::GlobalStore { insts, .. }
-            | Segment::Atomic { insts }
+            | Segment::Atomic { insts, .. }
             | Segment::Shared { insts } => insts,
             Segment::Barrier => 0,
             Segment::ProtectStore => 1,
         }
     }
 
-    /// Whether executing this segment breaks block idempotence.
+    /// The global-memory region this segment touches, if any.
+    pub fn region(&self) -> Option<AccessRegion> {
+        match *self {
+            Segment::GlobalLoad { region, .. }
+            | Segment::GlobalStore { region, .. }
+            | Segment::Atomic { region, .. } => Some(region),
+            _ => None,
+        }
+    }
+
+    /// Whether this segment breaks block idempotence *regardless of
+    /// context*: atomics and fused read-modify-write stores.
+    ///
+    /// This is a segment-local approximation. A plain store can still be an
+    /// overwrite when its region intersects something an earlier segment
+    /// read — that classification needs the whole program and lives in
+    /// [`Program::segment_non_idempotent`] (and, with provenance, in the
+    /// `idem` crate's dataflow).
     pub fn is_non_idempotent(&self) -> bool {
         matches!(
             *self,
-            Segment::Atomic { .. }
-                | Segment::GlobalStore {
-                    overwrite: true,
-                    ..
-                }
+            Segment::Atomic { .. } | Segment::GlobalStore { rmw: true, .. }
         )
     }
 
@@ -127,16 +338,14 @@ impl fmt::Display for Segment {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             Segment::Compute { insts } => write!(f, "compute[{insts}]"),
-            Segment::GlobalLoad { insts } => write!(f, "load[{insts}]"),
+            Segment::GlobalLoad { insts, .. } => write!(f, "load[{insts}]"),
             Segment::GlobalStore {
-                insts,
-                overwrite: false,
+                insts, rmw: false, ..
             } => write!(f, "store[{insts}]"),
             Segment::GlobalStore {
-                insts,
-                overwrite: true,
+                insts, rmw: true, ..
             } => write!(f, "overwrite[{insts}]"),
-            Segment::Atomic { insts } => write!(f, "atomic[{insts}]"),
+            Segment::Atomic { insts, .. } => write!(f, "atomic[{insts}]"),
             Segment::Shared { insts } => write!(f, "shared[{insts}]"),
             Segment::Barrier => write!(f, "barrier"),
             Segment::ProtectStore => write!(f, "protect-store"),
@@ -145,15 +354,50 @@ impl fmt::Display for Segment {
 }
 
 /// A complete warp program: the segment sequence every warp executes.
+///
+/// Construction runs the idempotence dataflow over the segments' access
+/// regions (see [`Program::segment_non_idempotent`]); the per-segment result
+/// is cached so the simulator's hot paths read a precomputed mask.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Program {
     segments: Vec<Segment>,
+    /// `non_idem[i]` ⇔ executing segment `i` breaks block idempotence.
+    non_idem: Vec<bool>,
+}
+
+/// Forward dataflow over the segment stream: accumulate the regions read so
+/// far; an atomic always breaks idempotence, a store breaks it when it is a
+/// fused read-modify-write or its region may alias an accumulated read. The
+/// `idem` crate runs the same pass with per-site provenance — the two must
+/// agree (property-tested there).
+fn non_idem_mask(segments: &[Segment]) -> Vec<bool> {
+    let mut reads: Vec<AccessRegion> = Vec::new();
+    segments
+        .iter()
+        .map(|seg| match *seg {
+            Segment::Atomic { .. } => true,
+            Segment::GlobalLoad { region, .. } => {
+                reads.push(region);
+                false
+            }
+            Segment::GlobalStore { region, rmw, .. } => {
+                let clobbers = rmw || reads.iter().any(|r| r.may_overlap(&region));
+                if rmw {
+                    // The fused read becomes visible to later stores.
+                    reads.push(region);
+                }
+                clobbers
+            }
+            _ => false,
+        })
+        .collect()
 }
 
 impl Program {
     /// Create a program from segments.
     pub fn new(segments: Vec<Segment>) -> Self {
-        Program { segments }
+        let non_idem = non_idem_mask(&segments);
+        Program { segments, non_idem }
     }
 
     /// The segments of the program.
@@ -166,9 +410,16 @@ impl Program {
         self.segments.iter().map(|s| u64::from(s.insts())).sum()
     }
 
+    /// Whether executing segment `ix` breaks block idempotence, as derived
+    /// by the access-region dataflow (atomic, fused read-modify-write, or a
+    /// store whose region may alias an earlier read).
+    pub fn segment_non_idempotent(&self, ix: usize) -> bool {
+        self.non_idem.get(ix).copied().unwrap_or(false)
+    }
+
     /// Index of the first non-idempotent segment, if any.
     pub fn first_non_idempotent(&self) -> Option<usize> {
-        self.segments.iter().position(Segment::is_non_idempotent)
+        self.non_idem.iter().position(|&b| b)
     }
 
     /// Whether the whole program is idempotent (strict condition, §2.3).
@@ -500,8 +751,73 @@ mod tests {
     fn overwrite_breaks_idempotence_but_plain_store_does_not() {
         let plain = Program::new(vec![Segment::store(10)]);
         assert!(plain.is_idempotent());
+        // The deprecated shim lowers to a fused read-modify-write, which is
+        // non-idempotent even with no preceding load segment.
         let over = Program::new(vec![Segment::overwrite(10)]);
         assert!(!over.is_idempotent());
+    }
+
+    #[test]
+    fn aliasing_store_is_derived_as_overwrite() {
+        let window = AccessRegion::per_block_window(0, 0, 8);
+        // Plain store to the window the block previously read: overwrite.
+        let p = Program::new(vec![
+            Segment::load_region(8, window),
+            Segment::compute(50),
+            Segment::store_region(4, window),
+        ]);
+        assert!(!p.is_idempotent());
+        assert_eq!(p.first_non_idempotent(), Some(2));
+        assert!(p.segment_non_idempotent(2));
+        assert!(
+            !p.segments()[2].is_non_idempotent(),
+            "not rmw, derived only"
+        );
+        // Same store to a disjoint output buffer: idempotent.
+        let q = Program::new(vec![
+            Segment::load_region(8, window),
+            Segment::compute(50),
+            Segment::store_region(4, AccessRegion::per_block_window(1, 0, 4)),
+        ]);
+        assert!(q.is_idempotent());
+    }
+
+    #[test]
+    fn store_before_read_does_not_clobber() {
+        // Writing a location and reading it *afterwards* is idempotent:
+        // re-execution rewrites the same value before the read.
+        let window = AccessRegion::per_block_window(0, 0, 4);
+        let p = Program::new(vec![
+            Segment::store_region(4, window),
+            Segment::load_region(4, window),
+        ]);
+        assert!(p.is_idempotent());
+        // ...but a second store after the read does clobber it.
+        let q = Program::new(vec![
+            Segment::store_region(4, window),
+            Segment::load_region(4, window),
+            Segment::store_region(4, window),
+        ]);
+        assert_eq!(q.first_non_idempotent(), Some(2));
+    }
+
+    #[test]
+    fn region_overlap_rules() {
+        let a = AccessRegion::new(0, 0, 256, 1 << 20);
+        let b = AccessRegion::new(0, 128, 256, 1 << 20);
+        let c = AccessRegion::new(0, 256, 256, 1 << 20);
+        let other_buf = AccessRegion::new(1, 0, 256, 1 << 20);
+        assert!(a.may_overlap(&b));
+        assert!(!a.may_overlap(&c), "half-open intervals");
+        assert!(!a.may_overlap(&other_buf));
+        // Differing strides are conservatively may-alias...
+        let strided = AccessRegion::new(0, 4096, 64, 0);
+        assert!(a.may_overlap(&strided));
+        // ...but the concrete check is exact per block.
+        assert!(!a.overlaps_for_block(&strided, 0));
+        assert!(a.overlaps_for_block(&AccessRegion::new(0, 0, 64, 0), 0));
+        let (s, e) = b.interval_for_block(2);
+        assert_eq!((s, e), (128 + 2 * (1 << 20), 128 + 2 * (1 << 20) + 256));
     }
 
     #[test]

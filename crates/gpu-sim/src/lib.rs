@@ -51,6 +51,7 @@ pub mod mem;
 pub mod occupancy;
 pub mod preempt;
 pub mod rng;
+pub mod sanitizer;
 pub mod sm;
 pub mod stats;
 pub mod trace;
@@ -60,9 +61,10 @@ pub use block::{BlockId, BlockRun, BlockStats, TbSnapshot};
 pub use config::{GpuConfig, WarpSched, CYCLES_PER_US};
 pub use engine::{Engine, Event, KernelId};
 pub use events::{BlockDecision, BlockExit, EventLog, ObsEvent, TechniqueEstimate};
-pub use kernel::{KernelDesc, KernelDescBuilder, KernelError, Program, Segment};
+pub use kernel::{AccessRegion, KernelDesc, KernelDescBuilder, KernelError, Program, Segment};
 pub use mem::MemSubsystem;
 pub use occupancy::{occupancy, LimitReason, Occupancy};
 pub use preempt::{PreemptOutcome, SmPreemptPlan, Technique};
+pub use sanitizer::{FlushSanitizer, SanitizerReport, UnsafeWrite};
 pub use sm::{PreemptError, Sm, SmMode, SmSnapshot, TbSnapshotInfo, TickLimits};
 pub use stats::{GpuStats, KernelStats};

@@ -1,0 +1,380 @@
+//! Dynamic flush sanitizer: a differential oracle for the static
+//! idempotence analysis.
+//!
+//! When enabled (per run, like the [`crate::events::EventLog`]), the engine
+//! feeds every completed global-memory segment into a [`FlushSanitizer`],
+//! which maintains per-block read/write *footprints*: the concrete byte
+//! intervals (per [`crate::AccessRegion::interval_for_block`]) each resident
+//! block has read and written so far. A block is **dirty** once it writes a
+//! location it previously read — the dynamic counterpart of the paper's
+//! idempotence-breaking conditions (§2.3).
+//!
+//! The sanitizer then checks every preemption decision against reality:
+//!
+//! - **Unsafe flush** (critical): a flushed block was dirty. Restarting it
+//!   re-reads clobbered input, corrupting output exactly as on real
+//!   hardware. A sound static analysis plus the runtime past-idempotence
+//!   marking must make this impossible without `allow_unsafe_flush`.
+//! - **False negative** (critical): a dirty block that the static side
+//!   still considered flushable (flushed while not marked past its
+//!   idempotence point), or a block that completed dirty although the
+//!   static dataflow classified its program as strictly idempotent.
+//! - **False positive** (benign conservatism): a flush *denied* by the
+//!   static safety check while the block's dynamic footprint was still
+//!   clean — expected by design, because the protect store announces the
+//!   idempotence point *before* the dangerous operation completes — or a
+//!   block whose program is statically non-idempotent completing with a
+//!   clean footprint (e.g. the conservative may-alias answer for
+//!   stride-mismatched regions never materialising).
+//!
+//! Because every warp of a block executes the same segment sequence, the
+//! write-after-read check is performed in *program order* (a write at
+//! segment `j` is checked against reads recorded at segments `i <= j`), not
+//! in completion order — cross-warp completion interleavings would
+//! otherwise fabricate read-before-write hazards that re-execution cannot
+//! actually observe at this granularity.
+
+use std::collections::BTreeMap;
+
+use crate::kernel::{AccessRegion, Segment};
+use crate::KernelId;
+
+/// Maximum per-category diagnostic details retained (counts keep growing).
+const DETAIL_CAP: usize = 32;
+
+/// One read recorded in a block's footprint.
+#[derive(Debug, Clone, Copy)]
+struct ReadRec {
+    seg_idx: usize,
+    region: AccessRegion,
+}
+
+/// The first write-after-read a block performed (it is dirty from then on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnsafeWrite {
+    /// Segment index of the offending write.
+    pub store_seg: usize,
+    /// Segment index of the earliest read it clobbers (equal to
+    /// `store_seg` for fused read-modify-writes and atomics).
+    pub read_seg: usize,
+    /// Buffer on which the collision happened.
+    pub buffer: u32,
+}
+
+/// Footprint of one in-flight block.
+#[derive(Debug, Default)]
+struct Footprint {
+    reads: Vec<ReadRec>,
+    /// Segments already folded in (all warps run the same program, so each
+    /// segment contributes its region once).
+    seen: Vec<usize>,
+    dirty: Option<UnsafeWrite>,
+}
+
+impl Footprint {
+    fn record(&mut self, seg_idx: usize, seg: &Segment, block: u32) {
+        if self.seen.contains(&seg_idx) {
+            return;
+        }
+        self.seen.push(seg_idx);
+        match *seg {
+            Segment::GlobalLoad { region, .. } => {
+                self.reads.push(ReadRec { seg_idx, region });
+            }
+            Segment::GlobalStore { region, rmw, .. } => {
+                if rmw {
+                    self.reads.push(ReadRec { seg_idx, region });
+                }
+                self.check_write(seg_idx, region, block);
+            }
+            Segment::Atomic { region, .. } => {
+                // An atomic is a fused read-modify-write by definition.
+                self.reads.push(ReadRec { seg_idx, region });
+                self.check_write(seg_idx, region, block);
+            }
+            _ => {}
+        }
+    }
+
+    fn check_write(&mut self, seg_idx: usize, region: AccessRegion, block: u32) {
+        if self.dirty.is_some() {
+            return;
+        }
+        if let Some(r) = self
+            .reads
+            .iter()
+            .filter(|r| r.seg_idx <= seg_idx)
+            .find(|r| r.region.overlaps_for_block(&region, block))
+        {
+            self.dirty = Some(UnsafeWrite {
+                store_seg: seg_idx,
+                read_seg: r.seg_idx,
+                buffer: region.buffer,
+            });
+        }
+    }
+}
+
+/// A diagnostic tied to one block (see [`SanitizerReport`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockDiag {
+    /// Kernel the block belongs to.
+    pub kernel: KernelId,
+    /// Grid block index.
+    pub block: u32,
+    /// The write that dirtied the block, when there is one.
+    pub write: Option<UnsafeWrite>,
+}
+
+/// Aggregated sanitizer verdicts for one run.
+///
+/// [`SanitizerReport::is_clean`] is the acceptance gate: no unsafe flush
+/// ever executed and the static classification never *missed* dynamic
+/// dirt (false negatives). Benign conservatism counters are informational.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct SanitizerReport {
+    /// Blocks whose completion was checked against the static verdict.
+    pub blocks_completed: u64,
+    /// Flushes checked.
+    pub flushes_checked: u64,
+    /// Flush denials (static safety check) checked.
+    pub denials_checked: u64,
+    /// Critical: flushed blocks that had written a location they read.
+    pub unsafe_flushes: u64,
+    /// Critical: dirty blocks the static side still considered flushable
+    /// (flushed while not marked past the idempotence point), plus blocks
+    /// of statically-idempotent programs that completed dirty.
+    pub false_negatives: u64,
+    /// Benign: flushes denied although the block's footprint was clean.
+    pub denied_but_clean: u64,
+    /// Benign: statically non-idempotent programs whose blocks completed
+    /// with clean footprints (conservatism that never materialised).
+    pub static_dirty_but_clean: u64,
+    /// Details for the critical categories, capped at a few entries.
+    pub violations: Vec<BlockDiag>,
+}
+
+impl SanitizerReport {
+    /// No unsafe flushes and no static/dynamic classification disagreement.
+    pub fn is_clean(&self) -> bool {
+        self.unsafe_flushes == 0 && self.false_negatives == 0
+    }
+
+    fn push_violation(&mut self, diag: BlockDiag) {
+        if self.violations.len() < DETAIL_CAP {
+            self.violations.push(diag);
+        }
+    }
+}
+
+impl std::fmt::Display for SanitizerReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sanitizer: {} blocks, {} flushes, {} denials checked; \
+             {} unsafe flushes, {} false negatives; \
+             {} denied-but-clean, {} static-dirty-but-clean (benign)",
+            self.blocks_completed,
+            self.flushes_checked,
+            self.denials_checked,
+            self.unsafe_flushes,
+            self.false_negatives,
+            self.denied_but_clean,
+            self.static_dirty_but_clean
+        )
+    }
+}
+
+/// Dynamic flush sanitizer (see the [module documentation](self)).
+///
+/// Enabled per run via [`crate::Engine::enable_sanitizer`]; retrieve the
+/// verdicts with [`crate::Engine::sanitizer`] /
+/// [`crate::Engine::take_sanitizer`].
+#[derive(Debug, Default)]
+pub struct FlushSanitizer {
+    /// In-flight footprints keyed by `(kernel, block)`. Switched-out blocks
+    /// keep theirs (they resume where they left off); flushed blocks start
+    /// a fresh one (they restart from scratch).
+    footprints: BTreeMap<(KernelId, u32), Footprint>,
+    report: SanitizerReport,
+}
+
+impl FlushSanitizer {
+    /// A sanitizer with empty footprints.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Verdicts accumulated so far.
+    pub fn report(&self) -> &SanitizerReport {
+        &self.report
+    }
+
+    /// Fold one completed global-memory segment into the block's footprint.
+    pub fn on_effect(&mut self, kernel: KernelId, block: u32, seg_idx: usize, seg: &Segment) {
+        self.footprints
+            .entry((kernel, block))
+            .or_default()
+            .record(seg_idx, seg, block);
+    }
+
+    /// Check a flush that is about to execute. `past_idem` is the runtime
+    /// static verdict (protect store fired / non-idempotent segment ran).
+    pub fn on_flush(&mut self, kernel: KernelId, block: u32, past_idem: bool) {
+        self.report.flushes_checked += 1;
+        let fp = self.footprints.remove(&(kernel, block));
+        let write = fp.as_ref().and_then(|f| f.dirty);
+        if let Some(write) = write {
+            self.report.unsafe_flushes += 1;
+            if !past_idem {
+                // The static side would have allowed this flush: a miss.
+                self.report.false_negatives += 1;
+            }
+            self.report.push_violation(BlockDiag {
+                kernel,
+                block,
+                write: Some(write),
+            });
+        }
+    }
+
+    /// Record a flush denied by the static safety check; clean footprints
+    /// here are the benign false-positive side of the differential oracle.
+    pub fn on_flush_denied(&mut self, kernel: KernelId, block: u32) {
+        self.report.denials_checked += 1;
+        let dirty = self
+            .footprints
+            .get(&(kernel, block))
+            .is_some_and(|f| f.dirty.is_some());
+        if !dirty {
+            self.report.denied_but_clean += 1;
+        }
+    }
+
+    /// Diff the dynamic footprint of a completed block against the static
+    /// program classification (`static_non_idem`).
+    pub fn on_complete(&mut self, kernel: KernelId, block: u32, static_non_idem: bool) {
+        self.report.blocks_completed += 1;
+        let fp = self.footprints.remove(&(kernel, block));
+        let write = fp.as_ref().and_then(|f| f.dirty);
+        match (static_non_idem, write) {
+            (false, Some(write)) => {
+                self.report.false_negatives += 1;
+                self.report.push_violation(BlockDiag {
+                    kernel,
+                    block,
+                    write: Some(write),
+                });
+            }
+            (true, None) => self.report.static_dirty_but_clean += 1,
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(buffer: u32) -> AccessRegion {
+        AccessRegion::per_block_window(buffer, 0, 4)
+    }
+
+    #[test]
+    fn clean_block_stays_clean() {
+        let mut san = FlushSanitizer::new();
+        let k = KernelId(0);
+        san.on_effect(k, 0, 0, &Segment::load_region(4, window(0)));
+        san.on_effect(k, 0, 1, &Segment::store_region(4, window(1)));
+        san.on_complete(k, 0, false);
+        san.on_flush(k, 1, false); // never-seen block: trivially clean
+        assert!(san.report().is_clean());
+        assert_eq!(san.report().blocks_completed, 1);
+        assert_eq!(san.report().flushes_checked, 1);
+    }
+
+    #[test]
+    fn write_after_read_dirties_and_unsafe_flush_is_flagged() {
+        let mut san = FlushSanitizer::new();
+        let k = KernelId(0);
+        san.on_effect(k, 3, 0, &Segment::load_region(4, window(0)));
+        san.on_effect(k, 3, 2, &Segment::store_region(4, window(0)));
+        san.on_flush(k, 3, true);
+        assert_eq!(san.report().unsafe_flushes, 1);
+        assert_eq!(san.report().false_negatives, 0, "static side knew");
+        assert_eq!(
+            san.report().violations[0].write,
+            Some(UnsafeWrite {
+                store_seg: 2,
+                read_seg: 0,
+                buffer: 0
+            })
+        );
+    }
+
+    #[test]
+    fn flush_of_dirty_block_not_past_idem_is_a_false_negative() {
+        let mut san = FlushSanitizer::new();
+        let k = KernelId(1);
+        san.on_effect(k, 0, 0, &Segment::overwrite(2));
+        san.on_flush(k, 0, false);
+        assert_eq!(san.report().unsafe_flushes, 1);
+        assert_eq!(san.report().false_negatives, 1);
+        assert!(!san.report().is_clean());
+    }
+
+    #[test]
+    fn write_before_read_in_program_order_is_not_dirt() {
+        // Completion order reverses program order across warps; the check
+        // must follow program order.
+        let mut san = FlushSanitizer::new();
+        let k = KernelId(0);
+        // store at seg 2 completes first (warp A), read at seg 0 later
+        // (warp B lagging).
+        san.on_effect(k, 0, 2, &Segment::store_region(4, window(0)));
+        san.on_effect(k, 0, 0, &Segment::load_region(4, window(0)));
+        san.on_complete(k, 0, true);
+        assert_eq!(san.report().unsafe_flushes, 0);
+        assert_eq!(san.report().false_negatives, 0);
+        assert_eq!(san.report().static_dirty_but_clean, 1);
+    }
+
+    #[test]
+    fn duplicate_warp_completions_fold_once() {
+        let mut san = FlushSanitizer::new();
+        let k = KernelId(0);
+        for _ in 0..4 {
+            san.on_effect(k, 0, 0, &Segment::atomic(2));
+        }
+        san.on_flush(k, 0, true);
+        assert_eq!(san.report().unsafe_flushes, 1);
+    }
+
+    #[test]
+    fn denied_flush_of_clean_block_counts_as_benign_false_positive() {
+        let mut san = FlushSanitizer::new();
+        let k = KernelId(0);
+        san.on_effect(k, 0, 0, &Segment::load_region(4, window(0)));
+        san.on_flush_denied(k, 0);
+        assert_eq!(san.report().denied_but_clean, 1);
+        assert!(san.report().is_clean());
+    }
+
+    #[test]
+    fn flush_resets_footprint_for_the_restart() {
+        let mut san = FlushSanitizer::new();
+        let k = KernelId(0);
+        san.on_effect(k, 0, 0, &Segment::load_region(4, window(0)));
+        san.on_flush(k, 0, false); // clean flush; restart from scratch
+        san.on_effect(k, 0, 1, &Segment::store_region(4, window(0)));
+        san.on_complete(k, 0, false);
+        assert!(san.report().is_clean(), "pre-flush read must not linger");
+    }
+
+    #[test]
+    fn report_display_is_stable() {
+        let san = FlushSanitizer::new();
+        let s = format!("{}", san.report());
+        assert!(s.contains("unsafe flushes"));
+    }
+}

@@ -144,6 +144,9 @@ pub struct Sm {
     assigned: Option<KernelId>,
     preempt: Option<ActivePreemption>,
     insts_issued_total: u64,
+    /// Also emit [`Effect`]s for completed load segments (no functional
+    /// meaning; the flush sanitizer needs read footprints). Off by default.
+    record_loads: bool,
 }
 
 /// Error returned by [`Sm::begin_preempt`] (via the engine).
@@ -206,7 +209,13 @@ impl Sm {
             assigned: None,
             preempt: None,
             insts_issued_total: 0,
+            record_loads: false,
         }
+    }
+
+    /// Emit effects for completed load segments too (sanitizer support).
+    pub fn set_record_loads(&mut self, on: bool) {
+        self.record_loads = on;
     }
 
     /// L1 data-cache hit/miss counters.
@@ -326,7 +335,7 @@ impl Sm {
         plan: &SmPreemptPlan,
         save_cycles_per_block: u64,
         out: &mut SmOutput,
-    ) -> Result<Vec<(BlockId, u64)>, PreemptError> {
+    ) -> Result<Vec<(BlockId, u64, bool)>, PreemptError> {
         if self.blocks.is_empty() {
             return Err(PreemptError::NothingResident);
         }
@@ -349,11 +358,13 @@ impl Sm {
                 }
             }
         }
-        // Flush: instant removal. Record discarded work for accounting.
+        // Flush: instant removal. Record discarded work for accounting and
+        // the past-idempotence verdict for the sanitizer's differential
+        // check (a dirty flush while `false` here is a static-analysis miss).
         let mut flushed = Vec::new();
         self.blocks.retain(|b| {
             if plan.technique_for(b.id.index) == Some(Technique::Flush) {
-                flushed.push((b.id, b.issued_insts()));
+                flushed.push((b.id, b.issued_insts(), b.past_idem_point));
                 false
             } else {
                 true
@@ -546,13 +557,15 @@ impl Sm {
             out.issued_insts += outcome.insts;
             self.issue_free_at = now + self.issue_interval * u64::from(outcome.insts);
         }
-        // Non-idempotence flag: protect-store, or directly issuing a
-        // non-idempotent segment of an uninstrumented program.
+        // Non-idempotence flag: protect-store, or directly completing a
+        // non-idempotent segment of an uninstrumented program. The verdict
+        // comes from the program-level dataflow mask, which also catches
+        // plain stores whose region aliases an earlier read.
         if outcome.protect_store {
             block.past_idem_point = true;
         }
-        if let Some(seg) = current_segment_of(segments, &outcome) {
-            if seg.is_non_idempotent() {
+        if let Some(ix) = completed_segment_of(&outcome) {
+            if desc.program().segment_non_idempotent(ix) {
                 block.past_idem_point = true;
             }
         }
@@ -587,7 +600,8 @@ impl Sm {
             if matches!(
                 segments[seg_idx],
                 Segment::GlobalStore { .. } | Segment::Atomic { .. }
-            ) {
+            ) || (self.record_loads && matches!(segments[seg_idx], Segment::GlobalLoad { .. }))
+            {
                 out.effects.push(Effect {
                     kernel: block.id.kernel,
                     block: block.id.index,
@@ -839,14 +853,11 @@ impl Sm {
 /// The segment that `outcome`'s instructions came from, if instructions were
 /// issued. `issue` advances past completed segments, so reconstruct from the
 /// completed index or return `None` for barrier hits.
-fn current_segment_of(
-    segments: &[Segment],
-    outcome: &crate::warp::IssueOutcome,
-) -> Option<Segment> {
+fn completed_segment_of(outcome: &crate::warp::IssueOutcome) -> Option<usize> {
     if outcome.insts == 0 {
         return None;
     }
-    outcome.completed_segment.map(|ix| segments[ix])
+    outcome.completed_segment
 }
 
 #[cfg(test)]

@@ -1,4 +1,4 @@
-//! # idem — idempotence analysis and protect-store instrumentation
+//! # idem — idempotence dataflow analysis and protect-store instrumentation
 //!
 //! The software side of Chimera's SM flushing (§3.4 of the paper). A GPU
 //! kernel is *idempotent* (strict condition, §2.3) if it contains no atomic
@@ -18,22 +18,50 @@
 //! before the dangerous operation, so the scheduler always learns that the
 //! block left its idempotent region *before* it actually does.
 //!
-//! This crate provides exactly that pass over the `gpu-sim` kernel IR:
+//! ## The analysis
+//!
+//! [`analyze`] is a forward dataflow pass over the segment stream of a
+//! [`Program`]. The abstract state is the set of [`AccessRegion`]s the block
+//! has read so far (per-buffer interval sets). Atomics always break
+//! idempotence; a store breaks it exactly when it is a fused
+//! read-modify-write or its region may alias the accumulated read set
+//! ([`AccessRegion::may_overlap`]). Each breaking site carries *provenance* —
+//! which read it clobbers — and the report locates the precise
+//! non-idempotence point in instruction counts. Nothing is declared by the
+//! workload author: the classification driving Table 2 and the flush
+//! eligibility in the runners is derived from access structure. The dynamic
+//! counterpart — per-block footprints checked at every flush — is
+//! `gpu_sim::sanitizer`; `ANALYSIS.md` in the repository root describes the
+//! lattice and the oracle semantics.
+//!
+//! Historical note: the IR used to carry a hand-annotated `overwrite: bool`
+//! on store segments that this crate merely echoed. That flag is gone; the
+//! deprecated constructors `Segment::overwrite`/`store`/`load`/`atomic` now
+//! lower to fixed single-buffer regions that the dataflow classifies
+//! identically.
 //!
 //! ```
-//! use gpu_sim::{KernelDesc, Program, Segment};
-//! use idem::{analyze, instrument_kernel};
+//! use gpu_sim::{AccessRegion, KernelDesc, Program, Segment};
+//! use idem::{analyze, instrument_kernel, NonIdemReason};
 //!
+//! // In-place update: the tail store writes the window the block read.
+//! let window = AccessRegion::per_block_window(0, 0, 32);
 //! let k = KernelDesc::builder("scatter")
 //!     .grid_blocks(4)
 //!     .program(Program::new(vec![
-//!         Segment::load(32),
+//!         Segment::load_region(32, window),
 //!         Segment::compute(400),
-//!         Segment::overwrite(32), // writes back in place: non-idempotent
+//!         Segment::store_region(32, window), // derived: overwrite
 //!     ]))
 //!     .build()?;
 //! let report = analyze(k.program());
 //! assert!(!report.strict_idempotent);
+//! let site = report.first_site().unwrap();
+//! assert_eq!(site.seg_idx, 2);
+//! assert_eq!(
+//!     site.reason,
+//!     NonIdemReason::GlobalOverwrite { clobbered_read: 0, buffer: 0 }
+//! );
 //! let instrumented = instrument_kernel(&k);
 //! assert!(matches!(
 //!     instrumented.program().segments()[2],
@@ -42,10 +70,10 @@
 //! # Ok::<(), gpu_sim::KernelError>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use gpu_sim::{KernelDesc, Program, Segment};
+use gpu_sim::{AccessRegion, KernelDesc, Program, Segment};
 use std::fmt;
 
 /// Why a segment breaks idempotence.
@@ -54,14 +82,21 @@ pub enum NonIdemReason {
     /// An atomic read-modify-write.
     Atomic,
     /// A store that overwrites a global location read by the block.
-    GlobalOverwrite,
+    GlobalOverwrite {
+        /// Segment index of the earliest read this store clobbers. Equal to
+        /// the site's own index for fused read-modify-write stores (the
+        /// store clobbers its own input).
+        clobbered_read: usize,
+        /// Buffer on which the clobber occurs.
+        buffer: u32,
+    },
 }
 
 impl fmt::Display for NonIdemReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NonIdemReason::Atomic => f.write_str("atomic operation"),
-            NonIdemReason::GlobalOverwrite => f.write_str("global overwrite"),
+            NonIdemReason::GlobalOverwrite { .. } => f.write_str("global overwrite"),
         }
     }
 }
@@ -71,91 +106,169 @@ impl fmt::Display for NonIdemReason {
 pub struct NonIdemSite {
     /// Segment index in the program.
     pub seg_idx: usize,
-    /// Why it breaks idempotence.
+    /// Why it breaks idempotence, with provenance for overwrites.
     pub reason: NonIdemReason,
 }
 
-/// The result of analysing a program.
+impl fmt::Display for NonIdemSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.reason {
+            NonIdemReason::Atomic => write!(f, "seg {}: atomic", self.seg_idx),
+            NonIdemReason::GlobalOverwrite {
+                clobbered_read,
+                buffer,
+            } if clobbered_read == self.seg_idx => {
+                write!(
+                    f,
+                    "seg {}: in-place read-modify-write on buffer {}",
+                    self.seg_idx, buffer
+                )
+            }
+            NonIdemReason::GlobalOverwrite {
+                clobbered_read,
+                buffer,
+            } => write!(
+                f,
+                "seg {}: overwrites read of seg {} on buffer {}",
+                self.seg_idx, clobbered_read, buffer
+            ),
+        }
+    }
+}
+
+/// The result of analysing a program (see [`analyze`]).
 #[derive(Debug, Clone, PartialEq)]
-pub struct IdemAnalysis {
+pub struct IdemReport {
     /// Whether the whole kernel satisfies the strict condition.
     pub strict_idempotent: bool,
-    /// Every idempotence-breaking segment, in program order.
+    /// Every idempotence-breaking segment, in program order, with
+    /// provenance.
     pub sites: Vec<NonIdemSite>,
     /// Fraction of per-warp instructions executed before the first breaking
     /// segment (1.0 for strictly idempotent programs). This is how long the
     /// *relaxed* condition keeps a block flushable.
     pub idempotent_fraction: f64,
+    /// Per-warp instructions before the first breaking segment (the precise
+    /// non-idempotence point; equals `total_insts` when strict).
+    pub insts_before_first_site: u64,
+    /// Total per-warp instructions in the program.
+    pub total_insts: u64,
 }
 
-impl IdemAnalysis {
+/// Deprecated name of [`IdemReport`], kept for source compatibility.
+pub type IdemAnalysis = IdemReport;
+
+impl IdemReport {
     /// The first idempotence-breaking segment, if any.
     pub fn first_site(&self) -> Option<NonIdemSite> {
         self.sites.first().copied()
     }
 }
 
+/// A read accumulated by the dataflow, with its origin for provenance.
+#[derive(Debug, Clone, Copy)]
+struct ReadRec {
+    seg_idx: usize,
+    region: AccessRegion,
+}
+
 /// Analyse a program for the strict and relaxed idempotence conditions.
 ///
-/// Atomic segments are trivially found (separate instructions); overwrite
-/// stores are assumed to have been classified by the front end's pointer
-/// analysis, which the paper notes is precise for the restricted pointer use
-/// in GPU kernels — the IR records the result in
-/// [`Segment::GlobalStore`]'s `overwrite` flag.
-pub fn analyze(program: &Program) -> IdemAnalysis {
+/// A forward dataflow pass: walk the segment stream accumulating the regions
+/// read so far (loads, plus the implicit reads of fused read-modify-write
+/// stores and atomics). An atomic is always a breaking site; a store is one
+/// exactly when it is a read-modify-write or its region may alias an
+/// accumulated read — the earliest such read is reported as the site's
+/// provenance. The paper notes the front end's pointer analysis is precise
+/// for the restricted pointer use in GPU kernels, which is what the
+/// region-level [`AccessRegion::may_overlap`] models (conservative only
+/// across differing block strides).
+///
+/// The per-segment verdict always agrees with the mask `gpu_sim` precomputes
+/// in [`Program::new`] (property-tested); this pass additionally carries
+/// provenance and the instruction-count location of the idempotence point.
+pub fn analyze(program: &Program) -> IdemReport {
     let mut sites = Vec::new();
+    let mut reads: Vec<ReadRec> = Vec::new();
+    let mut insts: u64 = 0;
+    let mut insts_before_first_site: Option<u64> = None;
     for (i, seg) in program.segments().iter().enumerate() {
-        match seg {
+        let mut breaking = false;
+        match *seg {
             Segment::Atomic { .. } => {
                 sites.push(NonIdemSite {
                     seg_idx: i,
                     reason: NonIdemReason::Atomic,
                 });
+                breaking = true;
             }
-            Segment::GlobalStore {
-                overwrite: true, ..
-            } => {
-                sites.push(NonIdemSite {
-                    seg_idx: i,
-                    reason: NonIdemReason::GlobalOverwrite,
-                });
+            Segment::GlobalLoad { region, .. } => {
+                reads.push(ReadRec { seg_idx: i, region });
+            }
+            Segment::GlobalStore { region, rmw, .. } => {
+                let hit = reads.iter().find(|r| r.region.may_overlap(&region));
+                if rmw || hit.is_some() {
+                    sites.push(NonIdemSite {
+                        seg_idx: i,
+                        reason: NonIdemReason::GlobalOverwrite {
+                            clobbered_read: hit.map_or(i, |r| r.seg_idx),
+                            buffer: region.buffer,
+                        },
+                    });
+                    breaking = true;
+                }
+                if rmw {
+                    // The fused read is visible to later stores.
+                    reads.push(ReadRec { seg_idx: i, region });
+                }
             }
             _ => {}
         }
+        if breaking && insts_before_first_site.is_none() {
+            insts_before_first_site = Some(insts);
+        }
+        insts += u64::from(seg.insts());
     }
-    IdemAnalysis {
+    let total = insts;
+    let before = insts_before_first_site.unwrap_or(total);
+    IdemReport {
         strict_idempotent: sites.is_empty(),
-        idempotent_fraction: program.idempotent_fraction(),
+        idempotent_fraction: if total == 0 {
+            1.0
+        } else {
+            before as f64 / total as f64
+        },
+        insts_before_first_site: before,
+        total_insts: total,
         sites,
     }
 }
 
-/// Insert a protect store in front of the first idempotence-breaking segment.
+/// Insert a protect store immediately before the first idempotence-breaking
+/// segment.
 ///
 /// One store suffices: the scheduler's "past the idempotence point" flag is
-/// sticky, so protecting later sites would be redundant. Instrumenting an
-/// already-instrumented program is a no-op, and strictly idempotent programs
-/// are returned unchanged.
+/// sticky, so protecting later sites would be redundant. The pass first
+/// strips any existing [`Segment::ProtectStore`]s and re-places the marker
+/// from the analysis result, so re-instrumenting a program whose protect
+/// store is stale (missing, duplicated, or *after* the first breaking site)
+/// repairs it; `instrument` is a fixpoint, and strictly idempotent programs
+/// come out with no protect store at all.
 pub fn instrument(program: &Program) -> Program {
-    let mut out = Vec::with_capacity(program.segments().len() + 1);
-    let mut protected = false;
-    for seg in program.segments() {
-        match seg {
-            Segment::ProtectStore => {
-                protected = true;
-                out.push(*seg);
-            }
-            s if s.is_non_idempotent() => {
-                if !protected {
-                    out.push(Segment::ProtectStore);
-                    protected = true;
-                }
-                out.push(*s);
-            }
-            s => out.push(*s),
+    let mut out: Vec<Segment> = program
+        .segments()
+        .iter()
+        .copied()
+        .filter(|s| !matches!(s, Segment::ProtectStore))
+        .collect();
+    let stripped = Program::new(out.clone());
+    match analyze(&stripped).first_site() {
+        None => stripped,
+        Some(site) => {
+            out.insert(site.seg_idx, Segment::ProtectStore);
+            Program::new(out)
         }
     }
-    Program::new(out)
 }
 
 /// Instrument a kernel's program (see [`instrument`]).
@@ -225,6 +338,8 @@ mod tests {
         assert!(a.sites.is_empty());
         assert_eq!(a.idempotent_fraction, 1.0);
         assert_eq!(a.first_site(), None);
+        assert_eq!(a.insts_before_first_site, a.total_insts);
+        assert_eq!(a.total_insts, 120);
     }
 
     #[test]
@@ -239,8 +354,72 @@ mod tests {
         assert!(!a.strict_idempotent);
         assert_eq!(a.sites.len(), 2);
         assert_eq!(a.sites[0].reason, NonIdemReason::Atomic);
-        assert_eq!(a.sites[1].reason, NonIdemReason::GlobalOverwrite);
+        // The deprecated shim lowers to a read-modify-write, whose
+        // provenance is its own fused read.
+        assert_eq!(
+            a.sites[1].reason,
+            NonIdemReason::GlobalOverwrite {
+                clobbered_read: 3,
+                buffer: gpu_sim::AccessRegion::COMPAT_INPUT_BUFFER,
+            }
+        );
         assert_eq!(a.first_site().unwrap().seg_idx, 1);
+        assert_eq!(a.insts_before_first_site, 50);
+    }
+
+    #[test]
+    fn aliasing_store_site_carries_provenance() {
+        let window = AccessRegion::per_block_window(0, 0, 16);
+        let p = prog(vec![
+            Segment::load_region(16, window),
+            Segment::compute(80),
+            Segment::store_region(8, window),
+        ]);
+        let a = analyze(&p);
+        assert_eq!(a.sites.len(), 1);
+        assert_eq!(a.sites[0].seg_idx, 2);
+        assert_eq!(
+            a.sites[0].reason,
+            NonIdemReason::GlobalOverwrite {
+                clobbered_read: 0,
+                buffer: 0
+            }
+        );
+        assert_eq!(a.insts_before_first_site, 96);
+        let shown = a.sites[0].to_string();
+        assert!(shown.contains("overwrites read of seg 0"), "{shown}");
+    }
+
+    #[test]
+    fn disjoint_store_is_not_a_site() {
+        let p = prog(vec![
+            Segment::load_region(16, AccessRegion::per_block_window(0, 0, 16)),
+            Segment::store_region(16, AccessRegion::per_block_window(1, 0, 16)),
+        ]);
+        assert!(analyze(&p).strict_idempotent);
+    }
+
+    #[test]
+    fn analysis_agrees_with_program_mask() {
+        let window = AccessRegion::per_block_window(0, 0, 8);
+        for p in [
+            prog(vec![Segment::load(10), Segment::store(10)]),
+            prog(vec![Segment::compute(5), Segment::atomic(2)]),
+            prog(vec![
+                Segment::load_region(8, window),
+                Segment::store_region(4, window),
+                Segment::overwrite(2),
+            ]),
+        ] {
+            let a = analyze(&p);
+            let mask_sites: Vec<usize> = (0..p.segments().len())
+                .filter(|&i| p.segment_non_idempotent(i))
+                .collect();
+            let report_sites: Vec<usize> = a.sites.iter().map(|s| s.seg_idx).collect();
+            assert_eq!(mask_sites, report_sites);
+            assert_eq!(a.strict_idempotent, p.is_idempotent());
+            assert!((a.idempotent_fraction - p.idempotent_fraction()).abs() < 1e-12);
+        }
     }
 
     #[test]
@@ -298,6 +477,64 @@ mod tests {
             Segment::store(2),
         ]);
         assert_eq!(instrument(&p), p);
+    }
+
+    #[test]
+    fn stale_protect_store_after_breaking_site_is_moved() {
+        // Regression: a ProtectStore *behind* the first breaking segment
+        // used to satisfy the old pass ("already protected"), leaving the
+        // dangerous segment unannounced. Re-instrumentation must move it in
+        // front.
+        let p = prog(vec![
+            Segment::compute(10),
+            Segment::overwrite(4),
+            Segment::ProtectStore,
+            Segment::compute(5),
+        ]);
+        let out = instrument(&p);
+        assert_eq!(
+            out.segments(),
+            &[
+                Segment::compute(10),
+                Segment::ProtectStore,
+                Segment::overwrite(4),
+                Segment::compute(5),
+            ]
+        );
+        // And the repair is stable.
+        assert_eq!(instrument(&out), out);
+    }
+
+    #[test]
+    fn duplicate_protect_stores_collapse_to_one() {
+        let p = prog(vec![
+            Segment::ProtectStore,
+            Segment::compute(10),
+            Segment::ProtectStore,
+            Segment::overwrite(4),
+        ]);
+        let out = instrument(&p);
+        let protects = out
+            .segments()
+            .iter()
+            .filter(|s| matches!(s, Segment::ProtectStore))
+            .count();
+        assert_eq!(protects, 1);
+        assert!(matches!(out.segments()[1], Segment::ProtectStore));
+    }
+
+    #[test]
+    fn spurious_protect_store_in_idempotent_program_is_removed() {
+        let p = prog(vec![
+            Segment::load(5),
+            Segment::ProtectStore,
+            Segment::store(2),
+        ]);
+        let out = instrument(&p);
+        assert!(out
+            .segments()
+            .iter()
+            .all(|s| !matches!(s, Segment::ProtectStore)));
     }
 
     #[test]

@@ -10,10 +10,13 @@
 //! * per-block context size (registers + shared memory), split such that the
 //!   occupancy calculator yields exactly the paper's blocks/SM,
 //! * context-switch time (emerges from context size × bandwidth share),
-//! * idempotence class, with non-idempotent kernels carrying their atomic /
-//!   global-overwrite operations in an *absolute-sized tail* at the end of
-//!   the block (the paper's observation that idempotence-breaking operations
-//!   cluster at the end of GPU kernels).
+//! * idempotence class, **derived** rather than asserted: each spec declares
+//!   an access pattern ([`spec::AccessPattern`]), the builder emits explicit
+//!   addressed regions, and the `idem` dataflow classifies the result. The
+//!   non-streaming kernels carry their atomic / in-place-store operations in
+//!   an *absolute-sized tail* at the end of the block (the paper's
+//!   observation that idempotence-breaking operations cluster at the end of
+//!   GPU kernels).
 //!
 //! Because every figure in the paper's evaluation is a function of those
 //! characteristics, matching them reproduces the figures' shapes.
@@ -28,14 +31,16 @@
 //! assert_eq!(bs.launches().len(), 1);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod benchmark;
 mod measure;
 mod rt;
-mod solve;
-mod spec;
+/// Parameter solver turning Table 2 targets into concrete kernels.
+pub mod solve;
+/// Table 2 kernel specifications.
+pub mod spec;
 mod suite;
 mod synthetic;
 
@@ -43,6 +48,6 @@ pub use benchmark::Benchmark;
 pub use measure::{measure_drain_time_us, measure_solo_rate};
 pub use rt::RtTask;
 pub use solve::{build_kernel, build_program, solve_insts_per_warp, solve_resources, Resources};
-pub use spec::{table2, KernelSpec, NonIdemKind};
+pub use spec::{table2, AccessPattern, KernelSpec};
 pub use suite::{Suite, SuiteOptions, LUD_ITERATIONS};
 pub use synthetic::SyntheticKernel;

@@ -10,14 +10,23 @@
 //!    full occupancy runs for the target drain time under the SM issue model
 //!    (`drain_cycles ≈ insts × warps × blocks/SM × issue_interval`).
 //! 3. **Program shape** — lay the instructions out as load / compute /
-//!    barrier / store segments, with non-idempotent kernels ending in an
-//!    absolute-duration tail that begins with their atomic/overwrite.
+//!    barrier / store segments over explicit access regions, with
+//!    non-streaming kernels ending in an absolute-duration tail that begins
+//!    with their idempotence breaker (an atomic, or an in-place store into
+//!    the input window the block already read).
 
-use crate::spec::{KernelSpec, NonIdemKind};
-use gpu_sim::{GpuConfig, KernelDesc, Program, Segment};
+use crate::spec::{AccessPattern, KernelSpec};
+use gpu_sim::{AccessRegion, GpuConfig, KernelDesc, Program, Segment};
 
 /// Threads per block used by all synthetic kernels (4 warps).
 pub const THREADS_PER_BLOCK: u32 = 128;
+
+/// Buffer id of the per-block input window every kernel reads.
+pub const INPUT_BUFFER: u32 = 0;
+/// Buffer id of the per-block output window every kernel writes.
+pub const OUTPUT_BUFFER: u32 = 1;
+/// Buffer id of the block-shared counters atomic tails update.
+pub const COUNTER_BUFFER: u32 = 2;
 
 /// Solved per-block resources.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,16 +100,23 @@ fn tail_insts(cfg: &GpuConfig, tail_us: f64, tbs_per_sm: u32) -> u32 {
 
 /// Build the segmented warp program for a spec.
 ///
-/// Layout: a small load, compute split by a barrier, a store — and for
-/// non-idempotent kernels a tail `[overwrite/atomic, compute, store]` whose
-/// first segment is the idempotence-breaking operation.
+/// Layout: a small load of the block's input window, compute split by a
+/// barrier, a store to a distinct output window — and for non-streaming
+/// kernels a tail whose first memory operation is the idempotence breaker:
+/// an in-place store back into the *input* window ([`AccessPattern::InPlaceTail`])
+/// or an atomic on block-shared counters ([`AccessPattern::AtomicTail`]).
+///
+/// The builder only states *where* each segment reads and writes; whether a
+/// store clobbers earlier reads — and therefore whether the kernel lands in
+/// Table 2's idempotent or non-idempotent column — is derived downstream by
+/// `idem::analyze` over these regions.
 pub fn build_program(cfg: &GpuConfig, spec: &KernelSpec) -> Program {
     // A kernel whose grid is smaller than its occupancy limit runs below
     // full residency (LUD's 1-block diagonal kernel); block time scales with
     // the *effective* number of co-resident blocks.
     let eff_tbs = spec.tbs_per_sm.min(spec.grid.max(1));
     let total = solve_insts_per_warp(cfg, spec.drain_us, eff_tbs);
-    let tail = if spec.idempotent {
+    let tail = if spec.is_idempotent() {
         0
     } else {
         tail_insts(cfg, spec.tail_us, eff_tbs).clamp(3, total * 3 / 4)
@@ -111,26 +127,44 @@ pub fn build_program(cfg: &GpuConfig, spec: &KernelSpec) -> Program {
     let c = body.saturating_sub(l + s).max(2);
     let c1 = (c * 55 / 100).max(1);
     let c2 = (c - c1).max(1);
+    let input = AccessRegion::per_block_window(INPUT_BUFFER, 0, l);
     let mut segs = vec![
-        Segment::load(l),
+        Segment::load_region(l, input),
         Segment::compute(c1),
         Segment::Barrier,
         Segment::compute(c2),
-        Segment::store(s),
+        Segment::store_region(s, AccessRegion::per_block_window(OUTPUT_BUFFER, 0, s)),
     ];
     if tail > 0 {
         let op = 2u32.min(tail);
         let trailer = 2u32.min(tail.saturating_sub(op));
         let tc = tail.saturating_sub(op + trailer);
-        match spec.non_idem_kind {
-            NonIdemKind::Atomic => segs.push(Segment::atomic(op)),
-            NonIdemKind::Overwrite => segs.push(Segment::overwrite(op)),
+        match spec.access {
+            AccessPattern::AtomicTail => segs.push(Segment::atomic_region(
+                op,
+                AccessRegion::shared_by_blocks(COUNTER_BUFFER, 0, op),
+            )),
+            // A plain store whose region aliases the input window read at
+            // the top of the block; the dataflow derives the overwrite.
+            AccessPattern::InPlaceTail => segs.push(Segment::store_region(
+                op,
+                AccessRegion::per_block_window(INPUT_BUFFER, 0, op),
+            )),
+            AccessPattern::Streaming => unreachable!("streaming kernels have no tail"),
         }
         if tc > 0 {
             segs.push(Segment::compute(tc));
         }
         if trailer > 0 {
-            segs.push(Segment::store(trailer));
+            // Trailing store lands past the main output window: no aliasing.
+            segs.push(Segment::store_region(
+                trailer,
+                AccessRegion::per_block_window(
+                    OUTPUT_BUFFER,
+                    u64::from(s) * AccessRegion::BYTES_PER_INST,
+                    trailer,
+                ),
+            ));
         }
     }
     Program::new(segs)
@@ -247,14 +281,64 @@ mod tests {
         let cfg = GpuConfig::fermi();
         for spec in table2() {
             let p = build_program(&cfg, &spec);
-            assert_eq!(p.is_idempotent(), spec.idempotent, "{}", spec.label());
+            assert_eq!(p.is_idempotent(), spec.is_idempotent(), "{}", spec.label());
+        }
+    }
+
+    #[test]
+    fn derived_idempotence_reproduces_table2_column() {
+        // The spec never asserts idempotence; the dataflow derives it from
+        // the regions the builder emits. 12 of 27 kernels must come out
+        // strictly idempotent (§2.3).
+        let cfg = GpuConfig::fermi();
+        let mut idem_count = 0;
+        for spec in table2() {
+            let report = idem::analyze(&build_program(&cfg, &spec));
+            assert_eq!(
+                report.strict_idempotent,
+                spec.is_idempotent(),
+                "{}",
+                spec.label()
+            );
+            if report.strict_idempotent {
+                idem_count += 1;
+            }
+        }
+        assert_eq!(idem_count, 12);
+    }
+
+    #[test]
+    fn in_place_tails_clobber_the_input_load() {
+        use crate::spec::AccessPattern;
+        let cfg = GpuConfig::fermi();
+        for spec in table2()
+            .iter()
+            .filter(|s| s.access == AccessPattern::InPlaceTail)
+        {
+            let report = idem::analyze(&build_program(&cfg, spec));
+            let site = report.sites.first().expect("tail must break idempotence");
+            match site.reason {
+                idem::NonIdemReason::GlobalOverwrite {
+                    clobbered_read,
+                    buffer,
+                } => {
+                    assert_eq!(
+                        clobbered_read,
+                        0,
+                        "{}: clobbers the input load",
+                        spec.label()
+                    );
+                    assert_eq!(buffer, INPUT_BUFFER, "{}", spec.label());
+                }
+                ref other => panic!("{}: expected overwrite site, got {other:?}", spec.label()),
+            }
         }
     }
 
     #[test]
     fn instrumented_kernels_carry_protect_store() {
         let cfg = GpuConfig::fermi();
-        for spec in table2().iter().filter(|s| !s.idempotent) {
+        for spec in table2().iter().filter(|s| !s.is_idempotent()) {
             let k = build_kernel(&cfg, spec, true);
             let protects = k
                 .program()
@@ -269,7 +353,7 @@ mod tests {
     #[test]
     fn non_idem_tail_fraction_matches_spec() {
         let cfg = GpuConfig::fermi();
-        for spec in table2().iter().filter(|s| !s.idempotent) {
+        for spec in table2().iter().filter(|s| !s.is_idempotent()) {
             let p = build_program(&cfg, spec);
             let frac = p.idempotent_fraction();
             let want = 1.0 - spec.tail_us / spec.drain_us;

@@ -2,20 +2,40 @@
 
 use std::fmt;
 
-/// Which operation breaks idempotence in a non-idempotent kernel.
+/// The global-memory access structure of a kernel's program.
+///
+/// This is what a spec *declares*; whether the resulting program is
+/// idempotent is **derived** by the `idem` dataflow from the access regions
+/// the builder emits (see `build_program`), never asserted. The solver
+/// tests check that the derived classification reproduces the paper's
+/// Table 2 idempotence column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum NonIdemKind {
-    /// The kernel ends with an atomic read-modify-write.
-    Atomic,
-    /// The kernel overwrites global locations it previously read.
-    Overwrite,
+pub enum AccessPattern {
+    /// Streaming: reads the input buffer, writes a distinct output buffer.
+    /// Re-execution is always safe (Table 2 "Idempotent: Yes").
+    Streaming,
+    /// The tail store updates the block's *input* window in place — a plain
+    /// store whose region aliases the earlier read, which the analysis
+    /// flags as an overwrite.
+    InPlaceTail,
+    /// The tail performs atomic updates on block-shared counters.
+    AtomicTail,
 }
 
-impl fmt::Display for NonIdemKind {
+impl AccessPattern {
+    /// Whether a program with this access structure is expected to satisfy
+    /// the strict idempotence condition.
+    pub fn is_idempotent(&self) -> bool {
+        matches!(self, AccessPattern::Streaming)
+    }
+}
+
+impl fmt::Display for AccessPattern {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            NonIdemKind::Atomic => f.write_str("atomic"),
-            NonIdemKind::Overwrite => f.write_str("overwrite"),
+            AccessPattern::Streaming => f.write_str("streaming"),
+            AccessPattern::InPlaceTail => f.write_str("in-place tail"),
+            AccessPattern::AtomicTail => f.write_str("atomic tail"),
         }
     }
 }
@@ -36,10 +56,10 @@ pub struct KernelSpec {
     pub ctx_bytes: u32,
     /// Target resident blocks per SM (Table 2 "TBs /SM").
     pub tbs_per_sm: u32,
-    /// Strict kernel idempotence (Table 2 "Idempotent").
-    pub idempotent: bool,
-    /// For non-idempotent kernels, the breaking operation kind.
-    pub non_idem_kind: NonIdemKind,
+    /// Global-memory access structure of the kernel's program. The Table 2
+    /// "Idempotent" column is *derived* from this by the `idem` analysis
+    /// over the regions the builder emits, not asserted.
+    pub access: AccessPattern,
     /// For non-idempotent kernels, the absolute duration of the
     /// non-idempotent tail at the end of a block, µs. Blocks are flushable
     /// until `drain_us - tail_us` into their execution.
@@ -60,6 +80,14 @@ impl KernelSpec {
     pub fn label(&self) -> String {
         format!("{}.{}", self.bench, self.idx)
     }
+
+    /// Expected strict idempotence (Table 2 "Idempotent"), implied by the
+    /// declared access pattern. The authoritative classification is the
+    /// `idem::analyze` result over the built program; solver tests assert
+    /// the two agree.
+    pub fn is_idempotent(&self) -> bool {
+        self.access.is_idempotent()
+    }
 }
 
 /// The 27 kernels of Table 2.
@@ -68,15 +96,14 @@ impl KernelSpec {
 /// paper's values; `tail_us`, `grid` and `jitter` are reconstruction
 /// parameters chosen as described in the crate docs and DESIGN.md.
 pub fn table2() -> Vec<KernelSpec> {
-    use NonIdemKind::*;
+    use AccessPattern::*;
     let k = |bench,
              idx,
              kernel_name,
              drain_us,
              ctx_kb: f64,
              tbs_per_sm,
-             idempotent,
-             non_idem_kind,
+             access,
              tail_us,
              grid,
              jitter,
@@ -87,15 +114,14 @@ pub fn table2() -> Vec<KernelSpec> {
         drain_us,
         ctx_bytes: (ctx_kb * 1024.0) as u32,
         tbs_per_sm,
-        idempotent,
-        non_idem_kind,
+        access,
         tail_us,
         grid,
         jitter,
         description,
     };
     vec![
-        // bench idx  name                      drain     ctx  tbs idem  kind      tail   grid  jitter
+        // bench idx  name                      drain     ctx  tbs access       tail   grid  jitter
         k(
             "BS",
             0,
@@ -103,8 +129,7 @@ pub fn table2() -> Vec<KernelSpec> {
             60.9,
             24.0,
             4,
-            true,
-            Atomic,
+            Streaming,
             0.0,
             3_000,
             0.10,
@@ -117,15 +142,14 @@ pub fn table2() -> Vec<KernelSpec> {
             3.5,
             46.0,
             2,
-            false,
-            Atomic,
+            AtomicTail,
             2.1,
             12_000,
             0.15,
             "Rodinia B+Tree range lookup: short blocks ending in result-buffer updates; large per-thread register state. The flush-killer of Figure 6.",
         ),
         k(
-            "BT", 1, "findK", 2.8, 36.0, 3, false, Atomic, 1.8, 18_000, 0.15,
+            "BT", 1, "findK", 2.8, 36.0, 3, AtomicTail, 1.8, 18_000, 0.15,
             "Rodinia B+Tree point lookup: like findRangeK with slightly shorter blocks.",
         ),
         k(
@@ -135,8 +159,7 @@ pub fn table2() -> Vec<KernelSpec> {
             3.1,
             12.0,
             6,
-            false,
-            Overwrite,
+            InPlaceTail,
             0.12,
             24_000,
             0.10,
@@ -149,15 +172,14 @@ pub fn table2() -> Vec<KernelSpec> {
             1.8,
             22.0,
             5,
-            false,
-            Overwrite,
+            InPlaceTail,
             0.10,
             24_000,
             0.10,
             "Rodinia back-propagation weight adjustment: in-place weight update, tiny non-idempotent tail.",
         ),
         k(
-            "CP", 0, "cenergy", 746.9, 7.0, 8, false, Overwrite, 2.0, 720, 0.08,
+            "CP", 0, "cenergy", 746.9, 7.0, 8, InPlaceTail, 2.0, 720, 0.08,
             "Parboil coulombic potential: very long compute-dense blocks accumulating into the potential grid at block end.",
         ),
         k(
@@ -167,8 +189,7 @@ pub fn table2() -> Vec<KernelSpec> {
             2.3,
             21.0,
             5,
-            false,
-            Overwrite,
+            InPlaceTail,
             1.5,
             16_000,
             0.15,
@@ -181,8 +202,7 @@ pub fn table2() -> Vec<KernelSpec> {
             7.2,
             28.0,
             3,
-            false,
-            Overwrite,
+            InPlaceTail,
             4.3,
             8_000,
             0.15,
@@ -195,15 +215,14 @@ pub fn table2() -> Vec<KernelSpec> {
             321.8,
             18.0,
             6,
-            false,
-            Overwrite,
+            InPlaceTail,
             2.0,
             1_200,
             0.08,
             "Nvidia SDK Walsh modulate: long streaming multiply, in-place at the tail.",
         ),
         k(
-            "HW", 0, "kernel", 5.2, 67.0, 2, false, Overwrite, 0.30, 18_000, 0.12,
+            "HW", 0, "kernel", 5.2, 67.0, 2, InPlaceTail, 0.30, 18_000, 0.12,
             "Rodinia heart-wall tracking: the largest context of the suite (67 kB/block); overwrites tracked positions at block end.",
         ),
         k(
@@ -213,8 +232,7 @@ pub fn table2() -> Vec<KernelSpec> {
             4.5,
             38.0,
             3,
-            true,
-            Atomic,
+            Streaming,
             0.0,
             30_000,
             0.10,
@@ -227,8 +245,7 @@ pub fn table2() -> Vec<KernelSpec> {
             424.3,
             10.0,
             6,
-            true,
-            Atomic,
+            Streaming,
             0.0,
             900,
             0.08,
@@ -241,8 +258,7 @@ pub fn table2() -> Vec<KernelSpec> {
             118.8,
             12.0,
             6,
-            true,
-            Atomic,
+            Streaming,
             0.0,
             1_800,
             0.08,
@@ -255,8 +271,7 @@ pub fn table2() -> Vec<KernelSpec> {
             1162.0,
             17.0,
             7,
-            true,
-            Atomic,
+            Streaming,
             0.0,
             420,
             0.08,
@@ -269,8 +284,7 @@ pub fn table2() -> Vec<KernelSpec> {
             391.7,
             9.0,
             8,
-            true,
-            Atomic,
+            Streaming,
             0.0,
             720,
             0.08,
@@ -283,8 +297,7 @@ pub fn table2() -> Vec<KernelSpec> {
             10_173.2,
             87.0,
             1,
-            false,
-            Overwrite,
+            InPlaceTail,
             5.0,
             30,
             0.05,
@@ -297,8 +310,7 @@ pub fn table2() -> Vec<KernelSpec> {
             17.4,
             4.0,
             8,
-            false,
-            Overwrite,
+            InPlaceTail,
             0.5,
             1,
             0.35,
@@ -311,8 +323,7 @@ pub fn table2() -> Vec<KernelSpec> {
             26.2,
             5.0,
             8,
-            false,
-            Overwrite,
+            InPlaceTail,
             0.5,
             46,
             0.35,
@@ -325,8 +336,7 @@ pub fn table2() -> Vec<KernelSpec> {
             3.5,
             16.0,
             6,
-            false,
-            Overwrite,
+            InPlaceTail,
             0.3,
             529,
             0.35,
@@ -339,8 +349,7 @@ pub fn table2() -> Vec<KernelSpec> {
             10_212.8,
             18.0,
             6,
-            true,
-            Atomic,
+            Streaming,
             0.0,
             180,
             0.10,
@@ -353,8 +362,7 @@ pub fn table2() -> Vec<KernelSpec> {
             76.4,
             24.0,
             5,
-            true,
-            Atomic,
+            Streaming,
             0.0,
             1_500,
             0.10,
@@ -367,8 +375,7 @@ pub fn table2() -> Vec<KernelSpec> {
             18.2,
             8.0,
             8,
-            false,
-            Overwrite,
+            InPlaceTail,
             0.5,
             8_000,
             0.12,
@@ -381,8 +388,7 @@ pub fn table2() -> Vec<KernelSpec> {
             18.7,
             8.0,
             8,
-            false,
-            Overwrite,
+            InPlaceTail,
             0.5,
             8_000,
             0.12,
@@ -395,8 +401,7 @@ pub fn table2() -> Vec<KernelSpec> {
             42.3,
             7.0,
             8,
-            true,
-            Atomic,
+            Streaming,
             0.0,
             6_000,
             0.35,
@@ -409,8 +414,7 @@ pub fn table2() -> Vec<KernelSpec> {
             82.9,
             8.0,
             8,
-            true,
-            Atomic,
+            Streaming,
             0.0,
             4_000,
             0.35,
@@ -423,8 +427,7 @@ pub fn table2() -> Vec<KernelSpec> {
             19.7,
             2.0,
             8,
-            true,
-            Atomic,
+            Streaming,
             0.0,
             8_000,
             0.35,
@@ -437,8 +440,7 @@ pub fn table2() -> Vec<KernelSpec> {
             122.3,
             11.0,
             8,
-            true,
-            Atomic,
+            Streaming,
             0.0,
             3_000,
             0.08,
@@ -463,14 +465,31 @@ mod tests {
     #[test]
     fn idempotence_split_matches_paper() {
         // "12 out of 27 kernels were found to be idempotent" (§2.3).
-        let idem = table2().iter().filter(|k| k.idempotent).count();
+        let idem = table2().iter().filter(|k| k.is_idempotent()).count();
         assert_eq!(idem, 12);
+    }
+
+    #[test]
+    fn access_pattern_mix_matches_paper_narrative() {
+        // §2.3 attributes most non-idempotence to in-place updates, with the
+        // B+Tree kernels ending in atomic result-buffer updates.
+        let t = table2();
+        let atomics = t
+            .iter()
+            .filter(|k| k.access == AccessPattern::AtomicTail)
+            .count();
+        let in_place = t
+            .iter()
+            .filter(|k| k.access == AccessPattern::InPlaceTail)
+            .count();
+        assert_eq!(atomics, 2);
+        assert_eq!(in_place, 13);
     }
 
     #[test]
     fn non_idempotent_kernels_have_tails() {
         for k in table2() {
-            if k.idempotent {
+            if k.is_idempotent() {
                 assert_eq!(k.tail_us, 0.0, "{}", k.label());
             } else {
                 assert!(k.tail_us > 0.0, "{}", k.label());

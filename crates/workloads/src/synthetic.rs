@@ -5,8 +5,8 @@
 //! occupancy, idempotence-point position — for sensitivity studies, fuzzing
 //! and micro-benchmarks.
 
-use crate::solve::THREADS_PER_BLOCK;
-use gpu_sim::{GpuConfig, KernelDesc, Program, Segment};
+use crate::solve::{INPUT_BUFFER, OUTPUT_BUFFER, THREADS_PER_BLOCK};
+use gpu_sim::{AccessRegion, GpuConfig, KernelDesc, Program, Segment};
 
 /// Builder for a synthetic kernel with architecture-level parameters.
 ///
@@ -30,7 +30,8 @@ pub struct SyntheticKernel {
     block_time_us: f64,
     blocks_per_sm: u32,
     memory_fraction: f64,
-    /// `None` = idempotent; `Some(f)` places an overwrite at fraction `f`.
+    /// `None` = idempotent; `Some(f)` places an in-place store back into the
+    /// input window at fraction `f` (the analysis derives the overwrite).
     non_idem_at: Option<f64>,
     grid_blocks: u32,
     jitter: f64,
@@ -73,8 +74,10 @@ impl SyntheticKernel {
         self
     }
 
-    /// Make the kernel non-idempotent with an overwrite at progress `f`
-    /// (0 exclusive .. 1 exclusive).
+    /// Make the kernel non-idempotent: at progress `f` (0 exclusive ..
+    /// 1 exclusive) the program stores back into the input window it read
+    /// at the top of the block, which the dataflow classifies as an
+    /// overwrite.
     pub fn non_idem_at(mut self, f: f64) -> Self {
         assert!(
             f > 0.0 && f < 1.0,
@@ -111,14 +114,16 @@ impl SyntheticKernel {
         let loads = mem / 2;
         let stores = (mem - loads).max(1);
         let mut segs = Vec::new();
+        let input = AccessRegion::per_block_window(INPUT_BUFFER, 0, loads);
+        let output = AccessRegion::per_block_window(OUTPUT_BUFFER, 0, stores);
         match self.non_idem_at {
             None => {
                 let c = total.saturating_sub(loads + stores).max(2);
-                segs.push(Segment::load(loads));
+                segs.push(Segment::load_region(loads, input));
                 segs.push(Segment::compute((c / 2).max(1)));
                 segs.push(Segment::Barrier);
                 segs.push(Segment::compute((c - c / 2).max(1)));
-                segs.push(Segment::store(stores));
+                segs.push(Segment::store_region(stores, output));
             }
             Some(frac) => {
                 let point = ((f64::from(total) * frac) as u32).clamp(1, total - 2);
@@ -126,13 +131,18 @@ impl SyntheticKernel {
                 let after = total - point;
                 let ow = after.clamp(1, 4);
                 let after_c = after.saturating_sub(ow + stores);
-                segs.push(Segment::load(loads));
+                segs.push(Segment::load_region(loads, input));
                 segs.push(Segment::compute(before_c));
-                segs.push(Segment::overwrite(ow));
+                // In-place store over the window the load just read; the
+                // idem dataflow derives the overwrite classification.
+                segs.push(Segment::store_region(
+                    ow,
+                    AccessRegion::per_block_window(INPUT_BUFFER, 0, ow),
+                ));
                 if after_c > 0 {
                     segs.push(Segment::compute(after_c));
                 }
-                segs.push(Segment::store(stores));
+                segs.push(Segment::store_region(stores, output));
             }
         }
         let program = Program::new(segs);

@@ -1,6 +1,8 @@
 //! Property-based tests over the core data structures and invariants.
 
-use gpu_sim::{occupancy, Engine, GpuConfig, KernelDesc, MemSubsystem, Program, Segment};
+use gpu_sim::{
+    occupancy, AccessRegion, Engine, GpuConfig, KernelDesc, MemSubsystem, Program, Segment,
+};
 use proptest::prelude::*;
 
 /// One request against the memory subsystem: either a single access at an
@@ -20,13 +22,40 @@ fn arb_mem_op() -> impl Strategy<Value = MemOp> {
     ]
 }
 
+/// Random addressed access regions: a few buffers, coarse offsets/lengths
+/// so overlaps actually happen, and the three stride shapes (block-shared,
+/// disjoint per-block windows, and a small stride that overlaps across
+/// blocks and exercises the conservative static path).
+fn arb_region() -> impl Strategy<Value = AccessRegion> {
+    (
+        0u32..3,
+        0u64..4,
+        1u64..6,
+        prop_oneof![
+            Just(0u64),
+            Just(AccessRegion::COMPAT_BLOCK_STRIDE),
+            Just(256u64),
+        ],
+    )
+        .prop_map(|(buf, off, len, stride)| {
+            AccessRegion::new(buf, off * 256, len * AccessRegion::BYTES_PER_INST, stride)
+        })
+}
+
 fn arb_segment() -> impl Strategy<Value = Segment> {
     prop_oneof![
         (1u32..400).prop_map(Segment::compute),
+        // Deprecated fixed-buffer constructors: still generated so the
+        // compatibility lowering stays covered.
         (1u32..60).prop_map(Segment::load),
         (1u32..60).prop_map(Segment::store),
         (1u32..20).prop_map(Segment::overwrite),
         (1u32..8).prop_map(Segment::atomic),
+        // Addressed segments: classification must be derived by dataflow.
+        (1u32..60, arb_region()).prop_map(|(n, r)| Segment::load_region(n, r)),
+        (1u32..60, arb_region()).prop_map(|(n, r)| Segment::store_region(n, r)),
+        (1u32..20, arb_region()).prop_map(|(n, r)| Segment::rmw_region(n, r)),
+        (1u32..8, arb_region()).prop_map(|(n, r)| Segment::atomic_region(n, r)),
         (1u32..60).prop_map(|n| Segment::Shared { insts: n }),
         Just(Segment::Barrier),
     ]
@@ -83,15 +112,75 @@ proptest! {
             prop_assert_eq!(protects, 1);
             prop_assert_eq!(out.insts_per_warp(), p.insts_per_warp() + 1);
             // The protect store lands immediately before the first breaking
-            // segment.
+            // segment (per the program-level dataflow mask, which also
+            // catches plain stores that alias an earlier read), and no
+            // breaking segment precedes it.
             let ix = out
                 .segments()
                 .iter()
                 .position(|s| matches!(s, Segment::ProtectStore))
                 .expect("inserted");
-            prop_assert!(out.segments()[ix + 1].is_non_idempotent());
+            prop_assert!(out.segment_non_idempotent(ix + 1));
+            for i in 0..ix {
+                prop_assert!(!out.segment_non_idempotent(i), "breaking seg {i} before protect store at {ix}");
+            }
         }
         prop_assert_eq!(idem::instrument(&out), out);
+    }
+
+    /// The standalone dataflow analysis agrees with the engine-facing mask
+    /// computed in `Program::new`, site for site.
+    #[test]
+    fn analysis_agrees_with_program_mask(p in arb_program()) {
+        let report = idem::analyze(&p);
+        prop_assert_eq!(report.strict_idempotent, p.is_idempotent());
+        let mask_sites: Vec<usize> = (0..p.segments().len())
+            .filter(|&i| p.segment_non_idempotent(i))
+            .collect();
+        let report_sites: Vec<usize> = report.sites.iter().map(|s| s.seg_idx).collect();
+        prop_assert_eq!(report_sites, mask_sites);
+        prop_assert!(report.idempotent_fraction >= 0.0);
+        prop_assert!(report.idempotent_fraction <= 1.0);
+        prop_assert!(report.insts_before_first_site <= report.total_insts);
+    }
+
+    /// The dynamic flush sanitizer is the oracle for the static analysis:
+    /// running any random addressed program to completion under the
+    /// sanitizer must produce zero false negatives — if the analysis calls a
+    /// program idempotent, no block's footprint may come out dirty. (The
+    /// converse can be conservative: `may_overlap` over-approximates for
+    /// differing strides, which the report counts as benign.)
+    #[test]
+    fn sanitizer_never_refutes_static_idempotence(k in arb_kernel(), seed in 0u64..200) {
+        let cfg = GpuConfig::tiny();
+        let mut e = Engine::with_seed(cfg.clone(), seed);
+        e.enable_sanitizer();
+        let kid = e.launch_kernel(k.clone());
+        for sm in 0..cfg.num_sms {
+            e.assign_sm(sm, Some(kid));
+        }
+        let mut guard = 0;
+        while !e.kernel_stats(kid).finished {
+            e.run_for(20_000_000);
+            guard += 1;
+            prop_assert!(guard < 4_000, "kernel did not finish");
+        }
+        let san = e.take_sanitizer().expect("sanitizer enabled");
+        let rep = san.report();
+        prop_assert_eq!(rep.blocks_completed, u64::from(k.grid_blocks()));
+        prop_assert!(rep.is_clean(), "sanitizer refuted the analysis: {}", rep);
+        // Exact agreement when every region shares one block stride: the
+        // static intersection then equals the per-block dynamic one, so
+        // even the benign-conservatism counter must stay at zero.
+        let strides: Vec<u64> = k
+            .program()
+            .segments()
+            .iter()
+            .filter_map(|s| s.region().map(|r| r.block_stride))
+            .collect();
+        if strides.windows(2).all(|w| w[0] == w[1]) {
+            prop_assert_eq!(rep.static_dirty_but_clean, 0, "disagreement: {}", rep);
+        }
     }
 
     /// Occupancy respects every architectural limit.
