@@ -1,8 +1,10 @@
 //! Tracked engine-throughput scenarios behind `BENCH_gpu_sim.json`.
 //!
-//! Four scenarios span the engine's hot-path regimes on a 15-SM GPU — solo
-//! drain, two-kernel multiprogramming, a preemption storm, and a
-//! figure-style workload slice built from the Table 1 suite. Every scenario
+//! Five scenarios span the engine's hot-path regimes on a 15-SM GPU — solo
+//! drain, two-kernel multiprogramming, a preemption storm, a figure-style
+//! workload slice built from the Table 1 suite, and the online-estimator
+//! feedback loop (P² quantile updates + Algorithm 1 against live
+//! observations) layered on the engine. Every scenario
 //! runs under both the event-calendar scheduler and the legacy linear-scan
 //! reference (`Engine::set_scan_scheduler`), asserting identical simulation
 //! results and recording cycles-simulated-per-second for both, so the file
@@ -20,8 +22,10 @@
 
 use std::io::Write as _;
 
+use chimera::select::{select_preemptions, SelectionRequest};
+use chimera::{EstimatorConfig, ObsBank};
 use criterion::{BenchmarkId, Criterion, Throughput};
-use gpu_sim::{Engine, GpuConfig, KernelDesc, Program, Segment, SmPreemptPlan, Technique};
+use gpu_sim::{Engine, Event, GpuConfig, KernelDesc, Program, Segment, SmPreemptPlan, Technique};
 use workloads::Suite;
 
 /// 15-SM variant of the paper's GPU used by all scenarios.
@@ -178,6 +182,43 @@ fn figure_slice(scan: bool, horizon: u64) -> Outcome {
     fingerprint(&e)
 }
 
+/// The online-estimator hot path layered on the engine loop: every block
+/// completion feeds the per-kernel P² quantile trackers, and each 5k-cycle
+/// window runs Algorithm 1 against the live observations (the per-decision
+/// work `--estimator online` adds to the periodic runner). The estimator
+/// state is identical under both schedulers, so the event/scan equivalence
+/// check still holds; the timing captures engine + estimator together.
+fn estimator_online(scan: bool, horizon: u64) -> Outcome {
+    let cfg = gpu15();
+    let mut e = Engine::with_seed(cfg.clone(), 7);
+    e.set_scan_scheduler(scan);
+    let k = e.launch_kernel(synthetic("est", 1200, 10, 8192));
+    for sm in 0..cfg.num_sms {
+        e.assign_sm(sm, Some(k));
+    }
+    let est = EstimatorConfig::online(0.95);
+    let mut bank = ObsBank::with_estimator(est);
+    while e.cycle() < horizon {
+        let events = e.run_for(5_000.min(horizon - e.cycle()));
+        for ev in events {
+            if let Event::TbCompleted { insts, cycles, .. } = ev {
+                bank.record_tb("est", insts, cycles);
+            }
+        }
+        let req = SelectionRequest {
+            limit_cycles: cfg.us_to_cycles(15.0),
+            num_preempts: 4,
+            ctx_bytes_per_tb: 24 * 1024,
+            obs: bank.obs("est"),
+            flush_allowed: true,
+            estimator: est,
+        };
+        let snaps: Vec<_> = (0..4).map(|sm| e.sm_snapshot(sm)).collect();
+        std::hint::black_box(select_preemptions(&cfg, &req, &snaps));
+    }
+    fingerprint(&e)
+}
+
 struct Scenario {
     name: &'static str,
     run: fn(bool, u64) -> Outcome,
@@ -204,6 +245,11 @@ const SCENARIOS: &[Scenario] = &[
     Scenario {
         name: "figure_slice_15sm",
         run: figure_slice,
+        full_horizon: 2_000_000,
+    },
+    Scenario {
+        name: "estimator_online_15sm",
+        run: estimator_online,
         full_horizon: 2_000_000,
     },
 ];

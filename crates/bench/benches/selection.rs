@@ -40,6 +40,7 @@ fn bench_selection(c: &mut Criterion) {
                 ..KernelObs::default()
             },
             flush_allowed: true,
+            estimator: Default::default(),
         };
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{sms}sm_{blocks}tb")),

@@ -1,6 +1,7 @@
 //! Minimal CLI argument handling shared by the figure binaries.
 
 use crate::pool;
+use chimera::{EstimatorConfig, EstimatorMode};
 
 /// Common knobs: `--scale <f64>` (shrinks horizons/budgets for quick runs),
 /// `--seed <u64>`, `--jobs <usize>` (worker threads for the experiment
@@ -31,6 +32,10 @@ pub struct RunArgs {
     /// sanitized pass is separate from the figure's own cells, so stdout
     /// stays byte-identical; the verdict goes to stderr.
     pub sanitize: bool,
+    /// Drain/flush cost estimator: `--estimator static` (paper §4.1 bound,
+    /// the default) or `--estimator online` (live per-kernel quantile
+    /// tracking), with `--risk-quantile <q>` picking the online risk level.
+    pub estimator: EstimatorConfig,
 }
 
 impl Default for RunArgs {
@@ -42,6 +47,7 @@ impl Default for RunArgs {
             trace: None,
             events: None,
             sanitize: false,
+            estimator: EstimatorConfig::default(),
         }
     }
 }
@@ -85,10 +91,23 @@ impl RunArgs {
                 "--sanitize" => {
                     out.sanitize = true;
                 }
+                "--estimator" => {
+                    let v = it.next().expect("--estimator needs a value");
+                    out.estimator.mode = v
+                        .parse::<EstimatorMode>()
+                        .expect("--estimator must be `static` or `online`");
+                }
+                "--risk-quantile" => {
+                    let v = it.next().expect("--risk-quantile needs a value");
+                    let q: f64 = v.parse().expect("--risk-quantile must be a number");
+                    assert!(q > 0.0 && q <= 1.0, "--risk-quantile must be in (0, 1]");
+                    out.estimator.risk_quantile = q;
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--scale <f>] [--seed <n>] [--jobs <n>] \
-                         [--trace <path>] [--events <path>] [--sanitize]"
+                         [--trace <path>] [--events <path>] [--sanitize] \
+                         [--estimator static|online] [--risk-quantile <q>]"
                     );
                     std::process::exit(0);
                 }
@@ -169,5 +188,33 @@ mod tests {
     #[should_panic(expected = "unknown argument")]
     fn rejects_unknown() {
         RunArgs::parse(s(&["--wat"]));
+    }
+
+    #[test]
+    fn estimator_defaults_to_static() {
+        let a = RunArgs::parse(s(&[]));
+        assert_eq!(a.estimator, EstimatorConfig::default());
+        assert_eq!(a.estimator.mode, EstimatorMode::Static);
+    }
+
+    #[test]
+    fn parses_estimator_and_risk_quantile() {
+        let a = RunArgs::parse(s(&["--estimator", "online", "--risk-quantile", "0.9"]));
+        assert_eq!(a.estimator.mode, EstimatorMode::Online);
+        assert!((a.estimator.risk_quantile - 0.9).abs() < 1e-12);
+        let a = RunArgs::parse(s(&["--estimator", "static"]));
+        assert_eq!(a.estimator.mode, EstimatorMode::Static);
+    }
+
+    #[test]
+    #[should_panic(expected = "--estimator must be `static` or `online`")]
+    fn rejects_unknown_estimator() {
+        RunArgs::parse(s(&["--estimator", "psychic"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "--risk-quantile must be in (0, 1]")]
+    fn rejects_out_of_range_quantile() {
+        RunArgs::parse(s(&["--risk-quantile", "1.5"]));
     }
 }

@@ -1,11 +1,23 @@
-//! Estimator-accuracy report: predicted vs. actual drain latency per kernel.
+//! Estimator-accuracy report: predicted vs. actual drain latency per kernel,
+//! for the paper's static §4.1 bound *and* the online quantile estimator.
 //!
-//! For every benchmark, runs the §4.1 periodic scenario under Chimera with
-//! the observability event log enabled, then joins each *drain* decision
-//! (which carries the §3.2 cost-model prediction) with the cycles the block
-//! actually took to finish ([`chimera::obs::drain_accuracy`]). A small mean
-//! error is what licenses Algorithm 1 to trust the estimates when choosing
-//! between drain, switch and flush.
+//! For every benchmark, runs the §4.1 periodic scenario under Chimera twice —
+//! once per estimator — and joins each *drain* decision (which carries the
+//! §3.2 cost-model prediction) with the cycles the block actually took to
+//! finish (the incremental [`chimera::DrainTracker`] join, accumulated live
+//! by the runner). A small mean error is what licenses Algorithm 1 to trust
+//! the estimates when choosing between drain, switch and flush; the online
+//! column shows how much of the static bound's headroom the live quantile
+//! trackers win back once per-kernel samples accumulate.
+//!
+//! The second table slices the same samples chronologically (horizon
+//! quarters, by decision cycle) — live-vs-static error over time. The online
+//! estimator starts on the static bound (trackers below `min_samples`) and
+//! sharpens as completions feed back.
+//!
+//! With `--estimator online` the binary also acts as a smoke gate: it exits
+//! non-zero if the online estimator's overall error exceeds the static
+//! bound's on the same slice (`--risk-quantile` picks the online risk level).
 //!
 //! Output is byte-identical for every `--jobs` value; `--trace`/`--events`
 //! additionally dump one representative traced run (see `OBSERVABILITY.md`).
@@ -13,93 +25,176 @@
 use bench::pool;
 use bench::progress::Progress;
 use bench::report::f1;
-use bench::scenarios::{write_observability, PERIODIC_HORIZON_US, TRACE_EVENT_CAPACITY};
+use bench::scenarios::{write_observability, PERIODIC_HORIZON_US};
 use bench::{RunArgs, Table};
-use chimera::obs::drain_accuracy;
+use chimera::obs::{accuracy_per_kernel, DrainSample};
 use chimera::policy::Policy;
-use chimera::runner::periodic::{run_periodic_traced, PeriodicConfig};
+use chimera::runner::periodic::{run_periodic, PeriodicConfig};
+use chimera::{EstimatorConfig, EstimatorMode};
 use workloads::Suite;
+
+/// Weighted overall mean-absolute-relative-error over a set of samples.
+fn overall_mare(samples: &[&DrainSample]) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    Some(samples.iter().map(|s| s.abs_err_pct()).sum::<f64>() / samples.len() as f64)
+}
 
 fn main() {
     let args = RunArgs::from_env();
     let suite = Suite::standard();
     let cfg = suite.config();
-    let pcfg = PeriodicConfig {
-        constraint_us: 15.0,
-        horizon_us: PERIODIC_HORIZON_US * args.scale,
-        seed: args.seed,
-        ..PeriodicConfig::paper_default(cfg)
-    };
+    let horizon_us = PERIODIC_HORIZON_US * args.scale;
+    let estimators = [
+        EstimatorConfig::default(),
+        EstimatorConfig::online(args.estimator.risk_quantile),
+    ];
     let benches = suite.benchmarks();
-    let progress = Progress::new("est-accuracy", benches.len());
-    // One traced Chimera run per benchmark; each cell owns its engine, so
-    // the matrix parallelises like every other figure.
+    let progress = Progress::new("est-accuracy", benches.len() * estimators.len());
+    // One Chimera run per (benchmark, estimator); each cell owns its engine,
+    // so the matrix parallelises like every other figure.
     let tasks: Vec<_> = benches
         .iter()
-        .map(|bench| {
-            let (pcfg, progress) = (&pcfg, &progress);
-            move || {
-                let (_, engine) = run_periodic_traced(
-                    cfg,
-                    bench,
-                    Policy::chimera_us(15.0),
-                    pcfg,
-                    TRACE_EVENT_CAPACITY,
-                );
-                let report = drain_accuracy(&engine);
-                progress.cell_done(bench.name());
-                (bench.name().to_string(), report)
-            }
+        .flat_map(|bench| {
+            let progress = &progress;
+            estimators.iter().map(move |&est| {
+                move || {
+                    let pcfg = PeriodicConfig {
+                        constraint_us: 15.0,
+                        horizon_us,
+                        seed: args.seed,
+                        estimator: est,
+                        ..PeriodicConfig::paper_default(cfg)
+                    };
+                    let r = run_periodic(cfg, bench, Policy::chimera_us(15.0), &pcfg);
+                    progress.cell_done(&format!("{}/{}", bench.name(), est.mode));
+                    r.drain_samples
+                }
+            })
         })
         .collect();
-    let results = pool::run_tasks(args.jobs, tasks);
+    let mut results = pool::run_tasks(args.jobs, tasks).into_iter();
+    let per_bench: Vec<(String, Vec<DrainSample>, Vec<DrainSample>)> = benches
+        .iter()
+        .map(|b| {
+            let st = results.next().expect("static run for every benchmark");
+            let on = results.next().expect("online run for every benchmark");
+            (b.name().to_string(), st, on)
+        })
+        .collect();
+    progress.finish(args.jobs);
+
     println!("Drain estimator accuracy under Chimera (15 us constraint)\n");
     let mut t = Table::new(&[
         "kernel",
-        "drained blocks",
-        "est us",
+        "blocks st/on",
+        "est us st",
+        "est us on",
         "actual us",
-        "mean |err| %",
+        "|err| % static",
+        "|err| % online",
     ]);
-    let (mut total_samples, mut err_sum) = (0usize, 0.0f64);
-    for (bench_name, report) in &results {
-        if report.is_empty() {
+    let (mut all_static, mut all_online) = (Vec::new(), Vec::new());
+    for (bench_name, st, on) in &per_bench {
+        let stk = accuracy_per_kernel(cfg, st);
+        let onk = accuracy_per_kernel(cfg, on);
+        if stk.is_empty() && onk.is_empty() {
             t.row(vec![
                 bench_name.clone(),
-                "0".into(),
+                "0/0".into(),
+                "-".into(),
+                "-".into(),
                 "-".into(),
                 "-".into(),
                 "-".into(),
             ]);
             continue;
         }
-        for k in report {
-            total_samples += k.samples;
-            err_sum += k.mean_abs_err_pct * k.samples as f64;
+        // Same kernel set in both runs is not guaranteed (the online bound
+        // can unlock drains the static bound rejected); union the names.
+        let mut names: Vec<&str> = stk.iter().chain(&onk).map(|k| k.kernel.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        for name in names {
+            let s = stk.iter().find(|k| k.kernel == name);
+            let o = onk.iter().find(|k| k.kernel == name);
+            let opt = |v: Option<f64>| v.map_or_else(|| "-".into(), f1);
             t.row(vec![
-                k.kernel.clone(),
-                k.samples.to_string(),
-                f1(k.mean_est_us),
-                f1(k.mean_actual_us),
-                f1(k.mean_abs_err_pct),
+                name.to_string(),
+                format!(
+                    "{}/{}",
+                    s.map_or(0, |k| k.samples),
+                    o.map_or(0, |k| k.samples)
+                ),
+                opt(s.map(|k| k.mean_est_us)),
+                opt(o.map(|k| k.mean_est_us)),
+                opt(o.or(s).map(|k| k.mean_actual_us)),
+                opt(s.map(|k| k.mean_abs_err_pct)),
+                opt(o.map(|k| k.mean_abs_err_pct)),
             ]);
         }
+        all_static.extend(st.iter());
+        all_online.extend(on.iter());
     }
-    if total_samples > 0 {
-        t.row(vec![
-            "overall".into(),
-            total_samples.to_string(),
-            "".into(),
-            "".into(),
-            f1(err_sum / total_samples as f64),
-        ]);
-    }
-    progress.finish(args.jobs);
+    let static_mare = overall_mare(&all_static);
+    let online_mare = overall_mare(&all_online);
+    let opt = |v: Option<f64>| v.map_or_else(|| "-".into(), f1);
+    t.row(vec![
+        "overall".into(),
+        format!("{}/{}", all_static.len(), all_online.len()),
+        "".into(),
+        "".into(),
+        "".into(),
+        opt(static_mare),
+        opt(online_mare),
+    ]);
     print!("{t}");
-    println!("\n(blocks Algorithm 1 chose to drain, joined with their observed completion;");
-    println!("kernels with 0 drained blocks were served by flush/switch or idle SMs.");
-    println!("est >= actual by design: the drain estimate carries the paper's s4.1");
-    println!("headroom — remaining work is bounded by max(avg + 2 sigma, observed max)");
-    println!("— so drains that must meet a deadline finish early, never late)");
+
+    // Live-vs-static error over time: the same samples, sliced by when
+    // Algorithm 1 made the decision (horizon quarters).
+    println!("\nError over time (mean |err| % by decision time, horizon quarters):");
+    let quarter = cfg.us_to_cycles(horizon_us / 4.0).max(1);
+    let mut t = Table::new(&["estimator", "Q1", "Q2", "Q3", "Q4"]);
+    for (label, samples) in [("static", &all_static), ("online", &all_online)] {
+        let mut row = vec![label.to_string()];
+        for q in 0..4u64 {
+            let slice: Vec<&DrainSample> = samples
+                .iter()
+                .copied()
+                .filter(|s| s.decided_at / quarter == q || (q == 3 && s.decided_at / quarter > 3))
+                .collect();
+            row.push(opt(overall_mare(&slice)));
+        }
+        t.row(row);
+    }
+    print!("{t}");
+    println!("\n(blocks Algorithm 1 chose to drain, joined live with their observed");
+    println!("completion; kernels with 0 drained blocks were served by flush/switch or");
+    println!("idle SMs. est >= actual by design: the static estimate carries the paper's");
+    println!("s4.1 headroom — remaining work bounded by max(avg + 2 sigma, observed max)");
+    println!("— so drains that must meet a deadline finish early, never late. The online");
+    println!("estimator replaces that bound with a live per-kernel quantile once enough");
+    println!("completions accumulate, trading slack for accuracy at the risk level q)");
     write_observability(&args, &suite, 15.0);
+
+    if args.estimator.mode == EstimatorMode::Online {
+        match (static_mare, online_mare) {
+            (Some(st), Some(on)) if on > st => {
+                eprintln!(
+                    "GATE FAIL: online estimator error {} % exceeds static {} %",
+                    f1(on),
+                    f1(st)
+                );
+                std::process::exit(1);
+            }
+            (Some(st), Some(on)) => {
+                eprintln!("gate ok: online {} % <= static {} %", f1(on), f1(st));
+            }
+            _ => {
+                eprintln!("GATE FAIL: no drain samples to compare");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -28,7 +28,7 @@ fn one(
     };
     (
         r.violation_pct(),
-        r.mean_ok_latency_us,
+        r.mean_ok_latency_us.unwrap_or(f64::NAN),
         [
             share(Technique::Switch),
             share(Technique::Drain),

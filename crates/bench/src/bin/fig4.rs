@@ -24,6 +24,7 @@ fn main() {
         avg_tb_cpi: Some(cpi),
         std_tb_insts: 0.0,
         max_tb_insts: total as u64,
+        quantile_tb_insts: None,
     };
     let model = CostModel::new(&cfg, 24 * 1024, obs);
     println!("Figure 4: cost vs thread-block progress (normalised)\n");

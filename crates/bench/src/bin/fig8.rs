@@ -22,8 +22,8 @@ fn main() {
     for &c in &constraints {
         eprintln!("fig8: constraint {c} us ...");
         let m = periodic_matrix(&suite, &[Policy::chimera_us(c)], c, &args, false);
-        let mut reqs = 0u32;
-        let mut viol = 0u32;
+        let mut reqs = 0u64;
+        let mut viol = 0u64;
         let mut useful = 0u64;
         let mut oracle_useful = 0u64;
         let mut tech = [0u64; 3];
@@ -62,7 +62,7 @@ fn main() {
         "(c) flush",
     ]);
     for (c, reqs, viol, useful, oracle_useful, tech) in rows {
-        let vp = 100.0 * f64::from(viol) / f64::from(reqs.max(1));
+        let vp = 100.0 * viol as f64 / reqs.max(1) as f64;
         let ov = 100.0 * (1.0 - useful as f64 / oracle_useful.max(1) as f64);
         let total = (tech[0] + tech[1] + tech[2]).max(1) as f64;
         t.row(vec![

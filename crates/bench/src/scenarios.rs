@@ -44,6 +44,7 @@ pub fn write_observability(args: &RunArgs, suite: &Suite, constraint_us: f64) {
         constraint_us,
         horizon_us: PERIODIC_HORIZON_US * args.scale,
         seed: args.seed,
+        estimator: args.estimator,
         ..PeriodicConfig::paper_default(cfg)
     };
     let (_, engine) = run_periodic_traced(
@@ -103,6 +104,7 @@ pub fn sanitized_periodic_check(
         horizon_us: PERIODIC_HORIZON_US * args.scale,
         seed: args.seed,
         sanitize: true,
+        estimator: args.estimator,
         ..PeriodicConfig::paper_default(cfg)
     };
     let benches = suite.benchmarks();
@@ -170,6 +172,7 @@ pub fn periodic_matrix(
         horizon_us: PERIODIC_HORIZON_US * args.scale,
         seed: args.seed,
         strict_idem: strict,
+        estimator: args.estimator,
         ..PeriodicConfig::paper_default(cfg)
     };
     let benches = suite.benchmarks();
@@ -263,6 +266,7 @@ pub fn multiprog_matrix(suite: &Suite, policies: &[Policy], args: &RunArgs) -> M
         constraint_us: 30.0,
         horizon_us: 2_000_000.0,
         seed: args.seed,
+        estimator: args.estimator,
         ..MultiprogConfig::paper_default()
     };
     let solo_horizon = cfg.us_to_cycles(200_000.0);
@@ -389,6 +393,29 @@ mod tests {
             ..serial.clone()
         };
         let policies = [Policy::Switch, Policy::chimera_us(15.0)];
+        let a = periodic_matrix(&suite, &policies, 15.0, &serial, false);
+        let b = periodic_matrix(&suite, &policies, 15.0, &parallel, false);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn online_estimator_matrix_is_deterministic_across_jobs() {
+        // The online estimator feeds block completions back into the cost
+        // model mid-run; its results must still be a pure function of the
+        // inputs — byte-identical for any `--jobs`.
+        let suite = Suite::standard();
+        let serial = RunArgs {
+            scale: 0.05,
+            seed: 7,
+            jobs: 1,
+            estimator: chimera::EstimatorConfig::online(0.95),
+            ..RunArgs::default()
+        };
+        let parallel = RunArgs {
+            jobs: 4,
+            ..serial.clone()
+        };
+        let policies = [Policy::chimera_us(15.0)];
         let a = periodic_matrix(&suite, &policies, 15.0, &serial, false);
         let b = periodic_matrix(&suite, &policies, 15.0, &parallel, false);
         assert_eq!(format!("{a:?}"), format!("{b:?}"));

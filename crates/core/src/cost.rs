@@ -14,6 +14,250 @@ use std::collections::HashMap;
 /// techniques" (§3.2). Kept far from `u64::MAX` so sums cannot overflow.
 pub const MAX_COST: u64 = u64::MAX / 1024;
 
+/// Which estimator drives the §3.2 cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EstimatorMode {
+    /// The paper's offline-shaped model: drain bounds come from the
+    /// worst-case headroom `max(avg + 2σ, observed max)` only.
+    #[default]
+    Static,
+    /// Live closed-loop estimation: per-kernel block-length *distributions*
+    /// are tracked as the run progresses (streaming [`P2Quantile`] sketches)
+    /// and the drain bound uses the configured risk quantile, falling back
+    /// to the static headroom for blocks beyond it or while samples are
+    /// thin.
+    Online,
+}
+
+impl std::str::FromStr for EstimatorMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "static" => Ok(EstimatorMode::Static),
+            "online" => Ok(EstimatorMode::Online),
+            other => Err(format!("unknown estimator '{other}' (static|online)")),
+        }
+    }
+}
+
+impl std::fmt::Display for EstimatorMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EstimatorMode::Static => "static",
+            EstimatorMode::Online => "online",
+        })
+    }
+}
+
+/// Configuration of the cost estimator: the mode and the risk knob.
+///
+/// The **risk quantile** prices the tail risk of draining: a bound at p95
+/// says "95 % of observed blocks were at most this long", so a drain chosen
+/// under it misses its estimate for at most the longest 5 % of blocks. Lower
+/// quantiles give sharper (smaller) estimates but more frequent
+/// underestimates; `1.0` degenerates to the observed maximum. The static
+/// mode ignores the knob entirely.
+///
+/// ```
+/// use chimera::cost::{EstimatorConfig, EstimatorMode};
+///
+/// let est = EstimatorConfig::default();
+/// assert_eq!(est.mode, EstimatorMode::Static);
+/// let online = EstimatorConfig::online(0.95);
+/// assert_eq!(online.mode, EstimatorMode::Online);
+/// assert!((online.risk_quantile - 0.95).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimatorConfig {
+    /// Static (offline-shaped) or online (closed-loop) estimation.
+    pub mode: EstimatorMode,
+    /// Quantile of the block-length distribution used as the drain bound in
+    /// online mode, in `(0, 1]`. Defaults to 0.95.
+    pub risk_quantile: f64,
+    /// Completed blocks required before the quantile is trusted; below this
+    /// the estimator falls back to the static mean-based headroom.
+    pub min_samples: u64,
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        EstimatorConfig {
+            mode: EstimatorMode::Static,
+            risk_quantile: 0.95,
+            min_samples: 16,
+        }
+    }
+}
+
+impl EstimatorConfig {
+    /// Online estimation at the given risk quantile (clamped to `(0, 1]`).
+    pub fn online(risk_quantile: f64) -> Self {
+        EstimatorConfig {
+            mode: EstimatorMode::Online,
+            risk_quantile: risk_quantile.clamp(f64::EPSILON, 1.0),
+            ..EstimatorConfig::default()
+        }
+    }
+
+    /// The configured risk quantile as an integer percentage (for event
+    /// logs: all-integer fields keep the JSON schema byte-stable).
+    pub fn risk_pct(&self) -> u32 {
+        (self.risk_quantile * 100.0).round() as u32
+    }
+}
+
+/// A streaming quantile tracker: the P² algorithm (Jain & Chlamtac, 1985).
+///
+/// Maintains five markers that approximate the `q`-quantile of everything
+/// observed so far in O(1) memory and O(1) deterministic time per
+/// observation — no sampling, no randomness, so estimates are reproducible
+/// and independent of thread count. Below five observations the exact order
+/// statistic of the buffered values is returned.
+///
+/// ```
+/// use chimera::cost::P2Quantile;
+///
+/// let mut p95 = P2Quantile::new(0.95);
+/// assert_eq!(p95.estimate(), None);
+/// for i in 1..=1000u64 {
+///     p95.observe(i as f64);
+/// }
+/// let est = p95.estimate().unwrap();
+/// assert!((est - 950.0).abs() < 25.0, "{est}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct P2Quantile {
+    q: f64,
+    /// Observations so far.
+    count: u64,
+    /// Marker heights (the first `count` entries are a raw buffer until five
+    /// observations arrive).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+}
+
+impl P2Quantile {
+    /// A tracker for the `q`-quantile (clamped to `(0, 1]`).
+    pub fn new(q: f64) -> Self {
+        let q = q.clamp(f64::EPSILON, 1.0);
+        P2Quantile {
+            q,
+            count: 0,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+        }
+    }
+
+    /// The quantile this tracker approximates.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        let n = self.count as usize;
+        self.count += 1;
+        if n < 5 {
+            // Fill the initial buffer; sort once it is full.
+            self.heights[n] = x;
+            if n == 4 {
+                self.heights
+                    .sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+            }
+            return;
+        }
+        // Find the cell k with h[k] <= x < h[k+1], extending the extremes.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            while k < 3 && x >= self.heights[k + 1] {
+                k += 1;
+            }
+            k
+        };
+        for i in (k + 1)..5 {
+            self.positions[i] += 1.0;
+        }
+        let dn = [0.0, self.q / 2.0, self.q, (1.0 + self.q) / 2.0, 1.0];
+        for (d, step) in self.desired.iter_mut().zip(dn) {
+            *d += step;
+        }
+        // Adjust interior markers toward their desired positions with the
+        // piecewise-parabolic (P²) update, falling back to linear when the
+        // parabola would leave the bracket.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d = d.signum();
+                let h = self.parabolic(i, d);
+                let h = if self.heights[i - 1] < h && h < self.heights[i + 1] {
+                    h
+                } else {
+                    self.linear(i, d)
+                };
+                self.heights[i] = h;
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (hm, h, hp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
+        let (nm, n, np) = (
+            self.positions[i - 1],
+            self.positions[i],
+            self.positions[i + 1],
+        );
+        h + d / (np - nm)
+            * ((n - nm + d) * (hp - h) / (np - n) + (np - n - d) * (h - hm) / (n - nm))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// The current quantile estimate, `None` before the first observation.
+    ///
+    /// With fewer than five observations this is the exact nearest-rank
+    /// order statistic of the values seen so far.
+    pub fn estimate(&self) -> Option<f64> {
+        let n = self.count as usize;
+        match n {
+            0 => None,
+            1..=4 => {
+                let mut buf = [0.0; 5];
+                buf[..n].copy_from_slice(&self.heights[..n]);
+                buf[..n].sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+                let rank = ((self.q * n as f64).ceil() as usize).clamp(1, n);
+                Some(buf[rank - 1])
+            }
+            _ => Some(self.heights[2]),
+        }
+    }
+}
+
 /// Online observations about one kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct KernelObs {
@@ -31,16 +275,48 @@ pub struct KernelObs {
     pub std_tb_insts: f64,
     /// Largest per-block instruction count observed (0 when unknown).
     pub max_tb_insts: u64,
+    /// Online-tracked risk-quantile of per-block instructions (e.g. the p95
+    /// block length), when an [online estimator](EstimatorMode::Online) has
+    /// seen enough samples. `None` under the static estimator, with thin
+    /// samples, or when observations came from engine statistics (which
+    /// carry mean/variance/max but no quantile sketch).
+    ///
+    /// When present, the drain-latency bound uses this instead of the
+    /// worst-case `max(avg + 2σ, max)` headroom for blocks that have not yet
+    /// exceeded it — a sharper, risk-priced estimate.
+    pub quantile_tb_insts: Option<f64>,
 }
 
 impl KernelObs {
-    /// Extract observations from engine statistics (no variance available).
+    /// Extract observations from engine statistics.
+    ///
+    /// The engine tracks the block-length distribution's mean, variance
+    /// (Welford) and maximum, so the §4.1 drain-latency headroom survives
+    /// this path; an earlier version zeroed `std_tb_insts`/`max_tb_insts`
+    /// here, silently discarding the headroom whenever observations came
+    /// from engine stats instead of an [`ObsBank`]. Quantile sketches are
+    /// not kept in hardware statistics registers, so `quantile_tb_insts`
+    /// stays `None`.
     pub fn from_stats(stats: &KernelStats) -> Self {
         KernelObs {
             avg_tb_insts: stats.avg_tb_insts(),
             avg_tb_cpi: stats.avg_tb_cpi(),
-            std_tb_insts: 0.0,
-            max_tb_insts: 0,
+            std_tb_insts: stats.std_tb_insts(),
+            max_tb_insts: stats.max_tb_insts,
+            quantile_tb_insts: None,
+        }
+    }
+
+    /// This observation set as seen through `est`: the static mode strips
+    /// the quantile so selection is provably identical to the paper's
+    /// offline-shaped model regardless of what the bank tracked.
+    pub fn for_estimator(self, est: &EstimatorConfig) -> Self {
+        match est.mode {
+            EstimatorMode::Static => KernelObs {
+                quantile_tb_insts: None,
+                ..self
+            },
+            EstimatorMode::Online => self,
         }
     }
 }
@@ -51,6 +327,7 @@ impl KernelObs {
 #[derive(Debug, Clone, Default)]
 pub struct ObsBank {
     acc: HashMap<String, Acc>,
+    est: EstimatorConfig,
 }
 
 /// Per-kernel accumulator. Variance is tracked with Welford's online
@@ -73,16 +350,38 @@ struct Acc {
     /// Total cycles (u128 for the same reason).
     cycles: u128,
     max_insts: u64,
+    /// Streaming risk-quantile sketch of per-block instructions; allocated
+    /// on first record when the bank's estimator is online, absent (and
+    /// zero-cost) under the static estimator.
+    quant: Option<P2Quantile>,
 }
 
 impl ObsBank {
-    /// An empty bank.
+    /// An empty bank with the default (static) estimator.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// An empty bank feeding the given estimator: with
+    /// [`EstimatorMode::Online`] every recorded block also updates a
+    /// per-kernel [`P2Quantile`] sketch at `est.risk_quantile`, and
+    /// [`ObsBank::obs`] exposes the quantile once `est.min_samples` blocks
+    /// were seen.
+    pub fn with_estimator(est: EstimatorConfig) -> Self {
+        ObsBank {
+            acc: HashMap::new(),
+            est,
+        }
+    }
+
+    /// The estimator configuration this bank feeds.
+    pub fn estimator(&self) -> EstimatorConfig {
+        self.est
+    }
+
     /// Record one completed block of kernel `name`.
     pub fn record_tb(&mut self, name: &str, insts: u64, cycles: u64) {
+        let est = self.est;
         let e = self.acc.entry(name.to_string()).or_default();
         e.count += 1;
         let x = insts as f64;
@@ -92,6 +391,11 @@ impl ObsBank {
         e.insts += u128::from(insts);
         e.cycles += u128::from(cycles);
         e.max_insts = e.max_insts.max(insts);
+        if est.mode == EstimatorMode::Online {
+            e.quant
+                .get_or_insert_with(|| P2Quantile::new(est.risk_quantile))
+                .observe(x);
+        }
     }
 
     /// Current observations for kernel `name`.
@@ -101,12 +405,20 @@ impl ObsBank {
                 // Population variance, matching the hardware-register model
                 // (the paper's statistics are whole-population counters).
                 let var = (a.m2 / a.count as f64).max(0.0);
+                // The quantile is trusted only past the thin-sample
+                // threshold; before that selection falls back to the
+                // mean-based static headroom.
+                let quantile_tb_insts = match a.quant {
+                    Some(q) if a.count >= self.est.min_samples => q.estimate(),
+                    _ => None,
+                };
                 KernelObs {
                     // Exact totals give a sharper mean than the running one.
                     avg_tb_insts: Some(a.insts as f64 / a.count as f64),
                     avg_tb_cpi: Some(a.cycles as f64 / a.insts as f64),
                     std_tb_insts: var.sqrt(),
                     max_tb_insts: a.max_insts,
+                    quantile_tb_insts,
                 }
             }
             _ => KernelObs::default(),
@@ -219,21 +531,30 @@ impl<'a> CostModel<'a> {
         // statistics degrade to the conservative maximum.
         match (self.obs.avg_tb_insts, self.obs.avg_tb_cpi) {
             (Some(avg_insts), Some(cpi)) => {
-                // Upper-bound the block length by max(avg + 2 sigma, observed
-                // max): the headroom the paper recommends against drain
-                // misestimation (§4.1). A block that has already *exceeded*
-                // the bound is a straggler whose remaining time cannot be
-                // estimated — per §3.2, unestimable costs become maximal.
-                let bound =
+                // Static upper bound on the block length: max(avg + 2 sigma,
+                // observed max) — the headroom the paper recommends against
+                // drain misestimation (§4.1). With an online-tracked risk
+                // quantile (e.g. p95), blocks still under the quantile get
+                // the sharper risk-priced bound; blocks past it but under the
+                // static bound fall back to the worst-case headroom. A block
+                // that has exceeded even the static bound is a straggler
+                // whose remaining time cannot be estimated — per §3.2,
+                // unestimable costs become maximal.
+                let static_bound =
                     (avg_insts + 2.0 * self.obs.std_tb_insts).max(self.obs.max_tb_insts as f64);
-                if tb.executed_insts as f64 >= bound {
+                let executed = tb.executed_insts as f64;
+                let bound = match self.obs.quantile_tb_insts {
+                    Some(q) if executed < q => q,
+                    _ => static_bound,
+                };
+                if executed >= bound {
                     out.push(TbCost {
                         technique: Technique::Drain,
                         latency_cycles: MAX_COST,
                         overhead_insts: max_executed.saturating_sub(tb.executed_insts),
                     });
                 } else {
-                    let remaining = bound - tb.executed_insts as f64;
+                    let remaining = bound - executed;
                     out.push(TbCost {
                         technique: Technique::Drain,
                         latency_cycles: (remaining * cpi) as u64,
@@ -486,6 +807,251 @@ mod tests {
         assert!((o.avg_tb_cpi.unwrap() - 1.0).abs() < 1e-9);
         assert!(o.std_tb_insts < 1e6, "identical samples: std ~0");
         assert!(o.avg_tb_insts.unwrap().is_finite());
+    }
+
+    #[test]
+    fn p2_exact_below_five_samples() {
+        let mut p = P2Quantile::new(0.5);
+        assert_eq!(p.estimate(), None);
+        p.observe(30.0);
+        assert_eq!(p.estimate(), Some(30.0));
+        p.observe(10.0);
+        // Nearest-rank median of {10, 30} is the rank-1 element.
+        assert_eq!(p.estimate(), Some(10.0));
+        p.observe(20.0);
+        assert_eq!(p.estimate(), Some(20.0));
+    }
+
+    #[test]
+    fn p2_converges_on_uniform_stream() {
+        // Deterministic low-discrepancy uniform-ish stream on [0, 1000).
+        for &(q, expect) in &[(0.5, 500.0), (0.9, 900.0), (0.95, 950.0)] {
+            let mut p = P2Quantile::new(q);
+            let mut x = 0.0f64;
+            for _ in 0..10_000 {
+                x = (x + 617.0) % 1000.0; // golden-ratio-like lattice walk
+                p.observe(x);
+            }
+            let est = p.estimate().unwrap();
+            assert!(
+                (est - expect).abs() < 20.0,
+                "q={q}: estimate {est} vs expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn p2_converges_on_bimodal_stream() {
+        // 90 % short blocks (~100), 10 % long blocks (~2000): the p95 must
+        // land in the long mode, far above mean + 2σ of the short mode.
+        let mut p = P2Quantile::new(0.95);
+        for i in 0..5000u64 {
+            let x = if i % 10 == 9 { 2000.0 } else { 100.0 };
+            p.observe(x + (i % 7) as f64);
+        }
+        let est = p.estimate().unwrap();
+        assert!(
+            est > 1000.0,
+            "p95 of bimodal stream should be long-mode: {est}"
+        );
+    }
+
+    #[test]
+    fn p2_ignores_non_finite_and_is_copy_deterministic() {
+        let mut a = P2Quantile::new(0.9);
+        for i in 0..100 {
+            a.observe(i as f64);
+            a.observe(f64::NAN);
+            a.observe(f64::INFINITY);
+        }
+        assert_eq!(a.count(), 100);
+        let b = a; // Copy
+        assert_eq!(a, b);
+        assert_eq!(a.estimate(), b.estimate());
+    }
+
+    #[test]
+    fn from_stats_preserves_headroom() {
+        // Satellite regression: KernelObs::from_stats used to zero
+        // std/max, so a mixed engine-stats path lost the §4.1 headroom.
+        let stats = KernelStats {
+            completed_insts: 3000,
+            completed_tbs: 3,
+            sum_completed_cycles: 48_000,
+            mean_tb_insts: 1000.0,
+            m2_tb_insts: 20_000.0, // population std of {900,1000,1100}
+            max_tb_insts: 1100,
+            ..KernelStats::default()
+        };
+        let o = KernelObs::from_stats(&stats);
+        assert!(o.std_tb_insts > 0.0, "variance must survive from_stats");
+        assert_eq!(o.max_tb_insts, 1100);
+        assert_eq!(o.quantile_tb_insts, None);
+        // The drain bound must exceed the plain average: nonzero headroom.
+        let c = cfg();
+        let m = CostModel::new(&c, 1024, o);
+        let costs = m.estimate(
+            TbProgress {
+                executed_insts: 0,
+                flushable: false,
+            },
+            3,
+            0,
+        );
+        let drain = costs
+            .iter()
+            .find(|t| t.technique == Technique::Drain)
+            .unwrap();
+        let avg_only = (1000.0 * o.avg_tb_cpi.unwrap()) as u64;
+        assert!(
+            drain.latency_cycles > avg_only,
+            "drain bound {} must carry headroom above mean-only {}",
+            drain.latency_cycles,
+            avg_only
+        );
+    }
+
+    #[test]
+    fn mixed_path_headroom_is_consistent() {
+        // The same completions fed through engine stats and through an
+        // ObsBank must yield the same headroom inputs.
+        let mut stats = KernelStats::default();
+        let mut bank = ObsBank::new();
+        for &(insts, cycles) in &[(900u64, 14_400u64), (1000, 16_000), (1100, 17_600)] {
+            stats.completed_tbs += 1;
+            stats.completed_insts += insts;
+            stats.sum_completed_cycles += cycles;
+            let x = insts as f64;
+            let delta = x - stats.mean_tb_insts;
+            stats.mean_tb_insts += delta / f64::from(stats.completed_tbs);
+            stats.m2_tb_insts += delta * (x - stats.mean_tb_insts);
+            stats.max_tb_insts = stats.max_tb_insts.max(insts);
+            bank.record_tb("k", insts, cycles);
+        }
+        let a = KernelObs::from_stats(&stats);
+        let b = bank.obs("k");
+        assert!((a.std_tb_insts - b.std_tb_insts).abs() < 1e-6);
+        assert_eq!(a.max_tb_insts, b.max_tb_insts);
+        assert!((a.avg_tb_insts.unwrap() - b.avg_tb_insts.unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn obs_bank_online_exposes_quantile_after_min_samples() {
+        let est = EstimatorConfig {
+            min_samples: 8,
+            ..EstimatorConfig::online(0.95)
+        };
+        let mut bank = ObsBank::with_estimator(est);
+        for i in 0..7u64 {
+            bank.record_tb("k", 1000 + i, 16_000);
+        }
+        assert_eq!(
+            bank.obs("k").quantile_tb_insts,
+            None,
+            "thin samples: no quantile"
+        );
+        bank.record_tb("k", 1007, 16_000);
+        let q = bank
+            .obs("k")
+            .quantile_tb_insts
+            .expect("quantile after min_samples");
+        assert!((1000.0..=1007.0).contains(&q), "{q}");
+        // A static bank over the same data never reports one.
+        let mut st = ObsBank::new();
+        for i in 0..8u64 {
+            st.record_tb("k", 1000 + i, 16_000);
+        }
+        assert_eq!(st.obs("k").quantile_tb_insts, None);
+    }
+
+    #[test]
+    fn for_estimator_strips_quantile_in_static_mode() {
+        let o = KernelObs {
+            quantile_tb_insts: Some(1234.0),
+            ..obs(1000.0, 16.0)
+        };
+        assert_eq!(
+            o.for_estimator(&EstimatorConfig::default())
+                .quantile_tb_insts,
+            None
+        );
+        assert_eq!(
+            o.for_estimator(&EstimatorConfig::online(0.9))
+                .quantile_tb_insts,
+            Some(1234.0)
+        );
+    }
+
+    #[test]
+    fn quantile_bound_sharpens_drain_estimate() {
+        let c = cfg();
+        // Bimodal kernel: mean 290, huge max → static bound is the max.
+        let base = KernelObs {
+            avg_tb_insts: Some(290.0),
+            avg_tb_cpi: Some(16.0),
+            std_tb_insts: 570.0,
+            max_tb_insts: 2000,
+            quantile_tb_insts: None,
+        };
+        let risky = KernelObs {
+            quantile_tb_insts: Some(350.0),
+            ..base
+        };
+        let young = TbProgress {
+            executed_insts: 100,
+            flushable: false,
+        };
+        let static_drain = CostModel::new(&c, 1024, base)
+            .estimate(young, 4, 100)
+            .iter()
+            .find(|t| t.technique == Technique::Drain)
+            .unwrap()
+            .latency_cycles;
+        let online_drain = CostModel::new(&c, 1024, risky)
+            .estimate(young, 4, 100)
+            .iter()
+            .find(|t| t.technique == Technique::Drain)
+            .unwrap()
+            .latency_cycles;
+        assert_eq!(static_drain, ((2000.0 - 100.0) * 16.0) as u64);
+        assert_eq!(online_drain, ((350.0 - 100.0) * 16.0) as u64);
+        assert!(online_drain < static_drain);
+        // A block past the quantile falls back to the static bound...
+        let past_q = TbProgress {
+            executed_insts: 400,
+            flushable: false,
+        };
+        let fallback = CostModel::new(&c, 1024, risky)
+            .estimate(past_q, 4, 400)
+            .iter()
+            .find(|t| t.technique == Technique::Drain)
+            .unwrap()
+            .latency_cycles;
+        assert_eq!(fallback, ((2000.0 - 400.0) * 16.0) as u64);
+        // ...and a straggler past even the static bound is unestimable.
+        let straggler = TbProgress {
+            executed_insts: 2500,
+            flushable: false,
+        };
+        let maxed = CostModel::new(&c, 1024, risky)
+            .estimate(straggler, 4, 2500)
+            .iter()
+            .find(|t| t.technique == Technique::Drain)
+            .unwrap()
+            .latency_cycles;
+        assert_eq!(maxed, MAX_COST);
+    }
+
+    #[test]
+    fn estimator_mode_parses_and_displays() {
+        assert_eq!("static".parse::<EstimatorMode>(), Ok(EstimatorMode::Static));
+        assert_eq!("online".parse::<EstimatorMode>(), Ok(EstimatorMode::Online));
+        assert!("p95".parse::<EstimatorMode>().is_err());
+        assert_eq!(EstimatorMode::Online.to_string(), "online");
+        assert_eq!(EstimatorConfig::online(0.95).risk_pct(), 95);
+        // Out-of-range quantiles clamp instead of panicking.
+        assert!(EstimatorConfig::online(7.0).risk_quantile <= 1.0);
+        assert!(EstimatorConfig::online(-1.0).risk_quantile > 0.0);
     }
 
     #[test]

@@ -58,9 +58,9 @@ pub mod runner;
 pub mod scheduler;
 pub mod select;
 
-pub use cost::{CostModel, KernelObs, ObsBank, TbCost};
+pub use cost::{CostModel, EstimatorConfig, EstimatorMode, KernelObs, ObsBank, P2Quantile, TbCost};
 pub use metrics::{antt, geomean, stp};
-pub use obs::{drain_accuracy, KernelAccuracy};
+pub use obs::{accuracy_per_kernel, drain_accuracy, DrainSample, DrainTracker, KernelAccuracy};
 pub use partition::PartitionPolicy;
 pub use policy::Policy;
 pub use scheduler::{GpuScheduler, ProcId, SchedEvent};

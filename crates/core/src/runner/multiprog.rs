@@ -8,7 +8,7 @@
 //! preemption requests served by the configured policy — LUD's launch churn
 //! is what makes these workloads preemption-heavy.
 
-use crate::cost::ObsBank;
+use crate::cost::{EstimatorConfig, ObsBank};
 use crate::partition::PartitionPolicy;
 use crate::policy::Policy;
 use crate::runner::Job;
@@ -33,6 +33,8 @@ pub struct MultiprogConfig {
     /// SM partitioning policy (the paper's evaluation uses
     /// [`PartitionPolicy::SmartEven`]).
     pub partition: PartitionPolicy,
+    /// Cost-estimator mode and risk knob for Chimera's technique selection.
+    pub estimator: EstimatorConfig,
 }
 
 impl MultiprogConfig {
@@ -44,6 +46,7 @@ impl MultiprogConfig {
             horizon_us: 400_000.0,
             seed: 42,
             partition: PartitionPolicy::SmartEven,
+            estimator: EstimatorConfig::default(),
         }
     }
 }
@@ -91,7 +94,7 @@ pub fn run_pair(
         Job::new(a.clone(), Some(mcfg.budget_insts)),
         Job::new(b.clone(), Some(mcfg.budget_insts)),
     ];
-    let mut obs = ObsBank::new();
+    let mut obs = ObsBank::with_estimator(mcfg.estimator);
     // Initial even ownership.
     let half = cfg.num_sms / 2;
     let mut owner: Vec<usize> = (0..cfg.num_sms).map(|sm| usize::from(sm >= half)).collect();
@@ -311,6 +314,7 @@ fn rebalance(
                 ctx_bytes_per_tb: desc.block_context_bytes(),
                 obs: obs.obs(&name),
                 flush_allowed: true,
+                estimator: mcfg.estimator,
             };
             let snaps: Vec<_> = occupied.iter().map(|&sm| engine.sm_snapshot(sm)).collect();
             for plan in select_preemptions(cfg, &req, &snaps) {

@@ -12,7 +12,8 @@
 //! SMs are reserved for the task's execution window even when the request was
 //! late — the benchmark never pockets bonus SM-time from violations.
 
-use crate::cost::ObsBank;
+use crate::cost::{EstimatorConfig, EstimatorMode, ObsBank};
+use crate::obs::{DrainSample, DrainTracker};
 use crate::policy::Policy;
 use crate::select::{select_preemptions, SelectionRequest};
 use gpu_sim::{Engine, Event, GpuConfig, SmPreemptPlan, Technique};
@@ -49,6 +50,12 @@ pub struct PeriodicConfig {
     /// finished report is available from the returned engine via
     /// [`gpu_sim::Engine::take_sanitizer`].
     pub sanitize: bool,
+    /// Cost-estimator mode and risk knob (`--estimator` / `--risk-quantile`
+    /// on the bench binaries). The default static mode reproduces the
+    /// paper's offline-shaped drain bounds; the online mode feeds every
+    /// block completion back into per-kernel quantile sketches and lets
+    /// Algorithm 1 bound drains at the configured risk quantile.
+    pub estimator: EstimatorConfig,
 }
 
 impl PeriodicConfig {
@@ -63,6 +70,7 @@ impl PeriodicConfig {
             prefer_preempted: true,
             simulate_task: false,
             sanitize: false,
+            estimator: EstimatorConfig::default(),
         }
     }
 }
@@ -74,7 +82,15 @@ fn task_kernel(cfg: &GpuConfig, task: &workloads::RtTask) -> gpu_sim::KernelDesc
     let tbs_per_sm = 8u32;
     let warps = 4u64;
     let cycles = cfg.us_to_cycles(task.exec_us);
-    let insts = (cycles / (cfg.issue_interval() * warps * u64::from(tbs_per_sm))).max(8) as u32;
+    // Checked narrowing: the old `as u32` silently wrapped for execution
+    // windows past ~49 s of straight-line work, producing a tiny (or zero-
+    // padded) task kernel instead of a long one. Saturate and flag instead.
+    let insts64 = (cycles / (cfg.issue_interval() * warps * u64::from(tbs_per_sm))).max(8);
+    debug_assert!(
+        u32::try_from(insts64).is_ok(),
+        "task kernel of {insts64} insts/warp exceeds u32 grid maths"
+    );
+    let insts = u32::try_from(insts64).unwrap_or(u32::MAX);
     KernelDesc::builder("rt-task")
         .grid_blocks(task.sms_needed as u32 * tbs_per_sm)
         .threads_per_block(128)
@@ -95,15 +111,17 @@ pub struct PeriodicResult {
     /// Benchmark that was preempted.
     pub benchmark: String,
     /// Preemption requests issued.
-    pub requests: u32,
+    pub requests: u64,
     /// Requests that missed the latency constraint.
-    pub violations: u32,
+    pub violations: u64,
     /// Useful warp instructions the benchmark completed in the horizon.
     pub useful_insts: u64,
     /// Per-block technique usage across all SM preemptions.
     pub technique_counts: HashMap<Technique, u64>,
-    /// Mean hand-over latency of non-violating requests, µs.
-    pub mean_ok_latency_us: f64,
+    /// Mean hand-over latency of non-violating requests, µs; `None` when
+    /// every request violated (the former `f64::NAN` representation poisoned
+    /// any downstream sum or average).
+    pub mean_ok_latency_us: Option<f64>,
     /// Per-request log: `(request time µs, hand-over latency µs if all SMs
     /// were acquired, SMs acquired by the end of the run)`.
     pub request_log: Vec<(f64, Option<f64>, usize)>,
@@ -113,6 +131,11 @@ pub struct PeriodicResult {
     pub switch_count: u64,
     /// Blocks flushed across the run.
     pub flush_count: u64,
+    /// Predicted-vs-actual latency of every drained block, joined
+    /// incrementally during the run (completion order). Empty for
+    /// non-Chimera policies, which never consult the estimator. Aggregate
+    /// with [`crate::obs::accuracy_per_kernel`].
+    pub drain_samples: Vec<DrainSample>,
 }
 
 impl PeriodicResult {
@@ -121,7 +144,7 @@ impl PeriodicResult {
         if self.requests == 0 {
             0.0
         } else {
-            100.0 * f64::from(self.violations) / f64::from(self.requests)
+            100.0 * self.violations as f64 / self.requests as f64
         }
     }
 
@@ -161,6 +184,8 @@ struct RunState {
     task_sms: HashMap<gpu_sim::KernelId, Vec<usize>>,
     requests: Vec<Request>,
     obs: ObsBank,
+    /// Incremental drain decision↔completion join (tentpole closed loop).
+    drains: DrainTracker,
 }
 
 /// Run the periodic experiment for one benchmark under one policy.
@@ -229,7 +254,8 @@ pub fn run_periodic_traced(
         flush_wait: HashMap::new(),
         task_sms: HashMap::new(),
         requests: Vec::new(),
-        obs: ObsBank::new(),
+        obs: ObsBank::with_estimator(pcfg.estimator),
+        drains: DrainTracker::new(),
     };
     let horizon = cfg.us_to_cycles(pcfg.horizon_us);
     let period = pcfg.task.period_cycles(cfg);
@@ -259,12 +285,31 @@ pub fn run_periodic_traced(
             match ev {
                 Event::TbCompleted {
                     kernel,
+                    sm,
+                    block,
                     insts,
                     cycles,
-                    ..
+                    cycle,
                 } => {
                     let name = base_kernel_name(&engine.kernel_stats(kernel).name);
                     st.obs.record_tb(&name, insts, cycles);
+                    st.drains.note_completion(&name, sm, kernel.0, block, cycle);
+                    // Periodically surface the live estimator state to the
+                    // observability event log: at the moment the quantile
+                    // becomes trusted and every 256 completions after.
+                    if pcfg.estimator.mode == EstimatorMode::Online {
+                        let n = st.obs.samples(&name);
+                        if n == pcfg.estimator.min_samples || n.is_multiple_of(256) {
+                            let o = st.obs.obs(&name);
+                            engine.record_estimator_update(
+                                kernel,
+                                n,
+                                o.avg_tb_insts.unwrap_or(0.0).round() as u64,
+                                o.quantile_tb_insts.unwrap_or(0.0).round() as u64,
+                                pcfg.estimator.risk_pct(),
+                            );
+                        }
+                    }
                 }
                 Event::PreemptionCompleted { sm, .. } => {
                     if let Some(req_idx) = st.pending_preempt.remove(&sm) {
@@ -331,7 +376,7 @@ pub fn run_periodic_traced(
             *technique_counts.entry(t).or_insert(0) += 1;
         }
     }
-    let mut violations = 0u32;
+    let mut violations = 0u64;
     let mut ok_lat = Vec::new();
     for rq in &st.requests {
         let ok = matches!(rq.completed_at,
@@ -342,11 +387,8 @@ pub fn run_periodic_traced(
             violations += 1;
         }
     }
-    let mean_ok_latency_us = if ok_lat.is_empty() {
-        f64::NAN
-    } else {
-        ok_lat.iter().sum::<f64>() / ok_lat.len() as f64
-    };
+    let mean_ok_latency_us =
+        (!ok_lat.is_empty()).then(|| ok_lat.iter().sum::<f64>() / ok_lat.len() as f64);
     let request_log = st
         .requests
         .iter()
@@ -368,7 +410,7 @@ pub fn run_periodic_traced(
     let result = PeriodicResult {
         policy: policy.to_string(),
         benchmark: bench.name().to_string(),
-        requests: st.requests.len() as u32,
+        requests: u64::try_from(st.requests.len()).expect("request count fits u64"),
         violations,
         useful_insts: job.useful_insts(&engine),
         technique_counts,
@@ -377,6 +419,7 @@ pub fn run_periodic_traced(
         wasted_flush_insts,
         switch_count,
         flush_count,
+        drain_samples: st.drains.into_samples(),
     };
     (result, engine)
 }
@@ -521,13 +564,26 @@ fn issue_request(
                 ctx_bytes_per_tb: desc.block_context_bytes(),
                 obs: st.obs.obs(&name),
                 flush_allowed: !pcfg.strict_idem || kernel_strictly_idempotent,
+                estimator: pcfg.estimator,
             };
             let snapshots: Vec<_> = occupied.iter().map(|&sm| engine.sm_snapshot(sm)).collect();
             for plan in select_preemptions(cfg, &req, &snapshots) {
                 // Feed the Algorithm 1 decision (inputs + choice) to the
-                // observability event log before executing it.
+                // observability event log before executing it, and register
+                // drain decisions with the live estimator-accuracy join.
                 for d in &plan.decisions {
                     engine.record_decision(plan.sm, kid, limit, *d);
+                    if d.chosen == Technique::Drain {
+                        if let Some(est) = d.est_drain {
+                            st.drains.note_decision(
+                                plan.sm,
+                                kid.0,
+                                d.block,
+                                now,
+                                est.latency_cycles,
+                            );
+                        }
+                    }
                 }
                 match engine.preempt_sm(plan.sm, &plan.plan) {
                     Ok(true) => acquire(engine, st, pcfg, cfg, req_idx, plan.sm, now, exec),
@@ -553,6 +609,149 @@ mod tests {
             horizon_us,
             ..PeriodicConfig::paper_default(cfg)
         }
+    }
+
+    #[test]
+    fn all_violations_yield_no_ok_latency() {
+        // A task demanding more SMs than the GPU has can never be fully
+        // served, so every request violates. The mean OK latency must be
+        // the empty case (`None`) — not the former NaN, which poisoned any
+        // downstream sum or average over per-benchmark results.
+        let suite = Suite::standard();
+        let cfg = suite.config();
+        let mut pc = quick_cfg(cfg, 3_000.0);
+        pc.constraint_us = 2.0;
+        pc.task.sms_needed = cfg.num_sms + 1;
+        let r = run_periodic(cfg, suite.benchmark("BS").unwrap(), Policy::Switch, &pc);
+        assert!(r.requests > 0);
+        assert_eq!(r.violations, r.requests, "every request must violate");
+        assert_eq!(r.mean_ok_latency_us, None);
+        assert!((r.violation_pct() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn violation_pct_survives_counts_past_u32() {
+        // Regression for the former u32 `requests`/`violations` fields: a
+        // run long enough to issue more than u32::MAX requests silently
+        // truncated its request count.
+        let r = PeriodicResult {
+            policy: "switch".into(),
+            benchmark: "X".into(),
+            requests: u64::from(u32::MAX) + 10,
+            violations: u64::from(u32::MAX) / 2,
+            useful_insts: 0,
+            technique_counts: HashMap::new(),
+            mean_ok_latency_us: None,
+            request_log: Vec::new(),
+            wasted_flush_insts: 0,
+            switch_count: 0,
+            flush_count: 0,
+            drain_samples: Vec::new(),
+        };
+        let pct = r.violation_pct();
+        assert!(pct > 0.0 && pct < 100.0 && pct.is_finite(), "{pct}");
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "exceeds u32 grid maths"))]
+    fn task_kernel_insts_never_wrap() {
+        // An absurd execution window used to wrap `as u32` into a tiny task
+        // kernel; now it trips the debug_assert (debug builds) or saturates
+        // at u32::MAX (release builds).
+        let suite = Suite::standard();
+        let cfg = suite.config();
+        let mut task = RtTask::paper_default(cfg);
+        task.exec_us = 1.0e13;
+        let k = task_kernel(cfg, &task);
+        assert!(
+            k.program().insts_per_warp() >= u64::from(u32::MAX) / 2,
+            "saturated, not wrapped: {}",
+            k.program().insts_per_warp()
+        );
+    }
+
+    #[test]
+    fn incremental_drain_join_matches_post_mortem() {
+        // The tentpole's live DrainTracker must reproduce the event-log
+        // post-mortem join exactly (same decisions, same completion cycles).
+        let suite = Suite::standard();
+        let cfg = suite.config();
+        let pc = quick_cfg(cfg, 4_000.0);
+        let (r, engine) = run_periodic_traced(
+            cfg,
+            suite.benchmark("BS").unwrap(),
+            Policy::chimera_us(15.0),
+            &pc,
+            1 << 18,
+        );
+        assert!(!r.drain_samples.is_empty(), "chimera on BS drains blocks");
+        let live = crate::obs::accuracy_per_kernel(cfg, &r.drain_samples);
+        let post = crate::obs::drain_accuracy(&engine);
+        assert_eq!(live, post);
+    }
+
+    #[test]
+    fn online_estimator_runs_and_keeps_request_cadence() {
+        let suite = Suite::standard();
+        let cfg = suite.config();
+        let static_r = run_periodic(
+            cfg,
+            suite.benchmark("BS").unwrap(),
+            Policy::chimera_us(15.0),
+            &quick_cfg(cfg, 4_000.0),
+        );
+        let mut pc = quick_cfg(cfg, 4_000.0);
+        pc.estimator = crate::cost::EstimatorConfig::online(0.95);
+        let online_r = run_periodic(
+            cfg,
+            suite.benchmark("BS").unwrap(),
+            Policy::chimera_us(15.0),
+            &pc,
+        );
+        // The request schedule is policy-independent.
+        assert_eq!(online_r.requests, static_r.requests);
+        assert!(online_r.requests > 0);
+        // The online estimator may only help the violation rate here.
+        assert!(
+            online_r.violations <= static_r.violations,
+            "online {} vs static {}",
+            online_r.violations,
+            static_r.violations
+        );
+    }
+
+    #[test]
+    fn online_estimator_emits_update_events() {
+        let suite = Suite::standard();
+        let cfg = suite.config();
+        let mut pc = quick_cfg(cfg, 4_000.0);
+        pc.estimator = crate::cost::EstimatorConfig::online(0.95);
+        let (_, engine) = run_periodic_traced(
+            cfg,
+            suite.benchmark("BS").unwrap(),
+            Policy::chimera_us(15.0),
+            &pc,
+            1 << 18,
+        );
+        let log = engine.event_log().expect("tracing enabled");
+        let updates: Vec<_> = log
+            .iter()
+            .filter(|e| e.kind() == "estimator_update")
+            .collect();
+        assert!(
+            !updates.is_empty(),
+            "online mode must log estimator updates"
+        );
+        // Static mode logs none.
+        let (_, engine) = run_periodic_traced(
+            cfg,
+            suite.benchmark("BS").unwrap(),
+            Policy::chimera_us(15.0),
+            &quick_cfg(cfg, 4_000.0),
+            1 << 18,
+        );
+        let log = engine.event_log().expect("tracing enabled");
+        assert!(log.iter().all(|e| e.kind() != "estimator_update"));
     }
 
     #[test]

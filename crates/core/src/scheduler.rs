@@ -38,7 +38,7 @@
 //! # Ok::<(), gpu_sim::KernelError>(())
 //! ```
 
-use crate::cost::ObsBank;
+use crate::cost::{EstimatorConfig, ObsBank};
 use crate::partition::PartitionPolicy;
 use crate::policy::Policy;
 use crate::select::{select_preemptions, SelectionRequest};
@@ -128,6 +128,20 @@ impl GpuScheduler {
             in_flight: HashMap::new(),
             events: Vec::new(),
         }
+    }
+
+    /// Switch the scheduler's cost estimator (static by default). With
+    /// [`EstimatorMode::Online`](crate::cost::EstimatorMode::Online) block
+    /// completions feed per-kernel quantile sketches and Chimera's drain
+    /// bounds use the configured risk quantile. Resets accumulated
+    /// observations, so call right after construction.
+    pub fn set_estimator(&mut self, est: EstimatorConfig) {
+        self.obs = ObsBank::with_estimator(est);
+    }
+
+    /// The active cost-estimator configuration.
+    pub fn estimator(&self) -> EstimatorConfig {
+        self.obs.estimator()
     }
 
     /// Register a process (a serial stream of kernel launches).
@@ -415,6 +429,7 @@ impl GpuScheduler {
                     ctx_bytes_per_tb: desc.block_context_bytes(),
                     obs: self.obs.obs(&name),
                     flush_allowed: true,
+                    estimator: self.obs.estimator(),
                 };
                 let snaps = vec![self.engine.sm_snapshot(sm)];
                 for plan in select_preemptions(&cfg, &req, &snaps) {

@@ -15,7 +15,7 @@
 //! Complexity is `O(N·T·log T + N·log N)` for `N` SMs and `T` blocks per SM,
 //! as derived in the paper.
 
-use crate::cost::{CostModel, KernelObs, TbProgress};
+use crate::cost::{CostModel, EstimatorConfig, KernelObs, TbProgress};
 use gpu_sim::{GpuConfig, SmPreemptPlan, SmSnapshot, Technique};
 
 /// A selection request: the inputs Algorithm 1 receives from the SM
@@ -33,6 +33,12 @@ pub struct SelectionRequest {
     /// Whether flushing may be considered at all. `false` models the strict
     /// idempotence condition (§4.3) for a non-idempotent kernel.
     pub flush_allowed: bool,
+    /// The cost-estimator mode and risk knob. Under the default static mode
+    /// any quantile carried by `obs` is ignored and drain bounds use the
+    /// worst-case `max(avg + 2σ, max)` headroom; under
+    /// [`EstimatorMode::Online`](crate::cost::EstimatorMode::Online) the
+    /// risk-quantile bound is preferred when present.
+    pub estimator: EstimatorConfig,
 }
 
 /// A chosen preemption plan for one SM.
@@ -89,6 +95,7 @@ impl PlanForSm {
 ///         ..KernelObs::default()
 ///     },
 ///     flush_allowed: true,
+///     estimator: Default::default(),
 /// };
 /// let plans = select_preemptions(&cfg, &req, &[snapshot]);
 /// // Figure 4's shape: the young block flushes, the nearly-done one drains.
@@ -100,7 +107,11 @@ pub fn select_preemptions(
     req: &SelectionRequest,
     snapshots: &[SmSnapshot],
 ) -> Vec<PlanForSm> {
-    let model = CostModel::new(cfg, req.ctx_bytes_per_tb, req.obs);
+    let model = CostModel::new(
+        cfg,
+        req.ctx_bytes_per_tb,
+        req.obs.for_estimator(&req.estimator),
+    );
     let mut sm_plans: Vec<PlanForSm> = snapshots
         .iter()
         .filter(|s| !s.blocks.is_empty())
@@ -267,6 +278,7 @@ mod tests {
             ctx_bytes_per_tb: 24 * 1024,
             obs: obs(),
             flush_allowed: true,
+            estimator: EstimatorConfig::default(),
         }
     }
 
@@ -429,6 +441,7 @@ mod tests {
             avg_tb_cpi: Some(16.0),
             std_tb_insts: 40.0,
             max_tb_insts: 1100,
+            quantile_tb_insts: None,
         };
         for limit_cycles in [1, 157, 2_512, 5_000, 15_088, 16_000, 39_999] {
             for ctx_bytes_per_tb in [1, 24 * 1024, 127 * 1024] {
@@ -445,6 +458,7 @@ mod tests {
                             ctx_bytes_per_tb,
                             obs,
                             flush_allowed,
+                            estimator: EstimatorConfig::default(),
                         };
                         let plans = select_preemptions(&cfg, &req, &snaps);
                         assert_eq!(plans.len(), num_preempts.min(snaps.len()));
@@ -489,8 +503,10 @@ mod tests {
                         avg_tb_cpi: Some(16.0),
                         std_tb_insts: 0.0,
                         max_tb_insts: 1000,
+                        quantile_tb_insts: None,
                     },
                     flush_allowed: true,
+                    estimator: EstimatorConfig::default(),
                 };
                 let plans = select_preemptions(&cfg, &req, &snaps);
                 let p = plans.first().expect("one plan per nonempty SM");
@@ -559,6 +575,35 @@ mod tests {
         }
         assert_eq!(overhead, p.est_overhead_insts);
         assert_eq!(latency, p.est_latency_cycles);
+    }
+
+    /// The risk knob changes selection: a kernel with a rare-straggler
+    /// distribution (huge observed max, modest p95) cannot drain under the
+    /// worst-case static bound, but the online risk-priced bound fits the
+    /// deadline slack and drain's lower overhead wins. The static mode must
+    /// ignore a quantile even if one is present in the observations.
+    #[test]
+    fn online_risk_quantile_unlocks_drain_where_static_switches() {
+        let c = cfg();
+        let risky_obs = KernelObs {
+            avg_tb_insts: Some(1000.0),
+            avg_tb_cpi: Some(16.0),
+            std_tb_insts: 100.0,
+            max_tb_insts: 20_000, // one straggler block dominates the bound
+            quantile_tb_insts: Some(1100.0),
+        };
+        let s = snap(0, vec![(0, 100, true)]);
+        let mut r = req(15.0, 1);
+        r.obs = risky_obs;
+        // Static: drain bound is the 20 000-inst max → ~318k cycles, far
+        // over the limit; the block falls back to switching.
+        let plans = select_preemptions(&c, &r, std::slice::from_ref(&s));
+        assert_eq!(plans[0].plan.technique_for(0), Some(Technique::Switch));
+        // Online at p95: bound 1100 insts → 16k cycles, inside the limit.
+        r.estimator = EstimatorConfig::online(0.95);
+        let plans = select_preemptions(&c, &r, &[s]);
+        assert_eq!(plans[0].plan.technique_for(0), Some(Technique::Drain));
+        assert!(plans[0].meets(r.limit_cycles));
     }
 
     #[test]

@@ -52,6 +52,11 @@ pub enum Event {
         insts: u64,
         /// Cycles the block was resident.
         cycles: u64,
+        /// Exact engine cycle of the completion. `run_until` returns events
+        /// in batches, so the engine's cycle at delivery is the batch end —
+        /// consumers measuring latencies (e.g. live drain-estimator
+        /// accuracy) need the true completion time.
+        cycle: u64,
     },
     /// All blocks of a kernel completed.
     KernelFinished {
@@ -458,6 +463,47 @@ impl Engine {
                 limit_cycles,
                 slack_cycles: decision.slack_cycles(limit_cycles),
                 decision,
+            });
+        }
+    }
+
+    /// Record a snapshot of the online cost estimator's per-kernel state (an
+    /// [`ObsEvent::EstimatorUpdate`]) at the current cycle.
+    ///
+    /// Like [`Engine::record_decision`], this is pushed in by the policy
+    /// layer — the engine cannot see the estimator — typically once per
+    /// selection request, so the log shows which distribution snapshot each
+    /// Algorithm 1 decision was made from. No-op while the log is disabled.
+    ///
+    /// `quantile_tb_insts` is the tracked risk-quantile of per-block
+    /// instructions rounded to an integer, or 0 while no quantile estimate
+    /// exists yet (thin samples or a static estimator); `risk_pct` is the
+    /// configured risk quantile in percent (e.g. 95).
+    ///
+    /// ```
+    /// use gpu_sim::{Engine, GpuConfig, KernelId};
+    ///
+    /// let mut engine = Engine::new(GpuConfig::tiny());
+    /// engine.enable_event_log(64);
+    /// engine.record_estimator_update(KernelId(0), 40, 1000, 1090, 95);
+    /// assert_eq!(engine.event_log().unwrap().len(), 1);
+    /// ```
+    pub fn record_estimator_update(
+        &mut self,
+        kernel: KernelId,
+        samples: u64,
+        mean_tb_insts: u64,
+        quantile_tb_insts: u64,
+        risk_pct: u32,
+    ) {
+        if let Some(log) = self.obs.as_mut() {
+            log.push(ObsEvent::EstimatorUpdate {
+                cycle: self.cycle,
+                kernel,
+                samples,
+                mean_tb_insts,
+                quantile_tb_insts,
+                risk_pct,
             });
         }
     }
@@ -926,12 +972,21 @@ impl Engine {
             ki.stats.completed_tbs += 1;
             ki.stats.completed_insts += insts;
             ki.stats.sum_completed_cycles += cycles;
+            // Welford update of the block-length distribution (mean/m2/max):
+            // the variance feeds the §4.1 drain-latency headroom when
+            // observations are read back from these statistics.
+            let x = insts as f64;
+            let delta = x - ki.stats.mean_tb_insts;
+            ki.stats.mean_tb_insts += delta / f64::from(ki.stats.completed_tbs);
+            ki.stats.m2_tb_insts += delta * (x - ki.stats.mean_tb_insts);
+            ki.stats.max_tb_insts = ki.stats.max_tb_insts.max(insts);
             self.events.push(Event::TbCompleted {
                 kernel: id.kernel,
                 sm,
                 block: id.index,
                 insts,
                 cycles,
+                cycle: self.cycle,
             });
             if ki.is_finished() && !ki.stats.finished {
                 ki.stats.finished = true;

@@ -247,6 +247,26 @@ pub enum ObsEvent {
         /// The per-block decision record.
         decision: BlockDecision,
     },
+    /// A snapshot of the online cost estimator's per-kernel block-length
+    /// distribution, recorded by the policy layer (see
+    /// [`crate::Engine::record_estimator_update`]) when it consults the
+    /// estimator for a selection request. Kernel-wide rather than SM-scoped:
+    /// [`ObsEvent::sm`] reports 0 for this variant.
+    EstimatorUpdate {
+        /// Cycle the estimator was consulted at.
+        cycle: u64,
+        /// Kernel whose distribution was consulted.
+        kernel: KernelId,
+        /// Completed blocks observed so far.
+        samples: u64,
+        /// Mean per-block instructions, rounded to an integer.
+        mean_tb_insts: u64,
+        /// Tracked risk-quantile of per-block instructions, rounded; 0 while
+        /// no quantile estimate exists (thin samples or a static estimator).
+        quantile_tb_insts: u64,
+        /// Configured risk quantile, percent (e.g. 95 for p95).
+        risk_pct: u32,
+    },
 }
 
 impl ObsEvent {
@@ -257,11 +277,13 @@ impl ObsEvent {
             | ObsEvent::BlockEnd { cycle, .. }
             | ObsEvent::PreemptRequested { cycle, .. }
             | ObsEvent::PreemptCompleted { cycle, .. }
-            | ObsEvent::Decision { cycle, .. } => cycle,
+            | ObsEvent::Decision { cycle, .. }
+            | ObsEvent::EstimatorUpdate { cycle, .. } => cycle,
         }
     }
 
-    /// The SM the event happened on.
+    /// The SM the event happened on. Kernel-wide events
+    /// ([`ObsEvent::EstimatorUpdate`]) are not SM-scoped and report 0.
     pub fn sm(&self) -> usize {
         match *self {
             ObsEvent::BlockBegin { sm, .. }
@@ -269,6 +291,7 @@ impl ObsEvent {
             | ObsEvent::PreemptRequested { sm, .. }
             | ObsEvent::PreemptCompleted { sm, .. }
             | ObsEvent::Decision { sm, .. } => sm,
+            ObsEvent::EstimatorUpdate { .. } => 0,
         }
     }
 
@@ -279,7 +302,8 @@ impl ObsEvent {
             | ObsEvent::BlockEnd { kernel, .. }
             | ObsEvent::PreemptRequested { kernel, .. }
             | ObsEvent::PreemptCompleted { kernel, .. }
-            | ObsEvent::Decision { kernel, .. } => kernel,
+            | ObsEvent::Decision { kernel, .. }
+            | ObsEvent::EstimatorUpdate { kernel, .. } => kernel,
         }
     }
 
@@ -292,6 +316,7 @@ impl ObsEvent {
             ObsEvent::PreemptRequested { .. } => "preempt_requested",
             ObsEvent::PreemptCompleted { .. } => "preempt_completed",
             ObsEvent::Decision { .. } => "decision",
+            ObsEvent::EstimatorUpdate { .. } => "estimator_update",
         }
     }
 
@@ -373,6 +398,21 @@ impl ObsEvent {
                 est(&decision.est_switch),
                 est(&decision.est_drain),
                 est(&decision.est_flush),
+            ),
+            ObsEvent::EstimatorUpdate {
+                cycle,
+                kernel,
+                samples,
+                mean_tb_insts,
+                quantile_tb_insts,
+                risk_pct,
+            } => format!(
+                "{{\"kind\":\"estimator_update\",\"cycle\":{cycle},\
+                 \"kernel\":{},\"samples\":{samples},\
+                 \"mean_tb_insts\":{mean_tb_insts},\
+                 \"quantile_tb_insts\":{quantile_tb_insts},\
+                 \"risk_pct\":{risk_pct}}}",
+                kernel.0
             ),
         }
     }
@@ -556,9 +596,40 @@ mod tests {
             assert_eq!(e.kernel(), KernelId(3));
             assert!(!e.kind().is_empty());
         }
+        // EstimatorUpdate is kernel-wide: the SM accessor reports 0.
+        let eu = ObsEvent::EstimatorUpdate {
+            cycle: 1,
+            kernel: KernelId(3),
+            samples: 40,
+            mean_tb_insts: 1000,
+            quantile_tb_insts: 1090,
+            risk_pct: 95,
+        };
+        assert_eq!(eu.cycle(), 1);
+        assert_eq!(eu.sm(), 0);
+        assert_eq!(eu.kernel(), KernelId(3));
+        assert_eq!(eu.kind(), "estimator_update");
         assert_eq!(d.chosen_estimate().unwrap().latency_cycles, 30);
         assert_eq!(d.slack_cycles(40), 10);
         assert_eq!(d.slack_cycles(10), -20);
+    }
+
+    #[test]
+    fn estimator_update_json_is_schema_stable() {
+        let ev = ObsEvent::EstimatorUpdate {
+            cycle: 2048,
+            kernel: KernelId(1),
+            samples: 64,
+            mean_tb_insts: 975,
+            quantile_tb_insts: 1120,
+            risk_pct: 95,
+        };
+        assert_eq!(
+            ev.to_json_line(),
+            "{\"kind\":\"estimator_update\",\"cycle\":2048,\"kernel\":1,\
+             \"samples\":64,\"mean_tb_insts\":975,\"quantile_tb_insts\":1120,\
+             \"risk_pct\":95}"
+        );
     }
 
     #[test]

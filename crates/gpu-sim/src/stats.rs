@@ -23,6 +23,17 @@ pub struct KernelStats {
     pub grid_blocks: u32,
     /// Sum of residency cycles over completed blocks (for CPI estimates).
     pub sum_completed_cycles: u64,
+    /// Welford running mean of per-block instructions over completed blocks.
+    ///
+    /// Tracked alongside [`m2_tb_insts`](Self::m2_tb_insts) so the variance
+    /// of block lengths — the input to the §4.1 drain-latency headroom —
+    /// survives when observations are extracted from engine statistics
+    /// rather than an external accumulator.
+    pub mean_tb_insts: f64,
+    /// Welford running sum of squared deviations of per-block instructions.
+    pub m2_tb_insts: f64,
+    /// Largest per-block instruction count observed among completed blocks.
+    pub max_tb_insts: u64,
     /// Whether the kernel has finished all blocks.
     pub finished: bool,
     /// Number of times any block of this kernel was flushed.
@@ -45,6 +56,18 @@ impl KernelStats {
     pub fn avg_tb_cpi(&self) -> Option<f64> {
         (self.completed_insts > 0)
             .then(|| self.sum_completed_cycles as f64 / self.completed_insts as f64)
+    }
+
+    /// Population standard deviation of per-block instructions, 0 when fewer
+    /// than one block completed. This is the σ of the paper's §4.1
+    /// `avg + 2σ` drain-latency headroom.
+    pub fn std_tb_insts(&self) -> f64 {
+        if self.completed_tbs == 0 {
+            return 0.0;
+        }
+        (self.m2_tb_insts / f64::from(self.completed_tbs))
+            .max(0.0)
+            .sqrt()
     }
 }
 
@@ -90,6 +113,21 @@ mod tests {
         let s = KernelStats::default();
         assert_eq!(s.avg_tb_insts(), None);
         assert_eq!(s.avg_tb_cpi(), None);
+        assert_eq!(s.std_tb_insts(), 0.0);
+    }
+
+    #[test]
+    fn std_from_welford_state() {
+        // Population std of {900, 1000, 1100}: Welford m2 = 20000.
+        let s = KernelStats {
+            completed_tbs: 3,
+            mean_tb_insts: 1000.0,
+            m2_tb_insts: 20_000.0,
+            max_tb_insts: 1100,
+            ..KernelStats::default()
+        };
+        let expect = (20_000.0f64 / 3.0).sqrt();
+        assert!((s.std_tb_insts() - expect).abs() < 1e-9);
     }
 
     #[test]

@@ -372,6 +372,32 @@ pub fn chrome_trace_json(engine: &Engine) -> Option<String> {
                     ),
                 });
             }
+            ObsEvent::EstimatorUpdate {
+                cycle,
+                kernel,
+                samples,
+                mean_tb_insts,
+                quantile_tb_insts,
+                risk_pct,
+            } => {
+                // Kernel-wide (not SM-scoped): rendered as an instant event
+                // on track 0 so the distribution snapshots line up with the
+                // decisions they informed.
+                rows.push(TraceRow {
+                    ts_cycles: cycle,
+                    tid: 0,
+                    order: 4,
+                    name: format!("estimator {}", kname(kernel)),
+                    dur_cycles: None,
+                    ph: 'i',
+                    cat: "estimator",
+                    args: format!(
+                        "{{\"kernel\":{},\"samples\":{},\"mean_tb_insts\":{},\
+                         \"quantile_tb_insts\":{},\"risk_pct\":{}}}",
+                        kernel.0, samples, mean_tb_insts, quantile_tb_insts, risk_pct
+                    ),
+                });
+            }
         }
     }
     // Close spans for blocks still resident at export time.

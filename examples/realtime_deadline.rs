@@ -36,12 +36,14 @@ fn main() {
         let overhead = oracle_useful
             .map(|o| 100.0 * (1.0 - r.useful_insts as f64 / o as f64))
             .unwrap_or(f64::NAN);
+        let ok_lat = r
+            .mean_ok_latency_us
+            .map_or_else(|| "  n/a".into(), |l| format!("{l:>5.2}"));
         println!(
-            "{:>14}: {:>5.1}% deadline violations | {:>5.1}% throughput overhead | mean ok-latency {:>5.2} us",
+            "{:>14}: {:>5.1}% deadline violations | {:>5.1}% throughput overhead | mean ok-latency {ok_lat} us",
             policy.to_string(),
             r.violation_pct(),
             overhead,
-            r.mean_ok_latency_us,
         );
     }
     println!(

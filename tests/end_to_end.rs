@@ -46,7 +46,7 @@ fn chimera_dominates_singles_on_violations() {
     // not exceed the best single technique's total (the paper's core claim).
     let suite = Suite::standard();
     let cfg = suite.config();
-    let mut totals = [0u32; 4]; // switch, drain, flush, chimera
+    let mut totals = [0u64; 4]; // switch, drain, flush, chimera
     for name in ["BS", "BT", "LC"] {
         let bench = suite.benchmark(name).unwrap();
         for (i, policy) in Policy::paper_lineup(15.0).into_iter().enumerate() {

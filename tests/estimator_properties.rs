@@ -1,0 +1,102 @@
+//! Property-based tests over the online cost estimator: the P² quantile
+//! trackers must converge on known distributions, stay deterministic, and
+//! only ever *sharpen* the drain bound Algorithm 1 sees (never loosen it
+//! past the static §4.1 headroom).
+
+use chimera::cost::{EstimatorConfig, KernelObs, ObsBank, P2Quantile};
+use proptest::prelude::*;
+
+/// Deterministic LCG so every case is a pure function of its seed.
+fn lcg_stream(seed: u64, n: usize) -> Vec<f64> {
+    let mut x = seed | 1;
+    (0..n)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 11) as f64 / (1u64 << 53) as f64 // uniform in [0, 1)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// On a uniform stream over [lo, lo+span), the P² estimate of quantile q
+    /// converges to lo + q·span within a coarse tolerance.
+    #[test]
+    fn p2_converges_on_uniform(seed in 1u64..1_000_000, q in 0.05f64..0.95,
+                               lo in 0.0f64..1000.0, span in 100.0f64..10_000.0) {
+        let mut tracker = P2Quantile::new(q);
+        for u in lcg_stream(seed, 4000) {
+            tracker.observe(lo + u * span);
+        }
+        let est = tracker.estimate().expect("4000 samples is enough");
+        let expect = lo + q * span;
+        // P² is an approximation; 10% of the span is the coarse bound that
+        // holds across seeds and quantiles.
+        prop_assert!(
+            (est - expect).abs() <= span * 0.10,
+            "q={q}: estimate {est} vs expected {expect} (span {span})"
+        );
+    }
+
+    /// On a constant stream every quantile is that constant, exactly.
+    #[test]
+    fn p2_is_exact_on_constant(q in 0.05f64..0.95, v in 1.0f64..1e6, n in 5usize..500) {
+        let mut tracker = P2Quantile::new(q);
+        for _ in 0..n {
+            tracker.observe(v);
+        }
+        prop_assert_eq!(tracker.estimate(), Some(v));
+    }
+
+    /// Two trackers fed the same stream agree bit-for-bit, and a tracker is
+    /// `Copy`-safe: a snapshot taken mid-stream and replayed forward matches
+    /// the original. This is the per-tracker core of the runner-level
+    /// determinism guarantee (`--jobs`-independence).
+    #[test]
+    fn p2_is_deterministic_and_copy_replayable(seed in 1u64..1_000_000, q in 0.05f64..0.95) {
+        let stream = lcg_stream(seed, 600);
+        let mut a = P2Quantile::new(q);
+        let mut b = P2Quantile::new(q);
+        let mut snapshot = None;
+        for (i, &x) in stream.iter().enumerate() {
+            a.observe(x);
+            b.observe(x);
+            if i == 299 {
+                snapshot = Some(a);
+            }
+        }
+        prop_assert_eq!(a.estimate(), b.estimate());
+        let mut replay = snapshot.expect("stream has 600 samples");
+        for &x in &stream[300..] {
+            replay.observe(x);
+        }
+        prop_assert_eq!(replay.estimate(), a.estimate());
+    }
+
+    /// The online estimator only replaces the static bound once warm, and
+    /// the quantile it exposes never exceeds the observed maximum — so the
+    /// drain bound Algorithm 1 uses is always within the static headroom.
+    #[test]
+    fn online_quantile_stays_within_static_headroom(seed in 1u64..1_000_000, q in 0.5f64..1.0) {
+        let est = EstimatorConfig::online(q);
+        let mut bank = ObsBank::with_estimator(est);
+        let stream = lcg_stream(seed, 200);
+        let mut max_insts = 0u64;
+        for &u in &stream {
+            let insts = 100 + (u * 10_000.0) as u64;
+            max_insts = max_insts.max(insts);
+            bank.record_tb("k", insts, insts * 16);
+        }
+        let obs: KernelObs = bank.obs("k");
+        let quant = obs.quantile_tb_insts.expect("200 samples is warm");
+        prop_assert!(quant <= max_insts as f64 + 1e-9,
+            "quantile {quant} above observed max {max_insts}");
+        prop_assert!(quant > 0.0);
+        // Static mode must strip the quantile: the paper's model unchanged.
+        let stripped = obs.for_estimator(&EstimatorConfig::default());
+        prop_assert_eq!(stripped.quantile_tb_insts, None);
+    }
+}

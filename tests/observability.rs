@@ -41,8 +41,10 @@ fn golden_engine() -> Engine {
             avg_tb_cpi: Some(16.0),
             std_tb_insts: 20.0,
             max_tb_insts: 520,
+            quantile_tb_insts: None,
         },
         flush_allowed: true,
+        estimator: Default::default(),
     };
     let snapshots = vec![engine.sm_snapshot(0)];
     let plans = select_preemptions(&cfg, &req, &snapshots);

@@ -51,11 +51,13 @@ fn arb_request() -> impl Strategy<Value = SelectionRequest> {
                     avg_tb_cpi: Some(16.0),
                     std_tb_insts: 40.0,
                     max_tb_insts: 1100,
+                    quantile_tb_insts: None,
                 }
             } else {
                 KernelObs::default()
             },
             flush_allowed: flush_ok,
+            estimator: Default::default(),
         })
 }
 
@@ -107,8 +109,10 @@ proptest! {
                 avg_tb_cpi: Some(16.0),
                 std_tb_insts: 0.0,
                 max_tb_insts: 1000,
+                quantile_tb_insts: None,
             },
             flush_allowed: true,
+            estimator: Default::default(),
         };
         let snaps = vec![snap];
         let mut prev = u64::MAX;
@@ -150,8 +154,10 @@ proptest! {
                 avg_tb_cpi: Some(16.0),
                 std_tb_insts: 0.0,
                 max_tb_insts: 1000,
+                quantile_tb_insts: None,
             },
             flush_allowed: true,
+            estimator: Default::default(),
         };
         let plans = select_preemptions(&cfg, &req, &[snap]);
         prop_assert_eq!(plans[0].plan.technique_for(0), Some(Technique::Drain));
