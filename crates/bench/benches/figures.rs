@@ -16,10 +16,7 @@ fn bench_periodic(c: &mut Criterion) {
     for policy in Policy::paper_lineup(15.0) {
         group.bench_with_input(BenchmarkId::from_parameter(policy), &policy, |b, &p| {
             b.iter(|| {
-                let pcfg = PeriodicConfig {
-                    horizon_us: 2_000.0,
-                    ..PeriodicConfig::paper_default(&cfg)
-                };
+                let pcfg = PeriodicConfig::paper_default(&cfg).horizon_us(2_000.0);
                 let r = run_periodic(&cfg, &bench, p, &pcfg);
                 std::hint::black_box(r.useful_insts)
             })

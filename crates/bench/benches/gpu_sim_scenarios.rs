@@ -1,10 +1,11 @@
 //! Tracked engine-throughput scenarios behind `BENCH_gpu_sim.json`.
 //!
-//! Five scenarios span the engine's hot-path regimes on a 15-SM GPU — solo
+//! Six scenarios span the engine's hot-path regimes on a 15-SM GPU — solo
 //! drain, two-kernel multiprogramming, a preemption storm, a figure-style
-//! workload slice built from the Table 1 suite, and the online-estimator
+//! workload slice built from the Table 1 suite, the online-estimator
 //! feedback loop (P² quantile updates + Algorithm 1 against live
-//! observations) layered on the engine. Every scenario
+//! observations) layered on the engine, and the open-loop serving
+//! front-end driven through the full scheduler stack. Every scenario
 //! runs under both the event-calendar scheduler and the legacy linear-scan
 //! reference (`Engine::set_scan_scheduler`), asserting identical simulation
 //! results and recording cycles-simulated-per-second for both, so the file
@@ -22,11 +23,12 @@
 
 use std::io::Write as _;
 
+use chimera::runner::serve::{run_serve_on, ArrivalProcess, ServeConfig};
 use chimera::select::{select_preemptions, SelectionRequest};
-use chimera::{EstimatorConfig, ObsBank};
+use chimera::{EstimatorConfig, GpuScheduler, ObsBank, PartitionPolicy};
 use criterion::{BenchmarkId, Criterion, Throughput};
 use gpu_sim::{Engine, Event, GpuConfig, KernelDesc, Program, Segment, SmPreemptPlan, Technique};
-use workloads::Suite;
+use workloads::{ServeWorkload, Suite};
 
 /// 15-SM variant of the paper's GPU used by all scenarios.
 fn gpu15() -> GpuConfig {
@@ -219,6 +221,25 @@ fn estimator_online(scan: bool, horizon: u64) -> Outcome {
     fingerprint(&e)
 }
 
+/// The open-loop serving front-end at 1.5x its analytic saturation rate:
+/// arrival admission, weighted-fair dispatch, and Chimera preemptions all
+/// driven through the public runner API on the full scheduler stack.
+fn serve_open_loop(scan: bool, horizon: u64) -> Outcome {
+    let cfg = gpu15();
+    let wl = ServeWorkload::standard(&cfg);
+    let scfg = ServeConfig::paper_default()
+        .horizon_us(cfg.cycles_to_us(horizon))
+        .arrivals(ArrivalProcess::poisson(1.5 * wl.saturation_per_ms()));
+    let mut gpu = GpuScheduler::builder(cfg.clone())
+        .policy(scfg.effective_policy())
+        .partition(PartitionPolicy::SmartEven)
+        .seed(7)
+        .scan_scheduler(scan)
+        .build();
+    std::hint::black_box(run_serve_on(&mut gpu, &wl, &scfg));
+    fingerprint(gpu.engine())
+}
+
 struct Scenario {
     name: &'static str,
     run: fn(bool, u64) -> Outcome,
@@ -250,6 +271,11 @@ const SCENARIOS: &[Scenario] = &[
     Scenario {
         name: "estimator_online_15sm",
         run: estimator_online,
+        full_horizon: 2_000_000,
+    },
+    Scenario {
+        name: "serve_open_loop_15sm",
+        run: serve_open_loop,
         full_horizon: 2_000_000,
     },
 ];

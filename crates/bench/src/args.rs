@@ -1,7 +1,7 @@
 //! Minimal CLI argument handling shared by the figure binaries.
 
 use crate::pool;
-use chimera::{EstimatorConfig, EstimatorMode};
+use chimera::{EstimatorConfig, EstimatorMode, RunCommon};
 
 /// Common knobs: `--scale <f64>` (shrinks horizons/budgets for quick runs),
 /// `--seed <u64>`, `--jobs <usize>` (worker threads for the experiment
@@ -60,6 +60,16 @@ impl RunArgs {
     /// Panics with a usage message on malformed arguments.
     pub fn from_env() -> Self {
         Self::parse(std::env::args().skip(1))
+    }
+
+    /// The shared runner knobs these args select, with the paper-shaped
+    /// `horizon_us` scaled by `--scale` and the latency constraint taken
+    /// verbatim. `sanitize` stays off here: the `--sanitize` flag drives a
+    /// *separate* verification pass so stdout stays byte-identical.
+    pub fn common(&self, horizon_us: f64, constraint_us: f64) -> RunCommon {
+        RunCommon::new(horizon_us * self.scale, constraint_us)
+            .seed(self.seed)
+            .estimator(self.estimator)
     }
 
     /// Parse from an iterator (testable).
@@ -188,6 +198,24 @@ mod tests {
     #[should_panic(expected = "unknown argument")]
     fn rejects_unknown() {
         RunArgs::parse(s(&["--wat"]));
+    }
+
+    #[test]
+    fn common_applies_scale_seed_and_estimator() {
+        let a = RunArgs::parse(s(&[
+            "--scale",
+            "0.5",
+            "--seed",
+            "9",
+            "--estimator",
+            "online",
+        ]));
+        let c = a.common(24_000.0, 15.0);
+        assert!((c.horizon_us - 12_000.0).abs() < 1e-9);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.constraint_us, 15.0);
+        assert_eq!(c.estimator.mode, EstimatorMode::Online);
+        assert!(!c.sanitize, "--sanitize drives a separate pass");
     }
 
     #[test]

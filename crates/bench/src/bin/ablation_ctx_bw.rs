@@ -24,11 +24,8 @@ fn main() {
         charge_ctx_switch_bandwidth: true,
         ..base_cfg.clone()
     };
-    let pcfg = PeriodicConfig {
-        horizon_us: PERIODIC_HORIZON_US * args.scale,
-        seed: args.seed,
-        ..PeriodicConfig::paper_default(&base_cfg)
-    };
+    let pcfg =
+        PeriodicConfig::paper_default(&base_cfg).common(args.common(PERIODIC_HORIZON_US, 15.0));
     println!("Ablation: context-switch bandwidth charging (Switch policy, 15 us task)\n");
     let mut t = Table::new(&["benchmark", "halt-only insts", "charged insts", "delta %"]);
     let progress = Progress::new("ablation-ctx-bw", suite.benchmarks().len());

@@ -34,13 +34,12 @@ fn main() {
         .benchmarks()
         .iter()
         .map(|bench| {
-            let (cfg, progress) = (&cfg, &progress);
+            let (cfg, progress, args) = (&cfg, &progress, &args);
             move || {
-                let mk = |simulate| PeriodicConfig {
-                    horizon_us: 8_000.0 * args.scale,
-                    seed: args.seed,
-                    simulate_task: simulate,
-                    ..PeriodicConfig::paper_default(cfg)
+                let mk = |simulate| {
+                    PeriodicConfig::paper_default(cfg)
+                        .common(args.common(8_000.0, 15.0))
+                        .simulate_task(simulate)
                 };
                 let res = run_periodic(cfg, bench, Policy::chimera_us(15.0), &mk(false));
                 let sim = run_periodic(cfg, bench, Policy::chimera_us(15.0), &mk(true));

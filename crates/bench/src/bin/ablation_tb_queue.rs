@@ -33,13 +33,12 @@ fn main() {
         .benchmarks()
         .iter()
         .map(|bench| {
-            let (cfg, progress) = (&cfg, &progress);
+            let (cfg, progress, args) = (&cfg, &progress, &args);
             move || {
-                let mk = |prefer| PeriodicConfig {
-                    horizon_us: PERIODIC_HORIZON_US * args.scale,
-                    seed: args.seed,
-                    prefer_preempted: prefer,
-                    ..PeriodicConfig::paper_default(cfg)
+                let mk = |prefer| {
+                    PeriodicConfig::paper_default(cfg)
+                        .common(args.common(PERIODIC_HORIZON_US, 15.0))
+                        .prefer_preempted(prefer)
                 };
                 let a = run_periodic(cfg, bench, Policy::chimera_us(15.0), &mk(true));
                 let b = run_periodic(cfg, bench, Policy::chimera_us(15.0), &mk(false));

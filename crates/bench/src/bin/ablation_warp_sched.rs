@@ -45,13 +45,11 @@ fn main() {
     let tasks: Vec<_> = names
         .iter()
         .map(|&name| {
-            let (cfg_rr, suite_rr, cfg_gto, suite_gto, progress) =
-                (&cfg_rr, &suite_rr, &cfg_gto, &suite_gto, &progress);
+            let (cfg_rr, suite_rr, cfg_gto, suite_gto, progress, args) =
+                (&cfg_rr, &suite_rr, &cfg_gto, &suite_gto, &progress, &args);
             move || {
-                let pcfg = |cfg: &GpuConfig| PeriodicConfig {
-                    horizon_us: 8_000.0 * args.scale,
-                    seed: args.seed,
-                    ..PeriodicConfig::paper_default(cfg)
+                let pcfg = |cfg: &GpuConfig| {
+                    PeriodicConfig::paper_default(cfg).common(args.common(8_000.0, 15.0))
                 };
                 let rr = run_periodic(
                     cfg_rr,

@@ -60,13 +60,11 @@ fn main() {
             let progress = &progress;
             estimators.iter().map(move |&est| {
                 move || {
-                    let pcfg = PeriodicConfig {
-                        constraint_us: 15.0,
-                        horizon_us,
-                        seed: args.seed,
-                        estimator: est,
-                        ..PeriodicConfig::paper_default(cfg)
-                    };
+                    let pcfg = PeriodicConfig::paper_default(cfg)
+                        .horizon_us(horizon_us)
+                        .constraint_us(15.0)
+                        .seed(args.seed)
+                        .estimator(est);
                     let r = run_periodic(cfg, bench, Policy::chimera_us(15.0), &pcfg);
                     progress.cell_done(&format!("{}/{}", bench.name(), est.mode));
                     r.drain_samples

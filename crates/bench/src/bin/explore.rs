@@ -21,7 +21,12 @@ fn one(
     pcfg: &PeriodicConfig,
 ) -> (f64, f64, [f64; 3]) {
     let bench = suite.benchmark(bench_name).expect("known benchmark");
-    let r = run_periodic(cfg, bench, Policy::chimera_us(pcfg.constraint_us), pcfg);
+    let r = run_periodic(
+        cfg,
+        bench,
+        Policy::chimera_us(pcfg.common.constraint_us),
+        pcfg,
+    );
     let total: u64 = r.technique_counts.values().sum();
     let share = |t: Technique| {
         100.0 * r.technique_counts.get(&t).copied().unwrap_or(0) as f64 / total.max(1) as f64
@@ -57,12 +62,10 @@ fn main() {
                     ..GpuConfig::fermi()
                 };
                 let suite = Suite::with_options(cfg.clone(), SuiteOptions::default());
-                let pcfg = PeriodicConfig {
-                    horizon_us: horizon,
-                    seed: args.seed,
-                    task: RtTask::paper_default(&cfg),
-                    ..PeriodicConfig::paper_default(&cfg)
-                };
+                let pcfg = PeriodicConfig::paper_default(&cfg)
+                    .horizon_us(horizon)
+                    .seed(args.seed)
+                    .task(RtTask::paper_default(&cfg));
                 let (v, lat, mix) = one(&cfg, &suite, bench_name, &pcfg);
                 progress.cell_done(&format!("{sms} SMs"));
                 vec![
@@ -94,11 +97,9 @@ fn main() {
                     ..GpuConfig::fermi()
                 };
                 let suite = Suite::with_options(cfg.clone(), SuiteOptions::default());
-                let pcfg = PeriodicConfig {
-                    horizon_us: horizon,
-                    seed: args.seed,
-                    ..PeriodicConfig::paper_default(&cfg)
-                };
+                let pcfg = PeriodicConfig::paper_default(&cfg)
+                    .horizon_us(horizon)
+                    .seed(args.seed);
                 let (v, lat, mix) = one(&cfg, &suite, bench_name, &pcfg);
                 progress.cell_done(&format!("{bw} GB/s"));
                 vec![
@@ -132,15 +133,13 @@ fn main() {
             move || {
                 let cfg = GpuConfig::fermi();
                 let suite = Suite::standard();
-                let pcfg = PeriodicConfig {
-                    horizon_us: horizon,
-                    seed: args.seed,
-                    task: RtTask {
+                let pcfg = PeriodicConfig::paper_default(&cfg)
+                    .horizon_us(horizon)
+                    .seed(args.seed)
+                    .task(RtTask {
                         period_us: period,
                         ..RtTask::paper_default(&cfg)
-                    },
-                    ..PeriodicConfig::paper_default(&cfg)
-                };
+                    });
                 let (v, _, mix) = one(&cfg, &suite, bench_name, &pcfg);
                 progress.cell_done(&format!("{period} us period"));
                 vec![
@@ -178,11 +177,9 @@ fn main() {
                     .grid_blocks(20_000)
                     .build(&cfg);
                 let bench = workloads::Benchmark::new("sweep", vec![k]);
-                let pcfg = PeriodicConfig {
-                    horizon_us: horizon,
-                    seed: args.seed,
-                    ..PeriodicConfig::paper_default(&cfg)
-                };
+                let pcfg = PeriodicConfig::paper_default(&cfg)
+                    .horizon_us(horizon)
+                    .seed(args.seed);
                 let r = run_periodic(&cfg, &bench, Policy::Flush, &pcfg);
                 progress.cell_done(&format!("idem at {frac}"));
                 vec![f1(100.0 * frac), f1(r.violation_pct())]
@@ -206,15 +203,13 @@ fn main() {
             move || {
                 let cfg = GpuConfig::fermi();
                 let suite = Suite::standard();
-                let pcfg = PeriodicConfig {
-                    horizon_us: horizon,
-                    seed: args.seed,
-                    task: RtTask {
+                let pcfg = PeriodicConfig::paper_default(&cfg)
+                    .horizon_us(horizon)
+                    .seed(args.seed)
+                    .task(RtTask {
                         sms_needed: needed,
                         ..RtTask::paper_default(&cfg)
-                    },
-                    ..PeriodicConfig::paper_default(&cfg)
-                };
+                    });
                 let (v, lat, _) = one(&cfg, &suite, bench_name, &pcfg);
                 progress.cell_done(&format!("{needed} SMs needed"));
                 vec![needed.to_string(), f1(v), f1(lat)]

@@ -25,11 +25,7 @@ fn main() {
     let args = RunArgs::from_env();
     let suite = Suite::standard();
     let cfg = suite.config();
-    let pcfg = PeriodicConfig {
-        horizon_us: PERIODIC_HORIZON_US * args.scale,
-        seed: args.seed,
-        ..PeriodicConfig::paper_default(cfg)
-    };
+    let pcfg = PeriodicConfig::paper_default(cfg).common(args.common(PERIODIC_HORIZON_US, 15.0));
     println!("Hand-over latency distribution (us) across all benchmarks, 15 us constraint\n");
     let mut t = Table::new(&["policy", "p50", "p90", "p99", "max", "unfulfilled %"]);
     let policies = Policy::paper_lineup(15.0);

@@ -1,0 +1,174 @@
+//! Open-loop serving: offered load swept through saturation into overload.
+//!
+//! Not a paper figure — the paper's runners are closed-loop — but the
+//! natural stress test for collaborative preemption as a serving substrate:
+//! Poisson arrivals at a growing fraction of the workload's analytic
+//! saturation rate, with admission control shedding what cannot meet its
+//! deadline. Reports goodput versus offered load, deadline-slack
+//! percentiles, shed counts, and per-tenant fairness; a second table
+//! compares arrival shapes (Poisson, bursty, diurnal) at the same mean
+//! load. Output is byte-identical for every `--jobs` value.
+
+use bench::report::{f1, f2};
+use bench::scenarios::{serve_sweep, SERVE_HORIZON_US, TRACE_EVENT_CAPACITY};
+use bench::{RunArgs, Table};
+use chimera::runner::serve::{run_serve, run_serve_traced, ArrivalProcess, ServeConfig};
+use gpu_sim::GpuConfig;
+use workloads::ServeWorkload;
+
+/// Offered-load factors relative to the analytic saturation rate; the tail
+/// crosses 1.0 into overload, where admission control must shed.
+const LOAD_FACTORS: [f64; 8] = [0.25, 0.5, 0.75, 0.9, 1.0, 1.25, 1.5, 2.0];
+
+fn opt_us(v: Option<f64>) -> String {
+    v.map(f1).unwrap_or_else(|| "-".to_string())
+}
+
+fn main() {
+    let args = RunArgs::from_env();
+    let cfg = GpuConfig::fermi();
+    let wl = ServeWorkload::standard(&cfg);
+    let base = ServeConfig::paper_default()
+        .horizon_us(SERVE_HORIZON_US * args.scale)
+        .seed(args.seed)
+        .estimator(args.estimator);
+    let sat = wl.saturation_per_ms();
+    println!("Open-loop serving under Chimera-15us: offered load vs goodput and deadline slack\n");
+    println!(
+        "standard workload: mean service {} us, analytic saturation {} req/ms\n",
+        f1(wl.mean_service_us()),
+        f2(sat)
+    );
+
+    let rows = serve_sweep(&cfg, &wl, &base, &LOAD_FACTORS, &args);
+    let mut t = Table::new(&[
+        "load",
+        "offered/s",
+        "goodput/s",
+        "admit",
+        "shed q",
+        "shed inf",
+        "shed late",
+        "viol",
+        "p50 slack",
+        "p99 slack",
+        "p999 slack",
+        "max q",
+    ]);
+    for (factor, r) in &rows {
+        t.row(vec![
+            format!("{factor:.2}x"),
+            format!("{:.0}", r.offered_per_s),
+            format!("{:.0}", r.goodput_per_s),
+            r.admitted.to_string(),
+            r.shed_queue_full.to_string(),
+            r.shed_infeasible.to_string(),
+            r.shed_late.to_string(),
+            r.violations.to_string(),
+            opt_us(r.slack_p50_us),
+            opt_us(r.slack_p99_us),
+            opt_us(r.slack_p999_us),
+            r.max_queue_depth.to_string(),
+        ]);
+    }
+    println!("{t}");
+
+    // Arrival-shape comparison at 0.9x saturation: same mean load, three
+    // temporal shapes. Burstiness and diurnal swing stress admission in
+    // ways the constant-rate sweep cannot.
+    let mean = 0.9 * sat;
+    let shapes: [(&str, ArrivalProcess); 3] = [
+        ("poisson", ArrivalProcess::poisson(mean)),
+        (
+            "bursty",
+            ArrivalProcess::Bursty {
+                calm_per_ms: mean / 2.0,
+                burst_per_ms: 2.0 * mean,
+                mean_calm_us: 3_000.0,
+                mean_burst_us: 1_500.0,
+            },
+        ),
+        (
+            "diurnal",
+            ArrivalProcess::Diurnal {
+                mean_per_ms: mean,
+                relative_amplitude: 0.6,
+                period_us: 10_000.0,
+            },
+        ),
+    ];
+    println!("arrival-shape comparison at 0.90x saturation\n");
+    let mut t = Table::new(&[
+        "shape",
+        "offered",
+        "goodput/s",
+        "shed",
+        "viol",
+        "p99 slack",
+        "max q",
+    ]);
+    for (name, arr) in &shapes {
+        let r = run_serve(&cfg, &wl, &base.clone().arrivals(arr.clone()));
+        t.row(vec![
+            name.to_string(),
+            r.offered.to_string(),
+            format!("{:.0}", r.goodput_per_s),
+            (r.shed_queue_full + r.shed_infeasible + r.shed_late).to_string(),
+            r.violations.to_string(),
+            opt_us(r.slack_p99_us),
+            r.max_queue_depth.to_string(),
+        ]);
+    }
+    println!("{t}");
+
+    // Per-tenant fairness at 2x overload: the weighted-fair dispatcher must
+    // keep the light tenant alive while the heavy ones absorb the shedding.
+    let overload = base.clone().arrivals(ArrivalProcess::poisson(2.0 * sat));
+    let r = run_serve(&cfg, &wl, &overload);
+    println!("per-tenant outcomes at 2.00x saturation\n");
+    let mut t = Table::new(&[
+        "tenant",
+        "offered",
+        "admit",
+        "shed",
+        "done",
+        "viol",
+        "ANTT",
+        "viol share",
+    ]);
+    for tn in &r.tenants {
+        t.row(vec![
+            tn.name.clone(),
+            tn.offered.to_string(),
+            tn.admitted.to_string(),
+            tn.shed.to_string(),
+            tn.completed.to_string(),
+            tn.violations.to_string(),
+            tn.antt.map(f2).unwrap_or_else(|| "-".to_string()),
+            f2(tn.violation_share),
+        ]);
+    }
+    println!("{t}");
+
+    // Observability sinks mirror the figure binaries: a separate traced run
+    // (overloaded, so the shed track is populated) keeps stdout identical.
+    if args.trace.is_some() || args.events.is_some() {
+        let (_, gpu) = run_serve_traced(&cfg, &wl, &overload, TRACE_EVENT_CAPACITY);
+        let log = gpu.engine().event_log().expect("tracing was enabled");
+        if let Some(path) = &args.trace {
+            let json =
+                gpu_sim::trace::chrome_trace_json(gpu.engine()).expect("tracing was enabled");
+            std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!("wrote Chrome trace of the 2x-overload serve run to {path}");
+        }
+        if let Some(path) = &args.events {
+            std::fs::write(path, log.to_json_lines())
+                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!(
+                "wrote {} events ({} dropped) of the 2x-overload serve run to {path}",
+                log.len(),
+                log.dropped()
+            );
+        }
+    }
+}

@@ -9,9 +9,10 @@ use chimera::runner::multiprog::{run_fcfs, run_pair, MultiprogConfig};
 use chimera::runner::periodic::{
     run_periodic, run_periodic_traced, PeriodicConfig, PeriodicResult,
 };
+use chimera::runner::serve::{run_serve, ArrivalProcess, ServeConfig, ServeResult};
 use chimera::runner::solo::run_solo;
 use gpu_sim::GpuConfig;
-use workloads::{Suite, SuiteOptions};
+use workloads::{ServeWorkload, Suite, SuiteOptions};
 
 /// Default horizon for periodic experiments (µs) before `--scale`.
 pub const PERIODIC_HORIZON_US: f64 = 16_000.0;
@@ -40,13 +41,8 @@ pub fn write_observability(args: &RunArgs, suite: &Suite, constraint_us: f64) {
     }
     let cfg = suite.config();
     let bench = &suite.benchmarks()[0];
-    let pcfg = PeriodicConfig {
-        constraint_us,
-        horizon_us: PERIODIC_HORIZON_US * args.scale,
-        seed: args.seed,
-        estimator: args.estimator,
-        ..PeriodicConfig::paper_default(cfg)
-    };
+    let pcfg =
+        PeriodicConfig::paper_default(cfg).common(args.common(PERIODIC_HORIZON_US, constraint_us));
     let (_, engine) = run_periodic_traced(
         cfg,
         bench,
@@ -99,14 +95,9 @@ pub fn sanitized_periodic_check(
 ) -> Result<String, String> {
     let cfg = suite.config();
     let policies = [Policy::Flush, Policy::chimera_us(constraint_us)];
-    let pcfg = PeriodicConfig {
-        constraint_us,
-        horizon_us: PERIODIC_HORIZON_US * args.scale,
-        seed: args.seed,
-        sanitize: true,
-        estimator: args.estimator,
-        ..PeriodicConfig::paper_default(cfg)
-    };
+    let pcfg = PeriodicConfig::paper_default(cfg)
+        .common(args.common(PERIODIC_HORIZON_US, constraint_us))
+        .sanitize(true);
     let benches = suite.benchmarks();
     let progress = Progress::new("sanitized periodic", benches.len() * policies.len());
     let tasks: Vec<_> = benches
@@ -167,14 +158,9 @@ pub fn periodic_matrix(
     strict: bool,
 ) -> PeriodicMatrix {
     let cfg = suite.config();
-    let pcfg = PeriodicConfig {
-        constraint_us,
-        horizon_us: PERIODIC_HORIZON_US * args.scale,
-        seed: args.seed,
-        strict_idem: strict,
-        estimator: args.estimator,
-        ..PeriodicConfig::paper_default(cfg)
-    };
+    let pcfg = PeriodicConfig::paper_default(cfg)
+        .common(args.common(PERIODIC_HORIZON_US, constraint_us))
+        .strict_idem(strict);
     let benches = suite.benchmarks();
     let progress = Progress::new("periodic matrix", benches.len() * policies.len());
     // Each (benchmark, policy) cell is a pure function of its inputs — it
@@ -261,14 +247,14 @@ pub fn multiprog_suite(args: &RunArgs) -> Suite {
 /// FCFS and each policy, with solo baselines for ANTT/STP.
 pub fn multiprog_matrix(suite: &Suite, policies: &[Policy], args: &RunArgs) -> MultiprogMatrix {
     let cfg = suite.config();
-    let mcfg = MultiprogConfig {
-        budget_insts: (2_000_000.0 * args.scale) as u64,
-        constraint_us: 30.0,
-        horizon_us: 2_000_000.0,
-        seed: args.seed,
-        estimator: args.estimator,
-        ..MultiprogConfig::paper_default()
-    };
+    // The multiprog horizon is a generous cutoff, not a measurement
+    // window, so `--scale` shrinks the instruction budget instead.
+    let mcfg = MultiprogConfig::paper_default()
+        .horizon_us(2_000_000.0)
+        .constraint_us(30.0)
+        .seed(args.seed)
+        .estimator(args.estimator)
+        .budget_insts((2_000_000.0 * args.scale) as u64);
     let solo_horizon = cfg.us_to_cycles(200_000.0);
     let lud = suite.benchmark("LUD").expect("suite contains LUD");
     let partners: Vec<_> = suite
@@ -328,10 +314,10 @@ pub fn multiprog_matrix(suite: &Suite, policies: &[Policy], args: &RunArgs) -> M
             let multis = [
                 out.jobs[0]
                     .t_multi
-                    .unwrap_or(cfg.us_to_cycles(mcfg.horizon_us)) as f64,
+                    .unwrap_or(cfg.us_to_cycles(mcfg.common.horizon_us)) as f64,
                 out.jobs[1]
                     .t_multi
-                    .unwrap_or(cfg.us_to_cycles(mcfg.horizon_us)) as f64,
+                    .unwrap_or(cfg.us_to_cycles(mcfg.common.horizon_us)) as f64,
             ];
             let pairs = [(multis[0], singles[0]), (multis[1], singles[1])];
             PairMetrics {
@@ -354,6 +340,39 @@ pub fn multiprog_matrix(suite: &Suite, policies: &[Policy], args: &RunArgs) -> M
         policies: policies.to_vec(),
         rows,
     }
+}
+
+/// Default horizon for open-loop serving experiments (µs) before `--scale`.
+pub const SERVE_HORIZON_US: f64 = 40_000.0;
+
+/// Sweep offered load through saturation: run the serving front-end once
+/// per `factor`, with Poisson arrivals at `factor ×` the workload's
+/// analytic saturation rate. Each cell is a pure function of its inputs, so
+/// the sweep parallelises across `--jobs` with byte-identical results.
+pub fn serve_sweep(
+    cfg: &GpuConfig,
+    wl: &ServeWorkload,
+    base: &ServeConfig,
+    factors: &[f64],
+    args: &RunArgs,
+) -> Vec<(f64, ServeResult)> {
+    let progress = Progress::new("serve sweep", factors.len());
+    let sat = wl.saturation_per_ms();
+    let tasks: Vec<_> = factors
+        .iter()
+        .map(|&f| {
+            let (progress, base) = (&progress, base);
+            move || {
+                let scfg = base.clone().arrivals(ArrivalProcess::poisson(f * sat));
+                let r = run_serve(cfg, wl, &scfg);
+                progress.cell_done(&format!("load {f:.2}x"));
+                r
+            }
+        })
+        .collect();
+    let results = pool::run_tasks(args.jobs, tasks);
+    progress.finish(args.jobs);
+    factors.iter().copied().zip(results).collect()
 }
 
 #[cfg(test)]
@@ -448,6 +467,27 @@ mod tests {
     fn write_observability_without_sinks_is_a_no_op() {
         // Must not run anything or write anywhere when both sinks are unset.
         write_observability(&RunArgs::default(), &Suite::standard(), 15.0);
+    }
+
+    #[test]
+    fn serve_sweep_is_deterministic_across_jobs() {
+        // The serve acceptance bar: `--jobs 4` must reproduce `--jobs 1`
+        // byte for byte, including the overloaded cell.
+        let cfg = GpuConfig::fermi();
+        let wl = ServeWorkload::standard(&cfg);
+        let base = ServeConfig::paper_default().horizon_us(2_000.0).seed(7);
+        let factors = [0.5, 2.0];
+        let serial = RunArgs {
+            jobs: 1,
+            ..RunArgs::default()
+        };
+        let parallel = RunArgs {
+            jobs: 4,
+            ..RunArgs::default()
+        };
+        let a = serve_sweep(&cfg, &wl, &base, &factors, &serial);
+        let b = serve_sweep(&cfg, &wl, &base, &factors, &parallel);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 
     #[test]

@@ -22,8 +22,9 @@
 //! * [`policy`] — the preemption policies compared in the paper (pure
 //!   switch / drain / flush, Chimera, and the measurement-only oracle);
 //! * [`runner`] — the experiment drivers: periodic hard-deadline multitasking
-//!   (§4.1–4.3) and pairwise multiprogrammed workloads with an FCFS baseline
-//!   (§4.4);
+//!   (§4.1–4.3), pairwise multiprogrammed workloads with an FCFS baseline
+//!   (§4.4), and an open-loop serving front-end (arrivals, admission
+//!   control, SLO metrics) for studying overload behaviour;
 //! * [`metrics`] — ANTT and STP (Eyerman & Eeckhout) and violation-rate
 //!   accounting;
 //! * [`obs`] — post-run analysis of the decision-level
@@ -40,8 +41,8 @@
 //!
 //! let suite = Suite::standard();
 //! let bench = suite.benchmark("LUD").expect("suite contains LUD");
-//! let mut cfg = PeriodicConfig::paper_default(suite.config());
-//! cfg.horizon_us = 3_000.0; // keep the doctest fast
+//! // keep the doctest fast with a short horizon
+//! let cfg = PeriodicConfig::paper_default(suite.config()).horizon_us(3_000.0);
 //! let result = run_periodic(suite.config(), bench, Policy::chimera_us(15.0), &cfg);
 //! assert!(result.requests >= 2);
 //! ```
@@ -63,5 +64,10 @@ pub use metrics::{antt, geomean, stp};
 pub use obs::{accuracy_per_kernel, drain_accuracy, DrainSample, DrainTracker, KernelAccuracy};
 pub use partition::PartitionPolicy;
 pub use policy::Policy;
-pub use scheduler::{GpuScheduler, ProcId, SchedEvent};
+pub use runner::serve::{
+    run_serve, run_serve_on, run_serve_traced, AdmissionConfig, ArrivalProcess, ServeConfig,
+    ServeResult, TenantOutcome,
+};
+pub use runner::RunCommon;
+pub use scheduler::{GpuScheduler, GpuSchedulerBuilder, ProcId, SchedEvent};
 pub use select::{select_preemptions, PlanForSm, SelectionRequest};

@@ -48,10 +48,7 @@ pub struct KernelAccuracy {
 ///
 /// let suite = Suite::standard();
 /// let cfg = suite.config();
-/// let pcfg = PeriodicConfig {
-///     horizon_us: 2_000.0,
-///     ..PeriodicConfig::paper_default(cfg)
-/// };
+/// let pcfg = PeriodicConfig::paper_default(cfg).horizon_us(2_000.0);
 /// let (_, engine) = run_periodic_traced(
 ///     cfg,
 ///     suite.benchmark("BS").unwrap(),
@@ -268,10 +265,7 @@ mod tests {
     fn disabled_log_yields_empty_report() {
         let suite = Suite::standard();
         let cfg = suite.config();
-        let pcfg = PeriodicConfig {
-            horizon_us: 1_000.0,
-            ..PeriodicConfig::paper_default(cfg)
-        };
+        let pcfg = PeriodicConfig::paper_default(cfg).horizon_us(1_000.0);
         let (_, engine) = run_periodic_traced(
             cfg,
             suite.benchmark("BS").unwrap(),
@@ -289,10 +283,7 @@ mod tests {
         // log must contain drain decisions that later complete.
         let suite = Suite::standard();
         let cfg = suite.config();
-        let pcfg = PeriodicConfig {
-            horizon_us: 4_000.0,
-            ..PeriodicConfig::paper_default(cfg)
-        };
+        let pcfg = PeriodicConfig::paper_default(cfg).horizon_us(4_000.0);
         let (_, engine) = run_periodic_traced(
             cfg,
             suite.benchmark("BS").unwrap(),
@@ -314,10 +305,7 @@ mod tests {
     fn report_is_deterministic() {
         let suite = Suite::standard();
         let cfg = suite.config();
-        let pcfg = PeriodicConfig {
-            horizon_us: 2_000.0,
-            ..PeriodicConfig::paper_default(cfg)
-        };
+        let pcfg = PeriodicConfig::paper_default(cfg).horizon_us(2_000.0);
         let run = || {
             let (_, engine) = run_periodic_traced(
                 cfg,

@@ -1,0 +1,116 @@
+//! Config fields shared by every runner.
+//!
+//! Three runners ([`run_periodic`](crate::runner::periodic::run_periodic),
+//! [`run_pair`](crate::runner::multiprog::run_pair),
+//! [`run_serve`](crate::runner::serve::run_serve)) used to duplicate the
+//! same knobs — seed, horizon, latency constraint, estimator, sanitizer —
+//! so every new knob was threaded by hand through N config structs and ~15
+//! bench binaries. [`RunCommon`] holds them once; each runner config embeds
+//! it as a public `common` field and forwards builder-style setters, so
+//! adding a shared knob is one change here, not N.
+
+use crate::cost::EstimatorConfig;
+
+/// Runner knobs shared by every experiment driver.
+///
+/// Construct with [`RunCommon::new`] and chain setters; runner configs
+/// embed this as their `common` field.
+///
+/// ```
+/// use chimera::runner::RunCommon;
+/// use chimera::EstimatorConfig;
+///
+/// let c = RunCommon::new(24_000.0, 15.0)
+///     .seed(7)
+///     .estimator(EstimatorConfig::online(0.9));
+/// assert_eq!(c.seed, 7);
+/// assert_eq!(c.horizon_us, 24_000.0);
+/// assert!(!c.sanitize);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunCommon {
+    /// Determinism seed. Every runner's output is a pure function of its
+    /// config (including this seed), independent of worker-thread count.
+    pub seed: u64,
+    /// Simulated horizon, µs.
+    pub horizon_us: f64,
+    /// Preemption latency constraint, µs (Chimera's deadline input).
+    pub constraint_us: f64,
+    /// Drain/flush cost estimator configuration.
+    pub estimator: EstimatorConfig,
+    /// Run with the dynamic flush sanitizer enabled (slower; for
+    /// verification passes, not measurement runs).
+    pub sanitize: bool,
+}
+
+impl RunCommon {
+    /// Shared knobs with the given horizon and latency constraint; seed 42,
+    /// static estimator, sanitizer off.
+    ///
+    /// There is deliberately no `Default`: a zero horizon silently measures
+    /// nothing, so both time knobs must be spelled out.
+    pub fn new(horizon_us: f64, constraint_us: f64) -> Self {
+        RunCommon {
+            seed: 42,
+            horizon_us,
+            constraint_us,
+            estimator: EstimatorConfig::default(),
+            sanitize: false,
+        }
+    }
+
+    /// Set the determinism seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the simulated horizon, µs.
+    pub fn horizon_us(mut self, horizon_us: f64) -> Self {
+        self.horizon_us = horizon_us;
+        self
+    }
+
+    /// Set the preemption latency constraint, µs.
+    pub fn constraint_us(mut self, constraint_us: f64) -> Self {
+        self.constraint_us = constraint_us;
+        self
+    }
+
+    /// Set the estimator configuration.
+    pub fn estimator(mut self, estimator: EstimatorConfig) -> Self {
+        self.estimator = estimator;
+        self
+    }
+
+    /// Enable or disable the dynamic flush sanitizer.
+    pub fn sanitize(mut self, sanitize: bool) -> Self {
+        self.sanitize = sanitize;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::EstimatorMode;
+
+    #[test]
+    fn builder_chains_and_defaults() {
+        let c = RunCommon::new(1_000.0, 15.0);
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.estimator, EstimatorConfig::default());
+        assert!(!c.sanitize);
+        let c = c
+            .seed(9)
+            .horizon_us(2_000.0)
+            .constraint_us(30.0)
+            .estimator(EstimatorConfig::online(0.5))
+            .sanitize(true);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.horizon_us, 2_000.0);
+        assert_eq!(c.constraint_us, 30.0);
+        assert_eq!(c.estimator.mode, EstimatorMode::Online);
+        assert!(c.sanitize);
+    }
+}

@@ -1,10 +1,13 @@
 //! Experiment drivers reproducing the paper's evaluation scenarios.
 
+pub mod common;
 pub mod job;
 pub mod multiprog;
 pub mod periodic;
+pub mod serve;
 pub mod solo;
 
+pub use common::RunCommon;
 pub use job::Job;
 
 use gpu_sim::{Engine, SmPreemptPlan, Technique};

@@ -11,43 +11,83 @@
 use crate::cost::{EstimatorConfig, ObsBank};
 use crate::partition::PartitionPolicy;
 use crate::policy::Policy;
-use crate::runner::Job;
+use crate::runner::{Job, RunCommon};
 use crate::select::{select_preemptions, SelectionRequest};
 use gpu_sim::{Engine, Event, GpuConfig, SmPreemptPlan, Technique};
 use std::collections::HashMap;
 use workloads::Benchmark;
 
 /// Configuration of a multiprogrammed run.
+///
+/// Shared runner knobs (seed, horizon, constraint, estimator, sanitizer)
+/// live in [`common`](MultiprogConfig::common); the builder-style setters
+/// below forward to it. The constraint is 30 µs in §4.4 — the maximum
+/// possible context-switch latency of the configuration.
 #[derive(Debug, Clone)]
 pub struct MultiprogConfig {
+    /// Knobs shared with every other runner. (`common.sanitize` is accepted
+    /// for uniformity but multiprog runs do not flush-sanitize today.)
+    pub common: RunCommon,
     /// Measurement budget per benchmark, useful warp instructions
     /// (the paper's 1-billion-instruction cap, scaled).
     pub budget_insts: u64,
-    /// Chimera's latency constraint, µs (30 µs in §4.4 — the maximum
-    /// possible context-switch latency of the configuration).
-    pub constraint_us: f64,
-    /// Failsafe horizon, µs.
-    pub horizon_us: f64,
-    /// Determinism seed.
-    pub seed: u64,
     /// SM partitioning policy (the paper's evaluation uses
     /// [`PartitionPolicy::SmartEven`]).
     pub partition: PartitionPolicy,
-    /// Cost-estimator mode and risk knob for Chimera's technique selection.
-    pub estimator: EstimatorConfig,
 }
 
 impl MultiprogConfig {
     /// Defaults scaled for laptop runs.
     pub fn paper_default() -> Self {
         MultiprogConfig {
+            common: RunCommon::new(400_000.0, 30.0),
             budget_insts: 3_000_000,
-            constraint_us: 30.0,
-            horizon_us: 400_000.0,
-            seed: 42,
             partition: PartitionPolicy::SmartEven,
-            estimator: EstimatorConfig::default(),
         }
+    }
+
+    /// Replace the shared runner knobs wholesale.
+    pub fn common(mut self, common: RunCommon) -> Self {
+        self.common = common;
+        self
+    }
+
+    /// Set the determinism seed (forwards to [`RunCommon::seed`]).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.common.seed = seed;
+        self
+    }
+
+    /// Set the failsafe horizon, µs (forwards to [`RunCommon::horizon_us`]).
+    pub fn horizon_us(mut self, horizon_us: f64) -> Self {
+        self.common.horizon_us = horizon_us;
+        self
+    }
+
+    /// Set Chimera's latency constraint, µs (forwards to
+    /// [`RunCommon::constraint_us`]).
+    pub fn constraint_us(mut self, constraint_us: f64) -> Self {
+        self.common.constraint_us = constraint_us;
+        self
+    }
+
+    /// Set the estimator configuration (forwards to
+    /// [`RunCommon::estimator`]).
+    pub fn estimator(mut self, estimator: EstimatorConfig) -> Self {
+        self.common.estimator = estimator;
+        self
+    }
+
+    /// Set the per-benchmark measurement budget, useful warp instructions.
+    pub fn budget_insts(mut self, budget: u64) -> Self {
+        self.budget_insts = budget;
+        self
+    }
+
+    /// Set the SM partitioning policy.
+    pub fn partition(mut self, partition: PartitionPolicy) -> Self {
+        self.partition = partition;
+        self
     }
 }
 
@@ -85,7 +125,7 @@ pub fn run_pair(
     policy: Policy,
     mcfg: &MultiprogConfig,
 ) -> PairOutcome {
-    let mut engine = Engine::with_seed(cfg.clone(), mcfg.seed);
+    let mut engine = Engine::with_seed(cfg.clone(), mcfg.common.seed);
     engine.set_break_on_kernel_finish(true);
     if policy.is_oracle() {
         engine.set_free_context_moves(true);
@@ -94,7 +134,7 @@ pub fn run_pair(
         Job::new(a.clone(), Some(mcfg.budget_insts)),
         Job::new(b.clone(), Some(mcfg.budget_insts)),
     ];
-    let mut obs = ObsBank::with_estimator(mcfg.estimator);
+    let mut obs = ObsBank::with_estimator(mcfg.common.estimator);
     // Initial even ownership.
     let half = cfg.num_sms / 2;
     let mut owner: Vec<usize> = (0..cfg.num_sms).map(|sm| usize::from(sm >= half)).collect();
@@ -102,7 +142,7 @@ pub fn run_pair(
     for j in jobs.iter_mut() {
         j.ensure_running(&mut engine);
     }
-    let horizon = cfg.us_to_cycles(mcfg.horizon_us);
+    let horizon = cfg.us_to_cycles(mcfg.common.horizon_us);
     let tick = cfg.us_to_cycles(10.0);
     let poll = cfg.us_to_cycles(0.5).max(1);
 
@@ -314,7 +354,7 @@ fn rebalance(
                 ctx_bytes_per_tb: desc.block_context_bytes(),
                 obs: obs.obs(&name),
                 flush_allowed: true,
-                estimator: mcfg.estimator,
+                estimator: mcfg.common.estimator,
             };
             let snaps: Vec<_> = occupied.iter().map(|&sm| engine.sm_snapshot(sm)).collect();
             for plan in select_preemptions(cfg, &req, &snaps) {
@@ -340,13 +380,13 @@ pub fn run_fcfs(
     b: &Benchmark,
     mcfg: &MultiprogConfig,
 ) -> PairOutcome {
-    let mut engine = Engine::with_seed(cfg.clone(), mcfg.seed);
+    let mut engine = Engine::with_seed(cfg.clone(), mcfg.common.seed);
     engine.set_break_on_kernel_finish(true);
     let mut jobs = [
         Job::new(a.clone(), Some(mcfg.budget_insts)),
         Job::new(b.clone(), Some(mcfg.budget_insts)),
     ];
-    let horizon = cfg.us_to_cycles(mcfg.horizon_us);
+    let horizon = cfg.us_to_cycles(mcfg.common.horizon_us);
     let mut queue = std::collections::VecDeque::from([0usize, 1usize]);
     'outer: while let Some(turn) = queue.pop_front() {
         jobs[turn].ensure_running(&mut engine);
@@ -401,13 +441,9 @@ mod tests {
     use workloads::Suite;
 
     fn quick() -> MultiprogConfig {
-        MultiprogConfig {
-            budget_insts: 300_000,
-            constraint_us: 30.0,
-            horizon_us: 100_000.0,
-            seed: 42,
-            ..MultiprogConfig::paper_default()
-        }
+        MultiprogConfig::paper_default()
+            .budget_insts(300_000)
+            .horizon_us(100_000.0)
     }
 
     #[test]

@@ -15,22 +15,24 @@
 use crate::cost::{EstimatorConfig, EstimatorMode, ObsBank};
 use crate::obs::{DrainSample, DrainTracker};
 use crate::policy::Policy;
+use crate::runner::RunCommon;
 use crate::select::{select_preemptions, SelectionRequest};
 use gpu_sim::{Engine, Event, GpuConfig, SmPreemptPlan, Technique};
 use std::collections::HashMap;
 use workloads::{Benchmark, RtTask};
 
 /// Configuration for a periodic run.
+///
+/// Shared runner knobs (seed, horizon, constraint, estimator, sanitizer)
+/// live in [`common`](PeriodicConfig::common); the builder-style setters
+/// below forward to it so call sites need not spell the nesting out.
 #[derive(Debug, Clone)]
 pub struct PeriodicConfig {
+    /// Knobs shared with every other runner; the constraint is 15 µs in
+    /// Figures 6–7.
+    pub common: RunCommon,
     /// The periodic task.
     pub task: RtTask,
-    /// Preemption latency constraint, µs (15 µs in Figures 6–7).
-    pub constraint_us: f64,
-    /// Simulated duration, µs.
-    pub horizon_us: f64,
-    /// Determinism seed.
-    pub seed: u64,
     /// Use the strict idempotence condition for flushing decisions (§4.3).
     pub strict_idem: bool,
     /// Re-dispatch preempted blocks before fresh ones (the paper's policy;
@@ -43,35 +45,81 @@ pub struct PeriodicConfig {
     /// model; this switch is the fidelity ablation
     /// (`bench --bin ablation-task-sim`).
     pub simulate_task: bool,
-    /// Enable the engine's dynamic [flush sanitizer](gpu_sim::FlushSanitizer):
-    /// every flushed block is checked against its recorded global-memory
-    /// footprint, validating the static idempotence analysis that authorised
-    /// the flush. Off by default (it records per-block footprints); the
-    /// finished report is available from the returned engine via
-    /// [`gpu_sim::Engine::take_sanitizer`].
-    pub sanitize: bool,
-    /// Cost-estimator mode and risk knob (`--estimator` / `--risk-quantile`
-    /// on the bench binaries). The default static mode reproduces the
-    /// paper's offline-shaped drain bounds; the online mode feeds every
-    /// block completion back into per-kernel quantile sketches and lets
-    /// Algorithm 1 bound drains at the configured risk quantile.
-    pub estimator: EstimatorConfig,
 }
 
 impl PeriodicConfig {
     /// The paper's §4.1 setup (15 µs constraint) over a default horizon.
     pub fn paper_default(cfg: &GpuConfig) -> Self {
         PeriodicConfig {
+            common: RunCommon::new(24_000.0, 15.0),
             task: RtTask::paper_default(cfg),
-            constraint_us: 15.0,
-            horizon_us: 24_000.0,
-            seed: 42,
             strict_idem: false,
             prefer_preempted: true,
             simulate_task: false,
-            sanitize: false,
-            estimator: EstimatorConfig::default(),
         }
+    }
+
+    /// Replace the shared runner knobs wholesale.
+    pub fn common(mut self, common: RunCommon) -> Self {
+        self.common = common;
+        self
+    }
+
+    /// Set the determinism seed (forwards to [`RunCommon::seed`]).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.common.seed = seed;
+        self
+    }
+
+    /// Set the simulated horizon, µs (forwards to [`RunCommon::horizon_us`]).
+    pub fn horizon_us(mut self, horizon_us: f64) -> Self {
+        self.common.horizon_us = horizon_us;
+        self
+    }
+
+    /// Set the latency constraint, µs (forwards to
+    /// [`RunCommon::constraint_us`]).
+    pub fn constraint_us(mut self, constraint_us: f64) -> Self {
+        self.common.constraint_us = constraint_us;
+        self
+    }
+
+    /// Set the estimator configuration (forwards to
+    /// [`RunCommon::estimator`]).
+    pub fn estimator(mut self, estimator: EstimatorConfig) -> Self {
+        self.common.estimator = estimator;
+        self
+    }
+
+    /// Enable or disable the dynamic flush sanitizer (forwards to
+    /// [`RunCommon::sanitize`]).
+    pub fn sanitize(mut self, sanitize: bool) -> Self {
+        self.common.sanitize = sanitize;
+        self
+    }
+
+    /// Set the periodic task.
+    pub fn task(mut self, task: RtTask) -> Self {
+        self.task = task;
+        self
+    }
+
+    /// Use the strict idempotence condition for flushing decisions (§4.3).
+    pub fn strict_idem(mut self, strict: bool) -> Self {
+        self.strict_idem = strict;
+        self
+    }
+
+    /// Re-dispatch preempted blocks before fresh ones.
+    pub fn prefer_preempted(mut self, prefer: bool) -> Self {
+        self.prefer_preempted = prefer;
+        self
+    }
+
+    /// Execute the real-time task as an actual kernel (fidelity ablation).
+    pub fn simulate_task(mut self, simulate: bool) -> Self {
+        self.simulate_task = simulate;
+        self
     }
 }
 
@@ -212,10 +260,7 @@ pub fn run_periodic(
 ///
 /// let suite = Suite::standard();
 /// let cfg = suite.config();
-/// let pcfg = PeriodicConfig {
-///     horizon_us: 4_000.0,
-///     ..PeriodicConfig::paper_default(cfg)
-/// };
+/// let pcfg = PeriodicConfig::paper_default(cfg).horizon_us(4_000.0);
 /// let (result, engine) = run_periodic_traced(
 ///     cfg,
 ///     suite.benchmark("BS").unwrap(),
@@ -234,11 +279,11 @@ pub fn run_periodic_traced(
     pcfg: &PeriodicConfig,
     event_capacity: usize,
 ) -> (PeriodicResult, Engine) {
-    let mut engine = Engine::with_seed(cfg.clone(), pcfg.seed);
+    let mut engine = Engine::with_seed(cfg.clone(), pcfg.common.seed);
     if event_capacity > 0 {
         engine.enable_event_log(event_capacity);
     }
-    if pcfg.sanitize {
+    if pcfg.common.sanitize {
         engine.enable_sanitizer();
     }
     engine.set_break_on_kernel_finish(true);
@@ -254,13 +299,13 @@ pub fn run_periodic_traced(
         flush_wait: HashMap::new(),
         task_sms: HashMap::new(),
         requests: Vec::new(),
-        obs: ObsBank::with_estimator(pcfg.estimator),
+        obs: ObsBank::with_estimator(pcfg.common.estimator),
         drains: DrainTracker::new(),
     };
-    let horizon = cfg.us_to_cycles(pcfg.horizon_us);
+    let horizon = cfg.us_to_cycles(pcfg.common.horizon_us);
     let period = pcfg.task.period_cycles(cfg);
     let exec = pcfg.task.exec_cycles(cfg);
-    let constraint = cfg.us_to_cycles(pcfg.constraint_us);
+    let constraint = cfg.us_to_cycles(pcfg.common.constraint_us);
     let poll = cfg.us_to_cycles(0.5).max(1);
     let mut next_request = period;
 
@@ -297,16 +342,16 @@ pub fn run_periodic_traced(
                     // Periodically surface the live estimator state to the
                     // observability event log: at the moment the quantile
                     // becomes trusted and every 256 completions after.
-                    if pcfg.estimator.mode == EstimatorMode::Online {
+                    if pcfg.common.estimator.mode == EstimatorMode::Online {
                         let n = st.obs.samples(&name);
-                        if n == pcfg.estimator.min_samples || n.is_multiple_of(256) {
+                        if n == pcfg.common.estimator.min_samples || n.is_multiple_of(256) {
                             let o = st.obs.obs(&name);
                             engine.record_estimator_update(
                                 kernel,
                                 n,
                                 o.avg_tb_insts.unwrap_or(0.0).round() as u64,
                                 o.quantile_tb_insts.unwrap_or(0.0).round() as u64,
-                                pcfg.estimator.risk_pct(),
+                                pcfg.common.estimator.risk_pct(),
                             );
                         }
                     }
@@ -564,7 +609,7 @@ fn issue_request(
                 ctx_bytes_per_tb: desc.block_context_bytes(),
                 obs: st.obs.obs(&name),
                 flush_allowed: !pcfg.strict_idem || kernel_strictly_idempotent,
-                estimator: pcfg.estimator,
+                estimator: pcfg.common.estimator,
             };
             let snapshots: Vec<_> = occupied.iter().map(|&sm| engine.sm_snapshot(sm)).collect();
             for plan in select_preemptions(cfg, &req, &snapshots) {
@@ -605,10 +650,7 @@ mod tests {
     use workloads::Suite;
 
     fn quick_cfg(cfg: &GpuConfig, horizon_us: f64) -> PeriodicConfig {
-        PeriodicConfig {
-            horizon_us,
-            ..PeriodicConfig::paper_default(cfg)
-        }
+        PeriodicConfig::paper_default(cfg).horizon_us(horizon_us)
     }
 
     #[test]
@@ -620,7 +662,7 @@ mod tests {
         let suite = Suite::standard();
         let cfg = suite.config();
         let mut pc = quick_cfg(cfg, 3_000.0);
-        pc.constraint_us = 2.0;
+        pc.common.constraint_us = 2.0;
         pc.task.sms_needed = cfg.num_sms + 1;
         let r = run_periodic(cfg, suite.benchmark("BS").unwrap(), Policy::Switch, &pc);
         assert!(r.requests > 0);
@@ -701,7 +743,7 @@ mod tests {
             &quick_cfg(cfg, 4_000.0),
         );
         let mut pc = quick_cfg(cfg, 4_000.0);
-        pc.estimator = crate::cost::EstimatorConfig::online(0.95);
+        pc.common.estimator = crate::cost::EstimatorConfig::online(0.95);
         let online_r = run_periodic(
             cfg,
             suite.benchmark("BS").unwrap(),
@@ -725,7 +767,7 @@ mod tests {
         let suite = Suite::standard();
         let cfg = suite.config();
         let mut pc = quick_cfg(cfg, 4_000.0);
-        pc.estimator = crate::cost::EstimatorConfig::online(0.95);
+        pc.common.estimator = crate::cost::EstimatorConfig::online(0.95);
         let (_, engine) = run_periodic_traced(
             cfg,
             suite.benchmark("BS").unwrap(),
@@ -899,7 +941,7 @@ mod tests {
         for bench in ["BS", "HS", "NW", "FWT", "BT"] {
             for policy in [Policy::Flush, Policy::chimera_us(15.0)] {
                 let mut pc = quick_cfg(cfg, 4_000.0);
-                pc.sanitize = true;
+                pc.common.sanitize = true;
                 let (r, mut engine) =
                     run_periodic_traced(cfg, suite.benchmark(bench).unwrap(), policy, &pc, 0);
                 let san = engine.take_sanitizer().expect("sanitizer was enabled");

@@ -1,0 +1,844 @@
+//! Open-loop serving front-end: arrivals, admission control, SLO metrics.
+//!
+//! The periodic and multiprogramming runners are *closed-loop*: the next
+//! kernel launches when the previous one finishes, so offered load can never
+//! exceed capacity and overload behaviour is invisible. This runner replays
+//! an *open-loop* request stream — arrivals keep coming whether or not the
+//! GPU keeps up — through an admission controller and a fair dispatcher onto
+//! a [`GpuScheduler`], and reports serving metrics (deadline-slack
+//! percentiles, goodput versus offered load, per-tenant outcomes).
+//!
+//! Everything is a pure function of the config: arrival times, tenant and
+//! class assignments, and admission decisions are all derived from
+//! counter-based hashes of the seed, so a sweep parallelised across worker
+//! threads is byte-identical to a serial one.
+
+use crate::cost::EstimatorConfig;
+use crate::partition::PartitionPolicy;
+use crate::policy::Policy;
+use crate::runner::RunCommon;
+use crate::scheduler::{GpuScheduler, SchedEvent};
+use gpu_sim::rng::{hash_combine, unit_f64};
+use gpu_sim::{GpuConfig, ShedReason};
+use std::collections::VecDeque;
+use workloads::ServeWorkload;
+
+/// Hash salts separating the independent random streams of a serve run.
+const SALT_GAP: u64 = 0x5EAF_00D1;
+const SALT_SOJOURN: u64 = 0x5EAF_00D2;
+const SALT_THIN: u64 = 0x5EAF_00D3;
+const SALT_TENANT: u64 = 0x5EAF_00D4;
+const SALT_CLASS: u64 = 0x5EAF_00D5;
+
+/// An arrival process: when requests reach the front door.
+///
+/// [`generate`](Self::generate) is a pure function of `(self, seed,
+/// horizon)`: every draw is a counter-based hash, so the stream does not
+/// depend on evaluation order or worker-thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at a constant mean rate.
+    Poisson {
+        /// Mean arrival rate, requests per millisecond.
+        rate_per_ms: f64,
+    },
+    /// A two-state Markov-modulated Poisson process: calm stretches
+    /// punctuated by bursts, each state holding for an exponentially
+    /// distributed sojourn.
+    Bursty {
+        /// Arrival rate in the calm state, requests per millisecond.
+        calm_per_ms: f64,
+        /// Arrival rate in the burst state, requests per millisecond.
+        burst_per_ms: f64,
+        /// Mean sojourn in the calm state, µs.
+        mean_calm_us: f64,
+        /// Mean sojourn in the burst state, µs.
+        mean_burst_us: f64,
+    },
+    /// A sinusoidally modulated rate mimicking a compressed day/night
+    /// cycle, sampled by thinning a max-rate Poisson stream.
+    Diurnal {
+        /// Mean arrival rate, requests per millisecond.
+        mean_per_ms: f64,
+        /// Peak-to-mean rate swing in `[0, 1]`: the instantaneous rate is
+        /// `mean · (1 + amplitude · sin(2πt / period))`.
+        relative_amplitude: f64,
+        /// Cycle period, µs.
+        period_us: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Constant-rate Poisson arrivals.
+    pub fn poisson(rate_per_ms: f64) -> Self {
+        ArrivalProcess::Poisson { rate_per_ms }
+    }
+
+    /// Time-averaged arrival rate, requests per millisecond.
+    pub fn mean_rate_per_ms(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_per_ms } => rate_per_ms,
+            ArrivalProcess::Bursty {
+                calm_per_ms,
+                burst_per_ms,
+                mean_calm_us,
+                mean_burst_us,
+            } => {
+                (calm_per_ms * mean_calm_us + burst_per_ms * mean_burst_us)
+                    / (mean_calm_us + mean_burst_us)
+            }
+            ArrivalProcess::Diurnal { mean_per_ms, .. } => mean_per_ms,
+        }
+    }
+
+    /// The same process with every rate scaled by `factor` (sojourns and
+    /// the diurnal period are untouched, so the *shape* is preserved).
+    pub fn scaled(&self, factor: f64) -> Self {
+        match *self {
+            ArrivalProcess::Poisson { rate_per_ms } => ArrivalProcess::Poisson {
+                rate_per_ms: rate_per_ms * factor,
+            },
+            ArrivalProcess::Bursty {
+                calm_per_ms,
+                burst_per_ms,
+                mean_calm_us,
+                mean_burst_us,
+            } => ArrivalProcess::Bursty {
+                calm_per_ms: calm_per_ms * factor,
+                burst_per_ms: burst_per_ms * factor,
+                mean_calm_us,
+                mean_burst_us,
+            },
+            ArrivalProcess::Diurnal {
+                mean_per_ms,
+                relative_amplitude,
+                period_us,
+            } => ArrivalProcess::Diurnal {
+                mean_per_ms: mean_per_ms * factor,
+                relative_amplitude,
+                period_us,
+            },
+        }
+    }
+
+    /// Generate the sorted arrival times (µs, strictly within the horizon)
+    /// for the given seed.
+    pub fn generate(&self, seed: u64, horizon_us: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        match *self {
+            ArrivalProcess::Poisson { rate_per_ms } => {
+                let rate = rate_per_ms / 1_000.0;
+                if rate <= 0.0 {
+                    return out;
+                }
+                let mut t = 0.0;
+                let mut ctr = 0u64;
+                loop {
+                    t += exp_gap(seed, SALT_GAP, &mut ctr, rate);
+                    if t >= horizon_us {
+                        return out;
+                    }
+                    out.push(t);
+                }
+            }
+            ArrivalProcess::Bursty {
+                calm_per_ms,
+                burst_per_ms,
+                mean_calm_us,
+                mean_burst_us,
+            } => {
+                let rates = [calm_per_ms / 1_000.0, burst_per_ms / 1_000.0];
+                let sojourns = [mean_calm_us, mean_burst_us];
+                let mut t = 0.0;
+                let mut state = 0usize;
+                let mut gap_ctr = 0u64;
+                let mut soj_ctr = 0u64;
+                let mut seg_end = exp_gap(
+                    seed,
+                    SALT_SOJOURN,
+                    &mut soj_ctr,
+                    1.0 / sojourns[state].max(1e-9),
+                );
+                while t < horizon_us {
+                    if rates[state] <= 0.0 {
+                        t = seg_end;
+                    } else {
+                        let next = t + exp_gap(seed, SALT_GAP, &mut gap_ctr, rates[state]);
+                        if next < seg_end {
+                            t = next;
+                            if t < horizon_us {
+                                out.push(t);
+                            }
+                            continue;
+                        }
+                        // Memorylessness lets us discard the partial gap at
+                        // the state boundary and redraw in the new state.
+                        t = seg_end;
+                    }
+                    state = 1 - state;
+                    seg_end = t + exp_gap(
+                        seed,
+                        SALT_SOJOURN,
+                        &mut soj_ctr,
+                        1.0 / sojourns[state].max(1e-9),
+                    );
+                }
+                out
+            }
+            ArrivalProcess::Diurnal {
+                mean_per_ms,
+                relative_amplitude,
+                period_us,
+            } => {
+                let mean = mean_per_ms / 1_000.0;
+                let amp = relative_amplitude.clamp(0.0, 1.0);
+                let max_rate = mean * (1.0 + amp);
+                if max_rate <= 0.0 {
+                    return out;
+                }
+                let mut t = 0.0;
+                let mut gap_ctr = 0u64;
+                let mut thin_ctr = 0u64;
+                loop {
+                    t += exp_gap(seed, SALT_GAP, &mut gap_ctr, max_rate);
+                    if t >= horizon_us {
+                        return out;
+                    }
+                    let rate_t = mean * (1.0 + amp * (std::f64::consts::TAU * t / period_us).sin());
+                    let u = unit_f64(hash_combine(&[seed, SALT_THIN, thin_ctr]));
+                    thin_ctr += 1;
+                    if u < rate_t / max_rate {
+                        out.push(t);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One exponential inter-event gap with the given rate (events per µs),
+/// drawn from the counter-based stream `(seed, salt, *ctr)`.
+fn exp_gap(seed: u64, salt: u64, ctr: &mut u64, rate_per_us: f64) -> f64 {
+    let u = unit_f64(hash_combine(&[seed, salt, *ctr]));
+    *ctr += 1;
+    -(1.0 - u).ln() / rate_per_us
+}
+
+/// Pick an index from `weights` proportionally, using a uniform `u ∈ [0,1)`.
+fn pick_weighted(weights: &[u32], u: f64) -> usize {
+    let total: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+    debug_assert!(total > 0, "weights must not all be zero");
+    let mut x = (u * total as f64) as u64;
+    for (i, &w) in weights.iter().enumerate() {
+        let w = u64::from(w);
+        if x < w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+/// Admission-control knobs for the serving front-end.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Per-tenant queue cap: an arrival finding its tenant's queue at this
+    /// depth is shed with [`ShedReason::QueueFull`].
+    pub queue_cap: usize,
+    /// Shed arrivals whose deadline is already infeasible given the queued
+    /// backlog ([`ShedReason::Infeasible`]); late requests are always shed
+    /// at dispatch time regardless.
+    pub shed_infeasible: bool,
+}
+
+impl Default for AdmissionConfig {
+    /// Queue cap 64 per tenant, infeasibility shedding on.
+    fn default() -> Self {
+        AdmissionConfig {
+            queue_cap: 64,
+            shed_infeasible: true,
+        }
+    }
+}
+
+/// Configuration of an open-loop serving run.
+///
+/// ```
+/// use chimera::runner::serve::{ArrivalProcess, ServeConfig};
+///
+/// let scfg = ServeConfig::paper_default()
+///     .horizon_us(4_000.0)
+///     .arrivals(ArrivalProcess::poisson(2.0))
+///     .lanes(2);
+/// assert_eq!(scfg.common.seed, 42);
+/// assert_eq!(scfg.lanes, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Shared runner knobs. `common.sanitize` is accepted for uniformity
+    /// but serve runs do not flush-sanitize today.
+    pub common: RunCommon,
+    /// The arrival process replayed against the front door.
+    pub arrivals: ArrivalProcess,
+    /// Admission-control knobs.
+    pub admission: AdmissionConfig,
+    /// Preemption policy; `None` means Chimera at `common.constraint_us`.
+    pub policy: Option<Policy>,
+    /// SM partitioning policy between lanes.
+    pub partition: PartitionPolicy,
+    /// Dispatch lanes: concurrently running requests (one scheduler
+    /// process each). More lanes trade per-request latency for throughput.
+    pub lanes: usize,
+}
+
+impl ServeConfig {
+    /// Paper-style defaults: 40 ms horizon, 15 µs constraint, Poisson
+    /// arrivals at 5 requests/ms, default admission, Chimera policy,
+    /// Smart-Even partitioning, 4 lanes.
+    pub fn paper_default() -> Self {
+        ServeConfig {
+            common: RunCommon::new(40_000.0, 15.0),
+            arrivals: ArrivalProcess::poisson(5.0),
+            admission: AdmissionConfig::default(),
+            policy: None,
+            partition: PartitionPolicy::SmartEven,
+            lanes: 4,
+        }
+    }
+
+    /// Replace the shared runner knobs wholesale.
+    pub fn common(mut self, common: RunCommon) -> Self {
+        self.common = common;
+        self
+    }
+
+    /// Set the determinism seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.common.seed = seed;
+        self
+    }
+
+    /// Set the simulated horizon, µs.
+    pub fn horizon_us(mut self, horizon_us: f64) -> Self {
+        self.common.horizon_us = horizon_us;
+        self
+    }
+
+    /// Set the preemption latency constraint, µs.
+    pub fn constraint_us(mut self, constraint_us: f64) -> Self {
+        self.common.constraint_us = constraint_us;
+        self
+    }
+
+    /// Set the estimator configuration.
+    pub fn estimator(mut self, estimator: EstimatorConfig) -> Self {
+        self.common.estimator = estimator;
+        self
+    }
+
+    /// Set the arrival process.
+    pub fn arrivals(mut self, arrivals: ArrivalProcess) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Set the admission-control knobs.
+    pub fn admission(mut self, admission: AdmissionConfig) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Pin an explicit preemption policy (default: Chimera at the
+    /// configured constraint).
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Set the SM partitioning policy.
+    pub fn partition(mut self, partition: PartitionPolicy) -> Self {
+        self.partition = partition;
+        self
+    }
+
+    /// Set the number of dispatch lanes (≥ 1).
+    pub fn lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes.max(1);
+        self
+    }
+
+    /// The policy actually used: the pinned one, else Chimera at the
+    /// configured constraint.
+    pub fn effective_policy(&self) -> Policy {
+        self.policy.unwrap_or(Policy::Chimera {
+            limit_us: self.common.constraint_us,
+        })
+    }
+}
+
+/// Per-tenant outcome of a serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantOutcome {
+    /// Tenant name (from the workload spec).
+    pub name: String,
+    /// Requests that arrived for this tenant.
+    pub offered: u64,
+    /// Requests admitted past admission control.
+    pub admitted: u64,
+    /// Requests shed (any reason).
+    pub shed: u64,
+    /// Requests that ran to completion within the horizon.
+    pub completed: u64,
+    /// Completed requests that missed their deadline.
+    pub violations: u64,
+    /// Average normalized turnaround time over completed requests:
+    /// `(finish − arrival) / service`, the serving analogue of ANTT.
+    pub antt: Option<f64>,
+    /// This tenant's share of all deadline violations (0 when none
+    /// occurred anywhere).
+    pub violation_share: f64,
+}
+
+/// Aggregate result of an open-loop serving run.
+///
+/// Accounting identities: `offered = admitted + shed_queue_full +
+/// shed_infeasible` and `admitted = completed + shed_late + unfinished`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeResult {
+    /// Requests that arrived within the horizon.
+    pub offered: u64,
+    /// Requests admitted past admission control.
+    pub admitted: u64,
+    /// Arrivals shed because the tenant queue was at its cap.
+    pub shed_queue_full: u64,
+    /// Arrivals shed because the backlog made the deadline infeasible.
+    pub shed_infeasible: u64,
+    /// Admitted requests shed at dispatch time, already past their
+    /// deadline.
+    pub shed_late: u64,
+    /// Requests that ran to completion within the horizon.
+    pub completed: u64,
+    /// Completed requests that met their deadline.
+    pub deadline_met: u64,
+    /// Completed requests that missed their deadline.
+    pub violations: u64,
+    /// Admitted requests still queued or in flight at the horizon.
+    pub unfinished: u64,
+    /// Offered load, requests per second.
+    pub offered_per_s: f64,
+    /// Goodput: deadline-meeting completions per second.
+    pub goodput_per_s: f64,
+    /// Median deadline slack over completed requests, µs (negative =
+    /// missed).
+    pub slack_p50_us: Option<f64>,
+    /// 99th-percentile *worst* deadline slack, µs: 99% of completed
+    /// requests had at least this much slack.
+    pub slack_p99_us: Option<f64>,
+    /// 99.9th-percentile worst deadline slack, µs.
+    pub slack_p999_us: Option<f64>,
+    /// Deepest any tenant queue got.
+    pub max_queue_depth: usize,
+    /// Per-tenant outcomes, in workload tenant order.
+    pub tenants: Vec<TenantOutcome>,
+}
+
+/// A request sitting in a tenant queue or running on a lane.
+#[derive(Debug, Clone)]
+struct Pending {
+    req: u64,
+    tenant: usize,
+    class_ix: usize,
+    arrival_us: f64,
+    deadline_us: f64,
+    service_us: f64,
+}
+
+/// Run an open-loop serving experiment on a fresh scheduler.
+///
+/// ```no_run
+/// use chimera::runner::serve::{run_serve, ServeConfig};
+/// use gpu_sim::GpuConfig;
+/// use workloads::ServeWorkload;
+///
+/// let cfg = GpuConfig::fermi();
+/// let wl = ServeWorkload::standard(&cfg);
+/// let res = run_serve(&cfg, &wl, &ServeConfig::paper_default());
+/// assert_eq!(res.offered, res.admitted + res.shed_queue_full + res.shed_infeasible);
+/// ```
+pub fn run_serve(cfg: &GpuConfig, wl: &ServeWorkload, scfg: &ServeConfig) -> ServeResult {
+    let mut gpu = GpuScheduler::builder(cfg.clone())
+        .policy(scfg.effective_policy())
+        .partition(scfg.partition.clone())
+        .estimator(scfg.common.estimator)
+        .seed(scfg.common.seed)
+        .build();
+    run_serve_on(&mut gpu, wl, scfg)
+}
+
+/// Like [`run_serve`] but with the engine's event log enabled (ring
+/// capacity `event_capacity`); returns the scheduler so the caller can
+/// export the arrival/admission/shed track via
+/// [`gpu_sim::trace::chrome_trace_json`].
+pub fn run_serve_traced(
+    cfg: &GpuConfig,
+    wl: &ServeWorkload,
+    scfg: &ServeConfig,
+    event_capacity: usize,
+) -> (ServeResult, GpuScheduler) {
+    let mut gpu = GpuScheduler::builder(cfg.clone())
+        .policy(scfg.effective_policy())
+        .partition(scfg.partition.clone())
+        .estimator(scfg.common.estimator)
+        .seed(scfg.common.seed)
+        .event_log(event_capacity)
+        .build();
+    let res = run_serve_on(&mut gpu, wl, scfg);
+    (res, gpu)
+}
+
+/// Run the serving loop on a caller-built scheduler (which must have no
+/// processes registered yet — the runner adds one per lane). This is the
+/// entry point for benches that need a custom-built scheduler, e.g. one
+/// with the scan-mode engine.
+pub fn run_serve_on(gpu: &mut GpuScheduler, wl: &ServeWorkload, scfg: &ServeConfig) -> ServeResult {
+    assert_eq!(
+        gpu.num_processes(),
+        0,
+        "run_serve_on needs a fresh scheduler"
+    );
+    assert!(!wl.classes.is_empty() && !wl.tenants.is_empty());
+    let cfg = gpu.engine().config().clone();
+    let seed = scfg.common.seed;
+    let horizon_us = scfg.common.horizon_us;
+    let lanes: Vec<_> = (0..scfg.lanes).map(|_| gpu.add_process()).collect();
+    let mut lane_req: Vec<Option<Pending>> = vec![None; lanes.len()];
+
+    // Materialise the arrival stream with tenant/class/deadline stamps.
+    let class_weights: Vec<u32> = wl.classes.iter().map(|c| c.weight).collect();
+    let tenant_weights: Vec<u32> = wl.tenants.iter().map(|t| t.weight).collect();
+    let arrivals: Vec<Pending> = scfg
+        .arrivals
+        .generate(seed, horizon_us)
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let req = i as u64;
+            let tenant = pick_weighted(
+                &tenant_weights,
+                unit_f64(hash_combine(&[seed, SALT_TENANT, req])),
+            );
+            let class_ix = pick_weighted(
+                &class_weights,
+                unit_f64(hash_combine(&[seed, SALT_CLASS, req])),
+            );
+            let class = &wl.classes[class_ix];
+            Pending {
+                req,
+                tenant,
+                class_ix,
+                arrival_us: t,
+                deadline_us: t + class.deadline_us,
+                service_us: class.service_us,
+            }
+        })
+        .collect();
+
+    let nt = wl.tenants.len();
+    let mut queues: Vec<VecDeque<Pending>> = vec![VecDeque::new(); nt];
+    let mut queued_service_us = 0.0f64;
+    let mut inflight_service_us = 0.0f64;
+    let mut served_us = vec![0.0f64; nt];
+    let mut max_queue_depth = 0usize;
+
+    let mut t_offered = vec![0u64; nt];
+    let mut t_admitted = vec![0u64; nt];
+    let mut t_shed = vec![0u64; nt];
+    let mut t_completed = vec![0u64; nt];
+    let mut t_violations = vec![0u64; nt];
+    let mut t_ntt_sum = vec![0.0f64; nt];
+
+    let mut shed_queue_full = 0u64;
+    let mut shed_infeasible = 0u64;
+    let mut shed_late = 0u64;
+    let mut deadline_met = 0u64;
+    let mut slacks: Vec<f64> = Vec::new();
+
+    let mut next_arrival = 0usize;
+    loop {
+        let now_us = cfg.cycles_to_us(gpu.cycle());
+        // Admission: process every arrival at or before `now`.
+        while next_arrival < arrivals.len() && arrivals[next_arrival].arrival_us <= now_us {
+            let p = arrivals[next_arrival].clone();
+            next_arrival += 1;
+            let tenant = p.tenant;
+            t_offered[tenant] += 1;
+            gpu.record_request_arrival(
+                p.req,
+                tenant as u32,
+                p.class_ix as u32,
+                cfg.us_to_cycles(p.deadline_us),
+            );
+            if queues[tenant].len() >= scfg.admission.queue_cap {
+                shed_queue_full += 1;
+                t_shed[tenant] += 1;
+                gpu.record_request_shed(p.req, tenant as u32, ShedReason::QueueFull);
+                continue;
+            }
+            // Feasibility: the backlog ahead of this request (queued plus
+            // in flight, drained across the lanes) must leave room for its
+            // own service before the deadline.
+            let backlog_us = (queued_service_us + inflight_service_us) / lanes.len() as f64;
+            if scfg.admission.shed_infeasible
+                && backlog_us + p.service_us > p.deadline_us - p.arrival_us
+            {
+                shed_infeasible += 1;
+                t_shed[tenant] += 1;
+                gpu.record_request_shed(p.req, tenant as u32, ShedReason::Infeasible);
+                continue;
+            }
+            t_admitted[tenant] += 1;
+            queued_service_us += p.service_us;
+            queues[tenant].push_back(p.clone());
+            max_queue_depth = max_queue_depth.max(queues[tenant].len());
+            gpu.record_request_admitted(p.req, tenant as u32, queues[tenant].len() as u32);
+        }
+        // Dispatch: fill free lanes, weighted-fair across tenants.
+        for lane in 0..lanes.len() {
+            if lane_req[lane].is_some() {
+                continue;
+            }
+            // Tenant with the least weighted service so far wins; ties
+            // break to the lower index, deterministically.
+            while let Some(tenant) = (0..nt).filter(|&t| !queues[t].is_empty()).min_by(|&a, &b| {
+                let ka = served_us[a] / f64::from(tenant_weights[a].max(1));
+                let kb = served_us[b] / f64::from(tenant_weights[b].max(1));
+                ka.partial_cmp(&kb).unwrap().then(a.cmp(&b))
+            }) {
+                let p = queues[tenant].pop_front().expect("non-empty queue");
+                queued_service_us -= p.service_us;
+                if now_us + p.service_us > p.deadline_us {
+                    shed_late += 1;
+                    t_shed[tenant] += 1;
+                    gpu.record_request_shed(p.req, tenant as u32, ShedReason::Late);
+                    continue;
+                }
+                served_us[tenant] += p.service_us;
+                inflight_service_us += p.service_us;
+                gpu.submit(lanes[lane], wl.classes[p.class_ix].kernel(p.req));
+                lane_req[lane] = Some(p);
+                break;
+            }
+        }
+        if now_us >= horizon_us {
+            break;
+        }
+        // Advance to the next decision point: the next arrival, the
+        // scheduler's own 5 µs tick, or the horizon — whichever is first.
+        let mut target = horizon_us.min(now_us + 5.0);
+        if next_arrival < arrivals.len() {
+            target = target.min(arrivals[next_arrival].arrival_us);
+        }
+        let step_us = (target - now_us).max(0.01);
+        for ev in gpu.run_for_us(step_us) {
+            if let SchedEvent::KernelFinished { proc, kernel } = ev {
+                let lane = lanes.iter().position(|&l| l == proc).expect("known lane");
+                let p = lane_req[lane].take().expect("lane was busy");
+                inflight_service_us -= p.service_us;
+                let finish_cycle = gpu
+                    .engine()
+                    .kernel_stats(kernel)
+                    .finished_at
+                    .expect("finished kernel has a finish cycle");
+                let finish_us = cfg.cycles_to_us(finish_cycle);
+                let slack = p.deadline_us - finish_us;
+                slacks.push(slack);
+                t_completed[p.tenant] += 1;
+                t_ntt_sum[p.tenant] += (finish_us - p.arrival_us) / p.service_us.max(1e-9);
+                if slack >= 0.0 {
+                    deadline_met += 1;
+                } else {
+                    t_violations[p.tenant] += 1;
+                }
+            }
+        }
+    }
+
+    let offered = arrivals.len() as u64;
+    let admitted: u64 = t_admitted.iter().sum();
+    let completed: u64 = t_completed.iter().sum();
+    let violations: u64 = t_violations.iter().sum();
+    let horizon_s = horizon_us / 1e6;
+    slacks.sort_by(|a, b| a.partial_cmp(b).expect("slacks are finite"));
+    let quantile = |q: f64| -> Option<f64> {
+        (!slacks.is_empty()).then(|| {
+            let ix = ((1.0 - q) * (slacks.len() - 1) as f64).round() as usize;
+            slacks[ix]
+        })
+    };
+    let tenants = wl
+        .tenants
+        .iter()
+        .enumerate()
+        .map(|(t, spec)| TenantOutcome {
+            name: spec.name.clone(),
+            offered: t_offered[t],
+            admitted: t_admitted[t],
+            shed: t_shed[t],
+            completed: t_completed[t],
+            violations: t_violations[t],
+            antt: (t_completed[t] > 0).then(|| t_ntt_sum[t] / t_completed[t] as f64),
+            violation_share: if violations > 0 {
+                t_violations[t] as f64 / violations as f64
+            } else {
+                0.0
+            },
+        })
+        .collect();
+    ServeResult {
+        offered,
+        admitted,
+        shed_queue_full,
+        shed_infeasible,
+        shed_late,
+        completed,
+        deadline_met,
+        violations,
+        unfinished: admitted - completed - shed_late,
+        offered_per_s: offered as f64 / horizon_s,
+        goodput_per_s: deadline_met as f64 / horizon_s,
+        slack_p50_us: quantile(0.50),
+        slack_p99_us: quantile(0.99),
+        slack_p999_us: quantile(0.999),
+        max_queue_depth,
+        tenants,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_sorted_within(times: &[f64], horizon: f64) {
+        for w in times.windows(2) {
+            assert!(w[0] <= w[1], "arrivals out of order");
+        }
+        for &t in times {
+            assert!((0.0..horizon).contains(&t), "t={t}");
+        }
+    }
+
+    #[test]
+    fn poisson_rate_and_determinism() {
+        let p = ArrivalProcess::poisson(5.0);
+        let a = p.generate(42, 100_000.0);
+        let b = p.generate(42, 100_000.0);
+        assert_eq!(a, b);
+        assert_ne!(a, p.generate(43, 100_000.0));
+        assert_sorted_within(&a, 100_000.0);
+        // 5/ms over 100 ms → ~500 arrivals.
+        assert!((350..650).contains(&a.len()), "n={}", a.len());
+    }
+
+    #[test]
+    fn bursty_mean_rate_is_time_weighted() {
+        let p = ArrivalProcess::Bursty {
+            calm_per_ms: 1.0,
+            burst_per_ms: 9.0,
+            mean_calm_us: 3_000.0,
+            mean_burst_us: 1_000.0,
+        };
+        assert!((p.mean_rate_per_ms() - 3.0).abs() < 1e-9);
+        let a = p.generate(7, 200_000.0);
+        assert_sorted_within(&a, 200_000.0);
+        // ~3/ms over 200 ms → ~600; generous band for burstiness.
+        assert!((300..900).contains(&a.len()), "n={}", a.len());
+    }
+
+    #[test]
+    fn diurnal_thinning_tracks_mean() {
+        let p = ArrivalProcess::Diurnal {
+            mean_per_ms: 4.0,
+            relative_amplitude: 0.8,
+            period_us: 10_000.0,
+        };
+        let a = p.generate(11, 100_000.0);
+        assert_sorted_within(&a, 100_000.0);
+        assert!((280..520).contains(&a.len()), "n={}", a.len());
+    }
+
+    #[test]
+    fn scaled_doubles_the_offered_load() {
+        let p = ArrivalProcess::poisson(2.0).scaled(2.0);
+        assert!((p.mean_rate_per_ms() - 4.0).abs() < 1e-9);
+        let n1 = ArrivalProcess::poisson(2.0).generate(3, 50_000.0).len();
+        let n2 = p.generate(3, 50_000.0).len();
+        assert!(n2 > n1, "scaling must raise the arrival count");
+    }
+
+    #[test]
+    fn weighted_pick_respects_boundaries() {
+        let w = [1, 3];
+        assert_eq!(pick_weighted(&w, 0.0), 0);
+        assert_eq!(pick_weighted(&w, 0.24), 0);
+        assert_eq!(pick_weighted(&w, 0.26), 1);
+        assert_eq!(pick_weighted(&w, 0.999), 1);
+    }
+
+    #[test]
+    fn serve_smoke_accounting_identities() {
+        let cfg = GpuConfig::fermi();
+        let wl = ServeWorkload::standard(&cfg);
+        let scfg = ServeConfig::paper_default()
+            .horizon_us(6_000.0)
+            .arrivals(ArrivalProcess::poisson(2.0));
+        let res = run_serve(&cfg, &wl, &scfg);
+        assert!(res.offered > 0);
+        assert!(res.completed > 0, "some requests must finish");
+        assert_eq!(
+            res.offered,
+            res.admitted + res.shed_queue_full + res.shed_infeasible
+        );
+        assert_eq!(res.admitted, res.completed + res.shed_late + res.unfinished);
+        assert_eq!(res.completed, res.deadline_met + res.violations);
+        let t_off: u64 = res.tenants.iter().map(|t| t.offered).sum();
+        assert_eq!(t_off, res.offered);
+        assert!(res.slack_p50_us.is_some());
+        assert!(res.goodput_per_s > 0.0);
+    }
+
+    #[test]
+    fn overload_sheds_instead_of_queueing_unboundedly() {
+        let cfg = GpuConfig::fermi();
+        let wl = ServeWorkload::standard(&cfg);
+        let rate = 2.0 * wl.saturation_per_ms();
+        let scfg = ServeConfig::paper_default()
+            .horizon_us(8_000.0)
+            .arrivals(ArrivalProcess::poisson(rate));
+        let res = run_serve(&cfg, &wl, &scfg);
+        let shed = res.shed_queue_full + res.shed_infeasible + res.shed_late;
+        assert!(shed > 0, "2× overload must shed: {res:?}");
+        assert!(
+            res.max_queue_depth <= scfg.admission.queue_cap,
+            "queues must stay bounded"
+        );
+        assert!(res.completed > 0, "overload must not collapse goodput to 0");
+    }
+
+    #[test]
+    fn traced_run_records_request_events() {
+        let cfg = GpuConfig::fermi();
+        let wl = ServeWorkload::standard(&cfg);
+        let scfg = ServeConfig::paper_default()
+            .horizon_us(3_000.0)
+            .arrivals(ArrivalProcess::poisson(2.0));
+        let (res, gpu) = run_serve_traced(&cfg, &wl, &scfg, 1 << 14);
+        let log = gpu.engine().event_log().expect("log enabled");
+        let arrivals = log.iter().filter(|e| e.kind() == "request_arrival").count() as u64;
+        assert_eq!(arrivals, res.offered);
+        let admitted = log
+            .iter()
+            .filter(|e| e.kind() == "request_admitted")
+            .count() as u64;
+        assert_eq!(admitted, res.admitted);
+    }
+}

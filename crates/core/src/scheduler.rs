@@ -7,9 +7,10 @@
 //! scheduler* is the `gpu-sim` engine, which dispatches and preempts blocks
 //! and re-issues preempted ones first.
 //!
-//! This is the "what a downstream user would adopt" API: create a scheduler,
-//! register processes, submit kernels, and drive time forward; multitasking,
-//! spatial partitioning and collaborative preemption happen inside.
+//! This is the "what a downstream user would adopt" API: build a scheduler
+//! ([`GpuScheduler::builder`]), register processes, submit kernels, and
+//! drive time forward; multitasking, spatial partitioning and collaborative
+//! preemption happen inside.
 //!
 //! ```
 //! use chimera::scheduler::GpuScheduler;
@@ -17,11 +18,10 @@
 //! use chimera::partition::PartitionPolicy;
 //! use gpu_sim::{GpuConfig, KernelDesc, Program, Segment};
 //!
-//! let mut gpu = GpuScheduler::new(
-//!     GpuConfig::fermi(),
-//!     Policy::chimera_us(15.0),
-//!     PartitionPolicy::SmartEven,
-//! );
+//! let mut gpu = GpuScheduler::builder(GpuConfig::fermi())
+//!     .policy(Policy::chimera_us(15.0))
+//!     .partition(PartitionPolicy::SmartEven)
+//!     .build();
 //! let p1 = gpu.add_process();
 //! let p2 = gpu.add_process();
 //! let kernel = KernelDesc::builder("work")
@@ -42,7 +42,7 @@ use crate::cost::{EstimatorConfig, ObsBank};
 use crate::partition::PartitionPolicy;
 use crate::policy::Policy;
 use crate::select::{select_preemptions, SelectionRequest};
-use gpu_sim::{Engine, Event, GpuConfig, KernelId, SmPreemptPlan, Technique};
+use gpu_sim::{Engine, Event, GpuConfig, KernelId, ShedReason, SmPreemptPlan, Technique};
 use std::collections::{HashMap, VecDeque};
 
 /// Identifies a registered process.
@@ -85,8 +85,114 @@ pub enum SchedEvent {
 struct ProcState {
     queue: VecDeque<gpu_sim::KernelDesc>,
     current: Option<KernelId>,
-    completed: u32,
+    /// Completed kernel launches. `u64` like every other progress counter
+    /// since the PR 5–6 widenings — a `u32` here silently truncated
+    /// long-lived serving processes.
+    completed: u64,
     kernels: Vec<KernelId>,
+}
+
+/// Builder for [`GpuScheduler`] (see [`GpuScheduler::builder`]).
+///
+/// Replaces the old construct-then-mutate sequence (`new` +
+/// `set_estimator` + `enable_event_log`): all knobs are set up front and
+/// [`build`](GpuSchedulerBuilder::build) wires them in the right order, so
+/// there is no window where a half-configured scheduler can run.
+///
+/// ```
+/// use chimera::scheduler::GpuScheduler;
+/// use chimera::policy::Policy;
+/// use chimera::EstimatorConfig;
+/// use gpu_sim::GpuConfig;
+///
+/// let gpu = GpuScheduler::builder(GpuConfig::tiny())
+///     .policy(Policy::chimera_us(30.0))
+///     .estimator(EstimatorConfig::online(0.9))
+///     .seed(7)
+///     .event_log(4096)
+///     .build();
+/// assert_eq!(gpu.estimator(), EstimatorConfig::online(0.9));
+/// assert!(gpu.engine().event_log().is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct GpuSchedulerBuilder {
+    cfg: GpuConfig,
+    policy: Policy,
+    partition: PartitionPolicy,
+    estimator: EstimatorConfig,
+    seed: u64,
+    event_log_capacity: usize,
+    scan_scheduler: bool,
+}
+
+impl GpuSchedulerBuilder {
+    /// Set the preemption policy (default: Chimera at 15 µs).
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Set the SM partitioning policy (default:
+    /// [`PartitionPolicy::SmartEven`]).
+    pub fn partition(mut self, partition: PartitionPolicy) -> Self {
+        self.partition = partition;
+        self
+    }
+
+    /// Set the cost estimator (default: static §4.1 bounds). With
+    /// [`EstimatorMode::Online`](crate::cost::EstimatorMode::Online) block
+    /// completions feed per-kernel quantile sketches and Chimera's drain
+    /// bounds use the configured risk quantile.
+    pub fn estimator(mut self, estimator: EstimatorConfig) -> Self {
+        self.estimator = estimator;
+        self
+    }
+
+    /// Set the engine's determinism seed (default 42). The old `new` path
+    /// always used the engine default; the builder makes the seed a
+    /// first-class knob.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enable the engine's observability [event log](gpu_sim::EventLog)
+    /// with the given ring capacity (default 0 = disabled).
+    pub fn event_log(mut self, capacity: usize) -> Self {
+        self.event_log_capacity = capacity;
+        self
+    }
+
+    /// Use the engine's legacy linear-scan scheduler instead of the event
+    /// calendar (default off; for differential benchmarks).
+    pub fn scan_scheduler(mut self, scan: bool) -> Self {
+        self.scan_scheduler = scan;
+        self
+    }
+
+    /// Build the scheduler over a fresh engine.
+    pub fn build(self) -> GpuScheduler {
+        let mut engine = Engine::with_seed(self.cfg, self.seed);
+        engine.set_break_on_kernel_finish(true);
+        if self.policy.is_oracle() {
+            engine.set_free_context_moves(true);
+        }
+        if self.event_log_capacity > 0 {
+            engine.enable_event_log(self.event_log_capacity);
+        }
+        engine.set_scan_scheduler(self.scan_scheduler);
+        let n = engine.config().num_sms;
+        GpuScheduler {
+            engine,
+            policy: self.policy,
+            partition: self.partition,
+            obs: ObsBank::with_estimator(self.estimator),
+            procs: Vec::new(),
+            owner: vec![None; n],
+            in_flight: HashMap::new(),
+            events: Vec::new(),
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,31 +216,39 @@ pub struct GpuScheduler {
 }
 
 impl GpuScheduler {
-    /// Create a scheduler over a fresh engine.
-    pub fn new(cfg: GpuConfig, policy: Policy, partition: PartitionPolicy) -> Self {
-        let mut engine = Engine::new(cfg);
-        engine.set_break_on_kernel_finish(true);
-        if policy.is_oracle() {
-            engine.set_free_context_moves(true);
-        }
-        let n = engine.config().num_sms;
-        GpuScheduler {
-            engine,
-            policy,
-            partition,
-            obs: ObsBank::new(),
-            procs: Vec::new(),
-            owner: vec![None; n],
-            in_flight: HashMap::new(),
-            events: Vec::new(),
+    /// Start building a scheduler over a fresh engine with the given GPU
+    /// configuration. Defaults: Chimera at 15 µs, Smart-Even partitioning,
+    /// static estimator, seed 42, event log off.
+    pub fn builder(cfg: GpuConfig) -> GpuSchedulerBuilder {
+        GpuSchedulerBuilder {
+            cfg,
+            policy: Policy::chimera_us(15.0),
+            partition: PartitionPolicy::SmartEven,
+            estimator: EstimatorConfig::default(),
+            seed: 42,
+            event_log_capacity: 0,
+            scan_scheduler: false,
         }
     }
 
-    /// Switch the scheduler's cost estimator (static by default). With
-    /// [`EstimatorMode::Online`](crate::cost::EstimatorMode::Online) block
-    /// completions feed per-kernel quantile sketches and Chimera's drain
-    /// bounds use the configured risk quantile. Resets accumulated
-    /// observations, so call right after construction.
+    /// Create a scheduler over a fresh engine.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `GpuScheduler::builder(cfg).policy(..).partition(..).build()`"
+    )]
+    pub fn new(cfg: GpuConfig, policy: Policy, partition: PartitionPolicy) -> Self {
+        Self::builder(cfg)
+            .policy(policy)
+            .partition(partition)
+            .build()
+    }
+
+    /// Switch the scheduler's cost estimator (static by default). Resets
+    /// accumulated observations, so call right after construction.
+    #[deprecated(
+        since = "0.1.0",
+        note = "set the estimator up front via `GpuScheduler::builder(cfg).estimator(..)`"
+    )]
     pub fn set_estimator(&mut self, est: EstimatorConfig) {
         self.obs = ObsBank::with_estimator(est);
     }
@@ -156,8 +270,17 @@ impl GpuScheduler {
     }
 
     /// Kernels completed by a process so far.
-    pub fn completed_kernels(&self, proc: ProcId) -> u32 {
+    ///
+    /// Widened to `u64`: an open-loop serving run at a few thousand requests
+    /// per second over a long horizon overflows a 32-bit counter well within
+    /// a simulated day.
+    pub fn completed_kernels(&self, proc: ProcId) -> u64 {
         self.procs[proc.0].completed
+    }
+
+    /// Number of registered processes.
+    pub fn num_processes(&self) -> usize {
+        self.procs.len()
     }
 
     /// Whether every submitted kernel of every process has finished.
@@ -178,17 +301,12 @@ impl GpuScheduler {
     /// with [`gpu_sim::trace::chrome_trace_json`] via [`Self::engine`].
     ///
     /// ```
-    /// use chimera::partition::PartitionPolicy;
-    /// use chimera::policy::Policy;
     /// use chimera::scheduler::GpuScheduler;
     /// use gpu_sim::{GpuConfig, KernelDesc, Program, Segment};
     ///
-    /// let mut gpu = GpuScheduler::new(
-    ///     GpuConfig::tiny(),
-    ///     Policy::chimera_us(15.0),
-    ///     PartitionPolicy::SmartEven,
-    /// );
-    /// gpu.enable_event_log(4096);
+    /// let mut gpu = GpuScheduler::builder(GpuConfig::tiny())
+    ///     .event_log(4096)
+    ///     .build();
     /// let p = gpu.add_process();
     /// let kernel = KernelDesc::builder("work")
     ///     .grid_blocks(8)
@@ -202,8 +320,38 @@ impl GpuScheduler {
     /// assert!(!log.is_empty(), "block lifecycle events were recorded");
     /// # Ok::<(), gpu_sim::KernelError>(())
     /// ```
+    #[deprecated(
+        since = "0.1.0",
+        note = "enable up front via `GpuScheduler::builder(cfg).event_log(capacity)`"
+    )]
     pub fn enable_event_log(&mut self, capacity: usize) {
         self.engine.enable_event_log(capacity);
+    }
+
+    /// Record a serving-request arrival in the event log (no-op when the
+    /// log is disabled). `deadline_cycle` is the absolute cycle by which the
+    /// request must complete to meet its SLO.
+    pub fn record_request_arrival(
+        &mut self,
+        request: u64,
+        tenant: u32,
+        class: u32,
+        deadline_cycle: u64,
+    ) {
+        self.engine
+            .record_request_arrival(request, tenant, class, deadline_cycle);
+    }
+
+    /// Record a request passing admission control, with the tenant's queue
+    /// depth after enqueue (no-op when the log is disabled).
+    pub fn record_request_admitted(&mut self, request: u64, tenant: u32, queued: u32) {
+        self.engine.record_request_admitted(request, tenant, queued);
+    }
+
+    /// Record a request being shed by admission control (no-op when the
+    /// log is disabled).
+    pub fn record_request_shed(&mut self, request: u64, tenant: u32, reason: ShedReason) {
+        self.engine.record_request_shed(request, tenant, reason);
     }
 
     /// Current cycle.
@@ -331,7 +479,8 @@ impl GpuScheduler {
                 }
                 let unfinished = u64::from(stats.grid_blocks - stats.completed_tbs);
                 let occ = u64::from(self.engine.kernel_occupancy(k)).max(1);
-                unfinished.div_ceil(occ) as usize
+                usize::try_from(unfinished.div_ceil(occ))
+                    .expect("per-kernel SM demand exceeds usize")
             }
         }
     }
@@ -487,11 +636,10 @@ mod tests {
 
     #[test]
     fn two_processes_share_and_finish() {
-        let mut gpu = GpuScheduler::new(
-            GpuConfig::fermi(),
-            Policy::chimera_us(15.0),
-            PartitionPolicy::SmartEven,
-        );
+        let mut gpu = GpuScheduler::builder(GpuConfig::fermi())
+            .policy(Policy::chimera_us(15.0))
+            .partition(PartitionPolicy::SmartEven)
+            .build();
         let p1 = gpu.add_process();
         let p2 = gpu.add_process();
         gpu.submit(p1, kernel("a", 300, 400));
@@ -515,11 +663,9 @@ mod tests {
 
     #[test]
     fn late_arrival_takes_sms_from_running_process() {
-        let mut gpu = GpuScheduler::new(
-            GpuConfig::fermi(),
-            Policy::chimera_us(30.0),
-            PartitionPolicy::SmartEven,
-        );
+        let mut gpu = GpuScheduler::builder(GpuConfig::fermi())
+            .policy(Policy::chimera_us(30.0))
+            .build();
         let p1 = gpu.add_process();
         let p2 = gpu.add_process();
         gpu.submit(p1, kernel("hog", 4_000, 2_000));
@@ -544,11 +690,10 @@ mod tests {
 
     #[test]
     fn priority_partition_starves_background_but_not_fully() {
-        let mut gpu = GpuScheduler::new(
-            GpuConfig::fermi(),
-            Policy::chimera_us(30.0),
-            PartitionPolicy::Priority(0),
-        );
+        let mut gpu = GpuScheduler::builder(GpuConfig::fermi())
+            .policy(Policy::chimera_us(30.0))
+            .partition(PartitionPolicy::Priority(0))
+            .build();
         let hi = gpu.add_process();
         let lo = gpu.add_process();
         gpu.submit(hi, kernel("hi", 6_000, 1_000));
@@ -571,7 +716,9 @@ mod tests {
             Policy::chimera_us(30.0),
             Policy::Oracle,
         ] {
-            let mut gpu = GpuScheduler::new(GpuConfig::fermi(), policy, PartitionPolicy::SmartEven);
+            let mut gpu = GpuScheduler::builder(GpuConfig::fermi())
+                .policy(policy)
+                .build();
             let p1 = gpu.add_process();
             let p2 = gpu.add_process();
             gpu.submit(p1, kernel("x", 240, 300));
@@ -588,7 +735,10 @@ mod tests {
 
     #[test]
     fn idle_scheduler_reports_idle() {
-        let mut gpu = GpuScheduler::new(GpuConfig::fermi(), Policy::Drain, PartitionPolicy::Even);
+        let mut gpu = GpuScheduler::builder(GpuConfig::fermi())
+            .policy(Policy::Drain)
+            .partition(PartitionPolicy::Even)
+            .build();
         assert!(gpu.is_idle());
         let p = gpu.add_process();
         assert!(gpu.is_idle());
@@ -597,5 +747,35 @@ mod tests {
         drive_until_idle(&mut gpu, 50);
         assert!(gpu.is_idle());
         assert_eq!(gpu.completed_kernels(p), 1);
+    }
+
+    /// The deprecated `new` shim must construct the exact scheduler the
+    /// builder does; this is the one sanctioned use of the deprecated API
+    /// until the shims are removed.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_builder() {
+        let mut old = GpuScheduler::new(
+            GpuConfig::fermi(),
+            Policy::chimera_us(15.0),
+            PartitionPolicy::SmartEven,
+        );
+        old.set_estimator(EstimatorConfig::online(0.9));
+        old.enable_event_log(256);
+        let mut new = GpuScheduler::builder(GpuConfig::fermi())
+            .estimator(EstimatorConfig::online(0.9))
+            .event_log(256)
+            .build();
+        for gpu in [&mut old, &mut new] {
+            let p1 = gpu.add_process();
+            let p2 = gpu.add_process();
+            gpu.submit(p1, kernel("a", 300, 400));
+            gpu.submit(p2, kernel("b", 300, 400));
+        }
+        let ev_old = drive_until_idle(&mut old, 100);
+        let ev_new = drive_until_idle(&mut new, 100);
+        assert_eq!(format!("{ev_old:?}"), format!("{ev_new:?}"));
+        assert_eq!(old.cycle(), new.cycle());
+        assert_eq!(old.estimator().mode, new.estimator().mode);
     }
 }

@@ -18,7 +18,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use crate::block::{BlockId, BlockRun, TbSnapshot};
-use crate::events::{BlockDecision, BlockExit, EventLog, ObsEvent};
+use crate::events::{BlockDecision, BlockExit, EventLog, ObsEvent, ShedReason};
 use crate::kernel::{KernelDesc, Segment};
 use crate::mem::MemSubsystem;
 use crate::preempt::SmPreemptPlan;
@@ -30,6 +30,14 @@ use crate::GpuConfig;
 /// Identifies a launched kernel instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct KernelId(pub usize);
+
+impl KernelId {
+    /// Sentinel for events that involve no kernel, such as the GPU-wide
+    /// request-stream observability events ([`ObsEvent::RequestArrival`]
+    /// and friends) that precede any kernel launch. Never a valid launched
+    /// kernel: launch ids are dense from 0.
+    pub const NONE: KernelId = KernelId(usize::MAX);
+}
 
 impl std::fmt::Display for KernelId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -504,6 +512,69 @@ impl Engine {
                 mean_tb_insts,
                 quantile_tb_insts,
                 risk_pct,
+            });
+        }
+    }
+
+    /// Record an open-loop serving request's arrival (an
+    /// [`ObsEvent::RequestArrival`]) at the current cycle.
+    ///
+    /// Pushed in by the serving front-end (`chimera::runner::serve`) — the
+    /// engine has no request concept of its own. No-op while the log is
+    /// disabled.
+    ///
+    /// ```
+    /// use gpu_sim::{Engine, GpuConfig};
+    ///
+    /// let mut engine = Engine::new(GpuConfig::tiny());
+    /// engine.enable_event_log(64);
+    /// engine.record_request_arrival(0, 1, 2, 9_000);
+    /// assert_eq!(engine.event_log().unwrap().len(), 1);
+    /// ```
+    pub fn record_request_arrival(
+        &mut self,
+        request: u64,
+        tenant: u32,
+        class: u32,
+        deadline_cycle: u64,
+    ) {
+        if let Some(log) = self.obs.as_mut() {
+            log.push(ObsEvent::RequestArrival {
+                cycle: self.cycle,
+                request,
+                tenant,
+                class,
+                deadline_cycle,
+            });
+        }
+    }
+
+    /// Record a request's admission into its tenant queue (an
+    /// [`ObsEvent::RequestAdmitted`]) at the current cycle; `queued` is the
+    /// queue depth after admission. Pushed in by the serving front-end like
+    /// [`Engine::record_request_arrival`]. No-op while the log is disabled.
+    pub fn record_request_admitted(&mut self, request: u64, tenant: u32, queued: u32) {
+        if let Some(log) = self.obs.as_mut() {
+            log.push(ObsEvent::RequestAdmitted {
+                cycle: self.cycle,
+                request,
+                tenant,
+                queued,
+            });
+        }
+    }
+
+    /// Record a shed (rejected or dropped) request (an
+    /// [`ObsEvent::RequestShed`]) at the current cycle. Pushed in by the
+    /// serving front-end like [`Engine::record_request_arrival`]. No-op
+    /// while the log is disabled.
+    pub fn record_request_shed(&mut self, request: u64, tenant: u32, reason: ShedReason) {
+        if let Some(log) = self.obs.as_mut() {
+            log.push(ObsEvent::RequestShed {
+                cycle: self.cycle,
+                request,
+                tenant,
+                reason,
             });
         }
     }

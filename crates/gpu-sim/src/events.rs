@@ -155,6 +155,41 @@ impl BlockExit {
     }
 }
 
+/// Why an admission-control layer shed (rejected) a serving request.
+///
+/// Recorded by the serving front-end (see
+/// [`crate::Engine::record_request_shed`]); the engine itself never sheds.
+///
+/// ```
+/// use gpu_sim::ShedReason;
+///
+/// assert_eq!(ShedReason::QueueFull.as_str(), "queue_full");
+/// assert_eq!(ShedReason::Infeasible.as_str(), "infeasible");
+/// assert_eq!(ShedReason::Late.as_str(), "late");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The request's tenant queue was at its admission cap.
+    QueueFull,
+    /// The backlog already made the request's deadline unreachable at
+    /// arrival time.
+    Infeasible,
+    /// The request waited in an admitted queue until its deadline became
+    /// unreachable, and was dropped at dispatch time.
+    Late,
+}
+
+impl ShedReason {
+    /// Stable lower-case name used in the JSON schemas.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::Infeasible => "infeasible",
+            ShedReason::Late => "late",
+        }
+    }
+}
+
 /// A timestamped observability event.
 ///
 /// Every variant carries the cycle it happened at, the SM it happened on and
@@ -267,6 +302,49 @@ pub enum ObsEvent {
         /// Configured risk quantile, percent (e.g. 95 for p95).
         risk_pct: u32,
     },
+    /// An open-loop serving request arrived at the front-end, recorded by
+    /// the serving layer (see [`crate::Engine::record_request_arrival`]).
+    /// Request-stream events are GPU-wide, not SM- or kernel-scoped:
+    /// [`ObsEvent::sm`] reports 0 and [`ObsEvent::kernel`] reports
+    /// [`KernelId::NONE`] for this variant.
+    RequestArrival {
+        /// Arrival cycle.
+        cycle: u64,
+        /// Monotonic request id within the run.
+        request: u64,
+        /// Owning tenant index.
+        tenant: u32,
+        /// Deadline-class index within the serving workload.
+        class: u32,
+        /// Absolute deadline, cycles.
+        deadline_cycle: u64,
+    },
+    /// The admission controller accepted a request into its tenant queue.
+    /// GPU-wide like [`ObsEvent::RequestArrival`].
+    RequestAdmitted {
+        /// Admission cycle (same as the arrival cycle).
+        cycle: u64,
+        /// The admitted request's id.
+        request: u64,
+        /// Owning tenant index.
+        tenant: u32,
+        /// The tenant queue's depth after admission.
+        queued: u32,
+    },
+    /// The admission controller shed (rejected or dropped) a request.
+    /// GPU-wide like [`ObsEvent::RequestArrival`].
+    RequestShed {
+        /// Shed cycle (arrival time for [`ShedReason::QueueFull`] /
+        /// [`ShedReason::Infeasible`], dispatch time for
+        /// [`ShedReason::Late`]).
+        cycle: u64,
+        /// The shed request's id.
+        request: u64,
+        /// Owning tenant index.
+        tenant: u32,
+        /// Why the request was shed.
+        reason: ShedReason,
+    },
 }
 
 impl ObsEvent {
@@ -278,12 +356,16 @@ impl ObsEvent {
             | ObsEvent::PreemptRequested { cycle, .. }
             | ObsEvent::PreemptCompleted { cycle, .. }
             | ObsEvent::Decision { cycle, .. }
-            | ObsEvent::EstimatorUpdate { cycle, .. } => cycle,
+            | ObsEvent::EstimatorUpdate { cycle, .. }
+            | ObsEvent::RequestArrival { cycle, .. }
+            | ObsEvent::RequestAdmitted { cycle, .. }
+            | ObsEvent::RequestShed { cycle, .. } => cycle,
         }
     }
 
-    /// The SM the event happened on. Kernel-wide events
-    /// ([`ObsEvent::EstimatorUpdate`]) are not SM-scoped and report 0.
+    /// The SM the event happened on. Kernel-wide or GPU-wide events
+    /// ([`ObsEvent::EstimatorUpdate`] and the request-stream variants) are
+    /// not SM-scoped and report 0.
     pub fn sm(&self) -> usize {
         match *self {
             ObsEvent::BlockBegin { sm, .. }
@@ -291,11 +373,15 @@ impl ObsEvent {
             | ObsEvent::PreemptRequested { sm, .. }
             | ObsEvent::PreemptCompleted { sm, .. }
             | ObsEvent::Decision { sm, .. } => sm,
-            ObsEvent::EstimatorUpdate { .. } => 0,
+            ObsEvent::EstimatorUpdate { .. }
+            | ObsEvent::RequestArrival { .. }
+            | ObsEvent::RequestAdmitted { .. }
+            | ObsEvent::RequestShed { .. } => 0,
         }
     }
 
-    /// The kernel the event involves.
+    /// The kernel the event involves. Request-stream events precede any
+    /// kernel launch and report the [`KernelId::NONE`] sentinel.
     pub fn kernel(&self) -> KernelId {
         match *self {
             ObsEvent::BlockBegin { kernel, .. }
@@ -304,6 +390,9 @@ impl ObsEvent {
             | ObsEvent::PreemptCompleted { kernel, .. }
             | ObsEvent::Decision { kernel, .. }
             | ObsEvent::EstimatorUpdate { kernel, .. } => kernel,
+            ObsEvent::RequestArrival { .. }
+            | ObsEvent::RequestAdmitted { .. }
+            | ObsEvent::RequestShed { .. } => KernelId::NONE,
         }
     }
 
@@ -317,6 +406,9 @@ impl ObsEvent {
             ObsEvent::PreemptCompleted { .. } => "preempt_completed",
             ObsEvent::Decision { .. } => "decision",
             ObsEvent::EstimatorUpdate { .. } => "estimator_update",
+            ObsEvent::RequestArrival { .. } => "request_arrival",
+            ObsEvent::RequestAdmitted { .. } => "request_admitted",
+            ObsEvent::RequestShed { .. } => "request_shed",
         }
     }
 
@@ -413,6 +505,36 @@ impl ObsEvent {
                  \"quantile_tb_insts\":{quantile_tb_insts},\
                  \"risk_pct\":{risk_pct}}}",
                 kernel.0
+            ),
+            ObsEvent::RequestArrival {
+                cycle,
+                request,
+                tenant,
+                class,
+                deadline_cycle,
+            } => format!(
+                "{{\"kind\":\"request_arrival\",\"cycle\":{cycle},\
+                 \"request\":{request},\"tenant\":{tenant},\"class\":{class},\
+                 \"deadline_cycle\":{deadline_cycle}}}"
+            ),
+            ObsEvent::RequestAdmitted {
+                cycle,
+                request,
+                tenant,
+                queued,
+            } => format!(
+                "{{\"kind\":\"request_admitted\",\"cycle\":{cycle},\
+                 \"request\":{request},\"tenant\":{tenant},\"queued\":{queued}}}"
+            ),
+            ObsEvent::RequestShed {
+                cycle,
+                request,
+                tenant,
+                reason,
+            } => format!(
+                "{{\"kind\":\"request_shed\",\"cycle\":{cycle},\
+                 \"request\":{request},\"tenant\":{tenant},\"reason\":\"{}\"}}",
+                reason.as_str()
             ),
         }
     }
@@ -612,6 +734,73 @@ mod tests {
         assert_eq!(d.chosen_estimate().unwrap().latency_cycles, 30);
         assert_eq!(d.slack_cycles(40), 10);
         assert_eq!(d.slack_cycles(10), -20);
+        // Request-stream events are GPU-wide: sm() is 0 and kernel() is the
+        // NONE sentinel.
+        let reqs = [
+            ObsEvent::RequestArrival {
+                cycle: 1,
+                request: 5,
+                tenant: 2,
+                class: 0,
+                deadline_cycle: 9000,
+            },
+            ObsEvent::RequestAdmitted {
+                cycle: 1,
+                request: 5,
+                tenant: 2,
+                queued: 3,
+            },
+            ObsEvent::RequestShed {
+                cycle: 1,
+                request: 5,
+                tenant: 2,
+                reason: ShedReason::QueueFull,
+            },
+        ];
+        for e in &reqs {
+            assert_eq!(e.cycle(), 1);
+            assert_eq!(e.sm(), 0);
+            assert_eq!(e.kernel(), KernelId::NONE);
+            assert!(e.kind().starts_with("request_"));
+        }
+    }
+
+    #[test]
+    fn request_json_lines_are_schema_stable() {
+        let arrival = ObsEvent::RequestArrival {
+            cycle: 1400,
+            request: 17,
+            tenant: 1,
+            class: 2,
+            deadline_cycle: 281_400,
+        };
+        assert_eq!(
+            arrival.to_json_line(),
+            "{\"kind\":\"request_arrival\",\"cycle\":1400,\"request\":17,\
+             \"tenant\":1,\"class\":2,\"deadline_cycle\":281400}"
+        );
+        let admitted = ObsEvent::RequestAdmitted {
+            cycle: 1400,
+            request: 17,
+            tenant: 1,
+            queued: 4,
+        };
+        assert_eq!(
+            admitted.to_json_line(),
+            "{\"kind\":\"request_admitted\",\"cycle\":1400,\"request\":17,\
+             \"tenant\":1,\"queued\":4}"
+        );
+        let shed = ObsEvent::RequestShed {
+            cycle: 1400,
+            request: 18,
+            tenant: 0,
+            reason: ShedReason::Infeasible,
+        };
+        assert_eq!(
+            shed.to_json_line(),
+            "{\"kind\":\"request_shed\",\"cycle\":1400,\"request\":18,\
+             \"tenant\":0,\"reason\":\"infeasible\"}"
+        );
     }
 
     #[test]

@@ -188,7 +188,11 @@ struct TraceRow {
 /// * a complete span per preemption window (request → SM vacated);
 /// * instant (`"ph":"i"`) events for preemption begin/end and for every
 ///   recorded Algorithm 1 [decision](crate::events::ObsEvent::Decision),
-///   with the per-technique estimates in `args`.
+///   with the per-technique estimates in `args`;
+/// * when the log contains serving request-stream events
+///   ([`crate::events::ObsEvent::RequestArrival`] and friends), an extra
+///   `requests` track past the SM tracks (`tid` = SM count) with one instant
+///   per arrival/admission/shed. Non-serving traces are unaffected.
 ///
 /// Timestamps are microseconds (the Chrome-trace unit), converted with
 /// [`crate::GpuConfig::cycles_to_us`] and printed with three decimals.
@@ -223,6 +227,11 @@ pub fn chrome_trace_json(engine: &Engine) -> Option<String> {
     let now = engine.cycle();
     let kname = |k: KernelId| json_escape(&engine.kernel_stats(k).name);
     let mut rows: Vec<TraceRow> = Vec::with_capacity(log.len());
+    // Request-stream events get a dedicated track past the per-SM ones; the
+    // track (and its metadata row) only exists when such events were logged,
+    // so traces from non-serving runs are byte-identical to before.
+    let request_tid = cfg.num_sms;
+    let mut has_requests = false;
     // (sm, kernel, block) -> (begin cycle, resumed)
     let mut open_blocks: BTreeMap<(usize, usize, u32), (u64, bool)> = BTreeMap::new();
     let block_span = |rows: &mut Vec<TraceRow>,
@@ -398,6 +407,69 @@ pub fn chrome_trace_json(engine: &Engine) -> Option<String> {
                     ),
                 });
             }
+            ObsEvent::RequestArrival {
+                cycle,
+                request,
+                tenant,
+                class,
+                deadline_cycle,
+            } => {
+                has_requests = true;
+                rows.push(TraceRow {
+                    ts_cycles: cycle,
+                    tid: request_tid,
+                    order: 5,
+                    name: format!("arrival r{request}"),
+                    dur_cycles: None,
+                    ph: 'i',
+                    cat: "request",
+                    args: format!(
+                        "{{\"request\":{request},\"tenant\":{tenant},\"class\":{class},\
+                         \"deadline_cycle\":{deadline_cycle}}}"
+                    ),
+                });
+            }
+            ObsEvent::RequestAdmitted {
+                cycle,
+                request,
+                tenant,
+                queued,
+            } => {
+                has_requests = true;
+                rows.push(TraceRow {
+                    ts_cycles: cycle,
+                    tid: request_tid,
+                    order: 5,
+                    name: format!("admit r{request}"),
+                    dur_cycles: None,
+                    ph: 'i',
+                    cat: "request",
+                    args: format!(
+                        "{{\"request\":{request},\"tenant\":{tenant},\"queued\":{queued}}}"
+                    ),
+                });
+            }
+            ObsEvent::RequestShed {
+                cycle,
+                request,
+                tenant,
+                reason,
+            } => {
+                has_requests = true;
+                rows.push(TraceRow {
+                    ts_cycles: cycle,
+                    tid: request_tid,
+                    order: 5,
+                    name: format!("shed r{request}"),
+                    dur_cycles: None,
+                    ph: 'i',
+                    cat: "request",
+                    args: format!(
+                        "{{\"request\":{request},\"tenant\":{tenant},\"reason\":\"{}\"}}",
+                        reason.as_str()
+                    ),
+                });
+            }
         }
     }
     // Close spans for blocks still resident at export time.
@@ -445,6 +517,16 @@ pub fn chrome_trace_json(engine: &Engine) -> Option<String> {
             format!(
                 "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{sm},\
                  \"args\":{{\"name\":\"SM {sm:02}\"}}}}"
+            ),
+            &mut out,
+            &mut first,
+        );
+    }
+    if has_requests {
+        emit(
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{request_tid},\
+                 \"args\":{{\"name\":\"requests\"}}}}"
             ),
             &mut out,
             &mut first,
@@ -940,6 +1022,32 @@ mod tests {
         assert!(json.contains("\"chosen\":\"drain\""));
         assert!(json.contains("preempt begin"));
         assert!(json.contains("\"exit\":\"drained\"") || json.contains("\"exit\":\"completed\""));
+    }
+
+    #[test]
+    fn chrome_trace_renders_request_track_only_when_present() {
+        use crate::ShedReason;
+        let (mut e, _) = engine_with_work();
+        e.enable_event_log(1 << 16);
+        e.run_until(2_000_000);
+        let without = chrome_trace_json(&e).unwrap();
+        assert!(
+            !without.contains("\"name\":\"requests\""),
+            "no request track without request events"
+        );
+        e.record_request_arrival(0, 1, 0, 9_000);
+        e.record_request_admitted(0, 1, 1);
+        e.record_request_shed(1, 0, ShedReason::QueueFull);
+        let with = chrome_trace_json(&e).unwrap();
+        let summary = validate_chrome_trace(&with).unwrap();
+        assert_eq!(summary.metadata, 1 + e.config().num_sms + 1);
+        assert!(with.contains("\"name\":\"requests\""));
+        assert!(with.contains("\"cat\":\"request\""));
+        assert!(with.contains("arrival r0"));
+        assert!(with.contains("shed r1"));
+        assert!(with.contains("\"reason\":\"queue_full\""));
+        // The request track sits past the per-SM tracks.
+        assert!(with.contains(&format!("\"tid\":{}", e.config().num_sms)));
     }
 
     #[test]

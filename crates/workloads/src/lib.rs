@@ -37,6 +37,7 @@
 mod benchmark;
 mod measure;
 mod rt;
+mod serve;
 /// Parameter solver turning Table 2 targets into concrete kernels.
 pub mod solve;
 /// Table 2 kernel specifications.
@@ -47,6 +48,7 @@ mod synthetic;
 pub use benchmark::Benchmark;
 pub use measure::{measure_drain_time_us, measure_solo_rate};
 pub use rt::RtTask;
+pub use serve::{RequestClass, ServeWorkload, TenantSpec};
 pub use solve::{build_kernel, build_program, solve_insts_per_warp, solve_resources, Resources};
 pub use spec::{table2, AccessPattern, KernelSpec};
 pub use suite::{Suite, SuiteOptions, LUD_ITERATIONS};

@@ -1,0 +1,221 @@
+//! Deadline-class specifications for the open-loop serving front-end.
+//!
+//! `chimera::runner::serve` replays a request stream against the GPU; each
+//! request instantiates one of the [`RequestClass`]es defined here (a kernel
+//! shape plus an SLO) on behalf of a [`TenantSpec`]. The classes are
+//! synthetic but calibrated like the §4.1 task kernel: 128-thread blocks,
+//! a load segment at ~2% of the instruction budget, and grid sizes chosen so
+//! the class mix spans interactive (~tens of µs) through batch (~ms) service
+//! times on the paper's 30-SM GPU.
+
+use gpu_sim::{GpuConfig, KernelDesc, Program, Segment};
+
+/// Warps per 128-thread block (32 threads per warp).
+const WARPS_PER_BLOCK: u64 = 4;
+
+/// One deadline class: the kernel shape a request of this class launches,
+/// its relative deadline, and its share of the request mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestClass {
+    /// Class name; request kernels are named `"{name}#{request}"` so
+    /// per-class statistics pool across requests.
+    pub name: String,
+    /// Grid size of the class kernel, blocks.
+    pub grid_blocks: u32,
+    /// Straight-line instructions per warp in the class kernel.
+    pub insts_per_warp: u32,
+    /// Relative deadline, µs after arrival.
+    pub deadline_us: f64,
+    /// Analytic full-GPU service-time estimate, µs (issue-bound: total warp
+    /// instructions × issue interval spread across every SM). Used by the
+    /// admission controller's feasibility test.
+    pub service_us: f64,
+    /// Relative share of the request mix (larger = more frequent).
+    pub weight: u32,
+}
+
+impl RequestClass {
+    /// Build a class from its kernel shape, deriving [`service_us`] from
+    /// `cfg` analytically.
+    ///
+    /// [`service_us`]: RequestClass::service_us
+    pub fn new(
+        cfg: &GpuConfig,
+        name: &str,
+        grid_blocks: u32,
+        insts_per_warp: u32,
+        deadline_us: f64,
+        weight: u32,
+    ) -> Self {
+        let total_warp_insts = u64::from(grid_blocks) * WARPS_PER_BLOCK * u64::from(insts_per_warp);
+        let cycles = total_warp_insts * cfg.issue_interval() / cfg.num_sms as u64;
+        RequestClass {
+            name: name.to_string(),
+            grid_blocks,
+            insts_per_warp,
+            deadline_us,
+            service_us: cfg.cycles_to_us(cycles),
+            weight,
+        }
+    }
+
+    /// The kernel a request of this class launches, named
+    /// `"{name}#{request}"` (the `#` suffix is stripped when pooling
+    /// per-class statistics, mirroring the periodic runner's convention).
+    pub fn kernel(&self, request: u64) -> KernelDesc {
+        let load = (self.insts_per_warp / 50).max(1);
+        KernelDesc::builder(format!("{}#{}", self.name, request))
+            .grid_blocks(self.grid_blocks)
+            .threads_per_block(128)
+            .regs_per_thread(16)
+            .program(Program::new(vec![
+                Segment::load(load),
+                Segment::compute(self.insts_per_warp - load),
+            ]))
+            .build()
+            .expect("serve class kernel is valid")
+    }
+}
+
+/// One tenant sharing the serving front-end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Tenant name, for reporting.
+    pub name: String,
+    /// Fair-share weight: the dispatcher keeps each tenant's served
+    /// service-time proportional to its weight under contention.
+    pub weight: u32,
+}
+
+impl TenantSpec {
+    /// Build a tenant spec.
+    pub fn new(name: &str, weight: u32) -> Self {
+        TenantSpec {
+            name: name.to_string(),
+            weight,
+        }
+    }
+}
+
+/// A serving workload: the deadline-class mix and the tenant population.
+///
+/// ```
+/// use gpu_sim::GpuConfig;
+/// use workloads::ServeWorkload;
+///
+/// let wl = ServeWorkload::standard(&GpuConfig::fermi());
+/// assert_eq!(wl.classes.len(), 3);
+/// assert!(wl.mean_service_us() > 0.0);
+/// assert!(wl.saturation_per_ms() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeWorkload {
+    /// Deadline classes, drawn per-request by weight.
+    pub classes: Vec<RequestClass>,
+    /// Tenants, drawn per-request by weight.
+    pub tenants: Vec<TenantSpec>,
+}
+
+impl ServeWorkload {
+    /// The standard three-class, three-tenant mix: interactive requests
+    /// (~40 µs service, 200 µs deadline) dominate the stream, analytic
+    /// requests (~160 µs, 1 ms) ride along, and batch requests (~640 µs,
+    /// 5 ms) trail. Tenants alpha/beta/gamma share 3:2:1.
+    pub fn standard(cfg: &GpuConfig) -> Self {
+        ServeWorkload {
+            classes: vec![
+                RequestClass::new(cfg, "interactive", 60, 1750, 200.0, 6),
+                RequestClass::new(cfg, "analytic", 120, 3500, 1000.0, 3),
+                RequestClass::new(cfg, "batch", 240, 7000, 5000.0, 1),
+            ],
+            tenants: vec![
+                TenantSpec::new("alpha", 3),
+                TenantSpec::new("beta", 2),
+                TenantSpec::new("gamma", 1),
+            ],
+        }
+    }
+
+    /// A skewed variant: batch-heavy mix and one dominant tenant, for
+    /// stressing the fair-share dispatcher and the starvation regression
+    /// test.
+    pub fn skewed(cfg: &GpuConfig) -> Self {
+        ServeWorkload {
+            classes: vec![
+                RequestClass::new(cfg, "interactive", 60, 1750, 200.0, 2),
+                RequestClass::new(cfg, "batch", 240, 7000, 5000.0, 4),
+            ],
+            tenants: vec![TenantSpec::new("whale", 8), TenantSpec::new("minnow", 1)],
+        }
+    }
+
+    /// Weight-averaged analytic service time of the request mix, µs.
+    pub fn mean_service_us(&self) -> f64 {
+        let wsum: u64 = self.classes.iter().map(|c| u64::from(c.weight)).sum();
+        if wsum == 0 {
+            return 0.0;
+        }
+        self.classes
+            .iter()
+            .map(|c| c.service_us * c.weight as f64)
+            .sum::<f64>()
+            / wsum as f64
+    }
+
+    /// Analytic saturation throughput, requests/ms: the offered load at
+    /// which the mix's mean service demand fills the whole GPU
+    /// (work-conserving, ignoring preemption/dispatch overheads). The
+    /// `serve` bench sweeps offered load in multiples of this.
+    pub fn saturation_per_ms(&self) -> f64 {
+        let mean = self.mean_service_us();
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        1000.0 / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_mix_is_calibrated_on_fermi() {
+        let cfg = GpuConfig::fermi();
+        let wl = ServeWorkload::standard(&cfg);
+        // Interactive: 60 blocks × 4 warps × 1750 insts × 4 cycles / 30 SMs
+        // = 56_000 cycles = 40 µs at 1.4 GHz.
+        let inter = &wl.classes[0];
+        assert_eq!(inter.name, "interactive");
+        assert!(
+            (inter.service_us - 40.0).abs() < 1e-9,
+            "{}",
+            inter.service_us
+        );
+        assert!(inter.service_us < inter.deadline_us);
+        // Every class leaves deadline headroom over its own service time.
+        for c in &wl.classes {
+            assert!(c.deadline_us > 2.0 * c.service_us, "{}", c.name);
+        }
+        // Mean service ≈ 136 µs → saturation ≈ 7.35 req/ms.
+        assert!((wl.mean_service_us() - 136.0).abs() < 1.0);
+        assert!((wl.saturation_per_ms() - 7.35).abs() < 0.1);
+    }
+
+    #[test]
+    fn class_kernels_pool_by_name() {
+        let cfg = GpuConfig::fermi();
+        let wl = ServeWorkload::standard(&cfg);
+        let k = wl.classes[0].kernel(17);
+        assert_eq!(k.name(), "interactive#17");
+        assert_eq!(k.grid_blocks(), 60);
+    }
+
+    #[test]
+    fn skewed_mix_has_a_dominant_tenant() {
+        let cfg = GpuConfig::fermi();
+        let wl = ServeWorkload::skewed(&cfg);
+        assert!(wl.tenants[0].weight > 4 * wl.tenants[1].weight / 2);
+        assert!(wl.mean_service_us() > ServeWorkload::standard(&cfg).mean_service_us());
+    }
+}

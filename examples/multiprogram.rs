@@ -23,11 +23,9 @@ fn main() {
     let cfg = suite.config();
     let lud = suite.benchmark("LUD").expect("LUD");
     let other = suite.benchmark("KM").expect("KM");
-    let mcfg = MultiprogConfig {
-        budget_insts: 1_200_000,
-        horizon_us: 800_000.0,
-        ..MultiprogConfig::paper_default()
-    };
+    let mcfg = MultiprogConfig::paper_default()
+        .budget_insts(1_200_000)
+        .horizon_us(800_000.0);
     println!("== LUD + Kmeans sharing 30 SMs ==\n");
     let lud_solo = run_solo(
         cfg,

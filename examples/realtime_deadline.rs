@@ -11,14 +11,11 @@ fn main() {
     let suite = Suite::standard();
     let cfg = suite.config();
     let bench = suite.benchmark("BS").expect("BlackScholes in suite");
-    let pcfg = PeriodicConfig {
-        horizon_us: 8_000.0,
-        ..PeriodicConfig::paper_default(cfg)
-    };
+    let pcfg = PeriodicConfig::paper_default(cfg).horizon_us(8_000.0);
     println!("== BlackScholes + a 1 ms-periodic task needing 15 SMs for 200 us ==");
     println!(
         "   (preemption latency constraint: {} us)\n",
-        pcfg.constraint_us
+        pcfg.common.constraint_us
     );
     let mut oracle_useful = None;
     let mut lineup = vec![Policy::Oracle];

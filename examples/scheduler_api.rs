@@ -13,11 +13,10 @@ use workloads::SyntheticKernel;
 
 fn main() {
     let cfg = GpuConfig::fermi();
-    let mut gpu = GpuScheduler::new(
-        cfg.clone(),
-        Policy::chimera_us(15.0),
-        PartitionPolicy::SmartEven,
-    );
+    let mut gpu = GpuScheduler::builder(cfg.clone())
+        .policy(Policy::chimera_us(15.0))
+        .partition(PartitionPolicy::SmartEven)
+        .build();
 
     let video = gpu.add_process(); // steady mid-size kernels
     let ml = gpu.add_process(); // one long training-style kernel

@@ -8,10 +8,7 @@ use chimera::runner::solo::run_solo;
 use workloads::Suite;
 
 fn quick(cfg: &gpu_sim::GpuConfig, horizon_us: f64) -> PeriodicConfig {
-    PeriodicConfig {
-        horizon_us,
-        ..PeriodicConfig::paper_default(cfg)
-    }
+    PeriodicConfig::paper_default(cfg).horizon_us(horizon_us)
 }
 
 #[test]
@@ -91,11 +88,9 @@ fn multiprogramming_beats_fcfs_for_lud() {
         },
     );
     let cfg = suite.config();
-    let mcfg = MultiprogConfig {
-        budget_insts: 600_000,
-        horizon_us: 300_000.0,
-        ..MultiprogConfig::paper_default()
-    };
+    let mcfg = MultiprogConfig::paper_default()
+        .budget_insts(600_000)
+        .horizon_us(300_000.0);
     let lud = suite.benchmark("LUD").unwrap();
     let other = suite.benchmark("ST").unwrap();
     let lud_solo = run_solo(
@@ -133,10 +128,7 @@ fn strict_condition_is_never_better_than_relaxed() {
             Policy::Flush,
             &quick(cfg, 5_000.0),
         );
-        let strict_pc = PeriodicConfig {
-            strict_idem: true,
-            ..quick(cfg, 5_000.0)
-        };
+        let strict_pc = quick(cfg, 5_000.0).strict_idem(true);
         let strict = run_periodic(
             cfg,
             strict_suite.benchmark(name).unwrap(),

@@ -36,11 +36,10 @@ proptest! {
         policy_ix in 0usize..4,
     ) {
         let policy = Policy::paper_lineup(30.0)[policy_ix];
-        let mut gpu = GpuScheduler::new(
-            GpuConfig::tiny(),
-            policy,
-            PartitionPolicy::SmartEven,
-        );
+        let mut gpu = GpuScheduler::builder(GpuConfig::tiny())
+            .policy(policy)
+            .partition(PartitionPolicy::SmartEven)
+            .build();
         let mut procs = Vec::new();
         for (i, &(grid, insts, non_idem)) in jobs.iter().enumerate() {
             let p = gpu.add_process();

@@ -1,0 +1,166 @@
+//! Property-based tests over the open-loop serving front-end: arrival
+//! streams must be pure functions of the seed (and so `--jobs`-independent),
+//! serve runs must be deterministic end to end, the result accounting must
+//! balance, and the weighted-fair dispatcher must not starve a light tenant
+//! behind a heavy one.
+
+use chimera::runner::serve::{run_serve, ArrivalProcess, ServeConfig};
+use gpu_sim::GpuConfig;
+use proptest::prelude::*;
+use workloads::ServeWorkload;
+
+fn arbitrary_process() -> impl Strategy<Value = ArrivalProcess> {
+    prop_oneof![
+        (0.5f64..20.0).prop_map(|rate_per_ms| ArrivalProcess::Poisson { rate_per_ms }),
+        (
+            0.5f64..5.0,
+            5.0f64..20.0,
+            500.0f64..5_000.0,
+            500.0f64..5_000.0
+        )
+            .prop_map(|(calm_per_ms, burst_per_ms, mean_calm_us, mean_burst_us)| {
+                ArrivalProcess::Bursty {
+                    calm_per_ms,
+                    burst_per_ms,
+                    mean_calm_us,
+                    mean_burst_us,
+                }
+            }),
+        (0.5f64..20.0, 0.0f64..1.0, 2_000.0f64..20_000.0).prop_map(
+            |(mean_per_ms, relative_amplitude, period_us)| {
+                ArrivalProcess::Diurnal {
+                    mean_per_ms,
+                    relative_amplitude,
+                    period_us,
+                }
+            }
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The same (process, seed, horizon) always yields the same stream, and
+    /// a different seed yields a different one: generation is a counter-
+    /// based pure function, never dependent on evaluation order.
+    #[test]
+    fn arrivals_are_a_pure_function_of_the_seed(
+        process in arbitrary_process(),
+        seed in 0u64..1_000_000,
+        horizon in 5_000.0f64..50_000.0,
+    ) {
+        let a = process.generate(seed, horizon);
+        let b = process.generate(seed, horizon);
+        prop_assert_eq!(&a, &b, "same seed must reproduce byte-identically");
+        if !a.is_empty() {
+            let c = process.generate(seed.wrapping_add(1), horizon);
+            prop_assert_ne!(&a, &c, "seed must actually steer the stream");
+        }
+    }
+
+    /// Streams are sorted, in-horizon, and roughly at the advertised mean
+    /// rate (generous 3-sigma-ish band; burstiness widens the variance).
+    #[test]
+    fn arrivals_are_sorted_in_horizon_and_rate_sane(
+        process in arbitrary_process(),
+        seed in 0u64..1_000_000,
+    ) {
+        let horizon = 100_000.0;
+        let times = process.generate(seed, horizon);
+        for w in times.windows(2) {
+            prop_assert!(w[0] <= w[1], "arrivals must be sorted");
+        }
+        for &t in &times {
+            prop_assert!((0.0..horizon).contains(&t), "t={t} outside horizon");
+        }
+        let expected = process.mean_rate_per_ms() * horizon / 1_000.0;
+        let n = times.len() as f64;
+        prop_assert!(
+            n > expected * 0.4 && n < expected * 2.0,
+            "n={n} vs expected mean {expected}"
+        );
+    }
+}
+
+proptest! {
+    // Whole serve runs are costly; fewer, heavier cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A serve run is a pure function of its config: two runs with the same
+    /// seed agree on the full Debug rendering, and the result accounting
+    /// balances exactly.
+    #[test]
+    fn serve_runs_are_deterministic_and_balanced(
+        seed in 0u64..1_000,
+        rate in 1.0f64..12.0,
+    ) {
+        let cfg = GpuConfig::fermi();
+        let wl = ServeWorkload::standard(&cfg);
+        let scfg = ServeConfig::paper_default()
+            .horizon_us(2_000.0)
+            .seed(seed)
+            .arrivals(ArrivalProcess::poisson(rate));
+        let a = run_serve(&cfg, &wl, &scfg);
+        let b = run_serve(&cfg, &wl, &scfg);
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        prop_assert_eq!(a.offered, a.admitted + a.shed_queue_full + a.shed_infeasible);
+        prop_assert_eq!(a.admitted, a.completed + a.shed_late + a.unfinished);
+        prop_assert_eq!(a.completed, a.deadline_met + a.violations);
+        let per_tenant: u64 = a.tenants.iter().map(|t| t.offered).sum();
+        prop_assert_eq!(per_tenant, a.offered);
+    }
+}
+
+/// A whale tenant flooding the front door must not starve the minnow: the
+/// weighted-fair dispatcher serves queues by weighted attained service, so
+/// the minnow's (feasible) requests keep completing under 2x overload.
+#[test]
+fn heavy_tenant_does_not_starve_light_tenant() {
+    let cfg = GpuConfig::fermi();
+    let wl = ServeWorkload::skewed(&cfg);
+    let rate = 2.0 * wl.saturation_per_ms();
+    let scfg = ServeConfig::paper_default()
+        .horizon_us(12_000.0)
+        .arrivals(ArrivalProcess::poisson(rate));
+    let res = run_serve(&cfg, &wl, &scfg);
+    let whale = &res.tenants[0];
+    let minnow = &res.tenants[1];
+    assert!(
+        whale.offered > minnow.offered,
+        "skew means the whale floods"
+    );
+    assert!(
+        minnow.completed > 0,
+        "minnow must keep completing under overload: {res:?}"
+    );
+    let shed = res.shed_queue_full + res.shed_infeasible + res.shed_late;
+    assert!(shed > 0, "2x overload must shed somewhere");
+}
+
+/// Golden serving metrics: one pinned configuration whose headline numbers
+/// must not drift without an intentional change (Poisson only — the other
+/// shapes go through `sin`/`ln` more heavily and this keeps the pin tight).
+#[test]
+fn golden_serving_metrics_are_stable() {
+    let cfg = GpuConfig::fermi();
+    let wl = ServeWorkload::standard(&cfg);
+    let scfg = ServeConfig::paper_default()
+        .horizon_us(4_000.0)
+        .arrivals(ArrivalProcess::poisson(4.0));
+    let r = run_serve(&cfg, &wl, &scfg);
+    assert_eq!(
+        (
+            r.offered,
+            r.admitted,
+            r.shed_queue_full,
+            r.shed_infeasible,
+            r.shed_late,
+            r.completed,
+            r.deadline_met,
+            r.max_queue_depth,
+        ),
+        (16, 16, 0, 0, 0, 15, 14, 1),
+        "pinned serving metrics drifted: {r:?}"
+    );
+}
