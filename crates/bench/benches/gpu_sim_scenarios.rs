@@ -1,15 +1,18 @@
 //! Tracked engine-throughput scenarios behind `BENCH_gpu_sim.json`.
 //!
-//! Six scenarios span the engine's hot-path regimes on a 15-SM GPU — solo
-//! drain, two-kernel multiprogramming, a preemption storm, a figure-style
+//! Seven scenarios span the engine's hot-path regimes — solo drain,
+//! two-kernel multiprogramming, a preemption storm, a figure-style
 //! workload slice built from the Table 1 suite, the online-estimator
 //! feedback loop (P² quantile updates + Algorithm 1 against live
-//! observations) layered on the engine, and the open-loop serving
-//! front-end driven through the full scheduler stack. Every scenario
-//! runs under both the event-calendar scheduler and the legacy linear-scan
-//! reference (`Engine::set_scan_scheduler`), asserting identical simulation
-//! results and recording cycles-simulated-per-second for both, so the file
-//! doubles as a perf trajectory and a coarse equivalence check.
+//! observations) layered on the engine, the open-loop serving front-end
+//! driven through the full scheduler stack (all on a 15-SM GPU), and a
+//! 30-SM memory-resident sweep that stresses the per-tick calendar path.
+//! Every scenario runs under all three execution modes (see
+//! `gpu_sim::ExecMode` and `PARALLELISM.md`): the event calendar, the
+//! legacy linear-scan reference, and the sharded parallel engine. The
+//! harness asserts identical simulation results across all three and
+//! records cycles-simulated-per-second for each, so the file doubles as a
+//! perf trajectory and a coarse equivalence check.
 //!
 //! Environment knobs:
 //! - `CHIMERA_BENCH_FAST=1` — CI smoke mode: shorter horizons, 2 samples.
@@ -20,6 +23,8 @@
 //! - `CHIMERA_BENCH_BASELINE=path` — compare against a checked-in baseline
 //!   and exit non-zero when any scenario's event-mode throughput regressed
 //!   by more than 2x (slack for machine-to-machine variance).
+//! - `CHIMERA_BENCH_SHARDS=n` — shard count for the parallel-mode timing
+//!   rows (defaults to the machine's available parallelism, capped at 8).
 
 use std::io::Write as _;
 
@@ -27,7 +32,9 @@ use chimera::runner::serve::{run_serve_on, ArrivalProcess, ServeConfig};
 use chimera::select::{select_preemptions, SelectionRequest};
 use chimera::{EstimatorConfig, GpuScheduler, ObsBank, PartitionPolicy};
 use criterion::{BenchmarkId, Criterion, Throughput};
-use gpu_sim::{Engine, Event, GpuConfig, KernelDesc, Program, Segment, SmPreemptPlan, Technique};
+use gpu_sim::{
+    Engine, Event, ExecMode, GpuConfig, KernelDesc, Program, Segment, SmPreemptPlan, Technique,
+};
 use workloads::{ServeWorkload, Suite};
 
 /// 15-SM variant of the paper's GPU used by all scenarios.
@@ -70,10 +77,10 @@ fn fingerprint(e: &Engine) -> Outcome {
 }
 
 /// One flat compute-heavy kernel draining across all 15 SMs.
-fn solo_drain(scan: bool, horizon: u64) -> Outcome {
+fn solo_drain(mode: ExecMode, horizon: u64) -> Outcome {
     let cfg = gpu15();
     let mut e = Engine::with_seed(cfg.clone(), 7);
-    e.set_scan_scheduler(scan);
+    e.set_exec_mode(mode);
     let k = e.launch_kernel(synthetic("solo", 3000, 6, 4096));
     for sm in 0..cfg.num_sms {
         e.assign_sm(sm, Some(k));
@@ -83,10 +90,10 @@ fn solo_drain(scan: bool, horizon: u64) -> Outcome {
 }
 
 /// A compute-bound and a memory-heavy kernel on a 10/5 SM partition.
-fn multiprog(scan: bool, horizon: u64) -> Outcome {
+fn multiprog(mode: ExecMode, horizon: u64) -> Outcome {
     let cfg = gpu15();
     let mut e = Engine::with_seed(cfg.clone(), 7);
-    e.set_scan_scheduler(scan);
+    e.set_exec_mode(mode);
     let a = e.launch_kernel(synthetic("mp_compute", 2500, 4, 4096));
     let b = e.launch_kernel(synthetic("mp_memory", 300, 180, 2048));
     for sm in 0..10 {
@@ -101,10 +108,10 @@ fn multiprog(scan: bool, horizon: u64) -> Outcome {
 
 /// Five SMs ping-pong between two kernels via context-switch preemption
 /// every 10k cycles — dispatch/preempt bookkeeping under stress.
-fn preempt_storm(scan: bool, horizon: u64) -> Outcome {
+fn preempt_storm(mode: ExecMode, horizon: u64) -> Outcome {
     let cfg = gpu15();
     let mut e = Engine::with_seed(cfg.clone(), 7);
-    e.set_scan_scheduler(scan);
+    e.set_exec_mode(mode);
     let a = e.launch_kernel(synthetic("storm_a", 1500, 20, 4096));
     let b = e.launch_kernel(synthetic("storm_b", 1500, 20, 4096));
     for sm in 0..cfg.num_sms {
@@ -130,13 +137,13 @@ fn preempt_storm(scan: bool, horizon: u64) -> Outcome {
 /// 10/5 split with kernel relaunch on finish and periodic switch
 /// preemptions — the access pattern the fig6/fig7 runners generate, driven
 /// through plain `run_until` windows.
-fn figure_slice(scan: bool, horizon: u64) -> Outcome {
+fn figure_slice(mode: ExecMode, horizon: u64) -> Outcome {
     let cfg = gpu15();
     let suite = Suite::with_config(cfg.clone(), true);
     let desc_a = suite.benchmarks()[0].launches()[0].clone();
     let desc_b = suite.benchmarks()[1].launches()[0].clone();
     let mut e = Engine::with_seed(cfg.clone(), 7);
-    e.set_scan_scheduler(scan);
+    e.set_exec_mode(mode);
     let mut a = e.launch_kernel(desc_a.clone());
     let mut b = e.launch_kernel(desc_b.clone());
     for sm in 0..10 {
@@ -190,10 +197,10 @@ fn figure_slice(scan: bool, horizon: u64) -> Outcome {
 /// work `--estimator online` adds to the periodic runner). The estimator
 /// state is identical under both schedulers, so the event/scan equivalence
 /// check still holds; the timing captures engine + estimator together.
-fn estimator_online(scan: bool, horizon: u64) -> Outcome {
+fn estimator_online(mode: ExecMode, horizon: u64) -> Outcome {
     let cfg = gpu15();
     let mut e = Engine::with_seed(cfg.clone(), 7);
-    e.set_scan_scheduler(scan);
+    e.set_exec_mode(mode);
     let k = e.launch_kernel(synthetic("est", 1200, 10, 8192));
     for sm in 0..cfg.num_sms {
         e.assign_sm(sm, Some(k));
@@ -224,7 +231,7 @@ fn estimator_online(scan: bool, horizon: u64) -> Outcome {
 /// The open-loop serving front-end at 1.5x its analytic saturation rate:
 /// arrival admission, weighted-fair dispatch, and Chimera preemptions all
 /// driven through the public runner API on the full scheduler stack.
-fn serve_open_loop(scan: bool, horizon: u64) -> Outcome {
+fn serve_open_loop(mode: ExecMode, horizon: u64) -> Outcome {
     let cfg = gpu15();
     let wl = ServeWorkload::standard(&cfg);
     let scfg = ServeConfig::paper_default()
@@ -234,15 +241,53 @@ fn serve_open_loop(scan: bool, horizon: u64) -> Outcome {
         .policy(scfg.effective_policy())
         .partition(PartitionPolicy::SmartEven)
         .seed(7)
-        .scan_scheduler(scan)
+        .scan_scheduler(mode == ExecMode::Scan)
+        .par_shards(match mode {
+            ExecMode::Parallel { shards } => shards,
+            _ => 0,
+        })
         .build();
     std::hint::black_box(run_serve_on(&mut gpu, &wl, &scfg));
     fingerprint(gpu.engine())
 }
 
+/// Thirty SMs saturated with warps whose loads almost always hit L1: the
+/// one regime where the serial engines replay every load tick through the
+/// full per-tick scheduler path (loads never batch), so the parallel
+/// engine's epoch loop — which commits pure ticks in a tight per-SM loop
+/// between barriers — is the intended winner. This is the scenario the
+/// `speedup_par_vs_event` acceptance gate watches.
+fn mem_resident_30sm(mode: ExecMode, horizon: u64) -> Outcome {
+    let cfg = GpuConfig {
+        num_sms: 30,
+        l1_hit_fraction: 1.0,
+        ..GpuConfig::fermi()
+    };
+    let mut e = Engine::with_seed(cfg.clone(), 7);
+    e.set_exec_mode(mode);
+    let k = e.launch_kernel(
+        KernelDesc::builder("mem_resident")
+            .grid_blocks(16_384)
+            .threads_per_block(128)
+            .regs_per_thread(20)
+            .program(Program::new(vec![
+                Segment::load(800),
+                Segment::compute(100),
+                Segment::load(800),
+            ]))
+            .build()
+            .expect("valid kernel"),
+    );
+    for sm in 0..cfg.num_sms {
+        e.assign_sm(sm, Some(k));
+    }
+    e.run_until(horizon);
+    fingerprint(&e)
+}
+
 struct Scenario {
     name: &'static str,
-    run: fn(bool, u64) -> Outcome,
+    run: fn(ExecMode, u64) -> Outcome,
     /// Simulated-cycle horizon in full mode (fast mode divides by 10).
     full_horizon: u64,
 }
@@ -278,6 +323,11 @@ const SCENARIOS: &[Scenario] = &[
         run: serve_open_loop,
         full_horizon: 2_000_000,
     },
+    Scenario {
+        name: "mem_resident_30sm",
+        run: mem_resident_30sm,
+        full_horizon: 1_000_000,
+    },
 ];
 
 struct Row {
@@ -285,6 +335,7 @@ struct Row {
     cycles: u64,
     event_ns: u128,
     scan_ns: u128,
+    par_ns: u128,
 }
 
 impl Row {
@@ -297,10 +348,27 @@ impl Row {
     }
 }
 
+/// Shard count for the parallel-mode timing rows: `CHIMERA_BENCH_SHARDS`
+/// if set, else the machine's available parallelism capped at 8. The
+/// differential checks also run at other shard counts — output is
+/// byte-identical for every value, only the timing depends on this.
+fn bench_shards() -> usize {
+    if let Ok(v) = std::env::var("CHIMERA_BENCH_SHARDS") {
+        let n: usize = v.parse().expect("CHIMERA_BENCH_SHARDS must be an integer");
+        return n.max(1);
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 8)
+}
+
 fn main() {
     let fast = std::env::var("CHIMERA_BENCH_FAST").is_ok_and(|v| v != "0" && !v.is_empty());
     let samples = if fast { 2 } else { 5 };
     let only = std::env::var("CHIMERA_BENCH_ONLY").ok();
+    let shards = bench_shards();
+    let par = ExecMode::Parallel { shards };
     let mut c = Criterion::default();
     let mut rows = Vec::new();
     for s in SCENARIOS {
@@ -314,22 +382,34 @@ fn main() {
         } else {
             s.full_horizon
         };
-        // Differential check before timing: both schedulers must agree.
-        let event_out = (s.run)(false, horizon);
-        let scan_out = (s.run)(true, horizon);
-        assert_eq!(
-            event_out, scan_out,
-            "{}: event-calendar and scan schedulers diverged",
-            s.name
-        );
+        // Differential check before timing: all three execution modes (and
+        // a second shard count, for shard-count independence) must agree.
+        let event_out = (s.run)(ExecMode::Event, horizon);
+        for mode in [
+            ExecMode::Scan,
+            par,
+            ExecMode::Parallel {
+                shards: if shards == 2 { 3 } else { 2 },
+            },
+        ] {
+            let got = (s.run)(mode, horizon);
+            assert_eq!(
+                got, event_out,
+                "{}: {mode:?} diverged from the event calendar",
+                s.name
+            );
+        }
         let mut g = c.benchmark_group(s.name);
         g.sample_size(samples)
             .throughput(Throughput::Elements(horizon));
         g.bench_with_input(BenchmarkId::from_parameter("event"), &horizon, |b, &h| {
-            b.iter(|| std::hint::black_box((s.run)(false, h)))
+            b.iter(|| std::hint::black_box((s.run)(ExecMode::Event, h)))
         });
         g.bench_with_input(BenchmarkId::from_parameter("scan"), &horizon, |b, &h| {
-            b.iter(|| std::hint::black_box((s.run)(true, h)))
+            b.iter(|| std::hint::black_box((s.run)(ExecMode::Scan, h)))
+        });
+        g.bench_with_input(BenchmarkId::from_parameter("par"), &horizon, |b, &h| {
+            b.iter(|| std::hint::black_box((s.run)(par, h)))
         });
         g.finish();
         let results = c.take_results();
@@ -347,9 +427,10 @@ fn main() {
             cycles: event_out.cycle.max(horizon),
             event_ns: min("/event"),
             scan_ns: min("/scan"),
+            par_ns: min("/par"),
         });
     }
-    let json = render_json(&rows, fast);
+    let json = render_json(&rows, fast, shards);
     let out_path = std::env::var("CHIMERA_BENCH_OUT")
         .unwrap_or_else(|_| format!("{}/../../BENCH_gpu_sim.json", env!("CARGO_MANIFEST_DIR")));
     let mut f = std::fs::File::create(&out_path).expect("create bench output");
@@ -360,29 +441,39 @@ fn main() {
     }
 }
 
-fn render_json(rows: &[Row], fast: bool) -> String {
+fn render_json(rows: &[Row], fast: bool, shards: usize) -> String {
     let mut s = String::new();
-    s.push_str("{\n  \"schema\": \"chimera-bench-gpu-sim/v1\",\n");
+    s.push_str("{\n  \"schema\": \"chimera-bench-gpu-sim/v2\",\n");
     s.push_str(&format!(
-        "  \"mode\": \"{}\",\n  \"scenarios\": [\n",
-        if fast { "fast" } else { "full" }
+        "  \"mode\": \"{}\",\n  \"par_shards\": {},\n  \"scenarios\": [\n",
+        if fast { "fast" } else { "full" },
+        shards
     ));
     for (i, r) in rows.iter().enumerate() {
         s.push_str(&format!(
             "    {{\n      \"name\": \"{}\",\n      \"cycles\": {},\n      \
              \"wall_ns_event\": {},\n      \"wall_ns_scan\": {},\n      \
+             \"wall_ns_par\": {},\n      \
              \"cycles_per_sec_event\": {:.0},\n      \"cycles_per_sec_scan\": {:.0},\n      \
-             \"speedup_vs_scan\": {:.2}\n    }}{}\n",
+             \"cycles_per_sec_par\": {:.0},\n      \
+             \"speedup_vs_scan\": {:.2},\n      \"speedup_par_vs_event\": {:.2}\n    }}{}\n",
             r.name,
             r.cycles,
             r.event_ns,
             r.scan_ns,
+            r.par_ns,
             r.cycles_per_sec(r.event_ns),
             r.cycles_per_sec(r.scan_ns),
+            r.cycles_per_sec(r.par_ns),
             if r.event_ns == 0 {
                 0.0
             } else {
                 r.scan_ns as f64 / r.event_ns as f64
+            },
+            if r.par_ns == 0 {
+                0.0
+            } else {
+                r.event_ns as f64 / r.par_ns as f64
             },
             if i + 1 == rows.len() { "" } else { "," }
         ));

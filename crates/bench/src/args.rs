@@ -5,11 +5,14 @@ use chimera::{EstimatorConfig, EstimatorMode, RunCommon};
 
 /// Common knobs: `--scale <f64>` (shrinks horizons/budgets for quick runs),
 /// `--seed <u64>`, `--jobs <usize>` (worker threads for the experiment
-/// matrices; results are byte-identical for every value), plus the
-/// observability sinks `--trace <path>` (Chrome-trace JSON of one
-/// representative traced run, openable in `chrome://tracing`) and
-/// `--events <path>` (the same run's raw event log as JSON lines). See
-/// `OBSERVABILITY.md` at the repository root for the schema.
+/// matrices; results are byte-identical for every value), `--par-shards
+/// <usize>` (worker threads *inside* each simulated run — the engine's
+/// parallel execution mode, also byte-identical for every value; see
+/// `PARALLELISM.md`), plus the observability sinks `--trace <path>`
+/// (Chrome-trace JSON of one representative traced run, openable in
+/// `chrome://tracing`) and `--events <path>` (the same run's raw event log
+/// as JSON lines). See `OBSERVABILITY.md` at the repository root for the
+/// schema.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunArgs {
     /// Scale factor on horizons and budgets (1.0 = paper-shaped defaults).
@@ -20,6 +23,12 @@ pub struct RunArgs {
     /// available parallelism; `1` runs every cell inline on the caller's
     /// thread. Output tables are identical either way.
     pub jobs: usize,
+    /// SM shards for the engine's intra-run parallel mode
+    /// ([`gpu_sim::ExecMode::Parallel`]). `0` (the default) keeps each run
+    /// on the serial event calendar. Orthogonal to `jobs`: `jobs`
+    /// parallelises *across* experiment cells, `par_shards` *within* one
+    /// simulated run. Output is byte-identical for every value.
+    pub par_shards: usize,
     /// Write a Chrome-trace JSON file of a representative traced run here.
     /// `None` (the default) keeps tracing disabled — zero cost.
     pub trace: Option<String>,
@@ -44,6 +53,7 @@ impl Default for RunArgs {
             scale: 1.0,
             seed: 42,
             jobs: pool::default_jobs(),
+            par_shards: 0,
             trace: None,
             events: None,
             sanitize: false,
@@ -70,6 +80,7 @@ impl RunArgs {
         RunCommon::new(horizon_us * self.scale, constraint_us)
             .seed(self.seed)
             .estimator(self.estimator)
+            .par_shards(self.par_shards)
     }
 
     /// Parse from an iterator (testable).
@@ -91,6 +102,12 @@ impl RunArgs {
                     let v = it.next().expect("--jobs needs a value");
                     out.jobs = v.parse().expect("--jobs must be a positive integer");
                     assert!(out.jobs >= 1, "--jobs must be at least 1");
+                }
+                "--par-shards" => {
+                    let v = it.next().expect("--par-shards needs a value");
+                    out.par_shards = v
+                        .parse()
+                        .expect("--par-shards must be a non-negative integer");
                 }
                 "--trace" => {
                     out.trace = Some(it.next().expect("--trace needs a path"));
@@ -116,8 +133,9 @@ impl RunArgs {
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--scale <f>] [--seed <n>] [--jobs <n>] \
-                         [--trace <path>] [--events <path>] [--sanitize] \
-                         [--estimator static|online] [--risk-quantile <q>]"
+                         [--par-shards <n>] [--trace <path>] [--events <path>] \
+                         [--sanitize] [--estimator static|online] \
+                         [--risk-quantile <q>]"
                     );
                     std::process::exit(0);
                 }
@@ -164,6 +182,17 @@ mod tests {
     #[should_panic(expected = "--jobs must be at least 1")]
     fn rejects_zero_jobs() {
         RunArgs::parse(s(&["--jobs", "0"]));
+    }
+
+    #[test]
+    fn parses_par_shards() {
+        let a = RunArgs::parse(s(&[]));
+        assert_eq!(a.par_shards, 0, "serial engine by default");
+        let a = RunArgs::parse(s(&["--par-shards", "4"]));
+        assert_eq!(a.par_shards, 4);
+        let c = a.common(1_000.0, 15.0);
+        assert_eq!(c.par_shards, 4);
+        assert_eq!(c.exec_mode(), gpu_sim::ExecMode::Parallel { shards: 4 });
     }
 
     #[test]

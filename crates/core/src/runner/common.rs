@@ -41,6 +41,13 @@ pub struct RunCommon {
     /// Run with the dynamic flush sanitizer enabled (slower; for
     /// verification passes, not measurement runs).
     pub sanitize: bool,
+    /// Number of SM shards for the engine's parallel execution mode
+    /// (`gpu_sim::ExecMode::Parallel`). `0` (the default) keeps the serial
+    /// event-calendar engine; any positive value shards intra-run SM
+    /// advancement across that many worker threads with byte-identical
+    /// output (see `PARALLELISM.md`). Orthogonal to the bench harness
+    /// `--jobs` flag, which parallelises across *cells*, not within a run.
+    pub par_shards: usize,
 }
 
 impl RunCommon {
@@ -56,6 +63,7 @@ impl RunCommon {
             constraint_us,
             estimator: EstimatorConfig::default(),
             sanitize: false,
+            par_shards: 0,
         }
     }
 
@@ -88,6 +96,23 @@ impl RunCommon {
         self.sanitize = sanitize;
         self
     }
+
+    /// Set the intra-run shard count (0 = serial engine).
+    pub fn par_shards(mut self, par_shards: usize) -> Self {
+        self.par_shards = par_shards;
+        self
+    }
+
+    /// The engine execution mode implied by [`par_shards`](Self::par_shards).
+    pub fn exec_mode(&self) -> gpu_sim::ExecMode {
+        if self.par_shards > 0 {
+            gpu_sim::ExecMode::Parallel {
+                shards: self.par_shards,
+            }
+        } else {
+            gpu_sim::ExecMode::Event
+        }
+    }
 }
 
 #[cfg(test)]
@@ -101,16 +126,21 @@ mod tests {
         assert_eq!(c.seed, 42);
         assert_eq!(c.estimator, EstimatorConfig::default());
         assert!(!c.sanitize);
+        assert_eq!(c.par_shards, 0);
+        assert_eq!(c.exec_mode(), gpu_sim::ExecMode::Event);
         let c = c
             .seed(9)
             .horizon_us(2_000.0)
             .constraint_us(30.0)
             .estimator(EstimatorConfig::online(0.5))
-            .sanitize(true);
+            .sanitize(true)
+            .par_shards(4);
         assert_eq!(c.seed, 9);
         assert_eq!(c.horizon_us, 2_000.0);
         assert_eq!(c.constraint_us, 30.0);
         assert_eq!(c.estimator.mode, EstimatorMode::Online);
         assert!(c.sanitize);
+        assert_eq!(c.par_shards, 4);
+        assert_eq!(c.exec_mode(), gpu_sim::ExecMode::Parallel { shards: 4 });
     }
 }

@@ -126,6 +126,7 @@ pub fn run_pair(
     mcfg: &MultiprogConfig,
 ) -> PairOutcome {
     let mut engine = Engine::with_seed(cfg.clone(), mcfg.common.seed);
+    engine.set_exec_mode(mcfg.common.exec_mode());
     engine.set_break_on_kernel_finish(true);
     if policy.is_oracle() {
         engine.set_free_context_moves(true);
@@ -381,6 +382,7 @@ pub fn run_fcfs(
     mcfg: &MultiprogConfig,
 ) -> PairOutcome {
     let mut engine = Engine::with_seed(cfg.clone(), mcfg.common.seed);
+    engine.set_exec_mode(mcfg.common.exec_mode());
     engine.set_break_on_kernel_finish(true);
     let mut jobs = [
         Job::new(a.clone(), Some(mcfg.budget_insts)),

@@ -280,6 +280,7 @@ pub fn run_periodic_traced(
     event_capacity: usize,
 ) -> (PeriodicResult, Engine) {
     let mut engine = Engine::with_seed(cfg.clone(), pcfg.common.seed);
+    engine.set_exec_mode(pcfg.common.exec_mode());
     if event_capacity > 0 {
         engine.enable_event_log(event_capacity);
     }

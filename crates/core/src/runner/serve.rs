@@ -471,6 +471,7 @@ pub fn run_serve(cfg: &GpuConfig, wl: &ServeWorkload, scfg: &ServeConfig) -> Ser
         .partition(scfg.partition.clone())
         .estimator(scfg.common.estimator)
         .seed(scfg.common.seed)
+        .par_shards(scfg.common.par_shards)
         .build();
     run_serve_on(&mut gpu, wl, scfg)
 }
@@ -490,6 +491,7 @@ pub fn run_serve_traced(
         .partition(scfg.partition.clone())
         .estimator(scfg.common.estimator)
         .seed(scfg.common.seed)
+        .par_shards(scfg.common.par_shards)
         .event_log(event_capacity)
         .build();
     let res = run_serve_on(&mut gpu, wl, scfg);

@@ -123,6 +123,7 @@ pub struct GpuSchedulerBuilder {
     seed: u64,
     event_log_capacity: usize,
     scan_scheduler: bool,
+    par_shards: usize,
 }
 
 impl GpuSchedulerBuilder {
@@ -164,9 +165,19 @@ impl GpuSchedulerBuilder {
     }
 
     /// Use the engine's legacy linear-scan scheduler instead of the event
-    /// calendar (default off; for differential benchmarks).
+    /// calendar (default off; for differential benchmarks). Overrides
+    /// [`par_shards`](GpuSchedulerBuilder::par_shards) when set.
     pub fn scan_scheduler(mut self, scan: bool) -> Self {
         self.scan_scheduler = scan;
+        self
+    }
+
+    /// Run the engine in [`gpu_sim::ExecMode::Parallel`] with this many SM
+    /// shards advanced on worker threads between epoch barriers (default 0
+    /// = the serial event calendar). Output is byte-identical for every
+    /// value; see `PARALLELISM.md`.
+    pub fn par_shards(mut self, shards: usize) -> Self {
+        self.par_shards = shards;
         self
     }
 
@@ -180,7 +191,15 @@ impl GpuSchedulerBuilder {
         if self.event_log_capacity > 0 {
             engine.enable_event_log(self.event_log_capacity);
         }
-        engine.set_scan_scheduler(self.scan_scheduler);
+        engine.set_exec_mode(if self.scan_scheduler {
+            gpu_sim::ExecMode::Scan
+        } else if self.par_shards > 0 {
+            gpu_sim::ExecMode::Parallel {
+                shards: self.par_shards,
+            }
+        } else {
+            gpu_sim::ExecMode::Event
+        });
         let n = engine.config().num_sms;
         GpuScheduler {
             engine,
@@ -228,6 +247,7 @@ impl GpuScheduler {
             seed: 42,
             event_log_capacity: 0,
             scan_scheduler: false,
+            par_shards: 0,
         }
     }
 

@@ -5,14 +5,38 @@
 //! while all decisions (which SM, which technique, when) are made by the
 //! caller — the `chimera` crate's schedulers.
 //!
-//! The hot loop is event-driven: per-SM next-action times live both in an
-//! authoritative `next_action` array and in a binary-heap *event calendar*
-//! of `(cycle, sm)` entries with lazy invalidation, so each step pops the
-//! earliest pending SM directly instead of scanning all SMs, and globally
-//! idle windows are skipped in one jump. Entries order by cycle then SM
-//! index — exactly the order the legacy linear scan produced — so the
-//! rewrite is observably identical (see [`Engine::set_scan_scheduler`] for
-//! the retained reference scheduler).
+//! # Execution modes
+//!
+//! The engine runs in one of three modes (selected with
+//! [`Engine::set_exec_mode`]); all three produce **byte-identical** event
+//! streams, statistics, observability logs and Chrome traces — see
+//! `PARALLELISM.md` at the repository root for the full equivalence
+//! argument:
+//!
+//! - [`ExecMode::Scan`] — the legacy linear min-scan reference scheduler:
+//!   every step scans all SMs for the minimum next-action time and no
+//!   batched issue runs. Slow and obviously correct; kept as the
+//!   differential baseline.
+//! - [`ExecMode::Event`] (the default) — per-SM next-action times live
+//!   both in an authoritative `next_action` array and in a binary-heap
+//!   *event calendar* of `(cycle, sm)` entries with lazy invalidation, so
+//!   each step pops the earliest pending SM directly instead of scanning
+//!   all SMs, and globally idle windows are skipped in one jump. Entries
+//!   order by cycle then SM index — exactly the order the legacy linear
+//!   scan produced — so the rewrite is observably identical.
+//! - [`ExecMode::Parallel`] — the calendar engine plus an intra-run
+//!   parallel phase: between *epoch barriers* the SMs are partitioned into
+//!   contiguous shards, each advanced on its own worker thread through
+//!   *pure* ticks only (state confined to the SM: compute issue, barriers,
+//!   L1 hits). Any tick that would touch shared state — the memory
+//!   subsystem's DRAM queues, functional memory effects, block completion
+//!   and dispatch, preemption — stops the shard, and those *interaction*
+//!   ticks are replayed serially in `(cycle, SM index)` calendar order,
+//!   which is precisely the deterministic merge of the per-shard streams.
+//!
+//! The event-ordering contract all of this rests on: every observable the
+//! engine emits is produced by a serial tick at a definite `(cycle, sm)`
+//! point, and consumers receive them in that lexicographic order.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -87,6 +111,28 @@ pub enum Event {
     },
 }
 
+/// How [`Engine::run_until`] advances the machine. All modes produce
+/// byte-identical events, statistics, logs and traces; see the
+/// [module docs](self) and `PARALLELISM.md` for the equivalence argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Legacy linear min-scan reference scheduler: O(num SMs) per step, no
+    /// batched issue, dispatch swept every iteration. The slow,
+    /// obviously-correct differential baseline.
+    Scan,
+    /// Event-calendar scheduler with the batched-issue fast path (the
+    /// default).
+    Event,
+    /// Event-calendar scheduler with SM shards advanced concurrently on
+    /// worker threads between epoch barriers; interactions with shared
+    /// state replay serially in calendar order.
+    Parallel {
+        /// Worker shards the SMs are partitioned into, clamped to ≥ 1.
+        /// `1` exercises the epoch machinery without threads.
+        shards: usize,
+    },
+}
+
 /// Functional-memory effect slot for a segment.
 #[derive(Debug, Clone, Copy)]
 enum EffectSlot {
@@ -140,6 +186,10 @@ struct KernelInstance {
     cap_emitted: bool,
     effect_slots: Vec<Option<EffectSlot>>,
     n_cell_segs: usize,
+    /// Minimum over the grid of a block's total warp instructions (jitter
+    /// scaling makes blocks unequal). A sound per-block lower bound for the
+    /// parallel engine's kernel-finish bound.
+    min_block_total: u64,
 }
 
 impl KernelInstance {
@@ -185,6 +235,16 @@ impl KernelInstance {
             grid_blocks: desc.grid_blocks(),
             ..KernelStats::default()
         };
+        let min_block_total = (0..desc.grid_blocks())
+            .map(|i| {
+                crate::block::scaled_segments(&desc, seed, i)
+                    .iter()
+                    .map(|&n| u64::from(n))
+                    .sum::<u64>()
+                    .saturating_mul(u64::from(desc.warps_per_block()))
+            })
+            .min()
+            .unwrap_or(0);
         KernelInstance {
             desc,
             seed,
@@ -199,6 +259,7 @@ impl KernelInstance {
             cap_emitted: false,
             effect_slots,
             n_cell_segs: n_cells,
+            min_block_total,
         }
     }
 
@@ -300,10 +361,10 @@ pub struct Engine {
     /// index — the same order the old linear min-scan produced, so event
     /// streams are byte-identical.
     calendar: BinaryHeap<Reverse<(u64, usize)>>,
-    /// Use the O(num_SMs) min-scan (and no batched issue) instead of the
-    /// calendar: the pre-event-driven reference scheduler, kept for
-    /// differential determinism tests and benchmark baselines.
-    scan_scheduler: bool,
+    /// Execution mode (see [`ExecMode`]). [`ExecMode::Scan`] bypasses the
+    /// calendar entirely; [`ExecMode::Parallel`] adds the sharded pure
+    /// phase in front of the serial calendar loop.
+    mode: ExecMode,
     /// Set whenever dispatch opportunities may have changed (launch, assign,
     /// preempt, block completion/switch-out); lets the run loop skip the
     /// per-event all-SM dispatch sweep when nothing changed.
@@ -352,7 +413,7 @@ impl Engine {
             sms,
             next_action: vec![0; n],
             calendar: (0..n).map(|i| Reverse((0, i))).collect(),
-            scan_scheduler: false,
+            mode: ExecMode::Event,
             dispatch_dirty: true,
             kernels: Vec::new(),
             cycle: 0,
@@ -621,9 +682,28 @@ impl Engine {
     /// byte-identical event streams and statistics — scan mode exists as the
     /// slow, obviously-correct baseline for differential determinism tests
     /// and benchmark comparisons. Can be toggled at any point between runs.
+    ///
+    /// Kept as a convenience alias for [`Engine::set_exec_mode`] with
+    /// [`ExecMode::Scan`] / [`ExecMode::Event`].
     pub fn set_scan_scheduler(&mut self, scan: bool) {
-        self.scan_scheduler = scan;
-        if !scan {
+        self.set_exec_mode(if scan {
+            ExecMode::Scan
+        } else {
+            ExecMode::Event
+        });
+    }
+
+    /// Select the execution mode (see [`ExecMode`]). Can be switched at any
+    /// point between runs; all modes produce byte-identical output.
+    /// [`ExecMode::Parallel`] shard counts are clamped to ≥ 1.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.mode = match mode {
+            ExecMode::Parallel { shards } => ExecMode::Parallel {
+                shards: shards.max(1),
+            },
+            m => m,
+        };
+        if self.mode != ExecMode::Scan {
             // Scan mode does not maintain the calendar; rebuild it from the
             // authoritative per-SM next-action times.
             self.calendar.clear();
@@ -633,6 +713,11 @@ impl Engine {
                 }
             }
         }
+    }
+
+    /// The current execution mode.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.mode
     }
 
     /// Set `sm`'s next-action time and keep the event calendar in sync.
@@ -646,7 +731,7 @@ impl Engine {
             return;
         }
         self.next_action[sm] = t;
-        if t != u64::MAX && !self.scan_scheduler {
+        if t != u64::MAX && self.mode != ExecMode::Scan {
             self.calendar.push(Reverse((t, sm)));
         }
     }
@@ -655,7 +740,7 @@ impl Engine {
     /// mode discards stale entries; scan mode reproduces the legacy linear
     /// min-scan (which reports idle SMs as `u64::MAX` entries).
     fn next_event(&mut self) -> Option<(u64, usize)> {
-        if self.scan_scheduler {
+        if self.mode == ExecMode::Scan {
             return self
                 .next_action
                 .iter()
@@ -894,21 +979,37 @@ impl Engine {
     pub fn run_until(&mut self, target: u64) -> Vec<Event> {
         // The caller may have mutated assignments or queues between runs.
         self.dispatch_dirty = true;
+        let broke = match self.mode {
+            ExecMode::Parallel { shards } => self.run_epochs(target, shards),
+            _ => self.step_events_until(target),
+        };
+        if !broke {
+            self.kernel_finish_pending = false;
+            self.cycle = self.cycle.max(target);
+        }
+        std::mem::take(&mut self.events)
+    }
+
+    /// The serial event loop: pop and tick pending SMs in `(cycle, sm)`
+    /// order through `target`. Returns `true` when the run broke early on a
+    /// kernel finish (see [`Engine::set_break_on_kernel_finish`]), `false`
+    /// when every event through `target` was processed.
+    fn step_events_until(&mut self, target: u64) -> bool {
         loop {
             // Scan mode reproduces the legacy hot loop, which swept dispatch
             // on every iteration; the event-driven loop only sweeps after a
             // transition that could change dispatchability.
-            if self.dispatch_dirty || self.scan_scheduler {
+            if self.dispatch_dirty || self.mode == ExecMode::Scan {
                 self.dispatch_dirty = false;
                 self.dispatch_all();
             }
             let Some((t, idx)) = self.next_event() else {
-                break;
+                return false;
             };
             if t > target {
-                break;
+                return false;
             }
-            if !self.scan_scheduler {
+            if self.mode != ExecMode::Scan {
                 self.calendar.pop();
             }
             self.cycle = self.cycle.max(t);
@@ -920,7 +1021,7 @@ impl Engine {
             // SMs' cap checks read this SM's issue counter mid-run, and
             // whenever this SM could still receive blocks mid-window.
             let limits = TickLimits {
-                horizon: if self.break_on_kernel_finish || self.scan_scheduler {
+                horizon: if self.break_on_kernel_finish || self.mode == ExecMode::Scan {
                     self.cycle
                 } else {
                     target
@@ -979,17 +1080,219 @@ impl Engine {
             self.process_output(idx, out);
             if self.break_on_kernel_finish && self.kernel_finish_pending {
                 self.kernel_finish_pending = false;
-                return std::mem::take(&mut self.events);
+                return true;
             }
         }
-        self.kernel_finish_pending = false;
-        self.cycle = self.cycle.max(target);
-        std::mem::take(&mut self.events)
     }
 
     /// Advance by `cycles` from the current cycle.
     pub fn run_for(&mut self, cycles: u64) -> Vec<Event> {
         self.run_until(self.cycle + cycles)
+    }
+
+    /// The parallel run loop: alternate a sharded *pure* phase (Phase A)
+    /// with the serial event loop (Phase B) between epoch barriers.
+    ///
+    /// Each epoch picks a bound `min(target, t0 + EPOCH_QUANTUM)` from the
+    /// earliest pending event `t0`, advances every eligible SM concurrently
+    /// through its pure ticks up to the bound, then replays the remaining
+    /// *interaction* ticks serially in `(cycle, sm)` calendar order — the
+    /// deterministic merge point for everything observable. Output is
+    /// independent of both the shard count and the quantum because pure
+    /// ticks touch no shared state and every interaction still executes at
+    /// its exact serial position. Returns `true` on an early
+    /// break-on-kernel-finish, like [`Engine::step_events_until`].
+    fn run_epochs(&mut self, target: u64, shards: usize) -> bool {
+        /// Epoch length in cycles. Purely a throughput knob: long enough to
+        /// amortize the per-epoch barrier, short enough that Phase A rarely
+        /// overshoots far past the next interaction.
+        const EPOCH_QUANTUM: u64 = 8192;
+        loop {
+            if self.dispatch_dirty {
+                self.dispatch_dirty = false;
+                self.dispatch_all();
+            }
+            let Some((t0, _)) = self.next_event() else {
+                return false;
+            };
+            if t0 > target {
+                return false;
+            }
+            let bound = target.min(t0.saturating_add(EPOCH_QUANTUM));
+            // While an instruction cap is armed, other SMs' cap checks read
+            // the capped kernel's issue counter tick by tick; only the
+            // fully-serial loop preserves that ordering.
+            let cap_armed = self
+                .kernels
+                .iter()
+                .any(|k| k.inst_cap.is_some() && !k.cap_emitted);
+            if !cap_armed {
+                let mut bound_a = bound;
+                if self.break_on_kernel_finish {
+                    // An early return must leave the machine exactly as the
+                    // serial engine's: cap the pure phase strictly below the
+                    // earliest cycle at which any kernel could finish, so no
+                    // pure tick commits past the potential break point.
+                    bound_a = bound_a.min(self.kernel_finish_lower_bound(t0).saturating_sub(1));
+                }
+                if bound_a >= t0 {
+                    self.advance_shards(bound_a, shards);
+                }
+            }
+            if self.step_events_until(bound) {
+                return true;
+            }
+        }
+    }
+
+    /// Phase A of an epoch: partition the SMs into `shards` contiguous
+    /// chunks and advance each chunk on its own thread through pure ticks
+    /// up to `bound` (see [`Sm::advance_pure`]). Results are committed in
+    /// SM order on the caller's thread, so calendar contents and kernel
+    /// statistics never depend on thread scheduling.
+    fn advance_shards(&mut self, bound: u64, shards: usize) {
+        let any_preempting = self.sms.iter().any(Sm::is_preempting);
+        // An SM is eligible unless the serial phase owns a transition of
+        // its state this epoch: an in-progress preemption, or a possible
+        // mid-epoch block arrival (the serial `may_gain_blocks` condition,
+        // which pure ticks cannot change: they never complete blocks, and
+        // preemptions only start between runs or at serial break points).
+        let jobs: Vec<Option<u64>> = self
+            .sms
+            .iter()
+            .enumerate()
+            .map(|(i, sm)| {
+                let start = self.next_action[i].max(self.cycle);
+                let gainable = sm.assigned().is_some_and(|k| {
+                    sm.can_dispatch(k, self.kernels[k.0].occupancy)
+                        && (self.kernels[k.0].has_dispatchable() || any_preempting)
+                });
+                (!sm.is_preempting()
+                    && sm.resident_count() > 0
+                    && self.next_action[i] != u64::MAX
+                    && start <= bound
+                    && !gainable)
+                    .then_some(start)
+            })
+            .collect();
+        if !jobs.iter().any(Option::is_some) {
+            return;
+        }
+        // Per-SM kernel descriptors, borrowed from `self.kernels` — disjoint
+        // from the `self.sms` chunks the workers mutate.
+        let descs: Vec<Option<&KernelDesc>> = self
+            .sms
+            .iter()
+            .map(|s| s.resident_kernel().map(|k| &self.kernels[k.0].desc))
+            .collect();
+        let seed = self.seed;
+        let worker =
+            |sms: &mut [Sm], jobs: &[Option<u64>], descs: &[Option<&KernelDesc>], base: usize| {
+                let mut out = Vec::new();
+                for (off, sm) in sms.iter_mut().enumerate() {
+                    if let Some(start) = jobs[off] {
+                        let (next, issued) = sm.advance_pure(start, bound, descs[off], seed);
+                        out.push((base + off, next, issued));
+                    }
+                }
+                out
+            };
+        let chunk = self.sms.len().div_ceil(shards.max(1)).max(1);
+        let mut results: Vec<(usize, u64, u64)> = Vec::new();
+        if shards <= 1 {
+            results = worker(&mut self.sms, &jobs, &descs, 0);
+        } else {
+            let mut tasks = Vec::new();
+            for (ci, ((sms, js), ds)) in self
+                .sms
+                .chunks_mut(chunk)
+                .zip(jobs.chunks(chunk))
+                .zip(descs.chunks(chunk))
+                .enumerate()
+            {
+                if js.iter().any(Option::is_some) {
+                    tasks.push((ci * chunk, sms, js, ds));
+                }
+            }
+            std::thread::scope(|scope| {
+                let mut tasks = tasks.into_iter();
+                let first = tasks.next();
+                let handles: Vec<_> = tasks
+                    .map(|(base, sms, js, ds)| scope.spawn(move || worker(sms, js, ds, base)))
+                    .collect();
+                // Run the first shard on this thread while the others work.
+                if let Some((base, sms, js, ds)) = first {
+                    results.extend(worker(sms, js, ds, base));
+                }
+                for h in handles {
+                    results.extend(h.join().expect("shard worker panicked"));
+                }
+            });
+            results.sort_unstable_by_key(|&(i, _, _)| i);
+        }
+        for (i, next, issued) in results {
+            // `next` is the cycle of the SM's first unexecuted tick (its
+            // first interaction, or its wake time past the bound), exactly
+            // what the calendar must pop for the serial phase.
+            self.wake(i, next);
+            if issued > 0 {
+                if let Some(k) = self.sms[i].resident_kernel() {
+                    // Commutative sum: per-tick serial additions and one
+                    // barrier-time addition reach the same totals, and no
+                    // consumer reads them mid-epoch (cap-armed epochs skip
+                    // Phase A entirely).
+                    self.kernels[k.0].stats.issued_insts += issued;
+                }
+            }
+        }
+    }
+
+    /// A sound lower bound on the earliest cycle at which *any* unfinished
+    /// kernel can finish, given the machine state at epoch start `t0`.
+    ///
+    /// A kernel finishes when its last block completes, and every remaining
+    /// block still has to push its remaining warp instructions through one
+    /// SM's issue pipeline, each occupying it for `issue_interval` cycles
+    /// (memory stalls, halts and queueing only add). So per kernel:
+    /// `base + issue_interval × max(remaining insts over remaining blocks)`,
+    /// with the per-block remainder itself lower-bounded: exact for
+    /// resident blocks and switch snapshots, and the grid-wide minimum
+    /// block length for fresh/restarted blocks (jitter scaling makes block
+    /// lengths unequal; an overestimate here would be unsound).
+    fn kernel_finish_lower_bound(&self, t0: u64) -> u64 {
+        let base = self.cycle.max(t0);
+        let interval = self.cfg.issue_interval();
+        // Exact per-kernel remainder of the block (across all kernels)
+        // furthest from completion on each SM.
+        let mut resident_max = vec![0u64; self.kernels.len()];
+        for sm in &self.sms {
+            for b in sm.blocks() {
+                let rem = b.total_insts().saturating_sub(b.issued_insts());
+                let slot = &mut resident_max[b.id.kernel.0];
+                *slot = (*slot).max(rem);
+            }
+        }
+        let mut lb = u64::MAX;
+        for (ki, k) in self.kernels.iter().enumerate() {
+            if k.stats.finished {
+                continue;
+            }
+            let mut rem_max = resident_max[ki];
+            if k.next_fresh < k.desc.grid_blocks() || !k.restart_queue.is_empty() {
+                rem_max = rem_max.max(k.min_block_total);
+            }
+            for snap in &k.resume_queue {
+                let total = snap
+                    .scaled_segs
+                    .iter()
+                    .map(|&n| u64::from(n))
+                    .sum::<u64>()
+                    .saturating_mul(snap.warps.len() as u64);
+                rem_max = rem_max.max(total.saturating_sub(snap.insts));
+            }
+            lb = lb.min(base.saturating_add(interval.saturating_mul(rem_max)));
+        }
+        lb
     }
 
     fn process_output(&mut self, sm: usize, out: SmOutput) {

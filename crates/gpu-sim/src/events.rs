@@ -23,6 +23,16 @@
 //! The JSON schemas are specified in `OBSERVABILITY.md` at the repository
 //! root and covered by a golden-file test (`tests/observability.rs`).
 //!
+//! ## Ordering across execution modes
+//!
+//! The log is identical under all three engine execution modes
+//! ([`crate::ExecMode`]): every event is recorded by a serial tick at a
+//! definite `(cycle, SM index)` point, and the engine replays those ticks
+//! in that lexicographic order even when SM shards advance on worker
+//! threads between epoch barriers. Consumers may therefore rely on the
+//! byte order of the log regardless of `ExecMode` or shard count; the
+//! determinism argument lives in `PARALLELISM.md`.
+//!
 //! ```
 //! use gpu_sim::{Engine, GpuConfig, KernelDesc, ObsEvent, Program, Segment};
 //!

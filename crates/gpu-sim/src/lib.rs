@@ -59,7 +59,7 @@ pub mod warp;
 
 pub use block::{BlockId, BlockRun, BlockStats, TbSnapshot};
 pub use config::{GpuConfig, WarpSched, CYCLES_PER_US};
-pub use engine::{Engine, Event, KernelId};
+pub use engine::{Engine, Event, ExecMode, KernelId};
 pub use events::{BlockDecision, BlockExit, EventLog, ObsEvent, ShedReason, TechniqueEstimate};
 pub use kernel::{AccessRegion, KernelDesc, KernelDescBuilder, KernelError, Program, Segment};
 pub use mem::MemSubsystem;

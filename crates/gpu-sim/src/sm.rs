@@ -848,6 +848,212 @@ impl Sm {
         self.issue_free_at = now + self.issue_interval * insts;
         Some(self.issue_free_at.max(now + 1))
     }
+
+    /// Resident blocks (engine internals: the parallel engine's
+    /// kernel-finish lower-bound scan reads per-block progress).
+    pub(crate) fn blocks(&self) -> &[BlockRun] {
+        &self.blocks
+    }
+
+    /// Advance this SM from `start` through `bound` executing only *pure*
+    /// ticks — ticks whose effects stay entirely inside the SM: compute
+    /// issue, barrier arrival/release, L1-hit memory accesses, warp
+    /// completions that do not finish the block. The parallel engine runs
+    /// this concurrently on disjoint SM shards between epoch barriers.
+    ///
+    /// Each candidate tick is first *probed* on a clone of the selected
+    /// warp. If the probe shows an interaction — a completed block (engine
+    /// event + dispatch), a memory effect (functional memory + sanitizer),
+    /// or an L1 miss (shared DRAM queue) — the SM is left exactly as the
+    /// serial engine would find it at that cycle (no state, counter or
+    /// scheduler-cursor changes from the probe) and `(now, issued)` is
+    /// returned so the serial phase replays that tick with the shared
+    /// subsystems in scope. Pure ticks are committed with the same
+    /// bookkeeping, in the same order, as [`Sm::tick_bounded`], including
+    /// its batched-issue fast path, so the post-epoch state is
+    /// byte-identical to a serial replay.
+    ///
+    /// Returns `(next_action, issued_insts)`: the cycle at which the SM
+    /// next needs the serial engine (`u64::MAX` when idle), and the warp
+    /// instructions issued during the pure window.
+    pub(crate) fn advance_pure(
+        &mut self,
+        start: u64,
+        bound: u64,
+        desc: Option<&KernelDesc>,
+        seed: u64,
+    ) -> (u64, u64) {
+        debug_assert!(
+            self.preempt.is_none(),
+            "parallel phase excludes preempting SMs"
+        );
+        let mut now = start;
+        let mut issued: u64 = 0;
+        loop {
+            if now > bound {
+                return (now, issued);
+            }
+            if self.blocks.is_empty() {
+                return (u64::MAX, issued);
+            }
+            if now < self.halted_until {
+                now = self.halted_until;
+                continue;
+            }
+            // Barrier release is block-local and idempotent: if the tick at
+            // `now` turns out to be an interaction, the serial replay finds
+            // the barriers already released — exactly the state its own
+            // release pass would have produced.
+            for b in &mut self.blocks {
+                if b.barrier_ready() {
+                    b.release_barrier();
+                }
+            }
+            if now < self.issue_free_at {
+                now = self.issue_free_at;
+                continue;
+            }
+            let desc = desc.expect("resident blocks require a kernel descriptor");
+            let wpb = self.blocks[0].warps().len();
+            let n = self.blocks.len() * wpb;
+            let slot_ready = |slot: usize, blocks: &[BlockRun]| -> Option<u64> {
+                let (bi, wi) = (slot / wpb, slot % wpb);
+                blocks[bi].warps()[wi]
+                    .next_ready_at()
+                    .map(|t| t.max(blocks[bi].warm_up_until))
+            };
+            // Warp selection mirrors `tick_bounded`, except the cursor
+            // update is deferred until the tick is known to be pure.
+            let mut chosen: Option<(usize, usize)> = None;
+            let mut commit_slot: Option<usize> = None;
+            let mut earliest: u64 = u64::MAX;
+            if self.sched == crate::config::WarpSched::GreedyThenOldest {
+                if let Some(s) = self.last_slot.filter(|&s| s < n) {
+                    if slot_ready(s, &self.blocks).is_some_and(|t| t <= now) {
+                        chosen = Some((s / wpb, s % wpb));
+                    }
+                }
+            }
+            if chosen.is_none() {
+                let start_slot = match self.sched {
+                    crate::config::WarpSched::LooseRoundRobin => self.rr % n,
+                    crate::config::WarpSched::GreedyThenOldest => 0,
+                };
+                let nb = self.blocks.len();
+                let (mut b, mut w) = (start_slot / wpb, start_slot % wpb);
+                for _ in 0..n {
+                    let blk = &self.blocks[b];
+                    let t = match blk.warps()[w].phase {
+                        WarpPhase::Ready => Some(blk.warm_up_until),
+                        WarpPhase::WaitMem(until) => Some(until.max(blk.warm_up_until)),
+                        WarpPhase::AtBarrier | WarpPhase::Done => None,
+                    };
+                    if let Some(t) = t {
+                        if t <= now {
+                            chosen = Some((b, w));
+                            commit_slot = Some(b * wpb + w);
+                            break;
+                        }
+                        earliest = earliest.min(t);
+                    }
+                    w += 1;
+                    if w == wpb {
+                        w = 0;
+                        b += 1;
+                        if b == nb {
+                            b = 0;
+                        }
+                    }
+                }
+            }
+            let Some((bi, wi)) = chosen else {
+                // `earliest == u64::MAX` falls out at the top of the loop as
+                // an idle return once it exceeds `bound`.
+                now = if earliest == u64::MAX {
+                    return (u64::MAX, issued);
+                } else {
+                    earliest
+                };
+                continue;
+            };
+            // Probe the issue on a clone of the warp; nothing is committed
+            // until the tick is classified.
+            let segments = desc.program().segments();
+            let blk = &self.blocks[bi];
+            let mut probe = blk.warps()[wi].clone();
+            let outcome = probe.issue(segments, blk.scaled_segs(), self.issue_chunk);
+            let block_completes = outcome.done
+                && blk
+                    .warps()
+                    .iter()
+                    .enumerate()
+                    .all(|(j, w)| j == wi || w.phase == WarpPhase::Done);
+            let effectful = outcome.completed_segment.is_some_and(|ix| {
+                matches!(
+                    segments[ix],
+                    Segment::GlobalStore { .. } | Segment::Atomic { .. }
+                ) || (self.record_loads && matches!(segments[ix], Segment::GlobalLoad { .. }))
+            });
+            let mut mem_shared = false;
+            if outcome.mem_bytes > 0 {
+                let addr = hash_combine(&[
+                    seed,
+                    blk.id.kernel.0 as u64,
+                    u64::from(blk.id.index),
+                    u64::from(wi as u32),
+                    now,
+                ]);
+                let cacheable = !outcome.protect_store;
+                let hit = cacheable
+                    && crate::rng::unit_f64(hash_combine(&[addr, 0x11CA])) < self.l1_hit_fraction;
+                mem_shared = !hit;
+            }
+            if block_completes || effectful || mem_shared {
+                return (now, issued);
+            }
+            // Pure tick: commit the scheduler cursor exactly where the
+            // serial selection would, then prefer the batched fast path
+            // (identical to the serial engine's) before committing the
+            // probed single-chunk issue.
+            if let Some(s) = commit_slot {
+                self.rr = (s + 1) % n;
+                self.last_slot = Some(s);
+            }
+            let limits = TickLimits {
+                horizon: bound,
+                max_insts: u64::MAX,
+                may_gain_blocks: false,
+            };
+            let mut out = SmOutput::default();
+            if let Some(next) = self.try_issue_batch(now, bi, wi, segments, &limits, &mut out) {
+                issued += u64::from(out.issued_insts);
+                now = next;
+                continue;
+            }
+            let block = &mut self.blocks[bi];
+            block.warps_mut()[wi] = probe;
+            if outcome.insts > 0 {
+                block.add_insts(outcome.insts);
+                self.insts_issued_total += u64::from(outcome.insts);
+                issued += u64::from(outcome.insts);
+                self.issue_free_at = now + self.issue_interval * u64::from(outcome.insts);
+            }
+            debug_assert!(!outcome.protect_store, "protect stores always miss L1");
+            if let Some(ix) = completed_segment_of(&outcome) {
+                if desc.program().segment_non_idempotent(ix) {
+                    block.past_idem_point = true;
+                }
+            }
+            if outcome.mem_bytes > 0 {
+                // Classified pure, so this access hit in the L1.
+                self.l1_hits += 1;
+                if outcome.mem_blocking && !outcome.done {
+                    block.warps_mut()[wi].stall_until(now + self.l1_latency);
+                }
+            }
+            now = self.issue_free_at.max(now + 1);
+        }
+    }
 }
 
 /// The segment that `outcome`'s instructions came from, if instructions were

@@ -12,6 +12,13 @@
 //!   Algorithm 1 decisions — openable in `chrome://tracing` or
 //!   [Perfetto](https://ui.perfetto.dev). [`validate_chrome_trace`] parses
 //!   such a file back and checks its structure, for tests and tooling.
+//!
+//! Both renderings consume the [event log](crate::events), which is
+//! byte-identical under every engine execution mode ([`crate::ExecMode`]:
+//! event calendar, legacy scan, or sharded parallel at any shard count) —
+//! traces exported from a parallel run diff clean against a serial run of
+//! the same config and seed. See the ordering contract in
+//! [`crate::events`] and the full argument in `PARALLELISM.md`.
 
 use std::collections::BTreeMap;
 

@@ -1,16 +1,21 @@
-//! Differential determinism tests for the event-driven engine.
+//! Differential determinism tests for the engine's execution modes.
 //!
-//! The engine schedules SM ticks from a binary-heap event calendar; the
-//! legacy linear min-scan survives behind `Engine::set_scan_scheduler(true)`
-//! as the slow, obviously-correct reference. These tests drive a
-//! preemption-heavy multiprogrammed scenario through both schedulers and
-//! demand *byte-identical* observable behaviour: the event stream, the final
-//! statistics, and the Chrome-trace export. They also pin the regression
-//! fixed in this PR's accounting audit: re-preempted (switched-out, resumed,
-//! then re-preempted) blocks must not double-release their dispatch slot.
+//! The engine runs in one of three modes (see `gpu_sim::ExecMode` and
+//! `PARALLELISM.md`): the legacy linear min-scan reference, the binary-heap
+//! event calendar, and the sharded parallel engine that advances SM shards
+//! on worker threads between epoch barriers. These tests drive a
+//! preemption-heavy multiprogrammed scenario through all three and demand
+//! *byte-identical* observable behaviour: the event stream, the final
+//! statistics, and the Chrome-trace export — including mid-run mode
+//! toggles, shard-count changes, and preemptions landing on epoch
+//! boundaries. They also pin the regression fixed in the PR 4 accounting
+//! audit: re-preempted (switched-out, resumed, then re-preempted) blocks
+//! must not double-release their dispatch slot.
 
 use gpu_sim::trace::chrome_trace_json;
-use gpu_sim::{Engine, Event, GpuConfig, KernelDesc, Program, Segment, SmPreemptPlan, Technique};
+use gpu_sim::{
+    Engine, Event, ExecMode, GpuConfig, KernelDesc, Program, Segment, SmPreemptPlan, Technique,
+};
 
 fn four_sm_config() -> GpuConfig {
     GpuConfig {
@@ -60,10 +65,10 @@ fn switch_sm(e: &mut Engine, sm: usize) {
 /// A preemption-heavy multiprogrammed run: two kernels on a 4-SM split,
 /// with SMs 0–1 ping-ponged between them by context-switch preemptions so
 /// blocks get switched out, resumed, and re-preempted repeatedly.
-fn run_scenario(scan: bool) -> (Vec<Event>, String, String) {
+fn run_scenario(mode: ExecMode) -> (Vec<Event>, String, String) {
     let cfg = four_sm_config();
     let mut e = Engine::with_seed(cfg.clone(), 11);
-    e.set_scan_scheduler(scan);
+    e.set_exec_mode(mode);
     e.enable_event_log(1 << 14);
     let ka = e.launch_kernel(compute_kernel());
     let kb = e.launch_kernel(memory_kernel());
@@ -103,8 +108,8 @@ fn run_scenario(scan: bool) -> (Vec<Event>, String, String) {
 
 #[test]
 fn heap_and_scan_schedulers_are_equivalent() {
-    let (ev_heap, stats_heap, trace_heap) = run_scenario(false);
-    let (ev_scan, stats_scan, trace_scan) = run_scenario(true);
+    let (ev_heap, stats_heap, trace_heap) = run_scenario(ExecMode::Event);
+    let (ev_scan, stats_scan, trace_scan) = run_scenario(ExecMode::Scan);
     assert!(
         !ev_heap.is_empty(),
         "scenario must produce events for the comparison to mean anything"
@@ -120,11 +125,35 @@ fn heap_and_scan_schedulers_are_equivalent() {
 }
 
 #[test]
+fn three_way_mode_equivalence() {
+    // Scan vs heap vs parallel (at several shard counts) on the same
+    // preemption-heavy scenario: events, stats and traces byte-identical.
+    let reference = run_scenario(ExecMode::Event);
+    assert!(!reference.0.is_empty(), "scenario must produce events");
+    for mode in [
+        ExecMode::Scan,
+        ExecMode::Parallel { shards: 1 },
+        ExecMode::Parallel { shards: 2 },
+        ExecMode::Parallel { shards: 4 },
+    ] {
+        let got = run_scenario(mode);
+        assert_eq!(got.0, reference.0, "event streams diverged in {mode:?}");
+        assert_eq!(got.1, reference.1, "statistics diverged in {mode:?}");
+        assert!(
+            got.2 == reference.2,
+            "chrome traces diverged in {mode:?} ({} vs {} bytes)",
+            got.2.len(),
+            reference.2.len()
+        );
+    }
+}
+
+#[test]
 fn scheduler_can_be_toggled_mid_run() {
-    // Toggling between the calendar and the scan reference at window
-    // boundaries (exercising the calendar rebuild) must not change results.
+    // Toggling between modes at window boundaries (exercising the calendar
+    // rebuild and the epoch machinery mid-flight) must not change results.
     let cfg = four_sm_config();
-    let run = |toggle: bool| {
+    let run = |schedule: &[ExecMode]| {
         let mut e = Engine::with_seed(cfg.clone(), 5);
         let k = e.launch_kernel(compute_kernel());
         for sm in 0..cfg.num_sms {
@@ -132,18 +161,124 @@ fn scheduler_can_be_toggled_mid_run() {
         }
         let mut events = Vec::new();
         for round in 0..10 {
-            if toggle {
-                e.set_scan_scheduler(round % 2 == 0);
+            if !schedule.is_empty() {
+                e.set_exec_mode(schedule[round % schedule.len()]);
             }
             events.extend(e.run_for(20_000));
         }
-        e.set_scan_scheduler(false);
+        e.set_exec_mode(ExecMode::Event);
         while !e.kernel_stats(k).finished {
             events.extend(e.run_for(1_000_000));
         }
         (events, format!("{:?}", e.kernel_stats(k)))
     };
-    assert_eq!(run(false), run(true));
+    let reference = run(&[]);
+    assert_eq!(run(&[ExecMode::Scan, ExecMode::Event]), reference);
+    assert_eq!(
+        run(&[
+            ExecMode::Parallel { shards: 2 },
+            ExecMode::Scan,
+            ExecMode::Parallel { shards: 4 },
+            ExecMode::Event,
+        ]),
+        reference
+    );
+}
+
+#[test]
+fn parallel_mode_breaks_on_kernel_finish_identically() {
+    // `run_until` must return early at the kernel-finish cycle with the
+    // machine in the same state in every mode: the parallel engine bounds
+    // its pure phase strictly below any possible finish cycle, so no shard
+    // runs past the break point.
+    let cfg = four_sm_config();
+    let run = |mode: ExecMode| {
+        let mut e = Engine::with_seed(cfg.clone(), 9);
+        e.set_exec_mode(mode);
+        e.set_break_on_kernel_finish(true);
+        let ka = e.launch_kernel(compute_kernel());
+        let kb = e.launch_kernel(memory_kernel());
+        for sm in 0..2 {
+            e.assign_sm(sm, Some(ka));
+        }
+        for sm in 2..4 {
+            e.assign_sm(sm, Some(kb));
+        }
+        let mut log = Vec::new();
+        let mut guard = 0;
+        while !(e.kernel_stats(ka).finished && e.kernel_stats(kb).finished) {
+            let events = e.run_for(50_000_000);
+            log.push((e.cycle(), events));
+            guard += 1;
+            assert!(guard < 100, "kernels did not finish");
+        }
+        let stats = format!("{:?} | {:?}", e.kernel_stats(ka), e.kernel_stats(kb));
+        (log, stats)
+    };
+    let reference = run(ExecMode::Event);
+    assert!(
+        reference.0.len() >= 2,
+        "scenario must break early at least twice (one per kernel finish)"
+    );
+    assert_eq!(run(ExecMode::Scan), reference, "scan diverged");
+    assert_eq!(
+        run(ExecMode::Parallel { shards: 3 }),
+        reference,
+        "parallel diverged"
+    );
+}
+
+#[test]
+fn preemption_on_epoch_boundary_is_equivalent() {
+    // Regression guard: preemption requests issued at run-window boundaries
+    // land exactly on the parallel engine's epoch barriers (`run_until`
+    // starts a fresh epoch at the earliest pending event). The pure phase
+    // must leave preempting SMs untouched and the save/flush timeline
+    // byte-identical. Windows of 8192 cycles make several boundaries
+    // coincide with the engine's epoch quantum exactly.
+    let cfg = four_sm_config();
+    let run = |mode: ExecMode| {
+        let mut e = Engine::with_seed(cfg.clone(), 13);
+        e.set_exec_mode(mode);
+        e.enable_event_log(1 << 14);
+        let k = e.launch_kernel(memory_kernel());
+        for sm in 0..cfg.num_sms {
+            e.assign_sm(sm, Some(k));
+        }
+        let mut events = Vec::new();
+        for round in 0..12 {
+            events.extend(e.run_for(8_192));
+            let sm = round % cfg.num_sms;
+            if e.sm_resident_count(sm) > 0 && !e.sm_is_preempting(sm) {
+                let technique = if round % 3 == 0 {
+                    Technique::Switch
+                } else {
+                    Technique::Drain
+                };
+                let plan = SmPreemptPlan::uniform(e.sm_resident_indices(sm), technique);
+                e.preempt_sm(sm, &plan)
+                    .expect("plan covers resident blocks");
+            }
+            e.assign_sm(sm, Some(k));
+        }
+        events.extend(e.run_until(e.cycle() + 3_000_000));
+        let trace = chrome_trace_json(&e).expect("event log enabled");
+        (events, format!("{:?}", e.kernel_stats(k)), trace)
+    };
+    let reference = run(ExecMode::Event);
+    assert!(
+        !reference.1.contains("switch_count: 0"),
+        "scenario must exercise preemptions: {}",
+        reference.1
+    );
+    assert_eq!(run(ExecMode::Scan), reference, "scan diverged");
+    for shards in [1, 2, 4] {
+        assert_eq!(
+            run(ExecMode::Parallel { shards }),
+            reference,
+            "parallel({shards}) diverged"
+        );
+    }
 }
 
 /// Regression: a block that is switched out, resumed, and then preempted

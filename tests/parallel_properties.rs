@@ -1,0 +1,109 @@
+//! Property-based determinism tests for the parallel execution mode.
+//!
+//! The contract (`PARALLELISM.md`): parallel-mode output is a pure function
+//! of the engine seed and configuration — independent of the shard count
+//! and of OS thread scheduling. Every case runs the same randomly generated
+//! multiprogrammed scenario under the serial calendar engine and under the
+//! parallel engine at 1, 2 and 4 shards, and demands byte-identical event
+//! streams and statistics. Thread-scheduling independence falls out of
+//! repetition: each proptest case re-runs the sharded engine with fresh
+//! threads whose interleaving the OS is free to vary.
+
+use gpu_sim::{Engine, Event, ExecMode, GpuConfig, KernelDesc, Program, Segment};
+use proptest::prelude::*;
+
+fn arb_segment() -> impl Strategy<Value = Segment> {
+    prop_oneof![
+        (1u32..400).prop_map(Segment::compute),
+        (1u32..60).prop_map(Segment::load),
+        (1u32..40).prop_map(Segment::store),
+        (1u32..12).prop_map(Segment::overwrite),
+        (1u32..6).prop_map(Segment::atomic),
+        (1u32..60).prop_map(|n| Segment::Shared { insts: n }),
+        Just(Segment::Barrier),
+    ]
+}
+
+fn arb_kernel(tag: &'static str) -> impl Strategy<Value = KernelDesc> {
+    (
+        proptest::collection::vec(arb_segment(), 1..8).prop_filter("needs instructions", |segs| {
+            segs.iter().map(|s| u64::from(s.insts())).sum::<u64>() > 0
+        }),
+        1u32..48, // grid blocks
+        1u32..5,  // warps per block
+        8u32..32, // regs per thread
+        0u64..3,  // jitter bucket
+    )
+        .prop_map(move |(segs, grid, warps, regs, jit)| {
+            KernelDesc::builder(tag)
+                .grid_blocks(grid)
+                .threads_per_block(warps * 32)
+                .regs_per_thread(regs)
+                .program(Program::new(segs))
+                .jitter_pct(jit as f64 * 0.15)
+                .build()
+                .expect("generated kernels are valid")
+        })
+}
+
+/// Run a two-kernel scenario to completion under `mode`, returning the full
+/// event stream and final statistics rendering.
+fn run(
+    seed: u64,
+    num_sms: usize,
+    l1_bucket: u8,
+    ka: &KernelDesc,
+    kb: &KernelDesc,
+    mode: ExecMode,
+) -> (Vec<Event>, String) {
+    let cfg = GpuConfig {
+        num_sms,
+        l1_hit_fraction: f64::from(l1_bucket) * 0.45,
+        ..GpuConfig::tiny()
+    };
+    let mut e = Engine::with_seed(cfg, seed);
+    e.set_exec_mode(mode);
+    e.set_break_on_kernel_finish(true);
+    let a = e.launch_kernel(ka.clone());
+    let b = e.launch_kernel(kb.clone());
+    for sm in 0..num_sms {
+        e.assign_sm(sm, Some(if sm % 2 == 0 { a } else { b }));
+    }
+    let mut events = Vec::new();
+    let mut guard = 0;
+    while !(e.kernel_stats(a).finished && e.kernel_stats(b).finished) {
+        events.extend(e.run_for(10_000_000));
+        guard += 1;
+        assert!(guard < 200, "kernels did not finish");
+    }
+    let stats = format!(
+        "{:?} | {:?} | {:?}",
+        e.gpu_stats(),
+        e.kernel_stats(a),
+        e.kernel_stats(b)
+    );
+    (events, stats)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Same seed, any shard count, any thread interleaving: byte-identical
+    /// events and stats against the serial calendar engine.
+    #[test]
+    fn parallel_output_is_shard_count_independent(
+        seed in 0u64..1_000_000,
+        num_sms in 2usize..9,
+        l1_bucket in 0u8..3,
+        ka in arb_kernel("prop_a"),
+        kb in arb_kernel("prop_b"),
+    ) {
+        let reference = run(seed, num_sms, l1_bucket, &ka, &kb, ExecMode::Event);
+        prop_assert!(!reference.0.is_empty(), "scenario produced no events");
+        for shards in [1usize, 2, 4] {
+            let got = run(seed, num_sms, l1_bucket, &ka, &kb, ExecMode::Parallel { shards });
+            prop_assert_eq!(&got.0, &reference.0, "events diverged at {} shards", shards);
+            prop_assert_eq!(&got.1, &reference.1, "stats diverged at {} shards", shards);
+        }
+    }
+}
