@@ -1,12 +1,13 @@
 //! Tracked engine-throughput scenarios behind `BENCH_gpu_sim.json`.
 //!
-//! Seven scenarios span the engine's hot-path regimes — solo drain,
+//! Eight scenarios span the engine's hot-path regimes — solo drain,
 //! two-kernel multiprogramming, a preemption storm, a figure-style
 //! workload slice built from the Table 1 suite, the online-estimator
 //! feedback loop (P² quantile updates + Algorithm 1 against live
 //! observations) layered on the engine, the open-loop serving front-end
-//! driven through the full scheduler stack (all on a 15-SM GPU), and a
-//! 30-SM memory-resident sweep that stresses the per-tick calendar path.
+//! driven through the full scheduler stack, its two-device cluster
+//! variant stepped in lockstep (all on 15-SM GPUs), and a 30-SM
+//! memory-resident sweep that stresses the per-tick calendar path.
 //! Every scenario runs under all three execution modes (see
 //! `gpu_sim::ExecMode` and `PARALLELISM.md`): the event calendar, the
 //! legacy linear-scan reference, and the sharded parallel engine. The
@@ -28,6 +29,7 @@
 
 use std::io::Write as _;
 
+use chimera::runner::cluster::{run_serve_cluster, ClusterServeConfig, Placement};
 use chimera::runner::serve::{run_serve_on, ArrivalProcess, ServeConfig};
 use chimera::select::{select_preemptions, SelectionRequest};
 use chimera::{EstimatorConfig, GpuScheduler, ObsBank, PartitionPolicy};
@@ -251,6 +253,31 @@ fn serve_open_loop(mode: ExecMode, horizon: u64) -> Outcome {
     fingerprint(gpu.engine())
 }
 
+/// The cluster front-end over two devices with least-loaded placement at
+/// 1.5x the *cluster* saturation rate: two full scheduler stacks stepped
+/// in lockstep, plus the placement policy on the arrival path. Roughly
+/// twice the simulated work of `serve_open_loop_15sm` per wall-second of
+/// horizon, and the scenario that keeps the multi-device path on the perf
+/// trajectory.
+fn serve_open_loop_2dev(mode: ExecMode, horizon: u64) -> Outcome {
+    let cfg = gpu15();
+    let wl = ServeWorkload::standard(&cfg);
+    let scfg = ServeConfig::paper_default()
+        .horizon_us(cfg.cycles_to_us(horizon))
+        .arrivals(ArrivalProcess::poisson(2.0 * 1.5 * wl.saturation_per_ms()))
+        .seed(7);
+    let mut ccfg = ClusterServeConfig::new(scfg, 2).placement(Placement::LeastLoaded);
+    ccfg.exec_mode = Some(mode);
+    let res = run_serve_cluster(&cfg, &wl, &ccfg);
+    // No engine to fingerprint (the cluster owns its schedulers), so fold
+    // the result counters into the equivalence fingerprint instead.
+    Outcome {
+        cycle: horizon,
+        issued: res.completed + (res.violations << 32),
+        bytes: res.admitted + (res.shed << 32),
+    }
+}
+
 /// Thirty SMs saturated with warps whose loads almost always hit L1: the
 /// one regime where the serial engines replay every load tick through the
 /// full per-tick scheduler path (loads never batch), so the parallel
@@ -322,6 +349,11 @@ const SCENARIOS: &[Scenario] = &[
         name: "serve_open_loop_15sm",
         run: serve_open_loop,
         full_horizon: 2_000_000,
+    },
+    Scenario {
+        name: "serve_open_loop_2dev",
+        run: serve_open_loop_2dev,
+        full_horizon: 1_000_000,
     },
     Scenario {
         name: "mem_resident_30sm",

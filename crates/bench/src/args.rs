@@ -1,6 +1,7 @@
 //! Minimal CLI argument handling shared by the figure binaries.
 
 use crate::pool;
+use chimera::runner::cluster::Placement;
 use chimera::{EstimatorConfig, EstimatorMode, RunCommon};
 
 /// Common knobs: `--scale <f64>` (shrinks horizons/budgets for quick runs),
@@ -45,6 +46,14 @@ pub struct RunArgs {
     /// the default) or `--estimator online` (live per-kernel quantile
     /// tracking), with `--risk-quantile <q>` picking the online risk level.
     pub estimator: EstimatorConfig,
+    /// Number of independent GPU devices behind the cluster front-end
+    /// (`--devices <n>`, serve/multiprog binaries). `1` (the default)
+    /// keeps the single-device paper-shaped output byte-identical; higher
+    /// values append multi-device STP/ANTT/imbalance tables.
+    pub devices: usize,
+    /// Cluster placement policy (`--placement rr|least-loaded|tenant`),
+    /// used only when `devices > 1`.
+    pub placement: Placement,
 }
 
 impl Default for RunArgs {
@@ -58,6 +67,8 @@ impl Default for RunArgs {
             events: None,
             sanitize: false,
             estimator: EstimatorConfig::default(),
+            devices: 1,
+            placement: Placement::RoundRobin,
         }
     }
 }
@@ -130,12 +141,24 @@ impl RunArgs {
                     assert!(q > 0.0 && q <= 1.0, "--risk-quantile must be in (0, 1]");
                     out.estimator.risk_quantile = q;
                 }
+                "--devices" => {
+                    let v = it.next().expect("--devices needs a value");
+                    out.devices = v.parse().expect("--devices must be a positive integer");
+                    assert!(out.devices >= 1, "--devices must be at least 1");
+                }
+                "--placement" => {
+                    let v = it.next().expect("--placement needs a value");
+                    out.placement = Placement::parse(&v).unwrap_or_else(|| {
+                        panic!("--placement must be `rr`, `least-loaded` or `tenant`, got {v:?}")
+                    });
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--scale <f>] [--seed <n>] [--jobs <n>] \
                          [--par-shards <n>] [--trace <path>] [--events <path>] \
                          [--sanitize] [--estimator static|online] \
-                         [--risk-quantile <q>]"
+                         [--risk-quantile <q>] [--devices <n>] \
+                         [--placement rr|least-loaded|tenant]"
                     );
                     std::process::exit(0);
                 }
@@ -273,5 +296,35 @@ mod tests {
     #[should_panic(expected = "--risk-quantile must be in (0, 1]")]
     fn rejects_out_of_range_quantile() {
         RunArgs::parse(s(&["--risk-quantile", "1.5"]));
+    }
+
+    #[test]
+    fn devices_default_to_single_gpu() {
+        let a = RunArgs::parse(s(&[]));
+        assert_eq!(a.devices, 1);
+        assert_eq!(a.placement, Placement::RoundRobin);
+    }
+
+    #[test]
+    fn parses_devices_and_placement() {
+        let a = RunArgs::parse(s(&["--devices", "4", "--placement", "least-loaded"]));
+        assert_eq!(a.devices, 4);
+        assert_eq!(a.placement, Placement::LeastLoaded);
+        let a = RunArgs::parse(s(&["--placement", "tenant"]));
+        assert_eq!(a.placement, Placement::TenantAffine);
+        let a = RunArgs::parse(s(&["--placement", "rr"]));
+        assert_eq!(a.placement, Placement::RoundRobin);
+    }
+
+    #[test]
+    #[should_panic(expected = "--devices must be at least 1")]
+    fn rejects_zero_devices() {
+        RunArgs::parse(s(&["--devices", "0"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "--placement must be")]
+    fn rejects_unknown_placement() {
+        RunArgs::parse(s(&["--placement", "psychic"]));
     }
 }

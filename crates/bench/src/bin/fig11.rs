@@ -3,10 +3,11 @@
 //!
 //! Paper averages: switch 16.5 %, drain 36.6 %, flush 31.4 %, Chimera 41.7 %.
 
-use bench::report::f1;
+use bench::report::{f1, f2};
 use bench::scenarios::{multiprog_matrix, multiprog_suite, write_observability};
 use bench::{RunArgs, Table};
 use chimera::policy::Policy;
+use chimera::runner::cluster::Placement;
 
 fn main() {
     let args = RunArgs::from_env();
@@ -43,5 +44,60 @@ fn main() {
     ]);
     print!("{t}");
     println!("\npaper averages: switch 16.5, drain 36.6, flush 31.4, chimera 41.7");
+
+    // Cluster appendix under `--devices N` (N>1): the 13 pairs are
+    // independent jobs, so a multi-GPU deployment places each pair on one
+    // device (Chimera scheduling below, placement above). Reported per
+    // device: placed pairs, aggregate Chimera STP, and the inter-device
+    // imbalance `(max - min) / mean` of per-device STP. Round-robin places
+    // by row order, least-loaded greedily levels cumulative STP, and
+    // tenant-affine keys on the partner benchmark name.
+    if args.devices > 1 {
+        let chim = m.policies.len() - 1; // Chimera is the lineup's last column
+        let mut dev_stp = vec![0.0f64; args.devices];
+        let mut dev_pairs = vec![Vec::new(); args.devices];
+        for (i, (fcfs, per_policy)) in m.rows.iter().enumerate() {
+            let stp = per_policy[chim].stp;
+            let d = match args.placement {
+                Placement::RoundRobin => i % args.devices,
+                Placement::LeastLoaded => (0..args.devices)
+                    .min_by(|&a, &b| dev_stp[a].total_cmp(&dev_stp[b]).then(a.cmp(&b)))
+                    .expect("at least one device"),
+                Placement::TenantAffine => {
+                    fcfs.other
+                        .bytes()
+                        .fold(0usize, |h, b| h.wrapping_mul(31).wrapping_add(b as usize))
+                        % args.devices
+                }
+            };
+            dev_stp[d] += stp;
+            dev_pairs[d].push(fcfs.other.clone());
+        }
+        println!(
+            "\nmulti-device placement of the {} pairs across {} devices ({})\n",
+            m.rows.len(),
+            args.devices,
+            args.placement.name()
+        );
+        let mut t = Table::new(&["device", "pairs", "sum STP", "workloads"]);
+        for (d, stp) in dev_stp.iter().enumerate() {
+            t.row(vec![
+                d.to_string(),
+                dev_pairs[d].len().to_string(),
+                f2(*stp),
+                dev_pairs[d].join(","),
+            ]);
+        }
+        print!("{t}");
+        let mean = dev_stp.iter().sum::<f64>() / dev_stp.len() as f64;
+        let imbalance = if mean > 0.0 {
+            let max = dev_stp.iter().cloned().fold(f64::MIN, f64::max);
+            let min = dev_stp.iter().cloned().fold(f64::MAX, f64::min);
+            (max - min) / mean
+        } else {
+            0.0
+        };
+        println!("\ninter-device STP imbalance: {}", f2(imbalance));
+    }
     write_observability(&args, &suite, 30.0);
 }

@@ -499,7 +499,7 @@ mod tests {
             ..RunArgs::default()
         };
         let s = multiprog_suite(&args);
-        let lud = s.benchmark("LUD").unwrap();
+        let lud = s.require("LUD");
         assert!(lud.launches().len() < 40);
     }
 }

@@ -51,7 +51,7 @@ pub struct KernelAccuracy {
 /// let pcfg = PeriodicConfig::paper_default(cfg).horizon_us(2_000.0);
 /// let (_, engine) = run_periodic_traced(
 ///     cfg,
-///     suite.benchmark("BS").unwrap(),
+///     suite.require("BS"),
 ///     Policy::chimera_us(15.0),
 ///     &pcfg,
 ///     1 << 18,
@@ -266,13 +266,8 @@ mod tests {
         let suite = Suite::standard();
         let cfg = suite.config();
         let pcfg = PeriodicConfig::paper_default(cfg).horizon_us(1_000.0);
-        let (_, engine) = run_periodic_traced(
-            cfg,
-            suite.benchmark("BS").unwrap(),
-            Policy::chimera_us(15.0),
-            &pcfg,
-            0,
-        );
+        let (_, engine) =
+            run_periodic_traced(cfg, suite.require("BS"), Policy::chimera_us(15.0), &pcfg, 0);
         assert!(engine.event_log().is_none());
         assert!(drain_accuracy(&engine).is_empty());
     }
@@ -286,7 +281,7 @@ mod tests {
         let pcfg = PeriodicConfig::paper_default(cfg).horizon_us(4_000.0);
         let (_, engine) = run_periodic_traced(
             cfg,
-            suite.benchmark("BS").unwrap(),
+            suite.require("BS"),
             Policy::chimera_us(15.0),
             &pcfg,
             1 << 18,
@@ -309,7 +304,7 @@ mod tests {
         let run = || {
             let (_, engine) = run_periodic_traced(
                 cfg,
-                suite.benchmark("BS").unwrap(),
+                suite.require("BS"),
                 Policy::chimera_us(15.0),
                 &pcfg,
                 1 << 18,

@@ -134,7 +134,7 @@ mod tests {
         let mut e = Engine::new(GpuConfig::tiny());
         let mut j = Job::new(bench(), None);
         assert!(j.ensure_running(&mut e));
-        let first = j.current().unwrap();
+        let first = j.current().expect("job has a running kernel");
         for sm in 0..2 {
             e.assign_sm(sm, Some(first));
         }
@@ -145,7 +145,7 @@ mod tests {
             if j.ensure_running(&mut e) {
                 launches += 1;
                 for sm in 0..2 {
-                    e.assign_sm(sm, Some(j.current().unwrap()));
+                    e.assign_sm(sm, Some(j.current().expect("job has a running kernel")));
                 }
             }
             if j.passes() >= 1 {
@@ -164,7 +164,7 @@ mod tests {
         let mut j = Job::new(bench(), Some(100));
         j.ensure_running(&mut e);
         for sm in 0..2 {
-            e.assign_sm(sm, Some(j.current().unwrap()));
+            e.assign_sm(sm, Some(j.current().expect("job has a running kernel")));
         }
         assert!(!j.check_measured(&e));
         e.run_for(2_000_000);

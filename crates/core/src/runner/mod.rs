@@ -1,5 +1,6 @@
 //! Experiment drivers reproducing the paper's evaluation scenarios.
 
+pub mod cluster;
 pub mod common;
 pub mod job;
 pub mod multiprog;

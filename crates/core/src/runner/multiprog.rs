@@ -454,8 +454,8 @@ mod tests {
         let cfg = suite.config();
         let out = run_pair(
             cfg,
-            suite.benchmark("LUD").unwrap(),
-            suite.benchmark("SAD").unwrap(),
+            suite.require("LUD"),
+            suite.require("SAD"),
             Policy::chimera_us(30.0),
             &quick(),
         );
@@ -471,16 +471,11 @@ mod tests {
     fn fcfs_serializes_kernels() {
         let suite = Suite::standard();
         let cfg = suite.config();
-        let fcfs = run_fcfs(
-            cfg,
-            suite.benchmark("LUD").unwrap(),
-            suite.benchmark("SAD").unwrap(),
-            &quick(),
-        );
+        let fcfs = run_fcfs(cfg, suite.require("LUD"), suite.require("SAD"), &quick());
         let pre = run_pair(
             cfg,
-            suite.benchmark("LUD").unwrap(),
-            suite.benchmark("SAD").unwrap(),
+            suite.require("LUD"),
+            suite.require("SAD"),
             Policy::Drain,
             &quick(),
         );

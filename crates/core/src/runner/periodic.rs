@@ -263,7 +263,7 @@ pub fn run_periodic(
 /// let pcfg = PeriodicConfig::paper_default(cfg).horizon_us(4_000.0);
 /// let (result, engine) = run_periodic_traced(
 ///     cfg,
-///     suite.benchmark("BS").unwrap(),
+///     suite.require("BS"),
 ///     Policy::chimera_us(15.0),
 ///     &pcfg,
 ///     1 << 16,
@@ -665,7 +665,7 @@ mod tests {
         let mut pc = quick_cfg(cfg, 3_000.0);
         pc.common.constraint_us = 2.0;
         pc.task.sms_needed = cfg.num_sms + 1;
-        let r = run_periodic(cfg, suite.benchmark("BS").unwrap(), Policy::Switch, &pc);
+        let r = run_periodic(cfg, suite.require("BS"), Policy::Switch, &pc);
         assert!(r.requests > 0);
         assert_eq!(r.violations, r.requests, "every request must violate");
         assert_eq!(r.mean_ok_latency_us, None);
@@ -722,7 +722,7 @@ mod tests {
         let pc = quick_cfg(cfg, 4_000.0);
         let (r, engine) = run_periodic_traced(
             cfg,
-            suite.benchmark("BS").unwrap(),
+            suite.require("BS"),
             Policy::chimera_us(15.0),
             &pc,
             1 << 18,
@@ -739,18 +739,13 @@ mod tests {
         let cfg = suite.config();
         let static_r = run_periodic(
             cfg,
-            suite.benchmark("BS").unwrap(),
+            suite.require("BS"),
             Policy::chimera_us(15.0),
             &quick_cfg(cfg, 4_000.0),
         );
         let mut pc = quick_cfg(cfg, 4_000.0);
         pc.common.estimator = crate::cost::EstimatorConfig::online(0.95);
-        let online_r = run_periodic(
-            cfg,
-            suite.benchmark("BS").unwrap(),
-            Policy::chimera_us(15.0),
-            &pc,
-        );
+        let online_r = run_periodic(cfg, suite.require("BS"), Policy::chimera_us(15.0), &pc);
         // The request schedule is policy-independent.
         assert_eq!(online_r.requests, static_r.requests);
         assert!(online_r.requests > 0);
@@ -771,7 +766,7 @@ mod tests {
         pc.common.estimator = crate::cost::EstimatorConfig::online(0.95);
         let (_, engine) = run_periodic_traced(
             cfg,
-            suite.benchmark("BS").unwrap(),
+            suite.require("BS"),
             Policy::chimera_us(15.0),
             &pc,
             1 << 18,
@@ -788,7 +783,7 @@ mod tests {
         // Static mode logs none.
         let (_, engine) = run_periodic_traced(
             cfg,
-            suite.benchmark("BS").unwrap(),
+            suite.require("BS"),
             Policy::chimera_us(15.0),
             &quick_cfg(cfg, 4_000.0),
             1 << 18,
@@ -800,7 +795,7 @@ mod tests {
     #[test]
     fn oracle_never_violates() {
         let suite = Suite::standard();
-        let bench = suite.benchmark("SAD").unwrap();
+        let bench = suite.require("SAD");
         let r = run_periodic(
             suite.config(),
             bench,
@@ -819,7 +814,7 @@ mod tests {
         // BS blocks run 60.9 us >> 15 us constraint: draining must violate.
         let long = run_periodic(
             cfg,
-            suite.benchmark("BS").unwrap(),
+            suite.require("BS"),
             Policy::Drain,
             &quick_cfg(cfg, 5_000.0),
         );
@@ -831,7 +826,7 @@ mod tests {
         // BP blocks run ~2-3 us: draining meets 15 us easily.
         let short = run_periodic(
             cfg,
-            suite.benchmark("BP").unwrap(),
+            suite.require("BP"),
             Policy::Drain,
             &quick_cfg(cfg, 5_000.0),
         );
@@ -848,7 +843,7 @@ mod tests {
         let cfg = suite.config();
         let r = run_periodic(
             cfg,
-            suite.benchmark("HS").unwrap(),
+            suite.require("HS"),
             Policy::Flush,
             &quick_cfg(cfg, 5_000.0),
         );
@@ -863,7 +858,7 @@ mod tests {
         // Chimera flushes young blocks / drains old ones.
         let c = run_periodic(
             cfg,
-            suite.benchmark("BS").unwrap(),
+            suite.require("BS"),
             Policy::chimera_us(15.0),
             &quick_cfg(cfg, 5_000.0),
         );
@@ -874,7 +869,7 @@ mod tests {
         );
         let s = run_periodic(
             cfg,
-            suite.benchmark("BS").unwrap(),
+            suite.require("BS"),
             Policy::Switch,
             &quick_cfg(cfg, 5_000.0),
         );
@@ -889,7 +884,7 @@ mod tests {
     fn overhead_breakdown_matches_policy() {
         let suite = Suite::standard();
         let cfg = suite.config();
-        let bench = suite.benchmark("HS").unwrap();
+        let bench = suite.require("HS");
         let flush = run_periodic(cfg, bench, Policy::Flush, &quick_cfg(cfg, 4_000.0));
         assert!(flush.flush_count > 0);
         assert_eq!(flush.switch_count, 0);
@@ -906,15 +901,10 @@ mod tests {
         let cfg = suite.config();
         let mut pc = quick_cfg(cfg, 5_000.0);
         pc.simulate_task = true;
-        let sim = run_periodic(
-            cfg,
-            suite.benchmark("SAD").unwrap(),
-            Policy::chimera_us(15.0),
-            &pc,
-        );
+        let sim = run_periodic(cfg, suite.require("SAD"), Policy::chimera_us(15.0), &pc);
         let res = run_periodic(
             cfg,
-            suite.benchmark("SAD").unwrap(),
+            suite.require("SAD"),
             Policy::chimera_us(15.0),
             &quick_cfg(cfg, 5_000.0),
         );
@@ -944,7 +934,7 @@ mod tests {
                 let mut pc = quick_cfg(cfg, 4_000.0);
                 pc.common.sanitize = true;
                 let (r, mut engine) =
-                    run_periodic_traced(cfg, suite.benchmark(bench).unwrap(), policy, &pc, 0);
+                    run_periodic_traced(cfg, suite.require(bench), policy, &pc, 0);
                 let san = engine.take_sanitizer().expect("sanitizer was enabled");
                 let rep = san.report();
                 assert!(
@@ -971,12 +961,7 @@ mod tests {
         let cfg = strict_suite.config();
         let mut pc = quick_cfg(cfg, 5_000.0);
         pc.strict_idem = true;
-        let r = run_periodic(
-            cfg,
-            strict_suite.benchmark("NW").unwrap(),
-            Policy::Flush,
-            &pc,
-        );
+        let r = run_periodic(cfg, strict_suite.require("NW"), Policy::Flush, &pc);
         // Most requests fail (only end-of-kernel idle windows can ever be
         // acquired, since NW's kernels are non-idempotent under the strict
         // condition).
@@ -989,7 +974,7 @@ mod tests {
         let suite = Suite::standard();
         let r2 = run_periodic(
             suite.config(),
-            suite.benchmark("NW").unwrap(),
+            suite.require("NW"),
             Policy::Flush,
             &quick_cfg(suite.config(), 5_000.0),
         );

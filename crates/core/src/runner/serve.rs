@@ -27,8 +27,8 @@ use workloads::ServeWorkload;
 const SALT_GAP: u64 = 0x5EAF_00D1;
 const SALT_SOJOURN: u64 = 0x5EAF_00D2;
 const SALT_THIN: u64 = 0x5EAF_00D3;
-const SALT_TENANT: u64 = 0x5EAF_00D4;
-const SALT_CLASS: u64 = 0x5EAF_00D5;
+pub(crate) const SALT_TENANT: u64 = 0x5EAF_00D4;
+pub(crate) const SALT_CLASS: u64 = 0x5EAF_00D5;
 
 /// An arrival process: when requests reach the front door.
 ///
@@ -225,7 +225,7 @@ fn exp_gap(seed: u64, salt: u64, ctr: &mut u64, rate_per_us: f64) -> f64 {
 }
 
 /// Pick an index from `weights` proportionally, using a uniform `u ∈ [0,1)`.
-fn pick_weighted(weights: &[u32], u: f64) -> usize {
+pub(crate) fn pick_weighted(weights: &[u32], u: f64) -> usize {
     let total: u64 = weights.iter().map(|&w| u64::from(w)).sum();
     debug_assert!(total > 0, "weights must not all be zero");
     let mut x = (u * total as f64) as u64;
@@ -442,15 +442,71 @@ pub struct ServeResult {
     pub tenants: Vec<TenantOutcome>,
 }
 
-/// A request sitting in a tenant queue or running on a lane.
+/// A request sitting in a tenant queue or running on a lane. Shared with
+/// the multi-device cluster runner ([`crate::runner::cluster`]), which
+/// routes the same materialised stream across devices.
 #[derive(Debug, Clone)]
-struct Pending {
-    req: u64,
-    tenant: usize,
-    class_ix: usize,
-    arrival_us: f64,
-    deadline_us: f64,
-    service_us: f64,
+pub(crate) struct Pending {
+    pub(crate) req: u64,
+    pub(crate) tenant: usize,
+    pub(crate) class_ix: usize,
+    pub(crate) arrival_us: f64,
+    pub(crate) deadline_us: f64,
+    pub(crate) service_us: f64,
+}
+
+/// Convert a tenant/class index for the observability log. Indices are
+/// bounded by the workload spec, so exceeding `u32` is a config bug —
+/// report it instead of silently truncating the id (the old `as u32`).
+pub(crate) fn obs_id(ix: usize, what: &str) -> u32 {
+    u32::try_from(ix).unwrap_or_else(|_| panic!("{what} index {ix} does not fit in a u32 event id"))
+}
+
+/// Worst-tail quantile over the *ascending* slack list: indexing from the
+/// low end means `q = 0.99` lands near the worst (smallest) slacks. Edge
+/// cases: a one-element list (`len - 1 = 0`) and `q = 1.0` both resolve to
+/// index 0 — the single worst slack; the final clamp guards the rounding
+/// against float drift so the index can never run past the end.
+pub(crate) fn slack_quantile(slacks: &[f64], q: f64) -> Option<f64> {
+    (!slacks.is_empty()).then(|| {
+        let ix = (((1.0 - q) * (slacks.len() - 1) as f64).round() as usize).min(slacks.len() - 1);
+        slacks[ix]
+    })
+}
+
+/// Materialise the arrival stream with tenant/class/deadline stamps — a
+/// pure function of `(workload, serve config)`, shared between the
+/// single-device serve loop and the cluster runner so both replay the
+/// identical request stream.
+pub(crate) fn materialize_arrivals(wl: &ServeWorkload, scfg: &ServeConfig) -> Vec<Pending> {
+    let seed = scfg.common.seed;
+    let class_weights: Vec<u32> = wl.classes.iter().map(|c| c.weight).collect();
+    let tenant_weights: Vec<u32> = wl.tenants.iter().map(|t| t.weight).collect();
+    scfg.arrivals
+        .generate(seed, scfg.common.horizon_us)
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let req = i as u64;
+            let tenant = pick_weighted(
+                &tenant_weights,
+                unit_f64(hash_combine(&[seed, SALT_TENANT, req])),
+            );
+            let class_ix = pick_weighted(
+                &class_weights,
+                unit_f64(hash_combine(&[seed, SALT_CLASS, req])),
+            );
+            let class = &wl.classes[class_ix];
+            Pending {
+                req,
+                tenant,
+                class_ix,
+                arrival_us: t,
+                deadline_us: t + class.deadline_us,
+                service_us: class.service_us,
+            }
+        })
+        .collect()
 }
 
 /// Run an open-loop serving experiment on a fresh scheduler.
@@ -510,40 +566,12 @@ pub fn run_serve_on(gpu: &mut GpuScheduler, wl: &ServeWorkload, scfg: &ServeConf
     );
     assert!(!wl.classes.is_empty() && !wl.tenants.is_empty());
     let cfg = gpu.engine().config().clone();
-    let seed = scfg.common.seed;
     let horizon_us = scfg.common.horizon_us;
     let lanes: Vec<_> = (0..scfg.lanes).map(|_| gpu.add_process()).collect();
     let mut lane_req: Vec<Option<Pending>> = vec![None; lanes.len()];
 
-    // Materialise the arrival stream with tenant/class/deadline stamps.
-    let class_weights: Vec<u32> = wl.classes.iter().map(|c| c.weight).collect();
     let tenant_weights: Vec<u32> = wl.tenants.iter().map(|t| t.weight).collect();
-    let arrivals: Vec<Pending> = scfg
-        .arrivals
-        .generate(seed, horizon_us)
-        .into_iter()
-        .enumerate()
-        .map(|(i, t)| {
-            let req = i as u64;
-            let tenant = pick_weighted(
-                &tenant_weights,
-                unit_f64(hash_combine(&[seed, SALT_TENANT, req])),
-            );
-            let class_ix = pick_weighted(
-                &class_weights,
-                unit_f64(hash_combine(&[seed, SALT_CLASS, req])),
-            );
-            let class = &wl.classes[class_ix];
-            Pending {
-                req,
-                tenant,
-                class_ix,
-                arrival_us: t,
-                deadline_us: t + class.deadline_us,
-                service_us: class.service_us,
-            }
-        })
-        .collect();
+    let arrivals = materialize_arrivals(wl, scfg);
 
     let nt = wl.tenants.len();
     let mut queues: Vec<VecDeque<Pending>> = vec![VecDeque::new(); nt];
@@ -576,14 +604,14 @@ pub fn run_serve_on(gpu: &mut GpuScheduler, wl: &ServeWorkload, scfg: &ServeConf
             t_offered[tenant] += 1;
             gpu.record_request_arrival(
                 p.req,
-                tenant as u32,
-                p.class_ix as u32,
+                obs_id(tenant, "tenant"),
+                obs_id(p.class_ix, "class"),
                 cfg.us_to_cycles(p.deadline_us),
             );
             if queues[tenant].len() >= scfg.admission.queue_cap {
                 shed_queue_full += 1;
                 t_shed[tenant] += 1;
-                gpu.record_request_shed(p.req, tenant as u32, ShedReason::QueueFull);
+                gpu.record_request_shed(p.req, obs_id(tenant, "tenant"), ShedReason::QueueFull);
                 continue;
             }
             // Feasibility: the backlog ahead of this request (queued plus
@@ -595,14 +623,17 @@ pub fn run_serve_on(gpu: &mut GpuScheduler, wl: &ServeWorkload, scfg: &ServeConf
             {
                 shed_infeasible += 1;
                 t_shed[tenant] += 1;
-                gpu.record_request_shed(p.req, tenant as u32, ShedReason::Infeasible);
+                gpu.record_request_shed(p.req, obs_id(tenant, "tenant"), ShedReason::Infeasible);
                 continue;
             }
             t_admitted[tenant] += 1;
             queued_service_us += p.service_us;
             queues[tenant].push_back(p.clone());
             max_queue_depth = max_queue_depth.max(queues[tenant].len());
-            gpu.record_request_admitted(p.req, tenant as u32, queues[tenant].len() as u32);
+            // The queue-depth gauge is diagnostic; saturate rather than
+            // panic if a cap-less config ever exceeds u32.
+            let depth = u32::try_from(queues[tenant].len()).unwrap_or(u32::MAX);
+            gpu.record_request_admitted(p.req, obs_id(tenant, "tenant"), depth);
         }
         // Dispatch: fill free lanes, weighted-fair across tenants.
         for lane in 0..lanes.len() {
@@ -610,18 +641,20 @@ pub fn run_serve_on(gpu: &mut GpuScheduler, wl: &ServeWorkload, scfg: &ServeConf
                 continue;
             }
             // Tenant with the least weighted service so far wins; ties
-            // break to the lower index, deterministically.
+            // break to the lower index, deterministically. `total_cmp`:
+            // a degenerate workload spec (NaN/zero service times) must
+            // starve fairness, not panic the serve loop.
             while let Some(tenant) = (0..nt).filter(|&t| !queues[t].is_empty()).min_by(|&a, &b| {
                 let ka = served_us[a] / f64::from(tenant_weights[a].max(1));
                 let kb = served_us[b] / f64::from(tenant_weights[b].max(1));
-                ka.partial_cmp(&kb).unwrap().then(a.cmp(&b))
+                ka.total_cmp(&kb).then(a.cmp(&b))
             }) {
                 let p = queues[tenant].pop_front().expect("non-empty queue");
                 queued_service_us -= p.service_us;
                 if now_us + p.service_us > p.deadline_us {
                     shed_late += 1;
                     t_shed[tenant] += 1;
-                    gpu.record_request_shed(p.req, tenant as u32, ShedReason::Late);
+                    gpu.record_request_shed(p.req, obs_id(tenant, "tenant"), ShedReason::Late);
                     continue;
                 }
                 served_us[tenant] += p.service_us;
@@ -670,13 +703,10 @@ pub fn run_serve_on(gpu: &mut GpuScheduler, wl: &ServeWorkload, scfg: &ServeConf
     let completed: u64 = t_completed.iter().sum();
     let violations: u64 = t_violations.iter().sum();
     let horizon_s = horizon_us / 1e6;
-    slacks.sort_by(|a, b| a.partial_cmp(b).expect("slacks are finite"));
-    let quantile = |q: f64| -> Option<f64> {
-        (!slacks.is_empty()).then(|| {
-            let ix = ((1.0 - q) * (slacks.len() - 1) as f64).round() as usize;
-            slacks[ix]
-        })
-    };
+    // `total_cmp` orders NaN slacks (possible only with a degenerate
+    // workload spec) after every finite value instead of panicking.
+    slacks.sort_by(f64::total_cmp);
+    let quantile = |q: f64| slack_quantile(&slacks, q);
     let tenants = wl
         .tenants
         .iter()
@@ -824,6 +854,68 @@ mod tests {
             "queues must stay bounded"
         );
         assert!(res.completed > 0, "overload must not collapse goodput to 0");
+    }
+
+    /// A deliberately degenerate workload: one class advertises a NaN
+    /// analytic service time and another a zero one. Every fairness key
+    /// (`served_us / weight`) and every slack can therefore be NaN or tied
+    /// at zero. The serve loop must keep running — `total_cmp` orders these
+    /// instead of panicking — and the accounting identities must still hold.
+    fn degenerate_workload(cfg: &GpuConfig) -> ServeWorkload {
+        use workloads::TenantSpec;
+        let mut wl = ServeWorkload::standard(cfg);
+        let mut nan_class = wl.classes[0].clone();
+        nan_class.name = "nan-service".into();
+        nan_class.service_us = f64::NAN;
+        nan_class.deadline_us = f64::NAN;
+        let mut zero_class = wl.classes[1].clone();
+        zero_class.name = "zero-service".into();
+        zero_class.service_us = 0.0;
+        wl.classes = vec![nan_class, zero_class];
+        wl.tenants = vec![
+            TenantSpec {
+                name: "t0".into(),
+                weight: 2,
+            },
+            TenantSpec {
+                name: "t1".into(),
+                weight: 1,
+            },
+        ];
+        wl
+    }
+
+    #[test]
+    fn nan_and_zero_service_classes_do_not_panic_the_serve_loop() {
+        let cfg = GpuConfig::fermi();
+        let wl = degenerate_workload(&cfg);
+        let scfg = ServeConfig::paper_default()
+            .horizon_us(4_000.0)
+            .arrivals(ArrivalProcess::poisson(2.0));
+        // Regression: the weighted-fair key and the slack sort used
+        // `partial_cmp().unwrap()`, which panicked on the first NaN.
+        let res = run_serve(&cfg, &wl, &scfg);
+        assert!(res.offered > 0);
+        assert_eq!(
+            res.offered,
+            res.admitted + res.shed_queue_full + res.shed_infeasible
+        );
+        assert_eq!(res.admitted, res.completed + res.shed_late + res.unfinished);
+    }
+
+    #[test]
+    fn slack_quantiles_collapse_on_a_single_sample() {
+        // One element: every quantile, including q = 1.0, is that element.
+        assert_eq!(slack_quantile(&[3.5], 0.5), Some(3.5));
+        assert_eq!(slack_quantile(&[3.5], 0.999), Some(3.5));
+        assert_eq!(slack_quantile(&[3.5], 1.0), Some(3.5));
+        assert_eq!(slack_quantile(&[], 0.5), None);
+        // q = 0.0 is the *best* slack (last of the ascending list) and
+        // q = 1.0 the worst (first); the index never escapes the slice.
+        let s = [-2.0, 1.0, 4.0];
+        assert_eq!(slack_quantile(&s, 0.0), Some(4.0));
+        assert_eq!(slack_quantile(&s, 1.0), Some(-2.0));
+        assert_eq!(slack_quantile(&s, 0.5), Some(1.0));
     }
 
     #[test]

@@ -62,13 +62,7 @@ mod tests {
     fn solo_run_measures_budgeted_portion() {
         let suite = Suite::standard();
         let cfg = suite.config();
-        let r = run_solo(
-            cfg,
-            suite.benchmark("SAD").unwrap(),
-            Some(300_000),
-            200_000_000,
-            42,
-        );
+        let r = run_solo(cfg, suite.require("SAD"), Some(300_000), 200_000_000, 42);
         assert!(r.insts >= 300_000, "insts={}", r.insts);
         assert!(r.cycles > 0);
     }
@@ -77,20 +71,8 @@ mod tests {
     fn solo_run_is_deterministic() {
         let suite = Suite::standard();
         let cfg = suite.config();
-        let r1 = run_solo(
-            cfg,
-            suite.benchmark("NW").unwrap(),
-            Some(200_000),
-            200_000_000,
-            7,
-        );
-        let r2 = run_solo(
-            cfg,
-            suite.benchmark("NW").unwrap(),
-            Some(200_000),
-            200_000_000,
-            7,
-        );
+        let r1 = run_solo(cfg, suite.require("NW"), Some(200_000), 200_000_000, 7);
+        let r2 = run_solo(cfg, suite.require("NW"), Some(200_000), 200_000_000, 7);
         assert_eq!(r1, r2);
     }
 }

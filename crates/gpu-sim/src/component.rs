@@ -1,0 +1,224 @@
+//! Heterogeneous engine participants behind one calendar interface.
+//!
+//! The engine's event calendar used to schedule *SMs only*: a binary heap of
+//! `(cycle, sm_index)` pairs. Multi-GPU scale-out and memory-side modelling
+//! both need other kinds of participants on the same calendar, so the
+//! calendar is now keyed by `(cycle, `[`ComponentId`]`)` and every
+//! participant — the thread-block dispatcher, each SM, each memory
+//! partition — implements the [`Component`] trait.
+//!
+//! # The merge-key argument
+//!
+//! All three execution modes ([`crate::ExecMode`]) must stay byte-identical,
+//! so the component ordering at a tied cycle has to reproduce the order the
+//! legacy loop produced implicitly:
+//!
+//! 1. **Dispatcher first.** The legacy loop ran the all-SM dispatch sweep at
+//!    the top of every iteration (whenever the dirty flag was set), i.e.
+//!    *before* popping any SM due at the same — or any later — cycle. The
+//!    dispatcher is armed at the cycle the dirty transition happens, and
+//!    every pending calendar entry is at or after the current cycle, so
+//!    sorting [`ComponentId::Dispatcher`] before everything else at a tied
+//!    cycle is exactly the legacy "sweep before pop" order.
+//! 2. **SMs by index.** Unchanged from the `(cycle, sm)` calendar: within a
+//!    cycle the lowest SM index ticks first, matching the legacy linear
+//!    min-scan.
+//! 3. **Memory partitions last.** Partition ticks only retire completed
+//!    requests into partition-local statistics; they touch nothing an SM
+//!    tick reads, so their position within a cycle is unobservable — they
+//!    sort after the SMs by construction of the enum order.
+//!
+//! The derived `Ord` on [`ComponentId`] encodes all of this: variants
+//! compare by declaration order, then by payload.
+
+use crate::sm::{SmOutput, TickLimits};
+use crate::{KernelDesc, MemSubsystem};
+
+/// Stable calendar identity of an engine participant.
+///
+/// The derived ordering is the tie-break of the calendar's
+/// `(cycle, component)` merge key — see the [module docs](self) for why the
+/// declaration order is load-bearing.
+///
+/// ```
+/// use gpu_sim::component::ComponentId;
+///
+/// // Dispatcher < any SM < any memory partition at a tied cycle.
+/// assert!(ComponentId::Dispatcher < ComponentId::Sm(0));
+/// assert!(ComponentId::Sm(31) < ComponentId::MemPartition(0));
+/// assert!(ComponentId::Sm(1) < ComponentId::Sm(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ComponentId {
+    /// The thread-block dispatcher: fills free SM slots from the kernels'
+    /// block queues. Sorts before every other component at a tied cycle.
+    Dispatcher,
+    /// A streaming multiprocessor, by index.
+    Sm(usize),
+    /// A memory partition (L2 bank + controller), by index.
+    MemPartition(usize),
+}
+
+/// Everything a component may touch while ticking, borrowed from the engine
+/// for the duration of one tick.
+///
+/// Components differ in what they need: an SM consumes all of it, a memory
+/// partition only `now`. Fields a component kind never uses are simply left
+/// `None`/default by the engine.
+#[derive(Debug)]
+pub struct TickCtx<'a> {
+    /// The cycle the component is being advanced to.
+    pub now: u64,
+    /// Engine determinism seed.
+    pub seed: u64,
+    /// Descriptor of the kernel resident on the component (SMs only).
+    pub desc: Option<&'a KernelDesc>,
+    /// The shared memory subsystem (SMs only; a partition *is* memory-side
+    /// state and must not re-borrow the subsystem it lives in).
+    pub mem: Option<&'a mut MemSubsystem>,
+    /// Sink for everything observable the tick produced.
+    pub out: &'a mut SmOutput,
+    /// Bounds on how far the tick may batch ahead.
+    pub limits: TickLimits,
+}
+
+/// A schedulable participant of the engine's event calendar.
+///
+/// The calendar holds `(cycle, ComponentId)` entries with lazy
+/// invalidation: each component's [`next_tick`](Component::next_tick) is
+/// authoritative and stale heap entries are discarded on peek. All
+/// `next_tick` moves go through [`set_next_tick`](Component::set_next_tick)
+/// on the engine's wake path so heap and component never disagree.
+///
+/// [`tick`](Component::tick) advances the component to `ctx.now` and
+/// returns the next cycle it needs the calendar (`u64::MAX` when idle).
+/// One component is special-cased by the engine: the dispatcher's tick
+/// spans *every* SM and kernel queue, so the engine routes it to its
+/// all-SM dispatch sweep rather than through the trait object — the
+/// [`TbDispatcher`] component carries only the calendar arming state.
+pub trait Component {
+    /// This component's calendar identity and merge-key position.
+    fn component_id(&self) -> ComponentId;
+
+    /// The next cycle this component has work, `u64::MAX` when idle.
+    fn next_tick(&self) -> u64;
+
+    /// Move the authoritative next-tick time (engine wake path only).
+    fn set_next_tick(&mut self, t: u64);
+
+    /// Advance to `ctx.now`; returns the new next-tick time.
+    fn tick(&mut self, ctx: TickCtx<'_>) -> u64;
+}
+
+/// The thread-block dispatcher as a calendar component.
+///
+/// Replaces the engine's old `dispatch_dirty: bool`: instead of a flag the
+/// run loop checks at the top of every iteration, a dispatch-relevant
+/// transition *arms* the dispatcher at the cycle it happened, and the
+/// calendar pops it — before any SM due at the same or a later cycle, per
+/// the merge-key ordering — to run the sweep.
+#[derive(Debug, Clone)]
+pub struct TbDispatcher {
+    next_tick: u64,
+}
+
+impl TbDispatcher {
+    /// A dispatcher armed for cycle 0 (a fresh engine must sweep once).
+    pub fn new() -> Self {
+        TbDispatcher { next_tick: 0 }
+    }
+
+    /// Whether a sweep is pending.
+    pub fn armed(&self) -> bool {
+        self.next_tick != u64::MAX
+    }
+
+    /// Request a sweep at `cycle` (keeps an earlier pending request).
+    pub fn arm(&mut self, cycle: u64) {
+        self.next_tick = self.next_tick.min(cycle);
+    }
+
+    /// Clear the pending sweep (it is about to run).
+    pub fn disarm(&mut self) {
+        self.next_tick = u64::MAX;
+    }
+}
+
+impl Default for TbDispatcher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Component for TbDispatcher {
+    fn component_id(&self) -> ComponentId {
+        ComponentId::Dispatcher
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.next_tick
+    }
+
+    fn set_next_tick(&mut self, t: u64) {
+        self.next_tick = t;
+    }
+
+    fn tick(&mut self, _ctx: TickCtx<'_>) -> u64 {
+        // The sweep itself spans all SMs and kernel queues; the engine runs
+        // it (`Engine::dispatch_all`) when this component pops. Ticking the
+        // component only consumes the arming.
+        self.disarm();
+        u64::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_key_orders_dispatcher_then_sms_then_partitions() {
+        let mut ids = vec![
+            ComponentId::MemPartition(1),
+            ComponentId::Sm(2),
+            ComponentId::Dispatcher,
+            ComponentId::MemPartition(0),
+            ComponentId::Sm(0),
+        ];
+        ids.sort();
+        assert_eq!(
+            ids,
+            vec![
+                ComponentId::Dispatcher,
+                ComponentId::Sm(0),
+                ComponentId::Sm(2),
+                ComponentId::MemPartition(0),
+                ComponentId::MemPartition(1),
+            ]
+        );
+    }
+
+    #[test]
+    fn dispatcher_arming_keeps_earliest_request() {
+        let mut d = TbDispatcher::new();
+        assert!(d.armed(), "fresh engines must sweep once");
+        d.disarm();
+        assert!(!d.armed());
+        d.arm(100);
+        d.arm(200);
+        assert_eq!(d.next_tick(), 100, "earlier arming wins");
+        d.arm(50);
+        assert_eq!(d.next_tick(), 50);
+    }
+
+    #[test]
+    fn tied_cycle_keys_sort_by_component() {
+        let a = (10u64, ComponentId::Dispatcher);
+        let b = (10u64, ComponentId::Sm(0));
+        let c = (10u64, ComponentId::MemPartition(0));
+        let d = (9u64, ComponentId::MemPartition(3));
+        let mut keys = vec![c, a, b, d];
+        keys.sort();
+        assert_eq!(keys, vec![d, a, b, c], "cycle first, then component");
+    }
+}

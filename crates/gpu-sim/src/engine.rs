@@ -14,16 +14,19 @@
 //! argument:
 //!
 //! - [`ExecMode::Scan`] — the legacy linear min-scan reference scheduler:
-//!   every step scans all SMs for the minimum next-action time and no
+//!   every step scans all components for the minimum next-tick time and no
 //!   batched issue runs. Slow and obviously correct; kept as the
 //!   differential baseline.
-//! - [`ExecMode::Event`] (the default) — per-SM next-action times live
-//!   both in an authoritative `next_action` array and in a binary-heap
-//!   *event calendar* of `(cycle, sm)` entries with lazy invalidation, so
-//!   each step pops the earliest pending SM directly instead of scanning
-//!   all SMs, and globally idle windows are skipped in one jump. Entries
-//!   order by cycle then SM index — exactly the order the legacy linear
-//!   scan produced — so the rewrite is observably identical.
+//! - [`ExecMode::Event`] (the default) — per-component next-tick times
+//!   live both in the authoritative components themselves and in a
+//!   binary-heap *event calendar* of `(cycle, `[`ComponentId`]`)` entries
+//!   with lazy invalidation, so each step pops the earliest pending
+//!   component directly instead of scanning all of them, and globally idle
+//!   windows are skipped in one jump. Entries order by cycle then
+//!   component id — the dispatcher first, then SMs by index, then memory
+//!   partitions; see [`crate::component`] for why that merge key exactly
+//!   reproduces the order the legacy loop produced — so the rewrite is
+//!   observably identical.
 //! - [`ExecMode::Parallel`] — the calendar engine plus an intra-run
 //!   parallel phase: between *epoch barriers* the SMs are partitioned into
 //!   contiguous shards, each advanced on its own worker thread through
@@ -31,17 +34,21 @@
 //!   L1 hits). Any tick that would touch shared state — the memory
 //!   subsystem's DRAM queues, functional memory effects, block completion
 //!   and dispatch, preemption — stops the shard, and those *interaction*
-//!   ticks are replayed serially in `(cycle, SM index)` calendar order,
+//!   ticks are replayed serially in `(cycle, component)` calendar order,
 //!   which is precisely the deterministic merge of the per-shard streams.
 //!
-//! The event-ordering contract all of this rests on: every observable the
-//! engine emits is produced by a serial tick at a definite `(cycle, sm)`
-//! point, and consumers receive them in that lexicographic order.
+//! The engine schedules heterogeneous participants — the thread-block
+//! dispatcher, every SM, every memory partition — through one
+//! [`Component`] interface. The event-ordering contract all of this rests
+//! on: every observable the engine emits is produced by a serial tick at a
+//! definite `(cycle, component)` point, and consumers receive them in that
+//! lexicographic order.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use crate::block::{BlockId, BlockRun, TbSnapshot};
+use crate::component::{Component, ComponentId, TbDispatcher, TickCtx};
 use crate::events::{BlockDecision, BlockExit, EventLog, ObsEvent, ShedReason};
 use crate::kernel::{KernelDesc, Segment};
 use crate::mem::MemSubsystem;
@@ -353,22 +360,24 @@ pub struct Engine {
     cfg: GpuConfig,
     mem: MemSubsystem,
     sms: Vec<Sm>,
-    next_action: Vec<u64>,
-    /// Event calendar over `(next_action cycle, sm)` with lazy invalidation:
-    /// `next_action` stays authoritative, and stale heap entries (whose time
-    /// no longer matches) are discarded on peek. `Reverse` lexicographic
-    /// order pops the earliest cycle and, within a cycle, the lowest SM
-    /// index — the same order the old linear min-scan produced, so event
-    /// streams are byte-identical.
-    calendar: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Event calendar over `(next-tick cycle, component)` with lazy
+    /// invalidation: each component's own `next_tick` stays authoritative,
+    /// and stale heap entries (whose time no longer matches) are discarded
+    /// on peek. `Reverse` lexicographic order pops the earliest cycle and,
+    /// within a cycle, the smallest [`ComponentId`] — dispatcher, then SMs
+    /// by index, then partitions — the same order the old linear min-scan
+    /// loop produced, so event streams are byte-identical (see
+    /// [`crate::component`] for the merge-key argument).
+    calendar: BinaryHeap<Reverse<(u64, ComponentId)>>,
     /// Execution mode (see [`ExecMode`]). [`ExecMode::Scan`] bypasses the
     /// calendar entirely; [`ExecMode::Parallel`] adds the sharded pure
     /// phase in front of the serial calendar loop.
     mode: ExecMode,
-    /// Set whenever dispatch opportunities may have changed (launch, assign,
-    /// preempt, block completion/switch-out); lets the run loop skip the
-    /// per-event all-SM dispatch sweep when nothing changed.
-    dispatch_dirty: bool,
+    /// The thread-block dispatcher component: armed whenever dispatch
+    /// opportunities may have changed (launch, assign, preempt, block
+    /// completion/switch-out), which schedules the all-SM dispatch sweep
+    /// on the calendar before anything else at that cycle.
+    dispatcher: TbDispatcher,
     kernels: Vec<KernelInstance>,
     cycle: u64,
     seed: u64,
@@ -411,10 +420,13 @@ impl Engine {
         Engine {
             mem: MemSubsystem::new(&cfg),
             sms,
-            next_action: vec![0; n],
-            calendar: (0..n).map(|i| Reverse((0, i))).collect(),
+            // Fresh SMs are armed for cycle 0 (so the engine discovers their
+            // idle state), as is the dispatcher; partitions start idle.
+            calendar: std::iter::once(Reverse((0, ComponentId::Dispatcher)))
+                .chain((0..n).map(|i| Reverse((0, ComponentId::Sm(i)))))
+                .collect(),
             mode: ExecMode::Event,
-            dispatch_dirty: true,
+            dispatcher: TbDispatcher::new(),
             kernels: Vec::new(),
             cycle: 0,
             seed,
@@ -705,11 +717,25 @@ impl Engine {
         };
         if self.mode != ExecMode::Scan {
             // Scan mode does not maintain the calendar; rebuild it from the
-            // authoritative per-SM next-action times.
+            // authoritative per-component next-tick times.
             self.calendar.clear();
-            for (i, &t) in self.next_action.iter().enumerate() {
+            if self.dispatcher.armed() {
+                self.calendar.push(Reverse((
+                    self.dispatcher.next_tick(),
+                    ComponentId::Dispatcher,
+                )));
+            }
+            for (i, sm) in self.sms.iter().enumerate() {
+                if sm.next_tick() != u64::MAX {
+                    self.calendar
+                        .push(Reverse((sm.next_tick(), ComponentId::Sm(i))));
+                }
+            }
+            for p in 0..self.mem.num_partitions() {
+                let t = self.mem.partition_next_tick(p);
                 if t != u64::MAX {
-                    self.calendar.push(Reverse((t, i)));
+                    self.calendar
+                        .push(Reverse((t, ComponentId::MemPartition(p))));
                 }
             }
         }
@@ -720,37 +746,91 @@ impl Engine {
         self.mode
     }
 
-    /// Set `sm`'s next-action time and keep the event calendar in sync.
-    ///
-    /// All `next_action` writes must go through here so the calendar always
-    /// holds an entry matching the current value (`u64::MAX` — idle with
-    /// nothing pending — needs no entry; stale entries are lazily discarded).
-    fn wake(&mut self, sm: usize, t: u64) {
-        if self.next_action[sm] == t {
-            // An entry for this exact time is already in the calendar.
-            return;
-        }
-        self.next_action[sm] = t;
-        if t != u64::MAX && self.mode != ExecMode::Scan {
-            self.calendar.push(Reverse((t, sm)));
+    /// The authoritative next-tick time of a component (`u64::MAX` = idle).
+    fn component_next(&self, cid: ComponentId) -> u64 {
+        match cid {
+            ComponentId::Dispatcher => self.dispatcher.next_tick(),
+            ComponentId::Sm(i) => self.sms[i].next_tick(),
+            ComponentId::MemPartition(p) => self.mem.partition_next_tick(p),
         }
     }
 
-    /// The next `(cycle, sm)` to process, without consuming it. Calendar
-    /// mode discards stale entries; scan mode reproduces the legacy linear
-    /// min-scan (which reports idle SMs as `u64::MAX` entries).
-    fn next_event(&mut self) -> Option<(u64, usize)> {
+    /// Set a component's next-tick time and keep the event calendar in sync.
+    ///
+    /// All next-tick writes must go through here so the calendar always
+    /// holds an entry matching the current value (`u64::MAX` — idle with
+    /// nothing pending — needs no entry; stale entries are lazily discarded).
+    fn wake_component(&mut self, cid: ComponentId, t: u64) {
+        if self.component_next(cid) == t {
+            // An entry for this exact time is already in the calendar.
+            return;
+        }
+        match cid {
+            ComponentId::Dispatcher => self.dispatcher.set_next_tick(t),
+            ComponentId::Sm(i) => self.sms[i].set_next_tick(t),
+            ComponentId::MemPartition(p) => self.mem.set_partition_next_tick(p, t),
+        }
+        if t != u64::MAX && self.mode != ExecMode::Scan {
+            self.calendar.push(Reverse((t, cid)));
+        }
+    }
+
+    /// Set `sm`'s next-tick time and keep the event calendar in sync.
+    fn wake(&mut self, sm: usize, t: u64) {
+        self.wake_component(ComponentId::Sm(sm), t);
+    }
+
+    /// Arm the dispatcher component at the current cycle: the calendar pops
+    /// it before any other component due at the same or a later cycle (see
+    /// the [`crate::component`] merge key), so the all-SM dispatch sweep
+    /// runs exactly where the legacy dirty-flag loop ran it — before the
+    /// next event.
+    fn mark_dispatch_dirty(&mut self) {
+        let t = self.dispatcher.next_tick().min(self.cycle);
+        self.wake_component(ComponentId::Dispatcher, t);
+    }
+
+    /// Move the memory partitions that gained their first pending request
+    /// since the last sync onto the calendar. Must run after anything that
+    /// issues memory traffic (SM interaction ticks, context-switch bulk
+    /// transfers) so partition components wake at their earliest completion.
+    fn sync_mem_wakes(&mut self) {
+        for (p, t) in self.mem.take_newly_pending() {
+            self.wake_component(ComponentId::MemPartition(p), t);
+        }
+    }
+
+    /// The next `(cycle, component)` to process, without consuming it.
+    /// Calendar mode discards stale entries; scan mode reproduces the legacy
+    /// linear min-scan (which reports idle SMs as `u64::MAX` entries, and
+    /// visits SMs before partitions so ties keep the merge-key order — the
+    /// dispatcher never appears because scan sweeps dispatch every step).
+    fn next_event(&mut self) -> Option<(u64, ComponentId)> {
         if self.mode == ExecMode::Scan {
-            return self
-                .next_action
+            let sm_min = self
+                .sms
                 .iter()
                 .enumerate()
-                .min_by_key(|&(_, &t)| t)
-                .map(|(i, &t)| (t, i));
+                .min_by_key(|&(_, sm)| sm.next_tick())
+                .map(|(i, sm)| (sm.next_tick(), ComponentId::Sm(i)));
+            let part_min = (0..self.mem.num_partitions())
+                .map(|p| {
+                    (
+                        self.mem.partition_next_tick(p),
+                        ComponentId::MemPartition(p),
+                    )
+                })
+                .min_by_key(|&(t, _)| t);
+            return match (sm_min, part_min) {
+                // Strict `<`: at a tied cycle the SM ticks first.
+                (Some(s), Some(p)) if p.0 < s.0 => Some(p),
+                (Some(s), _) => Some(s),
+                (None, p) => p,
+            };
         }
-        while let Some(&Reverse((t, sm))) = self.calendar.peek() {
-            if self.next_action[sm] == t {
-                return Some((t, sm));
+        while let Some(&Reverse((t, cid))) = self.calendar.peek() {
+            if self.component_next(cid) == t {
+                return Some((t, cid));
             }
             self.calendar.pop();
         }
@@ -763,7 +843,7 @@ impl Engine {
         self.kernels.push(KernelInstance::new(
             id, desc, &self.cfg, self.seed, self.cycle,
         ));
-        self.dispatch_dirty = true;
+        self.mark_dispatch_dirty();
         id
     }
 
@@ -800,8 +880,8 @@ impl Engine {
     /// dispatched to the SM as slots free up.
     pub fn assign_sm(&mut self, sm: usize, kernel: Option<KernelId>) {
         self.sms[sm].set_assigned(kernel);
-        self.wake(sm, self.next_action[sm].min(self.cycle));
-        self.dispatch_dirty = true;
+        self.wake(sm, self.sms[sm].next_tick().min(self.cycle));
+        self.mark_dispatch_dirty();
     }
 
     /// The kernel an SM is assigned to.
@@ -851,6 +931,16 @@ impl Engine {
             total_issued_insts: self.sms.iter().map(Sm::insts_issued_total).sum(),
             mem_bytes_served: self.mem.total_bytes_served(),
         }
+    }
+
+    /// Per-memory-partition counters (bytes served, requests retired by the
+    /// partition components, requests in flight), in partition order.
+    ///
+    /// Byte-identical across execution modes like every other observable:
+    /// partition components retire requests at their exact completion
+    /// cycles in all three modes.
+    pub fn mem_partition_stats(&self) -> Vec<crate::mem::MemPartitionStats> {
+        self.mem.partition_stats()
     }
 
     /// The kernel's functional memory image: `(cells, atomic counters)`.
@@ -964,21 +1054,23 @@ impl Engine {
         }
         let done = out.preempt_done.is_some();
         self.process_output(sm, out);
+        self.sync_mem_wakes();
         self.wake(sm, self.cycle.max(1));
-        self.dispatch_dirty = true;
+        self.mark_dispatch_dirty();
         Ok(done)
     }
 
     /// Run the simulation until `target` cycles, returning events in order.
     ///
     /// The loop is event-driven: the calendar pops the earliest pending
-    /// `(cycle, sm)` pair directly, jumping over idle windows rather than
-    /// scanning every SM per step, and the all-SM dispatch sweep only runs
-    /// after something that could change dispatchability (launch, assign,
-    /// preemption, a block completing or switching out).
+    /// `(cycle, component)` pair directly, jumping over idle windows rather
+    /// than scanning every component per step, and the all-SM dispatch sweep
+    /// only runs when the dispatcher component is armed by something that
+    /// could change dispatchability (launch, assign, preemption, a block
+    /// completing or switching out).
     pub fn run_until(&mut self, target: u64) -> Vec<Event> {
         // The caller may have mutated assignments or queues between runs.
-        self.dispatch_dirty = true;
+        self.mark_dispatch_dirty();
         let broke = match self.mode {
             ExecMode::Parallel { shards } => self.run_epochs(target, shards),
             _ => self.step_events_until(target),
@@ -990,29 +1082,59 @@ impl Engine {
         std::mem::take(&mut self.events)
     }
 
-    /// The serial event loop: pop and tick pending SMs in `(cycle, sm)`
-    /// order through `target`. Returns `true` when the run broke early on a
-    /// kernel finish (see [`Engine::set_break_on_kernel_finish`]), `false`
-    /// when every event through `target` was processed.
+    /// The serial event loop: pop and tick pending components in
+    /// `(cycle, component)` order through `target`. Returns `true` when the
+    /// run broke early on a kernel finish (see
+    /// [`Engine::set_break_on_kernel_finish`]), `false` when every event
+    /// through `target` was processed.
     fn step_events_until(&mut self, target: u64) -> bool {
         loop {
             // Scan mode reproduces the legacy hot loop, which swept dispatch
-            // on every iteration; the event-driven loop only sweeps after a
-            // transition that could change dispatchability.
-            if self.dispatch_dirty || self.mode == ExecMode::Scan {
-                self.dispatch_dirty = false;
+            // on every iteration; the event-driven loop schedules the sweep
+            // through the dispatcher component on the calendar instead.
+            if self.mode == ExecMode::Scan {
+                self.dispatcher.disarm();
                 self.dispatch_all();
             }
-            let Some((t, idx)) = self.next_event() else {
+            let Some((t, cid)) = self.next_event() else {
                 return false;
             };
             if t > target {
+                // The legacy loop swept a pending dirty flag even when no
+                // event fit the window (possible when the caller's target is
+                // behind the current cycle); a dispatcher armed past the
+                // target must still sweep once before returning.
+                if self.dispatcher.armed() {
+                    self.dispatcher.disarm();
+                    self.dispatch_all();
+                }
                 return false;
             }
             if self.mode != ExecMode::Scan {
                 self.calendar.pop();
             }
             self.cycle = self.cycle.max(t);
+            let idx = match cid {
+                ComponentId::Dispatcher => {
+                    // The sweep spans every SM and kernel queue, so the
+                    // engine runs it directly; ticking the component only
+                    // consumes the arming. It never advances the clock: the
+                    // dispatcher is armed at (or before) the current cycle.
+                    self.dispatcher.disarm();
+                    self.dispatch_all();
+                    continue;
+                }
+                ComponentId::MemPartition(p) => {
+                    // Retire completed requests into partition statistics;
+                    // request timing was decided at issue, so nothing an SM
+                    // observes changes here.
+                    let mut out = SmOutput::default();
+                    let next = self.mem.tick_partition(p, self.cycle, &mut out);
+                    self.wake_component(ComponentId::MemPartition(p), next);
+                    continue;
+                }
+                ComponentId::Sm(idx) => idx,
+            };
             let resident = self.sms[idx].resident_kernel();
             // Batched issue must stop where the serial schedule could be
             // observed or perturbed: at the run horizon (the caller may
@@ -1049,15 +1171,16 @@ impl Engine {
             };
             let mut out = SmOutput::default();
             let next = {
-                let desc = resident.map(|k| &self.kernels[k.0].desc);
-                self.sms[idx].tick_bounded(
-                    self.cycle,
-                    desc,
-                    &mut self.mem,
-                    self.seed,
-                    &mut out,
-                    &limits,
-                )
+                let ctx = TickCtx {
+                    now: self.cycle,
+                    seed: self.seed,
+                    desc: resident.map(|k| &self.kernels[k.0].desc),
+                    mem: Some(&mut self.mem),
+                    out: &mut out,
+                    limits,
+                };
+                // Qualified: `Sm` also has an inherent single-step `tick`.
+                Component::tick(&mut self.sms[idx], ctx)
             };
             let wake_at = if next == u64::MAX {
                 u64::MAX
@@ -1078,6 +1201,7 @@ impl Engine {
                 }
             }
             self.process_output(idx, out);
+            self.sync_mem_wakes();
             if self.break_on_kernel_finish && self.kernel_finish_pending {
                 self.kernel_finish_pending = false;
                 return true;
@@ -1096,8 +1220,8 @@ impl Engine {
     /// Each epoch picks a bound `min(target, t0 + EPOCH_QUANTUM)` from the
     /// earliest pending event `t0`, advances every eligible SM concurrently
     /// through its pure ticks up to the bound, then replays the remaining
-    /// *interaction* ticks serially in `(cycle, sm)` calendar order — the
-    /// deterministic merge point for everything observable. Output is
+    /// *interaction* ticks serially in `(cycle, component)` calendar order —
+    /// the deterministic merge point for everything observable. Output is
     /// independent of both the shard count and the quantum because pure
     /// ticks touch no shared state and every interaction still executes at
     /// its exact serial position. Returns `true` on an early
@@ -1108,8 +1232,11 @@ impl Engine {
         /// overshoots far past the next interaction.
         const EPOCH_QUANTUM: u64 = 8192;
         loop {
-            if self.dispatch_dirty {
-                self.dispatch_dirty = false;
+            // Run a pending sweep before sizing the epoch: shard eligibility
+            // (`advance_shards`' job list) must see post-dispatch state, so
+            // the sweep cannot wait for its calendar pop in Phase B.
+            if self.dispatcher.armed() {
+                self.dispatcher.disarm();
                 self.dispatch_all();
             }
             let Some((t0, _)) = self.next_event() else {
@@ -1160,16 +1287,15 @@ impl Engine {
         let jobs: Vec<Option<u64>> = self
             .sms
             .iter()
-            .enumerate()
-            .map(|(i, sm)| {
-                let start = self.next_action[i].max(self.cycle);
+            .map(|sm| {
+                let start = sm.next_tick().max(self.cycle);
                 let gainable = sm.assigned().is_some_and(|k| {
                     sm.can_dispatch(k, self.kernels[k.0].occupancy)
                         && (self.kernels[k.0].has_dispatchable() || any_preempting)
                 });
                 (!sm.is_preempting()
                     && sm.resident_count() > 0
-                    && self.next_action[i] != u64::MAX
+                    && sm.next_tick() != u64::MAX
                     && start <= bound
                     && !gainable)
                     .then_some(start)
@@ -1300,7 +1426,7 @@ impl Engine {
         // make dispatch possible again; nothing else an SM tick produces
         // changes dispatchability.
         if !out.completed.is_empty() || !out.switched_out.is_empty() || out.preempt_done.is_some() {
-            self.dispatch_dirty = true;
+            self.mark_dispatch_dirty();
         }
         for e in &out.effects {
             self.kernels[e.kernel.0].apply_effect(e);
@@ -1408,10 +1534,12 @@ impl Engine {
                 dispatched = true;
             }
             if dispatched {
-                // Wake the SM: its cached next-action may be stale.
-                self.wake(i, self.next_action[i].min(self.cycle));
+                // Wake the SM: its cached next-tick may be stale.
+                self.wake(i, self.sms[i].next_tick().min(self.cycle));
             }
         }
+        // Resumed-context loads may have issued bulk memory traffic.
+        self.sync_mem_wakes();
     }
 
     fn pop_next_block(&mut self, kid: KernelId, sm: usize) -> Option<BlockRun> {

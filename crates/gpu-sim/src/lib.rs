@@ -43,6 +43,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod block;
+pub mod component;
 pub mod config;
 pub mod engine;
 pub mod events;
@@ -58,11 +59,12 @@ pub mod trace;
 pub mod warp;
 
 pub use block::{BlockId, BlockRun, BlockStats, TbSnapshot};
+pub use component::{Component, ComponentId, TbDispatcher, TickCtx};
 pub use config::{GpuConfig, WarpSched, CYCLES_PER_US};
 pub use engine::{Engine, Event, ExecMode, KernelId};
 pub use events::{BlockDecision, BlockExit, EventLog, ObsEvent, ShedReason, TechniqueEstimate};
 pub use kernel::{AccessRegion, KernelDesc, KernelDescBuilder, KernelError, Program, Segment};
-pub use mem::MemSubsystem;
+pub use mem::{MemPartitionStats, MemSubsystem};
 pub use occupancy::{occupancy, LimitReason, Occupancy};
 pub use preempt::{PreemptOutcome, SmPreemptPlan, Technique};
 pub use sanitizer::{FlushSanitizer, SanitizerReport, UnsafeWrite};

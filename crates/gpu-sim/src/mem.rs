@@ -7,14 +7,82 @@
 //! many SMs stream through the same partition, which is the only memory
 //! behaviour the Chimera evaluation is sensitive to (bandwidth shares set
 //! context-switch times; latency sets the CPI of memory-heavy kernels).
+//!
+//! Since the component-calendar refactor each partition is also an engine
+//! [`Component`](crate::component::Component): a request enqueues its
+//! completion cycle on the partition, the engine wakes the partition
+//! component at its earliest pending completion, and the partition's tick
+//! retires everything due into partition-local statistics
+//! ([`MemPartitionStats`]). Retirement is pure bookkeeping — request timing
+//! is still decided at issue by the busy-until server — so the component
+//! scheduling is unobservable in events, kernel statistics and traces, and
+//! all execution modes stay byte-identical.
 
+use crate::component::{Component, ComponentId, TickCtx};
 use crate::GpuConfig;
+use std::collections::VecDeque;
 
 /// State of one memory partition.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 struct Partition {
+    /// Partition index (the component identity).
+    index: usize,
     free_at: u64,
     bytes_served: u64,
+    /// Completion cycles of in-flight requests. The server is FIFO
+    /// busy-until, so completions are non-decreasing and the front is
+    /// always the earliest.
+    pending: VecDeque<u64>,
+    /// Requests whose completion cycle has been reached and retired by the
+    /// partition's component tick.
+    retired: u64,
+    /// Authoritative component next-tick time mirrored by the engine's
+    /// calendar (`u64::MAX` = idle).
+    next_tick: u64,
+}
+
+impl Partition {
+    fn new(index: usize) -> Self {
+        Partition {
+            index,
+            next_tick: u64::MAX,
+            ..Partition::default()
+        }
+    }
+}
+
+impl Component for Partition {
+    fn component_id(&self) -> ComponentId {
+        ComponentId::MemPartition(self.index)
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.next_tick
+    }
+
+    fn set_next_tick(&mut self, t: u64) {
+        self.next_tick = t;
+    }
+
+    fn tick(&mut self, ctx: TickCtx<'_>) -> u64 {
+        while self.pending.front().is_some_and(|&done| done <= ctx.now) {
+            self.pending.pop_front();
+            self.retired += 1;
+        }
+        self.pending.front().copied().unwrap_or(u64::MAX)
+    }
+}
+
+/// Observable per-partition counters (served bytes, retired and in-flight
+/// requests) — the imbalance inputs for the multi-device reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemPartitionStats {
+    /// Bytes this partition has served (charged at issue).
+    pub bytes_served: u64,
+    /// Requests whose completion cycle has passed and been retired.
+    pub requests_retired: u64,
+    /// Requests issued but not yet retired by the component tick.
+    pub inflight: usize,
 }
 
 /// The memory subsystem shared by all SMs.
@@ -35,16 +103,22 @@ pub struct MemSubsystem {
     bytes_per_cycle: f64,
     latency: u64,
     rr_next: usize,
+    /// Partitions that went idle→pending since the engine last synced its
+    /// calendar (insertion order; accesses are serial, so deterministic).
+    newly_pending: Vec<usize>,
 }
 
 impl MemSubsystem {
     /// Create the subsystem from a GPU configuration.
     pub fn new(cfg: &GpuConfig) -> Self {
         MemSubsystem {
-            partitions: vec![Partition::default(); cfg.num_mem_partitions.max(1)],
+            partitions: (0..cfg.num_mem_partitions.max(1))
+                .map(Partition::new)
+                .collect(),
             bytes_per_cycle: cfg.bytes_per_cycle_per_partition(),
             latency: cfg.mem_latency_cycles,
             rr_next: 0,
+            newly_pending: Vec::new(),
         }
     }
 
@@ -93,7 +167,90 @@ impl MemSubsystem {
         let service = (bytes as f64 / self.bytes_per_cycle).ceil() as u64;
         p.free_at = start + service.max(1);
         p.bytes_served += bytes;
-        p.free_at + self.latency
+        let done = p.free_at + self.latency;
+        if p.pending.is_empty() {
+            // Idle→pending transition: the engine must (re)wake this
+            // partition's component at the new earliest completion.
+            self.newly_pending.push(idx);
+        }
+        debug_assert!(
+            p.pending.back().is_none_or(|&b| b <= done),
+            "FIFO server completions must be non-decreasing"
+        );
+        p.pending.push_back(done);
+        done
+    }
+
+    /// Drain the partitions whose component wake time changed since the
+    /// last call, as `(partition, earliest pending completion)` pairs.
+    /// Engine calendar-sync path only.
+    pub(crate) fn take_newly_pending(&mut self) -> Vec<(usize, u64)> {
+        if self.newly_pending.is_empty() {
+            return Vec::new();
+        }
+        self.newly_pending
+            .drain(..)
+            .map(|idx| {
+                let t = self.partitions[idx]
+                    .pending
+                    .front()
+                    .copied()
+                    .unwrap_or(u64::MAX);
+                (idx, t)
+            })
+            .collect()
+    }
+
+    /// The authoritative component next-tick of partition `idx`
+    /// (`u64::MAX` = idle).
+    pub(crate) fn partition_next_tick(&self, idx: usize) -> u64 {
+        self.partitions[idx].next_tick
+    }
+
+    /// Write partition `idx`'s component next-tick (engine wake path only).
+    pub(crate) fn set_partition_next_tick(&mut self, idx: usize, t: u64) {
+        self.partitions[idx].set_next_tick(t);
+    }
+
+    /// Tick partition `idx` at `now`: retire every pending completion due,
+    /// returning the new next-tick time. Delegates to the partition's
+    /// [`Component`] implementation.
+    pub(crate) fn tick_partition(
+        &mut self,
+        idx: usize,
+        now: u64,
+        out: &mut crate::sm::SmOutput,
+    ) -> u64 {
+        let ctx = TickCtx {
+            now,
+            seed: 0,
+            desc: None,
+            mem: None,
+            out,
+            limits: crate::sm::TickLimits {
+                horizon: now,
+                max_insts: 0,
+                may_gain_blocks: false,
+            },
+        };
+        self.partitions[idx].tick(ctx)
+    }
+
+    /// Number of memory partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Per-partition counters, in partition order.
+    pub fn partition_stats(&self) -> Vec<MemPartitionStats> {
+        self.partitions
+            .iter()
+            .map(|p| MemPartitionStats {
+                bytes_served: p.bytes_served,
+                requests_retired: p.retired,
+                inflight: p.pending.len(),
+            })
+            .collect()
     }
 
     /// Total bytes served by all partitions so far.
@@ -199,5 +356,49 @@ mod tests {
         m.access(0, 0, 128);
         m.access(0, 4096, 64);
         assert_eq!(m.total_bytes_served(), 192);
+    }
+
+    #[test]
+    fn accesses_mark_partitions_newly_pending_once() {
+        let mut m = mem();
+        let done1 = m.access(0, 0, 128);
+        m.access(0, 0, 128); // same partition, still pending: no new wake
+        let wakes = m.take_newly_pending();
+        assert_eq!(wakes, vec![(0, done1)], "one wake at earliest completion");
+        assert!(m.take_newly_pending().is_empty(), "drained");
+    }
+
+    #[test]
+    fn partition_tick_retires_due_completions() {
+        let mut m = mem();
+        let d1 = m.access(0, 0, 128);
+        let d2 = m.access(0, 0, 128);
+        assert!(d2 > d1);
+        let mut out = crate::sm::SmOutput::default();
+        // Nothing due before d1.
+        let next = m.tick_partition(0, d1 - 1, &mut out);
+        assert_eq!(next, d1);
+        assert_eq!(m.partition_stats()[0].requests_retired, 0);
+        // First completes at d1; second still pending.
+        let next = m.tick_partition(0, d1, &mut out);
+        assert_eq!(next, d2);
+        let st = m.partition_stats();
+        assert_eq!(st[0].requests_retired, 1);
+        assert_eq!(st[0].inflight, 1);
+        // Both retired once d2 passes; partition goes idle.
+        let next = m.tick_partition(0, d2 + 5, &mut out);
+        assert_eq!(next, u64::MAX);
+        assert_eq!(m.partition_stats()[0].requests_retired, 2);
+        assert_eq!(m.partition_stats()[0].inflight, 0);
+    }
+
+    #[test]
+    fn partition_component_identity_and_wake_bookkeeping() {
+        use crate::component::Component;
+        let mut p = Partition::new(3);
+        assert_eq!(p.component_id(), ComponentId::MemPartition(3));
+        assert_eq!(p.next_tick(), u64::MAX, "idle partitions need no entry");
+        p.set_next_tick(42);
+        assert_eq!(p.next_tick(), 42);
     }
 }

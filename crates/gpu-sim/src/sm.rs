@@ -147,6 +147,9 @@ pub struct Sm {
     /// Also emit [`Effect`]s for completed load segments (no functional
     /// meaning; the flush sanitizer needs read footprints). Off by default.
     record_loads: bool,
+    /// Authoritative component next-tick time mirrored by the engine's
+    /// calendar (`u64::MAX` = idle; see [`crate::component::Component`]).
+    next_tick: u64,
 }
 
 /// Error returned by [`Sm::begin_preempt`] (via the engine).
@@ -210,6 +213,9 @@ impl Sm {
             preempt: None,
             insts_issued_total: 0,
             record_loads: false,
+            // A fresh SM must be visited once so the engine discovers its
+            // idle state (mirrors the calendar's initial `(0, sm)` entries).
+            next_tick: 0,
         }
     }
 
@@ -1053,6 +1059,31 @@ impl Sm {
             }
             now = self.issue_free_at.max(now + 1);
         }
+    }
+}
+
+impl crate::component::Component for Sm {
+    fn component_id(&self) -> crate::component::ComponentId {
+        crate::component::ComponentId::Sm(self.id)
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.next_tick
+    }
+
+    fn set_next_tick(&mut self, t: u64) {
+        self.next_tick = t;
+    }
+
+    fn tick(&mut self, ctx: crate::component::TickCtx<'_>) -> u64 {
+        self.tick_bounded(
+            ctx.now,
+            ctx.desc,
+            ctx.mem.expect("SM ticks need the memory subsystem"),
+            ctx.seed,
+            ctx.out,
+            &ctx.limits,
+        )
     }
 }
 

@@ -140,6 +140,21 @@ impl Suite {
         self.benchmarks.iter().find(|b| b.name() == name)
     }
 
+    /// Look up a benchmark by label, panicking with the list of valid
+    /// labels when it is missing — for runners and tests where the name is
+    /// a hard-coded expectation, not user input.
+    ///
+    /// # Panics
+    /// If `name` is not in the suite.
+    pub fn require(&self, name: &str) -> &Benchmark {
+        self.benchmark(name).unwrap_or_else(|| {
+            panic!(
+                "benchmark {name:?} is not in the suite; available: {:?}",
+                self.names()
+            )
+        })
+    }
+
     /// Benchmark labels in suite order.
     pub fn names(&self) -> Vec<&str> {
         self.benchmarks.iter().map(Benchmark::name).collect()
@@ -205,7 +220,7 @@ mod tests {
     #[test]
     fn lud_has_many_launches_with_shrinking_grids() {
         let s = Suite::standard();
-        let lud = s.benchmark("LUD").unwrap();
+        let lud = s.require("LUD");
         assert!(
             lud.launches().len() > 60,
             "{} launches",
@@ -248,9 +263,9 @@ mod tests {
     #[test]
     fn multi_kernel_benchmarks_have_multiple_launches() {
         let s = Suite::standard();
-        assert_eq!(s.benchmark("BS").unwrap().launches().len(), 1);
-        assert_eq!(s.benchmark("BT").unwrap().launches().len(), 2);
-        assert_eq!(s.benchmark("FWT").unwrap().launches().len(), 3);
-        assert_eq!(s.benchmark("SAD").unwrap().launches().len(), 3);
+        assert_eq!(s.require("BS").launches().len(), 1);
+        assert_eq!(s.require("BT").launches().len(), 2);
+        assert_eq!(s.require("FWT").launches().len(), 3);
+        assert_eq!(s.require("SAD").launches().len(), 3);
     }
 }

@@ -16,12 +16,7 @@ fn periodic_request_accounting() {
     let suite = Suite::standard();
     let cfg = suite.config();
     for policy in Policy::paper_lineup(15.0) {
-        let r = run_periodic(
-            cfg,
-            suite.benchmark("NW").unwrap(),
-            policy,
-            &quick(cfg, 4_200.0),
-        );
+        let r = run_periodic(cfg, suite.require("NW"), policy, &quick(cfg, 4_200.0));
         // One request per period (1 ms), starting at t = 1 ms.
         assert_eq!(r.requests, 4, "{policy}");
         assert!(r.violations <= r.requests, "{policy}");
@@ -45,7 +40,7 @@ fn chimera_dominates_singles_on_violations() {
     let cfg = suite.config();
     let mut totals = [0u64; 4]; // switch, drain, flush, chimera
     for name in ["BS", "BT", "LC"] {
-        let bench = suite.benchmark(name).unwrap();
+        let bench = suite.require(name);
         for (i, policy) in Policy::paper_lineup(15.0).into_iter().enumerate() {
             totals[i] += run_periodic(cfg, bench, policy, &quick(cfg, 6_000.0)).violations;
         }
@@ -62,7 +57,7 @@ fn chimera_dominates_singles_on_violations() {
 fn oracle_bounds_every_policy_throughput() {
     let suite = Suite::standard();
     let cfg = suite.config();
-    let bench = suite.benchmark("ST").unwrap();
+    let bench = suite.require("ST");
     let oracle = run_periodic(cfg, bench, Policy::Oracle, &quick(cfg, 5_000.0));
     for policy in Policy::paper_lineup(15.0) {
         let r = run_periodic(cfg, bench, policy, &quick(cfg, 5_000.0));
@@ -91,8 +86,8 @@ fn multiprogramming_beats_fcfs_for_lud() {
     let mcfg = MultiprogConfig::paper_default()
         .budget_insts(600_000)
         .horizon_us(300_000.0);
-    let lud = suite.benchmark("LUD").unwrap();
-    let other = suite.benchmark("ST").unwrap();
+    let lud = suite.require("LUD");
+    let other = suite.require("ST");
     let lud_solo = run_solo(
         cfg,
         lud,
@@ -124,17 +119,12 @@ fn strict_condition_is_never_better_than_relaxed() {
     for name in ["BT", "NW", "HS"] {
         let relaxed = run_periodic(
             cfg,
-            relaxed_suite.benchmark(name).unwrap(),
+            relaxed_suite.require(name),
             Policy::Flush,
             &quick(cfg, 5_000.0),
         );
         let strict_pc = quick(cfg, 5_000.0).strict_idem(true);
-        let strict = run_periodic(
-            cfg,
-            strict_suite.benchmark(name).unwrap(),
-            Policy::Flush,
-            &strict_pc,
-        );
+        let strict = run_periodic(cfg, strict_suite.require(name), Policy::Flush, &strict_pc);
         assert!(
             strict.violations >= relaxed.violations,
             "{name}: strict {} < relaxed {}",
@@ -151,7 +141,7 @@ fn runners_are_deterministic() {
     let run = || {
         let r = run_periodic(
             cfg,
-            suite.benchmark("FWT").unwrap(),
+            suite.require("FWT"),
             Policy::chimera_us(15.0),
             &quick(cfg, 4_000.0),
         );

@@ -96,11 +96,15 @@ fn run_scenario(mode: ExecMode) -> (Vec<Event>, String, String) {
         }
     }
     events.extend(e.run_until(e.cycle() + 3_000_000));
+    // Partition stats pull the memory-partition components into the
+    // byte-identity check: the calendar must tick them at the same cycles
+    // in every mode for the retirement counters to agree.
     let stats = format!(
-        "{:?} | {:?} | {:?}",
+        "{:?} | {:?} | {:?} | {:?}",
         e.gpu_stats(),
         e.kernel_stats(ka),
-        e.kernel_stats(kb)
+        e.kernel_stats(kb),
+        e.mem_partition_stats()
     );
     let trace = chrome_trace_json(&e).expect("event log enabled");
     (events, stats, trace)

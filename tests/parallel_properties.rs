@@ -76,11 +76,15 @@ fn run(
         guard += 1;
         assert!(guard < 200, "kernels did not finish");
     }
+    // Partition stats fold the memory-partition components into the
+    // comparison: the component calendar must tick them at identical
+    // cycles in every mode for the retirement counters to agree.
     let stats = format!(
-        "{:?} | {:?} | {:?}",
+        "{:?} | {:?} | {:?} | {:?}",
         e.gpu_stats(),
         e.kernel_stats(a),
-        e.kernel_stats(b)
+        e.kernel_stats(b),
+        e.mem_partition_stats()
     );
     (events, stats)
 }
@@ -104,6 +108,93 @@ proptest! {
             let got = run(seed, num_sms, l1_bucket, &ka, &kb, ExecMode::Parallel { shards });
             prop_assert_eq!(&got.0, &reference.0, "events diverged at {} shards", shards);
             prop_assert_eq!(&got.1, &reference.1, "stats diverged at {} shards", shards);
+        }
+    }
+
+    /// The component calendar orders heterogeneous components (SMs and
+    /// memory partitions) identically to the linear reference scan on
+    /// arbitrary kernels: the merge key `(cycle, component_id)` resolves
+    /// every tie the same way in both modes.
+    #[test]
+    fn component_calendar_matches_scan_reference(
+        seed in 0u64..1_000_000,
+        num_sms in 2usize..7,
+        l1_bucket in 0u8..3,
+        ka in arb_kernel("cal_a"),
+        kb in arb_kernel("cal_b"),
+    ) {
+        let reference = run(seed, num_sms, l1_bucket, &ka, &kb, ExecMode::Scan);
+        let got = run(seed, num_sms, l1_bucket, &ka, &kb, ExecMode::Event);
+        prop_assert_eq!(&got.0, &reference.0, "events diverged from scan reference");
+        prop_assert_eq!(&got.1, &reference.1, "stats diverged from scan reference");
+    }
+
+    /// Two independent engine instances ("devices") produce the same
+    /// per-device output whether their step loops are interleaved or run
+    /// back to back, in any mode mix: nothing leaks between devices.
+    #[test]
+    fn two_devices_are_isolated_under_interleaving(
+        seed in 0u64..1_000_000,
+        num_sms in 2usize..6,
+        ka in arb_kernel("dev_a"),
+        kb in arb_kernel("dev_b"),
+        mode_bucket in 0u8..3,
+    ) {
+        let mode = match mode_bucket {
+            0 => ExecMode::Scan,
+            1 => ExecMode::Event,
+            _ => ExecMode::Parallel { shards: 2 },
+        };
+        let solo0 = run(seed, num_sms, 1, &ka, &kb, mode);
+        let solo1 = run(seed.wrapping_add(1), num_sms, 1, &ka, &kb, mode);
+
+        // Interleave: step both devices in small lockstep windows.
+        let cfg = GpuConfig { num_sms, l1_hit_fraction: 0.45, ..GpuConfig::tiny() };
+        let mut devs: Vec<Engine> = [seed, seed.wrapping_add(1)]
+            .iter()
+            .map(|&s| {
+                let mut e = Engine::with_seed(cfg.clone(), s);
+                e.set_exec_mode(mode);
+                e.set_break_on_kernel_finish(true);
+                e
+            })
+            .collect();
+        let mut kids = Vec::new();
+        for e in devs.iter_mut() {
+            let a = e.launch_kernel(ka.clone());
+            let b = e.launch_kernel(kb.clone());
+            for sm in 0..num_sms {
+                e.assign_sm(sm, Some(if sm % 2 == 0 { a } else { b }));
+            }
+            kids.push((a, b));
+        }
+        let mut streams = [Vec::new(), Vec::new()];
+        let mut guard = 0;
+        while devs.iter().zip(&kids).any(|(e, &(a, b))| {
+            !(e.kernel_stats(a).finished && e.kernel_stats(b).finished)
+        }) {
+            for (d, e) in devs.iter_mut().enumerate() {
+                let (a, b) = kids[d];
+                // Step only unfinished devices so each one stops at the
+                // same cycle as its solo reference run.
+                if !(e.kernel_stats(a).finished && e.kernel_stats(b).finished) {
+                    streams[d].extend(e.run_for(10_000_000));
+                }
+            }
+            guard += 1;
+            prop_assert!(guard < 400, "kernels did not finish");
+        }
+        for (d, solo) in [&solo0, &solo1].into_iter().enumerate() {
+            let (a, b) = kids[d];
+            let stats = format!(
+                "{:?} | {:?} | {:?} | {:?}",
+                devs[d].gpu_stats(),
+                devs[d].kernel_stats(a),
+                devs[d].kernel_stats(b),
+                devs[d].mem_partition_stats()
+            );
+            prop_assert_eq!(&streams[d], &solo.0, "device {} events diverged", d);
+            prop_assert_eq!(&stats, &solo.1, "device {} stats diverged", d);
         }
     }
 }
