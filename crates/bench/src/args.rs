@@ -42,6 +42,14 @@ pub struct RunArgs {
     /// sanitized pass is separate from the figure's own cells, so stdout
     /// stays byte-identical; the verdict goes to stderr.
     pub sanitize: bool,
+    /// Run every cell with the [shard-race sanitizer](gpu_sim::RaceSanitizer)
+    /// enabled (`--race-check`): any access to shared engine state during
+    /// the parallel engine's pure Phase A that is not routed through the
+    /// serial replay fails the process with a full violation report. The
+    /// sanitizer never perturbs simulation output, so stdout stays
+    /// byte-identical; it is zero-cost unless `--par-shards` puts the
+    /// engine in parallel mode.
+    pub race_check: bool,
     /// Drain/flush cost estimator: `--estimator static` (paper §4.1 bound,
     /// the default) or `--estimator online` (live per-kernel quantile
     /// tracking), with `--risk-quantile <q>` picking the online risk level.
@@ -66,6 +74,7 @@ impl Default for RunArgs {
             trace: None,
             events: None,
             sanitize: false,
+            race_check: false,
             estimator: EstimatorConfig::default(),
             devices: 1,
             placement: Placement::RoundRobin,
@@ -87,11 +96,14 @@ impl RunArgs {
     /// `horizon_us` scaled by `--scale` and the latency constraint taken
     /// verbatim. `sanitize` stays off here: the `--sanitize` flag drives a
     /// *separate* verification pass so stdout stays byte-identical.
+    /// `race_check` *does* thread through: the race sanitizer never changes
+    /// simulation output (it only observes), so the run itself carries it.
     pub fn common(&self, horizon_us: f64, constraint_us: f64) -> RunCommon {
         RunCommon::new(horizon_us * self.scale, constraint_us)
             .seed(self.seed)
             .estimator(self.estimator)
             .par_shards(self.par_shards)
+            .race_check(self.race_check)
     }
 
     /// Parse from an iterator (testable).
@@ -129,6 +141,9 @@ impl RunArgs {
                 "--sanitize" => {
                     out.sanitize = true;
                 }
+                "--race-check" => {
+                    out.race_check = true;
+                }
                 "--estimator" => {
                     let v = it.next().expect("--estimator needs a value");
                     out.estimator.mode = v
@@ -156,7 +171,7 @@ impl RunArgs {
                     eprintln!(
                         "usage: [--scale <f>] [--seed <n>] [--jobs <n>] \
                          [--par-shards <n>] [--trace <path>] [--events <path>] \
-                         [--sanitize] [--estimator static|online] \
+                         [--sanitize] [--race-check] [--estimator static|online] \
                          [--risk-quantile <q>] [--devices <n>] \
                          [--placement rr|least-loaded|tenant]"
                     );
@@ -231,6 +246,35 @@ mod tests {
         let a = RunArgs::parse(s(&["--sanitize", "--scale", "0.1"]));
         assert!(a.sanitize);
         assert!((a.scale - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parses_race_check_flag_and_threads_it_through_common() {
+        let a = RunArgs::parse(s(&[]));
+        assert!(!a.race_check, "race sanitizer off by default");
+        let a = RunArgs::parse(s(&["--race-check", "--par-shards", "2"]));
+        assert!(a.race_check);
+        let c = a.common(1_000.0, 15.0);
+        assert!(
+            c.race_check,
+            "unlike --sanitize, --race-check rides the run itself"
+        );
+    }
+
+    #[test]
+    fn par_shards_zero_is_serial_and_oversized_counts_clamp() {
+        // `--par-shards 0` (the default) keeps the serial event calendar.
+        let a = RunArgs::parse(s(&["--par-shards", "0"]));
+        let c = a.common(1_000.0, 15.0);
+        assert_eq!(c.exec_mode(), gpu_sim::ExecMode::Event);
+        // A shard count above the SM count is accepted at the CLI and
+        // clamped to one shard per SM by `Engine::set_exec_mode` — the
+        // documented resolution, not an error.
+        let a = RunArgs::parse(s(&["--par-shards", "9999"]));
+        let mut e = gpu_sim::Engine::with_seed(gpu_sim::GpuConfig::tiny(), a.seed);
+        let n = e.config().num_sms;
+        e.set_exec_mode(a.common(1_000.0, 15.0).exec_mode());
+        assert_eq!(e.exec_mode(), gpu_sim::ExecMode::Parallel { shards: n });
     }
 
     #[test]

@@ -103,6 +103,7 @@ impl EstimatorConfig {
     /// The configured risk quantile as an integer percentage (for event
     /// logs: all-integer fields keep the JSON schema byte-stable).
     pub fn risk_pct(&self) -> u32 {
+        // simlint: allow(as-narrowing) -- risk_quantile is clamped to [0,1], so the product rounds into 0..=100
         (self.risk_quantile * 100.0).round() as u32
     }
 }
@@ -174,8 +175,7 @@ impl P2Quantile {
             // Fill the initial buffer; sort once it is full.
             self.heights[n] = x;
             if n == 4 {
-                self.heights
-                    .sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+                self.heights.sort_unstable_by(|a, b| a.total_cmp(b));
             }
             return;
         }
@@ -249,7 +249,7 @@ impl P2Quantile {
             1..=4 => {
                 let mut buf = [0.0; 5];
                 buf[..n].copy_from_slice(&self.heights[..n]);
-                buf[..n].sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+                buf[..n].sort_unstable_by(|a, b| a.total_cmp(b));
                 let rank = ((self.q * n as f64).ceil() as usize).clamp(1, n);
                 Some(buf[rank - 1])
             }

@@ -383,6 +383,7 @@ pub fn run_serve_cluster(
                 Some(gpu_sim::ExecMode::Event) => b,
                 None => b.par_shards(scfg.common.par_shards),
             };
+            b = b.race_check(scfg.common.race_check);
             let gpu = b.build();
             DeviceState::new(gpu, scfg.lanes, wl.tenants.len())
         })
@@ -431,6 +432,9 @@ pub fn run_serve_cluster(
         }
     }
 
+    for (d, dev) in devs.iter().enumerate() {
+        super::assert_race_clean(dev.gpu.engine(), &format!("run_cluster device {d}"));
+    }
     let horizon_s = horizon_us / 1e6;
     let devices: Vec<DeviceOutcome> = devs
         .iter()

@@ -41,6 +41,12 @@ pub struct RunCommon {
     /// Run with the dynamic flush sanitizer enabled (slower; for
     /// verification passes, not measurement runs).
     pub sanitize: bool,
+    /// Run with the shard-race sanitizer enabled: every access to shared
+    /// engine state during the parallel engine's pure Phase A is checked
+    /// against the shadow ownership map (see `gpu_sim::RaceSanitizer`).
+    /// Zero-cost in serial modes; for verification passes, not measurement
+    /// runs.
+    pub race_check: bool,
     /// Number of SM shards for the engine's parallel execution mode
     /// (`gpu_sim::ExecMode::Parallel`). `0` (the default) keeps the serial
     /// event-calendar engine; any positive value shards intra-run SM
@@ -63,6 +69,7 @@ impl RunCommon {
             constraint_us,
             estimator: EstimatorConfig::default(),
             sanitize: false,
+            race_check: false,
             par_shards: 0,
         }
     }
@@ -97,6 +104,12 @@ impl RunCommon {
         self
     }
 
+    /// Enable or disable the shard-race sanitizer.
+    pub fn race_check(mut self, race_check: bool) -> Self {
+        self.race_check = race_check;
+        self
+    }
+
     /// Set the intra-run shard count (0 = serial engine).
     pub fn par_shards(mut self, par_shards: usize) -> Self {
         self.par_shards = par_shards;
@@ -126,6 +139,7 @@ mod tests {
         assert_eq!(c.seed, 42);
         assert_eq!(c.estimator, EstimatorConfig::default());
         assert!(!c.sanitize);
+        assert!(!c.race_check);
         assert_eq!(c.par_shards, 0);
         assert_eq!(c.exec_mode(), gpu_sim::ExecMode::Event);
         let c = c
@@ -134,12 +148,14 @@ mod tests {
             .constraint_us(30.0)
             .estimator(EstimatorConfig::online(0.5))
             .sanitize(true)
+            .race_check(true)
             .par_shards(4);
         assert_eq!(c.seed, 9);
         assert_eq!(c.horizon_us, 2_000.0);
         assert_eq!(c.constraint_us, 30.0);
         assert_eq!(c.estimator.mode, EstimatorMode::Online);
         assert!(c.sanitize);
+        assert!(c.race_check);
         assert_eq!(c.par_shards, 4);
         assert_eq!(c.exec_mode(), gpu_sim::ExecMode::Parallel { shards: 4 });
     }

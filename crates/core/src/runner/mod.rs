@@ -40,6 +40,18 @@ pub(crate) fn periodic_try_flush(engine: &mut Engine, sm: usize) -> bool {
     matches!(engine.preempt_sm(sm, &plan), Ok(true))
 }
 
+/// Panic with the full race report if the engine's shard-race sanitizer is
+/// enabled and recorded any Phase-A violation. A no-op when the sanitizer
+/// is off, so every runner calls this unconditionally at the end of a run.
+pub(crate) fn assert_race_clean(engine: &Engine, context: &str) {
+    if let Some(report) = engine.race_sanitizer().map(|s| s.report()) {
+        assert!(
+            report.is_clean(),
+            "shard-race sanitizer found violations in {context}:\n{report}"
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -14,7 +14,7 @@ use crate::policy::Policy;
 use crate::runner::{Job, RunCommon};
 use crate::select::{select_preemptions, SelectionRequest};
 use gpu_sim::{Engine, Event, GpuConfig, SmPreemptPlan, Technique};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use workloads::Benchmark;
 
 /// Configuration of a multiprogrammed run.
@@ -128,6 +128,9 @@ pub fn run_pair(
     let mut engine = Engine::with_seed(cfg.clone(), mcfg.common.seed);
     engine.set_exec_mode(mcfg.common.exec_mode());
     engine.set_break_on_kernel_finish(true);
+    if mcfg.common.race_check {
+        engine.enable_race_sanitizer();
+    }
     if policy.is_oracle() {
         engine.set_free_context_moves(true);
     }
@@ -139,7 +142,9 @@ pub fn run_pair(
     // Initial even ownership.
     let half = cfg.num_sms / 2;
     let mut owner: Vec<usize> = (0..cfg.num_sms).map(|sm| usize::from(sm >= half)).collect();
-    let mut in_flight: HashMap<usize, InFlight> = HashMap::new();
+    // Ordered map: `in_flight` is iterated while mutating the engine, so a
+    // HashMap would leak the OS-randomized hash seed into the simulation.
+    let mut in_flight: BTreeMap<usize, InFlight> = BTreeMap::new();
     for j in jobs.iter_mut() {
         j.ensure_running(&mut engine);
     }
@@ -176,15 +181,14 @@ pub fn run_pair(
                 _ => {}
             }
         }
-        // Flush-wait polling, sorted by SM index: `try_flush` mutates the
-        // engine, so HashMap iteration order would make runs
-        // non-reproducible.
-        let mut waiting: Vec<usize> = in_flight
+        // Flush-wait polling: `in_flight` is a BTreeMap, so this snapshot is
+        // already ordered by SM index — `try_flush` mutates the engine, so
+        // iteration order must be deterministic.
+        let waiting: Vec<usize> = in_flight
             .iter()
             .filter(|(_, f)| matches!(f, InFlight::FlushWait { .. }))
             .map(|(&sm, _)| sm)
             .collect();
-        waiting.sort_unstable();
         for sm in waiting {
             if super::periodic_try_flush(&mut engine, sm) {
                 in_flight.remove(&sm);
@@ -237,6 +241,7 @@ pub fn run_pair(
         t_multi: j.measured_at(),
         insts: j.useful_insts(engine),
     };
+    super::assert_race_clean(&engine, "run_pair");
     PairOutcome {
         jobs: [out(&jobs[0], &engine), out(&jobs[1], &engine)],
         preemptions,
@@ -265,7 +270,7 @@ fn rebalance(
     cfg: &GpuConfig,
     jobs: &[Job; 2],
     owner: &mut [usize],
-    in_flight: &mut HashMap<usize, InFlight>,
+    in_flight: &mut BTreeMap<usize, InFlight>,
     policy: Policy,
     mcfg: &MultiprogConfig,
     obs: &ObsBank,
@@ -384,6 +389,9 @@ pub fn run_fcfs(
     let mut engine = Engine::with_seed(cfg.clone(), mcfg.common.seed);
     engine.set_exec_mode(mcfg.common.exec_mode());
     engine.set_break_on_kernel_finish(true);
+    if mcfg.common.race_check {
+        engine.enable_race_sanitizer();
+    }
     let mut jobs = [
         Job::new(a.clone(), Some(mcfg.budget_insts)),
         Job::new(b.clone(), Some(mcfg.budget_insts)),
@@ -431,6 +439,7 @@ pub fn run_fcfs(
         t_multi: j.measured_at(),
         insts: j.useful_insts(engine),
     };
+    super::assert_race_clean(&engine, "run_fcfs");
     PairOutcome {
         jobs: [out(&jobs[0], &engine), out(&jobs[1], &engine)],
         preemptions: 0,

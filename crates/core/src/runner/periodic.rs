@@ -18,7 +18,7 @@ use crate::policy::Policy;
 use crate::runner::RunCommon;
 use crate::select::{select_preemptions, SelectionRequest};
 use gpu_sim::{Engine, Event, GpuConfig, SmPreemptPlan, Technique};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use workloads::{Benchmark, RtTask};
 
 /// Configuration for a periodic run.
@@ -140,7 +140,7 @@ fn task_kernel(cfg: &GpuConfig, task: &workloads::RtTask) -> gpu_sim::KernelDesc
     );
     let insts = u32::try_from(insts64).unwrap_or(u32::MAX);
     KernelDesc::builder("rt-task")
-        .grid_blocks(task.sms_needed as u32 * tbs_per_sm)
+        .grid_blocks(u32::try_from(task.sms_needed).expect("SM count fits u32") * tbs_per_sm)
         .threads_per_block(128)
         .regs_per_thread(16)
         .program(Program::new(vec![
@@ -222,12 +222,15 @@ struct Request {
 /// Shared mutable run state.
 #[derive(Debug)]
 struct RunState {
-    /// SM → release cycle (reserved by the RT task).
-    reserved: HashMap<usize, u64>,
+    /// SM → release cycle (reserved by the RT task). Ordered: the map is
+    /// iterated while mutating the engine, so a `HashMap` here would leak the
+    /// OS-randomized hash seed into the simulation (the hash-iter lint).
+    reserved: BTreeMap<usize, u64>,
     /// SM → request index (engine-level preemption in flight for the task).
     pending_preempt: HashMap<usize, usize>,
     /// SM → request index (flush policy waiting for an idempotent moment).
-    flush_wait: HashMap<usize, usize>,
+    /// Ordered for the same reason as `reserved`.
+    flush_wait: BTreeMap<usize, usize>,
     /// Task kernel → SMs it occupies (only when `simulate_task` is on).
     task_sms: HashMap<gpu_sim::KernelId, Vec<usize>>,
     requests: Vec<Request>,
@@ -287,6 +290,9 @@ pub fn run_periodic_traced(
     if pcfg.common.sanitize {
         engine.enable_sanitizer();
     }
+    if pcfg.common.race_check {
+        engine.enable_race_sanitizer();
+    }
     engine.set_break_on_kernel_finish(true);
     engine.set_prefer_preempted(pcfg.prefer_preempted);
     if policy.is_oracle() {
@@ -295,9 +301,9 @@ pub fn run_periodic_traced(
     let mut job = crate::runner::Job::new(bench.clone(), None);
     job.ensure_running(&mut engine);
     let mut st = RunState {
-        reserved: HashMap::new(),
+        reserved: BTreeMap::new(),
         pending_preempt: HashMap::new(),
-        flush_wait: HashMap::new(),
+        flush_wait: BTreeMap::new(),
         task_sms: HashMap::new(),
         requests: Vec::new(),
         obs: ObsBank::with_estimator(pcfg.common.estimator),
@@ -374,12 +380,10 @@ pub fn run_periodic_traced(
             }
         }
         // Flush policy: reset SMs the moment every resident block is safe.
-        // Sorted by SM index: `try_flush`/`acquire` mutate the engine, so
-        // HashMap iteration order would leak into the simulation and make
-        // runs non-reproducible.
-        let mut waiting: Vec<(usize, usize)> =
-            st.flush_wait.iter().map(|(&s, &r)| (s, r)).collect();
-        waiting.sort_unstable();
+        // `flush_wait` is a BTreeMap, so this snapshot is already ordered by
+        // SM index — `try_flush`/`acquire` mutate the engine, so iteration
+        // order must be deterministic.
+        let waiting: Vec<(usize, usize)> = st.flush_wait.iter().map(|(&s, &r)| (s, r)).collect();
         for (sm, req_idx) in waiting {
             if periodic_try_flush(&mut engine, sm) {
                 st.flush_wait.remove(&sm);
@@ -467,6 +471,7 @@ pub fn run_periodic_traced(
         flush_count,
         drain_samples: st.drains.into_samples(),
     };
+    super::assert_race_clean(&engine, "run_periodic");
     (result, engine)
 }
 

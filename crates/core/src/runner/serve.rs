@@ -528,6 +528,7 @@ pub fn run_serve(cfg: &GpuConfig, wl: &ServeWorkload, scfg: &ServeConfig) -> Ser
         .estimator(scfg.common.estimator)
         .seed(scfg.common.seed)
         .par_shards(scfg.common.par_shards)
+        .race_check(scfg.common.race_check)
         .build();
     run_serve_on(&mut gpu, wl, scfg)
 }
@@ -548,6 +549,7 @@ pub fn run_serve_traced(
         .estimator(scfg.common.estimator)
         .seed(scfg.common.seed)
         .par_shards(scfg.common.par_shards)
+        .race_check(scfg.common.race_check)
         .event_log(event_capacity)
         .build();
     let res = run_serve_on(&mut gpu, wl, scfg);
@@ -726,6 +728,7 @@ pub fn run_serve_on(gpu: &mut GpuScheduler, wl: &ServeWorkload, scfg: &ServeConf
             },
         })
         .collect();
+    super::assert_race_clean(gpu.engine(), "run_serve");
     ServeResult {
         offered,
         admitted,

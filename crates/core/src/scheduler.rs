@@ -43,7 +43,7 @@ use crate::partition::PartitionPolicy;
 use crate::policy::Policy;
 use crate::select::{select_preemptions, SelectionRequest};
 use gpu_sim::{Engine, Event, GpuConfig, KernelId, ShedReason, SmPreemptPlan, Technique};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Identifies a registered process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -124,6 +124,7 @@ pub struct GpuSchedulerBuilder {
     event_log_capacity: usize,
     scan_scheduler: bool,
     par_shards: usize,
+    race_check: bool,
 }
 
 impl GpuSchedulerBuilder {
@@ -181,6 +182,16 @@ impl GpuSchedulerBuilder {
         self
     }
 
+    /// Enable the engine's shard-race sanitizer (default off): shared-state
+    /// accesses during the parallel engine's pure Phase A are checked
+    /// against a shadow ownership map (see [`gpu_sim::RaceSanitizer`]).
+    /// Zero-cost in serial modes; for verification passes, not measurement
+    /// runs.
+    pub fn race_check(mut self, race_check: bool) -> Self {
+        self.race_check = race_check;
+        self
+    }
+
     /// Build the scheduler over a fresh engine.
     pub fn build(self) -> GpuScheduler {
         let mut engine = Engine::with_seed(self.cfg, self.seed);
@@ -200,6 +211,9 @@ impl GpuSchedulerBuilder {
         } else {
             gpu_sim::ExecMode::Event
         });
+        if self.race_check {
+            engine.enable_race_sanitizer();
+        }
         let n = engine.config().num_sms;
         GpuScheduler {
             engine,
@@ -208,7 +222,7 @@ impl GpuSchedulerBuilder {
             obs: ObsBank::with_estimator(self.estimator),
             procs: Vec::new(),
             owner: vec![None; n],
-            in_flight: HashMap::new(),
+            in_flight: BTreeMap::new(),
             events: Vec::new(),
         }
     }
@@ -230,7 +244,9 @@ pub struct GpuScheduler {
     procs: Vec<ProcState>,
     /// Owning process per SM (`None` until first partition).
     owner: Vec<Option<usize>>,
-    in_flight: HashMap<usize, InFlight>,
+    /// Ordered map: iterated while mutating the engine, so a `HashMap` would
+    /// leak the OS-randomized hash seed into the simulation.
+    in_flight: BTreeMap<usize, InFlight>,
     events: Vec<SchedEvent>,
 }
 
@@ -248,6 +264,7 @@ impl GpuScheduler {
             event_log_capacity: 0,
             scan_scheduler: false,
             par_shards: 0,
+            race_check: false,
         }
     }
 
@@ -460,16 +477,15 @@ impl GpuScheduler {
         if self.procs.is_empty() {
             return;
         }
-        // Flush-wait polling, sorted by SM index: `try_flush` mutates the
-        // engine, so HashMap iteration order would make runs
-        // non-reproducible.
-        let mut waiting: Vec<usize> = self
+        // Flush-wait polling: `in_flight` is a BTreeMap, so this snapshot is
+        // already ordered by SM index — `try_flush` mutates the engine, so
+        // iteration order must be deterministic.
+        let waiting: Vec<usize> = self
             .in_flight
             .iter()
             .filter(|(_, f)| **f == InFlight::FlushWait)
             .map(|(&sm, _)| sm)
             .collect();
-        waiting.sort_unstable();
         for sm in waiting {
             if super::runner::periodic_try_flush(&mut self.engine, sm) {
                 self.in_flight.remove(&sm);

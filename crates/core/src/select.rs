@@ -335,8 +335,8 @@ mod tests {
 
     #[test]
     fn returns_requested_number_of_sms() {
-        let sms: Vec<SmSnapshot> = (0..6)
-            .map(|i| snap(i, vec![(i as u32, 100, false)]))
+        let sms: Vec<SmSnapshot> = (0u32..6)
+            .map(|i| snap(i as usize, vec![(i, 100, false)]))
             .collect();
         let plans = select_preemptions(&cfg(), &req(15.0, 4), &sms);
         assert_eq!(plans.len(), 4);
@@ -352,14 +352,15 @@ mod tests {
         // 2 us limit nothing meets, but the request must still be served.
         let mut r = req(2.0, 2);
         r.obs = KernelObs::default();
-        let sms: Vec<SmSnapshot> = (0..3)
-            .map(|i| snap(i, vec![(i as u32, 50, true)]))
+        let sms: Vec<SmSnapshot> = (0u32..3)
+            .map(|i| snap(i as usize, vec![(i, 50, true)]))
             .collect();
         let plans = select_preemptions(&cfg(), &r, &sms);
         assert_eq!(plans.len(), 2);
         for p in &plans {
             assert!(!p.meets(r.limit_cycles));
-            assert_eq!(p.plan.technique_for(p.sm as u32), Some(Technique::Switch));
+            let sm = u32::try_from(p.sm).unwrap();
+            assert_eq!(p.plan.technique_for(sm), Some(Technique::Switch));
         }
     }
 

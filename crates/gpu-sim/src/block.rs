@@ -83,6 +83,7 @@ pub fn scaled_segments(desc: &KernelDesc, seed: u64, index: u32) -> Vec<u32> {
         .map(|s| match s {
             Segment::Barrier => 0,
             Segment::ProtectStore => 1,
+            // simlint: allow(as-narrowing) -- saturating float cast of a u32 count scaled by at most 2x jitter
             _ => ((f64::from(s.insts()) * factor).round() as u32).max(1),
         })
         .collect()

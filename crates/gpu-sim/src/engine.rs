@@ -134,8 +134,10 @@ pub enum ExecMode {
     /// worker threads between epoch barriers; interactions with shared
     /// state replay serially in calendar order.
     Parallel {
-        /// Worker shards the SMs are partitioned into, clamped to ≥ 1.
-        /// `1` exercises the epoch machinery without threads.
+        /// Worker shards the SMs are partitioned into.
+        /// [`Engine::set_exec_mode`] clamps this to `1..=num_sms`: `1`
+        /// exercises the epoch machinery without threads, and more shards
+        /// than SMs would only produce empty shards.
         shards: usize,
     },
 }
@@ -395,6 +397,9 @@ pub struct Engine {
     /// enabled, SMs additionally emit effects for completed load segments
     /// so read footprints are observable.
     san: Option<crate::sanitizer::FlushSanitizer>,
+    /// Shard-race sanitizer (see [`crate::race`]); `None` (the default)
+    /// records nothing and costs one `is-some` check on shared-state paths.
+    race: Option<crate::race::RaceSanitizer>,
 }
 
 // The experiment harness runs one Engine per worker thread; moving an Engine
@@ -439,6 +444,7 @@ impl Engine {
             events: Vec::new(),
             obs: None,
             san: None,
+            race: None,
             cfg,
         }
     }
@@ -504,6 +510,71 @@ impl Engine {
             sm.set_record_loads(false);
         }
         self.san.take()
+    }
+
+    /// Turn on the shard-race sanitizer (see [`crate::race`]): from now on
+    /// every instrumented shared resource — memory partitions, functional
+    /// memory, the dispatcher, the component-wake path — reports its
+    /// accesses, and any access observed while Phase-A shard workers are
+    /// running is recorded as a violation. Timing is unaffected; the
+    /// sanitizer only observes, so sanitized runs stay byte-identical.
+    /// Replaces any previous race-sanitizer state.
+    ///
+    /// ```
+    /// use gpu_sim::{Engine, GpuConfig};
+    ///
+    /// let mut engine = Engine::new(GpuConfig::tiny());
+    /// assert!(engine.race_sanitizer().is_none(), "off by default");
+    /// engine.enable_race_sanitizer();
+    /// assert!(engine.race_sanitizer().unwrap().report().is_clean());
+    /// ```
+    pub fn enable_race_sanitizer(&mut self) {
+        let san = crate::race::RaceSanitizer::new();
+        self.mem
+            .set_race_state(Some(std::sync::Arc::clone(san.state())));
+        for sm in &mut self.sms {
+            sm.set_race_probe(Some(crate::race::RaceProbe::new(std::sync::Arc::clone(
+                san.state(),
+            ))));
+        }
+        self.race = Some(san);
+    }
+
+    /// The shard-race sanitizer, if enabled.
+    pub fn race_sanitizer(&self) -> Option<&crate::race::RaceSanitizer> {
+        self.race.as_ref()
+    }
+
+    /// Detach and return the race sanitizer, disabling further checking.
+    pub fn take_race_sanitizer(&mut self) -> Option<crate::race::RaceSanitizer> {
+        self.mem.set_race_state(None);
+        for sm in &mut self.sms {
+            sm.set_race_probe(None);
+        }
+        self.race.take()
+    }
+
+    /// Attach a deliberately-racy shared cell to the given SMs and return a
+    /// handle to it (test support; see [`crate::race::TestSharedCell`]).
+    /// Every committed pure tick on those SMs bumps the shared cell, which
+    /// the race sanitizer must flag during Phase A — this validates the
+    /// oracle catches exactly the "new shared resource touched from a pure
+    /// tick" bug class.
+    ///
+    /// # Panics
+    ///
+    /// If the race sanitizer is not enabled.
+    #[doc(hidden)]
+    pub fn attach_racy_test_cell(&mut self, sms: &[usize]) -> crate::race::TestSharedCell {
+        let cell = self
+            .race
+            .as_ref()
+            .expect("enable_race_sanitizer first")
+            .test_cell();
+        for &i in sms {
+            self.sms[i].set_test_shared_cell(Some(cell.clone()));
+        }
+        cell
     }
 
     /// Record one per-block Algorithm 1 decision (an
@@ -707,11 +778,16 @@ impl Engine {
 
     /// Select the execution mode (see [`ExecMode`]). Can be switched at any
     /// point between runs; all modes produce byte-identical output.
-    /// [`ExecMode::Parallel`] shard counts are clamped to ≥ 1.
+    ///
+    /// [`ExecMode::Parallel`] shard counts are clamped to `1..=num_sms`:
+    /// `0` becomes `1` (the epoch machinery without extra threads), and
+    /// counts above the SM count become `num_sms` (one SM per shard is
+    /// already the finest partition; extra shards would only be empty).
+    /// [`Engine::exec_mode`] reports the clamped value.
     pub fn set_exec_mode(&mut self, mode: ExecMode) {
         self.mode = match mode {
             ExecMode::Parallel { shards } => ExecMode::Parallel {
-                shards: shards.max(1),
+                shards: shards.clamp(1, self.sms.len().max(1)),
             },
             m => m,
         };
@@ -761,6 +837,13 @@ impl Engine {
     /// holds an entry matching the current value (`u64::MAX` — idle with
     /// nothing pending — needs no entry; stale entries are lazily discarded).
     fn wake_component(&mut self, cid: ComponentId, t: u64) {
+        if let Some(r) = &self.race {
+            r.state().note_shared_access(
+                crate::race::SharedResource::ComponentWake,
+                None,
+                self.cycle,
+            );
+        }
         if self.component_next(cid) == t {
             // An entry for this exact time is already in the calendar.
             return;
@@ -1013,7 +1096,7 @@ impl Engine {
                 cycle: self.cycle,
                 sm,
                 kernel,
-                blocks: plan.entries.len() as u32,
+                blocks: u32::try_from(plan.entries.len()).expect("resident block count fits u32"),
             });
             for &(id, wasted, _) in &flushed {
                 log.push(ObsEvent::BlockEnd {
@@ -1325,6 +1408,14 @@ impl Engine {
             };
         let chunk = self.sms.len().div_ceil(shards.max(1)).max(1);
         let mut results: Vec<(usize, u64, u64)> = Vec::new();
+        // Phase-A window for the race sanitizer: every instrumented
+        // shared-state access between here and the matching exit is, by the
+        // purity contract, a violation. Raised before any worker (including
+        // the inline `shards <= 1` path) runs a pure tick, lowered before
+        // the serial commit loop below issues its sanctioned wakes.
+        if let Some(r) = &self.race {
+            r.state().enter_pure_phase();
+        }
         if shards <= 1 {
             results = worker(&mut self.sms, &jobs, &descs, 0);
         } else {
@@ -1355,6 +1446,9 @@ impl Engine {
                 }
             });
             results.sort_unstable_by_key(|&(i, _, _)| i);
+        }
+        if let Some(r) = &self.race {
+            r.state().exit_pure_phase();
         }
         for (i, next, issued) in results {
             // `next` is the cycle of the SM's first unexecuted tick (its
@@ -1429,6 +1523,13 @@ impl Engine {
             self.mark_dispatch_dirty();
         }
         for e in &out.effects {
+            if let Some(r) = &self.race {
+                r.state().note_shared_access(
+                    crate::race::SharedResource::FuncMem(e.kernel.0),
+                    Some(sm),
+                    self.cycle,
+                );
+            }
             self.kernels[e.kernel.0].apply_effect(e);
             if let Some(san) = self.san.as_mut() {
                 let seg = self.kernels[e.kernel.0].desc.program().segments()[e.seg_idx];
@@ -1519,6 +1620,10 @@ impl Engine {
     }
 
     fn dispatch_all(&mut self) {
+        if let Some(r) = &self.race {
+            r.state()
+                .note_shared_access(crate::race::SharedResource::Dispatcher, None, self.cycle);
+        }
         for i in 0..self.sms.len() {
             let Some(kid) = self.sms[i].assigned() else {
                 continue;
@@ -2007,5 +2112,95 @@ mod tests {
         assert!(e.kernel_stats(b).finished);
         assert_eq!(e.output_mismatches(a), 0);
         assert_eq!(e.output_mismatches(b), 0);
+    }
+
+    #[test]
+    fn parallel_shard_counts_clamp_to_sm_count() {
+        let mut e = Engine::new(cfg());
+        let n = e.config().num_sms;
+        // 0 shards → 1 (epoch machinery, no extra threads).
+        e.set_exec_mode(ExecMode::Parallel { shards: 0 });
+        assert_eq!(e.exec_mode(), ExecMode::Parallel { shards: 1 });
+        // More shards than SMs → one shard per SM.
+        e.set_exec_mode(ExecMode::Parallel { shards: n + 100 });
+        assert_eq!(e.exec_mode(), ExecMode::Parallel { shards: n });
+        // In-range values are kept, serial modes untouched.
+        e.set_exec_mode(ExecMode::Parallel { shards: n });
+        assert_eq!(e.exec_mode(), ExecMode::Parallel { shards: n });
+        e.set_exec_mode(ExecMode::Scan);
+        assert_eq!(e.exec_mode(), ExecMode::Scan);
+    }
+
+    #[test]
+    fn race_sanitizer_is_clean_on_a_parallel_run() {
+        let mut e = Engine::new(cfg());
+        e.set_exec_mode(ExecMode::Parallel { shards: 2 });
+        e.enable_race_sanitizer();
+        let k = e.launch_kernel(simple_kernel(32, 400));
+        assign_all(&mut e, k);
+        e.run_until(50_000_000);
+        assert!(e.kernel_stats(k).finished);
+        let report = e.take_race_sanitizer().expect("enabled").report();
+        assert!(report.is_clean(), "{report}");
+        assert!(report.pure_windows > 0, "Phase A must have run: {report}");
+        assert!(
+            report.shared_accesses_checked > 0,
+            "oracle must observe serial replay traffic: {report}"
+        );
+        assert!(report.resources_tracked > 0, "{report}");
+    }
+
+    #[test]
+    fn race_sanitizer_does_not_perturb_output() {
+        let run = |sanitize: bool| {
+            let mut e = Engine::with_seed(cfg(), 7);
+            e.set_exec_mode(ExecMode::Parallel { shards: 2 });
+            if sanitize {
+                e.enable_race_sanitizer();
+            }
+            let k = e.launch_kernel(simple_kernel(24, 300));
+            assign_all(&mut e, k);
+            let events = e.run_until(50_000_000);
+            (events, format!("{:?}", e.kernel_stats(k)))
+        };
+        assert_eq!(run(false), run(true), "sanitizer must only observe");
+    }
+
+    #[test]
+    fn racy_test_cell_trips_the_sanitizer_in_parallel_mode() {
+        let mut e = Engine::new(cfg());
+        e.set_exec_mode(ExecMode::Parallel { shards: 2 });
+        e.enable_race_sanitizer();
+        let cell = e.attach_racy_test_cell(&[0, 1]);
+        let k = e.launch_kernel(simple_kernel(32, 400));
+        assign_all(&mut e, k);
+        e.run_until(50_000_000);
+        assert!(e.kernel_stats(k).finished);
+        assert!(cell.value() > 0, "pure ticks must have bumped the cell");
+        let report = e.race_sanitizer().expect("enabled").report();
+        assert!(
+            report.violation_count >= 1,
+            "unrouted Phase-A effect must be flagged: {report}"
+        );
+        assert!(report
+            .violations
+            .iter()
+            .all(|v| v.resource == crate::race::SharedResource::TestCell));
+    }
+
+    #[test]
+    fn racy_test_cell_is_silent_in_serial_modes() {
+        // In serial modes no pure tick ever runs, so the cell never bumps
+        // and the sanitizer (correctly) sees nothing: the violation above
+        // is specific to Phase A.
+        let mut e = Engine::new(cfg());
+        e.enable_race_sanitizer();
+        let cell = e.attach_racy_test_cell(&[0, 1]);
+        let k = e.launch_kernel(simple_kernel(16, 200));
+        assign_all(&mut e, k);
+        e.run_until(50_000_000);
+        assert!(e.kernel_stats(k).finished);
+        assert_eq!(cell.value(), 0, "serial modes never commit pure ticks");
+        assert!(e.race_sanitizer().expect("enabled").report().is_clean());
     }
 }

@@ -51,6 +51,7 @@ pub mod kernel;
 pub mod mem;
 pub mod occupancy;
 pub mod preempt;
+pub mod race;
 pub mod rng;
 pub mod sanitizer;
 pub mod sm;
@@ -67,6 +68,7 @@ pub use kernel::{AccessRegion, KernelDesc, KernelDescBuilder, KernelError, Progr
 pub use mem::{MemPartitionStats, MemSubsystem};
 pub use occupancy::{occupancy, LimitReason, Occupancy};
 pub use preempt::{PreemptOutcome, SmPreemptPlan, Technique};
+pub use race::{RaceReport, RaceSanitizer, RaceViolation, SharedResource, TestSharedCell};
 pub use sanitizer::{FlushSanitizer, SanitizerReport, UnsafeWrite};
 pub use sm::{PreemptError, Sm, SmMode, SmSnapshot, TbSnapshotInfo, TickLimits};
 pub use stats::{GpuStats, KernelStats};

@@ -106,6 +106,9 @@ pub struct MemSubsystem {
     /// Partitions that went idle→pending since the engine last synced its
     /// calendar (insertion order; accesses are serial, so deterministic).
     newly_pending: Vec<usize>,
+    /// Shard-race sanitizer recording state, shared with the engine; `None`
+    /// (the default) records nothing (see [`crate::race`]).
+    race: Option<std::sync::Arc<crate::race::RaceState>>,
 }
 
 impl MemSubsystem {
@@ -119,7 +122,14 @@ impl MemSubsystem {
             latency: cfg.mem_latency_cycles,
             rr_next: 0,
             newly_pending: Vec::new(),
+            race: None,
         }
+    }
+
+    /// Wire (or clear) the shard-race sanitizer's recording state: every
+    /// partition access and component tick reports itself while set.
+    pub(crate) fn set_race_state(&mut self, race: Option<std::sync::Arc<crate::race::RaceState>>) {
+        self.race = race;
     }
 
     /// Issue a request for `bytes` at address `addr` at cycle `now`.
@@ -162,6 +172,9 @@ impl MemSubsystem {
     }
 
     fn access_partition(&mut self, now: u64, idx: usize, bytes: u64) -> u64 {
+        if let Some(race) = &self.race {
+            race.note_shared_access(crate::race::SharedResource::MemPartition(idx), None, now);
+        }
         let p = &mut self.partitions[idx];
         let start = p.free_at.max(now);
         let service = (bytes as f64 / self.bytes_per_cycle).ceil() as u64;
@@ -221,6 +234,9 @@ impl MemSubsystem {
         now: u64,
         out: &mut crate::sm::SmOutput,
     ) -> u64 {
+        if let Some(race) = &self.race {
+            race.note_shared_access(crate::race::SharedResource::MemPartition(idx), None, now);
+        }
         let ctx = TickCtx {
             now,
             seed: 0,

@@ -147,6 +147,13 @@ pub struct Sm {
     /// Also emit [`Effect`]s for completed load segments (no functional
     /// meaning; the flush sanitizer needs read footprints). Off by default.
     record_loads: bool,
+    /// Shard-race sanitizer probe reporting pure-advance windows; `None`
+    /// (the default) records nothing (see [`crate::race`]).
+    race_probe: Option<crate::race::RaceProbe>,
+    /// Deliberately-racy shared cell bumped from committed pure ticks:
+    /// test support for validating the race sanitizer (never set outside
+    /// tests; see [`crate::race::TestSharedCell`]).
+    test_cell: Option<crate::race::TestSharedCell>,
     /// Authoritative component next-tick time mirrored by the engine's
     /// calendar (`u64::MAX` = idle; see [`crate::component::Component`]).
     next_tick: u64,
@@ -213,6 +220,8 @@ impl Sm {
             preempt: None,
             insts_issued_total: 0,
             record_loads: false,
+            race_probe: None,
+            test_cell: None,
             // A fresh SM must be visited once so the engine discovers its
             // idle state (mirrors the calendar's initial `(0, sm)` entries).
             next_tick: 0,
@@ -222,6 +231,18 @@ impl Sm {
     /// Emit effects for completed load segments too (sanitizer support).
     pub fn set_record_loads(&mut self, on: bool) {
         self.record_loads = on;
+    }
+
+    /// Wire (or clear) the shard-race sanitizer probe: each
+    /// [`Sm::advance_pure`] window reports itself while set.
+    pub(crate) fn set_race_probe(&mut self, probe: Option<crate::race::RaceProbe>) {
+        self.race_probe = probe;
+    }
+
+    /// Attach (or detach) the deliberately-racy test cell (see
+    /// [`crate::race::TestSharedCell`]): every committed pure tick bumps it.
+    pub(crate) fn set_test_shared_cell(&mut self, cell: Option<crate::race::TestSharedCell>) {
+        self.test_cell = cell;
     }
 
     /// L1 data-cache hit/miss counters.
@@ -264,7 +285,7 @@ impl Sm {
         self.assigned == Some(kernel)
             && self.preempt.is_none()
             && self.resident_kernel().is_none_or(|k| k == kernel)
-            && (self.blocks.len() as u32) < occupancy
+            && self.blocks.len() < occupancy as usize
     }
 
     /// Current mode (for reporting).
@@ -580,7 +601,7 @@ impl Sm {
                 seed,
                 block.id.kernel.0 as u64,
                 u64::from(block.id.index),
-                u64::from(wi as u32),
+                wi as u64,
                 now,
             ]);
             // Per-SM L1: a deterministic fraction of accesses hits on chip
@@ -611,6 +632,7 @@ impl Sm {
                 out.effects.push(Effect {
                     kernel: block.id.kernel,
                     block: block.id.index,
+                    // simlint: allow(as-narrowing) -- warp index is bounded by warps-per-block (< 64)
                     warp: wi as u32,
                     seg_idx,
                 });
@@ -692,6 +714,7 @@ impl Sm {
             if ticks < 2 {
                 return None;
             }
+            // simlint: allow(as-narrowing) -- ticks * chunk is capped at INSTS_CAP (2^30) above
             let per_warp = (ticks * chunk) as u32;
             let blk = &mut self.blocks[bi];
             let warp = &mut blk.warps_mut()[wi];
@@ -762,6 +785,7 @@ impl Sm {
                     .min(INSTS_CAP / (n_ready * chunk));
                 let ticks = rot * n_ready;
                 if ticks >= 2 {
+                    // simlint: allow(as-narrowing) -- rot * chunk is capped at INSTS_CAP / n_ready above
                     let per_warp = (rot * chunk) as u32;
                     for s in 0..n {
                         let (b, w) = (s / wpb, s % wpb);
@@ -850,6 +874,7 @@ impl Sm {
     /// into the SM-wide counters and return the next-action cycle.
     fn commit_batch(&mut self, now: u64, insts: u64, out: &mut SmOutput) -> Option<u64> {
         self.insts_issued_total += insts;
+        // simlint: allow(as-narrowing) -- per-call batches are capped at INSTS_CAP (2^30) by the issue paths
         out.issued_insts += insts as u32;
         self.issue_free_at = now + self.issue_interval * insts;
         Some(self.issue_free_at.max(now + 1))
@@ -883,6 +908,23 @@ impl Sm {
     /// next needs the serial engine (`u64::MAX` when idle), and the warp
     /// instructions issued during the pure window.
     pub(crate) fn advance_pure(
+        &mut self,
+        start: u64,
+        bound: u64,
+        desc: Option<&KernelDesc>,
+        seed: u64,
+    ) -> (u64, u64) {
+        let res = self.advance_pure_inner(start, bound, desc, seed);
+        if let Some(probe) = &self.race_probe {
+            // Claim this SM's local state in the shadow ownership map and
+            // report the committed work, so a clean report proves the
+            // oracle actually observed Phase-A traffic.
+            probe.on_pure_window(self.id, res.1);
+        }
+        res
+    }
+
+    fn advance_pure_inner(
         &mut self,
         start: u64,
         bound: u64,
@@ -1006,7 +1048,7 @@ impl Sm {
                     seed,
                     blk.id.kernel.0 as u64,
                     u64::from(blk.id.index),
-                    u64::from(wi as u32),
+                    wi as u64,
                     now,
                 ]);
                 let cacheable = !outcome.protect_store;
@@ -1032,9 +1074,15 @@ impl Sm {
             };
             let mut out = SmOutput::default();
             if let Some(next) = self.try_issue_batch(now, bi, wi, segments, &limits, &mut out) {
+                if let Some(cell) = &self.test_cell {
+                    cell.bump(self.id, now);
+                }
                 issued += u64::from(out.issued_insts);
                 now = next;
                 continue;
+            }
+            if let Some(cell) = &self.test_cell {
+                cell.bump(self.id, now);
             }
             let block = &mut self.blocks[bi];
             block.warps_mut()[wi] = probe;

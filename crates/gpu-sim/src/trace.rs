@@ -96,6 +96,7 @@ impl UtilizationTrace {
                         SmSample::Idle
                     } else {
                         SmSample::Busy {
+                            // simlint: allow(as-narrowing) -- clamped to 255 on the same expression
                             resident: r.min(255) as u8,
                         }
                     }
@@ -161,7 +162,7 @@ fn json_escape(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
             c => out.push(c),
         }
     }

@@ -1,0 +1,18 @@
+//! Fixture: unchecked narrowing casts in accounting code. A u64 sample
+//! count cast `as u32` saturates silently past 4Gi — exactly the u32
+//! sample-saturation bug the PR 4 accounting audit fixed.
+
+pub fn record(total_insts: u64) -> u32 {
+    // BUG (as-narrowing): silently truncates past u32::MAX.
+    total_insts as u32
+}
+
+pub fn widen(x: u32) -> u64 {
+    // Fine: widening casts are lossless.
+    u64::from(x)
+}
+
+pub fn justified(x: u64) -> u32 {
+    // Suppressed with a justification: accepted.
+    (x % 7) as u32 // simlint: allow(as-narrowing) -- remainder mod 7 fits in u32
+}

@@ -1,0 +1,17 @@
+//! Fixture: nondeterminism sources in engine code. Wall clocks, OS-seeded
+//! hashers and ad-hoc threads all leak host state into what must be a pure
+//! function of the seed.
+
+use std::time::Instant;
+
+pub fn timestamped_tick() -> u64 {
+    // BUG (nondet-source): wall clock in simulation state.
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn racy_sum(xs: Vec<u64>) -> u64 {
+    // BUG (nondet-source): ad-hoc thread outside the sanctioned pool.
+    let h = std::thread::spawn(move || xs.iter().sum());
+    h.join().unwrap()
+}

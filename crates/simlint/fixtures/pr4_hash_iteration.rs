@@ -1,0 +1,31 @@
+//! Fixture: the PR 4 determinism leak, reduced. Flush-wait polling iterated
+//! a `HashMap` directly, so the order SMs were re-armed in followed the
+//! OS-randomized hash seed — byte-different event streams run to run.
+//! simlint must flag the iteration with file:line provenance.
+
+use std::collections::HashMap;
+
+pub struct FlushWait {
+    flush_wait: HashMap<usize, u64>,
+}
+
+impl FlushWait {
+    pub fn poll(&mut self, now: u64) -> Vec<usize> {
+        let mut ready = Vec::new();
+        // BUG (hash-iter): iteration order is OS-randomized.
+        for (&sm, &t) in self.flush_wait.iter() {
+            if t <= now {
+                ready.push(sm);
+            }
+        }
+        for sm in &ready {
+            self.flush_wait.remove(sm);
+        }
+        ready
+    }
+
+    pub fn pending(&self) -> usize {
+        // Fine: size queries don't observe ordering.
+        self.flush_wait.len()
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture: the PR 9 robustness bug, reduced. Sorting float cost samples
+//! with `partial_cmp().unwrap()` panics the whole run the moment a NaN
+//! (e.g. a 0/0 utilization ratio) enters the samples. simlint must flag
+//! both call sites.
+
+pub fn quantile(samples: &mut Vec<f64>, q: f64) -> f64 {
+    // BUG (float-partial-cmp): unwrap panics on NaN.
+    samples.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    let ix = ((samples.len() - 1) as f64 * q).round() as usize;
+    samples[ix]
+}
+
+pub fn max_cost(samples: &[f64]) -> Option<f64> {
+    // BUG (float-partial-cmp): NaN silently misorders the max.
+    samples
+        .iter()
+        .copied()
+        .max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+}

@@ -1,0 +1,70 @@
+//! The `simlint` binary: lint the workspace (default) or an arbitrary tree.
+//!
+//! ```text
+//! cargo run -p simlint                  # lint the workspace, exit 1 on any diagnostic
+//! cargo run -p simlint -- --root DIR    # lint every .rs under DIR with every rule
+//! cargo run -p simlint -- --list-rules  # print the rule catalog
+//! ```
+//!
+//! See `LINTS.md` for the rule catalog and suppression policy.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use simlint::{lint_tree, Scope, RULES};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: simlint [--root DIR] [--list-rules]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    let mut list = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            "--list-rules" => list = true,
+            _ => return usage(),
+        }
+    }
+    if list {
+        for (id, summary) in RULES {
+            println!("{id}: {summary}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    // Default root: the workspace this binary was built from.
+    let (root, scope) = match root {
+        Some(dir) => (dir, Scope::everything()),
+        None => {
+            let ws = Path::new(env!("CARGO_MANIFEST_DIR"))
+                .parent()
+                .and_then(Path::parent)
+                .expect("simlint lives two levels under the workspace root")
+                .to_path_buf();
+            (ws, Scope::workspace())
+        }
+    };
+    let diags = match lint_tree(&root, &scope) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("simlint: cannot lint {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        eprintln!("simlint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("simlint: {} diagnostic(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}

@@ -55,6 +55,21 @@ fn memory_kernel() -> KernelDesc {
         .expect("valid kernel")
 }
 
+/// When `CHIMERA_RACE_CHECK` is set (the CI race-sanitized parallel gate),
+/// every engine in this suite carries the shard-race sanitizer; a recorded
+/// Phase-A violation fails the test with the full report.
+fn arm_race_check(e: &mut Engine) {
+    if std::env::var("CHIMERA_RACE_CHECK").is_ok_and(|v| !v.is_empty() && v != "0") {
+        e.enable_race_sanitizer();
+    }
+}
+
+fn assert_race_clean(e: &Engine) {
+    if let Some(report) = e.race_sanitizer().map(|s| s.report()) {
+        assert!(report.is_clean(), "shard-race violation:\n{report}");
+    }
+}
+
 fn switch_sm(e: &mut Engine, sm: usize) {
     if e.sm_resident_count(sm) > 0 && !e.sm_is_preempting(sm) {
         let plan = SmPreemptPlan::uniform(e.sm_resident_indices(sm), Technique::Switch);
@@ -69,6 +84,7 @@ fn run_scenario(mode: ExecMode) -> (Vec<Event>, String, String) {
     let cfg = four_sm_config();
     let mut e = Engine::with_seed(cfg.clone(), 11);
     e.set_exec_mode(mode);
+    arm_race_check(&mut e);
     e.enable_event_log(1 << 14);
     let ka = e.launch_kernel(compute_kernel());
     let kb = e.launch_kernel(memory_kernel());
@@ -107,6 +123,7 @@ fn run_scenario(mode: ExecMode) -> (Vec<Event>, String, String) {
         e.mem_partition_stats()
     );
     let trace = chrome_trace_json(&e).expect("event log enabled");
+    assert_race_clean(&e);
     (events, stats, trace)
 }
 
@@ -159,6 +176,7 @@ fn scheduler_can_be_toggled_mid_run() {
     let cfg = four_sm_config();
     let run = |schedule: &[ExecMode]| {
         let mut e = Engine::with_seed(cfg.clone(), 5);
+        arm_race_check(&mut e);
         let k = e.launch_kernel(compute_kernel());
         for sm in 0..cfg.num_sms {
             e.assign_sm(sm, Some(k));
@@ -174,6 +192,7 @@ fn scheduler_can_be_toggled_mid_run() {
         while !e.kernel_stats(k).finished {
             events.extend(e.run_for(1_000_000));
         }
+        assert_race_clean(&e);
         (events, format!("{:?}", e.kernel_stats(k)))
     };
     let reference = run(&[]);
@@ -199,6 +218,7 @@ fn parallel_mode_breaks_on_kernel_finish_identically() {
     let run = |mode: ExecMode| {
         let mut e = Engine::with_seed(cfg.clone(), 9);
         e.set_exec_mode(mode);
+        arm_race_check(&mut e);
         e.set_break_on_kernel_finish(true);
         let ka = e.launch_kernel(compute_kernel());
         let kb = e.launch_kernel(memory_kernel());
@@ -217,6 +237,7 @@ fn parallel_mode_breaks_on_kernel_finish_identically() {
             assert!(guard < 100, "kernels did not finish");
         }
         let stats = format!("{:?} | {:?}", e.kernel_stats(ka), e.kernel_stats(kb));
+        assert_race_clean(&e);
         (log, stats)
     };
     let reference = run(ExecMode::Event);
@@ -244,6 +265,7 @@ fn preemption_on_epoch_boundary_is_equivalent() {
     let run = |mode: ExecMode| {
         let mut e = Engine::with_seed(cfg.clone(), 13);
         e.set_exec_mode(mode);
+        arm_race_check(&mut e);
         e.enable_event_log(1 << 14);
         let k = e.launch_kernel(memory_kernel());
         for sm in 0..cfg.num_sms {
@@ -267,6 +289,7 @@ fn preemption_on_epoch_boundary_is_equivalent() {
         }
         events.extend(e.run_until(e.cycle() + 3_000_000));
         let trace = chrome_trace_json(&e).expect("event log enabled");
+        assert_race_clean(&e);
         (events, format!("{:?}", e.kernel_stats(k)), trace)
     };
     let reference = run(ExecMode::Event);

@@ -46,6 +46,12 @@ fn arb_kernel(tag: &'static str) -> impl Strategy<Value = KernelDesc> {
         })
 }
 
+/// Whether `CHIMERA_RACE_CHECK` asks for every run in this suite to carry
+/// the shard-race sanitizer (the CI race-sanitized parallel gate sets it).
+fn env_race_check() -> bool {
+    std::env::var("CHIMERA_RACE_CHECK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
 /// Run a two-kernel scenario to completion under `mode`, returning the full
 /// event stream and final statistics rendering.
 fn run(
@@ -56,6 +62,20 @@ fn run(
     kb: &KernelDesc,
     mode: ExecMode,
 ) -> (Vec<Event>, String) {
+    run_raced(seed, num_sms, l1_bucket, ka, kb, mode, env_race_check())
+}
+
+/// Like [`run`], optionally with the shard-race sanitizer armed; a run that
+/// records any Phase-A violation fails outright with the full report.
+fn run_raced(
+    seed: u64,
+    num_sms: usize,
+    l1_bucket: u8,
+    ka: &KernelDesc,
+    kb: &KernelDesc,
+    mode: ExecMode,
+    race_check: bool,
+) -> (Vec<Event>, String) {
     let cfg = GpuConfig {
         num_sms,
         l1_hit_fraction: f64::from(l1_bucket) * 0.45,
@@ -64,6 +84,9 @@ fn run(
     let mut e = Engine::with_seed(cfg, seed);
     e.set_exec_mode(mode);
     e.set_break_on_kernel_finish(true);
+    if race_check {
+        e.enable_race_sanitizer();
+    }
     let a = e.launch_kernel(ka.clone());
     let b = e.launch_kernel(kb.clone());
     for sm in 0..num_sms {
@@ -86,6 +109,9 @@ fn run(
         e.kernel_stats(b),
         e.mem_partition_stats()
     );
+    if let Some(report) = e.race_sanitizer().map(|s| s.report()) {
+        assert!(report.is_clean(), "shard-race violation:\n{report}");
+    }
     (events, stats)
 }
 
@@ -108,6 +134,32 @@ proptest! {
             let got = run(seed, num_sms, l1_bucket, &ka, &kb, ExecMode::Parallel { shards });
             prop_assert_eq!(&got.0, &reference.0, "events diverged at {} shards", shards);
             prop_assert_eq!(&got.1, &reference.1, "stats diverged at {} shards", shards);
+        }
+    }
+
+    /// The shard-race sanitizer is an oracle for the Phase-A purity
+    /// contract: on arbitrary kernels and 1/2/4 shards it must never fire,
+    /// and arming it must not perturb the byte-identical output. (That the
+    /// oracle actually watches traffic — and catches a genuinely racy
+    /// component — is pinned by `racy_component_is_caught_in_parallel_mode`
+    /// below and the engine's own unit tests.)
+    #[test]
+    fn race_sanitizer_never_fires_on_generated_kernels(
+        seed in 0u64..1_000_000,
+        num_sms in 2usize..9,
+        l1_bucket in 0u8..3,
+        ka in arb_kernel("race_a"),
+        kb in arb_kernel("race_b"),
+    ) {
+        let reference = run_raced(seed, num_sms, l1_bucket, &ka, &kb, ExecMode::Event, false);
+        for shards in [1usize, 2, 4] {
+            // run_raced fails the case with the full report on any violation.
+            let got = run_raced(
+                seed, num_sms, l1_bucket, &ka, &kb,
+                ExecMode::Parallel { shards }, true,
+            );
+            prop_assert_eq!(&got.0, &reference.0, "sanitizer perturbed events at {} shards", shards);
+            prop_assert_eq!(&got.1, &reference.1, "sanitizer perturbed stats at {} shards", shards);
         }
     }
 
@@ -197,4 +249,44 @@ proptest! {
             prop_assert_eq!(&stats, &solo.1, "device {} stats diverged", d);
         }
     }
+}
+
+/// The oracle's positive control: a deliberately racy component (a shared
+/// cell bumped from inside the pure per-SM tick, bypassing the Interaction
+/// replay) must be flagged. Without this, a silent sanitizer and a correct
+/// engine are indistinguishable.
+#[test]
+fn racy_component_is_caught_in_parallel_mode() {
+    let cfg = GpuConfig {
+        num_sms: 4,
+        ..GpuConfig::tiny()
+    };
+    let mut e = Engine::with_seed(cfg, 42);
+    e.set_exec_mode(ExecMode::Parallel { shards: 2 });
+    e.enable_race_sanitizer();
+    let cell = e.attach_racy_test_cell(&[0, 1, 2, 3]);
+    let k = e.launch_kernel(
+        KernelDesc::builder("racy")
+            .grid_blocks(32)
+            .threads_per_block(64)
+            .regs_per_thread(16)
+            .program(Program::new(vec![Segment::compute(400)]))
+            .build()
+            .expect("valid kernel"),
+    );
+    for sm in 0..4 {
+        e.assign_sm(sm, Some(k));
+    }
+    e.run_until(50_000_000);
+    assert!(e.kernel_stats(k).finished, "kernel must finish");
+    assert!(cell.value() > 0, "pure ticks must have bumped the cell");
+    let report = e.race_sanitizer().expect("enabled").report();
+    assert!(
+        report.violation_count >= 1,
+        "the sanitizer must catch the unrouted Phase-A effect:\n{report}"
+    );
+    assert!(
+        report.pure_windows > 0 && report.shared_accesses_checked > 0,
+        "a meaningful report proves the oracle watched traffic:\n{report}"
+    );
 }
